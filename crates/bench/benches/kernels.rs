@@ -1,0 +1,150 @@
+//! Criterion microbenchmarks for the hot kernels of the reproduction.
+//!
+//! Includes the DESIGN.md ablation: the fused NAPL row-wise matmul tape op
+//! versus composing the same computation from per-node tape primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stuq_models::{Agcrn, AgcrnConfig, Forecaster, HeadKind, Prediction};
+use stuq_nn::layers::FwdCtx;
+use stuq_nn::lbfgs::{minimize, LbfgsOptions};
+use stuq_tensor::{StuqRng, Tape, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StuqRng::new(1);
+    for n in [64usize, 128] {
+        let a = Tensor::randn(&[n, n], 1.0, &mut rng);
+        let b = Tensor::randn(&[n, n], 1.0, &mut rng);
+        c.bench_function(&format!("tensor/matmul_{n}x{n}"), |bench| {
+            bench.iter(|| black_box(a.matmul(&b)))
+        });
+    }
+}
+
+fn bench_napl_fused_vs_composed(c: &mut Criterion) {
+    let mut rng = StuqRng::new(2);
+    let (n, ci, co) = (64usize, 33usize, 32usize);
+    let z = Tensor::randn(&[n, ci], 1.0, &mut rng);
+    let w = Tensor::randn(&[n, ci * co], 0.2, &mut rng);
+
+    c.bench_function("napl/fused_rowwise_fwd_bwd", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            let zi = tape.param(0, z.clone());
+            let wi = tape.param(1, w.clone());
+            let y = tape.rowwise_matmul(zi, wi, ci, co);
+            let sq = tape.square(y);
+            let loss = tape.mean_all(sq);
+            black_box(tape.backward(loss))
+        })
+    });
+
+    c.bench_function("napl/composed_per_node_fwd_bwd", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            let zi = tape.param(0, z.clone());
+            // One matmul per node with the node's private weight matrix.
+            let mut loss_acc = None;
+            for node in 0..n {
+                let z_row = tape.slice_rows(zi, node, node + 1);
+                let w_node =
+                    tape.constant(w.slice_rows(node, node + 1).reshape(&[ci, co]));
+                let y = tape.matmul(z_row, w_node);
+                let sq = tape.square(y);
+                let l = tape.mean_all(sq);
+                loss_acc = Some(match loss_acc {
+                    None => l,
+                    Some(acc) => tape.add(acc, l),
+                });
+            }
+            black_box(tape.backward(loss_acc.unwrap()))
+        })
+    });
+}
+
+fn agcrn_fixture(n: usize, rng: &mut StuqRng) -> (Agcrn, Tensor) {
+    let cfg = AgcrnConfig::new(n, 12)
+        .with_capacity(32, 8, 2)
+        .with_dropout(0.1, 0.2)
+        .with_head(HeadKind::Gaussian);
+    let model = Agcrn::new(cfg, rng);
+    let x = Tensor::randn(&[12, n], 1.0, rng);
+    (model, x)
+}
+
+fn bench_agcrn(c: &mut Criterion) {
+    let mut rng = StuqRng::new(3);
+    let (model, x) = agcrn_fixture(50, &mut rng);
+
+    let mut group = c.benchmark_group("agcrn");
+    group.sample_size(10);
+    group.bench_function("forward_n50", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            let mut ctx = FwdCtx::eval(&mut rng);
+            black_box(model.forward(&mut tape, &x, &mut ctx))
+        })
+    });
+    group.bench_function("train_step_n50", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            let mut ctx = FwdCtx::train(&mut rng);
+            let Prediction::Gaussian { mu, logvar } = model.forward(&mut tape, &x, &mut ctx)
+            else {
+                unreachable!()
+            };
+            let y = tape.constant(Tensor::zeros(&[50, 12]));
+            let l = stuq_nn::loss::combined(&mut tape, mu, logvar, y, 0.1);
+            black_box(tape.backward(l))
+        })
+    });
+    group.bench_function("mc_inference_10_n50", |bench| {
+        bench.iter(|| black_box(deepstuq::mc::mc_forecast(&model, &x, 10, &mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(10);
+    group.bench_function("simulate_50n_1day", |bench| {
+        let net = stuq_graph::generate_road_network(50, 80, 7);
+        let cfg = stuq_traffic::SimulationConfig::default();
+        let mut rng = StuqRng::new(7);
+        bench.iter(|| black_box(stuq_traffic::simulate_traffic(&net, 288, &cfg, &mut rng)))
+    });
+    group.bench_function("generate_network_100n", |bench| {
+        bench.iter(|| black_box(stuq_graph::generate_road_network(100, 150, 7)))
+    });
+    group.bench_function("lbfgs_temperature_10k", |bench| {
+        let mut rng = StuqRng::new(7);
+        let residual_sq: Vec<f64> = (0..10_000).map(|_| rng.normal_f64().powi(2)).collect();
+        bench.iter(|| {
+            let r = minimize(
+                |t| {
+                    let tt = t[0].max(1e-6);
+                    let (mut f, mut g) = (0.0, 0.0);
+                    for &r2 in &residual_sq {
+                        f += -(tt * tt).ln() + tt * tt * r2;
+                        g += -2.0 / tt + 2.0 * tt * r2;
+                    }
+                    let n = residual_sq.len() as f64;
+                    (f / n, vec![g / n])
+                },
+                &[1.0],
+                &LbfgsOptions::default(),
+            );
+            black_box(r)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_napl_fused_vs_composed,
+    bench_agcrn,
+    bench_substrates
+);
+criterion_main!(benches);

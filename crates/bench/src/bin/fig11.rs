@@ -1,0 +1,55 @@
+//! Reproduces **Fig. 11**: point metrics versus the number of Monte-Carlo
+//! samples (1, 3, 5, 10, 15).
+//!
+//! Paper shape to check: metrics improve with more samples and saturate by
+//! ~10–15, justifying the paper's choice of 10 at test time.
+
+use deepstuq::eval::{evaluate, RawForecast};
+use deepstuq::pipeline::{DeepStuq, DeepStuqConfig};
+use stuq_bench::{datasets, fmt2, method_config, parse_args, print_table, write_csv};
+use stuq_models::AgcrnConfig;
+use stuq_tensor::StuqRng;
+use stuq_traffic::Split;
+
+fn main() {
+    let opts = parse_args();
+    println!("Fig. 11 reproduction — scale {:?}, seed {}", opts.scale, opts.seed);
+    let stride = opts.scale.eval_stride();
+    let sample_counts = [1usize, 3, 5, 10, 15];
+
+    let mut rows = Vec::new();
+    for (preset, ds) in datasets(&opts) {
+        eprintln!("[fig11] dataset {preset:?}");
+        let mcfg = method_config(&opts, ds.n_nodes());
+        let seed = opts.seed ^ preset.seed_offset();
+        let cfg = DeepStuqConfig {
+            base: AgcrnConfig::new(ds.n_nodes(), ds.horizon())
+                .with_capacity(mcfg.hidden, mcfg.embed_dim, mcfg.n_layers)
+                .with_dropout(mcfg.encoder_dropout, mcfg.decoder_dropout),
+            train: mcfg.train.clone(),
+            awa: Some(mcfg.awa.clone()),
+            calib: Some(mcfg.calib),
+            mc_samples: mcfg.mc_samples,
+        };
+        let model = DeepStuq::train(&ds, cfg, seed);
+        let scaler = *ds.scaler();
+        for n in sample_counts {
+            let mut rng = StuqRng::new(seed ^ 0xF11);
+            let r = evaluate(&ds, Split::Test, stride, |x, _| {
+                let f = model.forecast_normalized(x, n, &mut rng);
+                RawForecast { mu: f.mu.map(|v| scaler.inverse(v)), sigma: None, bounds: None }
+            });
+            rows.push(vec![
+                format!("{preset:?}"),
+                format!("{n}"),
+                fmt2(r.point.mae),
+                fmt2(r.point.rmse),
+                fmt2(r.point.mape),
+            ]);
+        }
+    }
+
+    let header = ["dataset", "mc_samples", "MAE", "RMSE", "MAPE(%)"];
+    print_table("Fig. 11: metrics vs Monte-Carlo sample count", &header, &rows);
+    write_csv(&opts.out_dir, "fig11.csv", &header, &rows);
+}

@@ -1,0 +1,54 @@
+//! Reproduces **Fig. 7**: point-prediction metrics per forecast horizon,
+//! DeepSTUQ vs AGCRN.
+//!
+//! Paper shape to check: both curves grow with horizon; DeepSTUQ sits below
+//! AGCRN at every step.
+
+use deepstuq::methods::{Method, TrainedMethod};
+use stuq_bench::{datasets, fmt2, method_config, parse_args, print_table, write_csv};
+use stuq_traffic::Split;
+
+fn main() {
+    let opts = parse_args();
+    println!("Fig. 7 reproduction — scale {:?}, seed {}", opts.scale, opts.seed);
+    let stride = opts.scale.eval_stride();
+
+    let mut rows = Vec::new();
+    for (preset, ds) in datasets(&opts) {
+        eprintln!("[fig7] dataset {preset:?}");
+        let mcfg = method_config(&opts, ds.n_nodes());
+        let seed = opts.seed ^ preset.seed_offset();
+        let mut agcrn = TrainedMethod::train(Method::Point, &ds, mcfg.clone(), seed);
+        let r_agcrn = agcrn.evaluate(&ds, Split::Test, stride);
+        let mut stuq = TrainedMethod::train(Method::DeepStuq, &ds, mcfg, seed);
+        let r_stuq = stuq.evaluate(&ds, Split::Test, stride);
+
+        for h in 0..ds.horizon() {
+            let a = &r_agcrn.point_by_horizon[h];
+            let d = &r_stuq.point_by_horizon[h];
+            rows.push(vec![
+                format!("{preset:?}"),
+                format!("{}", h + 1),
+                fmt2(a.mae),
+                fmt2(d.mae),
+                fmt2(a.rmse),
+                fmt2(d.rmse),
+                fmt2(a.mape),
+                fmt2(d.mape),
+            ]);
+        }
+    }
+
+    let header = [
+        "dataset",
+        "horizon",
+        "AGCRN MAE",
+        "DeepSTUQ MAE",
+        "AGCRN RMSE",
+        "DeepSTUQ RMSE",
+        "AGCRN MAPE",
+        "DeepSTUQ MAPE",
+    ];
+    print_table("Fig. 7: metrics by forecast horizon", &header, &rows);
+    write_csv(&opts.out_dir, "fig7.csv", &header, &rows);
+}

@@ -1,0 +1,44 @@
+//! Reproduces **Table I**: dataset statistics.
+//!
+//! Prints the generated datasets' node / edge / step counts next to the
+//! paper's published values. At `--scale full` they match exactly by
+//! construction; at reduced scales the scaling factors are shown.
+
+use stuq_bench::{datasets, parse_args, print_table, write_csv};
+use stuq_traffic::Split;
+
+fn main() {
+    let opts = parse_args();
+    println!("Table I reproduction — scale {:?}, seed {}", opts.scale, opts.seed);
+
+    let paper = [(358, 547, 26_208), (307, 340, 16_992), (883, 866, 28_224), (170, 295, 17_856)];
+    let mut rows = Vec::new();
+    for ((preset, ds), (pn, pe, ps)) in datasets(&opts).iter().zip(paper) {
+        let net = ds.data().network();
+        let (tr, va) = (ds.segment(Split::Train), ds.segment(Split::Val));
+        rows.push(vec![
+            format!("{preset:?}"),
+            format!("{}", ds.n_nodes()),
+            format!("{pn}"),
+            format!("{}", net.n_edges()),
+            format!("{pe}"),
+            format!("{}", ds.data().n_steps()),
+            format!("{ps}"),
+            format!("{}", net.n_components()),
+            format!("{}/{}/{}", tr.1, va.1 - va.0, ds.data().n_steps() - va.1),
+        ]);
+    }
+    let header = [
+        "dataset",
+        "nodes",
+        "paper",
+        "edges",
+        "paper",
+        "steps",
+        "paper",
+        "components",
+        "split 6:2:2",
+    ];
+    print_table("Table I: dataset statistics (generated vs paper)", &header, &rows);
+    write_csv(&opts.out_dir, "table1.csv", &header, &rows);
+}

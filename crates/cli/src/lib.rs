@@ -1,0 +1,396 @@
+//! Implementation of the `stuq` command-line tool.
+//!
+//! Subcommands (see [`run`]):
+//!
+//! * `simulate` — generate a synthetic PEMS-like dataset and save it;
+//! * `train` — train the three-stage DeepSTUQ pipeline on a dataset file
+//!   and save the model;
+//! * `evaluate` — compute all paper metrics (plus CRPS, interval score and
+//!   the reliability curve) for a saved model on a dataset's test split;
+//! * `forecast` — print one window's probabilistic forecast;
+//! * `info` — inspect a dataset or model file.
+//!
+//! The library entry point [`run`] takes the argument list and a writer so
+//! the whole CLI is testable without spawning processes.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use deepstuq::eval::{evaluate, RawForecast};
+use deepstuq::pipeline::{DeepStuq, DeepStuqConfig};
+use deepstuq::{AwaConfig, CalibConfig, TrainConfig};
+use stuq_metrics::{ProperScoreAccumulator, ReliabilityDiagram};
+use stuq_models::{AgcrnConfig, Forecaster};
+use stuq_tensor::StuqRng;
+use stuq_traffic::{Preset, Split, SplitDataset};
+
+/// Top-level CLI error type: a message for the user.
+pub type CliError = String;
+
+/// Entry point: parses `args` (without the program name) and executes.
+pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("simulate") => cmd_simulate(&args[1..], out),
+        Some("train") => cmd_train(&args[1..], out),
+        Some("evaluate") => cmd_evaluate(&args[1..], out),
+        Some("forecast") => cmd_forecast(&args[1..], out),
+        Some("info") => cmd_info(&args[1..], out),
+        Some("help") | None => {
+            let _ = writeln!(out, "{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+const USAGE: &str = "\
+stuq — uncertainty-quantified traffic forecasting (DeepSTUQ, ICDE 2023)
+
+USAGE:
+  stuq simulate --preset pems03|pems04|pems07|pems08 [--node-frac F] [--step-frac F]
+                    [--seed N] --out data.stuqd
+  stuq train    --data data.stuqd [--epochs N] [--batch N] [--awa-epochs N]
+                    [--mc N] [--seed N] --out model.stuq
+  stuq evaluate --model model.stuq --data data.stuqd [--stride N] [--seed N]
+  stuq forecast --model model.stuq --data data.stuqd [--window N] [--sensor N] [--seed N]
+  stuq info     --path file.stuqd|file.stuq";
+
+/// A minimal `--key value` argument map.
+struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
+            let value =
+                args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?.clone();
+            pairs.push((key.to_string(), value));
+            i += 2;
+        }
+        Ok(Self { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn required(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key).ok_or_else(|| format!("missing required --{key}"))
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v:?}")),
+        }
+    }
+}
+
+fn preset_by_name(name: &str) -> Result<Preset, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "pems03" => Ok(Preset::Pems03Like),
+        "pems04" => Ok(Preset::Pems04Like),
+        "pems07" => Ok(Preset::Pems07Like),
+        "pems08" => Ok(Preset::Pems08Like),
+        other => Err(format!("unknown preset {other:?} (pems03|pems04|pems07|pems08)")),
+    }
+}
+
+fn cmd_simulate(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let a = Args::parse(args)?;
+    let preset = preset_by_name(a.required("preset")?)?;
+    let node_frac: f64 = a.parse_or("node-frac", 0.1)?;
+    let step_frac: f64 = a.parse_or("step-frac", 0.05)?;
+    let seed: u64 = a.parse_or("seed", 42u64)?;
+    let out_path = PathBuf::from(a.required("out")?);
+
+    let spec = if (node_frac - 1.0).abs() < 1e-12 && (step_frac - 1.0).abs() < 1e-12 {
+        preset.spec()
+    } else {
+        preset.spec().scaled(node_frac, step_frac)
+    };
+    let ds = spec.generate(seed ^ preset.seed_offset());
+    stuq_traffic::save_dataset(ds.data(), &out_path).map_err(|e| e.to_string())?;
+    let _ = writeln!(
+        out,
+        "wrote {} — {} sensors, {} segments, {} steps",
+        out_path.display(),
+        ds.n_nodes(),
+        ds.data().network().n_edges(),
+        ds.data().n_steps()
+    );
+    Ok(())
+}
+
+fn cmd_train(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let a = Args::parse(args)?;
+    let data_path = a.required("data")?.to_string();
+    let out_path = a.required("out")?.to_string();
+    let epochs: usize = a.parse_or("epochs", 4usize)?;
+    let batch: usize = a.parse_or("batch", 16usize)?;
+    let awa_epochs: usize = a.parse_or("awa-epochs", 4usize)?;
+    let mc: usize = a.parse_or("mc", 10usize)?;
+    let seed: u64 = a.parse_or("seed", 42u64)?;
+    if !awa_epochs.is_multiple_of(2) {
+        return Err("--awa-epochs must be even (AWA cycles are 2 epochs)".into());
+    }
+
+    let ds = stuq_traffic::load_split_dataset(&data_path).map_err(|e| e.to_string())?;
+    let _ = writeln!(
+        out,
+        "training on {} ({} sensors, {} steps), {} epochs + {} AWA epochs…",
+        ds.data().name(),
+        ds.n_nodes(),
+        ds.data().n_steps(),
+        epochs,
+        awa_epochs
+    );
+    let small_graph = ds.n_nodes() < 200;
+    let cfg = DeepStuqConfig {
+        base: AgcrnConfig::new(ds.n_nodes(), ds.horizon())
+            .with_dropout(if small_graph { 0.05 } else { 0.1 }, 0.2),
+        train: TrainConfig { epochs, batch_size: batch, ..Default::default() },
+        awa: (awa_epochs > 0).then(|| AwaConfig { epochs: awa_epochs, batch_size: batch, ..Default::default() }),
+        calib: Some(CalibConfig { mc_samples: mc.min(10), max_iters: 500, stride: 3 }),
+        mc_samples: mc,
+    };
+    let model = DeepStuq::train(&ds, cfg, seed);
+    deepstuq::save_model(&model, &out_path).map_err(|e| e.to_string())?;
+    let _ = writeln!(
+        out,
+        "wrote {out_path} (temperature T = {:.4}, {} MC samples)",
+        model.temperature(),
+        model.mc_samples()
+    );
+    Ok(())
+}
+
+fn load_pair(a: &Args) -> Result<(DeepStuq, SplitDataset), CliError> {
+    let model = deepstuq::load_model(a.required("model")?).map_err(|e| e.to_string())?;
+    let ds = stuq_traffic::load_split_dataset(a.required("data")?).map_err(|e| e.to_string())?;
+    if model.model().config().n_nodes != ds.n_nodes() {
+        return Err(format!(
+            "model expects {} sensors but dataset has {}",
+            model.model().config().n_nodes,
+            ds.n_nodes()
+        ));
+    }
+    Ok((model, ds))
+}
+
+fn cmd_evaluate(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let a = Args::parse(args)?;
+    let (model, ds) = load_pair(&a)?;
+    let stride: usize = a.parse_or("stride", 3usize)?;
+    let seed: u64 = a.parse_or("seed", 7u64)?;
+
+    let scaler = *ds.scaler();
+    let mut rng = StuqRng::new(seed);
+    let mut proper = ProperScoreAccumulator::new();
+    let mut reliability = ReliabilityDiagram::standard();
+    let result = evaluate(&ds, Split::Test, stride, |x, start| {
+        let f = model.forecast_normalized(x, model.mc_samples(), &mut rng);
+        let mu = f.mu.map(|v| scaler.inverse(v));
+        let sigma = f.sigma_total(model.temperature()).scale(scaler.std() as f32);
+        let w = ds.window(start);
+        for i in 0..ds.n_nodes() {
+            for h in 0..ds.horizon() {
+                let (m, s, y) =
+                    (mu.get(i, h) as f64, sigma.get(i, h) as f64, w.y_raw.get(h, i) as f64);
+                proper.update(m, s, y);
+                reliability.update(m, s, y);
+            }
+        }
+        RawForecast { mu, sigma: Some(sigma), bounds: None }
+    });
+
+    let uq = result.uq.expect("gaussian model");
+    let _ = writeln!(out, "test windows: {}", result.n_windows);
+    let _ = writeln!(out, "MAE   {:>10.3}", result.point.mae);
+    let _ = writeln!(out, "RMSE  {:>10.3}", result.point.rmse);
+    let _ = writeln!(out, "MAPE  {:>9.2}%", result.point.mape);
+    let _ = writeln!(out, "MNLL  {:>10.3}", uq.mnll);
+    let _ = writeln!(out, "PICP  {:>9.2}%", uq.picp);
+    let _ = writeln!(out, "MPIW  {:>10.3}", uq.mpiw);
+    let _ = writeln!(out, "CRPS  {:>10.3}", proper.mean_crps());
+    let _ = writeln!(out, "Winkler(95%) {:>7.3}", proper.mean_interval_score());
+    let _ = writeln!(out, "calibration error {:>6.4}", reliability.calibration_error());
+    let _ = writeln!(out, "\nreliability (nominal → observed coverage):");
+    for (nom, obs) in reliability.curve() {
+        let _ = writeln!(out, "  {:>4.0}% → {:>5.1}%", nom * 100.0, obs * 100.0);
+    }
+    Ok(())
+}
+
+fn cmd_forecast(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let a = Args::parse(args)?;
+    let (model, ds) = load_pair(&a)?;
+    let seed: u64 = a.parse_or("seed", 7u64)?;
+    let sensor: usize = a.parse_or("sensor", 0usize)?;
+    let starts = ds.window_starts(Split::Test);
+    let window: usize = a.parse_or("window", starts.len() / 2)?;
+    if sensor >= ds.n_nodes() {
+        return Err(format!("sensor {sensor} out of range (0..{})", ds.n_nodes()));
+    }
+    let start = *starts
+        .get(window)
+        .ok_or_else(|| format!("window {window} out of range (0..{})", starts.len()))?;
+
+    let w = ds.window(start);
+    let mut rng = StuqRng::new(seed);
+    let f = model.predict(&w.x, ds.scaler(), &mut rng);
+    let _ = writeln!(
+        out,
+        "window {window} (t = {start}), sensor {sensor}, T = {:.3}:",
+        model.temperature()
+    );
+    let _ = writeln!(
+        out,
+        "{:>4} {:>9} {:>9} {:>8} {:>8} {:>8}  95% interval",
+        "step", "truth", "mean", "σ_alea", "σ_epis", "σ_tot"
+    );
+    for h in 0..ds.horizon() {
+        let _ = writeln!(
+            out,
+            "{:>4} {:>9.2} {:>9.2} {:>8.2} {:>8.2} {:>8.2}  [{:>8.2}, {:>8.2}]",
+            h + 1,
+            w.y_raw.get(h, sensor),
+            f.mu.get(sensor, h),
+            f.sigma_aleatoric.get(sensor, h),
+            f.sigma_epistemic.get(sensor, h),
+            f.sigma_total.get(sensor, h),
+            f.lower.get(sensor, h),
+            f.upper.get(sensor, h),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let a = Args::parse(args)?;
+    let path = a.required("path")?;
+    if let Ok(data) = stuq_traffic::load_dataset(path) {
+        let net = data.network();
+        let _ = writeln!(out, "dataset: {}", data.name());
+        let _ = writeln!(out, "  sensors    {}", data.n_nodes());
+        let _ = writeln!(out, "  segments   {}", net.n_edges());
+        let _ = writeln!(out, "  steps      {}", data.n_steps());
+        let _ = writeln!(out, "  components {}", net.n_components());
+        return Ok(());
+    }
+    if let Ok(model) = deepstuq::load_model(path) {
+        let cfg = model.model().config();
+        let _ = writeln!(out, "model: DeepSTUQ");
+        let _ = writeln!(out, "  sensors     {}", cfg.n_nodes);
+        let _ = writeln!(out, "  horizon     {}", cfg.horizon);
+        let _ = writeln!(out, "  hidden      {}", cfg.hidden);
+        let _ = writeln!(out, "  embed dim   {}", cfg.embed_dim);
+        let _ = writeln!(out, "  layers      {}", cfg.n_layers);
+        let _ = writeln!(out, "  dropout     {}/{}", cfg.encoder_dropout, cfg.decoder_dropout);
+        let _ = writeln!(out, "  temperature {:.4}", model.temperature());
+        let _ = writeln!(out, "  MC samples  {}", model.mc_samples());
+        let _ =
+            writeln!(out, "  parameters  {}", model.model().params().n_scalars());
+        return Ok(());
+    }
+    Err(format!("{path}: neither a dataset (.stuqd) nor a model (.stuq) file"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(args: &[&str]) -> Result<String, CliError> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        run(&owned, &mut buf)?;
+        Ok(String::from_utf8(buf).unwrap())
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join("deepstuq_cli_test").join(name)
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_str(&["help"]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run_str(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn missing_required_flag_errors() {
+        let err = run_str(&["simulate", "--preset", "pems08"]).unwrap_err();
+        assert!(err.contains("--out"), "{err}");
+    }
+
+    #[test]
+    fn bad_preset_errors() {
+        let err =
+            run_str(&["simulate", "--preset", "pems99", "--out", "/tmp/x"]).unwrap_err();
+        assert!(err.contains("unknown preset"), "{err}");
+    }
+
+    #[test]
+    fn full_cli_workflow() {
+        let data = tmp("flow.stuqd");
+        let model = tmp("model.stuq");
+        let data_s = data.to_str().unwrap();
+        let model_s = model.to_str().unwrap();
+
+        // simulate → info
+        let out = run_str(&[
+            "simulate", "--preset", "pems08", "--node-frac", "0.08", "--step-frac", "0.02",
+            "--seed", "5", "--out", data_s,
+        ])
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let info = run_str(&["info", "--path", data_s]).unwrap();
+        assert!(info.contains("dataset:"), "{info}");
+
+        // train → info
+        let out = run_str(&[
+            "train", "--data", data_s, "--epochs", "1", "--batch", "8", "--awa-epochs", "2",
+            "--mc", "3", "--seed", "5", "--out", model_s,
+        ])
+        .unwrap();
+        assert!(out.contains("temperature"), "{out}");
+        let info = run_str(&["info", "--path", model_s]).unwrap();
+        assert!(info.contains("model: DeepSTUQ"), "{info}");
+
+        // evaluate
+        let out = run_str(&[
+            "evaluate", "--model", model_s, "--data", data_s, "--stride", "11",
+        ])
+        .unwrap();
+        assert!(out.contains("MNLL") && out.contains("CRPS") && out.contains("reliability"));
+
+        // forecast
+        let out = run_str(&[
+            "forecast", "--model", model_s, "--data", data_s, "--sensor", "1", "--window", "0",
+        ])
+        .unwrap();
+        assert!(out.contains("95% interval"), "{out}");
+
+        std::fs::remove_dir_all(std::env::temp_dir().join("deepstuq_cli_test")).ok();
+    }
+
+    #[test]
+    fn odd_awa_epochs_rejected() {
+        let err = run_str(&[
+            "train", "--data", "/nonexistent", "--awa-epochs", "3", "--out", "/tmp/x",
+        ])
+        .unwrap_err();
+        assert!(err.contains("even"), "{err}");
+    }
+}

@@ -1,0 +1,11 @@
+//! `stuq` binary entry point; all logic lives in the library so it can
+//! be tested in-process.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = std::io::stdout();
+    if let Err(e) = deepstuq_cli::run(&args, &mut out) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Adaptive Weight Averaging re-training (paper §IV-C2, Algorithm 1).
+//!
+//! Epochs alternate in two-epoch cycles:
+//!
+//! * **escape epochs** (even): the learning rate sweeps from `lr₁` down to
+//!   `lr₂` with the cosine schedule of Eq. 16, letting the model leave the
+//!   current local minimum and settle near a new one;
+//! * **fine-tune epochs** (odd): constant `lr₂`; at the end of the epoch the
+//!   weights are folded into the running average (Eq. 15).
+//!
+//! The optimiser is Adam — the paper reports it works better here than the
+//! SGD of original SWA. Algorithm 1's final "perform batch normalization"
+//! step is a no-op in this reproduction because the base model (like AGCRN)
+//! contains no batch-norm layers whose statistics would need refreshing.
+
+use crate::config::AwaConfig;
+use crate::trainer::{train_epoch, LossKind};
+use stuq_models::Forecaster;
+use stuq_nn::opt::Adam;
+use stuq_nn::sched::CosineSchedule;
+use stuq_nn::swa::WeightAverager;
+use stuq_tensor::StuqRng;
+use stuq_traffic::{Split, SplitDataset};
+
+/// Outcome of AWA re-training.
+#[derive(Debug)]
+pub struct AwaReport {
+    /// Number of models folded into the average (paper: 10).
+    pub n_models: usize,
+    /// Per-epoch mean training loss.
+    pub loss_history: Vec<f64>,
+}
+
+/// Re-trains `model` in place: on return its parameters are the AWA average.
+pub fn awa_retrain(
+    model: &mut dyn Forecaster,
+    ds: &SplitDataset,
+    cfg: &AwaConfig,
+    kind: LossKind,
+    weight_decay: f32,
+    rng: &mut StuqRng,
+) -> AwaReport {
+    assert!(cfg.epochs >= 2 && cfg.epochs.is_multiple_of(2), "AWA needs an even, positive epoch count");
+    let n_iters = {
+        let n_windows = ds.window_starts(Split::Train).len();
+        n_windows.div_ceil(cfg.batch_size)
+    };
+    let mut opt = Adam::new(cfg.lr_max, weight_decay);
+    let mut averager = WeightAverager::new();
+    let mut history = Vec::with_capacity(cfg.epochs);
+
+    for epoch in 0..cfg.epochs {
+        let loss = if epoch % 2 == 0 {
+            // Escape epoch: cosine lr₁ → lr₂ across this epoch's iterations.
+            let sched = CosineSchedule::new(cfg.lr_max, cfg.lr_min, n_iters.max(1));
+            let mut hook = |it: usize| sched.lr_at(it);
+            train_epoch(model, ds, cfg.batch_size, kind, &mut opt, 5.0, rng, Some(&mut hook))
+        } else {
+            // Fine-tune epoch at constant lr₂, then average (Eq. 15).
+            let mut hook = |_: usize| cfg.lr_min;
+            let l =
+                train_epoch(model, ds, cfg.batch_size, kind, &mut opt, 5.0, rng, Some(&mut hook));
+            averager.update(model.params());
+            l
+        };
+        history.push(loss);
+    }
+    let n_models = averager.n_models();
+    averager.apply_to(model.params_mut());
+    AwaReport { n_models, loss_history: history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainConfig;
+    use crate::trainer::{eval_loss, train};
+    use stuq_models::{Agcrn, AgcrnConfig};
+    use stuq_traffic::Preset;
+
+    #[test]
+    fn awa_averages_expected_model_count_and_stays_trained() {
+        let spec = Preset::Pems08Like.spec().scaled(0.08, 0.02);
+        let ds = spec.generate(21);
+        let mut rng = StuqRng::new(21);
+        let cfg = AgcrnConfig::new(ds.n_nodes(), ds.horizon())
+            .with_capacity(12, 4, 1)
+            .with_dropout(0.05, 0.1);
+        let mut model = Agcrn::new(cfg, &mut rng);
+        let kind = LossKind::Combined { lambda: 0.1 };
+        // Short pre-training so AWA starts from a sensible point.
+        let pre = TrainConfig { epochs: 2, batch_size: 8, ..Default::default() };
+        let _ = train(&mut model, &ds, &pre, kind, &mut rng);
+        let loss_pre = eval_loss(&model, &ds, Split::Val, kind, 13, &mut rng);
+
+        let awa_cfg = AwaConfig::scaled(4, 8);
+        let report = awa_retrain(&mut model, &ds, &awa_cfg, kind, 1e-6, &mut rng);
+        assert_eq!(report.n_models, 2, "4 epochs → 2 averaged models");
+        assert_eq!(report.loss_history.len(), 4);
+        let loss_post = eval_loss(&model, &ds, Split::Val, kind, 13, &mut rng);
+        // AWA is a refinement: it must not blow the model up.
+        assert!(
+            loss_post < loss_pre + 0.5,
+            "AWA degraded the model: {loss_pre:.4} → {loss_post:.4}"
+        );
+        assert!(model.params().all_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "even, positive epoch count")]
+    fn rejects_odd_epochs() {
+        let spec = Preset::Pems08Like.spec().scaled(0.08, 0.02);
+        let ds = spec.generate(5);
+        let mut rng = StuqRng::new(5);
+        let cfg = AgcrnConfig::new(ds.n_nodes(), ds.horizon()).with_capacity(8, 3, 1);
+        let mut model = Agcrn::new(cfg, &mut rng);
+        let bad = AwaConfig { epochs: 3, ..Default::default() };
+        let _ = awa_retrain(
+            &mut model,
+            &ds,
+            &bad,
+            LossKind::Combined { lambda: 0.1 },
+            0.0,
+            &mut rng,
+        );
+    }
+}

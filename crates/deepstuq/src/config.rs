@@ -1,0 +1,115 @@
+//! Configuration types for the three training stages.
+
+/// Pre-training configuration (paper §V-B "Pre-training").
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Number of epochs (paper: 100; scaled runs use far fewer).
+    pub epochs: usize,
+    /// Mini-batch size (paper: 64).
+    pub batch_size: usize,
+    /// Adam learning rate (paper: 3e-3).
+    pub lr: f32,
+    /// L2 weight decay (paper: 1e-6).
+    pub weight_decay: f32,
+    /// Relative NLL weight λ in the combined loss (paper: 0.1).
+    pub lambda: f32,
+    /// Global gradient-norm clip (0 disables).
+    pub grad_clip: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 100,
+            batch_size: 64,
+            lr: 3e-3,
+            weight_decay: 1e-6,
+            lambda: 0.1,
+            grad_clip: 5.0,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// A configuration sized for scaled-down experiment-harness runs.
+    pub fn scaled(epochs: usize, batch_size: usize) -> Self {
+        Self { epochs, batch_size, ..Default::default() }
+    }
+}
+
+/// AWA re-training configuration (paper §V-B "AWA Re-training").
+#[derive(Clone, Debug)]
+pub struct AwaConfig {
+    /// Total re-training epochs; each escape/fine-tune cycle is 2 epochs, so
+    /// `epochs / 2` models are averaged (paper: 20 → 10 models).
+    pub epochs: usize,
+    /// Maximum learning rate `lr₁` (paper: 3e-3).
+    pub lr_max: f32,
+    /// Minimum learning rate `lr₂` (paper: 3e-5).
+    pub lr_min: f32,
+    /// Mini-batch size (shared with pre-training in the paper).
+    pub batch_size: usize,
+}
+
+impl Default for AwaConfig {
+    fn default() -> Self {
+        Self { epochs: 20, lr_max: 3e-3, lr_min: 3e-5, batch_size: 64 }
+    }
+}
+
+impl AwaConfig {
+    /// Scaled-down variant for harness runs (epochs must stay even).
+    pub fn scaled(epochs: usize, batch_size: usize) -> Self {
+        assert!(epochs.is_multiple_of(2), "AWA cycles are 2 epochs; use an even count");
+        Self { epochs, batch_size, ..Default::default() }
+    }
+}
+
+/// Calibration configuration (paper §V-B "Model Calibration").
+#[derive(Clone, Copy, Debug)]
+pub struct CalibConfig {
+    /// Monte-Carlo samples used to estimate `σ²` on the validation split
+    /// (paper: 10).
+    pub mc_samples: usize,
+    /// Maximum L-BFGS iterations (paper: 500).
+    pub max_iters: usize,
+    /// Stride over validation windows (1 = every window; larger strides keep
+    /// scaled runs fast without biasing the fit).
+    pub stride: usize,
+}
+
+impl Default for CalibConfig {
+    fn default() -> Self {
+        Self { mc_samples: 10, max_iters: 500, stride: 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let t = TrainConfig::default();
+        assert_eq!(t.epochs, 100);
+        assert_eq!(t.batch_size, 64);
+        assert!((t.lr - 3e-3).abs() < 1e-9);
+        assert!((t.weight_decay - 1e-6).abs() < 1e-12);
+        assert!((t.lambda - 0.1).abs() < 1e-9);
+
+        let a = AwaConfig::default();
+        assert_eq!(a.epochs, 20);
+        assert!((a.lr_max - 3e-3).abs() < 1e-9);
+        assert!((a.lr_min - 3e-5).abs() < 1e-9);
+
+        let c = CalibConfig::default();
+        assert_eq!(c.mc_samples, 10);
+        assert_eq!(c.max_iters, 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "even count")]
+    fn awa_rejects_odd_epochs() {
+        let _ = AwaConfig::scaled(5, 8);
+    }
+}

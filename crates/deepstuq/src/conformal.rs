@@ -1,0 +1,210 @@
+//! Conformal baselines (paper Table II: "Conformal" and "CFRNN").
+//!
+//! * [`LocallyWeightedConformal`] — split conformal prediction with the
+//!   locally weighted score `s = |y − μ| / σ` (Lei et al., 2018): the
+//!   calibration quantile `q̂` of the scores turns `μ ± q̂·σ` into an interval
+//!   with finite-sample marginal coverage `≥ 1 − α`.
+//! * [`Cfrnn`] — conformal forecasting for multi-horizon RNNs
+//!   (Stankevičiūtė et al., 2021): per-horizon absolute-residual quantiles
+//!   with a Bonferroni-corrected level `α/H`, giving simultaneous coverage
+//!   across the horizon.
+
+/// The split-conformal quantile index: the `⌈(n+1)(1−α)⌉`-th smallest score.
+/// Returns `None` when the calibration set is too small for the level.
+fn conformal_quantile(scores: &mut [f64], alpha: f64) -> Option<f64> {
+    assert!((0.0..1.0).contains(&alpha), "alpha must be in [0, 1)");
+    let n = scores.len();
+    if n == 0 {
+        return None;
+    }
+    let rank = ((n as f64 + 1.0) * (1.0 - alpha)).ceil() as usize;
+    if rank > n {
+        return None; // not enough calibration data for this level
+    }
+    scores.sort_by(|a, b| a.total_cmp(b));
+    Some(scores[rank - 1])
+}
+
+/// Locally weighted split conformal prediction over Gaussian forecasts.
+#[derive(Clone, Debug)]
+pub struct LocallyWeightedConformal {
+    qhat: f64,
+    alpha: f64,
+    n_calibration: usize,
+}
+
+impl LocallyWeightedConformal {
+    /// Fits the score quantile from calibration triples `(y, μ, σ)`.
+    pub fn fit(triples: impl IntoIterator<Item = (f64, f64, f64)>, alpha: f64) -> Self {
+        let mut scores: Vec<f64> = triples
+            .into_iter()
+            .map(|(y, mu, sigma)| (y - mu).abs() / sigma.max(1e-9))
+            .collect();
+        let n_calibration = scores.len();
+        let qhat = conformal_quantile(&mut scores, alpha)
+            .expect("calibration set too small for the requested level");
+        Self { qhat, alpha, n_calibration }
+    }
+
+    /// The fitted score quantile `q̂`.
+    pub fn qhat(&self) -> f64 {
+        self.qhat
+    }
+
+    /// The miscoverage level the predictor was fit at.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of calibration points used.
+    pub fn n_calibration(&self) -> usize {
+        self.n_calibration
+    }
+
+    /// The conformalised interval `μ ± q̂·σ`.
+    pub fn interval(&self, mu: f64, sigma: f64) -> (f64, f64) {
+        let half = self.qhat * sigma.max(1e-9);
+        (mu - half, mu + half)
+    }
+}
+
+/// CFRNN-style multi-horizon conformal prediction: one absolute-residual
+/// quantile per forecast step at level `α/H`.
+#[derive(Clone, Debug)]
+pub struct Cfrnn {
+    qhat: Vec<f64>,
+    alpha: f64,
+}
+
+impl Cfrnn {
+    /// Fits per-horizon quantiles from `(h, |y − μ|)` residual pairs.
+    pub fn fit(residuals: impl IntoIterator<Item = (usize, f64)>, horizon: usize, alpha: f64) -> Self {
+        assert!(horizon > 0, "horizon must be positive");
+        let mut per_h: Vec<Vec<f64>> = vec![Vec::new(); horizon];
+        for (h, r) in residuals {
+            assert!(h < horizon, "horizon index {h} out of range");
+            per_h[h].push(r.abs());
+        }
+        let bonferroni = alpha / horizon as f64;
+        let qhat = per_h
+            .iter_mut()
+            .enumerate()
+            .map(|(h, scores)| {
+                assert!(!scores.is_empty(), "no calibration residuals at horizon {h}");
+                // With Bonferroni correction and a small calibration set the
+                // exact level can be unreachable; fall back to the maximum
+                // residual — the most conservative valid choice.
+                conformal_quantile(scores, bonferroni)
+                    .unwrap_or_else(|| scores.iter().fold(0.0f64, |a, &b| a.max(b)))
+            })
+            .collect();
+        Self { qhat, alpha }
+    }
+
+    /// The per-horizon half-widths.
+    pub fn qhat(&self) -> &[f64] {
+        &self.qhat
+    }
+
+    /// The simultaneous miscoverage level.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The interval at horizon `h`: `μ ± q̂_h`.
+    pub fn interval(&self, h: usize, mu: f64) -> (f64, f64) {
+        (mu - self.qhat[h], mu + self.qhat[h])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stuq_tensor::StuqRng;
+
+    #[test]
+    fn quantile_indexing_matches_definition() {
+        // n=9, alpha=0.5 → rank = ceil(10·0.5) = 5 → the 5th smallest.
+        let mut scores: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        let q = conformal_quantile(&mut scores, 0.5).unwrap();
+        assert_eq!(q, 5.0);
+    }
+
+    #[test]
+    fn small_calibration_set_is_rejected() {
+        // n=5, alpha=0.05 → rank 6 > 5.
+        let mut scores = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!(conformal_quantile(&mut scores, 0.05).is_none());
+    }
+
+    #[test]
+    fn coverage_guarantee_holds_empirically() {
+        // Heteroscedastic data with a *mis-specified* σ model: conformal must
+        // still deliver ≥ 1−α coverage on fresh draws.
+        let mut rng = StuqRng::new(42);
+        let alpha = 0.1;
+        let gen = |rng: &mut StuqRng| {
+            let x = rng.uniform_f64() * 4.0;
+            let sigma_true = 0.5 + x; // true spread grows with x
+            let y = 2.0 * x + sigma_true * rng.normal_f64();
+            let mu_model = 2.0 * x;
+            let sigma_model = 1.0; // wrong on purpose
+            (y, mu_model, sigma_model)
+        };
+        let calib: Vec<_> = (0..500).map(|_| gen(&mut rng)).collect();
+        let cp = LocallyWeightedConformal::fit(calib, alpha);
+        let n_test = 4000;
+        let mut covered = 0;
+        for _ in 0..n_test {
+            let (y, mu, sigma) = gen(&mut rng);
+            let (lo, hi) = cp.interval(mu, sigma);
+            if y >= lo && y <= hi {
+                covered += 1;
+            }
+        }
+        let rate = covered as f64 / n_test as f64;
+        assert!(rate >= 1.0 - alpha - 0.02, "coverage {rate} below 1−α");
+    }
+
+    #[test]
+    fn wider_sigma_means_wider_interval() {
+        let calib: Vec<_> = (0..100).map(|i| (i as f64 * 0.01, 0.0, 1.0)).collect();
+        let cp = LocallyWeightedConformal::fit(calib, 0.1);
+        let (lo1, hi1) = cp.interval(0.0, 1.0);
+        let (lo2, hi2) = cp.interval(0.0, 3.0);
+        assert!(hi2 - lo2 > hi1 - lo1);
+        assert!((hi1 + lo1).abs() < 1e-12, "symmetric around μ");
+    }
+
+    #[test]
+    fn cfrnn_per_horizon_widths_fit_residuals() {
+        // Residuals grow with horizon; the fitted widths must too.
+        let mut rng = StuqRng::new(7);
+        let horizon = 4;
+        let mut residuals = Vec::new();
+        for _ in 0..600 {
+            for h in 0..horizon {
+                residuals.push((h, (1.0 + h as f64) * rng.normal_f64()));
+            }
+        }
+        let cf = Cfrnn::fit(residuals, horizon, 0.2);
+        for h in 1..horizon {
+            assert!(
+                cf.qhat()[h] > cf.qhat()[h - 1],
+                "widths must grow with horizon: {:?}",
+                cf.qhat()
+            );
+        }
+        let (lo, hi) = cf.interval(2, 10.0);
+        assert!((hi + lo) / 2.0 - 10.0 < 1e-9);
+    }
+
+    #[test]
+    fn cfrnn_bonferroni_fallback_is_conservative() {
+        // Tiny calibration set: α/H unreachable → width falls back to the
+        // max residual.
+        let residuals = vec![(0usize, 1.0), (0, 2.0), (0, 3.0)];
+        let cf = Cfrnn::fit(residuals, 1, 0.05);
+        assert_eq!(cf.qhat()[0], 3.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Uncertainty decomposition utilities (paper Eq. 7; Figs. 9–10).
+
+use crate::mc::GaussianForecast;
+use stuq_tensor::Tensor;
+
+/// Per-horizon mean standard deviations of each uncertainty component —
+/// the series plotted in Fig. 10.
+#[derive(Clone, Debug)]
+pub struct HorizonUncertainty {
+    /// Mean aleatoric σ per forecast step.
+    pub aleatoric: Vec<f64>,
+    /// Mean epistemic σ per forecast step.
+    pub epistemic: Vec<f64>,
+    /// Mean total σ per forecast step.
+    pub total: Vec<f64>,
+}
+
+/// Averages the decomposition of one forecast (`[N, τ]`) over sensors.
+///
+/// `sigma_scale` converts normalised σ to raw units (the dataset scaler's
+/// std); `temperature` applies the calibration of Eq. 17.
+pub fn horizon_decomposition(
+    forecast: &GaussianForecast,
+    sigma_scale: f64,
+    temperature: f32,
+) -> HorizonUncertainty {
+    let (n, tau) = (forecast.mu.rows(), forecast.mu.cols());
+    let var_total = forecast.var_total(temperature);
+    let inv_t2 = 1.0 / (temperature as f64 * temperature as f64);
+    let mut out = HorizonUncertainty {
+        aleatoric: vec![0.0; tau],
+        epistemic: vec![0.0; tau],
+        total: vec![0.0; tau],
+    };
+    for h in 0..tau {
+        let (mut a, mut e, mut t) = (0.0f64, 0.0f64, 0.0f64);
+        for i in 0..n {
+            a += (forecast.var_aleatoric.get(i, h) as f64 * inv_t2).sqrt();
+            e += (forecast.var_epistemic.get(i, h) as f64).sqrt();
+            t += (var_total.get(i, h) as f64).sqrt();
+        }
+        out.aleatoric[h] = sigma_scale * a / n as f64;
+        out.epistemic[h] = sigma_scale * e / n as f64;
+        out.total[h] = sigma_scale * t / n as f64;
+    }
+    out
+}
+
+/// Accumulates [`HorizonUncertainty`] over many forecasts (Fig. 10 averages
+/// across the whole test split).
+#[derive(Clone, Debug)]
+pub struct HorizonUncertaintyAccumulator {
+    sums: HorizonUncertainty,
+    count: usize,
+}
+
+impl HorizonUncertaintyAccumulator {
+    /// Creates an accumulator for `tau` forecast steps.
+    pub fn new(tau: usize) -> Self {
+        Self {
+            sums: HorizonUncertainty {
+                aleatoric: vec![0.0; tau],
+                epistemic: vec![0.0; tau],
+                total: vec![0.0; tau],
+            },
+            count: 0,
+        }
+    }
+
+    /// Adds one forecast's decomposition.
+    pub fn update(&mut self, forecast: &GaussianForecast, sigma_scale: f64, temperature: f32) {
+        let d = horizon_decomposition(forecast, sigma_scale, temperature);
+        for h in 0..self.sums.aleatoric.len() {
+            self.sums.aleatoric[h] += d.aleatoric[h];
+            self.sums.epistemic[h] += d.epistemic[h];
+            self.sums.total[h] += d.total[h];
+        }
+        self.count += 1;
+    }
+
+    /// The mean decomposition.
+    pub fn mean(&self) -> HorizonUncertainty {
+        assert!(self.count > 0, "no forecasts accumulated");
+        let c = self.count as f64;
+        HorizonUncertainty {
+            aleatoric: self.sums.aleatoric.iter().map(|x| x / c).collect(),
+            epistemic: self.sums.epistemic.iter().map(|x| x / c).collect(),
+            total: self.sums.total.iter().map(|x| x / c).collect(),
+        }
+    }
+}
+
+/// Extracts a single sensor's forecast trace with both uncertainty bands —
+/// the data behind Fig. 9.
+#[derive(Clone, Debug)]
+pub struct SensorTrace {
+    /// Point forecast per step (raw scale).
+    pub mu: Vec<f64>,
+    /// Aleatoric σ per step (raw scale, temperature-calibrated).
+    pub sigma_aleatoric: Vec<f64>,
+    /// Epistemic σ per step (raw scale).
+    pub sigma_epistemic: Vec<f64>,
+    /// Total σ per step (raw scale).
+    pub sigma_total: Vec<f64>,
+}
+
+/// Builds a [`SensorTrace`] for sensor `node`; `mu_raw` must already be in
+/// raw units while the forecast variances are normalised.
+pub fn sensor_trace(
+    forecast: &GaussianForecast,
+    mu_raw: &Tensor,
+    node: usize,
+    sigma_scale: f64,
+    temperature: f32,
+) -> SensorTrace {
+    let tau = forecast.mu.cols();
+    assert!(node < forecast.mu.rows(), "sensor index out of range");
+    let var_total = forecast.var_total(temperature);
+    let inv_t2 = 1.0 / (temperature as f64 * temperature as f64);
+    let mut out = SensorTrace {
+        mu: Vec::with_capacity(tau),
+        sigma_aleatoric: Vec::with_capacity(tau),
+        sigma_epistemic: Vec::with_capacity(tau),
+        sigma_total: Vec::with_capacity(tau),
+    };
+    for h in 0..tau {
+        out.mu.push(mu_raw.get(node, h) as f64);
+        out.sigma_aleatoric
+            .push(sigma_scale * (forecast.var_aleatoric.get(node, h) as f64 * inv_t2).sqrt());
+        out.sigma_epistemic
+            .push(sigma_scale * (forecast.var_epistemic.get(node, h) as f64).sqrt());
+        out.sigma_total.push(sigma_scale * (var_total.get(node, h) as f64).sqrt());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_forecast() -> GaussianForecast {
+        // 2 sensors × 3 steps with known variances.
+        GaussianForecast {
+            mu: Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]),
+            var_aleatoric: Tensor::from_vec(vec![1.0, 4.0, 9.0, 1.0, 4.0, 9.0], &[2, 3]),
+            var_epistemic: Tensor::from_vec(vec![0.25; 6], &[2, 3]),
+            n_samples: 5,
+        }
+    }
+
+    #[test]
+    fn decomposition_at_unit_temperature() {
+        let d = horizon_decomposition(&toy_forecast(), 1.0, 1.0);
+        assert!((d.aleatoric[0] - 1.0).abs() < 1e-6);
+        assert!((d.aleatoric[1] - 2.0).abs() < 1e-6);
+        assert!((d.aleatoric[2] - 3.0).abs() < 1e-6);
+        for h in 0..3 {
+            assert!((d.epistemic[h] - 0.5).abs() < 1e-6);
+            // total σ = sqrt(var_a + var_e) ≥ each component.
+            assert!(d.total[h] >= d.aleatoric[h] && d.total[h] >= d.epistemic[h]);
+        }
+    }
+
+    #[test]
+    fn sigma_scale_converts_units() {
+        let d1 = horizon_decomposition(&toy_forecast(), 1.0, 1.0);
+        let d10 = horizon_decomposition(&toy_forecast(), 10.0, 1.0);
+        for h in 0..3 {
+            assert!((d10.total[h] - 10.0 * d1.total[h]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn temperature_shrinks_only_aleatoric() {
+        let d = horizon_decomposition(&toy_forecast(), 1.0, 2.0);
+        assert!((d.aleatoric[0] - 0.5).abs() < 1e-6, "σ_a/T");
+        assert!((d.epistemic[0] - 0.5).abs() < 1e-6, "epistemic untouched");
+    }
+
+    #[test]
+    fn accumulator_averages() {
+        let mut acc = HorizonUncertaintyAccumulator::new(3);
+        acc.update(&toy_forecast(), 1.0, 1.0);
+        acc.update(&toy_forecast(), 3.0, 1.0);
+        let m = acc.mean();
+        // Average of 1× and 3× the same decomposition = 2×.
+        assert!((m.aleatoric[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sensor_trace_extracts_one_row() {
+        let f = toy_forecast();
+        let mu_raw = f.mu.scale(100.0);
+        let t = sensor_trace(&f, &mu_raw, 1, 1.0, 1.0);
+        assert_eq!(t.mu, vec![400.0, 500.0, 600.0]);
+        assert!((t.sigma_aleatoric[2] - 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,120 @@
+//! Validation-based model selection for pre-training.
+//!
+//! The paper trains a fixed 100 epochs; for practical use (and the scaled
+//! harness runs) it is useful to track validation loss and return the best
+//! snapshot, optionally stopping early when no improvement is seen for
+//! `patience` epochs. This stage slots in front of AWA re-training without
+//! changing any of the paper's algorithms.
+
+use crate::config::TrainConfig;
+use crate::trainer::{eval_loss, train_epoch, LossKind};
+use stuq_models::Forecaster;
+use stuq_nn::opt::Adam;
+use stuq_tensor::{StuqRng, Tensor};
+use stuq_traffic::{Split, SplitDataset};
+
+/// Outcome of [`train_with_validation`].
+#[derive(Debug)]
+pub struct ValidatedTraining {
+    /// Per-epoch `(train_loss, val_loss)` history.
+    pub history: Vec<(f64, f64)>,
+    /// Epoch index (0-based) whose weights were kept.
+    pub best_epoch: usize,
+    /// Validation loss of the kept weights.
+    pub best_val_loss: f64,
+    /// True when training stopped before `cfg.epochs`.
+    pub stopped_early: bool,
+}
+
+/// Trains like [`crate::trainer::train`] but evaluates the validation split
+/// after every epoch (with stride `val_stride`), restores the best-validation
+/// weights at the end, and stops after `patience` epochs without improvement
+/// (`patience == 0` disables early stopping but still restores the best).
+pub fn train_with_validation(
+    model: &mut dyn Forecaster,
+    ds: &SplitDataset,
+    cfg: &TrainConfig,
+    kind: LossKind,
+    patience: usize,
+    val_stride: usize,
+    rng: &mut StuqRng,
+) -> ValidatedTraining {
+    let mut opt = Adam::new(cfg.lr, cfg.weight_decay);
+    let mut history = Vec::with_capacity(cfg.epochs);
+    let mut best: Option<(usize, f64, Vec<Tensor>)> = None;
+    let mut since_best = 0usize;
+    let mut stopped_early = false;
+
+    for epoch in 0..cfg.epochs {
+        let train_loss =
+            train_epoch(model, ds, cfg.batch_size, kind, &mut opt, cfg.grad_clip, rng, None);
+        let val_loss = eval_loss(model, ds, Split::Val, kind, val_stride, rng);
+        history.push((train_loss, val_loss));
+        let improved = best.as_ref().is_none_or(|(_, b, _)| val_loss < *b);
+        if improved {
+            best = Some((epoch, val_loss, model.params().snapshot()));
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if patience > 0 && since_best >= patience {
+                stopped_early = true;
+                break;
+            }
+        }
+    }
+    let (best_epoch, best_val_loss, snapshot) = best.expect("at least one epoch ran");
+    model.params_mut().load_snapshot(&snapshot);
+    ValidatedTraining { history, best_epoch, best_val_loss, stopped_early }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stuq_models::{Agcrn, AgcrnConfig};
+    use stuq_traffic::Preset;
+
+    fn setup(seed: u64) -> (SplitDataset, Agcrn, StuqRng) {
+        let ds = Preset::Pems08Like.spec().scaled(0.08, 0.02).generate(seed);
+        let mut rng = StuqRng::new(seed);
+        let cfg = AgcrnConfig::new(ds.n_nodes(), ds.horizon())
+            .with_capacity(10, 3, 1)
+            .with_dropout(0.0, 0.0);
+        let model = Agcrn::new(cfg, &mut rng);
+        (ds, model, rng)
+    }
+
+    #[test]
+    fn keeps_the_best_validation_snapshot() {
+        let (ds, mut model, mut rng) = setup(71);
+        let cfg = TrainConfig { epochs: 3, batch_size: 8, ..Default::default() };
+        let kind = LossKind::Combined { lambda: 0.1 };
+        let out = train_with_validation(&mut model, &ds, &cfg, kind, 0, 13, &mut rng);
+        assert_eq!(out.history.len(), 3);
+        assert!(out.best_epoch < 3);
+        // The restored weights reproduce the recorded best val loss.
+        let val_now = eval_loss(&model, &ds, Split::Val, kind, 13, &mut rng);
+        assert!(
+            (val_now - out.best_val_loss).abs() < 1e-9,
+            "restored {val_now} vs recorded {}",
+            out.best_val_loss
+        );
+        // And it is the minimum of the history.
+        let min_hist =
+            out.history.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
+        assert!((out.best_val_loss - min_hist).abs() < 1e-12);
+    }
+
+    #[test]
+    fn patience_stops_training() {
+        // With patience 1, training can never run more than
+        // best_epoch + 2 epochs.
+        let (ds, mut model, mut rng) = setup(72);
+        let cfg = TrainConfig { epochs: 6, batch_size: 8, ..Default::default() };
+        let kind = LossKind::Combined { lambda: 0.1 };
+        let out = train_with_validation(&mut model, &ds, &cfg, kind, 1, 13, &mut rng);
+        assert!(out.history.len() <= out.best_epoch + 2);
+        if out.history.len() < 6 {
+            assert!(out.stopped_early);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Saving and loading trained DeepSTUQ models.
+//!
+//! The on-disk format is a plain-text header (architecture + temperature)
+//! followed by the bit-exact parameter blob of
+//! [`stuq_nn::serialize`]. Loading reconstructs the architecture, then
+//! validates every parameter name and shape against it, so a file from a
+//! different architecture fails loudly instead of silently mis-loading.
+
+use crate::pipeline::DeepStuq;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use stuq_models::{Agcrn, AgcrnConfig, Forecaster, HeadKind};
+use stuq_nn::serialize::{load_into, read_params, write_params};
+use stuq_tensor::StuqRng;
+
+const MAGIC: &str = "deepstuq-model v1";
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Writes `model` to `path` (creating parent directories).
+pub fn save_model(model: &DeepStuq, path: impl AsRef<Path>) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    let cfg = model.model().config();
+    writeln!(w, "{MAGIC}")?;
+    writeln!(w, "n_nodes {}", cfg.n_nodes)?;
+    writeln!(w, "horizon {}", cfg.horizon)?;
+    writeln!(w, "hidden {}", cfg.hidden)?;
+    writeln!(w, "embed_dim {}", cfg.embed_dim)?;
+    writeln!(w, "n_layers {}", cfg.n_layers)?;
+    writeln!(w, "encoder_dropout_bits {:08x}", cfg.encoder_dropout.to_bits())?;
+    writeln!(w, "decoder_dropout_bits {:08x}", cfg.decoder_dropout.to_bits())?;
+    let head = match cfg.head {
+        HeadKind::Point => "point",
+        HeadKind::Gaussian => "gaussian",
+        HeadKind::Quantile => "quantile",
+    };
+    writeln!(w, "head {head}")?;
+    writeln!(w, "temperature_bits {:08x}", model.temperature().to_bits())?;
+    writeln!(w, "mc_samples {}", model.mc_samples())?;
+    write_params(model.model().params(), &mut w)
+}
+
+/// Loads a model written by [`save_model`].
+pub fn load_model(path: impl AsRef<Path>) -> io::Result<DeepStuq> {
+    let mut r = BufReader::new(std::fs::File::open(path.as_ref())?);
+    let mut line = String::new();
+    let mut next = |r: &mut BufReader<std::fs::File>| -> io::Result<String> {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return Err(bad("unexpected end of file"));
+        }
+        Ok(line.trim().to_string())
+    };
+    if next(&mut r)? != MAGIC {
+        return Err(bad("not a deepstuq-model file"));
+    }
+    let mut field = |r: &mut BufReader<std::fs::File>, key: &str| -> io::Result<String> {
+        let l = next(r)?;
+        l.strip_prefix(key)
+            .map(|s| s.trim().to_string())
+            .ok_or_else(|| bad(format!("expected field {key:?}, got {l:?}")))
+    };
+    let n_nodes: usize = field(&mut r, "n_nodes")?.parse().map_err(|_| bad("bad n_nodes"))?;
+    let horizon: usize = field(&mut r, "horizon")?.parse().map_err(|_| bad("bad horizon"))?;
+    let hidden: usize = field(&mut r, "hidden")?.parse().map_err(|_| bad("bad hidden"))?;
+    let embed_dim: usize = field(&mut r, "embed_dim")?.parse().map_err(|_| bad("bad embed_dim"))?;
+    let n_layers: usize = field(&mut r, "n_layers")?.parse().map_err(|_| bad("bad n_layers"))?;
+    let enc_bits = u32::from_str_radix(&field(&mut r, "encoder_dropout_bits")?, 16)
+        .map_err(|_| bad("bad encoder_dropout_bits"))?;
+    let dec_bits = u32::from_str_radix(&field(&mut r, "decoder_dropout_bits")?, 16)
+        .map_err(|_| bad("bad decoder_dropout_bits"))?;
+    let head = match field(&mut r, "head")?.as_str() {
+        "point" => HeadKind::Point,
+        "gaussian" => HeadKind::Gaussian,
+        "quantile" => HeadKind::Quantile,
+        other => return Err(bad(format!("unknown head kind {other:?}"))),
+    };
+    let t_bits = u32::from_str_radix(&field(&mut r, "temperature_bits")?, 16)
+        .map_err(|_| bad("bad temperature_bits"))?;
+    let mc_samples: usize =
+        field(&mut r, "mc_samples")?.parse().map_err(|_| bad("bad mc_samples"))?;
+
+    let cfg = AgcrnConfig::new(n_nodes, horizon)
+        .with_capacity(hidden, embed_dim, n_layers)
+        .with_dropout(f32::from_bits(enc_bits), f32::from_bits(dec_bits))
+        .with_head(head);
+    // Parameter values are immediately overwritten; the seed is irrelevant.
+    let mut model = Agcrn::new(cfg, &mut StuqRng::new(0));
+    let entries = read_params(&mut r)?;
+    load_into(model.params_mut(), &entries)?;
+    let temperature = f32::from_bits(t_bits);
+    if !(temperature.is_finite() && temperature > 0.0) {
+        return Err(bad(format!("invalid temperature {temperature}")));
+    }
+    Ok(DeepStuq::from_parts(model, temperature, mc_samples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::DeepStuqConfig;
+    use stuq_traffic::{Preset, Split};
+
+    #[test]
+    fn save_load_roundtrip_preserves_predictions() {
+        let ds = Preset::Pems08Like.spec().scaled(0.08, 0.02).generate(55);
+        let cfg = DeepStuqConfig::fast_demo(ds.n_nodes(), ds.horizon());
+        let model = crate::pipeline::DeepStuq::train(&ds, cfg, 55);
+
+        let dir = std::env::temp_dir().join("deepstuq_io_test");
+        let path = dir.join("model.stuq");
+        save_model(&model, &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+
+        assert_eq!(loaded.temperature().to_bits(), model.temperature().to_bits());
+        assert_eq!(loaded.mc_samples(), model.mc_samples());
+
+        // Deterministic predictions must agree bit-for-bit.
+        let w = ds.window(ds.window_starts(Split::Test)[0]);
+        let mut r1 = StuqRng::new(9);
+        let mut r2 = StuqRng::new(9);
+        let f1 = model.predict_with_samples(&w.x, ds.scaler(), 1, &mut r1);
+        let f2 = loaded.predict_with_samples(&w.x, ds.scaler(), 1, &mut r2);
+        assert_eq!(f1.mu.data(), f2.mu.data());
+        assert_eq!(f1.sigma_total.data(), f2.sigma_total.data());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loading_garbage_fails() {
+        let dir = std::env::temp_dir().join("deepstuq_io_test_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.stuq");
+        std::fs::write(&path, "not a model").unwrap();
+        assert!(load_model(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,224 @@
+//! Monte-Carlo dropout inference and uncertainty combination (Eq. 19).
+
+use stuq_models::{Forecaster, Prediction};
+use stuq_nn::layers::FwdCtx;
+use stuq_nn::loss::{LOGVAR_MAX, LOGVAR_MIN};
+use stuq_tensor::{StuqRng, Tape, Tensor};
+
+/// The result of Monte-Carlo inference, in *normalised* units.
+///
+/// The decomposition follows paper Eq. 7 / Eq. 19: aleatoric variance is the
+/// MC average of the per-sample predicted variances; epistemic variance is
+/// the sample variance of the per-sample predicted means.
+#[derive(Clone, Debug)]
+pub struct GaussianForecast {
+    /// Predictive mean `μ̂` (Eq. 19a), shape `[N, τ]`.
+    pub mu: Tensor,
+    /// Mean aleatoric variance (before temperature scaling), `[N, τ]`.
+    pub var_aleatoric: Tensor,
+    /// Epistemic variance (unbiased across MC samples; zero for a single
+    /// deterministic pass), `[N, τ]`.
+    pub var_epistemic: Tensor,
+    /// Number of Monte-Carlo samples used.
+    pub n_samples: usize,
+}
+
+impl GaussianForecast {
+    /// Total predictive variance under temperature `t` (Eq. 19b):
+    /// `σ̂² = σ²_aleatoric / T² + σ²_epistemic`.
+    ///
+    /// The paper's Eq. 19b prints `1/T`; we use `1/T²`, which is what the
+    /// calibration objective (Eq. 17–18, scaling `σ → σ/T`) implies for the
+    /// variance. See EXPERIMENTS.md.
+    pub fn var_total(&self, t: f32) -> Tensor {
+        assert!(t > 0.0, "temperature must be positive");
+        let inv_t2 = 1.0 / (t * t);
+        self.var_aleatoric.scale(inv_t2).add(&self.var_epistemic)
+    }
+
+    /// Total predictive standard deviation under temperature `t`.
+    pub fn sigma_total(&self, t: f32) -> Tensor {
+        self.var_total(t).map(f32::sqrt)
+    }
+}
+
+fn clamped_var(logvar: &Tensor) -> Tensor {
+    logvar.map(|lv| lv.clamp(LOGVAR_MIN, LOGVAR_MAX).exp())
+}
+
+/// Runs `n_samples` stochastic forward passes (`n_samples == 1` runs a single
+/// deterministic pass — the `DeepSTUQ/S` mode of Table III).
+///
+/// Works with Gaussian heads (aleatoric + epistemic) and point heads
+/// (epistemic only — the MCDO / FGE baselines).
+pub fn mc_forecast(
+    model: &dyn Forecaster,
+    x: &Tensor,
+    n_samples: usize,
+    rng: &mut StuqRng,
+) -> GaussianForecast {
+    mc_forecast_with_cov(model, x, None, n_samples, rng)
+}
+
+/// [`mc_forecast`] with optional exogenous covariates (`[t_h, c]`).
+pub fn mc_forecast_with_cov(
+    model: &dyn Forecaster,
+    x: &Tensor,
+    cov: Option<&Tensor>,
+    n_samples: usize,
+    rng: &mut StuqRng,
+) -> GaussianForecast {
+    assert!(n_samples >= 1, "need at least one sample");
+    let shape = [model.n_nodes(), model.horizon()];
+    let mut mean = Tensor::zeros(&shape);
+    let mut mean_sq = Tensor::zeros(&shape);
+    let mut var_sum = Tensor::zeros(&shape);
+    for _ in 0..n_samples {
+        let mut tape = Tape::new();
+        let mut ctx = if n_samples == 1 { FwdCtx::eval(rng) } else { FwdCtx::mc_sample(rng) };
+        let pred = model.forward_with_cov(&mut tape, x, cov, &mut ctx);
+        let mu_j = tape.value(pred.point()).clone();
+        if let Prediction::Gaussian { logvar, .. } = pred {
+            var_sum.add_assign(&clamped_var(tape.value(logvar)));
+        }
+        mean_sq.add_assign(&mu_j.mul(&mu_j));
+        mean.add_assign(&mu_j);
+    }
+    let inv_n = 1.0 / n_samples as f32;
+    mean = mean.scale(inv_n);
+    let var_aleatoric = var_sum.scale(inv_n);
+    // Unbiased sample variance of the means (Eq. 19b, second term).
+    let var_epistemic = if n_samples > 1 {
+        let correction = n_samples as f32 / (n_samples as f32 - 1.0);
+        mean_sq.scale(inv_n).sub(&mean.mul(&mean)).scale(correction).map(|v| v.max(0.0))
+    } else {
+        Tensor::zeros(&shape)
+    };
+    GaussianForecast { mu: mean, var_aleatoric, var_epistemic, n_samples }
+}
+
+/// Ensemble combination for snapshot ensembles (FGE): runs one deterministic
+/// pass per snapshot loaded into `model` by the caller-provided loader.
+///
+/// Returns the same decomposition as [`mc_forecast`], with the across-model
+/// variance playing the epistemic role.
+pub fn ensemble_forecast<M: Forecaster>(
+    model: &mut M,
+    snapshots: &[Vec<Tensor>],
+    x: &Tensor,
+    rng: &mut StuqRng,
+) -> GaussianForecast {
+    assert!(!snapshots.is_empty(), "need at least one snapshot");
+    let shape = [model.n_nodes(), model.horizon()];
+    let mut mean = Tensor::zeros(&shape);
+    let mut mean_sq = Tensor::zeros(&shape);
+    let mut var_sum = Tensor::zeros(&shape);
+    let n = snapshots.len();
+    for snap in snapshots {
+        model.params_mut().load_snapshot(snap);
+        let mut tape = Tape::new();
+        let mut ctx = FwdCtx::eval(rng);
+        let pred = model.forward(&mut tape, x, &mut ctx);
+        let mu_j = tape.value(pred.point()).clone();
+        if let Prediction::Gaussian { logvar, .. } = pred {
+            var_sum.add_assign(&clamped_var(tape.value(logvar)));
+        }
+        mean_sq.add_assign(&mu_j.mul(&mu_j));
+        mean.add_assign(&mu_j);
+    }
+    let inv_n = 1.0 / n as f32;
+    mean = mean.scale(inv_n);
+    let var_epistemic = if n > 1 {
+        let correction = n as f32 / (n as f32 - 1.0);
+        mean_sq.scale(inv_n).sub(&mean.mul(&mean)).scale(correction).map(|v| v.max(0.0))
+    } else {
+        Tensor::zeros(&shape)
+    };
+    GaussianForecast { mu: mean, var_aleatoric: var_sum.scale(inv_n), var_epistemic, n_samples: n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stuq_models::{Agcrn, AgcrnConfig, HeadKind};
+
+    fn model_with_dropout(head: HeadKind, p: f32, rng: &mut StuqRng) -> Agcrn {
+        let cfg = AgcrnConfig::new(5, 3).with_capacity(8, 3, 1).with_dropout(p, p).with_head(head);
+        Agcrn::new(cfg, rng)
+    }
+
+    #[test]
+    fn single_sample_is_deterministic_with_zero_epistemic() {
+        let mut rng = StuqRng::new(1);
+        let model = model_with_dropout(HeadKind::Gaussian, 0.3, &mut rng);
+        let x = Tensor::randn(&[6, 5], 1.0, &mut rng);
+        let f1 = mc_forecast(&model, &x, 1, &mut rng);
+        let f2 = mc_forecast(&model, &x, 1, &mut rng);
+        assert_eq!(f1.mu.data(), f2.mu.data(), "n=1 disables dropout");
+        assert_eq!(f1.var_epistemic.sum(), 0.0);
+        assert!(f1.var_aleatoric.min() > 0.0);
+    }
+
+    #[test]
+    fn mc_sampling_produces_positive_epistemic_variance() {
+        let mut rng = StuqRng::new(2);
+        let model = model_with_dropout(HeadKind::Gaussian, 0.3, &mut rng);
+        let x = Tensor::randn(&[6, 5], 1.0, &mut rng);
+        let f = mc_forecast(&model, &x, 8, &mut rng);
+        assert!(f.var_epistemic.mean() > 0.0, "dropout must create spread");
+        assert!(f.var_epistemic.min() >= 0.0);
+    }
+
+    #[test]
+    fn point_head_yields_epistemic_only() {
+        let mut rng = StuqRng::new(3);
+        let model = model_with_dropout(HeadKind::Point, 0.3, &mut rng);
+        let x = Tensor::randn(&[6, 5], 1.0, &mut rng);
+        let f = mc_forecast(&model, &x, 6, &mut rng);
+        assert_eq!(f.var_aleatoric.sum(), 0.0);
+        assert!(f.var_epistemic.mean() > 0.0);
+    }
+
+    #[test]
+    fn temperature_scales_only_aleatoric_part() {
+        let mut rng = StuqRng::new(4);
+        let model = model_with_dropout(HeadKind::Gaussian, 0.3, &mut rng);
+        let x = Tensor::randn(&[6, 5], 1.0, &mut rng);
+        let f = mc_forecast(&model, &x, 8, &mut rng);
+        let v1 = f.var_total(1.0);
+        let v2 = f.var_total(2.0);
+        // At T=2 the aleatoric part shrinks by 4×; epistemic unchanged.
+        let expect = f.var_aleatoric.scale(0.25).add(&f.var_epistemic);
+        for (a, b) in v2.data().iter().zip(expect.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        assert!(v1.mean() > v2.mean());
+    }
+
+    #[test]
+    fn more_samples_stabilise_the_mean() {
+        // The MC mean at n=16 from two different RNG streams should agree
+        // more closely than at n=2 (Fig. 11's mechanism).
+        let mut rng = StuqRng::new(5);
+        let model = model_with_dropout(HeadKind::Gaussian, 0.4, &mut rng);
+        let x = Tensor::randn(&[6, 5], 1.0, &mut rng);
+        let spread = |n: usize| {
+            let mut r1 = StuqRng::new(100);
+            let mut r2 = StuqRng::new(200);
+            let f1 = mc_forecast(&model, &x, n, &mut r1);
+            let f2 = mc_forecast(&model, &x, n, &mut r2);
+            f1.mu.sub(&f2.mu).norm()
+        };
+        assert!(spread(32) < spread(2), "MC mean must concentrate with more samples");
+    }
+
+    #[test]
+    fn ensemble_variance_zero_for_identical_snapshots() {
+        let mut rng = StuqRng::new(6);
+        let mut model = model_with_dropout(HeadKind::Point, 0.0, &mut rng);
+        let snap = model.params().snapshot();
+        let x = Tensor::randn(&[6, 5], 1.0, &mut rng);
+        let f = ensemble_forecast(&mut model, &[snap.clone(), snap], &x, &mut rng);
+        assert!(f.var_epistemic.max() < 1e-10);
+    }
+}

@@ -1,0 +1,581 @@
+//! The uncertainty-quantification method zoo of Table II.
+//!
+//! Every method shares the same AGCRN base architecture (the paper's "fair
+//! comparison" setup, §V-C2) and differs only in head, dropout regime,
+//! training loss and post-processing:
+//!
+//! | method | head | dropout | loss | post-processing |
+//! |---|---|---|---|---|
+//! | Point | point | off | MAE | — |
+//! | Quantile | 3-quantile | off | pinball | — |
+//! | MVE | Gaussian | off | Eq. 9 | — |
+//! | MCDO | point | on | MAE | MC sampling |
+//! | Combined | Gaussian | on | Eq. 14 | MC sampling |
+//! | TS | Gaussian | off | Eq. 9 | temperature |
+//! | FGE | point | off | MAE | snapshot ensemble |
+//! | Conformal | Gaussian | off | Eq. 9 | locally weighted CP |
+//! | CFRNN | point | off | MAE | per-horizon CP |
+//! | DeepSTUQ/S | Gaussian | on | Eq. 14 | AWA + T, 1 sample |
+//! | DeepSTUQ | Gaussian | on | Eq. 14 | AWA + T, MC sampling |
+
+use crate::awa::awa_retrain;
+use crate::calibrate::calibrate_on_validation;
+use crate::config::{AwaConfig, CalibConfig, TrainConfig};
+use crate::conformal::{Cfrnn, LocallyWeightedConformal};
+use crate::eval::{evaluate, EvalResult, RawForecast};
+use crate::mc::{ensemble_forecast, mc_forecast, GaussianForecast};
+use crate::trainer::{train, train_epoch, LossKind};
+use stuq_models::{Agcrn, AgcrnConfig, Forecaster, HeadKind};
+use stuq_nn::opt::Adam;
+use stuq_nn::sched::CosineSchedule;
+use stuq_tensor::{StuqRng, Tensor};
+use stuq_traffic::{Scaler, Split, SplitDataset};
+
+/// The eleven methods compared in Tables III–IV.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// Deterministic point prediction (the AGCRN baseline).
+    Point,
+    /// Distribution-free quantile regression.
+    Quantile,
+    /// Mean–variance estimation (aleatoric only).
+    Mve,
+    /// Monte-Carlo dropout (epistemic only).
+    Mcdo,
+    /// MC dropout + heteroscedastic head (Kendall & Gal).
+    Combined,
+    /// Temperature scaling on top of MVE.
+    Ts,
+    /// Fast Geometric Ensembling (epistemic only).
+    Fge,
+    /// Locally weighted conformal prediction on top of MVE.
+    Conformal,
+    /// Conformal forecasting RNN (per-horizon, Bonferroni).
+    Cfrnn,
+    /// DeepSTUQ with a single deterministic pass.
+    DeepStuqS,
+    /// Full DeepSTUQ (MC sampling).
+    DeepStuq,
+}
+
+impl Method {
+    /// All methods in the paper's Table IV column order.
+    pub fn all() -> [Method; 11] {
+        [
+            Method::Point,
+            Method::Quantile,
+            Method::Mve,
+            Method::Mcdo,
+            Method::Combined,
+            Method::Ts,
+            Method::Fge,
+            Method::Conformal,
+            Method::Cfrnn,
+            Method::DeepStuqS,
+            Method::DeepStuq,
+        ]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Point => "Point",
+            Method::Quantile => "Quantile",
+            Method::Mve => "MVE",
+            Method::Mcdo => "MCDO",
+            Method::Combined => "Combined",
+            Method::Ts => "TS",
+            Method::Fge => "FGE",
+            Method::Conformal => "Conformal",
+            Method::Cfrnn => "CFRNN",
+            Method::DeepStuqS => "DeepSTUQ/S",
+            Method::DeepStuq => "DeepSTUQ",
+        }
+    }
+
+    /// Paradigm label (Table II).
+    pub fn paradigm(&self) -> &'static str {
+        match self {
+            Method::Point => "deterministic",
+            Method::Quantile | Method::Cfrnn => "distribution-free",
+            Method::Mve | Method::Ts | Method::Conformal => "frequentist",
+            Method::Mcdo | Method::Combined => "Bayesian",
+            Method::Fge => "ensembling",
+            Method::DeepStuqS | Method::DeepStuq => "Bayesian + ensembling",
+        }
+    }
+
+    /// Uncertainty type label (Table II).
+    pub fn uncertainty_type(&self) -> &'static str {
+        match self {
+            Method::Point => "no",
+            Method::Quantile | Method::Mve | Method::Ts | Method::Conformal | Method::Cfrnn => {
+                "aleatoric"
+            }
+            Method::Mcdo | Method::Fge => "epistemic",
+            Method::Combined | Method::DeepStuqS | Method::DeepStuq => "aleatoric + epistemic",
+        }
+    }
+
+    fn head(&self) -> HeadKind {
+        match self {
+            Method::Point | Method::Mcdo | Method::Fge | Method::Cfrnn => HeadKind::Point,
+            Method::Quantile => HeadKind::Quantile,
+            _ => HeadKind::Gaussian,
+        }
+    }
+
+    fn uses_dropout(&self) -> bool {
+        matches!(
+            self,
+            Method::Mcdo | Method::Combined | Method::DeepStuqS | Method::DeepStuq
+        )
+    }
+
+    fn loss(&self, lambda: f32) -> LossKind {
+        match self.head() {
+            HeadKind::Point => LossKind::Mae,
+            HeadKind::Quantile => LossKind::Pinball3,
+            HeadKind::Gaussian => LossKind::Combined { lambda },
+        }
+    }
+}
+
+/// Shared experiment configuration for the method zoo.
+#[derive(Clone, Debug)]
+pub struct MethodConfig {
+    /// Pre-training stage.
+    pub train: TrainConfig,
+    /// AWA stage (DeepSTUQ only).
+    pub awa: AwaConfig,
+    /// Calibration stage (TS and DeepSTUQ).
+    pub calib: CalibConfig,
+    /// MC samples at test time (paper: 10).
+    pub mc_samples: usize,
+    /// FGE snapshots (paper: 10), one per cosine cycle-epoch.
+    pub fge_snapshots: usize,
+    /// Base-model hidden width.
+    pub hidden: usize,
+    /// Base-model embedding dimension.
+    pub embed_dim: usize,
+    /// Base-model recurrent layers.
+    pub n_layers: usize,
+    /// Encoder (graph-conv) dropout for dropout methods.
+    pub encoder_dropout: f32,
+    /// Decoder dropout for dropout methods.
+    pub decoder_dropout: f32,
+    /// Stride over validation windows for conformal/CFRNN fitting.
+    pub val_stride: usize,
+}
+
+impl MethodConfig {
+    /// Paper-faithful settings at full scale.
+    pub fn paper(n_nodes: usize) -> Self {
+        Self {
+            train: TrainConfig::default(),
+            awa: AwaConfig::default(),
+            calib: CalibConfig::default(),
+            mc_samples: 10,
+            fge_snapshots: 10,
+            hidden: 32,
+            embed_dim: 8.min(n_nodes / 2).max(2),
+            n_layers: 2,
+            encoder_dropout: if n_nodes < 200 { 0.05 } else { 0.1 },
+            decoder_dropout: 0.2,
+            val_stride: 1,
+        }
+    }
+
+    /// Scaled-down settings for the experiment harness.
+    pub fn fast(n_nodes: usize, epochs: usize, batch: usize) -> Self {
+        Self {
+            train: TrainConfig::scaled(epochs, batch),
+            awa: AwaConfig::scaled(((epochs / 2).max(1) * 2).min(6), batch),
+            calib: CalibConfig { mc_samples: 5, max_iters: 300, stride: 5 },
+            mc_samples: 5,
+            fge_snapshots: 4,
+            hidden: 16,
+            embed_dim: 6.min(n_nodes / 2).max(2),
+            n_layers: 1,
+            encoder_dropout: 0.05,
+            decoder_dropout: 0.15,
+            val_stride: 5,
+        }
+    }
+
+    fn base_config(&self, method: Method, n_nodes: usize, horizon: usize) -> AgcrnConfig {
+        let (enc, dec) = if method.uses_dropout() {
+            (self.encoder_dropout, self.decoder_dropout)
+        } else {
+            (0.0, 0.0)
+        };
+        AgcrnConfig::new(n_nodes, horizon)
+            .with_capacity(self.hidden, self.embed_dim, self.n_layers)
+            .with_dropout(enc, dec)
+            .with_head(method.head())
+    }
+}
+
+/// A trained instance of one method, ready for evaluation.
+pub struct TrainedMethod {
+    method: Method,
+    cfg: MethodConfig,
+    model: Agcrn,
+    temperature: f32,
+    conformal: Option<LocallyWeightedConformal>,
+    cfrnn: Option<Cfrnn>,
+    snapshots: Option<Vec<Vec<Tensor>>>,
+    rng: StuqRng,
+}
+
+impl TrainedMethod {
+    /// Trains `method` on the dataset's training split (plus whichever
+    /// validation-split post-processing the method requires).
+    pub fn train(method: Method, ds: &SplitDataset, cfg: MethodConfig, seed: u64) -> Self {
+        let mut rng = StuqRng::new(seed);
+        let base = cfg.base_config(method, ds.n_nodes(), ds.horizon());
+        let mut model = Agcrn::new(base, &mut rng);
+        let kind = method.loss(cfg.train.lambda);
+        let _ = train(&mut model, ds, &cfg.train, kind, &mut rng);
+
+        let mut temperature = 1.0f32;
+        let mut conformal = None;
+        let mut cfrnn = None;
+        let mut snapshots = None;
+
+        match method {
+            Method::DeepStuqS | Method::DeepStuq => {
+                let _ = awa_retrain(&mut model, ds, &cfg.awa, kind, cfg.train.weight_decay, &mut rng);
+                temperature = calibrate_on_validation(&model, ds, &cfg.calib, &mut rng);
+            }
+            Method::Ts => {
+                // TS calibrates the *deterministic* MVE variance.
+                let c = CalibConfig { mc_samples: 1, ..cfg.calib };
+                temperature = calibrate_on_validation(&model, ds, &c, &mut rng);
+            }
+            Method::Conformal => {
+                conformal = Some(fit_conformal(&model, ds, cfg.val_stride, &mut rng));
+            }
+            Method::Cfrnn => {
+                cfrnn = Some(fit_cfrnn(&model, ds, cfg.val_stride, &mut rng));
+            }
+            Method::Fge => {
+                snapshots = Some(fge_snapshots(&mut model, ds, &cfg, kind, &mut rng));
+            }
+            _ => {}
+        }
+
+        Self { method, cfg, model, temperature, conformal, cfrnn, snapshots, rng }
+    }
+
+    /// The method this instance implements.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// Fitted temperature (1.0 unless the method calibrates).
+    pub fn temperature(&self) -> f32 {
+        self.temperature
+    }
+
+    /// Raw-scale forecast for one normalised window.
+    pub fn forecast(&mut self, x: &Tensor, scaler: &Scaler) -> RawForecast {
+        let std = scaler.std() as f32;
+        match self.method {
+            Method::Point => {
+                let f = mc_forecast(&self.model, x, 1, &mut self.rng);
+                RawForecast { mu: raw_mu(&f, scaler), sigma: None, bounds: None }
+            }
+            Method::Quantile => self.quantile_forecast(x, scaler),
+            Method::Mve => {
+                let f = mc_forecast(&self.model, x, 1, &mut self.rng);
+                let sigma = f.var_aleatoric.map(|v| v.max(0.0).sqrt() * std);
+                RawForecast { mu: raw_mu(&f, scaler), sigma: Some(sigma), bounds: None }
+            }
+            Method::Mcdo | Method::Combined => {
+                let f = mc_forecast(&self.model, x, self.cfg.mc_samples, &mut self.rng);
+                let sigma = f.sigma_total(1.0).scale(std);
+                RawForecast { mu: raw_mu(&f, scaler), sigma: Some(sigma), bounds: None }
+            }
+            Method::Ts => {
+                let f = mc_forecast(&self.model, x, 1, &mut self.rng);
+                let t = self.temperature;
+                let sigma = f.var_aleatoric.map(|v| v.max(0.0).sqrt() / t * std);
+                RawForecast { mu: raw_mu(&f, scaler), sigma: Some(sigma), bounds: None }
+            }
+            Method::Fge => {
+                let snaps = self.snapshots.as_ref().expect("FGE has snapshots").clone();
+                let f = ensemble_forecast(&mut self.model, &snaps, x, &mut self.rng);
+                let sigma = f.var_epistemic.map(|v| v.max(0.0).sqrt() * std);
+                RawForecast { mu: raw_mu(&f, scaler), sigma: Some(sigma), bounds: None }
+            }
+            Method::Conformal => {
+                let f = mc_forecast(&self.model, x, 1, &mut self.rng);
+                let mu = raw_mu(&f, scaler);
+                let sigma = f.var_aleatoric.map(|v| v.max(0.0).sqrt() * std);
+                let cp = self.conformal.as_ref().expect("conformal fitted");
+                let mut lo = mu.clone();
+                let mut hi = mu.clone();
+                for i in 0..mu.len() {
+                    let (l, h) =
+                        cp.interval(mu.data()[i] as f64, sigma.data()[i] as f64);
+                    lo.data_mut()[i] = l as f32;
+                    hi.data_mut()[i] = h as f32;
+                }
+                RawForecast { mu, sigma: Some(sigma), bounds: Some((lo, hi)) }
+            }
+            Method::Cfrnn => {
+                let f = mc_forecast(&self.model, x, 1, &mut self.rng);
+                let mu = raw_mu(&f, scaler);
+                let cf = self.cfrnn.as_ref().expect("cfrnn fitted");
+                let (n, tau) = (mu.rows(), mu.cols());
+                let mut lo = mu.clone();
+                let mut hi = mu.clone();
+                for i in 0..n {
+                    for h in 0..tau {
+                        let (l, u) = cf.interval(h, mu.get(i, h) as f64);
+                        lo.set(i, h, l as f32);
+                        hi.set(i, h, u as f32);
+                    }
+                }
+                RawForecast { mu, sigma: None, bounds: Some((lo, hi)) }
+            }
+            Method::DeepStuqS => {
+                let f = mc_forecast(&self.model, x, 1, &mut self.rng);
+                let sigma = f.sigma_total(self.temperature).scale(std);
+                RawForecast { mu: raw_mu(&f, scaler), sigma: Some(sigma), bounds: None }
+            }
+            Method::DeepStuq => {
+                let f = mc_forecast(&self.model, x, self.cfg.mc_samples, &mut self.rng);
+                let sigma = f.sigma_total(self.temperature).scale(std);
+                RawForecast { mu: raw_mu(&f, scaler), sigma: Some(sigma), bounds: None }
+            }
+        }
+    }
+
+    fn quantile_forecast(&mut self, x: &Tensor, scaler: &Scaler) -> RawForecast {
+        use stuq_models::Prediction;
+        use stuq_nn::layers::FwdCtx;
+        let mut tape = stuq_tensor::Tape::new();
+        let mut ctx = FwdCtx::eval(&mut self.rng);
+        let pred = self.model.forward(&mut tape, x, &mut ctx);
+        let Prediction::Quantiles { lo, mid, hi } = pred else {
+            panic!("quantile method requires a quantile head")
+        };
+        let inv = |t: &Tensor| t.map(|v| scaler.inverse(v));
+        let lo_r = inv(tape.value(lo));
+        let hi_r = inv(tape.value(hi));
+        // Quantile crossing can occur; repair by sorting the pair.
+        let lo_fixed = lo_r.zip(&hi_r, f32::min);
+        let hi_fixed = lo_r.zip(&hi_r, f32::max);
+        RawForecast {
+            mu: inv(tape.value(mid)),
+            sigma: None,
+            bounds: Some((lo_fixed, hi_fixed)),
+        }
+    }
+
+    /// Evaluates the trained method over a split.
+    pub fn evaluate(&mut self, ds: &SplitDataset, split: Split, stride: usize) -> EvalResult {
+        let scaler = *ds.scaler();
+        // Borrow-splitting: evaluation calls `self.forecast` per window.
+        let this = self;
+        evaluate(ds, split, stride, move |x, _| this.forecast(x, &scaler))
+    }
+}
+
+fn raw_mu(f: &GaussianForecast, scaler: &Scaler) -> Tensor {
+    f.mu.map(|v| scaler.inverse(v))
+}
+
+fn fit_conformal(
+    model: &Agcrn,
+    ds: &SplitDataset,
+    stride: usize,
+    rng: &mut StuqRng,
+) -> LocallyWeightedConformal {
+    let std = ds.scaler().std() as f32;
+    let mut triples = Vec::new();
+    for &s in ds.window_starts(Split::Val).iter().step_by(stride.max(1)) {
+        let w = ds.window(s);
+        let f = mc_forecast(model, &w.x, 1, rng);
+        let mu = raw_mu(&f, ds.scaler());
+        let sigma = f.var_aleatoric.map(|v| v.max(0.0).sqrt() * std);
+        let (n, tau) = (mu.rows(), mu.cols());
+        for i in 0..n {
+            for h in 0..tau {
+                triples.push((
+                    w.y_raw.get(h, i) as f64,
+                    mu.get(i, h) as f64,
+                    sigma.get(i, h) as f64,
+                ));
+            }
+        }
+    }
+    LocallyWeightedConformal::fit(triples, 0.05)
+}
+
+fn fit_cfrnn(model: &Agcrn, ds: &SplitDataset, stride: usize, rng: &mut StuqRng) -> Cfrnn {
+    let mut residuals = Vec::new();
+    for &s in ds.window_starts(Split::Val).iter().step_by(stride.max(1)) {
+        let w = ds.window(s);
+        let f = mc_forecast(model, &w.x, 1, rng);
+        let mu = raw_mu(&f, ds.scaler());
+        let (n, tau) = (mu.rows(), mu.cols());
+        for i in 0..n {
+            for h in 0..tau {
+                residuals.push((h, (w.y_raw.get(h, i) - mu.get(i, h)) as f64));
+            }
+        }
+    }
+    Cfrnn::fit(residuals, ds.horizon(), 0.05)
+}
+
+/// FGE: one cosine cycle per snapshot epoch, snapshotting at each minimum.
+fn fge_snapshots(
+    model: &mut Agcrn,
+    ds: &SplitDataset,
+    cfg: &MethodConfig,
+    kind: LossKind,
+    rng: &mut StuqRng,
+) -> Vec<Vec<Tensor>> {
+    let n_iters = ds
+        .window_starts(Split::Train)
+        .len()
+        .div_ceil(cfg.train.batch_size)
+        .max(1);
+    let mut opt = Adam::new(cfg.awa.lr_max, cfg.train.weight_decay);
+    let mut snaps = Vec::with_capacity(cfg.fge_snapshots);
+    for _ in 0..cfg.fge_snapshots {
+        let sched = CosineSchedule::new(cfg.awa.lr_max, cfg.awa.lr_min, n_iters);
+        let mut hook = |it: usize| sched.lr_at(it);
+        let _ = train_epoch(
+            model,
+            ds,
+            cfg.train.batch_size,
+            kind,
+            &mut opt,
+            cfg.train.grad_clip,
+            rng,
+            Some(&mut hook),
+        );
+        snaps.push(model.params().snapshot());
+    }
+    snaps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stuq_traffic::Preset;
+
+    fn tiny_ds(seed: u64) -> SplitDataset {
+        Preset::Pems08Like.spec().scaled(0.08, 0.02).generate(seed)
+    }
+
+    #[test]
+    fn table2_metadata_is_complete() {
+        for m in Method::all() {
+            assert!(!m.name().is_empty());
+            assert!(!m.paradigm().is_empty());
+            assert!(!m.uncertainty_type().is_empty());
+        }
+        assert_eq!(Method::DeepStuq.paradigm(), "Bayesian + ensembling");
+        assert_eq!(Method::Mcdo.uncertainty_type(), "epistemic");
+    }
+
+    #[test]
+    fn point_method_has_no_uq_metrics() {
+        let ds = tiny_ds(41);
+        let cfg = MethodConfig::fast(ds.n_nodes(), 1, 8);
+        let mut tm = TrainedMethod::train(Method::Point, &ds, cfg, 41);
+        let r = tm.evaluate(&ds, Split::Test, 9);
+        assert!(r.uq.is_none());
+        assert!(r.point.mae.is_finite() && r.point.mae > 0.0);
+    }
+
+    #[test]
+    fn mve_and_ts_produce_gaussian_uq() {
+        let ds = tiny_ds(42);
+        let cfg = MethodConfig::fast(ds.n_nodes(), 1, 8);
+        let mut mve = TrainedMethod::train(Method::Mve, &ds, cfg.clone(), 42);
+        let r = mve.evaluate(&ds, Split::Test, 9);
+        let uq = r.uq.expect("MVE has UQ");
+        assert!(uq.mnll.is_finite());
+        assert!((0.0..=100.0).contains(&uq.picp));
+        assert!(uq.mpiw > 0.0);
+
+        let mut ts = TrainedMethod::train(Method::Ts, &ds, cfg, 42);
+        assert!(ts.temperature() > 0.0 && (ts.temperature() - 1.0).abs() > 1e-6);
+        let r2 = ts.evaluate(&ds, Split::Test, 9);
+        assert!(r2.uq.unwrap().mnll.is_finite());
+    }
+
+    #[test]
+    fn mcdo_underestimates_variance_relative_to_mve() {
+        // The paper's headline qualitative finding: epistemic-only methods
+        // (MCDO) produce far narrower intervals than aleatoric-aware ones.
+        let ds = tiny_ds(43);
+        let cfg = MethodConfig::fast(ds.n_nodes(), 1, 8);
+        let mut mcdo = TrainedMethod::train(Method::Mcdo, &ds, cfg.clone(), 43);
+        let mut mve = TrainedMethod::train(Method::Mve, &ds, cfg, 43);
+        let r_mcdo = mcdo.evaluate(&ds, Split::Test, 9);
+        let r_mve = mve.evaluate(&ds, Split::Test, 9);
+        let (u1, u2) = (r_mcdo.uq.unwrap(), r_mve.uq.unwrap());
+        assert!(
+            u1.mpiw < u2.mpiw,
+            "MCDO width {:.2} should be below MVE width {:.2}",
+            u1.mpiw,
+            u2.mpiw
+        );
+        assert!(u1.picp < u2.picp, "MCDO must under-cover relative to MVE");
+    }
+
+    #[test]
+    fn conformal_reaches_nominal_coverage() {
+        let ds = tiny_ds(44);
+        let mut cfg = MethodConfig::fast(ds.n_nodes(), 1, 8);
+        cfg.val_stride = 2;
+        let mut cp = TrainedMethod::train(Method::Conformal, &ds, cfg, 44);
+        let r = cp.evaluate(&ds, Split::Test, 5);
+        let uq = r.uq.unwrap();
+        // Finite-sample guarantee is on calibration-exchangeable data; allow
+        // slack for distribution drift across splits.
+        assert!(uq.picp > 88.0, "conformal PICP {:.1} too low", uq.picp);
+    }
+
+    #[test]
+    fn cfrnn_bounds_and_no_mnll() {
+        let ds = tiny_ds(45);
+        let mut cfg = MethodConfig::fast(ds.n_nodes(), 1, 8);
+        cfg.val_stride = 2;
+        let mut cf = TrainedMethod::train(Method::Cfrnn, &ds, cfg, 45);
+        let r = cf.evaluate(&ds, Split::Test, 5);
+        let uq = r.uq.unwrap();
+        assert!(uq.mnll.is_nan(), "CFRNN is distribution-free: MNLL undefined");
+        assert!(uq.picp > 85.0, "Bonferroni CFRNN should over-cover, got {:.1}", uq.picp);
+    }
+
+    #[test]
+    fn fge_builds_requested_snapshot_count() {
+        let ds = tiny_ds(46);
+        let mut cfg = MethodConfig::fast(ds.n_nodes(), 1, 8);
+        cfg.fge_snapshots = 3;
+        let mut fge = TrainedMethod::train(Method::Fge, &ds, cfg, 46);
+        assert_eq!(fge.snapshots.as_ref().unwrap().len(), 3);
+        let r = fge.evaluate(&ds, Split::Test, 9);
+        assert!(r.uq.unwrap().mpiw > 0.0);
+    }
+
+    #[test]
+    fn deepstuq_full_beats_its_own_interval_sanity() {
+        let ds = tiny_ds(47);
+        let cfg = MethodConfig::fast(ds.n_nodes(), 1, 8);
+        let mut m = TrainedMethod::train(Method::DeepStuq, &ds, cfg, 47);
+        assert!(m.temperature() > 0.0);
+        let r = m.evaluate(&ds, Split::Test, 9);
+        let uq = r.uq.unwrap();
+        assert!(uq.mnll.is_finite());
+        assert!(uq.picp > 50.0, "calibrated DeepSTUQ should cover most points");
+    }
+}

@@ -1,0 +1,262 @@
+//! The user-facing DeepSTUQ pipeline (paper §IV-D).
+//!
+//! [`DeepStuq::train`] runs the three stages end-to-end on a
+//! [`SplitDataset`]: pre-training with the combined loss, AWA re-training,
+//! and temperature calibration on the validation split. [`DeepStuq::predict`]
+//! performs MC-dropout inference and returns a raw-scale [`Forecast`] with
+//! the full uncertainty decomposition and 95 % interval.
+
+use crate::awa::awa_retrain;
+use crate::calibrate::calibrate_on_validation;
+use crate::config::{AwaConfig, CalibConfig, TrainConfig};
+use crate::mc::{mc_forecast_with_cov, GaussianForecast};
+use crate::trainer::{train, LossKind};
+use stuq_metrics::Z_95;
+use stuq_models::{Agcrn, AgcrnConfig, HeadKind};
+use stuq_tensor::{StuqRng, Tensor};
+use stuq_traffic::{Scaler, SplitDataset};
+
+/// Full pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct DeepStuqConfig {
+    /// Base-model architecture.
+    pub base: AgcrnConfig,
+    /// Stage 1: pre-training.
+    pub train: TrainConfig,
+    /// Stage 2: AWA re-training. `None` skips the stage (the "No AWA"
+    /// ablation of Table V).
+    pub awa: Option<AwaConfig>,
+    /// Stage 3: calibration. `None` skips it (the "No Calibration" ablation
+    /// of Table VI).
+    pub calib: Option<CalibConfig>,
+    /// Monte-Carlo samples at inference (paper: 10).
+    pub mc_samples: usize,
+}
+
+impl DeepStuqConfig {
+    /// Paper-faithful settings (§V-B) at full scale.
+    pub fn paper(n_nodes: usize, horizon: usize) -> Self {
+        let small_graph = n_nodes < 200;
+        let enc_dropout = if small_graph { 0.05 } else { 0.1 };
+        Self {
+            base: AgcrnConfig::new(n_nodes, horizon).with_dropout(enc_dropout, 0.2),
+            train: TrainConfig::default(),
+            awa: Some(AwaConfig::default()),
+            calib: Some(CalibConfig::default()),
+            mc_samples: 10,
+        }
+    }
+
+    /// A heavily scaled-down configuration for demos, doctests and CI.
+    pub fn fast_demo(n_nodes: usize, horizon: usize) -> Self {
+        Self {
+            base: AgcrnConfig::new(n_nodes, horizon)
+                .with_capacity(12, 4, 1)
+                .with_dropout(0.05, 0.1),
+            train: TrainConfig::scaled(2, 8),
+            awa: Some(AwaConfig::scaled(2, 8)),
+            calib: Some(CalibConfig { mc_samples: 3, max_iters: 200, stride: 11 }),
+            mc_samples: 3,
+        }
+    }
+}
+
+/// A raw-scale probabilistic forecast: mean, decomposed uncertainty and the
+/// 95 % prediction interval.
+#[derive(Clone, Debug)]
+pub struct Forecast {
+    /// Point forecast, `[N, τ]` raw units.
+    pub mu: Tensor,
+    /// Total predictive σ (aleatoric/T + epistemic), `[N, τ]` raw units.
+    pub sigma_total: Tensor,
+    /// Calibrated aleatoric σ, `[N, τ]`.
+    pub sigma_aleatoric: Tensor,
+    /// Epistemic σ, `[N, τ]`.
+    pub sigma_epistemic: Tensor,
+    /// Lower 95 % bound (`μ − 1.96 σ_total`).
+    pub lower: Tensor,
+    /// Upper 95 % bound.
+    pub upper: Tensor,
+}
+
+/// A trained DeepSTUQ model.
+#[derive(Clone, Debug)]
+pub struct DeepStuq {
+    model: Agcrn,
+    temperature: f32,
+    mc_samples: usize,
+}
+
+impl DeepStuq {
+    /// Runs the three training stages on `ds` with the experiment `seed`.
+    pub fn train(ds: &SplitDataset, cfg: DeepStuqConfig, seed: u64) -> Self {
+        assert_eq!(cfg.base.n_nodes, ds.n_nodes(), "config/dataset node mismatch");
+        assert_eq!(cfg.base.horizon, ds.horizon(), "config/dataset horizon mismatch");
+        assert_eq!(cfg.base.head, HeadKind::Gaussian, "DeepSTUQ needs the Gaussian head");
+        let mut rng = StuqRng::new(seed);
+        let mut model = Agcrn::new(cfg.base.clone(), &mut rng);
+        let kind = LossKind::Combined { lambda: cfg.train.lambda };
+
+        // Stage 1: variational pre-training (Eq. 14).
+        let _history = train(&mut model, ds, &cfg.train, kind, &mut rng);
+
+        // Stage 2: AWA re-training (Algorithm 1).
+        if let Some(awa) = &cfg.awa {
+            let _report = awa_retrain(&mut model, ds, awa, kind, cfg.train.weight_decay, &mut rng);
+        }
+
+        // Stage 3: temperature calibration on the validation split (Eq. 18).
+        let temperature = match &cfg.calib {
+            Some(c) => calibrate_on_validation(&model, ds, c, &mut rng),
+            None => 1.0,
+        };
+
+        Self { model, temperature, mc_samples: cfg.mc_samples }
+    }
+
+    /// Wraps an externally trained base model (used by the ablation benches).
+    pub fn from_parts(model: Agcrn, temperature: f32, mc_samples: usize) -> Self {
+        assert!(temperature > 0.0, "temperature must be positive");
+        Self { model, temperature, mc_samples }
+    }
+
+    /// The fitted temperature `T`.
+    pub fn temperature(&self) -> f32 {
+        self.temperature
+    }
+
+    /// Number of MC samples drawn by [`DeepStuq::predict`].
+    pub fn mc_samples(&self) -> usize {
+        self.mc_samples
+    }
+
+    /// The underlying base model.
+    pub fn model(&self) -> &Agcrn {
+        &self.model
+    }
+
+    /// Mutable base model access (ablations).
+    pub fn model_mut(&mut self) -> &mut Agcrn {
+        &mut self.model
+    }
+
+    /// Normalised-unit MC forecast with `n_samples` override.
+    pub fn forecast_normalized(
+        &self,
+        x: &Tensor,
+        n_samples: usize,
+        rng: &mut StuqRng,
+    ) -> GaussianForecast {
+        mc_forecast_with_cov(&self.model, x, None, n_samples, rng)
+    }
+
+    /// Raw-scale forecast for a dataset [`stuq_traffic::Window`], passing its
+    /// exogenous covariates (when present) to a covariate-aware base model.
+    pub fn predict_window(
+        &self,
+        w: &stuq_traffic::Window,
+        scaler: &Scaler,
+        rng: &mut StuqRng,
+    ) -> Forecast {
+        self.predict_impl(&w.x, w.cov.as_ref(), scaler, self.mc_samples, rng)
+    }
+
+    /// Raw-scale probabilistic forecast for one normalised window `[t_h, N]`.
+    pub fn predict(&self, x: &Tensor, scaler: &Scaler, rng: &mut StuqRng) -> Forecast {
+        self.predict_with_samples(x, scaler, self.mc_samples, rng)
+    }
+
+    /// [`DeepStuq::predict`] with an explicit MC sample count (Fig. 11 sweep;
+    /// `1` is the deterministic DeepSTUQ/S mode).
+    pub fn predict_with_samples(
+        &self,
+        x: &Tensor,
+        scaler: &Scaler,
+        n_samples: usize,
+        rng: &mut StuqRng,
+    ) -> Forecast {
+        self.predict_impl(x, None, scaler, n_samples, rng)
+    }
+
+    fn predict_impl(
+        &self,
+        x: &Tensor,
+        cov: Option<&Tensor>,
+        scaler: &Scaler,
+        n_samples: usize,
+        rng: &mut StuqRng,
+    ) -> Forecast {
+        let f = mc_forecast_with_cov(&self.model, x, cov, n_samples, rng);
+        let std = scaler.std() as f32;
+        let t = self.temperature;
+        let mu = f.mu.map(|v| scaler.inverse(v));
+        let sigma_total = f.sigma_total(t).scale(std);
+        let sigma_aleatoric = f.var_aleatoric.map(|v| (v.max(0.0)).sqrt() / t * std);
+        let sigma_epistemic = f.var_epistemic.map(|v| v.max(0.0).sqrt() * std);
+        let z = Z_95 as f32;
+        let lower = mu.zip(&sigma_total, |m, s| m - z * s);
+        let upper = mu.zip(&sigma_total, |m, s| m + z * s);
+        Forecast { mu, sigma_total, sigma_aleatoric, sigma_epistemic, lower, upper }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stuq_traffic::{Preset, Split};
+
+    fn tiny() -> (SplitDataset, DeepStuq) {
+        let ds = Preset::Pems08Like.spec().scaled(0.08, 0.02).generate(31);
+        let cfg = DeepStuqConfig::fast_demo(ds.n_nodes(), ds.horizon());
+        let model = DeepStuq::train(&ds, cfg, 31);
+        (ds, model)
+    }
+
+    #[test]
+    fn end_to_end_pipeline_produces_sane_forecasts() {
+        let (ds, model) = tiny();
+        assert!(model.temperature() > 0.0 && model.temperature().is_finite());
+        let starts = ds.window_starts(Split::Test);
+        let w = ds.window(starts[starts.len() / 2]);
+        let mut rng = StuqRng::new(1);
+        let f = model.predict(&w.x, ds.scaler(), &mut rng);
+        let (n, tau) = (ds.n_nodes(), ds.horizon());
+        assert_eq!(f.mu.shape(), &[n, tau]);
+        assert!(f.mu.all_finite());
+        assert!(f.sigma_total.min() > 0.0, "total σ must be positive");
+        // Interval geometry.
+        for i in 0..f.mu.len() {
+            assert!(f.lower.data()[i] <= f.mu.data()[i]);
+            assert!(f.upper.data()[i] >= f.mu.data()[i]);
+        }
+        // Decomposition consistency: σ_total² ≈ σ_a² + σ_e².
+        for i in 0..f.mu.len() {
+            let lhs = (f.sigma_total.data()[i] as f64).powi(2);
+            let rhs = (f.sigma_aleatoric.data()[i] as f64).powi(2)
+                + (f.sigma_epistemic.data()[i] as f64).powi(2);
+            assert!((lhs - rhs).abs() < 1e-2 * lhs.max(1.0), "{lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn single_sample_mode_is_deterministic() {
+        let (ds, model) = tiny();
+        let starts = ds.window_starts(Split::Test);
+        let w = ds.window(starts[0]);
+        let mut r1 = StuqRng::new(5);
+        let mut r2 = StuqRng::new(99);
+        let f1 = model.predict_with_samples(&w.x, ds.scaler(), 1, &mut r1);
+        let f2 = model.predict_with_samples(&w.x, ds.scaler(), 1, &mut r2);
+        assert_eq!(f1.mu.data(), f2.mu.data());
+        assert_eq!(f1.sigma_epistemic.sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Gaussian head")]
+    fn rejects_point_head_config() {
+        let ds = Preset::Pems08Like.spec().scaled(0.08, 0.02).generate(1);
+        let mut cfg = DeepStuqConfig::fast_demo(ds.n_nodes(), ds.horizon());
+        cfg.base = cfg.base.with_head(HeadKind::Point);
+        let _ = DeepStuq::train(&ds, cfg, 1);
+    }
+}

@@ -1,0 +1,247 @@
+//! Generic mini-batch training over any [`Forecaster`].
+//!
+//! One autodiff tape is recorded per *sample* and its gradients merged into
+//! the batch gradient; this keeps peak memory at a single window's graph and
+//! matches averaging the per-sample losses exactly.
+
+use crate::config::TrainConfig;
+use stuq_models::{Forecaster, Prediction};
+use stuq_nn::layers::FwdCtx;
+use stuq_nn::loss;
+use stuq_nn::opt::Optimizer;
+use stuq_tensor::{GradStore, NodeId, StuqRng, Tape};
+use stuq_traffic::{BatchIter, Split, SplitDataset};
+
+/// Which training loss to apply to the model's head output.
+#[derive(Clone, Copy, Debug)]
+pub enum LossKind {
+    /// Mean absolute error on the point output (deterministic baselines,
+    /// MCDO, FGE).
+    Mae,
+    /// The paper's combined loss (Eq. 9 / Eq. 14) with weight `λ`.
+    Combined {
+        /// Relative NLL weight.
+        lambda: f32,
+    },
+    /// Three-quantile pinball loss (0.025 / 0.5 / 0.975) for the quantile
+    /// baseline.
+    Pinball3,
+}
+
+/// Builds the loss node for one sample's prediction.
+pub fn loss_node(tape: &mut Tape, pred: &Prediction, target: NodeId, kind: LossKind) -> NodeId {
+    match (kind, pred) {
+        (LossKind::Mae, p) => loss::mae(tape, p.point(), target),
+        (LossKind::Combined { lambda }, Prediction::Gaussian { mu, logvar }) => {
+            loss::combined(tape, *mu, *logvar, target, lambda)
+        }
+        (LossKind::Combined { .. }, p) => {
+            // Falling back to MAE for non-Gaussian heads would silently train
+            // the wrong objective; fail loudly instead.
+            let _ = p;
+            panic!("Combined loss requires a Gaussian head")
+        }
+        (LossKind::Pinball3, Prediction::Quantiles { lo, mid, hi }) => {
+            let l_lo = loss::pinball(tape, *lo, target, 0.025);
+            let l_mid = loss::pinball(tape, *mid, target, 0.5);
+            let l_hi = loss::pinball(tape, *hi, target, 0.975);
+            let s = tape.add(l_lo, l_mid);
+            tape.add(s, l_hi)
+        }
+        (LossKind::Pinball3, _) => panic!("Pinball3 loss requires a quantile head"),
+    }
+}
+
+/// Computes the gradient and loss of one sample.
+fn sample_grad(
+    model: &dyn Forecaster,
+    ds: &SplitDataset,
+    start: usize,
+    kind: LossKind,
+    rng: &mut StuqRng,
+) -> (GradStore, f64) {
+    let w = ds.window(start);
+    let y_norm = ds.normalize_target(&w.y_raw).transpose(); // [N, τ]
+    let mut tape = Tape::new();
+    let mut ctx = FwdCtx::train(rng);
+    let pred = model.forward_with_cov(&mut tape, &w.x, w.cov.as_ref(), &mut ctx);
+    let target = tape.constant(y_norm);
+    let l = loss_node(&mut tape, &pred, target, kind);
+    let value = tape.value(l).get(0, 0) as f64;
+    (tape.backward(l), value)
+}
+
+/// Runs one epoch over the training split; returns the mean training loss.
+///
+/// `lr_per_iter`, when provided, is consulted before each batch — this is how
+/// AWA's within-epoch cosine schedule (Eq. 16) is driven.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's training-loop knobs
+pub fn train_epoch(
+    model: &mut dyn Forecaster,
+    ds: &SplitDataset,
+    batch_size: usize,
+    kind: LossKind,
+    opt: &mut dyn Optimizer,
+    grad_clip: f64,
+    rng: &mut StuqRng,
+    mut lr_per_iter: Option<&mut dyn FnMut(usize) -> f32>,
+) -> f64 {
+    let starts = ds.window_starts(Split::Train);
+    assert!(!starts.is_empty(), "no training windows");
+    let batches = BatchIter::new(starts, batch_size, rng);
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for (it, batch) in batches.enumerate() {
+        if let Some(f) = lr_per_iter.as_mut() {
+            opt.set_lr(f(it));
+        }
+        let mut grads = GradStore::default();
+        let mut batch_loss = 0.0f64;
+        for &s in &batch {
+            let (g, l) = sample_grad(model, ds, s, kind, rng);
+            grads.merge(g);
+            batch_loss += l;
+        }
+        grads.scale(1.0 / batch.len() as f32);
+        if grad_clip > 0.0 {
+            grads.clip_global_norm(grad_clip);
+        }
+        opt.step(model.params_mut(), &grads);
+        total += batch_loss;
+        count += batch.len();
+    }
+    total / count as f64
+}
+
+/// Runs the full pre-training stage; returns the per-epoch loss history.
+pub fn train(
+    model: &mut dyn Forecaster,
+    ds: &SplitDataset,
+    cfg: &TrainConfig,
+    kind: LossKind,
+    rng: &mut StuqRng,
+) -> Vec<f64> {
+    let mut opt = stuq_nn::opt::Adam::new(cfg.lr, cfg.weight_decay);
+    (0..cfg.epochs)
+        .map(|_| {
+            train_epoch(model, ds, cfg.batch_size, kind, &mut opt, cfg.grad_clip, rng, None)
+        })
+        .collect()
+}
+
+/// Mean loss over a split without updating parameters (dropout off).
+pub fn eval_loss(
+    model: &dyn Forecaster,
+    ds: &SplitDataset,
+    split: Split,
+    kind: LossKind,
+    stride: usize,
+    rng: &mut StuqRng,
+) -> f64 {
+    let starts = ds.window_starts(split);
+    assert!(!starts.is_empty(), "no windows in split");
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for &s in starts.iter().step_by(stride.max(1)) {
+        let w = ds.window(s);
+        let y_norm = ds.normalize_target(&w.y_raw).transpose();
+        let mut tape = Tape::new();
+        let mut ctx = FwdCtx::eval(rng);
+        let pred = model.forward_with_cov(&mut tape, &w.x, w.cov.as_ref(), &mut ctx);
+        let target = tape.constant(y_norm);
+        let l = loss_node(&mut tape, &pred, target, kind);
+        total += tape.value(l).get(0, 0) as f64;
+        count += 1;
+    }
+    total / count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stuq_models::{Agcrn, AgcrnConfig, HeadKind};
+    use stuq_traffic::Preset;
+
+    fn tiny_setup() -> (SplitDataset, Agcrn, StuqRng) {
+        let spec = Preset::Pems08Like.spec().scaled(0.08, 0.02);
+        let ds = spec.generate(11);
+        let mut rng = StuqRng::new(11);
+        let cfg = AgcrnConfig::new(ds.n_nodes(), ds.horizon())
+            .with_capacity(12, 4, 1)
+            .with_dropout(0.05, 0.1);
+        let model = Agcrn::new(cfg, &mut rng);
+        (ds, model, rng)
+    }
+
+    #[test]
+    fn training_reduces_combined_loss() {
+        let (ds, mut model, mut rng) = tiny_setup();
+        let kind = LossKind::Combined { lambda: 0.1 };
+        let before = eval_loss(&model, &ds, Split::Train, kind, 11, &mut rng);
+        let cfg = TrainConfig { epochs: 2, batch_size: 8, ..Default::default() };
+        let history = train(&mut model, &ds, &cfg, kind, &mut rng);
+        let after = eval_loss(&model, &ds, Split::Train, kind, 11, &mut rng);
+        assert_eq!(history.len(), 2);
+        assert!(
+            after < before,
+            "loss should drop: before {before:.4}, after {after:.4}, history {history:?}"
+        );
+        assert!(model.params().all_finite());
+    }
+
+    #[test]
+    fn lr_override_hook_is_consulted() {
+        let (ds, mut model, mut rng) = tiny_setup();
+        let mut seen = Vec::new();
+        let mut opt = stuq_nn::opt::Adam::new(1.0, 0.0);
+        let mut hook = |it: usize| {
+            let lr = 0.001 / (it + 1) as f32;
+            seen.push(lr);
+            lr
+        };
+        let _ = train_epoch(
+            &mut model,
+            &ds,
+            32,
+            LossKind::Combined { lambda: 0.1 },
+            &mut opt,
+            5.0,
+            &mut rng,
+            Some(&mut hook),
+        );
+        assert!(!seen.is_empty());
+        assert_eq!(opt.lr(), *seen.last().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a Gaussian head")]
+    fn combined_loss_rejects_point_head() {
+        let (ds, _, mut rng) = tiny_setup();
+        let cfg = AgcrnConfig::new(ds.n_nodes(), ds.horizon())
+            .with_capacity(8, 3, 1)
+            .with_head(HeadKind::Point);
+        let model = Agcrn::new(cfg, &mut rng);
+        let w = ds.window(0);
+        let mut tape = Tape::new();
+        let mut ctx = FwdCtx::train(&mut rng);
+        let pred = model.forward(&mut tape, &w.x, &mut ctx);
+        let t = tape.constant(ds.normalize_target(&w.y_raw).transpose());
+        let _ = loss_node(&mut tape, &pred, t, LossKind::Combined { lambda: 0.5 });
+    }
+
+    #[test]
+    fn pinball_trains_quantile_head() {
+        let (ds, _, mut rng) = tiny_setup();
+        let cfg = AgcrnConfig::new(ds.n_nodes(), ds.horizon())
+            .with_capacity(8, 3, 1)
+            .with_dropout(0.0, 0.0)
+            .with_head(HeadKind::Quantile);
+        let mut model = Agcrn::new(cfg, &mut rng);
+        let kind = LossKind::Pinball3;
+        let before = eval_loss(&model, &ds, Split::Train, kind, 17, &mut rng);
+        let cfg = TrainConfig { epochs: 1, batch_size: 8, ..Default::default() };
+        let _ = train(&mut model, &ds, &cfg, kind, &mut rng);
+        let after = eval_loss(&model, &ds, Split::Train, kind, 17, &mut rng);
+        assert!(after < before, "pinball loss should drop ({before:.4} → {after:.4})");
+    }
+}

@@ -1,0 +1,205 @@
+//! Deterministic synthetic road-network generation.
+//!
+//! The PEMS sensor graphs cannot be redistributed, so experiments run on
+//! generated networks that match the *published statistics* of Table I
+//! exactly (node and edge counts) and the qualitative structure of highway
+//! sensor graphs: low degree, near-planar, mostly connected, edge lengths
+//! drawn from sensor spacing.
+//!
+//! The generator is fully deterministic given a seed:
+//!
+//! 1. scatter `n` sensors uniformly in the unit square;
+//! 2. build candidate edges from each sensor's `k` nearest neighbours,
+//!    sorted by length;
+//! 3. if the edge budget allows a spanning tree (`m ≥ n − 1`), take Kruskal
+//!    tree edges first (guaranteeing connectivity), then the shortest unused
+//!    candidates; otherwise take the `m` shortest candidates (a forest —
+//!    exactly the PEMS07 situation, which has 883 nodes but 866 edges).
+
+use crate::road::RoadNetwork;
+use stuq_tensor::StuqRng;
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra] = rb;
+        true
+    }
+}
+
+fn dist(a: (f32, f32), b: (f32, f32)) -> f32 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+/// Generates a road network with exactly `n_nodes` sensors and
+/// `n_edges` segments. Panics if `n_edges` exceeds the simple-graph maximum.
+pub fn generate_road_network(n_nodes: usize, n_edges: usize, seed: u64) -> RoadNetwork {
+    assert!(n_nodes >= 2, "need at least two sensors");
+    let max_edges = n_nodes * (n_nodes - 1) / 2;
+    assert!(n_edges <= max_edges, "edge count {n_edges} exceeds simple-graph max {max_edges}");
+
+    let mut rng = StuqRng::new(seed);
+    let positions: Vec<(f32, f32)> =
+        (0..n_nodes).map(|_| (rng.uniform_f32(), rng.uniform_f32())).collect();
+
+    // Candidate pool: k nearest neighbours per node. Grow k until the pool is
+    // big enough for the requested edge count.
+    let mut k = 8usize.min(n_nodes - 1);
+    let mut candidates = candidate_edges(&positions, k);
+    while candidates.len() < n_edges && k < n_nodes - 1 {
+        k = (k * 2).min(n_nodes - 1);
+        candidates = candidate_edges(&positions, k);
+    }
+    assert!(candidates.len() >= n_edges, "candidate pool too small; increase k");
+
+    let mut chosen: Vec<(usize, usize, f32)> = Vec::with_capacity(n_edges);
+    let mut used = std::collections::HashSet::new();
+    if n_edges >= n_nodes - 1 {
+        // Kruskal spanning tree over the candidate pool first. The pool may
+        // not connect everything (distant clusters); stitch remaining
+        // components with their closest representative pairs.
+        let mut uf = UnionFind::new(n_nodes);
+        for &(u, v, w) in &candidates {
+            if chosen.len() == n_nodes - 1 {
+                break;
+            }
+            if uf.union(u, v) {
+                chosen.push((u, v, w));
+                used.insert((u, v));
+            }
+        }
+        while chosen.len() < n_nodes - 1 {
+            let (u, v) = closest_cross_component_pair(&positions, &mut uf);
+            uf.union(u, v);
+            let w = dist(positions[u], positions[v]).max(1e-4);
+            chosen.push((u.min(v), u.max(v), w));
+            used.insert((u.min(v), u.max(v)));
+        }
+    }
+    for &(u, v, w) in &candidates {
+        if chosen.len() == n_edges {
+            break;
+        }
+        if !used.contains(&(u, v)) {
+            used.insert((u, v));
+            chosen.push((u, v, w));
+        }
+    }
+    assert_eq!(chosen.len(), n_edges, "generator failed to reach edge budget");
+    RoadNetwork::new(n_nodes, chosen, positions)
+}
+
+fn candidate_edges(positions: &[(f32, f32)], k: usize) -> Vec<(usize, usize, f32)> {
+    let n = positions.len();
+    let mut set = std::collections::HashSet::new();
+    for i in 0..n {
+        let mut near: Vec<(usize, f32)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| (j, dist(positions[i], positions[j])))
+            .collect();
+        near.sort_by(|a, b| a.1.total_cmp(&b.1));
+        for &(j, _) in near.iter().take(k) {
+            set.insert((i.min(j), i.max(j)));
+        }
+    }
+    let mut edges: Vec<(usize, usize, f32)> = set
+        .into_iter()
+        .map(|(u, v)| (u, v, dist(positions[u], positions[v]).max(1e-4)))
+        .collect();
+    edges.sort_by(|a, b| a.2.total_cmp(&b.2).then((a.0, a.1).cmp(&(b.0, b.1))));
+    edges
+}
+
+fn closest_cross_component_pair(positions: &[(f32, f32)], uf: &mut UnionFind) -> (usize, usize) {
+    let n = positions.len();
+    let mut best = (0usize, 0usize, f32::INFINITY);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if uf.find(i) != uf.find(j) {
+                let d = dist(positions[i], positions[j]);
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+    }
+    assert!(best.2.is_finite(), "no cross-component pair found");
+    (best.0, best.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_counts_connected_case() {
+        let g = generate_road_network(50, 80, 1);
+        assert_eq!(g.n_nodes(), 50);
+        assert_eq!(g.n_edges(), 80);
+        assert_eq!(g.n_components(), 1, "m ≥ n−1 must yield a connected graph");
+    }
+
+    #[test]
+    fn exact_counts_forest_case() {
+        // Fewer edges than a spanning tree (the PEMS07 shape).
+        let g = generate_road_network(40, 30, 2);
+        assert_eq!(g.n_nodes(), 40);
+        assert_eq!(g.n_edges(), 30);
+        assert!(g.n_components() >= 10, "forest must have ≥ n−m components");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = generate_road_network(30, 45, 99);
+        let b = generate_road_network(30, 45, 99);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn different_seed_changes_topology() {
+        let a = generate_road_network(30, 45, 1);
+        let b = generate_road_network(30, 45, 2);
+        assert_ne!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn degrees_stay_road_like() {
+        let g = generate_road_network(100, 150, 3);
+        let max_deg = g.degrees().into_iter().max().unwrap();
+        assert!(max_deg <= 12, "road networks have low degree, got {max_deg}");
+    }
+
+    #[test]
+    fn pems_like_statistics_are_feasible() {
+        // Table I rows (scaled 1:1). The big ones are slow in debug mode, so
+        // check the smallest full-size preset here.
+        let g = generate_road_network(170, 295, 8);
+        assert_eq!((g.n_nodes(), g.n_edges()), (170, 295));
+        assert_eq!(g.n_components(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds simple-graph max")]
+    fn rejects_impossible_edge_count() {
+        let _ = generate_road_network(4, 10, 0);
+    }
+}

@@ -1,0 +1,20 @@
+//! Road-network graph substrate.
+//!
+//! Traffic sensors form the nodes of a sparse, near-planar graph whose edges
+//! are road segments (paper §IV-A). This crate provides:
+//!
+//! * [`RoadNetwork`] — an undirected weighted graph with the spectral /
+//!   random-walk normalisations used by the forecasting models
+//!   (symmetric normalisation for GCN, Eq. 3; transition matrices for
+//!   DCRNN-style diffusion convolution; Chebyshev polynomials for
+//!   ST-GCN-style spectral convolution);
+//! * [`generate`] — a deterministic synthetic road-network generator that
+//!   hits exact node/edge counts, standing in for the (non-redistributable)
+//!   PEMS sensor graphs of Table I.
+
+pub mod generate;
+pub mod normalize;
+pub mod road;
+
+pub use generate::generate_road_network;
+pub use road::RoadNetwork;

@@ -1,0 +1,227 @@
+//! Graph normalisations used by the forecasting architectures.
+//!
+//! * [`sym_norm_adjacency`] / [`propagation_matrix`] — the GCN propagation
+//!   rule of paper Eq. 3, `I + D^{-1/2} A D^{-1/2}`;
+//! * [`transition_matrix`] — the random-walk matrix `D^{-1} A` used by
+//!   DCRNN-style diffusion convolution;
+//! * [`cheb_polynomials`] — Chebyshev polynomials of the scaled Laplacian for
+//!   ST-GCN-style spectral convolution.
+//!
+//! All functions are zero-degree-safe: isolated nodes keep a zero row instead
+//! of producing NaN, which matters because the PEMS07-like preset has fewer
+//! edges than nodes and is therefore a forest with isolated sensors.
+
+use crate::road::RoadNetwork;
+use stuq_tensor::Tensor;
+
+/// `D^{-1/2} A D^{-1/2}` for a dense adjacency with zero diagonal.
+pub fn sym_norm_adjacency(adj: &Tensor) -> Tensor {
+    let n = adj.rows();
+    assert_eq!(n, adj.cols(), "adjacency must be square");
+    let mut inv_sqrt_deg = vec![0.0f32; n];
+    for (i, d) in inv_sqrt_deg.iter_mut().enumerate() {
+        let deg: f32 = (0..n).map(|j| adj.get(i, j)).sum();
+        *d = if deg > 0.0 { 1.0 / deg.sqrt() } else { 0.0 };
+    }
+    let mut out = Tensor::zeros(&[n, n]);
+    for i in 0..n {
+        for j in 0..n {
+            let v = adj.get(i, j);
+            if v != 0.0 {
+                out.set(i, j, inv_sqrt_deg[i] * v * inv_sqrt_deg[j]);
+            }
+        }
+    }
+    out
+}
+
+/// The GCN propagation matrix of paper Eq. 3: `I + D^{-1/2} A D^{-1/2}`.
+pub fn propagation_matrix(net: &RoadNetwork) -> Tensor {
+    let mut s = sym_norm_adjacency(&net.weighted_adjacency());
+    let n = s.rows();
+    for i in 0..n {
+        let v = s.get(i, i) + 1.0;
+        s.set(i, i, v);
+    }
+    s
+}
+
+/// Random-walk transition matrix `D^{-1} A` (rows of non-isolated nodes sum
+/// to one). Used for diffusion convolution.
+pub fn transition_matrix(adj: &Tensor) -> Tensor {
+    let n = adj.rows();
+    assert_eq!(n, adj.cols(), "adjacency must be square");
+    let mut out = Tensor::zeros(&[n, n]);
+    for i in 0..n {
+        let deg: f32 = (0..n).map(|j| adj.get(i, j)).sum();
+        if deg > 0.0 {
+            for j in 0..n {
+                out.set(i, j, adj.get(i, j) / deg);
+            }
+        }
+    }
+    out
+}
+
+/// Normalised Laplacian `L = I - D^{-1/2} A D^{-1/2}`.
+pub fn normalized_laplacian(adj: &Tensor) -> Tensor {
+    let s = sym_norm_adjacency(adj);
+    let n = s.rows();
+    let mut l = s.scale(-1.0);
+    for i in 0..n {
+        let v = l.get(i, i) + 1.0;
+        l.set(i, i, v);
+    }
+    l
+}
+
+/// Largest eigenvalue of a symmetric matrix by power iteration.
+pub fn lambda_max(m: &Tensor, iters: usize) -> f32 {
+    let n = m.rows();
+    let mut v = Tensor::full(&[n, 1], 1.0 / (n as f32).sqrt());
+    let mut lambda = 0.0f32;
+    for _ in 0..iters {
+        let w = m.matmul(&v);
+        let norm = w.norm() as f32;
+        if norm < 1e-12 {
+            return 0.0;
+        }
+        lambda = v.dot(&w) as f32;
+        v = w.scale(1.0 / norm);
+    }
+    lambda
+}
+
+/// Chebyshev polynomials `T_0 … T_{k-1}` of the scaled Laplacian
+/// `L̃ = 2 L / λ_max − I` (ChebNet / ST-GCN spectral convolution).
+pub fn cheb_polynomials(adj: &Tensor, k: usize) -> Vec<Tensor> {
+    assert!(k >= 1, "need at least T_0");
+    let n = adj.rows();
+    let l = normalized_laplacian(adj);
+    let lm = lambda_max(&l, 64).max(1e-6);
+    let mut lt = l.scale(2.0 / lm);
+    for i in 0..n {
+        let v = lt.get(i, i) - 1.0;
+        lt.set(i, i, v);
+    }
+    let mut polys = Vec::with_capacity(k);
+    polys.push(Tensor::eye(n));
+    if k > 1 {
+        polys.push(lt.clone());
+    }
+    for i in 2..k {
+        let next = lt.matmul(&polys[i - 1]).scale(2.0).sub(&polys[i - 2]);
+        polys.push(next);
+    }
+    polys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stuq_tensor::StuqRng;
+
+    fn path_graph(n: usize) -> Tensor {
+        let mut a = Tensor::zeros(&[n, n]);
+        for i in 0..n - 1 {
+            a.set(i, i + 1, 1.0);
+            a.set(i + 1, i, 1.0);
+        }
+        a
+    }
+
+    #[test]
+    fn sym_norm_is_symmetric() {
+        let a = path_graph(5);
+        let s = sym_norm_adjacency(&a);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!((s.get(i, j) - s.get(j, i)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn sym_norm_two_node_graph_is_half_swap() {
+        // For a single edge with weight 1, D^{-1/2} A D^{-1/2} = A.
+        let a = path_graph(2);
+        let s = sym_norm_adjacency(&a);
+        assert!((s.get(0, 1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn isolated_nodes_stay_zero() {
+        let mut a = Tensor::zeros(&[3, 3]);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        let s = sym_norm_adjacency(&a);
+        let t = transition_matrix(&a);
+        for j in 0..3 {
+            assert_eq!(s.get(2, j), 0.0);
+            assert_eq!(t.get(2, j), 0.0);
+        }
+        assert!(s.all_finite() && t.all_finite());
+    }
+
+    #[test]
+    fn transition_rows_sum_to_one() {
+        let a = path_graph(6);
+        let t = transition_matrix(&a);
+        for i in 0..6 {
+            let sum: f32 = (0..6).map(|j| t.get(i, j)).sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn laplacian_rows_sum_to_zero_on_regular_graph() {
+        // Ring graph: every node has degree 2; L·1 = 0.
+        let n = 6;
+        let mut a = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            let j = (i + 1) % n;
+            a.set(i, j, 1.0);
+            a.set(j, i, 1.0);
+        }
+        let l = normalized_laplacian(&a);
+        for i in 0..n {
+            let sum: f32 = (0..n).map(|j| l.get(i, j)).sum();
+            assert!(sum.abs() < 1e-5, "row {i} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn lambda_max_of_laplacian_in_bounds() {
+        // Normalised Laplacian eigenvalues lie in [0, 2].
+        let a = path_graph(8);
+        let l = normalized_laplacian(&a);
+        let lm = lambda_max(&l, 128);
+        assert!(lm > 0.5 && lm <= 2.0 + 1e-4, "lambda_max {lm}");
+    }
+
+    #[test]
+    fn cheb_polynomials_recurrence() {
+        let mut rng = StuqRng::new(4);
+        // Random symmetric adjacency.
+        let n = 5;
+        let mut a = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.bernoulli(0.5) {
+                    a.set(i, j, 1.0);
+                    a.set(j, i, 1.0);
+                }
+            }
+        }
+        let polys = cheb_polynomials(&a, 4);
+        assert_eq!(polys.len(), 4);
+        assert_eq!(polys[0], Tensor::eye(n));
+        // T_3 = 2 L̃ T_2 - T_1 by construction; spot-check the identity holds
+        // numerically via the stored T_1, T_2.
+        let lt = polys[1].clone();
+        let t3 = lt.matmul(&polys[2]).scale(2.0).sub(&polys[1]);
+        for (x, y) in t3.data().iter().zip(polys[3].data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+}

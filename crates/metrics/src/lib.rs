@@ -1,0 +1,17 @@
+//! Evaluation metrics for point prediction and uncertainty quantification.
+//!
+//! Implements the six metrics of the paper's evaluation (§V-D): MAE, RMSE,
+//! MAPE for point prediction (Eq. 20–22) and MNLL, PICP, MPIW for
+//! uncertainty quantification (Eq. 23–26). Accumulators keep per-horizon
+//! statistics so the horizon plots (Figs. 7 and 10) fall out of the same
+//! pass as the headline tables.
+//!
+//! All accumulation is in `f64` — test sets contain millions of residuals.
+
+pub mod point;
+pub mod proper;
+pub mod uq;
+
+pub use point::{PointAccumulator, PointMetrics};
+pub use proper::{crps_gaussian, interval_score, ProperScoreAccumulator, ReliabilityDiagram};
+pub use uq::{interval_bounds, UqAccumulator, UqMetrics, Z_95};

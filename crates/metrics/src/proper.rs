@@ -1,0 +1,272 @@
+//! Proper scoring rules and reliability analysis for Gaussian forecasts.
+//!
+//! Extensions beyond the paper's six metrics, useful when adopting the
+//! library for real probabilistic-forecast evaluation:
+//!
+//! * **CRPS** — the continuous ranked probability score, in closed form for
+//!   Gaussian predictive distributions (Gneiting & Raftery, 2007);
+//! * **interval (Winkler) score** — a proper score for `(1−α)` central
+//!   intervals, penalising both width and miscoverage;
+//! * **reliability diagrams** — observed coverage at a ladder of nominal
+//!   levels, plus the resulting expected calibration error for regression.
+
+/// `Φ(x)`: the standard normal CDF (via `erf`-free Abramowitz–Stegun 7.1.26
+/// style rational approximation; max abs error < 7.5e-8).
+pub fn std_normal_cdf(x: f64) -> f64 {
+    // Φ(x) = 0.5 · erfc(−x/√2); compute erfc with the A&S 7.1.26 polynomial.
+    let z = x / std::f64::consts::SQRT_2;
+    0.5 * erfc(-z)
+}
+
+fn erfc(x: f64) -> f64 {
+    // A&S 7.1.26 on |x|, with the symmetry erfc(−x) = 2 − erfc(x).
+    let ax = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * ax);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let e = poly * (-ax * ax).exp();
+    if x >= 0.0 {
+        e
+    } else {
+        2.0 - e
+    }
+}
+
+/// Standard normal PDF.
+pub fn std_normal_pdf(x: f64) -> f64 {
+    (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Closed-form CRPS of a Gaussian `N(μ, σ²)` against observation `y`:
+/// `σ · [ z(2Φ(z) − 1) + 2φ(z) − 1/√π ]` with `z = (y − μ)/σ`.
+pub fn crps_gaussian(mu: f64, sigma: f64, y: f64) -> f64 {
+    let sigma = sigma.max(1e-9);
+    let z = (y - mu) / sigma;
+    sigma * (z * (2.0 * std_normal_cdf(z) - 1.0) + 2.0 * std_normal_pdf(z)
+        - 1.0 / std::f64::consts::PI.sqrt())
+}
+
+/// Interval (Winkler) score of the central `(1−α)` interval `[lo, hi]`:
+/// width plus `2/α` times the distance by which the observation escapes.
+/// Lower is better; proper for the chosen level.
+pub fn interval_score(lo: f64, hi: f64, y: f64, alpha: f64) -> f64 {
+    assert!(hi >= lo, "invalid interval");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha in (0,1)");
+    let mut s = hi - lo;
+    if y < lo {
+        s += 2.0 / alpha * (lo - y);
+    } else if y > hi {
+        s += 2.0 / alpha * (y - hi);
+    }
+    s
+}
+
+/// A reliability diagram for Gaussian forecasts: observed coverage at each
+/// nominal central-interval level.
+#[derive(Clone, Debug)]
+pub struct ReliabilityDiagram {
+    levels: Vec<f64>,
+    covered: Vec<u64>,
+    n: u64,
+}
+
+impl ReliabilityDiagram {
+    /// Standard ladder of nominal levels (10 % … 90 %, plus 95 % and 99 %).
+    pub fn standard() -> Self {
+        let mut levels: Vec<f64> = (1..10).map(|i| i as f64 / 10.0).collect();
+        levels.push(0.95);
+        levels.push(0.99);
+        Self::with_levels(levels)
+    }
+
+    /// Custom nominal levels in `(0, 1)`.
+    pub fn with_levels(levels: Vec<f64>) -> Self {
+        assert!(!levels.is_empty(), "need at least one level");
+        assert!(levels.iter().all(|&l| l > 0.0 && l < 1.0), "levels must be in (0,1)");
+        let covered = vec![0; levels.len()];
+        Self { levels, covered, n: 0 }
+    }
+
+    /// Adds one Gaussian prediction/observation pair.
+    pub fn update(&mut self, mu: f64, sigma: f64, y: f64) {
+        let sigma = sigma.max(1e-9);
+        // The observation's two-sided quantile level: |2Φ(z) − 1|.
+        let z = (y - mu) / sigma;
+        let level_hit = (2.0 * std_normal_cdf(z) - 1.0).abs();
+        self.n += 1;
+        for (i, &l) in self.levels.iter().enumerate() {
+            if level_hit <= l {
+                self.covered[i] += 1;
+            }
+        }
+    }
+
+    /// `(nominal, observed)` coverage pairs.
+    pub fn curve(&self) -> Vec<(f64, f64)> {
+        assert!(self.n > 0, "no observations");
+        self.levels
+            .iter()
+            .zip(&self.covered)
+            .map(|(&l, &c)| (l, c as f64 / self.n as f64))
+            .collect()
+    }
+
+    /// Mean absolute deviation between nominal and observed coverage — the
+    /// expected calibration error for regression.
+    pub fn calibration_error(&self) -> f64 {
+        let curve = self.curve();
+        curve.iter().map(|(nom, obs)| (nom - obs).abs()).sum::<f64>() / curve.len() as f64
+    }
+}
+
+/// Streaming accumulator for mean CRPS and mean interval score.
+#[derive(Clone, Debug, Default)]
+pub struct ProperScoreAccumulator {
+    crps_sum: f64,
+    winkler_sum: f64,
+    n: u64,
+}
+
+impl ProperScoreAccumulator {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one Gaussian prediction at the 95 % level.
+    pub fn update(&mut self, mu: f64, sigma: f64, y: f64) {
+        let z = crate::uq::Z_95;
+        self.crps_sum += crps_gaussian(mu, sigma, y);
+        self.winkler_sum += interval_score(mu - z * sigma, mu + z * sigma, y, 0.05);
+        self.n += 1;
+    }
+
+    /// Mean CRPS.
+    pub fn mean_crps(&self) -> f64 {
+        assert!(self.n > 0, "no observations");
+        self.crps_sum / self.n as f64
+    }
+
+    /// Mean 95 % interval (Winkler) score.
+    pub fn mean_interval_score(&self) -> f64 {
+        assert!(self.n > 0, "no observations");
+        self.winkler_sum / self.n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((std_normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((std_normal_cdf(1.959_963_985) - 0.975).abs() < 1e-6);
+        assert!((std_normal_cdf(-1.959_963_985) - 0.025).abs() < 1e-6);
+        assert!(std_normal_cdf(8.0) > 0.999_999);
+        assert!(std_normal_cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_symmetric() {
+        let mut prev = 0.0;
+        for i in -40..=40 {
+            let x = i as f64 / 10.0;
+            let p = std_normal_cdf(x);
+            assert!(p >= prev - 1e-12);
+            assert!((p + std_normal_cdf(-x) - 1.0).abs() < 2e-7, "symmetry at {x}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn crps_zero_residual_reference() {
+        // CRPS(N(0,1), 0) = 2φ(0) − 1/√π = √(2/π) − 1/√π ≈ 0.23370.
+        let expected = (2.0 / std::f64::consts::PI).sqrt() - 1.0 / std::f64::consts::PI.sqrt();
+        assert!((crps_gaussian(0.0, 1.0, 0.0) - expected).abs() < 1e-7);
+    }
+
+    #[test]
+    fn crps_scales_with_sigma_and_grows_with_residual() {
+        let base = crps_gaussian(0.0, 1.0, 0.0);
+        assert!((crps_gaussian(0.0, 3.0, 0.0) - 3.0 * base).abs() < 1e-7);
+        assert!(crps_gaussian(0.0, 1.0, 2.0) > crps_gaussian(0.0, 1.0, 1.0));
+        // Far in the tail, CRPS approaches |y − μ| (minus a constant-ish term).
+        let far = crps_gaussian(0.0, 1.0, 50.0);
+        assert!((far - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn crps_prefers_sharp_correct_forecasts() {
+        // For a spot-on prediction, smaller σ gives smaller CRPS.
+        assert!(crps_gaussian(0.0, 0.5, 0.0) < crps_gaussian(0.0, 2.0, 0.0));
+    }
+
+    #[test]
+    fn interval_score_penalises_miscoverage() {
+        let inside = interval_score(-1.0, 1.0, 0.0, 0.05);
+        assert!((inside - 2.0).abs() < 1e-12);
+        let outside = interval_score(-1.0, 1.0, 2.0, 0.05);
+        assert!((outside - (2.0 + 40.0)).abs() < 1e-12, "2/α = 40 per unit escape");
+    }
+
+    #[test]
+    fn reliability_perfectly_calibrated_gaussian() {
+        // Feed observations on an exact quantile grid of N(0,1): observed
+        // coverage must track nominal closely.
+        let mut rd = ReliabilityDiagram::standard();
+        let n = 20_000;
+        for i in 0..n {
+            let p = (i as f64 + 0.5) / n as f64;
+            // Probit via bisection on our own CDF (test-local inverse).
+            let y = invert_cdf(p);
+            rd.update(0.0, 1.0, y);
+        }
+        for (nom, obs) in rd.curve() {
+            assert!((nom - obs).abs() < 0.01, "nominal {nom}, observed {obs}");
+        }
+        assert!(rd.calibration_error() < 0.01);
+    }
+
+    #[test]
+    fn reliability_flags_overconfidence() {
+        // σ reported at half the truth → observed coverage falls short.
+        let mut rd = ReliabilityDiagram::standard();
+        let n = 5_000;
+        for i in 0..n {
+            let p = (i as f64 + 0.5) / n as f64;
+            let y = invert_cdf(p); // truth is N(0,1)
+            rd.update(0.0, 0.5, y); // model claims N(0,0.25)
+        }
+        let ce = rd.calibration_error();
+        assert!(ce > 0.15, "overconfident model must show large ECE, got {ce}");
+        // Observed < nominal at every level.
+        for (nom, obs) in rd.curve() {
+            assert!(obs < nom + 1e-9);
+        }
+    }
+
+    fn invert_cdf(p: f64) -> f64 {
+        let (mut lo, mut hi) = (-10.0f64, 10.0f64);
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if std_normal_cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    #[test]
+    fn accumulator_means() {
+        let mut acc = ProperScoreAccumulator::new();
+        acc.update(0.0, 1.0, 0.0);
+        acc.update(0.0, 1.0, 0.0);
+        let expected = (2.0 / std::f64::consts::PI).sqrt() - 1.0 / std::f64::consts::PI.sqrt();
+        assert!((acc.mean_crps() - expected).abs() < 1e-7);
+        assert!(acc.mean_interval_score() > 0.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Uncertainty-quantification metrics: MNLL, PICP, MPIW (paper Eq. 23–26).
+
+/// The 97.5 % standard-normal quantile: a 95 % central interval is
+/// `μ ± 1.96 σ` (the paper's α = 5 % setting).
+pub const Z_95: f64 = 1.959_963_984_540_054;
+
+const LN_2PI: f64 = 1.837_877_066_409_345_5;
+
+/// Finalised UQ metrics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UqMetrics {
+    /// Mean negative Gaussian log-likelihood (Eq. 23).
+    pub mnll: f64,
+    /// Prediction-interval coverage probability, in percent (Eq. 25).
+    pub picp: f64,
+    /// Mean prediction-interval width (Eq. 26).
+    pub mpiw: f64,
+}
+
+/// `(lower, upper)` bounds of the central interval `μ ± z σ`.
+#[inline]
+pub fn interval_bounds(mu: f64, sigma: f64, z: f64) -> (f64, f64) {
+    (mu - z * sigma, mu + z * sigma)
+}
+
+/// Streaming accumulator for Gaussian predictive distributions, with
+/// per-horizon buckets (Fig. 10 uses the per-horizon series).
+#[derive(Clone, Debug)]
+pub struct UqAccumulator {
+    horizon: usize,
+    z: f64,
+    n: Vec<u64>,
+    nll_sum: Vec<f64>,
+    covered: Vec<u64>,
+    width_sum: Vec<f64>,
+}
+
+impl UqAccumulator {
+    /// Creates an accumulator at the paper's 95 % level.
+    pub fn new(horizon: usize) -> Self {
+        Self::with_z(horizon, Z_95)
+    }
+
+    /// Creates an accumulator at an arbitrary z-multiplier.
+    pub fn with_z(horizon: usize, z: f64) -> Self {
+        assert!(horizon > 0, "horizon must be positive");
+        assert!(z > 0.0, "z must be positive");
+        Self {
+            horizon,
+            z,
+            n: vec![0; horizon],
+            nll_sum: vec![0.0; horizon],
+            covered: vec![0; horizon],
+            width_sum: vec![0.0; horizon],
+        }
+    }
+
+    /// Number of forecast steps tracked.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Adds one Gaussian prediction `(μ, σ)` against `truth` at step `h`.
+    #[inline]
+    pub fn update(&mut self, h: usize, mu: f64, sigma: f64, truth: f64) {
+        assert!(h < self.horizon, "horizon index {h} out of range");
+        let sigma = sigma.max(1e-6);
+        let var = sigma * sigma;
+        self.n[h] += 1;
+        self.nll_sum[h] += 0.5 * (LN_2PI + var.ln() + (truth - mu).powi(2) / var);
+        let (lo, hi) = interval_bounds(mu, sigma, self.z);
+        if truth >= lo && truth <= hi {
+            self.covered[h] += 1;
+        }
+        self.width_sum[h] += hi - lo;
+    }
+
+    /// Adds explicit interval bounds (for distribution-free methods such as
+    /// quantile regression and CFRNN; MNLL is not defined for those — feed
+    /// them through [`UqAccumulator::update`] only when σ exists).
+    #[inline]
+    pub fn update_interval(&mut self, h: usize, lo: f64, hi: f64, truth: f64) {
+        assert!(h < self.horizon, "horizon index {h} out of range");
+        assert!(hi >= lo, "upper bound below lower bound");
+        self.n[h] += 1;
+        self.nll_sum[h] = f64::NAN; // MNLL undefined for pure intervals
+        if truth >= lo && truth <= hi {
+            self.covered[h] += 1;
+        }
+        self.width_sum[h] += hi - lo;
+    }
+
+    /// Metrics at one forecast step.
+    pub fn at_horizon(&self, h: usize) -> UqMetrics {
+        assert!(h < self.horizon, "horizon index {h} out of range");
+        let n = self.n[h] as f64;
+        assert!(n > 0.0, "no samples at horizon {h}");
+        UqMetrics {
+            mnll: self.nll_sum[h] / n,
+            picp: 100.0 * self.covered[h] as f64 / n,
+            mpiw: self.width_sum[h] / n,
+        }
+    }
+
+    /// Metrics over all forecast steps (the Table IV numbers).
+    pub fn overall(&self) -> UqMetrics {
+        let n: f64 = self.n.iter().map(|&x| x as f64).sum();
+        assert!(n > 0.0, "no samples accumulated");
+        UqMetrics {
+            mnll: self.nll_sum.iter().sum::<f64>() / n,
+            picp: 100.0 * self.covered.iter().map(|&c| c as f64).sum::<f64>() / n,
+            mpiw: self.width_sum.iter().sum::<f64>() / n,
+        }
+    }
+
+    /// Per-horizon series (Fig. 10).
+    pub fn horizon_series(&self) -> Vec<UqMetrics> {
+        (0..self.horizon).map(|h| self.at_horizon(h)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnll_of_standard_normal_at_zero() {
+        // −log N(0; 0, 1) = ½ ln 2π ≈ 0.9189.
+        let mut acc = UqAccumulator::new(1);
+        acc.update(0, 0.0, 1.0, 0.0);
+        assert!((acc.overall().mnll - 0.5 * LN_2PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mnll_grows_with_residual() {
+        let mut close = UqAccumulator::new(1);
+        close.update(0, 0.0, 1.0, 0.5);
+        let mut far = UqAccumulator::new(1);
+        far.update(0, 0.0, 1.0, 3.0);
+        assert!(far.overall().mnll > close.overall().mnll);
+    }
+
+    #[test]
+    fn picp_and_width() {
+        let mut acc = UqAccumulator::new(1);
+        acc.update(0, 0.0, 1.0, 0.0); // inside ±1.96
+        acc.update(0, 0.0, 1.0, 5.0); // outside
+        let m = acc.overall();
+        assert!((m.picp - 50.0).abs() < 1e-12);
+        assert!((m.mpiw - 2.0 * Z_95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaussian_coverage_is_near_nominal() {
+        // Draw y ~ N(0,1) via a deterministic quantile grid and check ~95 %.
+        let mut acc = UqAccumulator::new(1);
+        let n = 10_000;
+        for i in 0..n {
+            // Inverse-CDF by bisection on erf-free approximation: use a
+            // uniform grid of probabilities and the Box–Muller-free probit
+            // approximation (Acklam) is overkill — instead test coverage by
+            // symmetry: y on a grid of ±z values with Gaussian weights is
+            // fiddly, so simply use many equally spaced quantile levels.
+            let p = (i as f64 + 0.5) / n as f64;
+            let y = probit(p);
+            acc.update(0, 0.0, 1.0, y);
+        }
+        let picp = acc.overall().picp;
+        assert!((picp - 95.0).abs() < 0.2, "picp {picp}");
+    }
+
+    /// Acklam's inverse-normal-CDF approximation (test helper).
+    fn probit(p: f64) -> f64 {
+        const A: [f64; 6] = [
+            -3.969683028665376e+01,
+            2.209460984245205e+02,
+            -2.759285104469687e+02,
+            1.383_577_518_672_69e2,
+            -3.066479806614716e+01,
+            2.506628277459239e+00,
+        ];
+        const B: [f64; 5] = [
+            -5.447609879822406e+01,
+            1.615858368580409e+02,
+            -1.556989798598866e+02,
+            6.680131188771972e+01,
+            -1.328068155288572e+01,
+        ];
+        const C: [f64; 6] = [
+            -7.784894002430293e-03,
+            -3.223964580411365e-01,
+            -2.400758277161838e+00,
+            -2.549732539343734e+00,
+            4.374664141464968e+00,
+            2.938163982698783e+00,
+        ];
+        const D: [f64; 4] = [
+            7.784695709041462e-03,
+            3.224671290700398e-01,
+            2.445134137142996e+00,
+            3.754408661907416e+00,
+        ];
+        let plow = 0.02425;
+        if p < plow {
+            let q = (-2.0 * p.ln()).sqrt();
+            (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+                / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+        } else if p <= 1.0 - plow {
+            let q = p - 0.5;
+            let r = q * q;
+            (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+                / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+        } else {
+            -probit(1.0 - p)
+        }
+    }
+
+    #[test]
+    fn interval_update_tracks_coverage_without_mnll() {
+        let mut acc = UqAccumulator::new(1);
+        acc.update_interval(0, -1.0, 1.0, 0.5);
+        acc.update_interval(0, -1.0, 1.0, 2.0);
+        let m = acc.overall();
+        assert!((m.picp - 50.0).abs() < 1e-12);
+        assert!((m.mpiw - 2.0).abs() < 1e-12);
+        assert!(m.mnll.is_nan());
+    }
+
+    #[test]
+    fn tiny_sigma_is_floored() {
+        let mut acc = UqAccumulator::new(1);
+        acc.update(0, 0.0, 0.0, 0.0);
+        assert!(acc.overall().mnll.is_finite());
+    }
+
+    #[test]
+    fn wider_intervals_cover_more() {
+        let truths = [-2.5, -1.0, 0.0, 0.3, 1.2, 2.2, 3.0];
+        let coverage = |sigma: f64| {
+            let mut acc = UqAccumulator::new(1);
+            for &t in &truths {
+                acc.update(0, 0.0, sigma, t);
+            }
+            acc.overall().picp
+        };
+        assert!(coverage(2.0) >= coverage(0.5));
+    }
+}

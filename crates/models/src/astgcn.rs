@@ -1,0 +1,195 @@
+//! ASTGCN-lite: attention-based spatio-temporal GCN (Guo et al., AAAI'19).
+//!
+//! The idea reproduced: **temporal attention** re-weighting time steps
+//! (`softmax(QKᵀ)` over the window) and **spatial attention** supplying a
+//! dynamic, data-dependent adjacency for the graph convolution, followed by
+//! temporal convolution. The recent-component branch only (the paper's
+//! daily/weekly-period branches need longer inputs than the 12-step window
+//! used in this evaluation protocol).
+
+use crate::heads::{Head, HeadKind};
+use crate::traits::{Forecaster, Prediction};
+use crate::common::temporal_conv;
+use stuq_nn::layers::{FwdCtx, Linear};
+use stuq_nn::ParamSet;
+use stuq_tensor::{NodeId, StuqRng, Tape, Tensor};
+
+/// Hyper-parameters for [`Astgcn`].
+#[derive(Clone, Debug)]
+pub struct AstgcnConfig {
+    /// Number of sensors.
+    pub n_nodes: usize,
+    /// History length.
+    pub t_h: usize,
+    /// Forecast horizon.
+    pub horizon: usize,
+    /// Channel width.
+    pub channels: usize,
+    /// Attention projection width.
+    pub attn_dim: usize,
+    /// Decoder dropout rate.
+    pub decoder_dropout: f32,
+    /// Output head.
+    pub head: HeadKind,
+}
+
+impl AstgcnConfig {
+    /// Defaults for the 12-step window.
+    pub fn new(n_nodes: usize, t_h: usize, horizon: usize) -> Self {
+        assert!(t_h >= 7, "two kernel-3 temporal convs need ≥ 7 steps");
+        Self {
+            n_nodes,
+            t_h,
+            horizon,
+            channels: 16,
+            attn_dim: 8,
+            decoder_dropout: 0.0,
+            head: HeadKind::Point,
+        }
+    }
+}
+
+/// The attention-based forecaster.
+pub struct Astgcn {
+    params: ParamSet,
+    cfg: AstgcnConfig,
+    t_query: Linear,
+    t_key: Linear,
+    s_query: Linear,
+    s_key: Linear,
+    gcn: Linear,
+    tc1: Linear,
+    tc2: Linear,
+    head: Head,
+}
+
+impl Astgcn {
+    /// Builds the model. The spatial attention is fully data-driven, so no
+    /// physical adjacency is consumed.
+    pub fn new(cfg: AstgcnConfig, rng: &mut StuqRng) -> Self {
+        let mut params = ParamSet::new();
+        let (n, t, c, da) = (cfg.n_nodes, cfg.t_h, cfg.channels, cfg.attn_dim);
+        let t_query = Linear::new(&mut params, "astgcn.tq", n, da, rng);
+        let t_key = Linear::new(&mut params, "astgcn.tk", n, da, rng);
+        let s_query = Linear::new(&mut params, "astgcn.sq", t, da, rng);
+        let s_key = Linear::new(&mut params, "astgcn.sk", t, da, rng);
+        let gcn = Linear::new(&mut params, "astgcn.gcn", 1, c, rng);
+        let tc1 = Linear::new(&mut params, "astgcn.tc1", 3 * c, c, rng);
+        let tc2 = Linear::new(&mut params, "astgcn.tc2", 3 * c, c, rng);
+        let head = Head::new(
+            &mut params,
+            "astgcn.head",
+            cfg.head,
+            c,
+            cfg.horizon,
+            cfg.decoder_dropout,
+            rng,
+        );
+        Self { params, cfg, t_query, t_key, s_query, s_key, gcn, tc1, tc2, head }
+    }
+}
+
+impl Forecaster for Astgcn {
+    fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut ParamSet {
+        &mut self.params
+    }
+
+    fn n_nodes(&self) -> usize {
+        self.cfg.n_nodes
+    }
+
+    fn horizon(&self) -> usize {
+        self.cfg.horizon
+    }
+
+    fn forward(&self, tape: &mut Tape, x: &Tensor, ctx: &mut FwdCtx<'_>) -> Prediction {
+        assert_eq!(x.rows(), self.cfg.t_h, "window length mismatch");
+        assert_eq!(x.cols(), self.cfg.n_nodes, "window sensor count mismatch");
+        let scale = 1.0 / (self.cfg.attn_dim as f32).sqrt();
+
+        // Temporal attention over the [t_h, N] window.
+        let xw = tape.constant(x.clone());
+        let q = self.t_query.bind(tape, &self.params).forward(tape, xw);
+        let k = self.t_key.bind(tape, &self.params).forward(tape, xw);
+        let scores = tape.matmul_tb(q, k);
+        let scores = tape.scale(scores, scale);
+        let a_t = tape.softmax_rows(scores);
+        let x_att = tape.matmul(a_t, xw); // [t_h, N] re-weighted in time
+
+        // Spatial attention from the node-major view [N, t_h].
+        let xs = tape.transpose(xw);
+        let qs = self.s_query.bind(tape, &self.params).forward(tape, xs);
+        let ks = self.s_key.bind(tape, &self.params).forward(tape, xs);
+        let s_scores = tape.matmul_tb(qs, ks);
+        let s_scores = tape.scale(s_scores, scale);
+        let a_s = tape.softmax_rows(s_scores);
+        let eye = tape.constant(Tensor::eye(self.cfg.n_nodes));
+        let support = tape.add(a_s, eye);
+
+        // Per-step graph convolution under the attention adjacency. The
+        // steps are sliced on-tape so gradients flow back through both
+        // attention maps.
+        let x_att_t = tape.transpose(x_att); // [N, t_h]
+        let gcn = self.gcn.bind(tape, &self.params);
+        let mut seq: Vec<NodeId> = (0..self.cfg.t_h)
+            .map(|t| {
+                let col = tape.slice_cols(x_att_t, t, t + 1); // [N, 1]
+                let mixed = tape.matmul(support, col);
+                let y = gcn.forward(tape, mixed);
+                tape.relu(y)
+            })
+            .collect();
+
+        // Two temporal convolutions, then the last step feeds the head.
+        let c1 = self.tc1.bind(tape, &self.params);
+        seq = temporal_conv(tape, &seq, 3, 1, c1);
+        let c2 = self.tc2.bind(tape, &self.params);
+        seq = temporal_conv(tape, &seq, 3, 1, c2);
+        let last = *seq.last().expect("non-empty sequence");
+        self.head.forward(tape, &self.params, ctx, last)
+    }
+
+    fn name(&self) -> &'static str {
+        "ASTGCN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (Astgcn, Tensor, StuqRng) {
+        let mut rng = StuqRng::new(1);
+        let mut cfg = AstgcnConfig::new(6, 12, 4);
+        cfg.channels = 8;
+        let model = Astgcn::new(cfg, &mut rng);
+        let x = Tensor::randn(&[12, 6], 1.0, &mut rng);
+        (model, x, rng)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let (model, x, mut rng) = fixture();
+        let mut tape = Tape::new();
+        let mut ctx = FwdCtx::eval(&mut rng);
+        let pred = model.forward(&mut tape, &x, &mut ctx);
+        assert_eq!(tape.value(pred.point()).shape(), &[6, 4]);
+        assert!(tape.value(pred.point()).all_finite());
+    }
+
+    #[test]
+    fn gradients_cover_all_params() {
+        let (model, x, mut rng) = fixture();
+        let mut tape = Tape::new();
+        let mut ctx = FwdCtx::train(&mut rng);
+        let pred = model.forward(&mut tape, &x, &mut ctx);
+        let y = tape.constant(Tensor::randn(&[6, 4], 1.0, &mut rng));
+        let l = stuq_nn::loss::mae(&mut tape, pred.point(), y);
+        let grads = tape.backward(l);
+        assert_eq!(grads.len(), model.params().len());
+    }
+}

@@ -1,0 +1,144 @@
+//! Shared helpers for sequence-structured models.
+//!
+//! Convolution-style baselines process the window as a list of per-step
+//! feature matrices `[N, c]`. Temporal convolutions are realised as linear
+//! maps over concatenated receptive fields — identical mathematics, no
+//! im2col machinery needed at kernel size 2–3.
+
+use stuq_nn::layers::BoundLinear;
+use stuq_tensor::{NodeId, Tape, Tensor};
+
+/// Splits a `[t_h, N]` window into per-step `[N, 1]` constant nodes.
+pub fn lift_steps(tape: &mut Tape, x: &Tensor) -> Vec<NodeId> {
+    let (t_h, _n) = (x.rows(), x.cols());
+    (0..t_h).map(|t| tape.constant(x.row(t).transpose())).collect()
+}
+
+/// Concatenates the receptive field `[x_{t-(k-1)d}, …, x_t]` column-wise for
+/// every valid output position. Returns `seq.len() − (k−1)·d` nodes.
+pub fn receptive_fields(tape: &mut Tape, seq: &[NodeId], k: usize, dilation: usize) -> Vec<NodeId> {
+    assert!(k >= 1 && dilation >= 1, "kernel and dilation must be ≥ 1");
+    let span = (k - 1) * dilation;
+    assert!(seq.len() > span, "sequence of {} too short for span {}", seq.len(), span);
+    (span..seq.len())
+        .map(|t| {
+            let mut acc = seq[t - span];
+            for j in 1..k {
+                acc = tape.concat_cols(acc, seq[t - span + j * dilation]);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Causal temporal convolution: a shared linear map over receptive fields,
+/// with `tanh` activation. Output length shrinks by `(k−1)·d`.
+pub fn temporal_conv(
+    tape: &mut Tape,
+    seq: &[NodeId],
+    k: usize,
+    dilation: usize,
+    weights: BoundLinear,
+) -> Vec<NodeId> {
+    receptive_fields(tape, seq, k, dilation)
+        .into_iter()
+        .map(|f| {
+            let y = weights.forward(tape, f);
+            tape.tanh(y)
+        })
+        .collect()
+}
+
+/// Gated temporal convolution (GLU): `tanh(conv_a) ⊙ sigmoid(conv_b)`
+/// — the WaveNet / ST-GCN gating that the paper's baselines rely on.
+pub fn gated_temporal_conv(
+    tape: &mut Tape,
+    seq: &[NodeId],
+    k: usize,
+    dilation: usize,
+    filter: BoundLinear,
+    gate: BoundLinear,
+) -> Vec<NodeId> {
+    receptive_fields(tape, seq, k, dilation)
+        .into_iter()
+        .map(|f| {
+            let a = filter.forward(tape, f);
+            let a = tape.tanh(a);
+            let b = gate.forward(tape, f);
+            let b = tape.sigmoid(b);
+            tape.mul(a, b)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stuq_nn::layers::Linear;
+    use stuq_nn::ParamSet;
+    use stuq_tensor::StuqRng;
+
+    #[test]
+    fn lift_steps_transposes_rows() {
+        let mut tape = Tape::new();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let steps = lift_steps(&mut tape, &x);
+        assert_eq!(steps.len(), 2);
+        assert_eq!(tape.value(steps[0]).shape(), &[3, 1]);
+        assert_eq!(tape.value(steps[1]).data(), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn receptive_field_geometry() {
+        let mut tape = Tape::new();
+        let seq: Vec<NodeId> =
+            (0..6).map(|i| tape.constant(Tensor::full(&[2, 1], i as f32))).collect();
+        // k=2, d=2 → span 2 → 4 outputs, each [2, 2].
+        let rf = receptive_fields(&mut tape, &seq, 2, 2);
+        assert_eq!(rf.len(), 4);
+        assert_eq!(tape.value(rf[0]).shape(), &[2, 2]);
+        // First field pairs steps 0 and 2.
+        assert_eq!(tape.value(rf[0]).data(), &[0.0, 2.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn temporal_conv_shrinks_sequence() {
+        let mut rng = StuqRng::new(1);
+        let mut ps = ParamSet::new();
+        let lin = Linear::new(&mut ps, "c", 3, 4, &mut rng);
+        let mut tape = Tape::new();
+        let bound = lin.bind(&mut tape, &ps);
+        let seq: Vec<NodeId> =
+            (0..12).map(|_| tape.constant(Tensor::randn(&[5, 1], 1.0, &mut rng))).collect();
+        let out = temporal_conv(&mut tape, &seq, 3, 1, bound);
+        assert_eq!(out.len(), 10);
+        assert_eq!(tape.value(out[0]).shape(), &[5, 4]);
+    }
+
+    #[test]
+    fn gated_conv_output_is_bounded() {
+        let mut rng = StuqRng::new(2);
+        let mut ps = ParamSet::new();
+        let f = Linear::new(&mut ps, "f", 2, 3, &mut rng);
+        let g = Linear::new(&mut ps, "g", 2, 3, &mut rng);
+        let mut tape = Tape::new();
+        let fb = f.bind(&mut tape, &ps);
+        let gb = g.bind(&mut tape, &ps);
+        let seq: Vec<NodeId> =
+            (0..5).map(|_| tape.constant(Tensor::randn(&[4, 1], 2.0, &mut rng))).collect();
+        let out = gated_temporal_conv(&mut tape, &seq, 2, 1, fb, gb);
+        assert_eq!(out.len(), 4);
+        for &o in &out {
+            // tanh ⊙ sigmoid ∈ (−1, 1).
+            assert!(tape.value(o).max() < 1.0 && tape.value(o).min() > -1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn receptive_fields_reject_short_sequences() {
+        let mut tape = Tape::new();
+        let seq: Vec<NodeId> = (0..3).map(|_| tape.constant(Tensor::zeros(&[2, 1]))).collect();
+        let _ = receptive_fields(&mut tape, &seq, 2, 4);
+    }
+}

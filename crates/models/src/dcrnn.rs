@@ -1,0 +1,195 @@
+//! DCRNN-lite: diffusion-convolutional recurrent network (Li et al., ICLR'18).
+//!
+//! The idea reproduced: GRU gates whose linear maps are **diffusion
+//! convolutions** over the road graph — mixtures of `[I, P_fwd, P_bwd]` where
+//! `P = D⁻¹A` is the random-walk transition matrix.
+//!
+//! Simplifications relative to the published system (documented per
+//! DESIGN.md §1): direct multi-step decoding instead of the seq2seq decoder
+//! with scheduled sampling, and one diffusion step per direction (`K = 1`),
+//! which at our graph scale retains the accuracy ordering.
+
+use crate::heads::{Head, HeadKind};
+use crate::traits::{Forecaster, Prediction};
+use stuq_graph::normalize::transition_matrix;
+use stuq_graph::RoadNetwork;
+use stuq_nn::layers::{FwdCtx, Linear};
+use stuq_nn::ParamSet;
+use stuq_tensor::{NodeId, StuqRng, Tape, Tensor};
+
+/// Hyper-parameters for [`Dcrnn`].
+#[derive(Clone, Debug)]
+pub struct DcrnnConfig {
+    /// Number of sensors.
+    pub n_nodes: usize,
+    /// Forecast horizon.
+    pub horizon: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Decoder dropout rate.
+    pub decoder_dropout: f32,
+    /// Output head.
+    pub head: HeadKind,
+}
+
+impl DcrnnConfig {
+    /// Defaults matching the other baselines.
+    pub fn new(n_nodes: usize, horizon: usize) -> Self {
+        Self { n_nodes, horizon, hidden: 32, decoder_dropout: 0.0, head: HeadKind::Point }
+    }
+}
+
+/// The diffusion-convolutional GRU forecaster.
+#[derive(Clone, Debug)]
+pub struct Dcrnn {
+    params: ParamSet,
+    cfg: DcrnnConfig,
+    /// `[I, P_fwd, P_bwd]` as plain tensors; pushed as constants per tape.
+    supports: Vec<Tensor>,
+    gate_z: Linear,
+    gate_r: Linear,
+    gate_c: Linear,
+    head: Head,
+}
+
+impl Dcrnn {
+    /// Builds the model from the (fixed, physical) road network.
+    pub fn new(cfg: DcrnnConfig, network: &RoadNetwork, rng: &mut StuqRng) -> Self {
+        assert_eq!(network.n_nodes(), cfg.n_nodes, "network size mismatch");
+        let adj = network.weighted_adjacency();
+        let p_fwd = transition_matrix(&adj);
+        let p_bwd = transition_matrix(&adj.transpose());
+        let supports = vec![Tensor::eye(cfg.n_nodes), p_fwd, p_bwd];
+
+        let mut params = ParamSet::new();
+        let cat = 1 + cfg.hidden;
+        let in_dim = supports.len() * cat;
+        let gate_z = Linear::new(&mut params, "dcrnn.z", in_dim, cfg.hidden, rng);
+        let gate_r = Linear::new(&mut params, "dcrnn.r", in_dim, cfg.hidden, rng);
+        let gate_c = Linear::new(&mut params, "dcrnn.c", in_dim, cfg.hidden, rng);
+        let head = Head::new(
+            &mut params,
+            "dcrnn.head",
+            cfg.head,
+            cfg.hidden,
+            cfg.horizon,
+            cfg.decoder_dropout,
+            rng,
+        );
+        Self { params, cfg, supports, gate_z, gate_r, gate_c, head }
+    }
+
+    /// Diffusion mixing: `[S₀·x | S₁·x | S₂·x]`.
+    fn diffuse(tape: &mut Tape, supports: &[NodeId], x: NodeId) -> NodeId {
+        let mut acc = tape.matmul(supports[0], x);
+        for &s in &supports[1..] {
+            let m = tape.matmul(s, x);
+            acc = tape.concat_cols(acc, m);
+        }
+        acc
+    }
+}
+
+impl Forecaster for Dcrnn {
+    fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut ParamSet {
+        &mut self.params
+    }
+
+    fn n_nodes(&self) -> usize {
+        self.cfg.n_nodes
+    }
+
+    fn horizon(&self) -> usize {
+        self.cfg.horizon
+    }
+
+    fn forward(&self, tape: &mut Tape, x: &Tensor, ctx: &mut FwdCtx<'_>) -> Prediction {
+        let (t_h, n) = (x.rows(), x.cols());
+        assert_eq!(n, self.cfg.n_nodes, "window sensor count mismatch");
+        let supports: Vec<NodeId> =
+            self.supports.iter().map(|s| tape.constant(s.clone())).collect();
+        let bz = self.gate_z.bind(tape, &self.params);
+        let br = self.gate_r.bind(tape, &self.params);
+        let bc = self.gate_c.bind(tape, &self.params);
+
+        let mut h = tape.constant(Tensor::zeros(&[n, self.cfg.hidden]));
+        for t in 0..t_h {
+            let xt = tape.constant(x.row(t).transpose());
+            let xh = tape.concat_cols(xt, h);
+            let dz = Self::diffuse(tape, &supports, xh);
+            let z = bz.forward(tape, dz);
+            let z = tape.sigmoid(z);
+            let dr = Self::diffuse(tape, &supports, xh);
+            let r = br.forward(tape, dr);
+            let r = tape.sigmoid(r);
+            let rh = tape.mul(r, h);
+            let xrh = tape.concat_cols(xt, rh);
+            let dc = Self::diffuse(tape, &supports, xrh);
+            let c = bc.forward(tape, dc);
+            let c = tape.tanh(c);
+            let zh = tape.mul(z, h);
+            let omz = tape.one_minus(z);
+            let oc = tape.mul(omz, c);
+            h = tape.add(zh, oc);
+        }
+        self.head.forward(tape, &self.params, ctx, h)
+    }
+
+    fn name(&self) -> &'static str {
+        "DCRNN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stuq_graph::generate_road_network;
+
+    fn fixture() -> (Dcrnn, Tensor, StuqRng) {
+        let mut rng = StuqRng::new(1);
+        let net = generate_road_network(8, 12, 1);
+        let model = Dcrnn::new(DcrnnConfig::new(8, 4), &net, &mut rng);
+        let x = Tensor::randn(&[6, 8], 1.0, &mut rng);
+        (model, x, rng)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let (model, x, mut rng) = fixture();
+        let mut tape = Tape::new();
+        let mut ctx = FwdCtx::eval(&mut rng);
+        let pred = model.forward(&mut tape, &x, &mut ctx);
+        assert_eq!(tape.value(pred.point()).shape(), &[8, 4]);
+        assert!(tape.value(pred.point()).all_finite());
+    }
+
+    #[test]
+    fn gradients_cover_all_params() {
+        let (model, x, mut rng) = fixture();
+        let mut tape = Tape::new();
+        let mut ctx = FwdCtx::train(&mut rng);
+        let pred = model.forward(&mut tape, &x, &mut ctx);
+        let y = tape.constant(Tensor::randn(&[8, 4], 1.0, &mut rng));
+        let l = stuq_nn::loss::mae(&mut tape, pred.point(), y);
+        let grads = tape.backward(l);
+        assert_eq!(grads.len(), model.params().len());
+    }
+
+    #[test]
+    fn uses_three_diffusion_supports() {
+        let (model, _, _) = fixture();
+        assert_eq!(model.supports.len(), 3);
+        // Row sums: identity rows sum to 1; transition rows of non-isolated
+        // nodes sum to 1.
+        let p = &model.supports[1];
+        let n = p.rows();
+        for i in 0..n {
+            let s: f32 = (0..n).map(|j| p.get(i, j)).sum();
+            assert!(s.abs() < 1e-5 || (s - 1.0).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! GraphWaveNet-lite (Wu et al., IJCAI'19).
+//!
+//! The idea reproduced: stacked **dilated gated temporal convolutions**
+//! (WaveNet-style, dilations 1-2-4 over the 12-step window) interleaved with
+//! spatial mixing through a **self-adaptive adjacency**
+//! `softmax(ReLU(E₁ E₂ᵀ))` learned from two node-embedding matrices, plus
+//! skip connections feeding the decoder head.
+
+use crate::heads::{Head, HeadKind};
+use crate::traits::{Forecaster, Prediction};
+use crate::common::{gated_temporal_conv, lift_steps};
+use stuq_nn::init;
+use stuq_nn::layers::{FwdCtx, Linear};
+use stuq_nn::ParamSet;
+use stuq_tensor::{NodeId, StuqRng, Tape, Tensor};
+
+/// Hyper-parameters for [`GraphWaveNet`].
+#[derive(Clone, Debug)]
+pub struct GwnetConfig {
+    /// Number of sensors.
+    pub n_nodes: usize,
+    /// History length (must cover the dilation stack: ≥ 8).
+    pub t_h: usize,
+    /// Forecast horizon.
+    pub horizon: usize,
+    /// Channel width.
+    pub channels: usize,
+    /// Node-embedding dimension for the self-adaptive adjacency.
+    pub embed_dim: usize,
+    /// Decoder dropout rate.
+    pub decoder_dropout: f32,
+    /// Output head.
+    pub head: HeadKind,
+}
+
+impl GwnetConfig {
+    /// Defaults for the 12-step window.
+    pub fn new(n_nodes: usize, t_h: usize, horizon: usize) -> Self {
+        assert!(t_h >= 8, "dilation stack 1-2-4 needs ≥ 8 steps");
+        Self {
+            n_nodes,
+            t_h,
+            horizon,
+            channels: 16,
+            embed_dim: 8.min(n_nodes / 2).max(2),
+            decoder_dropout: 0.0,
+            head: HeadKind::Point,
+        }
+    }
+}
+
+struct GwLayer {
+    filter: Linear,
+    gate: Linear,
+    spatial: Linear,
+}
+
+/// The GraphWaveNet-lite forecaster.
+pub struct GraphWaveNet {
+    params: ParamSet,
+    cfg: GwnetConfig,
+    e1: usize,
+    e2: usize,
+    lift: Linear,
+    layers: Vec<GwLayer>,
+    head: Head,
+}
+
+impl GraphWaveNet {
+    /// Builds the model (no physical adjacency is used — fully self-adaptive).
+    pub fn new(cfg: GwnetConfig, rng: &mut StuqRng) -> Self {
+        let mut params = ParamSet::new();
+        let d = cfg.embed_dim;
+        let e1 = params.add("gwnet.e1", init::embedding_init(&[cfg.n_nodes, d], rng));
+        let e2 = params.add("gwnet.e2", init::embedding_init(&[cfg.n_nodes, d], rng));
+        let c = cfg.channels;
+        let lift = Linear::new(&mut params, "gwnet.lift", 1, c, rng);
+        let mut layers = Vec::new();
+        for (i, _dil) in [1usize, 2, 4].iter().enumerate() {
+            layers.push(GwLayer {
+                filter: Linear::new(&mut params, &format!("gwnet.l{i}.f"), 2 * c, c, rng),
+                gate: Linear::new(&mut params, &format!("gwnet.l{i}.g"), 2 * c, c, rng),
+                spatial: Linear::new(&mut params, &format!("gwnet.l{i}.s"), c, c, rng),
+            });
+        }
+        let head = Head::new(
+            &mut params,
+            "gwnet.head",
+            cfg.head,
+            c,
+            cfg.horizon,
+            cfg.decoder_dropout,
+            rng,
+        );
+        Self { params, cfg, e1, e2, lift, layers, head }
+    }
+
+    /// The self-adaptive adjacency `softmax(ReLU(E₁ E₂ᵀ))` on the tape.
+    fn adaptive_adjacency(&self, tape: &mut Tape) -> NodeId {
+        let e1 = tape.param(self.e1, self.params.get(self.e1).clone());
+        let e2 = tape.param(self.e2, self.params.get(self.e2).clone());
+        let sim = tape.matmul_tb(e1, e2);
+        let rel = tape.relu(sim);
+        tape.softmax_rows(rel)
+    }
+}
+
+impl Forecaster for GraphWaveNet {
+    fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut ParamSet {
+        &mut self.params
+    }
+
+    fn n_nodes(&self) -> usize {
+        self.cfg.n_nodes
+    }
+
+    fn horizon(&self) -> usize {
+        self.cfg.horizon
+    }
+
+    fn forward(&self, tape: &mut Tape, x: &Tensor, ctx: &mut FwdCtx<'_>) -> Prediction {
+        assert_eq!(x.rows(), self.cfg.t_h, "window length mismatch");
+        assert_eq!(x.cols(), self.cfg.n_nodes, "window sensor count mismatch");
+        let adj = self.adaptive_adjacency(tape);
+        let lift = self.lift.bind(tape, &self.params);
+        let mut seq: Vec<NodeId> = lift_steps(tape, x)
+            .into_iter()
+            .map(|s| {
+                let y = lift.forward(tape, s);
+                tape.relu(y)
+            })
+            .collect();
+
+        let mut skip: Option<NodeId> = None;
+        for (layer, dil) in self.layers.iter().zip([1usize, 2, 4]) {
+            let f = layer.filter.bind(tape, &self.params);
+            let g = layer.gate.bind(tape, &self.params);
+            seq = gated_temporal_conv(tape, &seq, 2, dil, f, g);
+            // Spatial mixing through the adaptive adjacency, with residual.
+            let s = layer.spatial.bind(tape, &self.params);
+            seq = seq
+                .into_iter()
+                .map(|h| {
+                    let mixed = tape.matmul(adj, h);
+                    let y = s.forward(tape, mixed);
+                    let y = tape.relu(y);
+                    tape.add(h, y)
+                })
+                .collect();
+            let last = *seq.last().expect("non-empty sequence");
+            skip = Some(match skip {
+                None => last,
+                Some(acc) => tape.add(acc, last),
+            });
+        }
+        let feat = tape.relu(skip.expect("at least one layer"));
+        self.head.forward(tape, &self.params, ctx, feat)
+    }
+
+    fn name(&self) -> &'static str {
+        "GWN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (GraphWaveNet, Tensor, StuqRng) {
+        let mut rng = StuqRng::new(1);
+        let mut cfg = GwnetConfig::new(7, 12, 4);
+        cfg.channels = 8;
+        let model = GraphWaveNet::new(cfg, &mut rng);
+        let x = Tensor::randn(&[12, 7], 1.0, &mut rng);
+        (model, x, rng)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let (model, x, mut rng) = fixture();
+        let mut tape = Tape::new();
+        let mut ctx = FwdCtx::eval(&mut rng);
+        let pred = model.forward(&mut tape, &x, &mut ctx);
+        assert_eq!(tape.value(pred.point()).shape(), &[7, 4]);
+        assert!(tape.value(pred.point()).all_finite());
+    }
+
+    #[test]
+    fn gradients_cover_all_params() {
+        let (model, x, mut rng) = fixture();
+        let mut tape = Tape::new();
+        let mut ctx = FwdCtx::train(&mut rng);
+        let pred = model.forward(&mut tape, &x, &mut ctx);
+        let y = tape.constant(Tensor::randn(&[7, 4], 1.0, &mut rng));
+        let l = stuq_nn::loss::mae(&mut tape, pred.point(), y);
+        let grads = tape.backward(l);
+        assert_eq!(grads.len(), model.params().len());
+    }
+
+    #[test]
+    fn adaptive_adjacency_is_row_stochastic() {
+        let (model, _, _) = fixture();
+        let mut tape = Tape::new();
+        let adj = model.adaptive_adjacency(&mut tape);
+        let a = tape.value(adj);
+        for i in 0..7 {
+            let s: f32 = (0..7).map(|j| a.get(i, j)).sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! STFGNN-lite: spatial-temporal fusion graph network (Li & Zhu, AAAI'21).
+//!
+//! The idea reproduced: a **fusion graph** that merges the physical road
+//! adjacency with a *data-driven temporal similarity graph* (the published
+//! system derives it with DTW; we use lagged correlation of the training
+//! series, which plays the same role — connecting sensors whose series move
+//! together even when they are not road-adjacent), in parallel with a
+//! **gated dilated CNN** branch that captures long-range temporal patterns.
+
+use crate::heads::{Head, HeadKind};
+use crate::traits::{Forecaster, Prediction};
+use crate::common::{gated_temporal_conv, lift_steps};
+use stuq_graph::normalize::sym_norm_adjacency;
+use stuq_graph::RoadNetwork;
+use stuq_nn::layers::{FwdCtx, Linear};
+use stuq_nn::ParamSet;
+use stuq_tensor::{NodeId, StuqRng, Tape, Tensor};
+
+/// Builds a top-`k` similarity graph from a `[T, N]` training series:
+/// sensors are linked when their differenced series correlate strongly.
+/// This is the crate's stand-in for STFGNN's DTW-based temporal graph.
+pub fn correlation_graph(values: &[f32], n_steps: usize, n_nodes: usize, top_k: usize) -> Tensor {
+    assert_eq!(values.len(), n_steps * n_nodes, "series length mismatch");
+    assert!(n_steps >= 3, "need at least 3 steps");
+    // First differences remove the shared daily cycle.
+    let mut means = vec![0.0f64; n_nodes];
+    let diffs: Vec<f64> = (1..n_steps)
+        .flat_map(|t| {
+            (0..n_nodes).map(move |i| {
+                (values[t * n_nodes + i] - values[(t - 1) * n_nodes + i]) as f64
+            })
+        })
+        .collect();
+    let rows = n_steps - 1;
+    for i in 0..n_nodes {
+        means[i] = (0..rows).map(|t| diffs[t * n_nodes + i]).sum::<f64>() / rows as f64;
+    }
+    let mut sds = vec![0.0f64; n_nodes];
+    for i in 0..n_nodes {
+        sds[i] = ((0..rows).map(|t| (diffs[t * n_nodes + i] - means[i]).powi(2)).sum::<f64>()
+            / rows as f64)
+            .sqrt()
+            .max(1e-9);
+    }
+    let mut adj = Tensor::zeros(&[n_nodes, n_nodes]);
+    for i in 0..n_nodes {
+        let mut corr: Vec<(usize, f64)> = (0..n_nodes)
+            .filter(|&j| j != i)
+            .map(|j| {
+                let cov = (0..rows)
+                    .map(|t| (diffs[t * n_nodes + i] - means[i]) * (diffs[t * n_nodes + j] - means[j]))
+                    .sum::<f64>()
+                    / rows as f64;
+                (j, cov / (sds[i] * sds[j]))
+            })
+            .collect();
+        corr.sort_by(|a, b| b.1.total_cmp(&a.1));
+        for &(j, c) in corr.iter().take(top_k) {
+            if c > 0.0 {
+                adj.set(i, j, c as f32);
+                adj.set(j, i, c as f32);
+            }
+        }
+    }
+    adj
+}
+
+/// Hyper-parameters for [`Stfgnn`].
+#[derive(Clone, Debug)]
+pub struct StfgnnConfig {
+    /// Number of sensors.
+    pub n_nodes: usize,
+    /// History length.
+    pub t_h: usize,
+    /// Forecast horizon.
+    pub horizon: usize,
+    /// Channel width.
+    pub channels: usize,
+    /// Top-k links in the temporal similarity graph.
+    pub similarity_k: usize,
+    /// Decoder dropout rate.
+    pub decoder_dropout: f32,
+    /// Output head.
+    pub head: HeadKind,
+}
+
+impl StfgnnConfig {
+    /// Defaults for the 12-step window.
+    pub fn new(n_nodes: usize, t_h: usize, horizon: usize) -> Self {
+        assert!(t_h >= 4, "gated dilated stack needs ≥ 4 steps");
+        Self {
+            n_nodes,
+            t_h,
+            horizon,
+            channels: 16,
+            similarity_k: 3,
+            decoder_dropout: 0.0,
+            head: HeadKind::Point,
+        }
+    }
+}
+
+/// The fusion-graph forecaster.
+pub struct Stfgnn {
+    params: ParamSet,
+    cfg: StfgnnConfig,
+    fusion: Tensor,
+    lift: Linear,
+    fuse1: Linear,
+    fuse2: Linear,
+    cnn_f1: Linear,
+    cnn_g1: Linear,
+    cnn_f2: Linear,
+    cnn_g2: Linear,
+    merge: Linear,
+    head: Head,
+}
+
+impl Stfgnn {
+    /// Builds the model. `train_values` / `train_steps` provide the training
+    /// segment of the series from which the temporal similarity graph is
+    /// derived (pass only training data — no leakage).
+    pub fn new(
+        cfg: StfgnnConfig,
+        network: &RoadNetwork,
+        train_values: &[f32],
+        train_steps: usize,
+        rng: &mut StuqRng,
+    ) -> Self {
+        assert_eq!(network.n_nodes(), cfg.n_nodes, "network size mismatch");
+        let spatial = network.weighted_adjacency();
+        let temporal = correlation_graph(train_values, train_steps, cfg.n_nodes, cfg.similarity_k);
+        // Fusion: union of both structures, symmetrically normalised, plus I.
+        let mut fused = spatial.add(&temporal);
+        fused = sym_norm_adjacency(&fused);
+        for i in 0..cfg.n_nodes {
+            let v = fused.get(i, i) + 1.0;
+            fused.set(i, i, v);
+        }
+
+        let mut params = ParamSet::new();
+        let c = cfg.channels;
+        let lift = Linear::new(&mut params, "stfgnn.lift", 1, c, rng);
+        let fuse1 = Linear::new(&mut params, "stfgnn.fuse1", c, c, rng);
+        let fuse2 = Linear::new(&mut params, "stfgnn.fuse2", c, c, rng);
+        let cnn_f1 = Linear::new(&mut params, "stfgnn.cnn.f1", 2 * c, c, rng);
+        let cnn_g1 = Linear::new(&mut params, "stfgnn.cnn.g1", 2 * c, c, rng);
+        let cnn_f2 = Linear::new(&mut params, "stfgnn.cnn.f2", 2 * c, c, rng);
+        let cnn_g2 = Linear::new(&mut params, "stfgnn.cnn.g2", 2 * c, c, rng);
+        let merge = Linear::new(&mut params, "stfgnn.merge", 2 * c, c, rng);
+        let head = Head::new(
+            &mut params,
+            "stfgnn.head",
+            cfg.head,
+            c,
+            cfg.horizon,
+            cfg.decoder_dropout,
+            rng,
+        );
+        Self { params, cfg, fusion: fused, lift, fuse1, fuse2, cnn_f1, cnn_g1, cnn_f2, cnn_g2, merge, head }
+    }
+
+    /// The fused support matrix (for inspection in tests/diagnostics).
+    pub fn fusion_graph(&self) -> &Tensor {
+        &self.fusion
+    }
+}
+
+impl Forecaster for Stfgnn {
+    fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut ParamSet {
+        &mut self.params
+    }
+
+    fn n_nodes(&self) -> usize {
+        self.cfg.n_nodes
+    }
+
+    fn horizon(&self) -> usize {
+        self.cfg.horizon
+    }
+
+    fn forward(&self, tape: &mut Tape, x: &Tensor, ctx: &mut FwdCtx<'_>) -> Prediction {
+        assert_eq!(x.rows(), self.cfg.t_h, "window length mismatch");
+        assert_eq!(x.cols(), self.cfg.n_nodes, "window sensor count mismatch");
+        let fusion = tape.constant(self.fusion.clone());
+        let lift = self.lift.bind(tape, &self.params);
+        let seq: Vec<NodeId> = lift_steps(tape, x)
+            .into_iter()
+            .map(|s| {
+                let y = lift.forward(tape, s);
+                tape.relu(y)
+            })
+            .collect();
+
+        // Branch 1: two rounds of fusion-graph convolution per step.
+        let f1 = self.fuse1.bind(tape, &self.params);
+        let f2 = self.fuse2.bind(tape, &self.params);
+        let fused: Vec<NodeId> = seq
+            .iter()
+            .map(|&s| {
+                let m1 = tape.matmul(fusion, s);
+                let y1 = f1.forward(tape, m1);
+                let y1 = tape.relu(y1);
+                let m2 = tape.matmul(fusion, y1);
+                let y2 = f2.forward(tape, m2);
+                tape.relu(y2)
+            })
+            .collect();
+
+        // Branch 2: gated dilated CNN (dilations 1 then 2 → t_h − 3 steps).
+        let cf1 = self.cnn_f1.bind(tape, &self.params);
+        let cg1 = self.cnn_g1.bind(tape, &self.params);
+        let t1 = gated_temporal_conv(tape, &seq, 2, 1, cf1, cg1);
+        let cf2 = self.cnn_f2.bind(tape, &self.params);
+        let cg2 = self.cnn_g2.bind(tape, &self.params);
+        let t2 = gated_temporal_conv(tape, &t1, 2, 2, cf2, cg2);
+
+        // Merge the final step of both branches.
+        let last_fused = *fused.last().expect("non-empty");
+        let last_cnn = *t2.last().expect("non-empty");
+        let cat = tape.concat_cols(last_fused, last_cnn);
+        let m = self.merge.bind(tape, &self.params);
+        let feat = m.forward(tape, cat);
+        let feat = tape.relu(feat);
+        self.head.forward(tape, &self.params, ctx, feat)
+    }
+
+    fn name(&self) -> &'static str {
+        "STFGNN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stuq_graph::generate_road_network;
+
+    fn fixture() -> (Stfgnn, Tensor, StuqRng) {
+        let mut rng = StuqRng::new(1);
+        let net = generate_road_network(6, 9, 1);
+        // Toy training series: sinusoids with per-node phase.
+        let steps = 100;
+        let values: Vec<f32> = (0..steps)
+            .flat_map(|t| {
+                (0..6).map(move |i| ((t as f32 * 0.3) + i as f32 * 0.7).sin() * 10.0 + 50.0)
+            })
+            .collect();
+        let mut cfg = StfgnnConfig::new(6, 12, 4);
+        cfg.channels = 8;
+        let model = Stfgnn::new(cfg, &net, &values, steps, &mut rng);
+        let x = Tensor::randn(&[12, 6], 1.0, &mut rng);
+        (model, x, rng)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let (model, x, mut rng) = fixture();
+        let mut tape = Tape::new();
+        let mut ctx = FwdCtx::eval(&mut rng);
+        let pred = model.forward(&mut tape, &x, &mut ctx);
+        assert_eq!(tape.value(pred.point()).shape(), &[6, 4]);
+        assert!(tape.value(pred.point()).all_finite());
+    }
+
+    #[test]
+    fn gradients_cover_all_params() {
+        let (model, x, mut rng) = fixture();
+        let mut tape = Tape::new();
+        let mut ctx = FwdCtx::train(&mut rng);
+        let pred = model.forward(&mut tape, &x, &mut ctx);
+        let y = tape.constant(Tensor::randn(&[6, 4], 1.0, &mut rng));
+        let l = stuq_nn::loss::mae(&mut tape, pred.point(), y);
+        let grads = tape.backward(l);
+        assert_eq!(grads.len(), model.params().len());
+    }
+
+    #[test]
+    fn correlation_graph_is_symmetric_topk() {
+        let steps = 60;
+        let n = 5;
+        // Node 0 and 1 perfectly correlated, others independent noise-ish.
+        let values: Vec<f32> = (0..steps)
+            .flat_map(|t| {
+                (0..n).map(move |i| match i {
+                    0 | 1 => (t as f32 * 0.37).sin(),
+                    _ => ((t * (i + 3)) as f32 * 0.911).sin() * ((t % 7) as f32),
+                })
+            })
+            .collect();
+        let g = correlation_graph(&values, steps, n, 2);
+        for i in 0..n {
+            assert_eq!(g.get(i, i), 0.0, "no self-loops");
+            for j in 0..n {
+                assert!((g.get(i, j) - g.get(j, i)).abs() < 1e-6);
+            }
+        }
+        assert!(g.get(0, 1) > 0.9, "correlated pair must be linked strongly");
+    }
+
+    #[test]
+    fn fusion_graph_has_self_loops() {
+        let (model, _, _) = fixture();
+        for i in 0..6 {
+            assert!(model.fusion_graph().get(i, i) >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! ST-GCN-lite: spatio-temporal graph convolution blocks (Yu et al., IJCAI'18).
+//!
+//! The idea reproduced: "sandwich" blocks — gated temporal convolution,
+//! Chebyshev spectral graph convolution, gated temporal convolution — applied
+//! over the window, with a final temporal collapse into the decoder head.
+//!
+//! Simplification: two blocks with kernel-3 temporal convs (12 → 8 → 4 steps)
+//! and a kernel-4 collapse, versus the paper's configurable stacks.
+
+use crate::heads::{Head, HeadKind};
+use crate::traits::{Forecaster, Prediction};
+use crate::common::{gated_temporal_conv, lift_steps, temporal_conv};
+use stuq_graph::normalize::cheb_polynomials;
+use stuq_graph::RoadNetwork;
+use stuq_nn::layers::{FwdCtx, Linear};
+use stuq_nn::ParamSet;
+use stuq_tensor::{NodeId, StuqRng, Tape, Tensor};
+
+/// Hyper-parameters for [`Stgcn`].
+#[derive(Clone, Debug)]
+pub struct StgcnConfig {
+    /// Number of sensors.
+    pub n_nodes: usize,
+    /// History length the model is built for (temporal convs are sized to it).
+    pub t_h: usize,
+    /// Forecast horizon.
+    pub horizon: usize,
+    /// Channel width.
+    pub channels: usize,
+    /// Chebyshev order `K`.
+    pub cheb_k: usize,
+    /// Decoder dropout rate.
+    pub decoder_dropout: f32,
+    /// Output head.
+    pub head: HeadKind,
+}
+
+impl StgcnConfig {
+    /// Defaults for the paper's 12-step window.
+    pub fn new(n_nodes: usize, t_h: usize, horizon: usize) -> Self {
+        assert!(t_h >= 12, "ST-GCN-lite needs at least 12 history steps");
+        Self {
+            n_nodes,
+            t_h,
+            horizon,
+            channels: 16,
+            cheb_k: 3,
+            decoder_dropout: 0.0,
+            head: HeadKind::Point,
+        }
+    }
+}
+
+struct Block {
+    tc1_f: Linear,
+    tc1_g: Linear,
+    gcn: Linear,
+    tc2_f: Linear,
+    tc2_g: Linear,
+}
+
+/// The ST-GCN-lite forecaster.
+pub struct Stgcn {
+    params: ParamSet,
+    cfg: StgcnConfig,
+    /// Chebyshev polynomials `T_0 … T_{K-1}` of the scaled Laplacian.
+    polys: Vec<Tensor>,
+    blocks: Vec<Block>,
+    collapse: Linear,
+    head: Head,
+}
+
+impl Stgcn {
+    /// Builds the model from the physical road network.
+    pub fn new(cfg: StgcnConfig, network: &RoadNetwork, rng: &mut StuqRng) -> Self {
+        assert_eq!(network.n_nodes(), cfg.n_nodes, "network size mismatch");
+        let polys = cheb_polynomials(&network.weighted_adjacency(), cfg.cheb_k);
+        let mut params = ParamSet::new();
+        let c = cfg.channels;
+        let mut blocks = Vec::new();
+        for (b, c_in) in [(0usize, 1usize), (1, c)] {
+            blocks.push(Block {
+                tc1_f: Linear::new(&mut params, &format!("stgcn.b{b}.tc1f"), 3 * c_in, c, rng),
+                tc1_g: Linear::new(&mut params, &format!("stgcn.b{b}.tc1g"), 3 * c_in, c, rng),
+                gcn: Linear::new(&mut params, &format!("stgcn.b{b}.gcn"), cfg.cheb_k * c, c, rng),
+                tc2_f: Linear::new(&mut params, &format!("stgcn.b{b}.tc2f"), 3 * c, c, rng),
+                tc2_g: Linear::new(&mut params, &format!("stgcn.b{b}.tc2g"), 3 * c, c, rng),
+            });
+        }
+        // After two blocks: t_h − 8 steps remain; collapse them with one conv.
+        let remain = cfg.t_h - 8;
+        let collapse = Linear::new(&mut params, "stgcn.collapse", remain * c, c, rng);
+        let head = Head::new(
+            &mut params,
+            "stgcn.head",
+            cfg.head,
+            c,
+            cfg.horizon,
+            cfg.decoder_dropout,
+            rng,
+        );
+        Self { params, cfg, polys, blocks, collapse, head }
+    }
+
+    /// Chebyshev graph convolution on one step: `ReLU(W·[T₀x | T₁x | …])`.
+    fn cheb_gcn(
+        tape: &mut Tape,
+        polys: &[NodeId],
+        w: stuq_nn::layers::BoundLinear,
+        x: NodeId,
+    ) -> NodeId {
+        let mut acc = tape.matmul(polys[0], x);
+        for &p in &polys[1..] {
+            let m = tape.matmul(p, x);
+            acc = tape.concat_cols(acc, m);
+        }
+        let y = w.forward(tape, acc);
+        tape.relu(y)
+    }
+}
+
+impl Forecaster for Stgcn {
+    fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut ParamSet {
+        &mut self.params
+    }
+
+    fn n_nodes(&self) -> usize {
+        self.cfg.n_nodes
+    }
+
+    fn horizon(&self) -> usize {
+        self.cfg.horizon
+    }
+
+    fn forward(&self, tape: &mut Tape, x: &Tensor, ctx: &mut FwdCtx<'_>) -> Prediction {
+        assert_eq!(x.rows(), self.cfg.t_h, "window length mismatch");
+        assert_eq!(x.cols(), self.cfg.n_nodes, "window sensor count mismatch");
+        let polys: Vec<NodeId> = self.polys.iter().map(|p| tape.constant(p.clone())).collect();
+        let mut seq = lift_steps(tape, x);
+        for block in &self.blocks {
+            let f = block.tc1_f.bind(tape, &self.params);
+            let g = block.tc1_g.bind(tape, &self.params);
+            seq = gated_temporal_conv(tape, &seq, 3, 1, f, g);
+            let w = block.gcn.bind(tape, &self.params);
+            seq = seq.into_iter().map(|s| Self::cheb_gcn(tape, &polys, w, s)).collect();
+            let f2 = block.tc2_f.bind(tape, &self.params);
+            let g2 = block.tc2_g.bind(tape, &self.params);
+            seq = gated_temporal_conv(tape, &seq, 3, 1, f2, g2);
+        }
+        // Collapse the remaining steps into one feature map.
+        let remain = seq.len();
+        let cb = self.collapse.bind(tape, &self.params);
+        let out = temporal_conv(tape, &seq, remain, 1, cb);
+        debug_assert_eq!(out.len(), 1);
+        self.head.forward(tape, &self.params, ctx, out[0])
+    }
+
+    fn name(&self) -> &'static str {
+        "ST-GCN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stuq_graph::generate_road_network;
+
+    fn fixture() -> (Stgcn, Tensor, StuqRng) {
+        let mut rng = StuqRng::new(1);
+        let net = generate_road_network(9, 14, 1);
+        let mut cfg = StgcnConfig::new(9, 12, 4);
+        cfg.channels = 8;
+        let model = Stgcn::new(cfg, &net, &mut rng);
+        let x = Tensor::randn(&[12, 9], 1.0, &mut rng);
+        (model, x, rng)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let (model, x, mut rng) = fixture();
+        let mut tape = Tape::new();
+        let mut ctx = FwdCtx::eval(&mut rng);
+        let pred = model.forward(&mut tape, &x, &mut ctx);
+        assert_eq!(tape.value(pred.point()).shape(), &[9, 4]);
+        assert!(tape.value(pred.point()).all_finite());
+    }
+
+    #[test]
+    fn gradients_cover_all_params() {
+        let (model, x, mut rng) = fixture();
+        let mut tape = Tape::new();
+        let mut ctx = FwdCtx::train(&mut rng);
+        let pred = model.forward(&mut tape, &x, &mut ctx);
+        let y = tape.constant(Tensor::randn(&[9, 4], 1.0, &mut rng));
+        let l = stuq_nn::loss::mae(&mut tape, pred.point(), y);
+        let grads = tape.backward(l);
+        assert_eq!(grads.len(), model.params().len());
+    }
+}

@@ -1,0 +1,91 @@
+//! The [`Forecaster`] abstraction shared by every architecture.
+
+use stuq_nn::{FwdCtx, ParamSet};
+use stuq_tensor::{NodeId, Tape, Tensor};
+
+/// The output of a forecasting model for one input window.
+///
+/// All node ids refer to `[N, horizon]` tensors on the tape that recorded the
+/// forward pass. Values are in *normalised* units; callers de-normalise with
+/// the dataset scaler.
+#[derive(Clone, Copy, Debug)]
+pub enum Prediction {
+    /// Deterministic point forecast.
+    Point(NodeId),
+    /// Heteroscedastic Gaussian forecast: mean and log-variance
+    /// (the paper's two independent decoder heads, §IV, Fig. 2).
+    Gaussian {
+        /// Predicted mean `μ(x)`.
+        mu: NodeId,
+        /// Predicted log-variance `log σ²(x)`.
+        logvar: NodeId,
+    },
+    /// Three conditional quantiles (0.025 / 0.5 / 0.975) for the
+    /// distribution-free quantile-regression baseline.
+    Quantiles {
+        /// 2.5 % quantile.
+        lo: NodeId,
+        /// Median.
+        mid: NodeId,
+        /// 97.5 % quantile.
+        hi: NodeId,
+    },
+}
+
+impl Prediction {
+    /// The point forecast node: the mean for Gaussian heads, the median for
+    /// quantile heads.
+    pub fn point(&self) -> NodeId {
+        match *self {
+            Prediction::Point(p) => p,
+            Prediction::Gaussian { mu, .. } => mu,
+            Prediction::Quantiles { mid, .. } => mid,
+        }
+    }
+}
+
+/// A trainable spatio-temporal forecaster.
+///
+/// `forward` consumes a normalised history window of shape `[t_h, N]` and
+/// produces a [`Prediction`] over `[N, horizon]`. Dropout behaviour (train /
+/// MC-sample / off) is governed by the [`FwdCtx`].
+pub trait Forecaster {
+    /// The model's parameters.
+    fn params(&self) -> &ParamSet;
+    /// Mutable access for optimisers and weight averaging.
+    fn params_mut(&mut self) -> &mut ParamSet;
+    /// Number of sensors the model was built for.
+    fn n_nodes(&self) -> usize;
+    /// Forecast horizon (output steps).
+    fn horizon(&self) -> usize;
+    /// Records one forward pass on `tape`.
+    fn forward(&self, tape: &mut Tape, x: &Tensor, ctx: &mut FwdCtx<'_>) -> Prediction;
+
+    /// Forward pass with optional exogenous covariates (`[t_h, c]`, e.g. the
+    /// weather channel of the extended simulator). The default ignores them,
+    /// so only covariate-aware architectures need to override.
+    fn forward_with_cov(
+        &self,
+        tape: &mut Tape,
+        x: &Tensor,
+        _cov: Option<&Tensor>,
+        ctx: &mut FwdCtx<'_>,
+    ) -> Prediction {
+        self.forward(tape, x, ctx)
+    }
+
+    /// A short architecture name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_accessor_picks_the_right_node() {
+        assert_eq!(Prediction::Point(3).point(), 3);
+        assert_eq!(Prediction::Gaussian { mu: 5, logvar: 6 }.point(), 5);
+        assert_eq!(Prediction::Quantiles { lo: 1, mid: 2, hi: 3 }.point(), 2);
+    }
+}

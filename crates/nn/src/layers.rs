@@ -1,0 +1,441 @@
+//! Layers: linear maps, GRU cells, and the NAPL adaptive-graph GRU cell.
+//!
+//! Layers follow a *bind-then-step* pattern: a layer owns parameter slots;
+//! [`Linear::bind`] (etc.) pushes the parameter nodes onto a tape **once**
+//! and returns a bound handle whose `forward`/`step` can be called many times
+//! (e.g. for each of the 12 time steps) without re-registering parameters.
+//! This keeps the tape small and is also how the NAPL weight pools of AGCRN
+//! are hoisted: the per-node weight matrices `E·W_pool` (paper Eq. 5) are
+//! computed once per tape, not once per step.
+
+use crate::init;
+use crate::params::ParamSet;
+use stuq_tensor::{NodeId, StuqRng, Tape};
+
+/// Forward-pass context: controls dropout behaviour.
+///
+/// * training: dropout on (standard stochastic regularisation / variational
+///   learning, paper Eq. 11–13);
+/// * MC-dropout inference: dropout also on (paper §IV-C2);
+/// * deterministic inference (`DeepSTUQ/S` in Table III): dropout off.
+pub struct FwdCtx<'a> {
+    /// True during gradient-producing passes.
+    pub train: bool,
+    /// True when sampling with MC dropout at inference time.
+    pub mc_dropout: bool,
+    /// Randomness source for dropout masks.
+    pub rng: &'a mut StuqRng,
+}
+
+impl<'a> FwdCtx<'a> {
+    /// Training-mode context.
+    pub fn train(rng: &'a mut StuqRng) -> Self {
+        Self { train: true, mc_dropout: false, rng }
+    }
+
+    /// Deterministic evaluation context (dropout off).
+    pub fn eval(rng: &'a mut StuqRng) -> Self {
+        Self { train: false, mc_dropout: false, rng }
+    }
+
+    /// MC-dropout sampling context (dropout on, no training).
+    pub fn mc_sample(rng: &'a mut StuqRng) -> Self {
+        Self { train: false, mc_dropout: true, rng }
+    }
+
+    /// Whether dropout masks should be drawn.
+    pub fn dropout_active(&self) -> bool {
+        self.train || self.mc_dropout
+    }
+
+    /// Applies dropout to `x` when active; identity otherwise.
+    pub fn dropout(&mut self, tape: &mut Tape, x: NodeId, p: f32) -> NodeId {
+        if self.dropout_active() && p > 0.0 {
+            tape.dropout(x, p, self.rng)
+        } else {
+            x
+        }
+    }
+}
+
+/// A dense layer `y = x W + b`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    w: usize,
+    b: usize,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Allocates Glorot-initialised parameters.
+    pub fn new(ps: &mut ParamSet, name: &str, in_dim: usize, out_dim: usize, rng: &mut StuqRng) -> Self {
+        let w = ps.add(format!("{name}.w"), init::glorot_uniform(in_dim, out_dim, &[in_dim, out_dim], rng));
+        let b = ps.add(format!("{name}.b"), stuq_tensor::Tensor::zeros(&[1, out_dim]));
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Pushes parameter nodes onto the tape.
+    pub fn bind(&self, tape: &mut Tape, ps: &ParamSet) -> BoundLinear {
+        BoundLinear {
+            w: tape.param(self.w, ps.get(self.w).clone()),
+            b: tape.param(self.b, ps.get(self.b).clone()),
+        }
+    }
+}
+
+/// A [`Linear`] with parameters already on a tape.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundLinear {
+    w: NodeId,
+    b: NodeId,
+}
+
+impl BoundLinear {
+    /// `x @ W + b` for `x` of shape `[m, in_dim]`.
+    pub fn forward(&self, tape: &mut Tape, x: NodeId) -> NodeId {
+        let xw = tape.matmul(x, self.w);
+        tape.add_row_broadcast(xw, self.b)
+    }
+}
+
+/// A standard GRU cell over node-major states (`[N, hidden]`).
+///
+/// Used by the plain-GRU ablation model and the CFRNN baseline; the adaptive
+/// graph variant is [`AgcrnCell`].
+#[derive(Clone, Debug)]
+pub struct GruCell {
+    wz: Linear,
+    wr: Linear,
+    wc: Linear,
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl GruCell {
+    /// Allocates cell parameters.
+    pub fn new(ps: &mut ParamSet, name: &str, in_dim: usize, hidden: usize, rng: &mut StuqRng) -> Self {
+        Self {
+            wz: Linear::new(ps, &format!("{name}.z"), in_dim + hidden, hidden, rng),
+            wr: Linear::new(ps, &format!("{name}.r"), in_dim + hidden, hidden, rng),
+            wc: Linear::new(ps, &format!("{name}.c"), in_dim + hidden, hidden, rng),
+            in_dim,
+            hidden,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Pushes parameter nodes onto the tape.
+    pub fn bind(&self, tape: &mut Tape, ps: &ParamSet) -> BoundGruCell {
+        BoundGruCell {
+            wz: self.wz.bind(tape, ps),
+            wr: self.wr.bind(tape, ps),
+            wc: self.wc.bind(tape, ps),
+        }
+    }
+}
+
+/// A [`GruCell`] with parameters on a tape.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundGruCell {
+    wz: BoundLinear,
+    wr: BoundLinear,
+    wc: BoundLinear,
+}
+
+impl BoundGruCell {
+    /// One recurrence step: `(x_t [N,in], h [N,hidden]) → h' [N,hidden]`.
+    pub fn step(&self, tape: &mut Tape, x: NodeId, h: NodeId) -> NodeId {
+        let xh = tape.concat_cols(x, h);
+        let z = self.wz.forward(tape, xh);
+        let z = tape.sigmoid(z);
+        let r = self.wr.forward(tape, xh);
+        let r = tape.sigmoid(r);
+        let rh = tape.mul(r, h);
+        let xrh = tape.concat_cols(x, rh);
+        let c = self.wc.forward(tape, xrh);
+        let c = tape.tanh(c);
+        // h' = z ⊙ h + (1 − z) ⊙ c  (paper Eq. 6d).
+        let zh = tape.mul(z, h);
+        let omz = tape.one_minus(z);
+        let oc = tape.mul(omz, c);
+        tape.add(zh, oc)
+    }
+}
+
+/// The NAPL adaptive-graph GRU cell of AGCRN (paper Eq. 5–6).
+///
+/// All three gates share the node-embedding matrix `E ∈ R^{N×d}`; each gate
+/// has a weight pool `W ∈ R^{d×(c_in+h)·h}` and bias pool `b ∈ R^{d×h}` from
+/// which per-node weights are generated as `E·W` (Node Adaptive Parameter
+/// Learning). Spatial mixing multiplies by the support `I + Â` where
+/// `Â = softmax(ReLU(E Eᵀ))` (Eq. 4) is built by the owning model.
+#[derive(Clone, Debug)]
+pub struct AgcrnCell {
+    pools: [GatePool; 3],
+    in_dim: usize,
+    hidden: usize,
+    /// Dropout rate applied inside the graph convolution (paper Eq. 13).
+    dropout_p: f32,
+}
+
+#[derive(Clone, Debug)]
+struct GatePool {
+    w: usize,
+    b: usize,
+}
+
+impl AgcrnCell {
+    /// Allocates gate pools. `embed_dim` is `d` in the paper.
+    pub fn new(
+        ps: &mut ParamSet,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        embed_dim: usize,
+        dropout_p: f32,
+        rng: &mut StuqRng,
+    ) -> Self {
+        let cat = in_dim + hidden;
+        let mut pool = |gate: &str, rng: &mut StuqRng| GatePool {
+            w: ps.add(
+                format!("{name}.{gate}.w_pool"),
+                init::glorot_uniform(cat, hidden, &[embed_dim, cat * hidden], rng),
+            ),
+            b: ps.add(format!("{name}.{gate}.b_pool"), stuq_tensor::Tensor::zeros(&[embed_dim, hidden])),
+        };
+        let pools = [pool("z", rng), pool("r", rng), pool("c", rng)];
+        Self { pools, in_dim, hidden, dropout_p }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Binds the cell: computes per-node gate weights `E·W_pool` once.
+    ///
+    /// `e` must be the `[N, d]` embedding node, `support` the `[N, N]`
+    /// propagation matrix node (`I + Â`).
+    pub fn bind(&self, tape: &mut Tape, ps: &ParamSet, e: NodeId, support: NodeId) -> BoundAgcrnCell {
+        let mut gates = Vec::with_capacity(3);
+        for pool in &self.pools {
+            let wp = tape.param(pool.w, ps.get(pool.w).clone());
+            let bp = tape.param(pool.b, ps.get(pool.b).clone());
+            gates.push(BoundGate { wn: tape.matmul(e, wp), bn: tape.matmul(e, bp) });
+        }
+        BoundAgcrnCell {
+            gates: [gates[0], gates[1], gates[2]],
+            support,
+            c_in: self.in_dim,
+            hidden: self.hidden,
+            dropout_p: self.dropout_p,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct BoundGate {
+    /// `[N, (c_in+h)·h]` per-node weights.
+    wn: NodeId,
+    /// `[N, h]` per-node bias.
+    bn: NodeId,
+}
+
+/// An [`AgcrnCell`] bound to a tape (weights hoisted).
+#[derive(Clone, Copy, Debug)]
+pub struct BoundAgcrnCell {
+    gates: [BoundGate; 3],
+    support: NodeId,
+    c_in: usize,
+    hidden: usize,
+    dropout_p: f32,
+}
+
+impl BoundAgcrnCell {
+    fn gate(
+        &self,
+        tape: &mut Tape,
+        ctx: &mut FwdCtx<'_>,
+        idx: usize,
+        input: NodeId,
+    ) -> NodeId {
+        let g = &self.gates[idx];
+        // (I + Â) · [x, h]  — spatial mixing.
+        let mixed = tape.matmul(self.support, input);
+        // Per-node NAPL weights (Eq. 5), then bias.
+        let pre = tape.rowwise_matmul(mixed, g.wn, self.c_in + self.hidden, self.hidden);
+        let pre = tape.add(pre, g.bn);
+        // M ⊙ (·): dropout inside the graph convolution (Eq. 13).
+        ctx.dropout(tape, pre, self.dropout_p)
+    }
+
+    /// One recurrence step (paper Eq. 6): `(x_t [N,c_in], h [N,h]) → h'`.
+    pub fn step(&self, tape: &mut Tape, ctx: &mut FwdCtx<'_>, x: NodeId, h: NodeId) -> NodeId {
+        let xh = tape.concat_cols(x, h);
+        let z = self.gate(tape, ctx, 0, xh);
+        let z = tape.sigmoid(z);
+        let r = self.gate(tape, ctx, 1, xh);
+        let r = tape.sigmoid(r);
+        let rh = tape.mul(r, h);
+        let xrh = tape.concat_cols(x, rh);
+        let c = self.gate(tape, ctx, 2, xrh);
+        let c = tape.tanh(c);
+        let zh = tape.mul(z, h);
+        let omz = tape.one_minus(z);
+        let oc = tape.mul(omz, c);
+        tape.add(zh, oc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stuq_tensor::{StuqRng, Tensor};
+
+    #[test]
+    fn linear_forward_shape_and_value() {
+        let mut rng = StuqRng::new(1);
+        let mut ps = ParamSet::new();
+        let lin = Linear::new(&mut ps, "l", 3, 2, &mut rng);
+        // Overwrite with known weights.
+        *ps.get_mut(0) = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0], &[3, 2]);
+        *ps.get_mut(1) = Tensor::from_vec(vec![0.5, -0.5], &[1, 2]);
+        let mut tape = Tape::new();
+        let bound = lin.bind(&mut tape, &ps);
+        let x = tape.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]));
+        let y = bound.forward(&mut tape, x);
+        assert_eq!(tape.value(y).data(), &[1.5, 1.5]);
+    }
+
+    #[test]
+    fn gru_step_bounded_output() {
+        let mut rng = StuqRng::new(2);
+        let mut ps = ParamSet::new();
+        let cell = GruCell::new(&mut ps, "g", 1, 4, &mut rng);
+        let mut tape = Tape::new();
+        let bound = cell.bind(&mut tape, &ps);
+        let x = tape.constant(Tensor::randn(&[5, 1], 1.0, &mut rng));
+        let h0 = tape.constant(Tensor::zeros(&[5, 4]));
+        let h1 = bound.step(&mut tape, x, h0);
+        assert_eq!(tape.value(h1).shape(), &[5, 4]);
+        // With h0=0, h' = (1−z)·tanh(…) ∈ (−1, 1).
+        assert!(tape.value(h1).max() < 1.0 && tape.value(h1).min() > -1.0);
+    }
+
+    #[test]
+    fn gru_gradients_reach_all_parameters() {
+        let mut rng = StuqRng::new(3);
+        let mut ps = ParamSet::new();
+        let cell = GruCell::new(&mut ps, "g", 2, 3, &mut rng);
+        let mut tape = Tape::new();
+        let bound = cell.bind(&mut tape, &ps);
+        let x = tape.constant(Tensor::randn(&[4, 2], 1.0, &mut rng));
+        let mut h = tape.constant(Tensor::zeros(&[4, 3]));
+        for _ in 0..3 {
+            h = bound.step(&mut tape, x, h);
+        }
+        let sq = tape.square(h);
+        let loss = tape.mean_all(sq);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.len(), ps.len(), "every GRU parameter should get a gradient");
+    }
+
+    fn agcrn_fixture(dropout_p: f32) -> (ParamSet, AgcrnCell, Tensor, Tensor, StuqRng) {
+        let mut rng = StuqRng::new(4);
+        let mut ps = ParamSet::new();
+        let cell = AgcrnCell::new(&mut ps, "a", 1, 4, 3, dropout_p, &mut rng);
+        let n = 6;
+        let e = Tensor::randn(&[n, 3], 0.3, &mut rng);
+        // Simple support: I + ring adjacency / 2.
+        let mut s = Tensor::eye(n);
+        for i in 0..n {
+            let j = (i + 1) % n;
+            s.set(i, j, 0.5);
+            s.set(j, i, 0.5);
+        }
+        (ps, cell, e, s, rng)
+    }
+
+    #[test]
+    fn agcrn_step_shapes() {
+        let (ps, cell, e, s, mut rng) = agcrn_fixture(0.0);
+        let mut tape = Tape::new();
+        let en = tape.constant(e);
+        let sn = tape.constant(s);
+        let bound = cell.bind(&mut tape, &ps, en, sn);
+        let x = tape.constant(Tensor::randn(&[6, 1], 1.0, &mut rng));
+        let h0 = tape.constant(Tensor::zeros(&[6, 4]));
+        let mut ctx = FwdCtx::eval(&mut rng);
+        let h1 = bound.step(&mut tape, &mut ctx, x, h0);
+        assert_eq!(tape.value(h1).shape(), &[6, 4]);
+        assert!(tape.value(h1).all_finite());
+    }
+
+    #[test]
+    fn agcrn_gradients_reach_all_pools() {
+        let (ps, cell, e, s, mut rng) = agcrn_fixture(0.0);
+        let mut tape = Tape::new();
+        let en = tape.constant(e);
+        let sn = tape.constant(s);
+        let bound = cell.bind(&mut tape, &ps, en, sn);
+        let x = tape.constant(Tensor::randn(&[6, 1], 1.0, &mut rng));
+        let h0 = tape.constant(Tensor::zeros(&[6, 4]));
+        let mut ctx = FwdCtx::train(&mut rng);
+        let h1 = bound.step(&mut tape, &mut ctx, x, h0);
+        let sq = tape.square(h1);
+        let loss = tape.mean_all(sq);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.len(), 6, "3 gates × (w_pool, b_pool)");
+    }
+
+    #[test]
+    fn dropout_only_active_in_train_and_mc_modes() {
+        let (ps, cell, e, s, mut rng) = agcrn_fixture(0.9);
+        let run = |mode: u8, rng: &mut StuqRng| {
+            let mut tape = Tape::new();
+            let en = tape.constant(e.clone());
+            let sn = tape.constant(s.clone());
+            let bound = cell.bind(&mut tape, &ps, en, sn);
+            let x = tape.constant(Tensor::ones(&[6, 1]));
+            let h0 = tape.constant(Tensor::zeros(&[6, 4]));
+            let mut ctx = match mode {
+                0 => FwdCtx::eval(rng),
+                1 => FwdCtx::train(rng),
+                _ => FwdCtx::mc_sample(rng),
+            };
+            let h1 = bound.step(&mut tape, &mut ctx, x, h0);
+            tape.value(h1).clone()
+        };
+        let e1 = run(0, &mut rng);
+        let e2 = run(0, &mut rng);
+        assert_eq!(e1.data(), e2.data(), "eval mode must be deterministic");
+        let m1 = run(2, &mut rng);
+        let m2 = run(2, &mut rng);
+        assert_ne!(m1.data(), m2.data(), "MC-dropout samples must differ");
+    }
+}

@@ -1,0 +1,210 @@
+//! Dense L-BFGS minimisation (two-loop recursion + backtracking line search).
+//!
+//! The paper calibrates the temperature parameter `T` (Eq. 18) with L-BFGS;
+//! this is a small, self-contained implementation for low-dimensional smooth
+//! objectives. `f64` throughout — calibration sums millions of residuals.
+
+/// Options for [`minimize`].
+#[derive(Clone, Copy, Debug)]
+pub struct LbfgsOptions {
+    /// Maximum outer iterations.
+    pub max_iters: usize,
+    /// History size `m`.
+    pub history: usize,
+    /// Stop when the gradient ∞-norm falls below this.
+    pub grad_tol: f64,
+    /// Initial step length tried by the line search.
+    pub init_step: f64,
+}
+
+impl Default for LbfgsOptions {
+    fn default() -> Self {
+        Self { max_iters: 500, history: 10, grad_tol: 1e-8, init_step: 1.0 }
+    }
+}
+
+/// Result of [`minimize`].
+#[derive(Clone, Debug)]
+pub struct LbfgsResult {
+    /// The minimiser found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub f: f64,
+    /// Outer iterations used.
+    pub iters: usize,
+    /// True when the gradient tolerance was met.
+    pub converged: bool,
+}
+
+/// Minimises `f` from `x0`. `f` returns the objective and its gradient.
+pub fn minimize(
+    mut f: impl FnMut(&[f64]) -> (f64, Vec<f64>),
+    x0: &[f64],
+    opts: &LbfgsOptions,
+) -> LbfgsResult {
+    let n = x0.len();
+    let mut x = x0.to_vec();
+    let (mut fx, mut gx) = f(&x);
+    let mut s_hist: Vec<Vec<f64>> = Vec::new();
+    let mut y_hist: Vec<Vec<f64>> = Vec::new();
+    let mut rho_hist: Vec<f64> = Vec::new();
+
+    let inf_norm = |v: &[f64]| v.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+    let dot = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
+
+    for iter in 0..opts.max_iters {
+        if inf_norm(&gx) < opts.grad_tol {
+            return LbfgsResult { x, f: fx, iters: iter, converged: true };
+        }
+
+        // Two-loop recursion for the search direction d = −H g.
+        let mut q = gx.clone();
+        let k = s_hist.len();
+        let mut alphas = vec![0.0f64; k];
+        for i in (0..k).rev() {
+            alphas[i] = rho_hist[i] * dot(&s_hist[i], &q);
+            for j in 0..n {
+                q[j] -= alphas[i] * y_hist[i][j];
+            }
+        }
+        // Initial Hessian scaling γ = sᵀy / yᵀy.
+        if k > 0 {
+            let sy = dot(&s_hist[k - 1], &y_hist[k - 1]);
+            let yy = dot(&y_hist[k - 1], &y_hist[k - 1]);
+            if yy > 0.0 {
+                let gamma = sy / yy;
+                for qi in &mut q {
+                    *qi *= gamma;
+                }
+            }
+        }
+        for i in 0..k {
+            let beta = rho_hist[i] * dot(&y_hist[i], &q);
+            for j in 0..n {
+                q[j] += s_hist[i][j] * (alphas[i] - beta);
+            }
+        }
+        let d: Vec<f64> = q.iter().map(|&v| -v).collect();
+
+        // Backtracking Armijo line search.
+        let dir_deriv = dot(&gx, &d);
+        if dir_deriv >= 0.0 {
+            // Not a descent direction (can happen with non-convexity); reset
+            // history and fall back to steepest descent.
+            s_hist.clear();
+            y_hist.clear();
+            rho_hist.clear();
+            let g_norm = inf_norm(&gx).max(1e-12);
+            let step = opts.init_step / g_norm;
+            let x_new: Vec<f64> = x.iter().zip(&gx).map(|(xi, gi)| xi - step * gi).collect();
+            let (f_new, g_new) = f(&x_new);
+            if f_new < fx {
+                x = x_new;
+                fx = f_new;
+                gx = g_new;
+            } else {
+                return LbfgsResult { x, f: fx, iters: iter, converged: false };
+            }
+            continue;
+        }
+        let c1 = 1e-4;
+        let mut step = opts.init_step;
+        let mut accepted = false;
+        for _ in 0..40 {
+            let x_new: Vec<f64> = x.iter().zip(&d).map(|(xi, di)| xi + step * di).collect();
+            let (f_new, g_new) = f(&x_new);
+            if f_new <= fx + c1 * step * dir_deriv {
+                let s: Vec<f64> = x_new.iter().zip(&x).map(|(a, b)| a - b).collect();
+                let yv: Vec<f64> = g_new.iter().zip(&gx).map(|(a, b)| a - b).collect();
+                let sy = dot(&s, &yv);
+                if sy > 1e-12 {
+                    if s_hist.len() == opts.history {
+                        s_hist.remove(0);
+                        y_hist.remove(0);
+                        rho_hist.remove(0);
+                    }
+                    rho_hist.push(1.0 / sy);
+                    s_hist.push(s);
+                    y_hist.push(yv);
+                }
+                x = x_new;
+                fx = f_new;
+                gx = g_new;
+                accepted = true;
+                break;
+            }
+            step *= 0.5;
+        }
+        if !accepted {
+            return LbfgsResult { x, f: fx, iters: iter, converged: false };
+        }
+    }
+    let converged = inf_norm(&gx) < opts.grad_tol;
+    LbfgsResult { x, f: fx, iters: opts.max_iters, converged }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_bowl() {
+        let r = minimize(
+            |x| {
+                let f = (x[0] - 3.0).powi(2) + 2.0 * (x[1] + 1.0).powi(2);
+                (f, vec![2.0 * (x[0] - 3.0), 4.0 * (x[1] + 1.0)])
+            },
+            &[0.0, 0.0],
+            &LbfgsOptions::default(),
+        );
+        assert!(r.converged);
+        assert!((r.x[0] - 3.0).abs() < 1e-6 && (r.x[1] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rosenbrock_2d() {
+        let r = minimize(
+            |x| {
+                let (a, b) = (x[0], x[1]);
+                let f = (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2);
+                let g = vec![
+                    -2.0 * (1.0 - a) - 400.0 * a * (b - a * a),
+                    200.0 * (b - a * a),
+                ];
+                (f, g)
+            },
+            &[-1.2, 1.0],
+            &LbfgsOptions { max_iters: 2000, ..Default::default() },
+        );
+        assert!((r.x[0] - 1.0).abs() < 1e-4 && (r.x[1] - 1.0).abs() < 1e-4, "{:?}", r.x);
+    }
+
+    #[test]
+    fn temperature_objective_closed_form() {
+        // The calibration objective (Eq. 18):
+        //   J(T) = mean(−log T² + T² r²)   has the optimum  T* = 1/rms(r).
+        let residual_sq = [0.5f64, 1.5, 2.0, 4.0];
+        let mean_r2 = residual_sq.iter().sum::<f64>() / residual_sq.len() as f64;
+        let expected = (1.0 / mean_r2).sqrt();
+        let r = minimize(
+            |t| {
+                let tt = t[0];
+                let f = residual_sq.iter().map(|r2| -(tt * tt).ln() + tt * tt * r2).sum::<f64>()
+                    / residual_sq.len() as f64;
+                let g = residual_sq.iter().map(|r2| -2.0 / tt + 2.0 * tt * r2).sum::<f64>()
+                    / residual_sq.len() as f64;
+                (f, vec![g])
+            },
+            &[1.0],
+            &LbfgsOptions::default(),
+        );
+        assert!((r.x[0] - expected).abs() < 1e-6, "T {} vs {}", r.x[0], expected);
+    }
+
+    #[test]
+    fn already_at_optimum_converges_immediately() {
+        let r = minimize(|x| (x[0] * x[0], vec![2.0 * x[0]]), &[0.0], &LbfgsOptions::default());
+        assert!(r.converged);
+        assert_eq!(r.iters, 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! First-order optimisers.
+//!
+//! Both optimisers support L2 weight decay added to the gradient — the
+//! realisation of the `λ_W/2p‖w‖²` regulariser in the paper's combined loss
+//! (Eq. 12 / Eq. 14): `∇(λ_W/2 ‖w‖²) = λ_W · w`.
+
+use crate::params::ParamSet;
+use stuq_tensor::{GradStore, Tensor};
+
+/// A gradient-based parameter update rule.
+pub trait Optimizer {
+    /// Applies one update from `grads` to `params`.
+    fn step(&mut self, params: &mut ParamSet, grads: &GradStore);
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+    /// Overrides the learning rate (used by schedulers, Eq. 16).
+    fn set_lr(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self { lr, momentum, weight_decay, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut ParamSet, grads: &GradStore) {
+        if self.velocity.len() < params.len() {
+            self.velocity.resize(params.len(), None);
+        }
+        for (slot, grad) in grads.iter() {
+            let w = params.get_mut(slot);
+            let mut g = grad.clone();
+            if self.weight_decay > 0.0 {
+                g.axpy(self.weight_decay, w);
+            }
+            if self.momentum > 0.0 {
+                let v = self.velocity[slot].get_or_insert_with(|| Tensor::zeros(g.shape()));
+                // v ← μ v + g;  w ← w − lr v
+                *v = v.scale(self.momentum).add(&g);
+                w.axpy(-self.lr, v);
+            } else {
+                w.axpy(-self.lr, &g);
+            }
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with L2 weight decay folded into the gradient, the
+/// paper's optimiser for both pre-training and AWA re-training (§V-B).
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard β/ε defaults.
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut ParamSet, grads: &GradStore) {
+        if self.m.len() < params.len() {
+            self.m.resize(params.len(), None);
+            self.v.resize(params.len(), None);
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (slot, grad) in grads.iter() {
+            let w = params.get_mut(slot);
+            let mut g = grad.clone();
+            if self.weight_decay > 0.0 {
+                g.axpy(self.weight_decay, w);
+            }
+            let m = self.m[slot].get_or_insert_with(|| Tensor::zeros(g.shape()));
+            let v = self.v[slot].get_or_insert_with(|| Tensor::zeros(g.shape()));
+            *m = m.scale(self.beta1).add(&g.scale(1.0 - self.beta1));
+            let g2 = g.mul(&g);
+            *v = v.scale(self.beta2).add(&g2.scale(1.0 - self.beta2));
+            let lr = self.lr;
+            let eps = self.eps;
+            let update = m.zip(v, |mi, vi| {
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                -lr * mhat / (vhat.sqrt() + eps)
+            });
+            w.add_assign(&update);
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stuq_tensor::Tape;
+
+    /// Minimise f(w) = ‖w − target‖² and return the final parameters.
+    fn optimise(opt: &mut dyn Optimizer, steps: usize) -> Tensor {
+        let target = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[1, 3]);
+        let mut ps = ParamSet::new();
+        ps.add("w", Tensor::zeros(&[1, 3]));
+        for _ in 0..steps {
+            let mut tape = Tape::new();
+            let w = tape.param(0, ps.get(0).clone());
+            let t = tape.constant(target.clone());
+            let d = tape.sub(w, t);
+            let sq = tape.square(d);
+            let loss = tape.mean_all(sq);
+            let grads = tape.backward(loss);
+            opt.step(&mut ps, &grads);
+        }
+        ps.get(0).clone()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.5, 0.0, 0.0);
+        let w = optimise(&mut opt, 200);
+        for (a, b) in w.data().iter().zip([1.0, -2.0, 3.0]) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        let w = optimise(&mut opt, 300);
+        for (a, b) in w.data().iter().zip([1.0, -2.0, 3.0]) {
+            assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1, 0.0);
+        let w = optimise(&mut opt, 500);
+        for (a, b) in w.data().iter().zip([1.0, -2.0, 3.0]) {
+            assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn weight_decay_shrinks_solution() {
+        let mut plain = Adam::new(0.1, 0.0);
+        let mut decayed = Adam::new(0.1, 0.5);
+        let w_plain = optimise(&mut plain, 500);
+        let w_decayed = optimise(&mut decayed, 500);
+        assert!(
+            w_decayed.norm() < w_plain.norm(),
+            "decay {:.4} vs plain {:.4}",
+            w_decayed.norm(),
+            w_plain.norm()
+        );
+    }
+
+    #[test]
+    fn set_lr_is_respected() {
+        let mut opt = Adam::new(0.1, 0.0);
+        opt.set_lr(0.003);
+        assert_eq!(opt.lr(), 0.003);
+    }
+
+    #[test]
+    fn untouched_parameters_stay_put() {
+        // A parameter that receives no gradient must not move.
+        let mut ps = ParamSet::new();
+        ps.add("a", Tensor::ones(&[1, 2]));
+        ps.add("b", Tensor::ones(&[1, 2]));
+        let mut tape = Tape::new();
+        let a = tape.param(0, ps.get(0).clone());
+        let sq = tape.square(a);
+        let loss = tape.mean_all(sq);
+        let grads = tape.backward(loss);
+        let mut opt = Sgd::new(0.1, 0.0, 0.0);
+        opt.step(&mut ps, &grads);
+        assert_eq!(ps.get(1).data(), &[1.0, 1.0], "slot 1 had no gradient");
+        assert_ne!(ps.get(0).data(), &[1.0, 1.0], "slot 0 should move");
+    }
+}

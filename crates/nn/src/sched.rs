@@ -1,0 +1,120 @@
+//! Learning-rate schedules.
+//!
+//! * [`CosineSchedule`] — the within-epoch cosine decay of AWA re-training
+//!   (paper Eq. 16): the rate falls from `lr₁` to `lr₂` over the iterations
+//!   of an "escape" epoch;
+//! * [`CyclicSchedule`] — the triangular cyclic schedule of Fast Geometric
+//!   Ensembling (FGE), which repeatedly dips to the snapshot rate.
+
+/// Cosine decay from `lr_max` to `lr_min` over `total_iters` (Eq. 16).
+#[derive(Clone, Copy, Debug)]
+pub struct CosineSchedule {
+    lr_max: f32,
+    lr_min: f32,
+    total_iters: usize,
+}
+
+impl CosineSchedule {
+    /// Creates the schedule. `total_iters` is the paper's `n_i` (batches per epoch).
+    pub fn new(lr_max: f32, lr_min: f32, total_iters: usize) -> Self {
+        assert!(lr_max >= lr_min && lr_min > 0.0, "need lr_max ≥ lr_min > 0");
+        assert!(total_iters > 0, "need at least one iteration");
+        Self { lr_max, lr_min, total_iters }
+    }
+
+    /// Learning rate at iteration `i` (clamped to the final value beyond the end).
+    pub fn lr_at(&self, i: usize) -> f32 {
+        let i = i.min(self.total_iters);
+        let frac = i as f32 / self.total_iters as f32;
+        let lr = self.lr_min
+            + 0.5 * (self.lr_max - self.lr_min) * (1.0 + (std::f32::consts::PI * frac).cos());
+        lr.clamp(self.lr_min, self.lr_max)
+    }
+}
+
+/// Triangular cyclic schedule for FGE: within each cycle of `cycle_len`
+/// iterations the rate descends linearly from `lr_max` to `lr_min` and back.
+/// Snapshots are taken at cycle minima ([`CyclicSchedule::at_minimum`]).
+#[derive(Clone, Copy, Debug)]
+pub struct CyclicSchedule {
+    lr_max: f32,
+    lr_min: f32,
+    cycle_len: usize,
+}
+
+impl CyclicSchedule {
+    /// Creates the schedule; `cycle_len` must be even and positive.
+    pub fn new(lr_max: f32, lr_min: f32, cycle_len: usize) -> Self {
+        assert!(lr_max >= lr_min && lr_min > 0.0, "need lr_max ≥ lr_min > 0");
+        assert!(cycle_len >= 2 && cycle_len.is_multiple_of(2), "cycle_len must be even and ≥ 2");
+        Self { lr_max, lr_min, cycle_len }
+    }
+
+    /// Learning rate at iteration `i`.
+    pub fn lr_at(&self, i: usize) -> f32 {
+        let half = self.cycle_len / 2;
+        let pos = i % self.cycle_len;
+        // Distance from the nearest cycle maximum, in [0, 1]: 0 at the peaks
+        // (pos = 0), 1 at the trough (pos = half).
+        let frac = if pos <= half {
+            pos as f32 / half as f32
+        } else {
+            (self.cycle_len - pos) as f32 / half as f32
+        };
+        (self.lr_max - (self.lr_max - self.lr_min) * frac).clamp(self.lr_min, self.lr_max)
+    }
+
+    /// True when iteration `i` sits at a cycle minimum (snapshot point).
+    pub fn at_minimum(&self, i: usize) -> bool {
+        i % self.cycle_len == self.cycle_len / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_endpoints() {
+        let s = CosineSchedule::new(0.003, 0.00003, 100);
+        assert!((s.lr_at(0) - 0.003).abs() < 1e-9);
+        assert!((s.lr_at(100) - 0.00003).abs() < 1e-9);
+        assert!((s.lr_at(1000) - 0.00003).abs() < 1e-9, "clamps past the end");
+    }
+
+    #[test]
+    fn cosine_is_monotone_decreasing() {
+        let s = CosineSchedule::new(0.01, 0.0001, 50);
+        let mut prev = f32::INFINITY;
+        for i in 0..=50 {
+            let lr = s.lr_at(i);
+            assert!(lr <= prev + 1e-9, "increase at iter {i}");
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn cosine_midpoint_is_average() {
+        let s = CosineSchedule::new(0.01, 0.002, 10);
+        assert!((s.lr_at(5) - 0.006).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cyclic_repeats_and_dips() {
+        let s = CyclicSchedule::new(0.01, 0.001, 10);
+        assert!((s.lr_at(0) - 0.01).abs() < 1e-9);
+        assert!((s.lr_at(5) - 0.001).abs() < 1e-9);
+        assert!((s.lr_at(10) - 0.01).abs() < 1e-9);
+        assert!(s.at_minimum(5) && s.at_minimum(15));
+        assert!(!s.at_minimum(4));
+    }
+
+    #[test]
+    fn cyclic_stays_in_bounds() {
+        let s = CyclicSchedule::new(0.02, 0.0005, 8);
+        for i in 0..64 {
+            let lr = s.lr_at(i);
+            assert!((0.0005..=0.02).contains(&lr), "lr {lr} at iter {i}");
+        }
+    }
+}

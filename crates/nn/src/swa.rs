@@ -1,0 +1,110 @@
+//! Running weight averaging (paper Eq. 15).
+//!
+//! `w_avg ← (w_avg · n + w) / (n + 1)` — the update shared by SWA and the
+//! paper's Adaptive Weight Averaging (AWA) re-training, which collects one
+//! model per two-epoch escape/fine-tune cycle.
+
+use crate::params::ParamSet;
+use stuq_tensor::Tensor;
+
+/// Accumulates an equal-weight running average of parameter snapshots.
+#[derive(Clone, Debug, Default)]
+pub struct WeightAverager {
+    avg: Vec<Tensor>,
+    n_models: usize,
+}
+
+impl WeightAverager {
+    /// An empty averager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of models folded in so far (the paper's `n_models`).
+    pub fn n_models(&self) -> usize {
+        self.n_models
+    }
+
+    /// Folds the current parameters into the average (Eq. 15).
+    pub fn update(&mut self, params: &ParamSet) {
+        if self.n_models == 0 {
+            self.avg = params.snapshot();
+        } else {
+            let n = self.n_models as f32;
+            for (a, slot) in self.avg.iter_mut().enumerate() {
+                let w = params.get(a);
+                // w_avg = (w_avg·n + w)/(n+1)
+                *slot = slot.scale(n / (n + 1.0)).add(&w.scale(1.0 / (n + 1.0)));
+            }
+        }
+        self.n_models += 1;
+    }
+
+    /// Writes the averaged weights back into `params`.
+    ///
+    /// Panics if called before any [`WeightAverager::update`].
+    pub fn apply_to(&self, params: &mut ParamSet) {
+        assert!(self.n_models > 0, "no models averaged yet");
+        params.load_snapshot(&self.avg);
+    }
+
+    /// The averaged snapshot (for inspection).
+    pub fn average(&self) -> &[Tensor] {
+        &self.avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps_with(v: f32) -> ParamSet {
+        let mut ps = ParamSet::new();
+        ps.add("w", Tensor::full(&[2, 2], v));
+        ps
+    }
+
+    #[test]
+    fn average_of_three_snapshots() {
+        let mut avg = WeightAverager::new();
+        for v in [1.0, 2.0, 6.0] {
+            avg.update(&ps_with(v));
+        }
+        assert_eq!(avg.n_models(), 3);
+        let mut out = ps_with(0.0);
+        avg.apply_to(&mut out);
+        for &x in out.get(0).data() {
+            assert!((x - 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn first_update_copies() {
+        let mut avg = WeightAverager::new();
+        avg.update(&ps_with(5.0));
+        let mut out = ps_with(0.0);
+        avg.apply_to(&mut out);
+        assert_eq!(out.get(0).data(), &[5.0; 4]);
+    }
+
+    #[test]
+    fn matches_paper_recurrence() {
+        // Explicitly follow Eq. 15 step by step and compare.
+        let snaps = [3.0f32, -1.0, 7.0, 2.0];
+        let mut w_swa = 0.0f32;
+        let mut avg = WeightAverager::new();
+        for (i, &w) in snaps.iter().enumerate() {
+            w_swa = if i == 0 { w } else { (w_swa * i as f32 + w) / (i as f32 + 1.0) };
+            avg.update(&ps_with(w));
+        }
+        assert!((avg.average()[0].get(0, 0) - w_swa).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "no models averaged")]
+    fn apply_before_update_panics() {
+        let avg = WeightAverager::new();
+        let mut ps = ps_with(0.0);
+        avg.apply_to(&mut ps);
+    }
+}

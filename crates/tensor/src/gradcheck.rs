@@ -1,0 +1,337 @@
+//! Finite-difference gradient checking.
+//!
+//! Every tape op's adjoint is verified by comparing analytic gradients with
+//! central finite differences. The builder closure must register each entry
+//! of `params` as `tape.param(i, params[i].clone())` and return the scalar
+//! loss node; the checker re-runs it with perturbed parameters.
+
+use crate::tape::{NodeId, Tape};
+use crate::tensor::Tensor;
+
+/// Result of a gradient check: the worst absolute/relative discrepancy seen.
+#[derive(Debug, Clone, Copy)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numeric gradient.
+    pub max_abs_err: f64,
+    /// Largest relative difference (scaled by gradient magnitude).
+    pub max_rel_err: f64,
+}
+
+/// Checks analytic gradients of `build` against central finite differences.
+///
+/// Returns `Err` with a description of the first offending element when any
+/// entry differs by more than `tol` in both absolute and relative terms.
+pub fn check_grads(
+    mut build: impl FnMut(&mut Tape, &[Tensor]) -> NodeId,
+    params: &[Tensor],
+    eps: f64,
+    tol: f64,
+) -> Result<GradCheckReport, String> {
+    let mut tape = Tape::new();
+    let loss = build(&mut tape, params);
+    let analytic = tape.backward(loss);
+
+    let mut report = GradCheckReport { max_abs_err: 0.0, max_rel_err: 0.0 };
+    let mut work: Vec<Tensor> = params.to_vec();
+    for (pi, param) in params.iter().enumerate() {
+        let zero = Tensor::zeros(param.shape());
+        let a = analytic.get(pi).unwrap_or(&zero);
+        for ei in 0..param.len() {
+            let orig = param.data()[ei];
+            work[pi].data_mut()[ei] = orig + eps as f32;
+            let up = eval(&mut build, &work);
+            work[pi].data_mut()[ei] = orig - eps as f32;
+            let down = eval(&mut build, &work);
+            work[pi].data_mut()[ei] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            let ana = a.data()[ei] as f64;
+            let abs_err = (numeric - ana).abs();
+            let rel_err = abs_err / numeric.abs().max(ana.abs()).max(1e-8);
+            report.max_abs_err = report.max_abs_err.max(abs_err);
+            report.max_rel_err = report.max_rel_err.max(rel_err);
+            if abs_err > tol && rel_err > tol {
+                return Err(format!(
+                    "param {pi} element {ei}: analytic {ana:.6e} vs numeric {numeric:.6e} \
+                     (abs err {abs_err:.3e}, rel err {rel_err:.3e})"
+                ));
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn eval(build: &mut impl FnMut(&mut Tape, &[Tensor]) -> NodeId, params: &[Tensor]) -> f64 {
+    let mut tape = Tape::new();
+    let loss = build(&mut tape, params);
+    tape.value(loss).get(0, 0) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::StuqRng;
+
+    fn p2(rng: &mut StuqRng, shape: &[usize]) -> Tensor {
+        // Keep magnitudes moderate so finite differences are well-conditioned.
+        Tensor::randn(shape, 0.5, rng)
+    }
+
+    #[test]
+    fn gradcheck_add_sub_mul() {
+        let mut rng = StuqRng::new(100);
+        let params = vec![p2(&mut rng, &[3, 4]), p2(&mut rng, &[3, 4])];
+        check_grads(
+            |tape, ps| {
+                let a = tape.param(0, ps[0].clone());
+                let b = tape.param(1, ps[1].clone());
+                let s = tape.add(a, b);
+                let d = tape.sub(s, b);
+                let m = tape.mul(d, s);
+                tape.mean_all(m)
+            },
+            &params,
+            1e-3,
+            2e-3,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn gradcheck_matmul_transpose() {
+        let mut rng = StuqRng::new(101);
+        let params = vec![p2(&mut rng, &[3, 4]), p2(&mut rng, &[4, 2])];
+        check_grads(
+            |tape, ps| {
+                let a = tape.param(0, ps[0].clone());
+                let b = tape.param(1, ps[1].clone());
+                let y = tape.matmul(a, b);
+                let t = tape.transpose(y);
+                tape.mean_all(t)
+            },
+            &params,
+            1e-3,
+            2e-3,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn gradcheck_matmul_tb() {
+        let mut rng = StuqRng::new(102);
+        let params = vec![p2(&mut rng, &[3, 4]), p2(&mut rng, &[5, 4])];
+        check_grads(
+            |tape, ps| {
+                let a = tape.param(0, ps[0].clone());
+                let b = tape.param(1, ps[1].clone());
+                let y = tape.matmul_tb(a, b);
+                let sq = tape.square(y);
+                tape.mean_all(sq)
+            },
+            &params,
+            1e-3,
+            2e-3,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn gradcheck_activations() {
+        let mut rng = StuqRng::new(103);
+        let params = vec![p2(&mut rng, &[2, 5])];
+        check_grads(
+            |tape, ps| {
+                let x = tape.param(0, ps[0].clone());
+                let s = tape.sigmoid(x);
+                let t = tape.tanh(s);
+                let l = tape.leaky_relu(t, 0.1);
+                tape.mean_all(l)
+            },
+            &params,
+            1e-3,
+            2e-3,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn gradcheck_exp_ln_sqrt() {
+        let mut rng = StuqRng::new(104);
+        // Strictly positive inputs for ln/sqrt.
+        let t = Tensor::rand_uniform(&[2, 4], 0.5, 2.0, &mut rng);
+        check_grads(
+            |tape, ps| {
+                let x = tape.param(0, ps[0].clone());
+                let e = tape.exp(x);
+                let l = tape.ln(e);
+                let s = tape.sqrt(l);
+                tape.mean_all(s)
+            },
+            &[t],
+            1e-3,
+            2e-3,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn gradcheck_softmax_rows() {
+        let mut rng = StuqRng::new(105);
+        let params = vec![p2(&mut rng, &[3, 4])];
+        check_grads(
+            |tape, ps| {
+                let x = tape.param(0, ps[0].clone());
+                let s = tape.softmax_rows(x);
+                let sq = tape.square(s);
+                tape.sum_all(sq)
+            },
+            &params,
+            1e-3,
+            2e-3,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn gradcheck_concat_slice() {
+        let mut rng = StuqRng::new(106);
+        let params = vec![p2(&mut rng, &[3, 2]), p2(&mut rng, &[3, 3])];
+        check_grads(
+            |tape, ps| {
+                let a = tape.param(0, ps[0].clone());
+                let b = tape.param(1, ps[1].clone());
+                let c = tape.concat_cols(a, b);
+                let s = tape.slice_cols(c, 1, 4);
+                let sq = tape.square(s);
+                tape.mean_all(sq)
+            },
+            &params,
+            1e-3,
+            2e-3,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn gradcheck_slice_rows() {
+        let mut rng = StuqRng::new(112);
+        let params = vec![p2(&mut rng, &[5, 3])];
+        check_grads(
+            |tape, ps| {
+                let x = tape.param(0, ps[0].clone());
+                let s = tape.slice_rows(x, 1, 4);
+                let sq = tape.square(s);
+                tape.sum_all(sq)
+            },
+            &params,
+            1e-3,
+            2e-3,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn gradcheck_strided_slice() {
+        let mut rng = StuqRng::new(107);
+        let params = vec![p2(&mut rng, &[2, 8])];
+        check_grads(
+            |tape, ps| {
+                let x = tape.param(0, ps[0].clone());
+                let s = tape.slice_cols_strided(x, 1, 3, 3);
+                let sq = tape.square(s);
+                tape.sum_all(sq)
+            },
+            &params,
+            1e-3,
+            2e-3,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn gradcheck_row_broadcast_bias() {
+        let mut rng = StuqRng::new(108);
+        let params = vec![p2(&mut rng, &[4, 3]), p2(&mut rng, &[1, 3])];
+        check_grads(
+            |tape, ps| {
+                let x = tape.param(0, ps[0].clone());
+                let b = tape.param(1, ps[1].clone());
+                let y = tape.add_row_broadcast(x, b);
+                let sq = tape.square(y);
+                tape.mean_all(sq)
+            },
+            &params,
+            1e-3,
+            2e-3,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn gradcheck_rowwise_matmul() {
+        let mut rng = StuqRng::new(109);
+        let (n, ci, co) = (3, 2, 4);
+        let params = vec![p2(&mut rng, &[n, ci]), p2(&mut rng, &[n, ci * co])];
+        check_grads(
+            |tape, ps| {
+                let z = tape.param(0, ps[0].clone());
+                let w = tape.param(1, ps[1].clone());
+                let y = tape.rowwise_matmul(z, w, ci, co);
+                let sq = tape.square(y);
+                tape.mean_all(sq)
+            },
+            &params,
+            1e-3,
+            2e-3,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn gradcheck_abs_max_elem() {
+        let mut rng = StuqRng::new(110);
+        // Shift away from 0 where |·| and max are non-differentiable.
+        let a = Tensor::rand_uniform(&[3, 3], 0.2, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[3, 3], -1.0, -0.2, &mut rng);
+        check_grads(
+            |tape, ps| {
+                let x = tape.param(0, ps[0].clone());
+                let y = tape.param(1, ps[1].clone());
+                let ax = tape.abs(y);
+                let m = tape.max_elem(x, ax);
+                tape.mean_all(m)
+            },
+            &[a, b],
+            1e-3,
+            2e-3,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn gradcheck_gaussian_nll_composition() {
+        // The aleatoric loss of the paper (Eq. 9) built from primitives:
+        // mean(logvar + (y-mu)^2 * exp(-logvar)).
+        let mut rng = StuqRng::new(111);
+        let mu = p2(&mut rng, &[2, 3]);
+        let logvar = Tensor::rand_uniform(&[2, 3], -1.0, 1.0, &mut rng);
+        let y = p2(&mut rng, &[2, 3]);
+        check_grads(
+            |tape, ps| {
+                let mu = tape.param(0, ps[0].clone());
+                let lv = tape.param(1, ps[1].clone());
+                let y = tape.param(2, ps[2].clone());
+                let diff = tape.sub(y, mu);
+                let sq = tape.square(diff);
+                let neg_lv = tape.neg(lv);
+                let inv_var = tape.exp(neg_lv);
+                let term = tape.mul(sq, inv_var);
+                let total = tape.add(lv, term);
+                tape.mean_all(total)
+            },
+            &[mu, logvar, y],
+            1e-3,
+            2e-3,
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,206 @@
+//! Deterministic random number generation.
+//!
+//! Every stochastic component in this repository — weight initialisation,
+//! dropout masks, the traffic simulator, Monte-Carlo inference — draws from
+//! [`StuqRng`], an `xoshiro256**` generator seeded through SplitMix64. A
+//! single `u64` seed therefore pins the whole experiment bit-for-bit, which is
+//! what makes the paper-reproduction harness auditable.
+//!
+//! We implement the generator (and Box–Muller normal sampling) locally rather
+//! than depending on `rand`/`rand_distr` so that the exact stream is owned by
+//! this repository and can never change under a dependency upgrade; see
+//! DESIGN.md §5.
+
+/// A seeded `xoshiro256**` pseudo-random generator.
+#[derive(Clone, Debug)]
+pub struct StuqRng {
+    s: [u64; 4],
+    /// Cached second output of the last Box–Muller draw.
+    spare_normal: Option<f64>,
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl StuqRng {
+    /// Creates a generator from a seed; any seed (including 0) is valid.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        Self { s, spare_normal: None }
+    }
+
+    /// Derives an independent generator for a named sub-stream.
+    ///
+    /// Forking instead of sharing one generator keeps components independent:
+    /// adding an extra dropout draw in one module does not perturb the data
+    /// sampled by another.
+    pub fn fork(&mut self, stream: u64) -> Self {
+        let base = self.next_u64();
+        Self::new(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn uniform_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn uniform_f32(&mut self) -> f32 {
+        self.uniform_f64() as f32
+    }
+
+    /// Uniform integer in `[0, n)` via rejection-free Lemire reduction.
+    #[inline]
+    pub fn uniform_usize(&mut self, n: usize) -> usize {
+        assert!(n > 0, "uniform_usize(0)");
+        // 128-bit multiply keeps the modulo bias below 2^-64: negligible.
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
+    }
+
+    /// Standard-normal `f64` via Box–Muller (caching the paired draw).
+    pub fn normal_f64(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // u1 in (0, 1] so that ln(u1) is finite.
+        let u1 = 1.0 - self.uniform_f64();
+        let u2 = self.uniform_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Standard-normal `f32`.
+    #[inline]
+    pub fn normal_f32(&mut self) -> f32 {
+        self.normal_f64() as f32
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.uniform_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.uniform_usize(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StuqRng::new(123);
+        let mut b = StuqRng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StuqRng::new(1);
+        let mut b = StuqRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = StuqRng::new(9);
+        for _ in 0..10_000 {
+            let u = rng.uniform_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_usize_covers_all_buckets() {
+        let mut rng = StuqRng::new(5);
+        let mut seen = [0usize; 7];
+        for _ in 0..7_000 {
+            seen[rng.uniform_usize(7)] += 1;
+        }
+        for (i, &c) in seen.iter().enumerate() {
+            assert!(c > 700, "bucket {i} only hit {c} times");
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StuqRng::new(2024);
+        let n = 200_000;
+        let (mut sum, mut sq) = (0.0f64, 0.0f64);
+        for _ in 0..n {
+            let z = rng.normal_f64();
+            sum += z;
+            sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn normal_tail_mass_is_plausible() {
+        let mut rng = StuqRng::new(7);
+        let n = 100_000;
+        let beyond2 = (0..n).filter(|_| rng.normal_f64().abs() > 1.96).count();
+        let frac = beyond2 as f64 / n as f64;
+        // P(|Z| > 1.96) = 5%.
+        assert!((frac - 0.05).abs() < 0.005, "frac {frac}");
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut root = StuqRng::new(10);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StuqRng::new(77);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "50 elements should not stay sorted");
+    }
+}

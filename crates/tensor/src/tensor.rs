@@ -1,0 +1,517 @@
+//! Row-major dense `f32` tensors.
+//!
+//! [`Tensor`] is intentionally simple: a `Vec<f32>` plus a shape. All tape
+//! operations work on 2-D tensors; 1-D tensors are treated as `1 × n` row
+//! vectors where a matrix is expected. Reductions accumulate in `f64` to keep
+//! long sums stable.
+
+use crate::rng::StuqRng;
+
+/// A dense, row-major `f32` tensor.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.data.len() <= 8 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(f, " [{:.4}, {:.4}, …; n={}]", self.data[0], self.data[1], self.data.len())
+        }
+    }
+}
+
+impl Tensor {
+    /// Creates a tensor from raw data and a shape. Panics if they disagree.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        let numel: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            numel,
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Self { data, shape: shape.to_vec() }
+    }
+
+    /// A tensor filled with zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let numel: usize = shape.iter().product();
+        Self { data: vec![0.0; numel], shape: shape.to_vec() }
+    }
+
+    /// A tensor filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let numel: usize = shape.iter().product();
+        Self { data: vec![value; numel], shape: shape.to_vec() }
+    }
+
+    /// A `1 × 1` tensor holding one scalar.
+    pub fn scalar(value: f32) -> Self {
+        Self { data: vec![value], shape: vec![1, 1] }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Standard-normal samples scaled by `std`.
+    pub fn randn(shape: &[usize], std: f32, rng: &mut StuqRng) -> Self {
+        let numel: usize = shape.iter().product();
+        let data = (0..numel).map(|_| rng.normal_f32() * std).collect();
+        Self { data, shape: shape.to_vec() }
+    }
+
+    /// Uniform samples in `[lo, hi)`.
+    pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut StuqRng) -> Self {
+        let numel: usize = shape.iter().product();
+        let data = (0..numel).map(|_| lo + (hi - lo) * rng.uniform_f32()).collect();
+        Self { data, shape: shape.to_vec() }
+    }
+
+    /// The shape of the tensor.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of rows when viewed as a matrix (1-D tensors are row vectors).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        match self.shape.len() {
+            1 => 1,
+            2 => self.shape[0],
+            _ => panic!("rows() called on {}-d tensor", self.shape.len()),
+        }
+    }
+
+    /// Number of columns when viewed as a matrix.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        match self.shape.len() {
+            1 => self.shape[0],
+            2 => self.shape[1],
+            _ => panic!("cols() called on {}-d tensor", self.shape.len()),
+        }
+    }
+
+    /// Raw data slice.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data slice.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its backing vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element access for a matrix.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows() && c < self.cols());
+        self.data[r * self.cols() + c]
+    }
+
+    /// Element assignment for a matrix.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        let cols = self.cols();
+        debug_assert!(r < self.rows() && c < cols);
+        self.data[r * cols + c] = v;
+    }
+
+    /// Returns a new tensor with the same data and a different shape.
+    pub fn reshape(&self, shape: &[usize]) -> Self {
+        Self::from_vec(self.data.clone(), shape)
+    }
+
+    /// Applies `f` element-wise, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
+    }
+
+    /// Applies `f` element-wise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Element-wise combination of two same-shaped tensors.
+    pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
+        assert_eq!(self.shape, other.shape, "zip shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        Self { data, shape: self.shape.clone() }
+    }
+
+    /// Element-wise addition.
+    pub fn add(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// `self += other` element-wise.
+    pub fn add_assign(&mut self, other: &Self) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other` element-wise (AXPY).
+    pub fn axpy(&mut self, alpha: f32, other: &Self) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by `c`.
+    pub fn scale(&self, c: f32) -> Self {
+        self.map(|x| x * c)
+    }
+
+    /// Matrix product `self @ other` with a cache-friendly i-k-j loop.
+    pub fn matmul(&self, other: &Self) -> Self {
+        let (m, k) = (self.rows(), self.cols());
+        let (k2, n) = (other.rows(), other.cols());
+        assert_eq!(k, k2, "matmul inner dims: {}x{} @ {}x{}", m, k, k2, n);
+        let mut out = vec![0.0f32; m * n];
+        let a = &self.data;
+        let b = &other.data;
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (kk, &aik) in arow.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                for (o, &bkj) in orow.iter_mut().zip(brow) {
+                    *o += aik * bkj;
+                }
+            }
+        }
+        Self { data: out, shape: vec![m, n] }
+    }
+
+    /// Matrix product `self @ other^T`, avoiding an explicit transpose.
+    pub fn matmul_tb(&self, other: &Self) -> Self {
+        let (m, k) = (self.rows(), self.cols());
+        let (n, k2) = (other.rows(), other.cols());
+        assert_eq!(k, k2, "matmul_tb inner dims: {}x{} @ ({}x{})^T", m, k, n, k2);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let arow = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (aa, bb) in arow.iter().zip(brow) {
+                    acc += aa * bb;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Self { data: out, shape: vec![m, n] }
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Self {
+        let (m, n) = (self.rows(), self.cols());
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Self { data: out, shape: vec![n, m] }
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    pub fn concat_cols(&self, other: &Self) -> Self {
+        let m = self.rows();
+        assert_eq!(m, other.rows(), "concat_cols row mismatch");
+        let (ca, cb) = (self.cols(), other.cols());
+        let mut out = Vec::with_capacity(m * (ca + cb));
+        for i in 0..m {
+            out.extend_from_slice(&self.data[i * ca..(i + 1) * ca]);
+            out.extend_from_slice(&other.data[i * cb..(i + 1) * cb]);
+        }
+        Self { data: out, shape: vec![m, ca + cb] }
+    }
+
+    /// Vertical concatenation (stacked rows).
+    pub fn concat_rows(&self, other: &Self) -> Self {
+        let n = self.cols();
+        assert_eq!(n, other.cols(), "concat_rows col mismatch");
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Self { data, shape: vec![self.rows() + other.rows(), n] }
+    }
+
+    /// Copies the column range `[from, to)` into a new matrix.
+    pub fn slice_cols(&self, from: usize, to: usize) -> Self {
+        let (m, n) = (self.rows(), self.cols());
+        assert!(from <= to && to <= n, "slice_cols range {}..{} out of {}", from, to, n);
+        let w = to - from;
+        let mut out = Vec::with_capacity(m * w);
+        for i in 0..m {
+            out.extend_from_slice(&self.data[i * n + from..i * n + to]);
+        }
+        Self { data: out, shape: vec![m, w] }
+    }
+
+    /// Copies the row range `[from, to)` into a new matrix.
+    pub fn slice_rows(&self, from: usize, to: usize) -> Self {
+        let (m, n) = (self.rows(), self.cols());
+        assert!(from <= to && to <= m, "slice_rows range {}..{} out of {}", from, to, m);
+        Self { data: self.data[from * n..to * n].to_vec(), shape: vec![to - from, n] }
+    }
+
+    /// One row as a `1 × n` matrix.
+    pub fn row(&self, r: usize) -> Self {
+        self.slice_rows(r, r + 1)
+    }
+
+    /// Sum of all elements (accumulated in `f64`).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&x| x as f64).sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Largest element, or `-inf` when empty.
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Smallest element, or `+inf` when empty.
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Sum over rows: produces a `1 × n` row of column sums.
+    pub fn sum_rows(&self) -> Self {
+        let (m, n) = (self.rows(), self.cols());
+        let mut out = vec![0.0f32; n];
+        for i in 0..m {
+            for (o, &v) in out.iter_mut().zip(&self.data[i * n..(i + 1) * n]) {
+                *o += v;
+            }
+        }
+        Self { data: out, shape: vec![1, n] }
+    }
+
+    /// Row-wise soft-max (each row sums to one), numerically stabilised.
+    pub fn softmax_rows(&self) -> Self {
+        let (m, n) = (self.rows(), self.cols());
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let row = &self.data[i * n..(i + 1) * n];
+            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for (o, &x) in out[i * n..(i + 1) * n].iter_mut().zip(row) {
+                let e = (x - mx).exp();
+                *o = e;
+                denom += e;
+            }
+            for o in &mut out[i * n..(i + 1) * n] {
+                *o /= denom;
+            }
+        }
+        Self { data: out, shape: vec![m, n] }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+    }
+
+    /// Dot product of two same-shaped tensors, accumulated in `f64`.
+    pub fn dot(&self, other: &Self) -> f64 {
+        assert_eq!(self.shape, other.shape, "dot shape mismatch");
+        self.data.iter().zip(&other.data).map(|(&a, &b)| (a as f64) * (b as f64)).sum()
+    }
+
+    /// True when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 3);
+        assert_eq!(t.get(1, 2), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_shape_mismatch_panics() {
+        let _ = Tensor::from_vec(vec![1.0, 2.0], &[3, 3]);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Tensor::from_vec(vec![1.0, 0.0, 2.0, -1.0, 3.0, 1.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![3.0, 1.0, 2.0, 1.0, 1.0, 0.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[5.0, 1.0, 4.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let i = Tensor::eye(2);
+        assert_eq!(a.matmul(&i).data(), a.data());
+        assert_eq!(i.matmul(&a).data(), a.data());
+    }
+
+    #[test]
+    fn matmul_tb_matches_explicit_transpose() {
+        let mut rng = StuqRng::new(7);
+        let a = Tensor::randn(&[3, 5], 1.0, &mut rng);
+        let b = Tensor::randn(&[4, 5], 1.0, &mut rng);
+        let lhs = a.matmul_tb(&b);
+        let rhs = a.matmul(&b.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = StuqRng::new(1);
+        let a = Tensor::randn(&[4, 7], 1.0, &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn concat_and_slice_cols_roundtrip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![9.0, 8.0], &[2, 1]);
+        let c = a.concat_cols(&b);
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.slice_cols(0, 2), a);
+        assert_eq!(c.slice_cols(2, 3), b);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0], &[2, 3]);
+        let s = t.softmax_rows();
+        for i in 0..2 {
+            let sum: f32 = (0..3).map(|j| s.get(i, j)).sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Monotone: larger logits get larger probability.
+        assert!(s.get(0, 2) > s.get(0, 1) && s.get(0, 1) > s.get(0, 0));
+    }
+
+    #[test]
+    fn softmax_rows_handles_large_logits() {
+        let t = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]);
+        let s = t.softmax_rows();
+        assert!(s.all_finite());
+        assert!((s.get(0, 0) + s.get(0, 1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sum_rows_matches_manual() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.sum_rows().data(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0, -4.0], &[2, 2]);
+        assert_eq!(t.sum(), -2.0);
+        assert_eq!(t.mean(), -0.5);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.min(), -4.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::ones(&[2, 2]);
+        let b = Tensor::full(&[2, 2], 3.0);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[2.5, 2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn randn_has_roughly_unit_variance() {
+        let mut rng = StuqRng::new(42);
+        let t = Tensor::randn(&[100, 100], 1.0, &mut rng);
+        let mean = t.mean();
+        let var = t.data().iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>()
+            / (t.len() as f64 - 1.0);
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -1,0 +1,32 @@
+//! Synthetic traffic-flow data substrate.
+//!
+//! The paper evaluates on four Caltrans PEMS datasets (Table I) that cannot
+//! be redistributed. This crate substitutes a *simulated* traffic process on
+//! a generated road network, designed so that the statistical properties the
+//! paper's methods exploit are present:
+//!
+//! * **temporal structure** — smooth daily double-peak demand profiles with
+//!   a weekday/weekend cycle and autocorrelated congestion dynamics (what the
+//!   GRU learns);
+//! * **spatial structure** — congestion diffuses along road edges, so
+//!   neighbouring sensors are correlated (what the graph convolution learns);
+//! * **heteroscedastic noise** — observation noise grows with flow volume
+//!   (what the aleatoric mean–variance head, Eq. 8–9, must capture);
+//! * **incidents** — rare capacity-drop events that create hard-to-predict
+//!   intervals (where epistemic uncertainty matters).
+//!
+//! [`presets`] mirrors the four Table I rows exactly (node / edge / step
+//! counts); [`dataset`] handles the 6:2:2 split, z-score scaling and sliding
+//! windows (12 history steps → 12 horizon steps, as in §V-A).
+
+pub mod batch;
+pub mod dataset;
+pub mod persist;
+pub mod presets;
+pub mod simulate;
+
+pub use batch::BatchIter;
+pub use persist::{load_dataset, load_split_dataset, save_dataset};
+pub use dataset::{Scaler, Split, SplitDataset, TrafficData, Window};
+pub use presets::{DatasetSpec, Preset};
+pub use simulate::{SimulationConfig, simulate_traffic};

@@ -1,0 +1,195 @@
+//! Saving and loading traffic datasets.
+//!
+//! A dataset file stores the road network (positions + weighted edge list)
+//! and the full `[T, N]` flow series, with all floats as IEEE-754 bit
+//! patterns in hex so the round-trip is bit-exact. This lets the CLI train
+//! and forecast against a *fixed* dataset artefact instead of regenerating.
+
+use crate::dataset::{SplitDataset, TrafficData};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use stuq_graph::RoadNetwork;
+
+const MAGIC: &str = "stuq-traffic v1";
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Writes `data` to `path` (creating parent directories).
+pub fn save_dataset(data: &TrafficData, path: impl AsRef<Path>) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    let net = data.network();
+    writeln!(w, "{MAGIC}")?;
+    // Names may contain spaces; they terminate the line.
+    writeln!(w, "name {}", data.name())?;
+    writeln!(w, "nodes {}", data.n_nodes())?;
+    writeln!(w, "edges {}", net.n_edges())?;
+    writeln!(w, "steps {}", data.n_steps())?;
+    writeln!(w, "covariates {}", data.n_covariates())?;
+    writeln!(w, "positions {}", net.positions().len())?;
+    for &(x, y) in net.positions() {
+        writeln!(w, "{:08x} {:08x}", x.to_bits(), y.to_bits())?;
+    }
+    for &(u, v, len) in net.edges() {
+        writeln!(w, "e {u} {v} {:08x}", len.to_bits())?;
+    }
+    for t in 0..data.n_steps() {
+        let row: Vec<String> =
+            data.step(t).iter().map(|v| format!("{:08x}", v.to_bits())).collect();
+        writeln!(w, "{}", row.join(" "))?;
+    }
+    for t in 0..data.n_steps() {
+        let row: Vec<String> = (0..data.n_covariates())
+            .map(|k| format!("{:08x}", data.covariate(t, k).to_bits()))
+            .collect();
+        if !row.is_empty() {
+            writeln!(w, "{}", row.join(" "))?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a dataset written by [`save_dataset`].
+pub fn load_dataset(path: impl AsRef<Path>) -> io::Result<TrafficData> {
+    let mut r = BufReader::new(std::fs::File::open(path.as_ref())?);
+    let mut buf = String::new();
+    let mut next = move |r: &mut BufReader<std::fs::File>| -> io::Result<String> {
+        buf.clear();
+        if r.read_line(&mut buf)? == 0 {
+            return Err(bad("unexpected end of file"));
+        }
+        Ok(buf.trim_end().to_string())
+    };
+    if next(&mut r)? != MAGIC {
+        return Err(bad("not a stuq-traffic file"));
+    }
+    let name = next(&mut r)?
+        .strip_prefix("name ")
+        .ok_or_else(|| bad("missing name"))?
+        .to_string();
+    let mut usize_field = |r: &mut BufReader<std::fs::File>, key: &str| -> io::Result<usize> {
+        let l = next(r)?;
+        l.strip_prefix(key)
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(|| bad(format!("bad field {key:?}: {l:?}")))
+    };
+    let n_nodes = usize_field(&mut r, "nodes")?;
+    let n_edges = usize_field(&mut r, "edges")?;
+    let n_steps = usize_field(&mut r, "steps")?;
+    let n_cov = usize_field(&mut r, "covariates")?;
+    let n_pos = usize_field(&mut r, "positions")?;
+
+    let hex = |s: &str| -> io::Result<f32> {
+        u32::from_str_radix(s, 16).map(f32::from_bits).map_err(|_| bad(format!("bad hex {s:?}")))
+    };
+
+    let mut line = String::new();
+    let mut read_line = |r: &mut BufReader<std::fs::File>| -> io::Result<String> {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return Err(bad("unexpected end of file"));
+        }
+        Ok(line.trim_end().to_string())
+    };
+
+    let mut positions = Vec::with_capacity(n_pos);
+    for _ in 0..n_pos {
+        let l = read_line(&mut r)?;
+        let mut parts = l.split_whitespace();
+        let x = hex(parts.next().ok_or_else(|| bad("missing position x"))?)?;
+        let y = hex(parts.next().ok_or_else(|| bad("missing position y"))?)?;
+        positions.push((x, y));
+    }
+    let mut edges = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        let l = read_line(&mut r)?;
+        let mut parts = l.split_whitespace();
+        if parts.next() != Some("e") {
+            return Err(bad(format!("expected edge line, got {l:?}")));
+        }
+        let u: usize =
+            parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad("bad edge endpoint"))?;
+        let v: usize =
+            parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad("bad edge endpoint"))?;
+        let len = hex(parts.next().ok_or_else(|| bad("missing edge length"))?)?;
+        edges.push((u, v, len));
+    }
+    let mut values = Vec::with_capacity(n_steps * n_nodes);
+    for _ in 0..n_steps {
+        let l = read_line(&mut r)?;
+        for word in l.split_whitespace() {
+            values.push(hex(word)?);
+        }
+    }
+    if values.len() != n_steps * n_nodes {
+        return Err(bad(format!("expected {} values, read {}", n_steps * n_nodes, values.len())));
+    }
+    let mut covariates = Vec::with_capacity(n_steps * n_cov);
+    if n_cov > 0 {
+        for _ in 0..n_steps {
+            let l = read_line(&mut r)?;
+            for word in l.split_whitespace() {
+                covariates.push(hex(word)?);
+            }
+        }
+        if covariates.len() != n_steps * n_cov {
+            return Err(bad(format!(
+                "expected {} covariates, read {}",
+                n_steps * n_cov,
+                covariates.len()
+            )));
+        }
+    }
+    let net = RoadNetwork::new(n_nodes, edges, positions);
+    Ok(TrafficData::with_covariates(name, values, n_steps, net, covariates, n_cov))
+}
+
+/// Convenience: load and wrap with the paper's 12-in/12-out split geometry.
+pub fn load_split_dataset(path: impl AsRef<Path>) -> io::Result<SplitDataset> {
+    Ok(SplitDataset::new(load_dataset(path)?, 12, 12))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::Preset;
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let ds = Preset::Pems08Like.spec().scaled(0.08, 0.02).generate(77);
+        let dir = std::env::temp_dir().join("stuq_traffic_persist_test");
+        let path = dir.join("data.stuqd");
+        save_dataset(ds.data(), &path).unwrap();
+        let loaded = load_dataset(&path).unwrap();
+        assert_eq!(loaded.name(), ds.data().name());
+        assert_eq!(loaded.n_nodes(), ds.n_nodes());
+        assert_eq!(loaded.n_steps(), ds.data().n_steps());
+        assert_eq!(loaded.network().edges(), ds.data().network().edges());
+        for t in [0, 10, loaded.n_steps() - 1] {
+            for i in 0..loaded.n_nodes() {
+                assert_eq!(loaded.get(t, i).to_bits(), ds.data().get(t, i).to_bits());
+            }
+        }
+        // The wrapped split must fit the same scaler.
+        let split = load_split_dataset(&path).unwrap();
+        assert_eq!(split.scaler().mean(), ds.scaler().mean());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_non_dataset_files() {
+        let dir = std::env::temp_dir().join("stuq_traffic_persist_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.stuqd");
+        std::fs::write(&path, "hello").unwrap();
+        assert!(load_dataset(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

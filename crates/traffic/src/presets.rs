@@ -1,0 +1,160 @@
+//! Dataset presets mirroring Table I of the paper.
+//!
+//! Each preset matches the published node / edge / step counts of the
+//! corresponding PEMS dataset exactly. [`DatasetSpec::scaled`] produces
+//! proportionally shrunk variants so the experiment harness can run in
+//! minutes on a laptop; the full-size spec remains available behind a flag.
+
+use crate::dataset::{SplitDataset, TrafficData};
+use crate::simulate::{simulate_traffic_with_covariates, SimulationConfig};
+use stuq_graph::generate_road_network;
+use stuq_tensor::StuqRng;
+
+/// The four evaluation datasets of the paper (Table I).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Preset {
+    /// 358 nodes, 547 edges, 26 208 steps.
+    Pems03Like,
+    /// 307 nodes, 340 edges, 16 992 steps.
+    Pems04Like,
+    /// 883 nodes, 866 edges, 28 224 steps.
+    Pems07Like,
+    /// 170 nodes, 295 edges, 17 856 steps.
+    Pems08Like,
+}
+
+impl Preset {
+    /// All four presets in paper order.
+    pub fn all() -> [Preset; 4] {
+        [Preset::Pems03Like, Preset::Pems04Like, Preset::Pems07Like, Preset::Pems08Like]
+    }
+
+    /// The full-size specification from Table I.
+    pub fn spec(self) -> DatasetSpec {
+        match self {
+            Preset::Pems03Like => DatasetSpec::new("PEMS03-like", 358, 547, 26_208),
+            Preset::Pems04Like => DatasetSpec::new("PEMS04-like", 307, 340, 16_992),
+            Preset::Pems07Like => DatasetSpec::new("PEMS07-like", 883, 866, 28_224),
+            Preset::Pems08Like => DatasetSpec::new("PEMS08-like", 170, 295, 17_856),
+        }
+    }
+
+    /// A per-preset deterministic seed offset, so different datasets use
+    /// different networks and traffic even under the same experiment seed.
+    pub fn seed_offset(self) -> u64 {
+        match self {
+            Preset::Pems03Like => 0x03,
+            Preset::Pems04Like => 0x04,
+            Preset::Pems07Like => 0x07,
+            Preset::Pems08Like => 0x08,
+        }
+    }
+}
+
+/// A dataset specification: name, graph size and series length.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DatasetSpec {
+    /// Human-readable dataset name.
+    pub name: String,
+    /// Sensor count.
+    pub nodes: usize,
+    /// Road-segment count.
+    pub edges: usize,
+    /// Number of 5-minute steps.
+    pub steps: usize,
+}
+
+impl DatasetSpec {
+    /// Creates a spec.
+    pub fn new(name: impl Into<String>, nodes: usize, edges: usize, steps: usize) -> Self {
+        Self { name: name.into(), nodes, edges, steps }
+    }
+
+    /// Shrinks the spec by `node_frac` along the graph and `step_frac` along
+    /// time, preserving the edge/node ratio (and thus whether the graph is a
+    /// forest, like PEMS07). Minimums keep windows and training viable.
+    pub fn scaled(&self, node_frac: f64, step_frac: f64) -> DatasetSpec {
+        assert!(node_frac > 0.0 && node_frac <= 1.0, "node_frac in (0, 1]");
+        assert!(step_frac > 0.0 && step_frac <= 1.0, "step_frac in (0, 1]");
+        let nodes = ((self.nodes as f64 * node_frac).round() as usize).max(12);
+        let ratio = self.edges as f64 / self.nodes as f64;
+        let max_edges = nodes * (nodes - 1) / 2;
+        let edges = ((nodes as f64 * ratio).round() as usize).clamp(nodes / 2, max_edges);
+        let steps = ((self.steps as f64 * step_frac).round() as usize).max(288);
+        DatasetSpec::new(format!("{} (scaled)", self.name), nodes, edges, steps)
+    }
+
+    /// Generates the network and flow series, then wraps them in a
+    /// [`SplitDataset`] with the paper's 12-in / 12-out window geometry.
+    pub fn generate(&self, seed: u64) -> SplitDataset {
+        self.generate_with(seed, &SimulationConfig::default(), 12, 12)
+    }
+
+    /// Full-control generation.
+    pub fn generate_with(
+        &self,
+        seed: u64,
+        cfg: &SimulationConfig,
+        t_h: usize,
+        horizon: usize,
+    ) -> SplitDataset {
+        let net = generate_road_network(self.nodes, self.edges, seed);
+        let mut rng = StuqRng::new(seed ^ 0xDA7A_5EED);
+        let (values, cov) = simulate_traffic_with_covariates(&net, self.steps, cfg, &mut rng);
+        let n_cov = usize::from(!cov.is_empty());
+        let data =
+            TrafficData::with_covariates(self.name.clone(), values, self.steps, net, cov, n_cov);
+        SplitDataset::new(data, t_h, horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_statistics_match_paper() {
+        let rows = [
+            (Preset::Pems03Like, 358, 547, 26_208),
+            (Preset::Pems04Like, 307, 340, 16_992),
+            (Preset::Pems07Like, 883, 866, 28_224),
+            (Preset::Pems08Like, 170, 295, 17_856),
+        ];
+        for (p, n, e, t) in rows {
+            let s = p.spec();
+            assert_eq!((s.nodes, s.edges, s.steps), (n, e, t), "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn scaled_preserves_forest_shape() {
+        // PEMS07 has fewer edges than nodes; the scaled variant must too.
+        let s = Preset::Pems07Like.spec().scaled(0.1, 0.05);
+        assert!(s.edges < s.nodes, "{s:?}");
+    }
+
+    #[test]
+    fn scaled_respects_minimums() {
+        let s = Preset::Pems08Like.spec().scaled(0.01, 0.001);
+        assert!(s.nodes >= 12);
+        assert!(s.steps >= 288);
+    }
+
+    #[test]
+    fn generate_small_scaled_dataset() {
+        let spec = Preset::Pems08Like.spec().scaled(0.15, 0.05);
+        let ds = spec.generate(42);
+        assert_eq!(ds.n_nodes(), spec.nodes);
+        assert_eq!(ds.data().n_steps(), spec.steps);
+        assert_eq!(ds.data().network().n_edges(), spec.edges);
+        assert!(!ds.window_starts(crate::dataset::Split::Test).is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = Preset::Pems04Like.spec().scaled(0.08, 0.03);
+        let a = spec.generate(7);
+        let b = spec.generate(7);
+        assert_eq!(a.data().step(100), b.data().step(100));
+    }
+}

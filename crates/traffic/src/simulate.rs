@@ -1,0 +1,446 @@
+//! The traffic-flow simulator.
+//!
+//! Flow at sensor `i`, 5-minute step `t` is modelled as
+//!
+//! ```text
+//! x_i(t) = demand_i(t) · (1 − γ · tanh(c_i(t))) + ε_i(t)
+//! demand_i(t) = base_i · daily_i(t) · weekly(t)
+//! c_i(t+1) = ρ · c_i(t) + κ · mean_{j ∈ N(i)} c_j(t) + incident_i(t)
+//! ε_i(t) ~ N(0, (σ₀ + σ₁ · demand_i(t))²)
+//! ```
+//!
+//! The congestion field `c` gives temporal autocorrelation and spreads along
+//! road edges (spatial correlation); the noise term is heteroscedastic in the
+//! demand level, which is exactly the structure a mean–variance head can
+//! learn. Incidents inject bursts into `c` at random sensors.
+
+use stuq_graph::RoadNetwork;
+use stuq_tensor::StuqRng;
+
+/// Tunables of the traffic process. The defaults produce PEMS-like flow
+/// magnitudes (tens to a few hundred vehicles / 5 min).
+#[derive(Clone, Debug)]
+pub struct SimulationConfig {
+    /// 5-minute steps per day.
+    pub steps_per_day: usize,
+    /// Base demand range per sensor (vehicles / 5 min).
+    pub base_range: (f32, f32),
+    /// Congestion persistence ρ.
+    pub rho: f32,
+    /// Neighbour coupling κ.
+    pub kappa: f32,
+    /// Demand reduction at full congestion, γ.
+    pub gamma: f32,
+    /// Constant noise floor σ₀.
+    pub sigma0: f32,
+    /// Demand-proportional noise σ₁ (heteroscedasticity strength).
+    pub sigma1: f32,
+    /// Per-sensor, per-step probability that an incident starts.
+    pub incident_prob: f64,
+    /// Incident duration range in steps.
+    pub incident_len: (usize, usize),
+    /// Incident severity range (added to the congestion field each step).
+    pub incident_severity: (f32, f32),
+    /// Weekend demand multiplier.
+    pub weekend_factor: f32,
+    /// Optional weather process (the paper's named future-work extension:
+    /// "incorporation of additional relevant information, e.g., weather").
+    pub weather: Option<WeatherConfig>,
+}
+
+/// A simple region-wide rain process: wet spells start at random, reduce
+/// demand and inflate observation noise while active. The rain intensity is
+/// exposed as an exogenous covariate so weather-aware models can explain
+/// variance that weather-blind models must absorb as noise.
+#[derive(Clone, Debug)]
+pub struct WeatherConfig {
+    /// Per-step probability that a dry region turns wet.
+    pub rain_start_prob: f64,
+    /// Wet-spell duration range in steps.
+    pub rain_len: (usize, usize),
+    /// Demand multiplier at full rain intensity (< 1: people stay home).
+    pub demand_factor: f32,
+    /// Noise multiplier at full rain intensity (> 1: flow is more erratic).
+    pub noise_factor: f32,
+}
+
+impl Default for WeatherConfig {
+    fn default() -> Self {
+        Self {
+            rain_start_prob: 1.0 / 288.0, // ~one spell a day
+            rain_len: (24, 96),           // 2–8 hours
+            demand_factor: 0.8,
+            noise_factor: 1.8,
+        }
+    }
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        Self {
+            steps_per_day: 288,
+            base_range: (120.0, 420.0),
+            rho: 0.85,
+            kappa: 0.10,
+            gamma: 0.45,
+            sigma0: 3.0,
+            sigma1: 0.06,
+            incident_prob: 1.0 / (288.0 * 12.0),
+            incident_len: (6, 18), // 30–90 minutes
+            incident_severity: (0.4, 1.2),
+            weekend_factor: 0.72,
+            weather: None,
+        }
+    }
+}
+
+struct SensorProfile {
+    base: f32,
+    /// Morning / evening peak centres in hours, and their relative weights.
+    morning_h: f32,
+    evening_h: f32,
+    morning_w: f32,
+    evening_w: f32,
+    /// Peak widths in hours.
+    morning_sd: f32,
+    evening_sd: f32,
+}
+
+impl SensorProfile {
+    fn sample(cfg: &SimulationConfig, rng: &mut StuqRng) -> Self {
+        let (lo, hi) = cfg.base_range;
+        // Commute direction: some sensors are morning-heavy, some evening-heavy.
+        let dir = rng.uniform_f32();
+        Self {
+            base: lo + (hi - lo) * rng.uniform_f32(),
+            morning_h: 7.5 + rng.normal_f32() * 0.5,
+            evening_h: 17.5 + rng.normal_f32() * 0.5,
+            morning_w: 0.35 + 0.45 * dir,
+            evening_w: 0.35 + 0.45 * (1.0 - dir),
+            morning_sd: 1.4 + 0.4 * rng.uniform_f32(),
+            evening_sd: 1.7 + 0.5 * rng.uniform_f32(),
+        }
+    }
+
+    /// Relative demand at time-of-day `h` (hours in `[0, 24)`).
+    fn daily(&self, h: f32) -> f32 {
+        let bump = |centre: f32, sd: f32| {
+            // Wrap-around distance on the 24-hour circle.
+            let d = (h - centre).rem_euclid(24.0);
+            let d = d.min(24.0 - d);
+            (-(d * d) / (2.0 * sd * sd)).exp()
+        };
+        // Night floor + two commute peaks.
+        0.18 + self.morning_w * bump(self.morning_h, self.morning_sd)
+            + self.evening_w * bump(self.evening_h, self.evening_sd)
+    }
+}
+
+/// Simulates `n_steps` of flow on `network`. Returns row-major `[T, N]` data.
+pub fn simulate_traffic(
+    network: &RoadNetwork,
+    n_steps: usize,
+    cfg: &SimulationConfig,
+    rng: &mut StuqRng,
+) -> Vec<f32> {
+    simulate_traffic_with_covariates(network, n_steps, cfg, rng).0
+}
+
+/// Like [`simulate_traffic`], additionally returning the exogenous covariate
+/// series: one rain-intensity value in `[0, 1]` per step (empty when
+/// `cfg.weather` is `None`).
+pub fn simulate_traffic_with_covariates(
+    network: &RoadNetwork,
+    n_steps: usize,
+    cfg: &SimulationConfig,
+    rng: &mut StuqRng,
+) -> (Vec<f32>, Vec<f32>) {
+    let n = network.n_nodes();
+    let adj = network.adjacency_lists();
+    let profiles: Vec<SensorProfile> =
+        (0..n).map(|_| SensorProfile::sample(cfg, rng)).collect();
+
+    let mut congestion = vec![0.0f32; n];
+    let mut next_congestion = vec![0.0f32; n];
+    // Remaining steps and severity of the active incident per sensor.
+    let mut incident_left = vec![0usize; n];
+    let mut incident_sev = vec![0.0f32; n];
+
+    let mut out = Vec::with_capacity(n_steps * n);
+    let mut rain_series = Vec::with_capacity(if cfg.weather.is_some() { n_steps } else { 0 });
+    // Region-wide rain state: remaining wet steps and spell intensity.
+    let mut rain_left = 0usize;
+    let mut rain_intensity = 0.0f32;
+    let steps_per_day = cfg.steps_per_day;
+    for t in 0..n_steps {
+        let hour = (t % steps_per_day) as f32 * 24.0 / steps_per_day as f32;
+        let day = t / steps_per_day;
+        let weekly = if day % 7 >= 5 { cfg.weekend_factor } else { 1.0 };
+
+        let mut weather_demand = 1.0f32;
+        let mut weather_noise = 1.0f32;
+        if let Some(w) = &cfg.weather {
+            if rain_left == 0 && rng.bernoulli(w.rain_start_prob) {
+                let (l0, l1) = w.rain_len;
+                rain_left = l0 + rng.uniform_usize(l1 - l0 + 1);
+                rain_intensity = 0.4 + 0.6 * rng.uniform_f32();
+            }
+            let rain = if rain_left > 0 {
+                rain_left -= 1;
+                rain_intensity
+            } else {
+                0.0
+            };
+            rain_series.push(rain);
+            weather_demand = 1.0 - (1.0 - w.demand_factor) * rain;
+            weather_noise = 1.0 + (w.noise_factor - 1.0) * rain;
+        }
+
+        // Congestion dynamics.
+        for i in 0..n {
+            if incident_left[i] == 0 && rng.bernoulli(cfg.incident_prob) {
+                let (l0, l1) = cfg.incident_len;
+                let (s0, s1) = cfg.incident_severity;
+                incident_left[i] = l0 + rng.uniform_usize(l1 - l0 + 1);
+                incident_sev[i] = s0 + (s1 - s0) * rng.uniform_f32();
+            }
+            let nbr_mean = if adj[i].is_empty() {
+                0.0
+            } else {
+                adj[i].iter().map(|&j| congestion[j]).sum::<f32>() / adj[i].len() as f32
+            };
+            let mut c = cfg.rho * congestion[i] + cfg.kappa * nbr_mean;
+            if incident_left[i] > 0 {
+                incident_left[i] -= 1;
+                c += incident_sev[i];
+            }
+            next_congestion[i] = c;
+        }
+        std::mem::swap(&mut congestion, &mut next_congestion);
+
+        // Observations.
+        for (i, p) in profiles.iter().enumerate() {
+            let demand = p.base * p.daily(hour) * weekly * weather_demand;
+            let flow = demand * (1.0 - cfg.gamma * congestion[i].tanh());
+            let sigma = (cfg.sigma0 + cfg.sigma1 * demand) * weather_noise;
+            let x = flow + sigma * rng.normal_f32();
+            out.push(x.max(0.0));
+        }
+    }
+    (out, rain_series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stuq_graph::generate_road_network;
+
+    fn sim(n_steps: usize, seed: u64) -> (RoadNetwork, Vec<f32>) {
+        let net = generate_road_network(20, 30, seed);
+        let mut rng = StuqRng::new(seed);
+        let data = simulate_traffic(&net, n_steps, &SimulationConfig::default(), &mut rng);
+        (net, data)
+    }
+
+    #[test]
+    fn output_shape_and_nonnegativity() {
+        let (_, data) = sim(288 * 2, 1);
+        assert_eq!(data.len(), 288 * 2 * 20);
+        assert!(data.iter().all(|&x| x >= 0.0 && x.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (_, a) = sim(288, 5);
+        let (_, b) = sim(288, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn daily_peaks_exceed_night_flow() {
+        let (_, data) = sim(288 * 7, 2);
+        let n = 20;
+        // Average flow during 3–4 am vs 5–6 pm over a week.
+        let tod_mean = |h0: usize| {
+            let (mut sum, mut cnt) = (0.0f64, 0usize);
+            for day in 0..7 {
+                for s in 0..12 {
+                    let t = day * 288 + h0 * 12 + s;
+                    for i in 0..n {
+                        sum += data[t * n + i] as f64;
+                        cnt += 1;
+                    }
+                }
+            }
+            sum / cnt as f64
+        };
+        let night = tod_mean(3);
+        let evening = tod_mean(17);
+        assert!(evening > 2.0 * night, "evening {evening:.1} vs night {night:.1}");
+    }
+
+    #[test]
+    fn weekend_flow_is_lower() {
+        let (_, data) = sim(288 * 14, 3);
+        let n = 20;
+        let day_mean = |d: usize| {
+            let mut sum = 0.0f64;
+            for t in d * 288..(d + 1) * 288 {
+                for i in 0..n {
+                    sum += data[t * n + i] as f64;
+                }
+            }
+            sum / (288.0 * n as f64)
+        };
+        let weekday = (day_mean(0) + day_mean(1) + day_mean(7) + day_mean(8)) / 4.0;
+        let weekend = (day_mean(5) + day_mean(6) + day_mean(12) + day_mean(13)) / 4.0;
+        assert!(weekend < 0.9 * weekday, "weekend {weekend:.1} vs weekday {weekday:.1}");
+    }
+
+    #[test]
+    fn temporal_autocorrelation_present() {
+        let (_, data) = sim(288 * 7, 4);
+        let n = 20;
+        let series: Vec<f64> = (0..288 * 7).map(|t| data[t * n] as f64).collect();
+        let mean = series.iter().sum::<f64>() / series.len() as f64;
+        let var: f64 = series.iter().map(|x| (x - mean).powi(2)).sum();
+        let lag1: f64 =
+            series.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>();
+        let rho = lag1 / var;
+        assert!(rho > 0.8, "lag-1 autocorrelation {rho:.3}");
+    }
+
+    #[test]
+    fn neighbours_more_correlated_than_strangers() {
+        let net = generate_road_network(30, 45, 11);
+        // Stronger coupling makes the test statistic robust.
+        let cfg = SimulationConfig {
+            kappa: 0.25,
+            incident_prob: 1.0 / 200.0,
+            ..Default::default()
+        };
+        let mut rng = StuqRng::new(11);
+        let t_total = 288 * 5;
+        let data = simulate_traffic(&net, t_total, &cfg, &mut rng);
+        let n = net.n_nodes();
+        // Remove the shared daily cycle by differencing, then correlate.
+        let corr = |a: usize, b: usize| {
+            let xa: Vec<f64> =
+                (1..t_total).map(|t| (data[t * n + a] - data[(t - 1) * n + a]) as f64).collect();
+            let xb: Vec<f64> =
+                (1..t_total).map(|t| (data[t * n + b] - data[(t - 1) * n + b]) as f64).collect();
+            let ma = xa.iter().sum::<f64>() / xa.len() as f64;
+            let mb = xb.iter().sum::<f64>() / xb.len() as f64;
+            let cov: f64 = xa.iter().zip(&xb).map(|(x, y)| (x - ma) * (y - mb)).sum();
+            let va: f64 = xa.iter().map(|x| (x - ma).powi(2)).sum();
+            let vb: f64 = xb.iter().map(|x| (x - mb).powi(2)).sum();
+            cov / (va.sqrt() * vb.sqrt())
+        };
+        let adj = net.adjacency_lists();
+        let mut nbr_corr = Vec::new();
+        for (u, nbrs) in adj.iter().enumerate() {
+            for &v in nbrs {
+                if v > u {
+                    nbr_corr.push(corr(u, v));
+                }
+            }
+        }
+        let mut far_corr = Vec::new();
+        for u in (0..n).step_by(3) {
+            for v in (0..n).step_by(4) {
+                if v > u && !adj[u].contains(&v) {
+                    far_corr.push(corr(u, v));
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&nbr_corr) > mean(&far_corr),
+            "neighbour corr {:.4} should exceed non-neighbour corr {:.4}",
+            mean(&nbr_corr),
+            mean(&far_corr)
+        );
+    }
+
+    #[test]
+    fn weather_disabled_means_no_covariates() {
+        let net = generate_road_network(10, 15, 1);
+        let mut rng = StuqRng::new(1);
+        let (values, cov) = simulate_traffic_with_covariates(
+            &net,
+            288,
+            &SimulationConfig::default(),
+            &mut rng,
+        );
+        assert_eq!(values.len(), 288 * 10);
+        assert!(cov.is_empty());
+    }
+
+    #[test]
+    fn rain_reduces_flow_and_fills_covariates() {
+        let net = generate_road_network(10, 15, 2);
+        let cfg = SimulationConfig {
+            incident_prob: 0.0,
+            weather: Some(WeatherConfig {
+                rain_start_prob: 1.0 / 100.0,
+                demand_factor: 0.5,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let mut rng = StuqRng::new(2);
+        let steps = 288 * 14;
+        let (values, cov) = simulate_traffic_with_covariates(&net, steps, &cfg, &mut rng);
+        assert_eq!(cov.len(), steps);
+        assert!(cov.iter().all(|&r| (0.0..=1.0).contains(&r)));
+        let wet_steps = cov.iter().filter(|&&r| r > 0.0).count();
+        assert!(wet_steps > 100, "expected wet spells, got {wet_steps} wet steps");
+
+        // Compare day-time flow during rain vs dry at matched hours.
+        let n = 10;
+        let (mut wet_sum, mut wet_n, mut dry_sum, mut dry_n) = (0.0f64, 0usize, 0.0f64, 0usize);
+        for t in 0..steps {
+            let hod = t % 288;
+            if !(96..=240).contains(&hod) {
+                continue; // daytime only, so the daily cycle cancels
+            }
+            let mean: f64 =
+                (0..n).map(|i| values[t * n + i] as f64).sum::<f64>() / n as f64;
+            if cov[t] > 0.5 {
+                wet_sum += mean;
+                wet_n += 1;
+            } else if cov[t] == 0.0 {
+                dry_sum += mean;
+                dry_n += 1;
+            }
+        }
+        assert!(wet_n > 50 && dry_n > 50, "wet {wet_n}, dry {dry_n}");
+        let (wet, dry) = (wet_sum / wet_n as f64, dry_sum / dry_n as f64);
+        assert!(wet < 0.85 * dry, "rain should suppress flow: wet {wet:.1} vs dry {dry:.1}");
+    }
+
+    #[test]
+    fn noise_is_heteroscedastic() {
+        // Repeat the same config with many seeds; high-demand times must show
+        // larger dispersion than low-demand times.
+        let net = generate_road_network(10, 15, 21);
+        let cfg = SimulationConfig { incident_prob: 0.0, ..Default::default() };
+        let reps = 64;
+        let t_night = 3 * 12; // 03:00
+        let t_peak = 17 * 12 + 6; // 17:30
+        let (mut night, mut peak) = (Vec::new(), Vec::new());
+        for s in 0..reps {
+            let mut rng = StuqRng::new(1000 + s);
+            let data = simulate_traffic(&net, 288, &cfg, &mut rng);
+            night.push(data[t_night * 10] as f64);
+            peak.push(data[t_peak * 10] as f64);
+        }
+        let sd = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            (v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (v.len() - 1) as f64).sqrt()
+        };
+        // Different seeds change sensor profiles too, so compare relative
+        // spread: the peak level varies more in absolute terms.
+        assert!(sd(&peak) > sd(&night), "peak sd {:.2} vs night sd {:.2}", sd(&peak), sd(&night));
+    }
+}

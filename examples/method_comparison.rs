@@ -1,0 +1,66 @@
+//! Compare uncertainty-quantification paradigms on one dataset — a
+//! miniature of the paper's Table IV.
+//!
+//! Trains a deterministic point model, an aleatoric-only model (MVE), an
+//! epistemic-only model (MC dropout) and the full DeepSTUQ on the same base
+//! architecture, then prints all six metrics side by side.
+//!
+//! ```bash
+//! cargo run --release -p deepstuq --example method_comparison
+//! ```
+
+use deepstuq::methods::{Method, MethodConfig, TrainedMethod};
+use stuq_traffic::{Preset, Split};
+
+fn main() {
+    let spec = Preset::Pems08Like.spec().scaled(0.12, 0.04);
+    let ds = spec.generate(11);
+    println!(
+        "dataset: {} ({} sensors, {} steps)\n",
+        ds.data().name(),
+        ds.n_nodes(),
+        ds.data().n_steps()
+    );
+
+    let methods = [Method::Point, Method::Mve, Method::Mcdo, Method::DeepStuq];
+    let cfg = MethodConfig::fast(ds.n_nodes(), 2, 8);
+
+    println!(
+        "{:>10} | {:>22} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+        "method", "paradigm", "MAE", "RMSE", "MAPE%", "MNLL", "PICP%", "MPIW"
+    );
+    println!("{}", "-".repeat(100));
+    for m in methods {
+        eprintln!("training {} …", m.name());
+        let mut tm = TrainedMethod::train(m, &ds, cfg.clone(), 11);
+        let r = tm.evaluate(&ds, Split::Test, 5);
+        let (mnll, picp, mpiw) = match &r.uq {
+            Some(u) => (fmt(u.mnll), fmt(u.picp), fmt(u.mpiw)),
+            None => ("-".into(), "-".into(), "-".into()),
+        };
+        println!(
+            "{:>10} | {:>22} | {:>8.2} {:>8.2} {:>8.2} | {:>8} {:>8} {:>8}",
+            m.name(),
+            m.paradigm(),
+            r.point.mae,
+            r.point.rmse,
+            r.point.mape,
+            mnll,
+            picp,
+            mpiw
+        );
+    }
+    println!(
+        "\nreading guide (paper §V-F): MCDO's interval is far too narrow (PICP ≪ 95);\n\
+         MVE fixes coverage via the aleatoric head; DeepSTUQ combines both kinds of\n\
+         uncertainty and calibrates, giving the best likelihood at near-nominal coverage."
+    );
+}
+
+fn fmt(x: f64) -> String {
+    if x.is_nan() {
+        "-".into()
+    } else {
+        format!("{x:.2}")
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: train DeepSTUQ on a synthetic PEMS-like dataset and make a
+//! probabilistic traffic forecast.
+//!
+//! ```bash
+//! cargo run --release -p deepstuq --example quickstart
+//! ```
+
+use deepstuq::pipeline::{DeepStuq, DeepStuqConfig};
+use stuq_tensor::StuqRng;
+use stuq_traffic::{Preset, Split};
+
+fn main() {
+    // 1. Data: a scaled-down PEMS08-like dataset (synthetic road network +
+    //    simulated flow; see DESIGN.md for why the real PEMS data is
+    //    substituted). 12 history steps → 12 forecast steps, split 6:2:2.
+    let spec = Preset::Pems08Like.spec().scaled(0.2, 0.05);
+    println!("dataset: {} ({} sensors, {} steps)", spec.name, spec.nodes, spec.steps);
+    let ds = spec.generate(42);
+
+    // 2. Train the full three-stage pipeline: pre-train (combined loss,
+    //    Eq. 14) → AWA re-train (Algorithm 1) → temperature calibration
+    //    (Eq. 18). `fast_demo` keeps this to ~a minute; swap in
+    //    `DeepStuqConfig::paper` for the publication settings.
+    let cfg = DeepStuqConfig::fast_demo(ds.n_nodes(), ds.horizon());
+    println!("training DeepSTUQ (pre-train → AWA → calibrate)…");
+    let model = DeepStuq::train(&ds, cfg, 42);
+    println!("fitted temperature T = {:.3}", model.temperature());
+
+    // 3. Forecast one held-out window with 10 MC-dropout samples.
+    let starts = ds.window_starts(Split::Test);
+    let window = ds.window(starts[starts.len() / 2]);
+    let mut rng = StuqRng::new(7);
+    let f = model.predict_with_samples(&window.x, ds.scaler(), 10, &mut rng);
+
+    // 4. Inspect sensor 0: mean, decomposed uncertainty and 95 % interval.
+    println!("\nsensor 0, next hour (5-minute steps):");
+    println!(
+        "{:>4} {:>8} {:>8} {:>7} {:>7} {:>7}  95% interval",
+        "step", "truth", "mean", "σ_alea", "σ_epis", "σ_tot"
+    );
+    for h in 0..ds.horizon() {
+        println!(
+            "{:>4} {:>8.1} {:>8.1} {:>7.2} {:>7.2} {:>7.2}  [{:>6.1}, {:>6.1}]",
+            h + 1,
+            window.y_raw.get(h, 0),
+            f.mu.get(0, h),
+            f.sigma_aleatoric.get(0, h),
+            f.sigma_epistemic.get(0, h),
+            f.sigma_total.get(0, h),
+            f.lower.get(0, h),
+            f.upper.get(0, h),
+        );
+    }
+
+    // 5. Coverage sanity over the whole window.
+    let mut covered = 0;
+    let total = ds.n_nodes() * ds.horizon();
+    for i in 0..ds.n_nodes() {
+        for h in 0..ds.horizon() {
+            let y = window.y_raw.get(h, i);
+            if y >= f.lower.get(i, h) && y <= f.upper.get(i, h) {
+                covered += 1;
+            }
+        }
+    }
+    println!(
+        "\n95% interval covered {covered}/{total} points ({:.1} %)",
+        100.0 * covered as f64 / total as f64
+    );
+}

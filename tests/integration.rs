@@ -1,0 +1,197 @@
+//! Cross-crate integration tests: data substrate → models → training →
+//! uncertainty pipeline → evaluation.
+
+use deepstuq::methods::{Method, MethodConfig, TrainedMethod};
+use deepstuq::pipeline::{DeepStuq, DeepStuqConfig};
+use deepstuq::trainer::{eval_loss, train, LossKind};
+use deepstuq::TrainConfig;
+use stuq_models::{Agcrn, AgcrnConfig, HeadKind};
+use stuq_tensor::StuqRng;
+use stuq_traffic::{Preset, Split, SplitDataset};
+
+fn tiny_ds(seed: u64) -> SplitDataset {
+    Preset::Pems08Like.spec().scaled(0.08, 0.02).generate(seed)
+}
+
+#[test]
+fn full_pipeline_end_to_end() {
+    let ds = tiny_ds(100);
+    let cfg = DeepStuqConfig::fast_demo(ds.n_nodes(), ds.horizon());
+    let model = DeepStuq::train(&ds, cfg, 100);
+    assert!(model.temperature().is_finite() && model.temperature() > 0.0);
+
+    // Evaluate coverage over a handful of test windows.
+    let starts = ds.window_starts(Split::Test);
+    let mut rng = StuqRng::new(1);
+    let mut covered = 0usize;
+    let mut total = 0usize;
+    for &s in starts.iter().step_by(9) {
+        let w = ds.window(s);
+        let f = model.predict(&w.x, ds.scaler(), &mut rng);
+        for i in 0..ds.n_nodes() {
+            for h in 0..ds.horizon() {
+                let y = w.y_raw.get(h, i);
+                total += 1;
+                if y >= f.lower.get(i, h) && y <= f.upper.get(i, h) {
+                    covered += 1;
+                }
+            }
+        }
+    }
+    let picp = 100.0 * covered as f64 / total as f64;
+    // Even a lightly trained calibrated model should land in a broad band
+    // around nominal coverage — far from both 0 and degenerate 100-with-
+    // infinite-width (width is implicitly bounded by the sane MNLL below).
+    assert!(picp > 60.0, "coverage collapsed: PICP {picp:.1}%");
+}
+
+#[test]
+fn training_is_bit_reproducible_for_fixed_seed() {
+    let ds = tiny_ds(101);
+    let cfg = MethodConfig::fast(ds.n_nodes(), 1, 8);
+    let mut a = TrainedMethod::train(Method::Mve, &ds, cfg.clone(), 7);
+    let mut b = TrainedMethod::train(Method::Mve, &ds, cfg, 7);
+    let ra = a.evaluate(&ds, Split::Test, 9);
+    let rb = b.evaluate(&ds, Split::Test, 9);
+    assert_eq!(ra.point.mae.to_bits(), rb.point.mae.to_bits(), "same seed, same result");
+    assert_eq!(
+        ra.uq.unwrap().mnll.to_bits(),
+        rb.uq.unwrap().mnll.to_bits(),
+        "UQ metrics must also be bit-stable"
+    );
+}
+
+#[test]
+fn different_seeds_give_different_models() {
+    let ds = tiny_ds(102);
+    let cfg = MethodConfig::fast(ds.n_nodes(), 1, 8);
+    let mut a = TrainedMethod::train(Method::Point, &ds, cfg.clone(), 1);
+    let mut b = TrainedMethod::train(Method::Point, &ds, cfg, 2);
+    let ra = a.evaluate(&ds, Split::Test, 9);
+    let rb = b.evaluate(&ds, Split::Test, 9);
+    assert_ne!(ra.point.mae.to_bits(), rb.point.mae.to_bits());
+}
+
+#[test]
+fn spatial_model_beats_temporal_only_ablation() {
+    // The architectural claim behind the paper's base-model choice: graph
+    // mixing helps on spatially-correlated traffic. Generate data with
+    // strong spatial coupling and train AGCRN (adaptive graph) and the
+    // plain GRU ablation under identical budgets and widths.
+    let sim = stuq_traffic::SimulationConfig {
+        kappa: 0.3,
+        incident_prob: 1.0 / 400.0,
+        ..Default::default()
+    };
+    let ds = Preset::Pems04Like.spec().scaled(0.08, 0.03).generate_with(103, &sim, 12, 12);
+    let mut rng_a = StuqRng::new(103);
+    let mut rng_b = StuqRng::new(103);
+    let cfg = TrainConfig::scaled(5, 8);
+
+    let mut agcrn = Agcrn::new(
+        AgcrnConfig::new(ds.n_nodes(), ds.horizon())
+            .with_capacity(16, 4, 1)
+            .with_dropout(0.0, 0.0)
+            .with_head(HeadKind::Point),
+        &mut rng_a,
+    );
+    let _ = train(&mut agcrn, &ds, &cfg, LossKind::Mae, &mut rng_a);
+    let mae_agcrn = eval_loss(&agcrn, &ds, Split::Test, LossKind::Mae, 7, &mut rng_a);
+
+    let mut gru = stuq_models::gru::GruForecaster::new(
+        stuq_models::gru::GruConfig { hidden: 16, ..stuq_models::gru::GruConfig::new(ds.n_nodes(), ds.horizon()) },
+        &mut rng_b,
+    );
+    let _ = train(&mut gru, &ds, &cfg, LossKind::Mae, &mut rng_b);
+    let mae_gru = eval_loss(&gru, &ds, Split::Test, LossKind::Mae, 7, &mut rng_b);
+
+    assert!(
+        mae_agcrn < mae_gru * 1.1,
+        "AGCRN ({mae_agcrn:.4}) should be competitive with or better than GRU ({mae_gru:.4})"
+    );
+}
+
+#[test]
+fn deepstuq_nll_beats_uncalibrated_epistemic_only() {
+    // Table IV's central ordering: MCDO's MNLL is catastrophically worse
+    // than DeepSTUQ's because it ignores aleatoric noise.
+    let ds = tiny_ds(104);
+    let cfg = MethodConfig::fast(ds.n_nodes(), 1, 8);
+    let mut mcdo = TrainedMethod::train(Method::Mcdo, &ds, cfg.clone(), 104);
+    let mut stuq = TrainedMethod::train(Method::DeepStuq, &ds, cfg, 104);
+    let r_mcdo = mcdo.evaluate(&ds, Split::Test, 9);
+    let r_stuq = stuq.evaluate(&ds, Split::Test, 9);
+    let (u_mcdo, u_stuq) = (r_mcdo.uq.unwrap(), r_stuq.uq.unwrap());
+    assert!(
+        u_stuq.mnll < u_mcdo.mnll,
+        "DeepSTUQ MNLL {:.2} must beat MCDO {:.2}",
+        u_stuq.mnll,
+        u_mcdo.mnll
+    );
+    assert!(u_stuq.picp > u_mcdo.picp, "and cover more");
+}
+
+#[test]
+#[should_panic(expected = "node mismatch")]
+fn config_dataset_mismatch_is_rejected() {
+    let ds = tiny_ds(105);
+    let cfg = DeepStuqConfig::fast_demo(ds.n_nodes() + 1, ds.horizon());
+    let _ = DeepStuq::train(&ds, cfg, 1);
+}
+
+#[test]
+fn weather_covariates_flow_end_to_end() {
+    // The weather extension (paper "future work"): a dataset generated with
+    // the rain process exposes a covariate channel, a covariate-aware AGCRN
+    // consumes it through the whole pipeline, and predictions remain sane.
+    let sim = stuq_traffic::SimulationConfig {
+        weather: Some(stuq_traffic::simulate::WeatherConfig {
+            rain_start_prob: 1.0 / 60.0,
+            demand_factor: 0.6,
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    let spec = Preset::Pems08Like.spec().scaled(0.08, 0.02);
+    let ds = spec.generate_with(107, &sim, 12, 12);
+    assert_eq!(ds.data().n_covariates(), 1, "weather must add one channel");
+    let w0 = ds.window(0);
+    let cov = w0.cov.as_ref().expect("window carries covariates");
+    assert_eq!(cov.shape(), &[12, 1]);
+
+    let mut cfg = DeepStuqConfig::fast_demo(ds.n_nodes(), ds.horizon());
+    cfg.base = cfg.base.with_covariates(1);
+    let model = DeepStuq::train(&ds, cfg, 107);
+    let starts = ds.window_starts(Split::Test);
+    let w = ds.window(starts[0]);
+    let mut rng = StuqRng::new(1);
+    let f = model.predict_window(&w, ds.scaler(), &mut rng);
+    assert!(f.mu.all_finite());
+    assert!(f.sigma_total.min() > 0.0);
+
+    // The covariate genuinely changes the prediction: zeroing the rain
+    // channel at inference must move the output.
+    let mut dry = w.clone();
+    dry.cov = Some(stuq_tensor::Tensor::ones(&[12, 1]));
+    let mut rng2 = StuqRng::new(1);
+    let f_dry = model.predict_window(&dry, ds.scaler(), &mut rng2);
+    assert_ne!(f.mu.data(), f_dry.mu.data(), "covariates must influence the forecast");
+}
+
+#[test]
+fn horizon_metrics_degrade_with_lead_time() {
+    // Fig. 7/10 mechanism: later horizons are harder. Check the point error
+    // at the last step exceeds the first step for a trained model.
+    let ds = tiny_ds(106);
+    let cfg = MethodConfig::fast(ds.n_nodes(), 2, 8);
+    let mut tm = TrainedMethod::train(Method::DeepStuq, &ds, cfg, 106);
+    let r = tm.evaluate(&ds, Split::Test, 5);
+    let first = &r.point_by_horizon[0];
+    let last = &r.point_by_horizon[ds.horizon() - 1];
+    assert!(
+        last.mae > first.mae,
+        "MAE should grow with horizon: h1 {:.3} vs h12 {:.3}",
+        first.mae,
+        last.mae
+    );
+}

@@ -1,0 +1,164 @@
+//! Property-based tests (proptest) on the invariants the paper's method
+//! relies on, spanning several crates.
+
+use deepstuq::calibrate::fit_temperature;
+use deepstuq::mc::GaussianForecast;
+use proptest::prelude::*;
+use stuq_metrics::UqAccumulator;
+use stuq_nn::sched::CosineSchedule;
+use stuq_nn::swa::WeightAverager;
+use stuq_nn::ParamSet;
+use stuq_tensor::gradcheck::check_grads;
+use stuq_tensor::{StuqRng, Tensor};
+use stuq_traffic::{Preset, Scaler, TrafficData};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Scaler transform/inverse round-trips for any training data and value.
+    #[test]
+    fn scaler_roundtrip(seed in 0u64..1000, v in -1e4f32..1e4) {
+        let net = stuq_graph::generate_road_network(8, 12, seed);
+        let mut rng = StuqRng::new(seed);
+        let values = stuq_traffic::simulate_traffic(
+            &net, 300, &stuq_traffic::SimulationConfig::default(), &mut rng);
+        let data = TrafficData::new("p", values, 300, net);
+        let s = Scaler::fit(&data, 200);
+        let rt = s.inverse(s.transform(v));
+        prop_assert!((rt - v).abs() < 1e-2 * v.abs().max(1.0));
+    }
+
+    /// The calibration objective's optimum matches its closed form
+    /// T* = 1/rms(r) for arbitrary positive residual sets.
+    #[test]
+    fn temperature_matches_closed_form(rs in prop::collection::vec(1e-3f64..50.0, 5..80)) {
+        let t = fit_temperature(&rs, 500) as f64;
+        let mean = rs.iter().sum::<f64>() / rs.len() as f64;
+        let expected = (1.0 / mean).sqrt();
+        prop_assert!((t - expected).abs() < 1e-3 * expected, "T {t} vs {expected}");
+    }
+
+    /// Widening z never decreases PICP and always increases MPIW.
+    #[test]
+    fn picp_monotone_in_z(
+        truths in prop::collection::vec(-5.0f64..5.0, 10..60),
+        z1 in 0.1f64..2.0,
+        dz in 0.1f64..2.0,
+    ) {
+        let z2 = z1 + dz;
+        let run = |z: f64| {
+            let mut acc = UqAccumulator::with_z(1, z);
+            for &t in &truths {
+                acc.update(0, 0.0, 1.0, t);
+            }
+            acc.overall()
+        };
+        let (m1, m2) = (run(z1), run(z2));
+        prop_assert!(m2.picp >= m1.picp);
+        prop_assert!(m2.mpiw > m1.mpiw);
+    }
+
+    /// Total variance (Eq. 19b) dominates the epistemic part and decreases
+    /// monotonically in the temperature.
+    #[test]
+    fn total_variance_invariants(
+        va in prop::collection::vec(1e-4f32..10.0, 6),
+        ve in prop::collection::vec(0.0f32..10.0, 6),
+        t1 in 0.2f32..3.0,
+        dt in 0.1f32..2.0,
+    ) {
+        let f = GaussianForecast {
+            mu: Tensor::zeros(&[2, 3]),
+            var_aleatoric: Tensor::from_vec(va, &[2, 3]),
+            var_epistemic: Tensor::from_vec(ve, &[2, 3]),
+            n_samples: 5,
+        };
+        let v1 = f.var_total(t1);
+        let v2 = f.var_total(t1 + dt);
+        for i in 0..6 {
+            prop_assert!(v1.data()[i] >= f.var_epistemic.data()[i]);
+            prop_assert!(v2.data()[i] <= v1.data()[i] + 1e-9, "larger T ⇒ smaller total var");
+        }
+    }
+
+    /// The SWA/AWA running average stays inside the convex hull of the
+    /// snapshots (component-wise), for any snapshot sequence.
+    #[test]
+    fn weight_average_in_convex_hull(vals in prop::collection::vec(-10.0f32..10.0, 2..12)) {
+        let mut avg = WeightAverager::new();
+        for &v in &vals {
+            let mut ps = ParamSet::new();
+            ps.add("w", Tensor::full(&[1, 1], v));
+            avg.update(&ps);
+        }
+        let a = avg.average()[0].get(0, 0);
+        let lo = vals.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = vals.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(a >= lo - 1e-4 && a <= hi + 1e-4, "avg {a} outside [{lo}, {hi}]");
+    }
+
+    /// Cosine schedule (Eq. 16) is bounded by [lr_min, lr_max] and
+    /// monotonically non-increasing over the epoch.
+    #[test]
+    fn cosine_schedule_bounded_monotone(
+        lr_max in 1e-4f32..0.1,
+        ratio in 0.01f32..0.99,
+        iters in 2usize..200,
+    ) {
+        let lr_min = lr_max * ratio;
+        let s = CosineSchedule::new(lr_max, lr_min, iters);
+        let mut prev = f32::INFINITY;
+        for i in 0..=iters {
+            let lr = s.lr_at(i);
+            prop_assert!(lr >= lr_min - 1e-9 && lr <= lr_max + 1e-9);
+            prop_assert!(lr <= prev + 1e-7);
+            prev = lr;
+        }
+    }
+
+    /// Autodiff: a random-shaped composite program (matmul → bias → tanh →
+    /// slice → softmax → mean) always passes the finite-difference check.
+    #[test]
+    fn gradcheck_random_shapes(m in 1usize..5, k in 1usize..5, n in 2usize..6, seed in 0u64..500) {
+        let mut rng = StuqRng::new(seed);
+        let a = Tensor::randn(&[m, k], 0.5, &mut rng);
+        let b = Tensor::randn(&[k, n], 0.5, &mut rng);
+        let bias = Tensor::randn(&[1, n], 0.5, &mut rng);
+        let res = check_grads(
+            |tape, ps| {
+                let a = tape.param(0, ps[0].clone());
+                let b = tape.param(1, ps[1].clone());
+                let bias = tape.param(2, ps[2].clone());
+                let y = tape.matmul(a, b);
+                let y = tape.add_row_broadcast(y, bias);
+                let y = tape.tanh(y);
+                let y = tape.slice_cols(y, 0, ps[1].cols().min(2));
+                let y = tape.softmax_rows(y);
+                tape.mean_all(y)
+            },
+            &[a, b, bias],
+            1e-3,
+            5e-3,
+        );
+        prop_assert!(res.is_ok(), "{res:?}");
+    }
+
+    /// The dataset splits partition time with no window leakage for any
+    /// (t_h, horizon) geometry that fits.
+    #[test]
+    fn splits_partition_time(seed in 0u64..200, t_h in 2usize..8, horizon in 2usize..8) {
+        let spec = Preset::Pems08Like.spec().scaled(0.08, 0.02);
+        let ds = spec.generate_with(
+            seed, &stuq_traffic::SimulationConfig::default(), t_h, horizon);
+        use stuq_traffic::Split;
+        let span = t_h + horizon;
+        let segments = [Split::Train, Split::Val, Split::Test].map(|s| ds.segment(s));
+        prop_assert_eq!(segments[0].1, segments[1].0);
+        prop_assert_eq!(segments[1].1, segments[2].0);
+        for (split, (lo, hi)) in [Split::Train, Split::Val, Split::Test].into_iter().zip(segments) {
+            for s in ds.window_starts(split) {
+                prop_assert!(s >= lo && s + span <= hi);
+            }
+        }
+    }
+}
