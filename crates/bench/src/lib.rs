@@ -14,6 +14,7 @@
 //! where coverage lands — are the reproduction target at every scale.
 
 pub mod baselines;
+pub mod timing;
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};

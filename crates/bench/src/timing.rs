@@ -1,0 +1,113 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! The build environment is offline, so Criterion cannot be fetched; this
+//! module provides the small subset the repo needs: warmup, a time-budgeted
+//! measurement loop over `std::time::Instant`, and best/mean statistics.
+//! "Best of N" is the headline number — it is the least noisy estimator on a
+//! shared machine, and every comparison in BENCH_PR1.json uses the same
+//! statistic on both sides.
+
+use std::time::Instant;
+
+/// One benchmark measurement.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Benchmark label.
+    pub name: String,
+    /// Measured iterations (after warmup).
+    pub iters: usize,
+    /// Mean seconds per iteration.
+    pub mean_s: f64,
+    /// Best (minimum) seconds per iteration.
+    pub best_s: f64,
+}
+
+impl Sample {
+    /// Throughput in GFLOP/s for a known per-iteration FLOP count, based on
+    /// the best iteration.
+    pub fn gflops(&self, flops_per_iter: f64) -> f64 {
+        flops_per_iter / self.best_s / 1e9
+    }
+
+    /// Iterations per second, based on the best iteration.
+    pub fn per_sec(&self) -> f64 {
+        1.0 / self.best_s
+    }
+}
+
+/// Pretty-prints a duration in seconds with an adaptive unit.
+pub fn fmt_duration(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:8.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:8.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:8.2} ms", s * 1e3)
+    } else {
+        format!("{s:8.3} s ")
+    }
+}
+
+impl std::fmt::Display for Sample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<44} best {} mean {}  ({} iters)",
+            self.name,
+            fmt_duration(self.best_s),
+            fmt_duration(self.mean_s),
+            self.iters
+        )
+    }
+}
+
+/// Times `f` with one warmup call, then measures iterations until
+/// `min_total_s` of measured time has accumulated or `max_iters` is reached
+/// (always at least 3 iterations).
+pub fn bench_with<R>(
+    name: &str,
+    min_total_s: f64,
+    max_iters: usize,
+    mut f: impl FnMut() -> R,
+) -> Sample {
+    std::hint::black_box(f());
+    let mut total = 0.0f64;
+    let mut best = f64::INFINITY;
+    let mut iters = 0usize;
+    while (total < min_total_s || iters < 3) && iters < max_iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let dt = t0.elapsed().as_secs_f64();
+        total += dt;
+        best = best.min(dt);
+        iters += 1;
+    }
+    Sample { name: name.to_string(), iters, mean_s: total / iters as f64, best_s: best }
+}
+
+/// [`bench_with`] at the default budget (0.5 s or 1000 iterations).
+pub fn bench<R>(name: &str, f: impl FnMut() -> R) -> Sample {
+    bench_with(name, 0.5, 1000, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_at_least_three_iters_and_orders_stats() {
+        let mut n = 0u64;
+        let s = bench_with("noop", 0.0, 10, || n += 1);
+        assert!(s.iters >= 3);
+        assert!(s.best_s <= s.mean_s);
+        assert!(n as usize >= s.iters, "warmup plus measured calls");
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert!(fmt_duration(5e-9).contains("ns"));
+        assert!(fmt_duration(5e-5).contains("µs"));
+        assert!(fmt_duration(5e-2).contains("ms"));
+        assert!(fmt_duration(2.0).contains("s"));
+    }
+}

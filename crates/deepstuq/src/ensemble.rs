@@ -23,6 +23,10 @@ pub struct DeepEnsemble {
 impl DeepEnsemble {
     /// Trains `m` members from independent initialisations (seeds
     /// `seed, seed+1, …`) with the combined loss.
+    ///
+    /// Members are embarrassingly parallel: each is seeded independently, so
+    /// the trained ensemble is identical whether members run concurrently on
+    /// the `stuq-parallel` pool or one after another.
     pub fn train(
         base: &AgcrnConfig,
         ds: &SplitDataset,
@@ -31,20 +35,16 @@ impl DeepEnsemble {
         seed: u64,
     ) -> Self {
         assert!(m >= 1, "need at least one member");
-        let members = (0..m)
-            .map(|i| {
-                let mut rng = StuqRng::new(seed.wrapping_add(i as u64));
-                let mut model = Agcrn::new(base.clone(), &mut rng);
-                let kind = match base.head {
-                    stuq_models::HeadKind::Gaussian => {
-                        LossKind::Combined { lambda: train_cfg.lambda }
-                    }
-                    _ => LossKind::Mae,
-                };
-                let _ = train(&mut model, ds, train_cfg, kind, &mut rng);
-                model
-            })
-            .collect();
+        let members = stuq_parallel::par_map(m, |i| {
+            let mut rng = StuqRng::new(seed.wrapping_add(i as u64));
+            let mut model = Agcrn::new(base.clone(), &mut rng);
+            let kind = match base.head {
+                stuq_models::HeadKind::Gaussian => LossKind::Combined { lambda: train_cfg.lambda },
+                _ => LossKind::Mae,
+            };
+            let _ = train(&mut model, ds, train_cfg, kind, &mut rng);
+            model
+        });
         Self { members }
     }
 
@@ -65,41 +65,27 @@ impl DeepEnsemble {
 
     /// Ensemble forecast: across-member mean, mean aleatoric variance, and
     /// across-member (epistemic) variance — the same decomposition as
-    /// MC dropout, with models in place of dropout masks.
+    /// MC dropout, with models in place of dropout masks. Members run
+    /// data-parallel with one forked RNG stream each; the reduction is
+    /// ordered, so the result is thread-count independent.
     pub fn forecast(&self, x: &Tensor, rng: &mut StuqRng) -> GaussianForecast {
         let first = &self.members[0];
         let shape = [first.n_nodes(), first.horizon()];
-        let mut mean = Tensor::zeros(&shape);
-        let mut mean_sq = Tensor::zeros(&shape);
-        let mut var_sum = Tensor::zeros(&shape);
-        for member in &self.members {
+        let streams = crate::mc::fork_streams(rng, self.members.len());
+        let samples = stuq_parallel::par_map(self.members.len(), |j| {
+            let mut r = streams[j].clone();
             let mut tape = Tape::new();
-            let mut ctx = FwdCtx::eval(rng);
-            let pred = member.forward(&mut tape, x, &mut ctx);
+            let mut ctx = FwdCtx::eval(&mut r);
+            let pred = self.members[j].forward(&mut tape, x, &mut ctx);
             let mu = tape.value(pred.point()).clone();
-            if let Prediction::Gaussian { logvar, .. } = pred {
-                var_sum.add_assign(
-                    &tape.value(logvar).map(|lv| lv.clamp(LOGVAR_MIN, LOGVAR_MAX).exp()),
-                );
-            }
-            mean_sq.add_assign(&mu.mul(&mu));
-            mean.add_assign(&mu);
-        }
-        let n = self.members.len();
-        let inv_n = 1.0 / n as f32;
-        mean = mean.scale(inv_n);
-        let var_epistemic = if n > 1 {
-            let corr = n as f32 / (n as f32 - 1.0);
-            mean_sq.scale(inv_n).sub(&mean.mul(&mean)).scale(corr).map(|v| v.max(0.0))
-        } else {
-            Tensor::zeros(&shape)
-        };
-        GaussianForecast {
-            mu: mean,
-            var_aleatoric: var_sum.scale(inv_n),
-            var_epistemic,
-            n_samples: n,
-        }
+            let var = if let Prediction::Gaussian { logvar, .. } = pred {
+                Some(tape.value(logvar).map(|lv| lv.clamp(LOGVAR_MIN, LOGVAR_MAX).exp()))
+            } else {
+                None
+            };
+            (mu, var)
+        });
+        crate::mc::reduce_samples(samples, shape)
     }
 }
 

@@ -46,11 +46,56 @@ fn clamped_var(logvar: &Tensor) -> Tensor {
     logvar.map(|lv| lv.clamp(LOGVAR_MIN, LOGVAR_MAX).exp())
 }
 
+/// One stochastic forward pass: `(μ_j, σ²_j?)` in normalised units.
+type SamplePass = (Tensor, Option<Tensor>);
+
+/// Combines per-sample passes into the Eq. 19 decomposition.
+///
+/// Accumulation runs in *sample-index order* — together with the
+/// per-sample RNG streams this is what makes the parallel inference paths
+/// bit-identical across thread counts.
+pub(crate) fn reduce_samples(samples: Vec<SamplePass>, shape: [usize; 2]) -> GaussianForecast {
+    let n = samples.len();
+    let mut mean = Tensor::zeros(&shape);
+    let mut mean_sq = Tensor::zeros(&shape);
+    let mut var_sum = Tensor::zeros(&shape);
+    for (mu_j, var_j) in &samples {
+        if let Some(v) = var_j {
+            var_sum.add_assign(v);
+        }
+        mean_sq.add_assign(&mu_j.mul(mu_j));
+        mean.add_assign(mu_j);
+    }
+    let inv_n = 1.0 / n as f32;
+    mean = mean.scale(inv_n);
+    let var_aleatoric = var_sum.scale(inv_n);
+    // Unbiased sample variance of the means (Eq. 19b, second term).
+    let var_epistemic = if n > 1 {
+        let correction = n as f32 / (n as f32 - 1.0);
+        mean_sq.scale(inv_n).sub(&mean.mul(&mean)).scale(correction).map(|v| v.max(0.0))
+    } else {
+        Tensor::zeros(&shape)
+    };
+    GaussianForecast { mu: mean, var_aleatoric, var_epistemic, n_samples: n }
+}
+
+/// Forks one independent RNG stream per sample from the caller's generator.
+///
+/// The fork happens *before* the fan-out, on the calling thread, so the set
+/// of streams is a pure function of the caller's RNG state — sample `j`
+/// consumes stream `j` no matter which worker executes it or how many
+/// workers exist.
+pub(crate) fn fork_streams(rng: &mut StuqRng, n: usize) -> Vec<StuqRng> {
+    (0..n).map(|i| rng.fork(i as u64)).collect()
+}
+
 /// Runs `n_samples` stochastic forward passes (`n_samples == 1` runs a single
 /// deterministic pass — the `DeepSTUQ/S` mode of Table III).
 ///
 /// Works with Gaussian heads (aleatoric + epistemic) and point heads
-/// (epistemic only — the MCDO / FGE baselines).
+/// (epistemic only — the MCDO / FGE baselines). Samples are data-parallel
+/// across the global `stuq-parallel` pool; see [`reduce_samples`] for the
+/// determinism contract.
 pub fn mc_forecast(
     model: &dyn Forecaster,
     x: &Tensor,
@@ -70,39 +115,30 @@ pub fn mc_forecast_with_cov(
 ) -> GaussianForecast {
     assert!(n_samples >= 1, "need at least one sample");
     let shape = [model.n_nodes(), model.horizon()];
-    let mut mean = Tensor::zeros(&shape);
-    let mut mean_sq = Tensor::zeros(&shape);
-    let mut var_sum = Tensor::zeros(&shape);
-    for _ in 0..n_samples {
+    let streams = fork_streams(rng, n_samples);
+    let samples = stuq_parallel::par_map(n_samples, |j| {
+        let mut r = streams[j].clone();
         let mut tape = Tape::new();
-        let mut ctx = if n_samples == 1 { FwdCtx::eval(rng) } else { FwdCtx::mc_sample(rng) };
+        let mut ctx = if n_samples == 1 { FwdCtx::eval(&mut r) } else { FwdCtx::mc_sample(&mut r) };
         let pred = model.forward_with_cov(&mut tape, x, cov, &mut ctx);
         let mu_j = tape.value(pred.point()).clone();
-        if let Prediction::Gaussian { logvar, .. } = pred {
-            var_sum.add_assign(&clamped_var(tape.value(logvar)));
-        }
-        mean_sq.add_assign(&mu_j.mul(&mu_j));
-        mean.add_assign(&mu_j);
-    }
-    let inv_n = 1.0 / n_samples as f32;
-    mean = mean.scale(inv_n);
-    let var_aleatoric = var_sum.scale(inv_n);
-    // Unbiased sample variance of the means (Eq. 19b, second term).
-    let var_epistemic = if n_samples > 1 {
-        let correction = n_samples as f32 / (n_samples as f32 - 1.0);
-        mean_sq.scale(inv_n).sub(&mean.mul(&mean)).scale(correction).map(|v| v.max(0.0))
-    } else {
-        Tensor::zeros(&shape)
-    };
-    GaussianForecast { mu: mean, var_aleatoric, var_epistemic, n_samples }
+        let var_j = if let Prediction::Gaussian { logvar, .. } = pred {
+            Some(clamped_var(tape.value(logvar)))
+        } else {
+            None
+        };
+        (mu_j, var_j)
+    });
+    reduce_samples(samples, shape)
 }
 
 /// Ensemble combination for snapshot ensembles (FGE): runs one deterministic
-/// pass per snapshot loaded into `model` by the caller-provided loader.
+/// pass per snapshot, data-parallel with one model clone per snapshot.
 ///
 /// Returns the same decomposition as [`mc_forecast`], with the across-model
-/// variance playing the epistemic role.
-pub fn ensemble_forecast<M: Forecaster>(
+/// variance playing the epistemic role. On return `model` holds the *last*
+/// snapshot, matching the sequential implementation's post-condition.
+pub fn ensemble_forecast<M: Forecaster + Clone>(
     model: &mut M,
     snapshots: &[Vec<Tensor>],
     x: &Tensor,
@@ -110,31 +146,25 @@ pub fn ensemble_forecast<M: Forecaster>(
 ) -> GaussianForecast {
     assert!(!snapshots.is_empty(), "need at least one snapshot");
     let shape = [model.n_nodes(), model.horizon()];
-    let mut mean = Tensor::zeros(&shape);
-    let mut mean_sq = Tensor::zeros(&shape);
-    let mut var_sum = Tensor::zeros(&shape);
-    let n = snapshots.len();
-    for snap in snapshots {
-        model.params_mut().load_snapshot(snap);
+    let streams = fork_streams(rng, snapshots.len());
+    let proto: &M = model;
+    let samples = stuq_parallel::par_map(snapshots.len(), |j| {
+        let mut member = proto.clone();
+        member.params_mut().load_snapshot(&snapshots[j]);
+        let mut r = streams[j].clone();
         let mut tape = Tape::new();
-        let mut ctx = FwdCtx::eval(rng);
-        let pred = model.forward(&mut tape, x, &mut ctx);
+        let mut ctx = FwdCtx::eval(&mut r);
+        let pred = member.forward(&mut tape, x, &mut ctx);
         let mu_j = tape.value(pred.point()).clone();
-        if let Prediction::Gaussian { logvar, .. } = pred {
-            var_sum.add_assign(&clamped_var(tape.value(logvar)));
-        }
-        mean_sq.add_assign(&mu_j.mul(&mu_j));
-        mean.add_assign(&mu_j);
-    }
-    let inv_n = 1.0 / n as f32;
-    mean = mean.scale(inv_n);
-    let var_epistemic = if n > 1 {
-        let correction = n as f32 / (n as f32 - 1.0);
-        mean_sq.scale(inv_n).sub(&mean.mul(&mean)).scale(correction).map(|v| v.max(0.0))
-    } else {
-        Tensor::zeros(&shape)
-    };
-    GaussianForecast { mu: mean, var_aleatoric: var_sum.scale(inv_n), var_epistemic, n_samples: n }
+        let var_j = if let Prediction::Gaussian { logvar, .. } = pred {
+            Some(clamped_var(tape.value(logvar)))
+        } else {
+            None
+        };
+        (mu_j, var_j)
+    });
+    model.params_mut().load_snapshot(snapshots.last().expect("non-empty"));
+    reduce_samples(samples, shape)
 }
 
 #[cfg(test)]
@@ -210,6 +240,22 @@ mod tests {
             f1.mu.sub(&f2.mu).norm()
         };
         assert!(spread(32) < spread(2), "MC mean must concentrate with more samples");
+    }
+
+    #[test]
+    fn mc_forecast_is_bit_identical_across_thread_counts() {
+        // The fixed-seed forecast must not depend on how many threads run
+        // the samples: forked streams + ordered reduction (DESIGN.md
+        // "Threading & determinism").
+        let mut rng = StuqRng::new(11);
+        let model = model_with_dropout(HeadKind::Gaussian, 0.3, &mut rng);
+        let x = Tensor::randn(&[6, 5], 1.0, &mut rng);
+        let par = mc_forecast(&model, &x, 8, &mut StuqRng::new(42));
+        let ser =
+            stuq_parallel::with_serial(|| mc_forecast(&model, &x, 8, &mut StuqRng::new(42)));
+        assert_eq!(par.mu.data(), ser.mu.data());
+        assert_eq!(par.var_aleatoric.data(), ser.var_aleatoric.data());
+        assert_eq!(par.var_epistemic.data(), ser.var_epistemic.data());
     }
 
     #[test]

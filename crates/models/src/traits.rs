@@ -49,7 +49,12 @@ impl Prediction {
 /// `forward` consumes a normalised history window of shape `[t_h, N]` and
 /// produces a [`Prediction`] over `[N, horizon]`. Dropout behaviour (train /
 /// MC-sample / off) is governed by the [`FwdCtx`].
-pub trait Forecaster {
+///
+/// `Send + Sync` are supertraits so that a shared `&dyn Forecaster` can be
+/// handed to the data-parallel MC-dropout / ensemble inference paths
+/// (`deepstuq::mc`); models are plain tensors, so every implementor
+/// satisfies them automatically.
+pub trait Forecaster: Send + Sync {
     /// The model's parameters.
     fn params(&self) -> &ParamSet;
     /// Mutable access for optimisers and weight averaging.

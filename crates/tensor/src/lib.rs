@@ -36,7 +36,9 @@
 //! assert!(grads.get(0).is_some());
 //! ```
 
+pub mod fastmath;
 pub mod gradcheck;
+pub mod kernels;
 pub mod rng;
 pub mod tape;
 pub mod tensor;

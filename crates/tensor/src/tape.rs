@@ -260,13 +260,21 @@ impl Tape {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
-        let v = self.nodes[a].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let v = if crate::kernels::reference_mode() {
+            self.nodes[a].value.map(|x| 1.0 / (1.0 + (-x).exp()))
+        } else {
+            self.nodes[a].value.map(crate::fastmath::sigmoid_f32)
+        };
         self.push(v, OpKind::Sigmoid, vec![a])
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
-        let v = self.nodes[a].value.map(f32::tanh);
+        let v = if crate::kernels::reference_mode() {
+            self.nodes[a].value.map(f32::tanh)
+        } else {
+            self.nodes[a].value.map(crate::fastmath::tanh_f32)
+        };
         self.push(v, OpKind::Tanh, vec![a])
     }
 
@@ -403,26 +411,8 @@ impl Tape {
         assert_eq!(zv.cols(), c_in, "rowwise_matmul: z cols != c_in");
         assert_eq!(wv.rows(), n, "rowwise_matmul: row count mismatch");
         assert_eq!(wv.cols(), c_in * c_out, "rowwise_matmul: w cols != c_in*c_out");
-        let mut out = Tensor::zeros(&[n, c_out]);
-        {
-            let zd = zv.data();
-            let wd = wv.data();
-            let od = out.data_mut();
-            for r in 0..n {
-                let z_row = &zd[r * c_in..(r + 1) * c_in];
-                let w_row = &wd[r * c_in * c_out..(r + 1) * c_in * c_out];
-                let o_row = &mut od[r * c_out..(r + 1) * c_out];
-                for (i, &zri) in z_row.iter().enumerate() {
-                    if zri == 0.0 {
-                        continue;
-                    }
-                    let w_chunk = &w_row[i * c_out..(i + 1) * c_out];
-                    for (o, &wv) in o_row.iter_mut().zip(w_chunk) {
-                        *o += zri * wv;
-                    }
-                }
-            }
-        }
+        let data = crate::kernels::rowwise_matmul(zv.data(), wv.data(), n, c_in, c_out);
+        let out = Tensor::from_vec(data, &[n, c_out]);
         self.push(out, OpKind::RowwiseMatmul { c_in, c_out }, vec![z, w])
     }
 
@@ -642,37 +632,10 @@ impl Tape {
                 let w = val(p[1]);
                 let n = z.rows();
                 let (ci, co) = (*c_in, *c_out);
-                let mut dz = Tensor::zeros(&[n, ci]);
-                let mut dw = Tensor::zeros(&[n, ci * co]);
-                {
-                    let zd = z.data();
-                    let wd = w.data();
-                    let gd = grad.data();
-                    let dzd = dz.data_mut();
-                    let dwd = dw.data_mut();
-                    for r in 0..n {
-                        let g_row = &gd[r * co..(r + 1) * co];
-                        let z_row = &zd[r * ci..(r + 1) * ci];
-                        let w_row = &wd[r * ci * co..(r + 1) * ci * co];
-                        let dz_row = &mut dzd[r * ci..(r + 1) * ci];
-                        let dw_row = &mut dwd[r * ci * co..(r + 1) * ci * co];
-                        for i in 0..ci {
-                            let w_chunk = &w_row[i * co..(i + 1) * co];
-                            let dw_chunk = &mut dw_row[i * co..(i + 1) * co];
-                            let zri = z_row[i];
-                            let mut acc = 0.0f32;
-                            for ((&g, &wv), dwv) in
-                                g_row.iter().zip(w_chunk).zip(dw_chunk.iter_mut())
-                            {
-                                acc += g * wv;
-                                *dwv = zri * g;
-                            }
-                            dz_row[i] = acc;
-                        }
-                    }
-                }
-                Self::accumulate(grads, p[0], dz);
-                Self::accumulate(grads, p[1], dw);
+                let (dz, dw) =
+                    crate::kernels::rowwise_matmul_grad(z.data(), w.data(), grad.data(), n, ci, co);
+                Self::accumulate(grads, p[0], Tensor::from_vec(dz, &[n, ci]));
+                Self::accumulate(grads, p[1], Tensor::from_vec(dw, &[n, ci * co]));
             }
             OpKind::Dropout(mask) => {
                 Self::accumulate(grads, p[0], grad.mul(mask));

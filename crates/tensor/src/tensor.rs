@@ -5,6 +5,7 @@
 //! vectors where a matrix is expected. Reductions accumulate in `f64` to keep
 //! long sums stable.
 
+use crate::kernels;
 use crate::rng::StuqRng;
 
 /// A dense, row-major `f32` tensor.
@@ -160,22 +161,22 @@ impl Tensor {
     }
 
     /// Applies `f` element-wise, producing a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
+    ///
+    /// Large tensors are processed chunk-parallel with fixed chunk
+    /// boundaries, so the result never depends on the thread count.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Self {
+        Self { data: kernels::map_elems(&self.data, f), shape: self.shape.clone() }
     }
 
     /// Applies `f` element-wise in place.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
-            *x = f(*x);
-        }
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        kernels::map_inplace_elems(&mut self.data, f);
     }
 
     /// Element-wise combination of two same-shaped tensors.
-    pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
+    pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32 + Sync) -> Self {
         assert_eq!(self.shape, other.shape, "zip shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Self { data, shape: self.shape.clone() }
+        Self { data: kernels::zip_elems(&self.data, &other.data, f), shape: self.shape.clone() }
     }
 
     /// Element-wise addition.
@@ -186,17 +187,13 @@ impl Tensor {
     /// `self += other` element-wise.
     pub fn add_assign(&mut self, other: &Self) {
         assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        kernels::zip_assign_elems(&mut self.data, &other.data, |a, b| a + b);
     }
 
     /// `self += alpha * other` element-wise (AXPY).
     pub fn axpy(&mut self, alpha: f32, other: &Self) {
         assert_eq!(self.shape, other.shape, "axpy shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        kernels::zip_assign_elems(&mut self.data, &other.data, move |a, b| a + alpha * b);
     }
 
     /// Element-wise subtraction.
@@ -214,28 +211,30 @@ impl Tensor {
         self.map(|x| x * c)
     }
 
-    /// Matrix product `self @ other` with a cache-friendly i-k-j loop.
+    /// Matrix product `self @ other`.
+    ///
+    /// Uses the blocked kernel in [`crate::kernels`]: k-panels of four with a
+    /// vectorized j-loop, fanned out over disjoint output row chunks on the
+    /// global pool when the problem crosses `kernels::PAR_FLOPS_MIN`.
     pub fn matmul(&self, other: &Self) -> Self {
         let (m, k) = (self.rows(), self.cols());
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(k, k2, "matmul inner dims: {}x{} @ {}x{}", m, k, k2, n);
-        let mut out = vec![0.0f32; m * n];
-        let a = &self.data;
-        let b = &other.data;
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (kk, &aik) in arow.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = &b[kk * n..(kk + 1) * n];
-                for (o, &bkj) in orow.iter_mut().zip(brow) {
-                    *o += aik * bkj;
-                }
-            }
+        Self { data: kernels::matmul(&self.data, &other.data, m, k, n), shape: vec![m, n] }
+    }
+
+    /// The seed's scalar reference matmul (serial, zero-skip branch intact).
+    ///
+    /// Exists so property tests and `stuq-bench` can compare the blocked
+    /// parallel kernel against the original baseline; not for production use.
+    pub fn matmul_reference(&self, other: &Self) -> Self {
+        let (m, k) = (self.rows(), self.cols());
+        let (k2, n) = (other.rows(), other.cols());
+        assert_eq!(k, k2, "matmul inner dims: {}x{} @ {}x{}", m, k, k2, n);
+        Self {
+            data: kernels::matmul_reference(&self.data, &other.data, m, k, n),
+            shape: vec![m, n],
         }
-        Self { data: out, shape: vec![m, n] }
     }
 
     /// Matrix product `self @ other^T`, avoiding an explicit transpose.
@@ -243,31 +242,13 @@ impl Tensor {
         let (m, k) = (self.rows(), self.cols());
         let (n, k2) = (other.rows(), other.cols());
         assert_eq!(k, k2, "matmul_tb inner dims: {}x{} @ ({}x{})^T", m, k, n, k2);
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (aa, bb) in arow.iter().zip(brow) {
-                    acc += aa * bb;
-                }
-                out[i * n + j] = acc;
-            }
-        }
-        Self { data: out, shape: vec![m, n] }
+        Self { data: kernels::matmul_tb(&self.data, &other.data, m, k, n), shape: vec![m, n] }
     }
 
-    /// Matrix transpose.
+    /// Matrix transpose (cache-blocked tile-wise copy).
     pub fn transpose(&self) -> Self {
         let (m, n) = (self.rows(), self.cols());
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = self.data[i * n + j];
-            }
-        }
-        Self { data: out, shape: vec![n, m] }
+        Self { data: kernels::transpose(&self.data, m, n), shape: vec![n, m] }
     }
 
     /// Horizontal concatenation `[self | other]`.
@@ -316,9 +297,10 @@ impl Tensor {
         self.slice_rows(r, r + 1)
     }
 
-    /// Sum of all elements (accumulated in `f64`).
+    /// Sum of all elements (accumulated in `f64` over fixed blocks, so the
+    /// result is independent of the thread count).
     pub fn sum(&self) -> f64 {
-        self.data.iter().map(|&x| x as f64).sum()
+        kernels::blocked_sum(&self.data, |x| x as f64)
     }
 
     /// Mean of all elements.
@@ -355,32 +337,18 @@ impl Tensor {
     /// Row-wise soft-max (each row sums to one), numerically stabilised.
     pub fn softmax_rows(&self) -> Self {
         let (m, n) = (self.rows(), self.cols());
-        let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let row = &self.data[i * n..(i + 1) * n];
-            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut denom = 0.0f32;
-            for (o, &x) in out[i * n..(i + 1) * n].iter_mut().zip(row) {
-                let e = (x - mx).exp();
-                *o = e;
-                denom += e;
-            }
-            for o in &mut out[i * n..(i + 1) * n] {
-                *o /= denom;
-            }
-        }
-        Self { data: out, shape: vec![m, n] }
+        Self { data: kernels::softmax_rows(&self.data, m, n), shape: vec![m, n] }
     }
 
     /// Frobenius norm.
     pub fn norm(&self) -> f64 {
-        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+        kernels::blocked_sum(&self.data, |x| (x as f64) * (x as f64)).sqrt()
     }
 
     /// Dot product of two same-shaped tensors, accumulated in `f64`.
     pub fn dot(&self, other: &Self) -> f64 {
         assert_eq!(self.shape, other.shape, "dot shape mismatch");
-        self.data.iter().zip(&other.data).map(|(&a, &b)| (a as f64) * (b as f64)).sum()
+        kernels::blocked_dot(&self.data, &other.data)
     }
 
     /// True when every element is finite.

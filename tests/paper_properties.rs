@@ -1,9 +1,14 @@
-//! Property-based tests (proptest) on the invariants the paper's method
-//! relies on, spanning several crates.
+//! Property-based tests on the invariants the paper's method relies on,
+//! spanning several crates.
+//!
+//! The harness is hand-rolled on [`StuqRng`] rather than `proptest`: the
+//! build environment is offline (no registry), so external dev-dependencies
+//! cannot be fetched. Each property runs `CASES` randomized trials from a
+//! fixed seed; a failure message includes the per-trial seed so the exact
+//! case can be replayed.
 
 use deepstuq::calibrate::fit_temperature;
 use deepstuq::mc::GaussianForecast;
-use proptest::prelude::*;
 use stuq_metrics::UqAccumulator;
 use stuq_nn::sched::CosineSchedule;
 use stuq_nn::swa::WeightAverager;
@@ -12,40 +17,79 @@ use stuq_tensor::gradcheck::check_grads;
 use stuq_tensor::{StuqRng, Tensor};
 use stuq_traffic::{Preset, Scaler, TrafficData};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: u64 = 32;
 
-    /// Scaler transform/inverse round-trips for any training data and value.
-    #[test]
-    fn scaler_roundtrip(seed in 0u64..1000, v in -1e4f32..1e4) {
-        let net = stuq_graph::generate_road_network(8, 12, seed);
+/// Runs `body` for `CASES` independent trials, each with its own seeded RNG.
+fn for_cases(test_seed: u64, mut body: impl FnMut(u64, &mut StuqRng)) {
+    for case in 0..CASES {
+        let seed = test_seed.wrapping_mul(1000) + case;
         let mut rng = StuqRng::new(seed);
+        body(seed, &mut rng);
+    }
+}
+
+fn uf64(rng: &mut StuqRng, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.uniform_f64()
+}
+
+fn uf32(rng: &mut StuqRng, lo: f32, hi: f32) -> f32 {
+    uf64(rng, lo as f64, hi as f64) as f32
+}
+
+/// Uniform integer in `[lo, hi)`.
+fn usize_in(rng: &mut StuqRng, lo: usize, hi: usize) -> usize {
+    lo + rng.uniform_usize(hi - lo)
+}
+
+fn vecf64(rng: &mut StuqRng, lo: f64, hi: f64, len: usize) -> Vec<f64> {
+    (0..len).map(|_| uf64(rng, lo, hi)).collect()
+}
+
+fn vecf32(rng: &mut StuqRng, lo: f32, hi: f32, len: usize) -> Vec<f32> {
+    (0..len).map(|_| uf32(rng, lo, hi)).collect()
+}
+
+/// Scaler transform/inverse round-trips for any training data and value.
+#[test]
+fn scaler_roundtrip() {
+    for_cases(1, |seed, rng| {
+        let v = uf32(rng, -1e4, 1e4);
+        let net = stuq_graph::generate_road_network(8, 12, seed);
         let values = stuq_traffic::simulate_traffic(
-            &net, 300, &stuq_traffic::SimulationConfig::default(), &mut rng);
+            &net,
+            300,
+            &stuq_traffic::SimulationConfig::default(),
+            rng,
+        );
         let data = TrafficData::new("p", values, 300, net);
         let s = Scaler::fit(&data, 200);
         let rt = s.inverse(s.transform(v));
-        prop_assert!((rt - v).abs() < 1e-2 * v.abs().max(1.0));
-    }
+        assert!((rt - v).abs() < 1e-2 * v.abs().max(1.0), "seed {seed}: {rt} vs {v}");
+    });
+}
 
-    /// The calibration objective's optimum matches its closed form
-    /// T* = 1/rms(r) for arbitrary positive residual sets.
-    #[test]
-    fn temperature_matches_closed_form(rs in prop::collection::vec(1e-3f64..50.0, 5..80)) {
+/// The calibration objective's optimum matches its closed form
+/// T* = 1/rms(r) for arbitrary positive residual sets.
+#[test]
+fn temperature_matches_closed_form() {
+    for_cases(2, |seed, rng| {
+        let len = usize_in(rng, 5, 80);
+        let rs = vecf64(rng, 1e-3, 50.0, len);
         let t = fit_temperature(&rs, 500) as f64;
         let mean = rs.iter().sum::<f64>() / rs.len() as f64;
         let expected = (1.0 / mean).sqrt();
-        prop_assert!((t - expected).abs() < 1e-3 * expected, "T {t} vs {expected}");
-    }
+        assert!((t - expected).abs() < 1e-3 * expected, "seed {seed}: T {t} vs {expected}");
+    });
+}
 
-    /// Widening z never decreases PICP and always increases MPIW.
-    #[test]
-    fn picp_monotone_in_z(
-        truths in prop::collection::vec(-5.0f64..5.0, 10..60),
-        z1 in 0.1f64..2.0,
-        dz in 0.1f64..2.0,
-    ) {
-        let z2 = z1 + dz;
+/// Widening z never decreases PICP and always increases MPIW.
+#[test]
+fn picp_monotone_in_z() {
+    for_cases(3, |seed, rng| {
+        let n_truths = usize_in(rng, 10, 60);
+        let truths = vecf64(rng, -5.0, 5.0, n_truths);
+        let z1 = uf64(rng, 0.1, 2.0);
+        let z2 = z1 + uf64(rng, 0.1, 2.0);
         let run = |z: f64| {
             let mut acc = UqAccumulator::with_z(1, z);
             for &t in &truths {
@@ -54,19 +98,20 @@ proptest! {
             acc.overall()
         };
         let (m1, m2) = (run(z1), run(z2));
-        prop_assert!(m2.picp >= m1.picp);
-        prop_assert!(m2.mpiw > m1.mpiw);
-    }
+        assert!(m2.picp >= m1.picp, "seed {seed}");
+        assert!(m2.mpiw > m1.mpiw, "seed {seed}");
+    });
+}
 
-    /// Total variance (Eq. 19b) dominates the epistemic part and decreases
-    /// monotonically in the temperature.
-    #[test]
-    fn total_variance_invariants(
-        va in prop::collection::vec(1e-4f32..10.0, 6),
-        ve in prop::collection::vec(0.0f32..10.0, 6),
-        t1 in 0.2f32..3.0,
-        dt in 0.1f32..2.0,
-    ) {
+/// Total variance (Eq. 19b) dominates the epistemic part and decreases
+/// monotonically in the temperature.
+#[test]
+fn total_variance_invariants() {
+    for_cases(4, |seed, rng| {
+        let va = vecf32(rng, 1e-4, 10.0, 6);
+        let ve = vecf32(rng, 0.0, 10.0, 6);
+        let t1 = uf32(rng, 0.2, 3.0);
+        let dt = uf32(rng, 0.1, 2.0);
         let f = GaussianForecast {
             mu: Tensor::zeros(&[2, 3]),
             var_aleatoric: Tensor::from_vec(va, &[2, 3]),
@@ -76,15 +121,22 @@ proptest! {
         let v1 = f.var_total(t1);
         let v2 = f.var_total(t1 + dt);
         for i in 0..6 {
-            prop_assert!(v1.data()[i] >= f.var_epistemic.data()[i]);
-            prop_assert!(v2.data()[i] <= v1.data()[i] + 1e-9, "larger T ⇒ smaller total var");
+            assert!(v1.data()[i] >= f.var_epistemic.data()[i], "seed {seed}");
+            assert!(
+                v2.data()[i] <= v1.data()[i] + 1e-9,
+                "seed {seed}: larger T must shrink total var"
+            );
         }
-    }
+    });
+}
 
-    /// The SWA/AWA running average stays inside the convex hull of the
-    /// snapshots (component-wise), for any snapshot sequence.
-    #[test]
-    fn weight_average_in_convex_hull(vals in prop::collection::vec(-10.0f32..10.0, 2..12)) {
+/// The SWA/AWA running average stays inside the convex hull of the
+/// snapshots (component-wise), for any snapshot sequence.
+#[test]
+fn weight_average_in_convex_hull() {
+    for_cases(5, |seed, rng| {
+        let n_vals = usize_in(rng, 2, 12);
+        let vals = vecf32(rng, -10.0, 10.0, n_vals);
         let mut avg = WeightAverager::new();
         for &v in &vals {
             let mut ps = ParamSet::new();
@@ -94,36 +146,40 @@ proptest! {
         let a = avg.average()[0].get(0, 0);
         let lo = vals.iter().copied().fold(f32::INFINITY, f32::min);
         let hi = vals.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        prop_assert!(a >= lo - 1e-4 && a <= hi + 1e-4, "avg {a} outside [{lo}, {hi}]");
-    }
+        assert!(a >= lo - 1e-4 && a <= hi + 1e-4, "seed {seed}: avg {a} outside [{lo}, {hi}]");
+    });
+}
 
-    /// Cosine schedule (Eq. 16) is bounded by [lr_min, lr_max] and
-    /// monotonically non-increasing over the epoch.
-    #[test]
-    fn cosine_schedule_bounded_monotone(
-        lr_max in 1e-4f32..0.1,
-        ratio in 0.01f32..0.99,
-        iters in 2usize..200,
-    ) {
-        let lr_min = lr_max * ratio;
+/// Cosine schedule (Eq. 16) is bounded by [lr_min, lr_max] and
+/// monotonically non-increasing over the epoch.
+#[test]
+fn cosine_schedule_bounded_monotone() {
+    for_cases(6, |seed, rng| {
+        let lr_max = uf32(rng, 1e-4, 0.1);
+        let lr_min = lr_max * uf32(rng, 0.01, 0.99);
+        let iters = usize_in(rng, 2, 200);
         let s = CosineSchedule::new(lr_max, lr_min, iters);
         let mut prev = f32::INFINITY;
         for i in 0..=iters {
             let lr = s.lr_at(i);
-            prop_assert!(lr >= lr_min - 1e-9 && lr <= lr_max + 1e-9);
-            prop_assert!(lr <= prev + 1e-7);
+            assert!(lr >= lr_min - 1e-9 && lr <= lr_max + 1e-9, "seed {seed}");
+            assert!(lr <= prev + 1e-7, "seed {seed}: schedule must not increase");
             prev = lr;
         }
-    }
+    });
+}
 
-    /// Autodiff: a random-shaped composite program (matmul → bias → tanh →
-    /// slice → softmax → mean) always passes the finite-difference check.
-    #[test]
-    fn gradcheck_random_shapes(m in 1usize..5, k in 1usize..5, n in 2usize..6, seed in 0u64..500) {
-        let mut rng = StuqRng::new(seed);
-        let a = Tensor::randn(&[m, k], 0.5, &mut rng);
-        let b = Tensor::randn(&[k, n], 0.5, &mut rng);
-        let bias = Tensor::randn(&[1, n], 0.5, &mut rng);
+/// Autodiff: a random-shaped composite program (matmul → bias → tanh →
+/// slice → softmax → mean) always passes the finite-difference check.
+#[test]
+fn gradcheck_random_shapes() {
+    for_cases(7, |seed, rng| {
+        let m = usize_in(rng, 1, 5);
+        let k = usize_in(rng, 1, 5);
+        let n = usize_in(rng, 2, 6);
+        let a = Tensor::randn(&[m, k], 0.5, rng);
+        let b = Tensor::randn(&[k, n], 0.5, rng);
+        let bias = Tensor::randn(&[1, n], 0.5, rng);
         let res = check_grads(
             |tape, ps| {
                 let a = tape.param(0, ps[0].clone());
@@ -140,25 +196,30 @@ proptest! {
             1e-3,
             5e-3,
         );
-        prop_assert!(res.is_ok(), "{res:?}");
-    }
+        assert!(res.is_ok(), "seed {seed}: {res:?}");
+    });
+}
 
-    /// The dataset splits partition time with no window leakage for any
-    /// (t_h, horizon) geometry that fits.
-    #[test]
-    fn splits_partition_time(seed in 0u64..200, t_h in 2usize..8, horizon in 2usize..8) {
+/// The dataset splits partition time with no window leakage for any
+/// (t_h, horizon) geometry that fits.
+#[test]
+fn splits_partition_time() {
+    for_cases(8, |seed, rng| {
+        let t_h = usize_in(rng, 2, 8);
+        let horizon = usize_in(rng, 2, 8);
         let spec = Preset::Pems08Like.spec().scaled(0.08, 0.02);
-        let ds = spec.generate_with(
-            seed, &stuq_traffic::SimulationConfig::default(), t_h, horizon);
+        let ds =
+            spec.generate_with(seed, &stuq_traffic::SimulationConfig::default(), t_h, horizon);
         use stuq_traffic::Split;
         let span = t_h + horizon;
         let segments = [Split::Train, Split::Val, Split::Test].map(|s| ds.segment(s));
-        prop_assert_eq!(segments[0].1, segments[1].0);
-        prop_assert_eq!(segments[1].1, segments[2].0);
-        for (split, (lo, hi)) in [Split::Train, Split::Val, Split::Test].into_iter().zip(segments) {
+        assert_eq!(segments[0].1, segments[1].0);
+        assert_eq!(segments[1].1, segments[2].0);
+        for (split, (lo, hi)) in [Split::Train, Split::Val, Split::Test].into_iter().zip(segments)
+        {
             for s in ds.window_starts(split) {
-                prop_assert!(s >= lo && s + span <= hi);
+                assert!(s >= lo && s + span <= hi, "seed {seed}: leak in {split:?}");
             }
         }
-    }
+    });
 }
