@@ -81,7 +81,7 @@ pub fn train_and_eval_baseline(
     eval_stride: usize,
     rng: &mut StuqRng,
 ) -> EvalResult {
-    let _ = train(model.as_mut(), ds, train_cfg, LossKind::Mae, rng);
+    train(model.as_mut(), ds, train_cfg, LossKind::Mae, rng).expect("baseline training failed");
     let scaler = *ds.scaler();
     let mut eval_rng = rng.fork(0xEA1);
     evaluate(ds, Split::Test, eval_stride, |x, _| {

@@ -58,7 +58,8 @@ fn main() {
         let mut model = Agcrn::new(base, &mut rng);
         let mut cfg = mcfg.train.clone();
         cfg.lambda = lambda;
-        let _ = train(&mut model, &ds, &cfg, LossKind::Combined { lambda }, &mut rng);
+        train(&mut model, &ds, &cfg, LossKind::Combined { lambda }, &mut rng)
+            .expect("training failed");
         let mut mc_rng = rng.fork(1);
         let (mae, mnll, picp, mpiw) = eval_gaussian(
             |x| mc_forecast(&model, x, mcfg.mc_samples, &mut mc_rng),
@@ -80,13 +81,14 @@ fn main() {
             .with_capacity(mcfg.hidden, mcfg.embed_dim, mcfg.n_layers)
             .with_dropout(p, mcfg.decoder_dropout);
         let mut model = Agcrn::new(base, &mut rng);
-        let _ = train(
+        train(
             &mut model,
             &ds,
             &mcfg.train,
             LossKind::Combined { lambda: mcfg.train.lambda },
             &mut rng,
-        );
+        )
+        .expect("training failed");
         let mut mc_rng = rng.fork(1);
         let (mae, mnll, picp, mpiw) = eval_gaussian(
             |x| mc_forecast(&model, x, mcfg.mc_samples, &mut mc_rng),
@@ -108,8 +110,9 @@ fn main() {
     eprintln!("[ablations] AWA single model");
     let mut rng = StuqRng::new(seed);
     let mut awa_model = Agcrn::new(base.clone(), &mut rng);
-    let _ = train(&mut awa_model, &ds, &mcfg.train, kind, &mut rng);
-    let _ = awa_retrain(&mut awa_model, &ds, &mcfg.awa, kind, mcfg.train.weight_decay, &mut rng);
+    train(&mut awa_model, &ds, &mcfg.train, kind, &mut rng).expect("pre-training failed");
+    awa_retrain(&mut awa_model, &ds, &mcfg.awa, kind, mcfg.train.weight_decay, &mut rng)
+        .expect("AWA re-training failed");
     let mut awa_rng = rng.fork(1);
     let awa_metrics = eval_gaussian(
         |x| mc_forecast(&awa_model, x, mcfg.mc_samples, &mut awa_rng),

@@ -43,10 +43,12 @@ fn swa_sgd_retrain(
         if epoch % 2 == 0 {
             let sched = CosineSchedule::new(3e-3, 3e-5, n_iters);
             let mut hook = |it: usize| sched.lr_at(it);
-            let _ = train_epoch(model, ds, batch, kind, &mut opt, 5.0, rng, Some(&mut hook));
+            train_epoch(model, ds, batch, kind, &mut opt, 5.0, rng, Some(&mut hook))
+                .expect("SWA escape epoch failed");
         } else {
             let mut hook = |_: usize| 3e-5f32;
-            let _ = train_epoch(model, ds, batch, kind, &mut opt, 5.0, rng, Some(&mut hook));
+            train_epoch(model, ds, batch, kind, &mut opt, 5.0, rng, Some(&mut hook))
+                .expect("SWA fine-tune epoch failed");
             averager.update(model.params());
         }
     }
@@ -69,21 +71,22 @@ fn main() {
             .with_dropout(mcfg.encoder_dropout, mcfg.decoder_dropout);
         let mut model = Agcrn::new(base_cfg, &mut rng);
         let kind = LossKind::Combined { lambda: mcfg.train.lambda };
-        let _ = train(&mut model, &ds, &mcfg.train, kind, &mut rng);
+        train(&mut model, &ds, &mcfg.train, kind, &mut rng).expect("pre-training failed");
 
         let no_awa = eval_point(&model, &ds, mcfg.mc_samples, stride, seed);
 
         // AWA (Adam, the paper's recipe).
         let mut awa_model = model.clone();
         let mut awa_rng = rng.fork(1);
-        let _ = awa_retrain(
+        awa_retrain(
             &mut awa_model,
             &ds,
             &mcfg.awa,
             kind,
             mcfg.train.weight_decay,
             &mut awa_rng,
-        );
+        )
+        .expect("AWA re-training failed");
         let with_awa = eval_point(&awa_model, &ds, mcfg.mc_samples, stride, seed);
 
         // SWA with SGD (original recipe) — the DESIGN.md ablation.

@@ -50,7 +50,7 @@ fn calibrate_on_train(model: &Agcrn, ds: &SplitDataset, mc: usize, stride: usize
             residual_sq.push(r * r / (var.data()[i] as f64).max(1e-9));
         }
     }
-    fit_temperature(&residual_sq, 300)
+    fit_temperature(&residual_sq, 300).expect("train-split calibration failed")
 }
 
 fn main() {
@@ -69,10 +69,12 @@ fn main() {
             .with_dropout(mcfg.encoder_dropout, mcfg.decoder_dropout);
         let mut model = Agcrn::new(base_cfg, &mut rng);
         let kind = LossKind::Combined { lambda: mcfg.train.lambda };
-        let _ = train(&mut model, &ds, &mcfg.train, kind, &mut rng);
-        let _ = awa_retrain(&mut model, &ds, &mcfg.awa, kind, mcfg.train.weight_decay, &mut rng);
+        train(&mut model, &ds, &mcfg.train, kind, &mut rng).expect("pre-training failed");
+        awa_retrain(&mut model, &ds, &mcfg.awa, kind, mcfg.train.weight_decay, &mut rng)
+            .expect("AWA re-training failed");
 
-        let t_val = calibrate_on_validation(&model, &ds, &mcfg.calib, &mut rng);
+        let t_val = calibrate_on_validation(&model, &ds, &mcfg.calib, &mut rng)
+            .expect("calibration failed");
         let t_train =
             calibrate_on_train(&model, &ds, mcfg.calib.mc_samples, mcfg.calib.stride, &mut rng);
 

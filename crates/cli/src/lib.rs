@@ -16,13 +16,13 @@
 use std::io::Write;
 use std::path::PathBuf;
 
-use deepstuq::eval::{evaluate, RawForecast};
-use deepstuq::pipeline::{DeepStuq, DeepStuqConfig};
+use deepstuq::eval::{evaluate, evaluate_faulted, RawForecast};
+use deepstuq::pipeline::{DeepStuq, DeepStuqConfig, FitOptions, FitOutcome};
 use deepstuq::{AwaConfig, CalibConfig, TrainConfig};
 use stuq_metrics::{ProperScoreAccumulator, ReliabilityDiagram};
 use stuq_models::{AgcrnConfig, Forecaster};
 use stuq_tensor::StuqRng;
-use stuq_traffic::{Preset, Split, SplitDataset};
+use stuq_traffic::{FaultPlan, FaultProfile, Preset, Split, SplitDataset};
 
 /// Top-level CLI error type: a message for the user.
 pub type CliError = String;
@@ -51,9 +51,18 @@ USAGE:
                     [--seed N] --out data.stuqd
   stuq train    --data data.stuqd [--epochs N] [--batch N] [--awa-epochs N]
                     [--mc N] [--seed N] --out model.stuq
+                    [--checkpoint-dir DIR] [--checkpoint-every N]
+                    [--epoch-budget N] [--resume true|false]
   stuq evaluate --model model.stuq --data data.stuqd [--stride N] [--seed N]
+                    [--fault-profile none|light|moderate|severe] [--fault-seed N]
   stuq forecast --model model.stuq --data data.stuqd [--window N] [--sensor N] [--seed N]
-  stuq info     --path file.stuqd|file.stuq";
+  stuq info     --path file.stuqd|file.stuq
+
+Fault tolerance (DESIGN.md §8): with --checkpoint-dir, train writes crash-safe
+checkpoints every --checkpoint-every epochs; --epoch-budget pauses after N
+epochs and --resume true continues a paused or interrupted run bit-for-bit.
+--fault-profile evaluates the model on sensor-degraded input (seeded by
+--fault-seed) while scoring against the clean ground truth.";
 
 /// A minimal `--key value` argument map.
 struct Args {
@@ -137,8 +146,20 @@ fn cmd_train(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     let awa_epochs: usize = a.parse_or("awa-epochs", 4usize)?;
     let mc: usize = a.parse_or("mc", 10usize)?;
     let seed: u64 = a.parse_or("seed", 42u64)?;
+    let checkpoint_dir = a.get("checkpoint-dir").map(PathBuf::from);
+    let checkpoint_every: usize = a.parse_or("checkpoint-every", 1usize)?;
+    let resume: bool = a.parse_or("resume", false)?;
+    let epoch_budget: Option<usize> = match a.get("epoch-budget") {
+        None => None,
+        Some(v) => {
+            Some(v.parse().map_err(|_| format!("bad value for --epoch-budget: {v:?}"))?)
+        }
+    };
     if !awa_epochs.is_multiple_of(2) {
         return Err("--awa-epochs must be even (AWA cycles are 2 epochs)".into());
+    }
+    if (resume || epoch_budget.is_some()) && checkpoint_dir.is_none() {
+        return Err("--resume/--epoch-budget require --checkpoint-dir".into());
     }
 
     let ds = stuq_traffic::load_split_dataset(&data_path).map_err(|e| e.to_string())?;
@@ -160,15 +181,41 @@ fn cmd_train(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         calib: Some(CalibConfig { mc_samples: mc.min(10), max_iters: 500, stride: 3 }),
         mc_samples: mc,
     };
-    let model = DeepStuq::train(&ds, cfg, seed);
-    deepstuq::save_model(&model, &out_path).map_err(|e| e.to_string())?;
-    let _ = writeln!(
-        out,
-        "wrote {out_path} (temperature T = {:.4}, {} MC samples)",
-        model.temperature(),
-        model.mc_samples()
-    );
-    Ok(())
+    let total_epochs = cfg.total_epochs();
+    let opts = FitOptions {
+        checkpoint_dir,
+        checkpoint_every,
+        resume,
+        epoch_budget,
+        ..Default::default()
+    };
+    match DeepStuq::fit(&ds, cfg, seed, &opts).map_err(|e| e.to_string())? {
+        FitOutcome::Paused { stage, epochs_done, .. } => {
+            let _ = writeln!(
+                out,
+                "paused in {stage} after {epochs_done}/{total_epochs} training epochs — \
+                 checkpoint written; rerun with --resume true to continue"
+            );
+            Ok(())
+        }
+        FitOutcome::Complete { model, guard } => {
+            deepstuq::save_model(&model, &out_path).map_err(|e| e.to_string())?;
+            if !guard.is_clean() {
+                let _ = writeln!(
+                    out,
+                    "divergence guard: {} trip(s), {} batch(es) skipped, {} rewind(s)",
+                    guard.trips, guard.skipped, guard.rewinds_used
+                );
+            }
+            let _ = writeln!(
+                out,
+                "wrote {out_path} (temperature T = {:.4}, {} MC samples)",
+                model.temperature(),
+                model.mc_samples()
+            );
+            Ok(())
+        }
+    }
 }
 
 fn load_pair(a: &Args) -> Result<(DeepStuq, SplitDataset), CliError> {
@@ -189,15 +236,23 @@ fn cmd_evaluate(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     let (model, ds) = load_pair(&a)?;
     let stride: usize = a.parse_or("stride", 3usize)?;
     let seed: u64 = a.parse_or("seed", 7u64)?;
+    let fault_profile = match a.get("fault-profile") {
+        None | Some("none") => None,
+        Some(name) => Some(FaultProfile::by_name(name).ok_or_else(|| {
+            format!("unknown fault profile {name:?} (none|light|moderate|severe)")
+        })?),
+    };
+    let fault_seed: u64 = a.parse_or("fault-seed", 1u64)?;
 
     let scaler = *ds.scaler();
     let mut rng = StuqRng::new(seed);
     let mut proper = ProperScoreAccumulator::new();
     let mut reliability = ReliabilityDiagram::standard();
-    let result = evaluate(&ds, Split::Test, stride, |x, start| {
+    let mut predict = |x: &stuq_tensor::Tensor, start: usize| {
         let f = model.forecast_normalized(x, model.mc_samples(), &mut rng);
         let mu = f.mu.map(|v| scaler.inverse(v));
         let sigma = f.sigma_total(model.temperature()).scale(scaler.std() as f32);
+        // Targets always come from the *clean* window, even under faults.
         let w = ds.window(start);
         for i in 0..ds.n_nodes() {
             for h in 0..ds.horizon() {
@@ -208,7 +263,25 @@ fn cmd_evaluate(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             }
         }
         RawForecast { mu, sigma: Some(sigma), bounds: None }
-    });
+    };
+    let result = match fault_profile {
+        None => evaluate(&ds, Split::Test, stride, predict),
+        Some(profile) => {
+            let data = ds.data();
+            let plan =
+                FaultPlan::generate(data.n_steps(), data.n_nodes(), profile, fault_seed);
+            let fs = plan.apply(data.values());
+            let _ = writeln!(
+                out,
+                "fault profile {}: {} events, {:.2}% of readings corrupted (seed {})",
+                profile.name(),
+                plan.events().len(),
+                100.0 * fs.corrupted_fraction(),
+                fault_seed
+            );
+            evaluate_faulted(&ds, Split::Test, stride, &fs, &mut predict)
+        }
+    };
 
     let uq = result.uq.expect("gaussian model");
     let _ = writeln!(out, "test windows: {}", result.n_windows);
@@ -383,6 +456,102 @@ mod tests {
         assert!(out.contains("95% interval"), "{out}");
 
         std::fs::remove_dir_all(std::env::temp_dir().join("deepstuq_cli_test")).ok();
+    }
+
+    #[test]
+    fn pause_resume_matches_straight_run() {
+        let dir = std::env::temp_dir().join("deepstuq_cli_resume_test");
+        let data = dir.join("flow.stuqd");
+        let ckpt = dir.join("ckpt");
+        let m_straight = dir.join("straight.stuq");
+        let m_resumed = dir.join("resumed.stuq");
+        let data_s = data.to_str().unwrap().to_string();
+
+        run_str(&[
+            "simulate", "--preset", "pems08", "--node-frac", "0.08", "--step-frac", "0.02",
+            "--seed", "9", "--out", &data_s,
+        ])
+        .unwrap();
+
+        let train = |extra: &[&str], out_path: &std::path::Path| {
+            let mut args = vec![
+                "train", "--data", &data_s, "--epochs", "2", "--batch", "8",
+                "--awa-epochs", "2", "--mc", "3", "--seed", "9",
+            ];
+            args.extend_from_slice(extra);
+            let out_s = out_path.to_str().unwrap().to_string();
+            args.extend_from_slice(&["--out"]);
+            let mut owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            owned.push(out_s);
+            let mut buf = Vec::new();
+            run(&owned, &mut buf).unwrap();
+            String::from_utf8(buf).unwrap()
+        };
+
+        // One uninterrupted run.
+        let straight = train(&[], &m_straight);
+        assert!(straight.contains("temperature"), "{straight}");
+
+        // The same run split across a pause/resume process boundary.
+        let ckpt_s = ckpt.to_str().unwrap().to_string();
+        let paused =
+            train(&["--checkpoint-dir", &ckpt_s, "--epoch-budget", "1"], &m_resumed);
+        assert!(paused.contains("paused"), "{paused}");
+        assert!(!m_resumed.exists(), "paused run must not write a model");
+        let resumed =
+            train(&["--checkpoint-dir", &ckpt_s, "--resume", "true"], &m_resumed);
+        assert!(resumed.contains("temperature"), "{resumed}");
+
+        // Identical artefacts: resume is bit-for-bit.
+        let a = std::fs::read(&m_straight).unwrap();
+        let b = std::fs::read(&m_resumed).unwrap();
+        assert_eq!(a, b, "resumed model must match the uninterrupted one byte-for-byte");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn faulted_evaluate_reports_corruption() {
+        let dir = std::env::temp_dir().join("deepstuq_cli_fault_test");
+        let data = dir.join("flow.stuqd");
+        let model = dir.join("model.stuq");
+        let data_s = data.to_str().unwrap();
+        let model_s = model.to_str().unwrap();
+
+        run_str(&[
+            "simulate", "--preset", "pems08", "--node-frac", "0.08", "--step-frac", "0.02",
+            "--seed", "11", "--out", data_s,
+        ])
+        .unwrap();
+        run_str(&[
+            "train", "--data", data_s, "--epochs", "1", "--batch", "8", "--awa-epochs", "0",
+            "--mc", "3", "--seed", "11", "--out", model_s,
+        ])
+        .unwrap();
+
+        let out = run_str(&[
+            "evaluate", "--model", model_s, "--data", data_s, "--stride", "11",
+            "--fault-profile", "severe", "--fault-seed", "4",
+        ])
+        .unwrap();
+        assert!(out.contains("fault profile severe"), "{out}");
+        assert!(out.contains("corrupted"), "{out}");
+        assert!(out.contains("MNLL"), "{out}");
+
+        let err = run_str(&[
+            "evaluate", "--model", model_s, "--data", data_s, "--fault-profile", "bogus",
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown fault profile"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_without_checkpoint_dir_rejected() {
+        let err = run_str(&[
+            "train", "--data", "/nonexistent", "--resume", "true", "--out", "/tmp/x",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--checkpoint-dir"), "{err}");
     }
 
     #[test]

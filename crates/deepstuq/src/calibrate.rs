@@ -12,6 +12,7 @@
 //! optimum `T* = 1 / rms(r)`, which the tests use as an oracle.
 
 use crate::config::CalibConfig;
+use crate::error::TrainError;
 use crate::mc::mc_forecast_with_cov;
 use stuq_models::Forecaster;
 use stuq_nn::lbfgs::{minimize, LbfgsOptions};
@@ -22,12 +23,18 @@ use stuq_traffic::{Split, SplitDataset};
 ///
 /// The objective of Eq. 18 is optimised in log-space (`T = e^u`), where it
 /// is smooth, convex and unconstrained — the positivity constraint on `T`
-/// then never interacts with the line search.
-pub fn fit_temperature(residual_sq: &[f64], max_iters: usize) -> f32 {
-    assert!(!residual_sq.is_empty(), "no residuals to calibrate on");
+/// then never interacts with the line search. Degenerate residuals and a
+/// diverged optimiser surface as typed [`TrainError`]s so a long pipeline
+/// run can report (or checkpoint around) the failure instead of aborting.
+pub fn fit_temperature(residual_sq: &[f64], max_iters: usize) -> Result<f32, TrainError> {
+    if residual_sq.is_empty() {
+        return Err(TrainError::EmptySplit { what: "residuals to calibrate on".into() });
+    }
     let n = residual_sq.len() as f64;
     let mean_r2 = residual_sq.iter().sum::<f64>() / n;
-    assert!(mean_r2.is_finite() && mean_r2 > 0.0, "degenerate residuals: mean r² = {mean_r2}");
+    if !(mean_r2.is_finite() && mean_r2 > 0.0) {
+        return Err(TrainError::CalibrationDegenerate { mean_r2 });
+    }
     let result = minimize(
         |u| {
             // J(u) = −2u + e^{2u}·mean(r²);  dJ/du = −2 + 2 e^{2u}·mean(r²).
@@ -38,8 +45,10 @@ pub fn fit_temperature(residual_sq: &[f64], max_iters: usize) -> f32 {
         &LbfgsOptions { max_iters, ..Default::default() },
     );
     let t = result.x[0].exp();
-    assert!(t.is_finite() && t > 0.0, "calibration diverged: T = {t}");
-    t as f32
+    if !(t.is_finite() && t > 0.0) {
+        return Err(TrainError::CalibrationDiverged { t });
+    }
+    Ok(t as f32)
 }
 
 /// Collects standardised residuals of `model` on the validation split and
@@ -50,9 +59,11 @@ pub fn calibrate_on_validation(
     ds: &SplitDataset,
     cfg: &CalibConfig,
     rng: &mut StuqRng,
-) -> f32 {
+) -> Result<f32, TrainError> {
     let starts = ds.window_starts(Split::Val);
-    assert!(!starts.is_empty(), "no validation windows");
+    if starts.is_empty() {
+        return Err(TrainError::EmptySplit { what: "validation windows".into() });
+    }
     let mut residual_sq = Vec::new();
     for &s in starts.iter().step_by(cfg.stride.max(1)) {
         let w = ds.window(s);
@@ -80,7 +91,7 @@ mod tests {
         let residual_sq: Vec<f64> = (1..=50).map(|i| 0.1 * i as f64).collect();
         let mean_r2 = residual_sq.iter().sum::<f64>() / residual_sq.len() as f64;
         let expected = (1.0 / mean_r2).sqrt() as f32;
-        let t = fit_temperature(&residual_sq, 500);
+        let t = fit_temperature(&residual_sq, 500).unwrap();
         assert!((t - expected).abs() < 1e-4, "T {t} vs closed form {expected}");
     }
 
@@ -88,7 +99,7 @@ mod tests {
     fn overconfident_model_gets_t_below_one() {
         // r² ≫ 1 means σ underestimates the residuals → T < 1 widens σ/T.
         let residual_sq = vec![4.0; 100];
-        let t = fit_temperature(&residual_sq, 500);
+        let t = fit_temperature(&residual_sq, 500).unwrap();
         assert!(t < 1.0, "T {t}");
         assert!((t - 0.5).abs() < 1e-4, "closed form is 1/2");
     }
@@ -96,15 +107,25 @@ mod tests {
     #[test]
     fn underconfident_model_gets_t_above_one() {
         let residual_sq = vec![0.25; 100];
-        let t = fit_temperature(&residual_sq, 500);
+        let t = fit_temperature(&residual_sq, 500).unwrap();
         assert!((t - 2.0).abs() < 1e-4, "T {t}");
     }
 
     #[test]
     fn perfectly_calibrated_model_keeps_t_one() {
         let residual_sq = vec![1.0; 64];
-        let t = fit_temperature(&residual_sq, 500);
+        let t = fit_temperature(&residual_sq, 500).unwrap();
         assert!((t - 1.0).abs() < 1e-5, "T {t}");
+    }
+
+    #[test]
+    fn degenerate_residuals_are_a_typed_error() {
+        let err = fit_temperature(&[0.0; 8], 100).unwrap_err();
+        assert!(matches!(err, TrainError::CalibrationDegenerate { .. }), "{err:?}");
+        let err = fit_temperature(&[f64::NAN; 8], 100).unwrap_err();
+        assert!(matches!(err, TrainError::CalibrationDegenerate { .. }), "{err:?}");
+        let err = fit_temperature(&[], 100).unwrap_err();
+        assert!(matches!(err, TrainError::EmptySplit { .. }), "{err:?}");
     }
 
     #[test]
@@ -121,7 +142,7 @@ mod tests {
                 (y / sigma_pred).powi(2)
             })
             .collect();
-        let t = fit_temperature(&residual_sq, 500) as f64;
+        let t = fit_temperature(&residual_sq, 500).unwrap() as f64;
         assert!((t - 0.5).abs() < 0.05, "T {t} should be ≈ 1/2");
         let nll = |scale: f64| {
             residual_sq

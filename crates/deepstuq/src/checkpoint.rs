@@ -1,0 +1,360 @@
+//! Crash-safe training checkpoints (`deepstuq-checkpoint v1`, DESIGN.md §8).
+//!
+//! A checkpoint captures everything the pipeline needs to continue a run
+//! **bit-for-bit** across a process boundary:
+//!
+//! * the architecture header (shared with the model format in [`crate::io`]),
+//! * the stage cursor (`pretrain` or `awa`) and epochs completed in it,
+//! * the divergence-guard state (learning-rate scale, rewind/trip counters),
+//! * the full RNG state including the cached Box–Muller spare,
+//! * the optimiser moments (and for AWA the running weight average),
+//! * the model parameters as a `stuq-params v1` blob.
+//!
+//! Files are written atomically with a checksum trailer via [`stuq_artifact`],
+//! so an interrupted save leaves the previous checkpoint intact, and loading
+//! distinguishes truncation, corruption and architecture mismatch.
+
+use crate::error::Stage;
+use crate::guard::GuardState;
+use crate::io::{bad, check_arch, field, next_line, read_arch, write_arch};
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+use stuq_models::AgcrnConfig;
+use stuq_nn::opt::OptimizerState;
+use stuq_nn::params::ParamSet;
+use stuq_nn::serialize::{read_params, write_params};
+use stuq_tensor::{RngState, Tensor};
+
+const MAGIC: &str = "deepstuq-checkpoint v1";
+
+/// Borrowed view of live training state, as handed to [`save_checkpoint`].
+pub struct StageSnapshot<'a> {
+    pub arch: &'a AgcrnConfig,
+    pub stage: Stage,
+    /// Epochs fully completed within `stage`.
+    pub epochs_done: usize,
+    pub guard: GuardState,
+    pub rng: RngState,
+    pub opt: OptimizerState,
+    /// AWA only: `(n_models, running average)`.
+    pub averager: Option<(usize, Vec<Tensor>)>,
+    pub params: &'a ParamSet,
+}
+
+/// Owned training state reconstructed by [`load_checkpoint`].
+#[derive(Debug)]
+pub struct Checkpoint {
+    pub arch: AgcrnConfig,
+    pub stage: Stage,
+    pub epochs_done: usize,
+    pub guard: GuardState,
+    pub rng: RngState,
+    pub opt: OptimizerState,
+    pub averager: Option<(usize, Vec<Tensor>)>,
+    pub params: Vec<(String, Tensor)>,
+}
+
+impl Checkpoint {
+    /// Validates the stored architecture against the run's configuration,
+    /// field by field.
+    pub fn validate_arch(&self, expected: &AgcrnConfig) -> Result<(), String> {
+        check_arch(&self.arch, expected)
+    }
+}
+
+fn write_tensor_body(w: &mut impl Write, t: &Tensor) -> io::Result<()> {
+    for chunk in t.data().chunks(16) {
+        let words: Vec<String> = chunk.iter().map(|v| format!("{:08x}", v.to_bits())).collect();
+        writeln!(w, "{}", words.join(" "))?;
+    }
+    Ok(())
+}
+
+fn read_tensor_body(r: &mut impl BufRead, dims: &[usize]) -> io::Result<Tensor> {
+    let len: usize = dims.iter().product();
+    let mut data = Vec::with_capacity(len);
+    while data.len() < len {
+        let line = next_line(r)?;
+        for word in line.split_whitespace() {
+            let bits =
+                u32::from_str_radix(word, 16).map_err(|_| bad(format!("bad tensor word {word:?}")))?;
+            data.push(f32::from_bits(bits));
+        }
+    }
+    if data.len() != len {
+        return Err(bad("tensor data length mismatch"));
+    }
+    Ok(Tensor::from_vec(data, dims))
+}
+
+fn parse_dims(tokens: &mut std::str::SplitWhitespace) -> io::Result<Vec<usize>> {
+    let ndim: usize =
+        tokens.next().ok_or_else(|| bad("missing ndim"))?.parse().map_err(|_| bad("bad ndim"))?;
+    let mut dims = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        dims.push(
+            tokens.next().ok_or_else(|| bad("missing dim"))?.parse().map_err(|_| bad("bad dim"))?,
+        );
+    }
+    Ok(dims)
+}
+
+/// Writes `snap` to `path` atomically, sealed with a checksum trailer.
+pub fn save_checkpoint(snap: &StageSnapshot, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w: Vec<u8> = Vec::new();
+    writeln!(w, "{MAGIC}")?;
+    write_arch(&mut w, snap.arch)?;
+    writeln!(w, "stage {}", snap.stage.as_str())?;
+    writeln!(w, "epochs_done {}", snap.epochs_done)?;
+    writeln!(w, "lr_scale_bits {:08x}", snap.guard.lr_scale.to_bits())?;
+    writeln!(w, "rewinds {}", snap.guard.rewinds_used)?;
+    writeln!(w, "trips {}", snap.guard.trips)?;
+    writeln!(w, "skipped {}", snap.guard.skipped)?;
+    let s = &snap.rng.s;
+    let spare = match snap.rng.spare_normal_bits {
+        Some(bits) => format!("{bits:016x}"),
+        None => "none".to_string(),
+    };
+    writeln!(w, "rng {:016x} {:016x} {:016x} {:016x} {}", s[0], s[1], s[2], s[3], spare)?;
+
+    writeln!(w, "opt {} {} {}", snap.opt.algorithm, snap.opt.counter, snap.opt.buffers.len())?;
+    for (name, slots) in &snap.opt.buffers {
+        writeln!(w, "buffer {name} {}", slots.len())?;
+        for slot in slots {
+            match slot {
+                None => writeln!(w, "slot none")?,
+                Some(t) => {
+                    let dims: Vec<String> = t.shape().iter().map(|d| d.to_string()).collect();
+                    writeln!(w, "slot tensor {} {}", t.shape().len(), dims.join(" "))?;
+                    write_tensor_body(&mut w, t)?;
+                }
+            }
+        }
+    }
+
+    match &snap.averager {
+        None => writeln!(w, "averager none")?,
+        Some((n_models, avg)) => {
+            writeln!(w, "averager {n_models} {}", avg.len())?;
+            for t in avg {
+                let dims: Vec<String> = t.shape().iter().map(|d| d.to_string()).collect();
+                writeln!(w, "tensor {} {}", t.shape().len(), dims.join(" "))?;
+                write_tensor_body(&mut w, t)?;
+            }
+        }
+    }
+
+    write_params(snap.params, &mut w)?;
+    stuq_artifact::write_atomic_checksummed(path, &w)
+}
+
+/// Loads and verifies a checkpoint written by [`save_checkpoint`].
+pub fn load_checkpoint(path: impl AsRef<Path>) -> io::Result<Checkpoint> {
+    let payload = stuq_artifact::read_verified(path.as_ref())?;
+    let mut r = payload.as_slice();
+    if next_line(&mut r)? != MAGIC {
+        return Err(bad("not a deepstuq-checkpoint file"));
+    }
+    let arch = read_arch(&mut r)?;
+    let stage_name = field(&mut r, "stage")?;
+    let stage = Stage::by_name(&stage_name)
+        .ok_or_else(|| bad(format!("unknown stage {stage_name:?}")))?;
+    let epochs_done: usize =
+        field(&mut r, "epochs_done")?.parse().map_err(|_| bad("bad epochs_done"))?;
+    let lr_bits = u32::from_str_radix(&field(&mut r, "lr_scale_bits")?, 16)
+        .map_err(|_| bad("bad lr_scale_bits"))?;
+    let rewinds: usize = field(&mut r, "rewinds")?.parse().map_err(|_| bad("bad rewinds"))?;
+    let trips: usize = field(&mut r, "trips")?.parse().map_err(|_| bad("bad trips"))?;
+    let skipped: usize = field(&mut r, "skipped")?.parse().map_err(|_| bad("bad skipped"))?;
+    let guard = GuardState {
+        lr_scale: f32::from_bits(lr_bits),
+        rewinds_used: rewinds,
+        trips,
+        skipped,
+    };
+
+    let rng_line = field(&mut r, "rng")?;
+    let mut toks = rng_line.split_whitespace();
+    let mut s = [0u64; 4];
+    for word in &mut s {
+        *word = u64::from_str_radix(toks.next().ok_or_else(|| bad("short rng line"))?, 16)
+            .map_err(|_| bad("bad rng word"))?;
+    }
+    let spare_tok = toks.next().ok_or_else(|| bad("short rng line"))?;
+    let spare_normal_bits = if spare_tok == "none" {
+        None
+    } else {
+        Some(u64::from_str_radix(spare_tok, 16).map_err(|_| bad("bad rng spare"))?)
+    };
+    let rng = RngState { s, spare_normal_bits };
+
+    let opt_line = field(&mut r, "opt")?;
+    let mut toks = opt_line.split_whitespace();
+    let algorithm = toks.next().ok_or_else(|| bad("short opt line"))?.to_string();
+    let counter: u64 = toks
+        .next()
+        .ok_or_else(|| bad("short opt line"))?
+        .parse()
+        .map_err(|_| bad("bad opt counter"))?;
+    let n_buffers: usize = toks
+        .next()
+        .ok_or_else(|| bad("short opt line"))?
+        .parse()
+        .map_err(|_| bad("bad opt buffer count"))?;
+    let mut buffers = Vec::with_capacity(n_buffers);
+    for _ in 0..n_buffers {
+        let buf_line = field(&mut r, "buffer")?;
+        let mut toks = buf_line.split_whitespace();
+        let name = toks.next().ok_or_else(|| bad("short buffer line"))?.to_string();
+        let n_slots: usize = toks
+            .next()
+            .ok_or_else(|| bad("short buffer line"))?
+            .parse()
+            .map_err(|_| bad("bad slot count"))?;
+        let mut slots = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            let slot_line = field(&mut r, "slot")?;
+            let mut toks = slot_line.split_whitespace();
+            match toks.next() {
+                Some("none") => slots.push(None),
+                Some("tensor") => {
+                    let dims = parse_dims(&mut toks)?;
+                    slots.push(Some(read_tensor_body(&mut r, &dims)?));
+                }
+                other => return Err(bad(format!("bad slot tag {other:?}"))),
+            }
+        }
+        buffers.push((name, slots));
+    }
+    let opt = OptimizerState { algorithm, counter, buffers };
+
+    let avg_line = field(&mut r, "averager")?;
+    let averager = if avg_line == "none" {
+        None
+    } else {
+        let mut toks = avg_line.split_whitespace();
+        let n_models: usize = toks
+            .next()
+            .ok_or_else(|| bad("short averager line"))?
+            .parse()
+            .map_err(|_| bad("bad averager n_models"))?;
+        let n_tensors: usize = toks
+            .next()
+            .ok_or_else(|| bad("short averager line"))?
+            .parse()
+            .map_err(|_| bad("bad averager tensor count"))?;
+        let mut avg = Vec::with_capacity(n_tensors);
+        for _ in 0..n_tensors {
+            let t_line = field(&mut r, "tensor")?;
+            let mut toks = t_line.split_whitespace();
+            let dims = parse_dims(&mut toks)?;
+            avg.push(read_tensor_body(&mut r, &dims)?);
+        }
+        Some((n_models, avg))
+    };
+
+    let params = read_params(&mut r)?;
+    Ok(Checkpoint { arch, stage, epochs_done, guard, rng, opt, averager, params })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stuq_tensor::StuqRng;
+
+    fn sample_snapshot<'a>(arch: &'a AgcrnConfig, params: &'a ParamSet) -> StageSnapshot<'a> {
+        let mut rng = StuqRng::new(7);
+        let _ = rng.normal_f32(); // leave a Box–Muller spare pending
+        StageSnapshot {
+            arch,
+            stage: Stage::Awa,
+            epochs_done: 3,
+            guard: GuardState { lr_scale: 0.25, rewinds_used: 2, trips: 5, skipped: 4 },
+            rng: rng.export_state(),
+            opt: OptimizerState {
+                algorithm: "adam".into(),
+                counter: 17,
+                buffers: vec![
+                    (
+                        "m".into(),
+                        vec![Some(Tensor::from_vec(vec![1.5, -2.25, 0.0], &[3])), None],
+                    ),
+                    ("v".into(), vec![Some(Tensor::from_vec(vec![0.125], &[1, 1])), None]),
+                ],
+            },
+            averager: Some((2, vec![Tensor::from_vec(vec![3.5, 4.5], &[2])])),
+            params,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field_bit_for_bit() {
+        let arch = AgcrnConfig::new(5, 3).with_capacity(8, 2, 1).with_dropout(0.1, 0.2);
+        let mut ps = ParamSet::new();
+        ps.add("w", Tensor::from_vec(vec![0.5, -0.5, 1.0e-7, 3.25], &[2, 2]));
+        ps.add("b", Tensor::from_vec(vec![-1.0], &[1]));
+        let snap = sample_snapshot(&arch, &ps);
+
+        let dir = std::env::temp_dir().join("deepstuq_ckpt_test");
+        let path = dir.join("train.ckpt");
+        save_checkpoint(&snap, &path).unwrap();
+        let cp = load_checkpoint(&path).unwrap();
+
+        assert!(cp.validate_arch(&arch).is_ok());
+        assert_eq!(cp.stage, Stage::Awa);
+        assert_eq!(cp.epochs_done, 3);
+        assert_eq!(cp.guard, snap.guard);
+        assert_eq!(cp.rng, snap.rng);
+        assert_eq!(cp.opt.algorithm, "adam");
+        assert_eq!(cp.opt.counter, 17);
+        assert_eq!(cp.opt.buffers.len(), 2);
+        let (m_name, m_slots) = &cp.opt.buffers[0];
+        assert_eq!(m_name, "m");
+        assert_eq!(m_slots[0].as_ref().unwrap().data(), &[1.5, -2.25, 0.0]);
+        assert!(m_slots[1].is_none());
+        let (n_models, avg) = cp.averager.as_ref().unwrap();
+        assert_eq!(*n_models, 2);
+        assert_eq!(avg[0].data(), &[3.5, 4.5]);
+        assert_eq!(cp.params.len(), 2);
+        assert_eq!(cp.params[0].0, "w");
+        assert_eq!(cp.params[0].1.data(), ps.get(0).data());
+        assert_eq!(cp.params[0].1.shape(), &[2, 2]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_architecture_is_reported_by_field() {
+        let arch = AgcrnConfig::new(5, 3).with_capacity(8, 2, 1);
+        let ps = ParamSet::new();
+        let snap = StageSnapshot {
+            averager: None,
+            stage: Stage::Pretrain,
+            ..sample_snapshot(&arch, &ps)
+        };
+        let dir = std::env::temp_dir().join("deepstuq_ckpt_arch_test");
+        let path = dir.join("train.ckpt");
+        save_checkpoint(&snap, &path).unwrap();
+        let cp = load_checkpoint(&path).unwrap();
+        let other = AgcrnConfig::new(6, 3).with_capacity(8, 2, 1);
+        let err = cp.validate_arch(&other).unwrap_err();
+        assert!(err.contains("architecture mismatch: n_nodes"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flipped_byte_is_detected() {
+        let arch = AgcrnConfig::new(4, 2);
+        let ps = ParamSet::new();
+        let snap =
+            StageSnapshot { averager: None, ..sample_snapshot(&arch, &ps) };
+        let dir = std::env::temp_dir().join("deepstuq_ckpt_corrupt_test");
+        let path = dir.join("train.ckpt");
+        save_checkpoint(&snap, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[40] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_checkpoint(&path).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

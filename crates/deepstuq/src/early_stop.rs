@@ -7,6 +7,7 @@
 //! changing any of the paper's algorithms.
 
 use crate::config::TrainConfig;
+use crate::error::TrainError;
 use crate::trainer::{eval_loss, train_epoch, LossKind};
 use stuq_models::Forecaster;
 use stuq_nn::opt::Adam;
@@ -38,7 +39,7 @@ pub fn train_with_validation(
     patience: usize,
     val_stride: usize,
     rng: &mut StuqRng,
-) -> ValidatedTraining {
+) -> Result<ValidatedTraining, TrainError> {
     let mut opt = Adam::new(cfg.lr, cfg.weight_decay);
     let mut history = Vec::with_capacity(cfg.epochs);
     let mut best: Option<(usize, f64, Vec<Tensor>)> = None;
@@ -47,8 +48,8 @@ pub fn train_with_validation(
 
     for epoch in 0..cfg.epochs {
         let train_loss =
-            train_epoch(model, ds, cfg.batch_size, kind, &mut opt, cfg.grad_clip, rng, None);
-        let val_loss = eval_loss(model, ds, Split::Val, kind, val_stride, rng);
+            train_epoch(model, ds, cfg.batch_size, kind, &mut opt, cfg.grad_clip, rng, None)?;
+        let val_loss = eval_loss(model, ds, Split::Val, kind, val_stride, rng)?;
         history.push((train_loss, val_loss));
         let improved = best.as_ref().is_none_or(|(_, b, _)| val_loss < *b);
         if improved {
@@ -64,7 +65,7 @@ pub fn train_with_validation(
     }
     let (best_epoch, best_val_loss, snapshot) = best.expect("at least one epoch ran");
     model.params_mut().load_snapshot(&snapshot);
-    ValidatedTraining { history, best_epoch, best_val_loss, stopped_early }
+    Ok(ValidatedTraining { history, best_epoch, best_val_loss, stopped_early })
 }
 
 #[cfg(test)]
@@ -88,11 +89,11 @@ mod tests {
         let (ds, mut model, mut rng) = setup(71);
         let cfg = TrainConfig { epochs: 3, batch_size: 8, ..Default::default() };
         let kind = LossKind::Combined { lambda: 0.1 };
-        let out = train_with_validation(&mut model, &ds, &cfg, kind, 0, 13, &mut rng);
+        let out = train_with_validation(&mut model, &ds, &cfg, kind, 0, 13, &mut rng).unwrap();
         assert_eq!(out.history.len(), 3);
         assert!(out.best_epoch < 3);
         // The restored weights reproduce the recorded best val loss.
-        let val_now = eval_loss(&model, &ds, Split::Val, kind, 13, &mut rng);
+        let val_now = eval_loss(&model, &ds, Split::Val, kind, 13, &mut rng).unwrap();
         assert!(
             (val_now - out.best_val_loss).abs() < 1e-9,
             "restored {val_now} vs recorded {}",
@@ -111,7 +112,7 @@ mod tests {
         let (ds, mut model, mut rng) = setup(72);
         let cfg = TrainConfig { epochs: 6, batch_size: 8, ..Default::default() };
         let kind = LossKind::Combined { lambda: 0.1 };
-        let out = train_with_validation(&mut model, &ds, &cfg, kind, 1, 13, &mut rng);
+        let out = train_with_validation(&mut model, &ds, &cfg, kind, 1, 13, &mut rng).unwrap();
         assert!(out.history.len() <= out.best_epoch + 2);
         if out.history.len() < 6 {
             assert!(out.stopped_early);

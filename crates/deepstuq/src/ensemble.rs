@@ -42,7 +42,7 @@ impl DeepEnsemble {
                 stuq_models::HeadKind::Gaussian => LossKind::Combined { lambda: train_cfg.lambda },
                 _ => LossKind::Mae,
             };
-            let _ = train(&mut model, ds, train_cfg, kind, &mut rng);
+            train(&mut model, ds, train_cfg, kind, &mut rng).expect("member training failed");
             model
         });
         Self { members }

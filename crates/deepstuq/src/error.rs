@@ -1,0 +1,143 @@
+//! Typed training-failure reporting.
+//!
+//! The fault-tolerance runtime (DESIGN.md §8) replaces the trainer's and
+//! calibrator's panics with [`TrainError`], so the CLI and library callers
+//! can report a failed stage — or resume from a checkpoint — instead of
+//! aborting the process.
+
+use std::fmt;
+
+/// Which pipeline stage an error (or checkpoint) belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Stage 1: variational pre-training (Eq. 14).
+    Pretrain,
+    /// Stage 2: AWA re-training (Algorithm 1).
+    Awa,
+    /// Stage 3: temperature calibration (Eq. 18).
+    Calibrate,
+}
+
+impl Stage {
+    /// Stable name used in checkpoint files and error messages.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Pretrain => "pretrain",
+            Stage::Awa => "awa",
+            Stage::Calibrate => "calibrate",
+        }
+    }
+
+    /// Inverse of [`Stage::as_str`].
+    pub fn by_name(s: &str) -> Option<Self> {
+        match s {
+            "pretrain" => Some(Stage::Pretrain),
+            "awa" => Some(Stage::Awa),
+            "calibrate" => Some(Stage::Calibrate),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A typed training failure.
+#[derive(Clone, Debug)]
+pub enum TrainError {
+    /// The loss kind is incompatible with the model's prediction head
+    /// (e.g. the combined loss on a point head).
+    HeadMismatch {
+        /// Human-readable requirement, e.g. `"Combined loss requires a
+        /// Gaussian head"`.
+        requirement: String,
+    },
+    /// A split needed by the stage contains no windows.
+    EmptySplit {
+        /// What was being iterated (e.g. `"training windows"`).
+        what: String,
+    },
+    /// The divergence guard exhausted its rewind budget: training kept
+    /// producing non-finite or exploding losses/gradients even after
+    /// repeated rewinds with backed-off learning rates.
+    DivergenceBudgetExhausted {
+        /// Stage that gave up.
+        stage: Stage,
+        /// Rewinds consumed (equals the configured budget).
+        rewinds: usize,
+        /// The last observed (offending) loss value.
+        last_loss: f64,
+    },
+    /// Calibration residuals were degenerate (non-finite or non-positive
+    /// mean r²), so no temperature can be fit.
+    CalibrationDegenerate {
+        /// The offending mean squared standardised residual.
+        mean_r2: f64,
+    },
+    /// The temperature optimiser diverged to a non-finite or non-positive T.
+    CalibrationDiverged {
+        /// The offending temperature.
+        t: f64,
+    },
+    /// A checkpoint could not be written, read or validated.
+    Checkpoint(String),
+    /// The requested configuration is invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::HeadMismatch { requirement } => f.write_str(requirement),
+            TrainError::EmptySplit { what } => write!(f, "no {what}"),
+            TrainError::DivergenceBudgetExhausted { stage, rewinds, last_loss } => write!(
+                f,
+                "{stage} diverged: rewind budget exhausted after {rewinds} rewinds (last loss {last_loss})"
+            ),
+            TrainError::CalibrationDegenerate { mean_r2 } => {
+                write!(f, "degenerate residuals: mean r² = {mean_r2}")
+            }
+            TrainError::CalibrationDiverged { t } => write!(f, "calibration diverged: T = {t}"),
+            TrainError::Checkpoint(msg) => write!(f, "checkpoint: {msg}"),
+            TrainError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<std::io::Error> for TrainError {
+    fn from(e: std::io::Error) -> Self {
+        TrainError::Checkpoint(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_roundtrip() {
+        for s in [Stage::Pretrain, Stage::Awa, Stage::Calibrate] {
+            assert_eq!(Stage::by_name(s.as_str()), Some(s));
+        }
+        assert_eq!(Stage::by_name("nonsense"), None);
+    }
+
+    #[test]
+    fn display_messages_preserve_legacy_phrases() {
+        // Existing tests (and users' log greps) match on these phrases; the
+        // typed errors keep them verbatim.
+        let e = TrainError::HeadMismatch {
+            requirement: "Combined loss requires a Gaussian head".into(),
+        };
+        assert!(e.to_string().contains("requires a Gaussian head"));
+        let e = TrainError::CalibrationDiverged { t: f64::NAN };
+        assert!(e.to_string().contains("calibration diverged"));
+        let e = TrainError::CalibrationDegenerate { mean_r2: 0.0 };
+        assert!(e.to_string().contains("degenerate residuals"));
+    }
+}

@@ -54,6 +54,25 @@ pub fn evaluate(
     score_forecasts(ds, &starts, forecasts)
 }
 
+/// [`evaluate`] under sensor faults (DESIGN.md §8): the predictor sees the
+/// **corrupted** history from `fs`, while the metrics score against the
+/// clean ground-truth targets. Comparing this result with [`evaluate`] on
+/// the same model quantifies how gracefully its accuracy and uncertainty
+/// estimates degrade when the input feed fails.
+pub fn evaluate_faulted(
+    ds: &SplitDataset,
+    split: Split,
+    stride: usize,
+    fs: &stuq_traffic::FaultedSeries,
+    mut predict: impl FnMut(&Tensor, usize) -> RawForecast,
+) -> EvalResult {
+    let starts: Vec<usize> =
+        ds.window_starts(split).iter().copied().step_by(stride.max(1)).collect();
+    let forecasts: Vec<RawForecast> =
+        starts.iter().map(|&s| predict(&ds.faulted_window(s, fs).x, s)).collect();
+    score_forecasts(ds, &starts, forecasts)
+}
+
 /// Data-parallel [`evaluate`]: forward passes for all test windows fan out
 /// over the `stuq-parallel` pool, then metrics accumulate in window order.
 ///

@@ -1,0 +1,97 @@
+//! Divergence-guard policy and state (DESIGN.md §8).
+//!
+//! The trainer checks every batch's loss and gradient norm before applying
+//! the optimiser step. The guard's state machine has three reactions:
+//!
+//! 1. **healthy** — loss and gradient norm are finite and below the
+//!    configured ceilings: step normally, and periodically refresh the
+//!    in-memory last-good snapshot (params + optimiser moments + RNG);
+//! 2. **trip → skip** — an isolated bad batch (e.g. corrupted targets) is
+//!    skipped without an update; the epoch continues;
+//! 3. **trip → rewind** — `max_consecutive_skips` consecutive trips indicate
+//!    the *trajectory* has diverged, not the data: parameters, optimiser
+//!    moments and RNG are restored from the last-good snapshot and the run
+//!    retries from there with the learning rate scaled down by `backoff`.
+//!    After `max_rewinds` rewinds the stage gives up with
+//!    [`crate::error::TrainError::DivergenceBudgetExhausted`].
+//!
+//! The distinction matters because the rewind restores the RNG too (that is
+//! what keeps resumed runs bit-reproducible): a batch whose *data* is bad
+//! trips identically on every replay, so only the skip path can get past it,
+//! while genuine optimiser divergence is trajectory-dependent and is what
+//! the backed-off retry repairs.
+
+/// Tunable limits of the divergence guard.
+#[derive(Clone, Copy, Debug)]
+pub struct GuardConfig {
+    /// Consecutive trips that trigger a rewind (the issue's `k`).
+    pub max_consecutive_skips: usize,
+    /// Total rewinds allowed per stage before giving up.
+    pub max_rewinds: usize,
+    /// Multiplicative learning-rate back-off applied at each rewind.
+    pub backoff: f32,
+    /// Ceiling on `|mean batch loss|`; larger values trip the guard.
+    pub max_abs_loss: f64,
+    /// Ceiling on the global gradient norm (pre-clipping).
+    pub max_grad_norm: f64,
+    /// Healthy batches between refreshes of the last-good snapshot.
+    pub snapshot_every: usize,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        Self {
+            max_consecutive_skips: 3,
+            max_rewinds: 4,
+            backoff: 0.5,
+            max_abs_loss: 1e8,
+            max_grad_norm: 1e8,
+            snapshot_every: 8,
+        }
+    }
+}
+
+/// Mutable guard bookkeeping, sticky across the epochs of one stage.
+///
+/// `lr_scale` in particular must survive epoch boundaries (a diverging run
+/// that was rescued at a lower learning rate should not snap back the next
+/// epoch) and is persisted in checkpoints so resumed runs replay it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GuardState {
+    /// Current multiplicative learning-rate scale (1.0 when undisturbed).
+    pub lr_scale: f32,
+    /// Rewinds consumed so far in this stage.
+    pub rewinds_used: usize,
+    /// Total guard trips observed (skips and rewind triggers).
+    pub trips: usize,
+    /// Batches skipped without an update.
+    pub skipped: usize,
+}
+
+impl Default for GuardState {
+    fn default() -> Self {
+        Self { lr_scale: 1.0, rewinds_used: 0, trips: 0, skipped: 0 }
+    }
+}
+
+impl GuardState {
+    /// True when the guard never fired.
+    pub fn is_clean(&self) -> bool {
+        self.trips == 0 && self.rewinds_used == 0 && self.skipped == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let g = GuardConfig::default();
+        assert!(g.max_consecutive_skips >= 1);
+        assert!(g.backoff > 0.0 && g.backoff < 1.0);
+        let s = GuardState::default();
+        assert_eq!(s.lr_scale, 1.0);
+        assert!(s.is_clean());
+    }
+}

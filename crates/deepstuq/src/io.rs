@@ -1,13 +1,21 @@
 //! Saving and loading trained DeepSTUQ models.
 //!
 //! The on-disk format is a plain-text header (architecture + temperature)
-//! followed by the bit-exact parameter blob of
-//! [`stuq_nn::serialize`]. Loading reconstructs the architecture, then
-//! validates every parameter name and shape against it, so a file from a
-//! different architecture fails loudly instead of silently mis-loading.
+//! followed by the bit-exact parameter blob of [`stuq_nn::serialize`], sealed
+//! with a `checksum fnv1a64 …` trailer and written atomically
+//! (temp file + fsync + rename, via [`stuq_artifact`]) so a crash can never
+//! leave a half-written model on disk. Loading verifies the checksum first,
+//! then reconstructs the architecture and validates every parameter name and
+//! shape against it, so a truncated, bit-flipped or wrong-architecture file
+//! each fails loudly with a distinct error.
+//!
+//! Training *checkpoints* (mid-run snapshots including optimiser moments,
+//! guard state and the RNG stream) use the sibling `deepstuq-checkpoint v1`
+//! format in [`crate::checkpoint`]; this module's `deepstuq-model v1` format
+//! stores only the finished artifact: architecture, temperature and weights.
 
 use crate::pipeline::DeepStuq;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{self, BufRead, Write};
 use std::path::Path;
 use stuq_models::{Agcrn, AgcrnConfig, Forecaster, HeadKind};
 use stuq_nn::serialize::{load_into, read_params, write_params};
@@ -15,21 +23,54 @@ use stuq_tensor::StuqRng;
 
 const MAGIC: &str = "deepstuq-model v1";
 
-fn bad(msg: impl Into<String>) -> io::Error {
+pub(crate) fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-/// Writes `model` to `path` (creating parent directories).
-pub fn save_model(model: &DeepStuq, path: impl AsRef<Path>) -> io::Result<()> {
-    let path = path.as_ref();
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
-        }
+/// Reads one line (without trailing newline), erroring at end of input.
+pub(crate) fn next_line(r: &mut impl BufRead) -> io::Result<String> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(bad("unexpected end of file"));
     }
-    let mut w = BufWriter::new(std::fs::File::create(path)?);
-    let cfg = model.model().config();
-    writeln!(w, "{MAGIC}")?;
+    Ok(line.trim_end().to_string())
+}
+
+/// Reads a `key value` line, returning the value.
+pub(crate) fn field(r: &mut impl BufRead, key: &str) -> io::Result<String> {
+    let l = next_line(r)?;
+    l.strip_prefix(key)
+        .map(|s| s.trim().to_string())
+        .ok_or_else(|| bad(format!("expected field {key:?}, got {l:?}")))
+}
+
+fn usize_field(r: &mut impl BufRead, key: &str) -> io::Result<usize> {
+    field(r, key)?.parse().map_err(|_| bad(format!("bad {key}")))
+}
+
+fn bits_field(r: &mut impl BufRead, key: &str) -> io::Result<u32> {
+    u32::from_str_radix(&field(r, key)?, 16).map_err(|_| bad(format!("bad {key}")))
+}
+
+pub(crate) fn head_name(head: HeadKind) -> &'static str {
+    match head {
+        HeadKind::Point => "point",
+        HeadKind::Gaussian => "gaussian",
+        HeadKind::Quantile => "quantile",
+    }
+}
+
+pub(crate) fn head_from_name(name: &str) -> io::Result<HeadKind> {
+    match name {
+        "point" => Ok(HeadKind::Point),
+        "gaussian" => Ok(HeadKind::Gaussian),
+        "quantile" => Ok(HeadKind::Quantile),
+        other => Err(bad(format!("unknown head kind {other:?}"))),
+    }
+}
+
+/// Writes the architecture fields shared by the model and checkpoint formats.
+pub(crate) fn write_arch(w: &mut impl Write, cfg: &AgcrnConfig) -> io::Result<()> {
     writeln!(w, "n_nodes {}", cfg.n_nodes)?;
     writeln!(w, "horizon {}", cfg.horizon)?;
     writeln!(w, "hidden {}", cfg.hidden)?;
@@ -37,61 +78,81 @@ pub fn save_model(model: &DeepStuq, path: impl AsRef<Path>) -> io::Result<()> {
     writeln!(w, "n_layers {}", cfg.n_layers)?;
     writeln!(w, "encoder_dropout_bits {:08x}", cfg.encoder_dropout.to_bits())?;
     writeln!(w, "decoder_dropout_bits {:08x}", cfg.decoder_dropout.to_bits())?;
-    let head = match cfg.head {
-        HeadKind::Point => "point",
-        HeadKind::Gaussian => "gaussian",
-        HeadKind::Quantile => "quantile",
-    };
-    writeln!(w, "head {head}")?;
-    writeln!(w, "temperature_bits {:08x}", model.temperature().to_bits())?;
-    writeln!(w, "mc_samples {}", model.mc_samples())?;
-    write_params(model.model().params(), &mut w)
+    writeln!(w, "head {}", head_name(cfg.head))?;
+    writeln!(w, "covariates {}", cfg.n_covariates)
 }
 
-/// Loads a model written by [`save_model`].
-pub fn load_model(path: impl AsRef<Path>) -> io::Result<DeepStuq> {
-    let mut r = BufReader::new(std::fs::File::open(path.as_ref())?);
-    let mut line = String::new();
-    let mut next = |r: &mut BufReader<std::fs::File>| -> io::Result<String> {
-        line.clear();
-        if r.read_line(&mut line)? == 0 {
-            return Err(bad("unexpected end of file"));
-        }
-        Ok(line.trim().to_string())
-    };
-    if next(&mut r)? != MAGIC {
-        return Err(bad("not a deepstuq-model file"));
-    }
-    let mut field = |r: &mut BufReader<std::fs::File>, key: &str| -> io::Result<String> {
-        let l = next(r)?;
-        l.strip_prefix(key)
-            .map(|s| s.trim().to_string())
-            .ok_or_else(|| bad(format!("expected field {key:?}, got {l:?}")))
-    };
-    let n_nodes: usize = field(&mut r, "n_nodes")?.parse().map_err(|_| bad("bad n_nodes"))?;
-    let horizon: usize = field(&mut r, "horizon")?.parse().map_err(|_| bad("bad horizon"))?;
-    let hidden: usize = field(&mut r, "hidden")?.parse().map_err(|_| bad("bad hidden"))?;
-    let embed_dim: usize = field(&mut r, "embed_dim")?.parse().map_err(|_| bad("bad embed_dim"))?;
-    let n_layers: usize = field(&mut r, "n_layers")?.parse().map_err(|_| bad("bad n_layers"))?;
-    let enc_bits = u32::from_str_radix(&field(&mut r, "encoder_dropout_bits")?, 16)
-        .map_err(|_| bad("bad encoder_dropout_bits"))?;
-    let dec_bits = u32::from_str_radix(&field(&mut r, "decoder_dropout_bits")?, 16)
-        .map_err(|_| bad("bad decoder_dropout_bits"))?;
-    let head = match field(&mut r, "head")?.as_str() {
-        "point" => HeadKind::Point,
-        "gaussian" => HeadKind::Gaussian,
-        "quantile" => HeadKind::Quantile,
-        other => return Err(bad(format!("unknown head kind {other:?}"))),
-    };
-    let t_bits = u32::from_str_radix(&field(&mut r, "temperature_bits")?, 16)
-        .map_err(|_| bad("bad temperature_bits"))?;
-    let mc_samples: usize =
-        field(&mut r, "mc_samples")?.parse().map_err(|_| bad("bad mc_samples"))?;
-
-    let cfg = AgcrnConfig::new(n_nodes, horizon)
+/// Reads the architecture fields written by [`write_arch`].
+pub(crate) fn read_arch(r: &mut impl BufRead) -> io::Result<AgcrnConfig> {
+    let n_nodes = usize_field(r, "n_nodes")?;
+    let horizon = usize_field(r, "horizon")?;
+    let hidden = usize_field(r, "hidden")?;
+    let embed_dim = usize_field(r, "embed_dim")?;
+    let n_layers = usize_field(r, "n_layers")?;
+    let enc_bits = bits_field(r, "encoder_dropout_bits")?;
+    let dec_bits = bits_field(r, "decoder_dropout_bits")?;
+    let head = head_from_name(&field(r, "head")?)?;
+    let n_covariates = usize_field(r, "covariates")?;
+    Ok(AgcrnConfig::new(n_nodes, horizon)
         .with_capacity(hidden, embed_dim, n_layers)
         .with_dropout(f32::from_bits(enc_bits), f32::from_bits(dec_bits))
-        .with_head(head);
+        .with_head(head)
+        .with_covariates(n_covariates))
+}
+
+/// Compares two architectures field by field; `Err` names the first
+/// disagreement (the distinct wrong-architecture failure of DESIGN.md §8).
+pub(crate) fn check_arch(file: &AgcrnConfig, model: &AgcrnConfig) -> Result<(), String> {
+    let fields: [(&str, String, String); 9] = [
+        ("n_nodes", file.n_nodes.to_string(), model.n_nodes.to_string()),
+        ("horizon", file.horizon.to_string(), model.horizon.to_string()),
+        ("hidden", file.hidden.to_string(), model.hidden.to_string()),
+        ("embed_dim", file.embed_dim.to_string(), model.embed_dim.to_string()),
+        ("n_layers", file.n_layers.to_string(), model.n_layers.to_string()),
+        (
+            "encoder_dropout",
+            format!("{:08x}", file.encoder_dropout.to_bits()),
+            format!("{:08x}", model.encoder_dropout.to_bits()),
+        ),
+        (
+            "decoder_dropout",
+            format!("{:08x}", file.decoder_dropout.to_bits()),
+            format!("{:08x}", model.decoder_dropout.to_bits()),
+        ),
+        ("head", head_name(file.head).into(), head_name(model.head).into()),
+        ("covariates", file.n_covariates.to_string(), model.n_covariates.to_string()),
+    ];
+    for (name, a, b) in fields {
+        if a != b {
+            return Err(format!("architecture mismatch: {name} is {a} in file, {b} expected"));
+        }
+    }
+    Ok(())
+}
+
+/// Writes `model` to `path` atomically with a checksum trailer (creating
+/// parent directories).
+pub fn save_model(model: &DeepStuq, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w: Vec<u8> = Vec::new();
+    writeln!(w, "{MAGIC}")?;
+    write_arch(&mut w, model.model().config())?;
+    writeln!(w, "temperature_bits {:08x}", model.temperature().to_bits())?;
+    writeln!(w, "mc_samples {}", model.mc_samples())?;
+    write_params(model.model().params(), &mut w)?;
+    stuq_artifact::write_atomic_checksummed(path, &w)
+}
+
+/// Loads a model written by [`save_model`], verifying its checksum.
+pub fn load_model(path: impl AsRef<Path>) -> io::Result<DeepStuq> {
+    let payload = stuq_artifact::read_verified(path.as_ref())?;
+    let mut r = payload.as_slice();
+    if next_line(&mut r)? != MAGIC {
+        return Err(bad("not a deepstuq-model file"));
+    }
+    let cfg = read_arch(&mut r)?;
+    let t_bits = bits_field(&mut r, "temperature_bits")?;
+    let mc_samples = usize_field(&mut r, "mc_samples")?;
+
     // Parameter values are immediately overwritten; the seed is irrelevant.
     let mut model = Agcrn::new(cfg, &mut StuqRng::new(0));
     let entries = read_params(&mut r)?;
@@ -142,5 +203,14 @@ mod tests {
         std::fs::write(&path, "not a model").unwrap();
         assert!(load_model(&path).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn arch_check_reports_first_mismatch() {
+        let a = AgcrnConfig::new(10, 12).with_capacity(16, 4, 2);
+        let b = AgcrnConfig::new(10, 12).with_capacity(32, 4, 2);
+        let err = check_arch(&a, &b).unwrap_err();
+        assert!(err.contains("architecture mismatch: hidden"), "{err}");
+        assert!(check_arch(&a, &a.clone()).is_ok());
     }
 }

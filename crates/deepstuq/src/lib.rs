@@ -46,12 +46,15 @@
 
 pub mod awa;
 pub mod calibrate;
+pub mod checkpoint;
 pub mod config;
 pub mod conformal;
 pub mod decompose;
 pub mod early_stop;
 pub mod ensemble;
+pub mod error;
 pub mod eval;
+pub mod guard;
 pub mod io;
 pub mod mc;
 pub mod methods;
@@ -59,6 +62,8 @@ pub mod pipeline;
 pub mod trainer;
 
 pub use config::{AwaConfig, CalibConfig, TrainConfig};
+pub use error::{Stage, TrainError};
+pub use guard::{GuardConfig, GuardState};
 pub use io::{load_model, save_model};
 pub use mc::{mc_forecast, GaussianForecast};
-pub use pipeline::{DeepStuq, DeepStuqConfig, Forecast};
+pub use pipeline::{DeepStuq, DeepStuqConfig, FitOptions, FitOutcome, Forecast};

@@ -236,7 +236,7 @@ impl TrainedMethod {
         let base = cfg.base_config(method, ds.n_nodes(), ds.horizon());
         let mut model = Agcrn::new(base, &mut rng);
         let kind = method.loss(cfg.train.lambda);
-        let _ = train(&mut model, ds, &cfg.train, kind, &mut rng);
+        train(&mut model, ds, &cfg.train, kind, &mut rng).expect("baseline pre-training failed");
 
         let mut temperature = 1.0f32;
         let mut conformal = None;
@@ -245,13 +245,16 @@ impl TrainedMethod {
 
         match method {
             Method::DeepStuqS | Method::DeepStuq => {
-                let _ = awa_retrain(&mut model, ds, &cfg.awa, kind, cfg.train.weight_decay, &mut rng);
-                temperature = calibrate_on_validation(&model, ds, &cfg.calib, &mut rng);
+                awa_retrain(&mut model, ds, &cfg.awa, kind, cfg.train.weight_decay, &mut rng)
+                    .expect("AWA re-training failed");
+                temperature = calibrate_on_validation(&model, ds, &cfg.calib, &mut rng)
+                    .expect("calibration failed");
             }
             Method::Ts => {
                 // TS calibrates the *deterministic* MVE variance.
                 let c = CalibConfig { mc_samples: 1, ..cfg.calib };
-                temperature = calibrate_on_validation(&model, ds, &c, &mut rng);
+                temperature = calibrate_on_validation(&model, ds, &c, &mut rng)
+                    .expect("calibration failed");
             }
             Method::Conformal => {
                 conformal = Some(fit_conformal(&model, ds, cfg.val_stride, &mut rng));
@@ -449,7 +452,7 @@ fn fge_snapshots(
     for _ in 0..cfg.fge_snapshots {
         let sched = CosineSchedule::new(cfg.awa.lr_max, cfg.awa.lr_min, n_iters);
         let mut hook = |it: usize| sched.lr_at(it);
-        let _ = train_epoch(
+        train_epoch(
             model,
             ds,
             cfg.train.batch_size,
@@ -458,7 +461,8 @@ fn fge_snapshots(
             cfg.train.grad_clip,
             rng,
             Some(&mut hook),
-        );
+        )
+        .expect("FGE snapshot epoch failed");
         snaps.push(model.params().snapshot());
     }
     snaps

@@ -1,20 +1,35 @@
 //! The user-facing DeepSTUQ pipeline (paper §IV-D).
 //!
-//! [`DeepStuq::train`] runs the three stages end-to-end on a
-//! [`SplitDataset`]: pre-training with the combined loss, AWA re-training,
-//! and temperature calibration on the validation split. [`DeepStuq::predict`]
-//! performs MC-dropout inference and returns a raw-scale [`Forecast`] with
-//! the full uncertainty decomposition and 95 % interval.
+//! [`DeepStuq::fit`] runs the three stages end-to-end on a [`SplitDataset`]:
+//! pre-training with the combined loss, AWA re-training, and temperature
+//! calibration on the validation split. It threads the divergence guard of
+//! DESIGN.md §8 through every stage, can write crash-safe checkpoints at
+//! epoch boundaries, and can pause after an epoch budget and later resume
+//! **bit-for-bit** — an interrupted-then-resumed run produces exactly the
+//! parameters and temperature of an uninterrupted one. [`DeepStuq::train`]
+//! is the panicking convenience wrapper. [`DeepStuq::predict`] performs
+//! MC-dropout inference and returns a raw-scale [`Forecast`] with the full
+//! uncertainty decomposition and 95 % interval.
 
-use crate::awa::awa_retrain;
+use crate::awa::AwaState;
 use crate::calibrate::calibrate_on_validation;
+use crate::checkpoint::{load_checkpoint, save_checkpoint, StageSnapshot};
 use crate::config::{AwaConfig, CalibConfig, TrainConfig};
+use crate::error::{Stage, TrainError};
+use crate::guard::{GuardConfig, GuardState};
 use crate::mc::{mc_forecast_with_cov, GaussianForecast};
-use crate::trainer::{train, LossKind};
+use crate::trainer::{train_epoch_guarded, LossKind};
+use std::path::{Path, PathBuf};
 use stuq_metrics::Z_95;
-use stuq_models::{Agcrn, AgcrnConfig, HeadKind};
+use stuq_models::{Agcrn, AgcrnConfig, Forecaster, HeadKind};
+use stuq_nn::opt::{Adam, Optimizer, OptimizerState};
+use stuq_nn::params::ParamSet;
+use stuq_nn::serialize::load_into;
 use stuq_tensor::{StuqRng, Tensor};
 use stuq_traffic::{Scaler, SplitDataset};
+
+/// File name used for training checkpoints inside `checkpoint_dir`.
+pub const CHECKPOINT_FILE: &str = "train.ckpt";
 
 /// Full pipeline configuration.
 #[derive(Clone, Debug)]
@@ -59,6 +74,88 @@ impl DeepStuqConfig {
             mc_samples: 3,
         }
     }
+
+    /// Total training epochs across the pre-train and AWA stages.
+    pub fn total_epochs(&self) -> usize {
+        self.train.epochs + self.awa.as_ref().map_or(0, |a| a.epochs)
+    }
+}
+
+/// Fault-tolerance knobs for [`DeepStuq::fit`] (DESIGN.md §8).
+#[derive(Clone, Debug)]
+pub struct FitOptions {
+    /// Divergence-guard policy shared by all stages.
+    pub guard: GuardConfig,
+    /// Directory for crash-safe checkpoints; `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint cadence in epochs (a checkpoint is also written at every
+    /// stage boundary and on pause).
+    pub checkpoint_every: usize,
+    /// Resume from `checkpoint_dir/train.ckpt` instead of starting fresh.
+    pub resume: bool,
+    /// Pause (with a checkpoint) after at most this many training epochs in
+    /// this invocation. Requires `checkpoint_dir`.
+    pub epoch_budget: Option<usize>,
+}
+
+impl Default for FitOptions {
+    fn default() -> Self {
+        Self {
+            guard: GuardConfig::default(),
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            resume: false,
+            epoch_budget: None,
+        }
+    }
+}
+
+/// Result of [`DeepStuq::fit`]: either a trained model or a paused run whose
+/// checkpoint can be resumed later.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // Complete carries the model by design
+pub enum FitOutcome {
+    /// All stages finished; `guard` reports any trips/rewinds survived.
+    Complete { model: DeepStuq, guard: GuardState },
+    /// The epoch budget ran out; state was checkpointed for `--resume`.
+    Paused { stage: Stage, epochs_done: usize, guard: GuardState },
+}
+
+impl FitOutcome {
+    /// Unwraps the trained model, panicking on a paused run.
+    pub fn expect_complete(self) -> DeepStuq {
+        match self {
+            FitOutcome::Complete { model, .. } => model,
+            FitOutcome::Paused { stage, epochs_done, .. } => {
+                panic!("training paused in {stage} after {epochs_done} epochs")
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // flat view of one checkpoint record
+fn save_stage_checkpoint(
+    path: &Path,
+    arch: &AgcrnConfig,
+    stage: Stage,
+    epochs_done: usize,
+    guard: GuardState,
+    rng: &StuqRng,
+    opt: OptimizerState,
+    averager: Option<(usize, Vec<Tensor>)>,
+    params: &ParamSet,
+) -> Result<(), TrainError> {
+    let snap = StageSnapshot {
+        arch,
+        stage,
+        epochs_done,
+        guard,
+        rng: rng.export_state(),
+        opt,
+        averager,
+        params,
+    };
+    save_checkpoint(&snap, path).map_err(|e| TrainError::Checkpoint(e.to_string()))
 }
 
 /// A raw-scale probabilistic forecast: mean, decomposed uncertainty and the
@@ -88,30 +185,237 @@ pub struct DeepStuq {
 }
 
 impl DeepStuq {
-    /// Runs the three training stages on `ds` with the experiment `seed`.
-    pub fn train(ds: &SplitDataset, cfg: DeepStuqConfig, seed: u64) -> Self {
-        assert_eq!(cfg.base.n_nodes, ds.n_nodes(), "config/dataset node mismatch");
-        assert_eq!(cfg.base.horizon, ds.horizon(), "config/dataset horizon mismatch");
-        assert_eq!(cfg.base.head, HeadKind::Gaussian, "DeepSTUQ needs the Gaussian head");
-        let mut rng = StuqRng::new(seed);
-        let mut model = Agcrn::new(cfg.base.clone(), &mut rng);
+    /// Runs the three training stages with fault tolerance: the divergence
+    /// guard wraps every batch, checkpoints are written at epoch boundaries
+    /// when `opts.checkpoint_dir` is set, and `opts.resume` continues a
+    /// paused or interrupted run bit-for-bit.
+    pub fn fit(
+        ds: &SplitDataset,
+        cfg: DeepStuqConfig,
+        seed: u64,
+        opts: &FitOptions,
+    ) -> Result<FitOutcome, TrainError> {
+        if cfg.base.n_nodes != ds.n_nodes() {
+            return Err(TrainError::InvalidConfig(format!(
+                "config/dataset node mismatch: model {} vs data {}",
+                cfg.base.n_nodes,
+                ds.n_nodes()
+            )));
+        }
+        if cfg.base.horizon != ds.horizon() {
+            return Err(TrainError::InvalidConfig(format!(
+                "config/dataset horizon mismatch: model {} vs data {}",
+                cfg.base.horizon,
+                ds.horizon()
+            )));
+        }
+        if cfg.base.head != HeadKind::Gaussian {
+            return Err(TrainError::HeadMismatch {
+                requirement: "DeepSTUQ needs the Gaussian head".into(),
+            });
+        }
+        if opts.checkpoint_every == 0 {
+            return Err(TrainError::InvalidConfig("checkpoint_every must be at least 1".into()));
+        }
+        if opts.epoch_budget.is_some() && opts.checkpoint_dir.is_none() {
+            return Err(TrainError::InvalidConfig(
+                "an epoch budget requires a checkpoint dir to pause into".into(),
+            ));
+        }
+        if opts.resume && opts.checkpoint_dir.is_none() {
+            return Err(TrainError::InvalidConfig("resume requires a checkpoint dir".into()));
+        }
+
+        let ckpt_path = opts.checkpoint_dir.as_ref().map(|d| d.join(CHECKPOINT_FILE));
         let kind = LossKind::Combined { lambda: cfg.train.lambda };
 
+        let mut rng = StuqRng::new(seed);
+        let mut model = Agcrn::new(cfg.base.clone(), &mut rng);
+        let mut gstate = GuardState::default();
+        let mut pre_epoch = 0usize;
+        let mut pre_opt = Adam::new(cfg.train.lr, cfg.train.weight_decay);
+        let mut awa_state: Option<AwaState> = None;
+
+        if opts.resume {
+            let path = ckpt_path.as_ref().expect("validated above");
+            let cp = load_checkpoint(path).map_err(|e| TrainError::Checkpoint(e.to_string()))?;
+            cp.validate_arch(&cfg.base).map_err(TrainError::Checkpoint)?;
+            // The fresh-init draws above are discarded wholesale: parameters
+            // come from the checkpoint and the RNG is restored to the exact
+            // stream position at save time.
+            load_into(model.params_mut(), &cp.params)
+                .map_err(|e| TrainError::Checkpoint(e.to_string()))?;
+            rng = StuqRng::from_state(cp.rng);
+            gstate = cp.guard;
+            match cp.stage {
+                Stage::Pretrain => {
+                    pre_epoch = cp.epochs_done;
+                    pre_opt.import_state(&cp.opt).map_err(TrainError::Checkpoint)?;
+                }
+                Stage::Awa => {
+                    pre_epoch = cfg.train.epochs;
+                    let awa_cfg = cfg.awa.as_ref().ok_or_else(|| {
+                        TrainError::Checkpoint(
+                            "checkpoint is in the AWA stage but the config has no AWA stage".into(),
+                        )
+                    })?;
+                    let (n_models, avg) = cp.averager.ok_or_else(|| {
+                        TrainError::Checkpoint("AWA checkpoint missing averager block".into())
+                    })?;
+                    awa_state = Some(AwaState::import(
+                        awa_cfg,
+                        cfg.train.weight_decay,
+                        &cp.opt,
+                        n_models,
+                        avg,
+                        cp.epochs_done,
+                    )?);
+                }
+                Stage::Calibrate => {
+                    return Err(TrainError::Checkpoint(
+                        "checkpoint stage 'calibrate' is not resumable".into(),
+                    ));
+                }
+            }
+        }
+
+        let budget = opts.epoch_budget.unwrap_or(usize::MAX);
+        let mut ran = 0usize;
+
         // Stage 1: variational pre-training (Eq. 14).
-        let _history = train(&mut model, ds, &cfg.train, kind, &mut rng);
+        while pre_epoch < cfg.train.epochs {
+            if ran >= budget {
+                let path = ckpt_path.as_ref().expect("budget requires a checkpoint dir");
+                save_stage_checkpoint(
+                    path,
+                    &cfg.base,
+                    Stage::Pretrain,
+                    pre_epoch,
+                    gstate,
+                    &rng,
+                    pre_opt.export_state(),
+                    None,
+                    model.params(),
+                )?;
+                return Ok(FitOutcome::Paused {
+                    stage: Stage::Pretrain,
+                    epochs_done: pre_epoch,
+                    guard: gstate,
+                });
+            }
+            train_epoch_guarded(
+                &mut model,
+                ds,
+                cfg.train.batch_size,
+                kind,
+                &mut pre_opt,
+                cfg.train.grad_clip,
+                &mut rng,
+                None,
+                Stage::Pretrain,
+                &opts.guard,
+                &mut gstate,
+            )?;
+            pre_epoch += 1;
+            ran += 1;
+            if let Some(path) = &ckpt_path {
+                if pre_epoch.is_multiple_of(opts.checkpoint_every) || pre_epoch == cfg.train.epochs
+                {
+                    save_stage_checkpoint(
+                        path,
+                        &cfg.base,
+                        Stage::Pretrain,
+                        pre_epoch,
+                        gstate,
+                        &rng,
+                        pre_opt.export_state(),
+                        None,
+                        model.params(),
+                    )?;
+                }
+            }
+        }
 
         // Stage 2: AWA re-training (Algorithm 1).
-        if let Some(awa) = &cfg.awa {
-            let _report = awa_retrain(&mut model, ds, awa, kind, cfg.train.weight_decay, &mut rng);
+        if let Some(awa_cfg) = &cfg.awa {
+            let mut st = match awa_state.take() {
+                Some(st) => st,
+                None => AwaState::new(awa_cfg, cfg.train.weight_decay)?,
+            };
+            while st.epochs_done() < awa_cfg.epochs {
+                if ran >= budget {
+                    let path = ckpt_path.as_ref().expect("budget requires a checkpoint dir");
+                    let (opt_state, n_models, avg, epoch) = st.export();
+                    save_stage_checkpoint(
+                        path,
+                        &cfg.base,
+                        Stage::Awa,
+                        epoch,
+                        gstate,
+                        &rng,
+                        opt_state,
+                        Some((n_models, avg)),
+                        model.params(),
+                    )?;
+                    return Ok(FitOutcome::Paused {
+                        stage: Stage::Awa,
+                        epochs_done: epoch,
+                        guard: gstate,
+                    });
+                }
+                st.run_epoch(&mut model, ds, awa_cfg, kind, &mut rng, &opts.guard, &mut gstate)?;
+                ran += 1;
+                if let Some(path) = &ckpt_path {
+                    let done = st.epochs_done();
+                    if done % opts.checkpoint_every == 0 || done == awa_cfg.epochs {
+                        let (opt_state, n_models, avg, epoch) = st.export();
+                        save_stage_checkpoint(
+                            path,
+                            &cfg.base,
+                            Stage::Awa,
+                            epoch,
+                            gstate,
+                            &rng,
+                            opt_state,
+                            Some((n_models, avg)),
+                            model.params(),
+                        )?;
+                    }
+                }
+            }
+            let _report = st.finish(&mut model);
         }
 
         // Stage 3: temperature calibration on the validation split (Eq. 18).
         let temperature = match &cfg.calib {
-            Some(c) => calibrate_on_validation(&model, ds, c, &mut rng),
+            Some(c) => calibrate_on_validation(&model, ds, c, &mut rng)?,
             None => 1.0,
         };
 
-        Self { model, temperature, mc_samples: cfg.mc_samples }
+        Ok(FitOutcome::Complete {
+            model: Self { model, temperature, mc_samples: cfg.mc_samples },
+            guard: gstate,
+        })
+    }
+
+    /// [`DeepStuq::fit`] with default fault-tolerance options, returning the
+    /// trained model or the first typed error.
+    pub fn try_train(
+        ds: &SplitDataset,
+        cfg: DeepStuqConfig,
+        seed: u64,
+    ) -> Result<Self, TrainError> {
+        match Self::fit(ds, cfg, seed, &FitOptions::default())? {
+            FitOutcome::Complete { model, .. } => Ok(model),
+            FitOutcome::Paused { .. } => unreachable!("no epoch budget was set"),
+        }
+    }
+
+    /// Runs the three training stages on `ds` with the experiment `seed`,
+    /// panicking on any [`TrainError`] (the original pipeline contract; use
+    /// [`DeepStuq::fit`] or [`DeepStuq::try_train`] for typed errors).
+    pub fn train(ds: &SplitDataset, cfg: DeepStuqConfig, seed: u64) -> Self {
+        Self::try_train(ds, cfg, seed).unwrap_or_else(|e| panic!("DeepSTUQ training failed: {e}"))
     }
 
     /// Wraps an externally trained base model (used by the ablation benches).
@@ -258,5 +562,40 @@ mod tests {
         let mut cfg = DeepStuqConfig::fast_demo(ds.n_nodes(), ds.horizon());
         cfg.base = cfg.base.with_head(HeadKind::Point);
         let _ = DeepStuq::train(&ds, cfg, 1);
+    }
+
+    #[test]
+    fn fit_rejects_budget_without_checkpoint_dir() {
+        let ds = Preset::Pems08Like.spec().scaled(0.08, 0.02).generate(2);
+        let cfg = DeepStuqConfig::fast_demo(ds.n_nodes(), ds.horizon());
+        let opts = FitOptions { epoch_budget: Some(1), ..Default::default() };
+        let err = DeepStuq::fit(&ds, cfg, 2, &opts).unwrap_err();
+        assert!(matches!(err, TrainError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn checkpointing_run_matches_plain_run_bit_for_bit() {
+        // Writing checkpoints must never perturb the training trajectory.
+        let ds = Preset::Pems08Like.spec().scaled(0.08, 0.02).generate(37);
+        let cfg = DeepStuqConfig::fast_demo(ds.n_nodes(), ds.horizon());
+        let plain = DeepStuq::train(&ds, cfg.clone(), 37);
+
+        let dir = std::env::temp_dir().join("deepstuq_pipeline_ckpt_test");
+        let opts = FitOptions { checkpoint_dir: Some(dir.clone()), ..Default::default() };
+        let ckpt = DeepStuq::fit(&ds, cfg, 37, &opts).unwrap().expect_complete();
+
+        assert_eq!(plain.temperature().to_bits(), ckpt.temperature().to_bits());
+        for (a, b) in plain
+            .model()
+            .params()
+            .snapshot()
+            .iter()
+            .zip(ckpt.model().params().snapshot())
+        {
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "checkpointing perturbed training");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

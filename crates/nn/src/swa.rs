@@ -52,6 +52,20 @@ impl WeightAverager {
     pub fn average(&self) -> &[Tensor] {
         &self.avg
     }
+
+    /// Captures the averager for checkpointing: `(n_models, snapshots)`.
+    pub fn export_state(&self) -> (usize, Vec<Tensor>) {
+        (self.n_models, self.avg.clone())
+    }
+
+    /// Reconstructs an averager captured by [`WeightAverager::export_state`].
+    pub fn from_state(n_models: usize, avg: Vec<Tensor>) -> Self {
+        assert!(
+            n_models > 0 || avg.is_empty(),
+            "averager state with snapshots must have n_models > 0"
+        );
+        Self { avg, n_models }
+    }
 }
 
 #[cfg(test)]

@@ -43,6 +43,6 @@ pub mod rng;
 pub mod tape;
 pub mod tensor;
 
-pub use rng::StuqRng;
+pub use rng::{RngState, StuqRng};
 pub use tape::{CustomOp, GradStore, NodeId, Tape};
 pub use tensor::Tensor;

@@ -82,6 +82,18 @@ impl TrafficData {
         self.values[t * self.n_nodes + node]
     }
 
+    /// Overwrites the flow at `(t, node)` — the hook fault-injection tests
+    /// use to corrupt individual readings in place.
+    #[inline]
+    pub fn set(&mut self, t: usize, node: usize, v: f32) {
+        self.values[t * self.n_nodes + node] = v;
+    }
+
+    /// The raw row-major `[T, N]` values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
     /// All sensors at time `t`.
     pub fn step(&self, t: usize) -> &[f32] {
         &self.values[t * self.n_nodes..(t + 1) * self.n_nodes]
@@ -160,6 +172,10 @@ pub struct Window {
     /// future-work section proposes to incorporate; it is known at
     /// prediction time from meteorology, so this is not target leakage.
     pub cov: Option<Tensor>,
+    /// Validity mask for the history, `[t_h, N]` with 1 = healthy reading
+    /// and 0 = corrupted. `None` for clean windows (the common case); set by
+    /// [`SplitDataset::faulted_window`].
+    pub valid: Option<Tensor>,
 }
 
 /// A traffic dataset with its split boundaries, scaler and window geometry.
@@ -187,6 +203,15 @@ impl SplitDataset {
     /// The underlying data.
     pub fn data(&self) -> &TrafficData {
         &self.data
+    }
+
+    /// Mutable access to the underlying data.
+    ///
+    /// The scaler stays as fit at construction time, so corrupting readings
+    /// here (as the fault-injection tests do) degrades the *inputs* without
+    /// silently re-normalising around the corruption.
+    pub fn data_mut(&mut self) -> &mut TrafficData {
+        &mut self.data
     }
 
     /// The training-fit scaler.
@@ -254,7 +279,28 @@ impl SplitDataset {
             }
             m
         });
-        Window { x, y_raw: y, cov }
+        Window { x, y_raw: y, cov, valid: None }
+    }
+
+    /// Like [`SplitDataset::window`], but the **history** is read from a
+    /// corrupted [`FaultedSeries`] while the target stays the clean ground
+    /// truth — the evaluation setting for sensor-fault robustness
+    /// (DESIGN.md §8). The returned window carries the validity mask of its
+    /// history cells.
+    pub fn faulted_window(&self, start: usize, fs: &crate::faults::FaultedSeries) -> Window {
+        assert_eq!(fs.n_steps(), self.data.n_steps(), "faulted series length mismatch");
+        assert_eq!(fs.n_nodes(), self.data.n_nodes(), "faulted series width mismatch");
+        let clean = self.window(start);
+        let n = self.data.n_nodes();
+        let mut x = Tensor::zeros(&[self.t_h, n]);
+        let mut valid = Tensor::zeros(&[self.t_h, n]);
+        for t in 0..self.t_h {
+            for i in 0..n {
+                x.set(t, i, self.scaler.transform(fs.get(start + t, i)));
+                valid.set(t, i, if fs.is_valid(start + t, i) { 1.0 } else { 0.0 });
+            }
+        }
+        Window { x, y_raw: clean.y_raw, cov: clean.cov, valid: Some(valid) }
     }
 
     /// The target in normalised units (for loss computation).

@@ -1,0 +1,272 @@
+//! Seeded sensor-fault injection (DESIGN.md §8).
+//!
+//! Real loop-detector feeds fail in characteristic ways: a sensor goes dark
+//! and reports zeros (**dropout**), freezes on its last reading
+//! (**stuck-at**), or emits implausible spikes (**spike corruption**). A
+//! [`FaultPlan`] is a deterministic, seeded schedule of such events over a
+//! `[T, N]` series; applying it yields a [`FaultedSeries`] — the corrupted
+//! values plus a per-cell validity mask — so evaluation can report how the
+//! model's uncertainty estimates degrade under sensor faults while still
+//! scoring against the clean ground truth.
+//!
+//! The plan is generated from `(n_steps, n_nodes, profile, seed)` alone, so
+//! the same flags reproduce the same degradation bit-for-bit anywhere.
+
+use stuq_tensor::StuqRng;
+
+/// How a faulty sensor misbehaves during an event window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The sensor reports zero flow.
+    Dropout,
+    /// The sensor repeats its last healthy reading.
+    StuckAt,
+    /// Readings are scaled by a large factor (detector miscount).
+    Spike,
+}
+
+/// One contiguous fault on one sensor: steps `[t_start, t_end)`.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultEvent {
+    pub kind: FaultKind,
+    pub node: usize,
+    pub t_start: usize,
+    pub t_end: usize,
+    /// Multiplier used by [`FaultKind::Spike`] (ignored otherwise).
+    pub magnitude: f32,
+}
+
+/// Named degradation severity, selectable from the CLI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultProfile {
+    /// ~5 % of sensors, one short event each.
+    Light,
+    /// ~15 % of sensors, two events each.
+    Moderate,
+    /// ~30 % of sensors, three long events each.
+    Severe,
+}
+
+impl FaultProfile {
+    /// Parses a CLI name (`light` / `moderate` / `severe`).
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "light" => Some(Self::Light),
+            "moderate" => Some(Self::Moderate),
+            "severe" => Some(Self::Severe),
+            _ => None,
+        }
+    }
+
+    /// CLI name of the profile.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Light => "light",
+            Self::Moderate => "moderate",
+            Self::Severe => "severe",
+        }
+    }
+
+    /// `(node_fraction, events_per_node, min_len, max_len)`.
+    fn params(self) -> (f64, usize, usize, usize) {
+        match self {
+            Self::Light => (0.05, 1, 3, 8),
+            Self::Moderate => (0.15, 2, 5, 15),
+            Self::Severe => (0.30, 3, 10, 30),
+        }
+    }
+}
+
+/// A deterministic schedule of sensor faults for a `[T, N]` series.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    n_steps: usize,
+    n_nodes: usize,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Generates the seeded plan. Every affected node, event window and
+    /// fault kind is drawn from a dedicated RNG stream, so the plan depends
+    /// only on the four arguments.
+    pub fn generate(n_steps: usize, n_nodes: usize, profile: FaultProfile, seed: u64) -> Self {
+        let (node_frac, events_per_node, min_len, max_len) = profile.params();
+        let mut rng = StuqRng::new(seed ^ 0x05e6_e507_20fa_u64);
+        let n_faulty = ((n_nodes as f64 * node_frac).ceil() as usize).clamp(1, n_nodes);
+        // Choose distinct faulty nodes via a seeded shuffle.
+        let mut order: Vec<usize> = (0..n_nodes).collect();
+        rng.shuffle(&mut order);
+        let mut events = Vec::new();
+        for &node in order.iter().take(n_faulty) {
+            for _ in 0..events_per_node {
+                let len = min_len + rng.uniform_usize(max_len - min_len + 1);
+                let len = len.min(n_steps);
+                let t_start = rng.uniform_usize(n_steps - len + 1);
+                let kind = match rng.uniform_usize(3) {
+                    0 => FaultKind::Dropout,
+                    1 => FaultKind::StuckAt,
+                    _ => FaultKind::Spike,
+                };
+                let magnitude = 3.0 + 3.0 * rng.uniform_f32();
+                events.push(FaultEvent { kind, node, t_start, t_end: t_start + len, magnitude });
+            }
+        }
+        Self { n_steps, n_nodes, events }
+    }
+
+    /// The scheduled events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Applies the plan to row-major `[T, N]` values.
+    pub fn apply(&self, values: &[f32]) -> FaultedSeries {
+        assert_eq!(values.len(), self.n_steps * self.n_nodes, "series shape mismatch");
+        let mut data = values.to_vec();
+        let mut valid = vec![true; values.len()];
+        for ev in &self.events {
+            // The reading the sensor froze on: last healthy value before the
+            // event (or the first in-event value when the event starts at 0).
+            let held = values[ev.t_start.saturating_sub(1) * self.n_nodes + ev.node];
+            for t in ev.t_start..ev.t_end.min(self.n_steps) {
+                let idx = t * self.n_nodes + ev.node;
+                data[idx] = match ev.kind {
+                    FaultKind::Dropout => 0.0,
+                    FaultKind::StuckAt => held,
+                    FaultKind::Spike => values[idx] * ev.magnitude,
+                };
+                valid[idx] = false;
+            }
+        }
+        FaultedSeries { n_steps: self.n_steps, n_nodes: self.n_nodes, data, valid }
+    }
+}
+
+/// A corrupted copy of a series plus the per-cell validity mask.
+#[derive(Clone, Debug)]
+pub struct FaultedSeries {
+    n_steps: usize,
+    n_nodes: usize,
+    data: Vec<f32>,
+    valid: Vec<bool>,
+}
+
+impl FaultedSeries {
+    /// Corrupted reading at `(t, node)`.
+    #[inline]
+    pub fn get(&self, t: usize, node: usize) -> f32 {
+        self.data[t * self.n_nodes + node]
+    }
+
+    /// Whether the reading at `(t, node)` survived uncorrupted.
+    #[inline]
+    pub fn is_valid(&self, t: usize, node: usize) -> bool {
+        self.valid[t * self.n_nodes + node]
+    }
+
+    /// Number of time steps.
+    pub fn n_steps(&self) -> usize {
+        self.n_steps
+    }
+
+    /// Number of sensors.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Fraction of cells whose reading was corrupted.
+    pub fn corrupted_fraction(&self) -> f64 {
+        let bad = self.valid.iter().filter(|&&v| !v).count();
+        bad as f64 / self.valid.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n_steps: usize, n_nodes: usize) -> Vec<f32> {
+        (0..n_steps * n_nodes).map(|i| 1.0 + i as f32).collect()
+    }
+
+    #[test]
+    fn same_seed_gives_identical_plans() {
+        let a = FaultPlan::generate(200, 16, FaultProfile::Moderate, 9);
+        let b = FaultPlan::generate(200, 16, FaultProfile::Moderate, 9);
+        assert_eq!(a.events.len(), b.events.len());
+        for (x, y) in a.events.iter().zip(&b.events) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!((x.node, x.t_start, x.t_end), (y.node, y.t_start, y.t_end));
+            assert_eq!(x.magnitude.to_bits(), y.magnitude.to_bits());
+        }
+        let values = ramp(200, 16);
+        let fa = a.apply(&values);
+        let fb = b.apply(&values);
+        assert_eq!(fa.data, fb.data);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let values = ramp(200, 16);
+        let a = FaultPlan::generate(200, 16, FaultProfile::Severe, 1).apply(&values);
+        let b = FaultPlan::generate(200, 16, FaultProfile::Severe, 2).apply(&values);
+        assert_ne!(a.data, b.data);
+    }
+
+    #[test]
+    fn severity_orders_corruption() {
+        let values = ramp(500, 32);
+        let light = FaultPlan::generate(500, 32, FaultProfile::Light, 5).apply(&values);
+        let severe = FaultPlan::generate(500, 32, FaultProfile::Severe, 5).apply(&values);
+        assert!(light.corrupted_fraction() > 0.0);
+        assert!(
+            severe.corrupted_fraction() > light.corrupted_fraction(),
+            "severe {} vs light {}",
+            severe.corrupted_fraction(),
+            light.corrupted_fraction()
+        );
+    }
+
+    #[test]
+    fn mask_marks_exactly_the_changed_cells_for_each_kind() {
+        let n_steps = 50;
+        let n_nodes = 4;
+        let values = ramp(n_steps, n_nodes);
+        let plan = FaultPlan {
+            n_steps,
+            n_nodes,
+            events: vec![
+                FaultEvent { kind: FaultKind::Dropout, node: 0, t_start: 5, t_end: 8, magnitude: 1.0 },
+                FaultEvent { kind: FaultKind::StuckAt, node: 1, t_start: 10, t_end: 13, magnitude: 1.0 },
+                FaultEvent { kind: FaultKind::Spike, node: 2, t_start: 20, t_end: 22, magnitude: 4.0 },
+            ],
+        };
+        let fs = plan.apply(&values);
+        assert_eq!(fs.get(5, 0), 0.0);
+        assert!(!fs.is_valid(6, 0));
+        let held = values[9 * n_nodes + 1];
+        assert_eq!(fs.get(10, 1), held);
+        assert_eq!(fs.get(12, 1), held);
+        assert_eq!(fs.get(20, 2), values[20 * n_nodes + 2] * 4.0);
+        // Everything outside the events is untouched and valid.
+        assert_eq!(fs.get(4, 0), values[4 * n_nodes]);
+        assert!(fs.is_valid(4, 0));
+        assert!(fs.is_valid(5, 3));
+        let expected_bad = 3 + 3 + 2;
+        let bad = (fs.corrupted_fraction() * (n_steps * n_nodes) as f64).round() as usize;
+        assert_eq!(bad, expected_bad);
+    }
+
+    #[test]
+    fn plan_is_valid_for_short_series() {
+        // Event lengths clamp to the series; starts stay in range.
+        let plan = FaultPlan::generate(12, 3, FaultProfile::Severe, 77);
+        for ev in plan.events() {
+            assert!(ev.t_start < 12);
+            assert!(ev.t_end <= 12 + 30, "end {}", ev.t_end);
+            assert!(ev.node < 3);
+        }
+        let fs = plan.apply(&ramp(12, 3));
+        assert!(fs.corrupted_fraction() > 0.0);
+    }
+}

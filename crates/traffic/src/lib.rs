@@ -21,11 +21,13 @@
 
 pub mod batch;
 pub mod dataset;
+pub mod faults;
 pub mod persist;
 pub mod presets;
 pub mod simulate;
 
 pub use batch::BatchIter;
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultProfile, FaultedSeries};
 pub use persist::{load_dataset, load_split_dataset, save_dataset};
 pub use dataset::{Scaler, Split, SplitDataset, TrafficData, Window};
 pub use presets::{DatasetSpec, Preset};

@@ -4,9 +4,14 @@
 //! and the full `[T, N]` flow series, with all floats as IEEE-754 bit
 //! patterns in hex so the round-trip is bit-exact. This lets the CLI train
 //! and forecast against a *fixed* dataset artefact instead of regenerating.
+//!
+//! Files are written atomically (temp file + fsync + rename) and sealed with
+//! a `checksum fnv1a64` trailer via [`stuq_artifact`], so a crash mid-save
+//! cannot corrupt an existing artefact and any truncation or bit flip is
+//! detected before parsing begins.
 
 use crate::dataset::{SplitDataset, TrafficData};
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{self, BufRead, Write};
 use std::path::Path;
 use stuq_graph::RoadNetwork;
 
@@ -16,15 +21,10 @@ fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-/// Writes `data` to `path` (creating parent directories).
+/// Writes `data` to `path` atomically with a checksum trailer (creating
+/// parent directories).
 pub fn save_dataset(data: &TrafficData, path: impl AsRef<Path>) -> io::Result<()> {
-    let path = path.as_ref();
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
-        }
-    }
-    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    let mut w: Vec<u8> = Vec::new();
     let net = data.network();
     writeln!(w, "{MAGIC}")?;
     // Names may contain spaces; they terminate the line.
@@ -53,15 +53,15 @@ pub fn save_dataset(data: &TrafficData, path: impl AsRef<Path>) -> io::Result<()
             writeln!(w, "{}", row.join(" "))?;
         }
     }
-    Ok(())
+    stuq_artifact::write_atomic_checksummed(path, &w)
 }
 
-/// Reads a dataset written by [`save_dataset`].
+/// Reads a dataset written by [`save_dataset`], verifying its checksum.
 pub fn load_dataset(path: impl AsRef<Path>) -> io::Result<TrafficData> {
-    let mut r = BufReader::new(std::fs::File::open(path.as_ref())?);
-    let mut buf = String::new();
-    let mut next = move |r: &mut BufReader<std::fs::File>| -> io::Result<String> {
-        buf.clear();
+    let payload = stuq_artifact::read_verified(path.as_ref())?;
+    let mut r = payload.as_slice();
+    let next = |r: &mut &[u8]| -> io::Result<String> {
+        let mut buf = String::new();
         if r.read_line(&mut buf)? == 0 {
             return Err(bad("unexpected end of file"));
         }
@@ -74,7 +74,7 @@ pub fn load_dataset(path: impl AsRef<Path>) -> io::Result<TrafficData> {
         .strip_prefix("name ")
         .ok_or_else(|| bad("missing name"))?
         .to_string();
-    let mut usize_field = |r: &mut BufReader<std::fs::File>, key: &str| -> io::Result<usize> {
+    let usize_field = |r: &mut &[u8], key: &str| -> io::Result<usize> {
         let l = next(r)?;
         l.strip_prefix(key)
             .and_then(|s| s.trim().parse().ok())
@@ -90,18 +90,9 @@ pub fn load_dataset(path: impl AsRef<Path>) -> io::Result<TrafficData> {
         u32::from_str_radix(s, 16).map(f32::from_bits).map_err(|_| bad(format!("bad hex {s:?}")))
     };
 
-    let mut line = String::new();
-    let mut read_line = |r: &mut BufReader<std::fs::File>| -> io::Result<String> {
-        line.clear();
-        if r.read_line(&mut line)? == 0 {
-            return Err(bad("unexpected end of file"));
-        }
-        Ok(line.trim_end().to_string())
-    };
-
     let mut positions = Vec::with_capacity(n_pos);
     for _ in 0..n_pos {
-        let l = read_line(&mut r)?;
+        let l = next(&mut r)?;
         let mut parts = l.split_whitespace();
         let x = hex(parts.next().ok_or_else(|| bad("missing position x"))?)?;
         let y = hex(parts.next().ok_or_else(|| bad("missing position y"))?)?;
@@ -109,7 +100,7 @@ pub fn load_dataset(path: impl AsRef<Path>) -> io::Result<TrafficData> {
     }
     let mut edges = Vec::with_capacity(n_edges);
     for _ in 0..n_edges {
-        let l = read_line(&mut r)?;
+        let l = next(&mut r)?;
         let mut parts = l.split_whitespace();
         if parts.next() != Some("e") {
             return Err(bad(format!("expected edge line, got {l:?}")));
@@ -123,7 +114,7 @@ pub fn load_dataset(path: impl AsRef<Path>) -> io::Result<TrafficData> {
     }
     let mut values = Vec::with_capacity(n_steps * n_nodes);
     for _ in 0..n_steps {
-        let l = read_line(&mut r)?;
+        let l = next(&mut r)?;
         for word in l.split_whitespace() {
             values.push(hex(word)?);
         }
@@ -134,7 +125,7 @@ pub fn load_dataset(path: impl AsRef<Path>) -> io::Result<TrafficData> {
     let mut covariates = Vec::with_capacity(n_steps * n_cov);
     if n_cov > 0 {
         for _ in 0..n_steps {
-            let l = read_line(&mut r)?;
+            let l = next(&mut r)?;
             for word in l.split_whitespace() {
                 covariates.push(hex(word)?);
             }
@@ -190,6 +181,21 @@ mod tests {
         let path = dir.join("bad.stuqd");
         std::fs::write(&path, "hello").unwrap();
         assert!(load_dataset(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flipped_byte_is_detected_before_parsing() {
+        let ds = Preset::Pems08Like.spec().scaled(0.08, 0.02).generate(3);
+        let dir = std::env::temp_dir().join("stuq_traffic_persist_flip");
+        let path = dir.join("data.stuqd");
+        save_dataset(ds.data(), &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_dataset(&path).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -95,15 +95,15 @@ fn spatial_model_beats_temporal_only_ablation() {
             .with_head(HeadKind::Point),
         &mut rng_a,
     );
-    let _ = train(&mut agcrn, &ds, &cfg, LossKind::Mae, &mut rng_a);
-    let mae_agcrn = eval_loss(&agcrn, &ds, Split::Test, LossKind::Mae, 7, &mut rng_a);
+    train(&mut agcrn, &ds, &cfg, LossKind::Mae, &mut rng_a).unwrap();
+    let mae_agcrn = eval_loss(&agcrn, &ds, Split::Test, LossKind::Mae, 7, &mut rng_a).unwrap();
 
     let mut gru = stuq_models::gru::GruForecaster::new(
         stuq_models::gru::GruConfig { hidden: 16, ..stuq_models::gru::GruConfig::new(ds.n_nodes(), ds.horizon()) },
         &mut rng_b,
     );
-    let _ = train(&mut gru, &ds, &cfg, LossKind::Mae, &mut rng_b);
-    let mae_gru = eval_loss(&gru, &ds, Split::Test, LossKind::Mae, 7, &mut rng_b);
+    train(&mut gru, &ds, &cfg, LossKind::Mae, &mut rng_b).unwrap();
+    let mae_gru = eval_loss(&gru, &ds, Split::Test, LossKind::Mae, 7, &mut rng_b).unwrap();
 
     assert!(
         mae_agcrn < mae_gru * 1.1,

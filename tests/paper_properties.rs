@@ -75,7 +75,7 @@ fn temperature_matches_closed_form() {
     for_cases(2, |seed, rng| {
         let len = usize_in(rng, 5, 80);
         let rs = vecf64(rng, 1e-3, 50.0, len);
-        let t = fit_temperature(&rs, 500) as f64;
+        let t = fit_temperature(&rs, 500).unwrap() as f64;
         let mean = rs.iter().sum::<f64>() / rs.len() as f64;
         let expected = (1.0 / mean).sqrt();
         assert!((t - expected).abs() < 1e-3 * expected, "seed {seed}: T {t} vs {expected}");
