@@ -66,11 +66,7 @@ pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
         .ok_or_else(|| invalid(format!("cannot write to {path:?}: no file name")))?;
     // Suffix with the pid so concurrent writers in tests don't clobber each
     // other's temp files; the final rename still serialises correctly.
-    let tmp = parent.join(format!(
-        ".{}.tmp.{}",
-        file_name.to_string_lossy(),
-        std::process::id()
-    ));
+    let tmp = parent.join(format!(".{}.tmp.{}", file_name.to_string_lossy(), std::process::id()));
     let mut f = OpenOptions::new().write(true).create(true).truncate(true).open(&tmp)?;
     let result = (|| {
         f.write_all(bytes)?;
@@ -119,11 +115,7 @@ pub fn verify(bytes: &[u8]) -> io::Result<&[u8]> {
         Some(b'\n') => &bytes[..bytes.len() - 1],
         _ => return Err(invalid("missing checksum trailer (file truncated?)")),
     };
-    let line_start = without_nl
-        .iter()
-        .rposition(|&b| b == b'\n')
-        .map(|p| p + 1)
-        .unwrap_or(0);
+    let line_start = without_nl.iter().rposition(|&b| b == b'\n').map(|p| p + 1).unwrap_or(0);
     let trailer = std::str::from_utf8(&without_nl[line_start..])
         .map_err(|_| invalid("missing checksum trailer (file truncated?)"))?;
     let digest_hex = trailer
@@ -146,8 +138,7 @@ pub fn read_verified(path: impl AsRef<Path>) -> io::Result<Vec<u8>> {
     let path = path.as_ref();
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
-    let payload = verify(&bytes)
-        .map_err(|e| invalid(format!("{}: {e}", path.display())))?;
+    let payload = verify(&bytes).map_err(|e| invalid(format!("{}: {e}", path.display())))?;
     Ok(payload.to_vec())
 }
 

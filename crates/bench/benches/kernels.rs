@@ -26,9 +26,8 @@ fn bench_matmul() {
         let a = Tensor::randn(&[n, n], 1.0, &mut rng);
         let b = Tensor::randn(&[n, n], 1.0, &mut rng);
         let flops = 2.0 * (n * n * n) as f64;
-        let blocked = bench(&format!("matmul_{n}x{n} (blocked+parallel)"), || {
-            black_box(a.matmul(&b))
-        });
+        let blocked =
+            bench(&format!("matmul_{n}x{n} (blocked+parallel)"), || black_box(a.matmul(&b)));
         let serial = bench(&format!("matmul_{n}x{n} (blocked, 1 thread)"), || {
             stuq_parallel::with_serial(|| black_box(a.matmul(&b)))
         });
@@ -130,7 +129,9 @@ fn bench_agcrn() {
     });
     let mc_ser = bench_with("mc_inference_10_n50 (1 thread)", 0.5, 20, || {
         let mut rng = StuqRng::new(9);
-        stuq_parallel::with_serial(|| black_box(deepstuq::mc::mc_forecast(&model, &x, 10, &mut rng)))
+        stuq_parallel::with_serial(|| {
+            black_box(deepstuq::mc::mc_forecast(&model, &x, 10, &mut rng))
+        })
     });
     show(&mc_par);
     show(&mc_ser);

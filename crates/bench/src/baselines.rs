@@ -103,11 +103,7 @@ mod tests {
         for name in BASELINE_NAMES {
             let mut model = build_baseline(name, &ds, &mut rng);
             let r = train_and_eval_baseline(&mut model, &ds, &cfg, 19, &mut rng);
-            assert!(
-                r.point.mae.is_finite() && r.point.mae > 0.0,
-                "{name}: MAE {}",
-                r.point.mae
-            );
+            assert!(r.point.mae.is_finite() && r.point.mae > 0.0, "{name}: MAE {}", r.point.mae);
             assert!(r.point.rmse >= r.point.mae, "{name}");
         }
     }

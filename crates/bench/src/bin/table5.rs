@@ -78,15 +78,8 @@ fn main() {
         // AWA (Adam, the paper's recipe).
         let mut awa_model = model.clone();
         let mut awa_rng = rng.fork(1);
-        awa_retrain(
-            &mut awa_model,
-            &ds,
-            &mcfg.awa,
-            kind,
-            mcfg.train.weight_decay,
-            &mut awa_rng,
-        )
-        .expect("AWA re-training failed");
+        awa_retrain(&mut awa_model, &ds, &mcfg.awa, kind, mcfg.train.weight_decay, &mut awa_rng)
+            .expect("AWA re-training failed");
         let with_awa = eval_point(&awa_model, &ds, mcfg.mc_samples, stride, seed);
 
         // SWA with SGD (original recipe) — the DESIGN.md ablation.

@@ -7,8 +7,8 @@
 //! overconfidence that validation-split calibration corrects.
 
 use deepstuq::awa::awa_retrain;
-use deepstuq::calibrate::fit_temperature;
 use deepstuq::calibrate::calibrate_on_validation;
+use deepstuq::calibrate::fit_temperature;
 use deepstuq::eval::{evaluate, RawForecast};
 use deepstuq::mc::mc_forecast;
 use deepstuq::trainer::{train, LossKind};
@@ -38,7 +38,13 @@ fn eval_uq(
 }
 
 /// Temperature fit on the training split (the wrong split, for contrast).
-fn calibrate_on_train(model: &Agcrn, ds: &SplitDataset, mc: usize, stride: usize, rng: &mut StuqRng) -> f32 {
+fn calibrate_on_train(
+    model: &Agcrn,
+    ds: &SplitDataset,
+    mc: usize,
+    stride: usize,
+    rng: &mut StuqRng,
+) -> f32 {
     let mut residual_sq = Vec::new();
     for &s in ds.window_starts(Split::Train).iter().step_by(stride.max(1)) {
         let w = ds.window(s);
@@ -101,7 +107,8 @@ fn main() {
         ]);
     }
 
-    let header = ["dataset", "metric", "No Calibration", "Calibration (val)", "Calibration (train)"];
+    let header =
+        ["dataset", "metric", "No Calibration", "Calibration (val)", "Calibration (train)"];
     print_table("Table VI: calibration ablation", &header, &rows);
     write_csv(&opts.out_dir, "table6.csv", &header, &rows);
 }

@@ -77,8 +77,7 @@ impl Args {
             let key = args[i]
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
-            let value =
-                args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?.clone();
+            let value = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?.clone();
             pairs.push((key.to_string(), value));
             i += 2;
         }
@@ -151,9 +150,7 @@ fn cmd_train(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     let resume: bool = a.parse_or("resume", false)?;
     let epoch_budget: Option<usize> = match a.get("epoch-budget") {
         None => None,
-        Some(v) => {
-            Some(v.parse().map_err(|_| format!("bad value for --epoch-budget: {v:?}"))?)
-        }
+        Some(v) => Some(v.parse().map_err(|_| format!("bad value for --epoch-budget: {v:?}"))?),
     };
     if !awa_epochs.is_multiple_of(2) {
         return Err("--awa-epochs must be even (AWA cycles are 2 epochs)".into());
@@ -177,18 +174,17 @@ fn cmd_train(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         base: AgcrnConfig::new(ds.n_nodes(), ds.horizon())
             .with_dropout(if small_graph { 0.05 } else { 0.1 }, 0.2),
         train: TrainConfig { epochs, batch_size: batch, ..Default::default() },
-        awa: (awa_epochs > 0).then(|| AwaConfig { epochs: awa_epochs, batch_size: batch, ..Default::default() }),
+        awa: (awa_epochs > 0).then(|| AwaConfig {
+            epochs: awa_epochs,
+            batch_size: batch,
+            ..Default::default()
+        }),
         calib: Some(CalibConfig { mc_samples: mc.min(10), max_iters: 500, stride: 3 }),
         mc_samples: mc,
     };
     let total_epochs = cfg.total_epochs();
-    let opts = FitOptions {
-        checkpoint_dir,
-        checkpoint_every,
-        resume,
-        epoch_budget,
-        ..Default::default()
-    };
+    let opts =
+        FitOptions { checkpoint_dir, checkpoint_every, resume, epoch_budget, ..Default::default() };
     match DeepStuq::fit(&ds, cfg, seed, &opts).map_err(|e| e.to_string())? {
         FitOutcome::Paused { stage, epochs_done, .. } => {
             let _ = writeln!(
@@ -268,8 +264,7 @@ fn cmd_evaluate(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         None => evaluate(&ds, Split::Test, stride, predict),
         Some(profile) => {
             let data = ds.data();
-            let plan =
-                FaultPlan::generate(data.n_steps(), data.n_nodes(), profile, fault_seed);
+            let plan = FaultPlan::generate(data.n_steps(), data.n_nodes(), profile, fault_seed);
             let fs = plan.apply(data.values());
             let _ = writeln!(
                 out,
@@ -368,8 +363,7 @@ fn cmd_info(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         let _ = writeln!(out, "  dropout     {}/{}", cfg.encoder_dropout, cfg.decoder_dropout);
         let _ = writeln!(out, "  temperature {:.4}", model.temperature());
         let _ = writeln!(out, "  MC samples  {}", model.mc_samples());
-        let _ =
-            writeln!(out, "  parameters  {}", model.model().params().n_scalars());
+        let _ = writeln!(out, "  parameters  {}", model.model().params().n_scalars());
         return Ok(());
     }
     Err(format!("{path}: neither a dataset (.stuqd) nor a model (.stuq) file"))
@@ -409,8 +403,7 @@ mod tests {
 
     #[test]
     fn bad_preset_errors() {
-        let err =
-            run_str(&["simulate", "--preset", "pems99", "--out", "/tmp/x"]).unwrap_err();
+        let err = run_str(&["simulate", "--preset", "pems99", "--out", "/tmp/x"]).unwrap_err();
         assert!(err.contains("unknown preset"), "{err}");
     }
 
@@ -423,8 +416,17 @@ mod tests {
 
         // simulate → info
         let out = run_str(&[
-            "simulate", "--preset", "pems08", "--node-frac", "0.08", "--step-frac", "0.02",
-            "--seed", "5", "--out", data_s,
+            "simulate",
+            "--preset",
+            "pems08",
+            "--node-frac",
+            "0.08",
+            "--step-frac",
+            "0.02",
+            "--seed",
+            "5",
+            "--out",
+            data_s,
         ])
         .unwrap();
         assert!(out.contains("wrote"), "{out}");
@@ -433,8 +435,21 @@ mod tests {
 
         // train → info
         let out = run_str(&[
-            "train", "--data", data_s, "--epochs", "1", "--batch", "8", "--awa-epochs", "2",
-            "--mc", "3", "--seed", "5", "--out", model_s,
+            "train",
+            "--data",
+            data_s,
+            "--epochs",
+            "1",
+            "--batch",
+            "8",
+            "--awa-epochs",
+            "2",
+            "--mc",
+            "3",
+            "--seed",
+            "5",
+            "--out",
+            model_s,
         ])
         .unwrap();
         assert!(out.contains("temperature"), "{out}");
@@ -442,10 +457,8 @@ mod tests {
         assert!(info.contains("model: DeepSTUQ"), "{info}");
 
         // evaluate
-        let out = run_str(&[
-            "evaluate", "--model", model_s, "--data", data_s, "--stride", "11",
-        ])
-        .unwrap();
+        let out =
+            run_str(&["evaluate", "--model", model_s, "--data", data_s, "--stride", "11"]).unwrap();
         assert!(out.contains("MNLL") && out.contains("CRPS") && out.contains("reliability"));
 
         // forecast
@@ -468,15 +481,35 @@ mod tests {
         let data_s = data.to_str().unwrap().to_string();
 
         run_str(&[
-            "simulate", "--preset", "pems08", "--node-frac", "0.08", "--step-frac", "0.02",
-            "--seed", "9", "--out", &data_s,
+            "simulate",
+            "--preset",
+            "pems08",
+            "--node-frac",
+            "0.08",
+            "--step-frac",
+            "0.02",
+            "--seed",
+            "9",
+            "--out",
+            &data_s,
         ])
         .unwrap();
 
         let train = |extra: &[&str], out_path: &std::path::Path| {
             let mut args = vec![
-                "train", "--data", &data_s, "--epochs", "2", "--batch", "8",
-                "--awa-epochs", "2", "--mc", "3", "--seed", "9",
+                "train",
+                "--data",
+                &data_s,
+                "--epochs",
+                "2",
+                "--batch",
+                "8",
+                "--awa-epochs",
+                "2",
+                "--mc",
+                "3",
+                "--seed",
+                "9",
             ];
             args.extend_from_slice(extra);
             let out_s = out_path.to_str().unwrap().to_string();
@@ -494,12 +527,10 @@ mod tests {
 
         // The same run split across a pause/resume process boundary.
         let ckpt_s = ckpt.to_str().unwrap().to_string();
-        let paused =
-            train(&["--checkpoint-dir", &ckpt_s, "--epoch-budget", "1"], &m_resumed);
+        let paused = train(&["--checkpoint-dir", &ckpt_s, "--epoch-budget", "1"], &m_resumed);
         assert!(paused.contains("paused"), "{paused}");
         assert!(!m_resumed.exists(), "paused run must not write a model");
-        let resumed =
-            train(&["--checkpoint-dir", &ckpt_s, "--resume", "true"], &m_resumed);
+        let resumed = train(&["--checkpoint-dir", &ckpt_s, "--resume", "true"], &m_resumed);
         assert!(resumed.contains("temperature"), "{resumed}");
 
         // Identical artefacts: resume is bit-for-bit.
@@ -518,19 +549,50 @@ mod tests {
         let model_s = model.to_str().unwrap();
 
         run_str(&[
-            "simulate", "--preset", "pems08", "--node-frac", "0.08", "--step-frac", "0.02",
-            "--seed", "11", "--out", data_s,
+            "simulate",
+            "--preset",
+            "pems08",
+            "--node-frac",
+            "0.08",
+            "--step-frac",
+            "0.02",
+            "--seed",
+            "11",
+            "--out",
+            data_s,
         ])
         .unwrap();
         run_str(&[
-            "train", "--data", data_s, "--epochs", "1", "--batch", "8", "--awa-epochs", "0",
-            "--mc", "3", "--seed", "11", "--out", model_s,
+            "train",
+            "--data",
+            data_s,
+            "--epochs",
+            "1",
+            "--batch",
+            "8",
+            "--awa-epochs",
+            "0",
+            "--mc",
+            "3",
+            "--seed",
+            "11",
+            "--out",
+            model_s,
         ])
         .unwrap();
 
         let out = run_str(&[
-            "evaluate", "--model", model_s, "--data", data_s, "--stride", "11",
-            "--fault-profile", "severe", "--fault-seed", "4",
+            "evaluate",
+            "--model",
+            model_s,
+            "--data",
+            data_s,
+            "--stride",
+            "11",
+            "--fault-profile",
+            "severe",
+            "--fault-seed",
+            "4",
         ])
         .unwrap();
         assert!(out.contains("fault profile severe"), "{out}");
@@ -538,7 +600,13 @@ mod tests {
         assert!(out.contains("MNLL"), "{out}");
 
         let err = run_str(&[
-            "evaluate", "--model", model_s, "--data", data_s, "--fault-profile", "bogus",
+            "evaluate",
+            "--model",
+            model_s,
+            "--data",
+            data_s,
+            "--fault-profile",
+            "bogus",
         ])
         .unwrap_err();
         assert!(err.contains("unknown fault profile"), "{err}");
@@ -547,19 +615,17 @@ mod tests {
 
     #[test]
     fn resume_without_checkpoint_dir_rejected() {
-        let err = run_str(&[
-            "train", "--data", "/nonexistent", "--resume", "true", "--out", "/tmp/x",
-        ])
-        .unwrap_err();
+        let err =
+            run_str(&["train", "--data", "/nonexistent", "--resume", "true", "--out", "/tmp/x"])
+                .unwrap_err();
         assert!(err.contains("--checkpoint-dir"), "{err}");
     }
 
     #[test]
     fn odd_awa_epochs_rejected() {
-        let err = run_str(&[
-            "train", "--data", "/nonexistent", "--awa-epochs", "3", "--out", "/tmp/x",
-        ])
-        .unwrap_err();
+        let err =
+            run_str(&["train", "--data", "/nonexistent", "--awa-epochs", "3", "--out", "/tmp/x"])
+                .unwrap_err();
         assert!(err.contains("even"), "{err}");
     }
 }

@@ -278,10 +278,10 @@ mod tests {
                 .unwrap();
         }
         let (opt_state, n_models, avg, epoch) = st_b.export();
-        let mut st_b2 =
-            AwaState::import(&awa_cfg, 1e-6, &opt_state, n_models, avg, epoch).unwrap();
+        let mut st_b2 = AwaState::import(&awa_cfg, 1e-6, &opt_state, n_models, avg, epoch).unwrap();
         for _ in 0..2 {
-            st_b2.run_epoch(&mut model_b, &ds, &awa_cfg, kind, &mut rng_b, &guard, &mut gs_b)
+            st_b2
+                .run_epoch(&mut model_b, &ds, &awa_cfg, kind, &mut rng_b, &guard, &mut gs_b)
                 .unwrap();
         }
         let rep_b = st_b2.finish(&mut model_b);

@@ -69,8 +69,8 @@ pub fn calibrate_on_validation(
         let w = ds.window(s);
         let f = mc_forecast_with_cov(model, &w.x, w.cov.as_ref(), cfg.mc_samples, rng);
         let y_norm = ds.normalize_target(&w.y_raw).transpose(); // [N, τ]
-        // r² uses the *total* uncalibrated variance, matching Eq. 18 where
-        // σ² comes from the Monte-Carlo estimate.
+                                                                // r² uses the *total* uncalibrated variance, matching Eq. 18 where
+                                                                // σ² comes from the Monte-Carlo estimate.
         let var = f.var_total(1.0);
         for i in 0..y_norm.len() {
             let mu = f.mu.data()[i] as f64;

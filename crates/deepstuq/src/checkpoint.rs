@@ -76,8 +76,8 @@ fn read_tensor_body(r: &mut impl BufRead, dims: &[usize]) -> io::Result<Tensor> 
     while data.len() < len {
         let line = next_line(r)?;
         for word in line.split_whitespace() {
-            let bits =
-                u32::from_str_radix(word, 16).map_err(|_| bad(format!("bad tensor word {word:?}")))?;
+            let bits = u32::from_str_radix(word, 16)
+                .map_err(|_| bad(format!("bad tensor word {word:?}")))?;
             data.push(f32::from_bits(bits));
         }
     }
@@ -157,8 +157,8 @@ pub fn load_checkpoint(path: impl AsRef<Path>) -> io::Result<Checkpoint> {
     }
     let arch = read_arch(&mut r)?;
     let stage_name = field(&mut r, "stage")?;
-    let stage = Stage::by_name(&stage_name)
-        .ok_or_else(|| bad(format!("unknown stage {stage_name:?}")))?;
+    let stage =
+        Stage::by_name(&stage_name).ok_or_else(|| bad(format!("unknown stage {stage_name:?}")))?;
     let epochs_done: usize =
         field(&mut r, "epochs_done")?.parse().map_err(|_| bad("bad epochs_done"))?;
     let lr_bits = u32::from_str_radix(&field(&mut r, "lr_scale_bits")?, 16)
@@ -166,12 +166,8 @@ pub fn load_checkpoint(path: impl AsRef<Path>) -> io::Result<Checkpoint> {
     let rewinds: usize = field(&mut r, "rewinds")?.parse().map_err(|_| bad("bad rewinds"))?;
     let trips: usize = field(&mut r, "trips")?.parse().map_err(|_| bad("bad trips"))?;
     let skipped: usize = field(&mut r, "skipped")?.parse().map_err(|_| bad("bad skipped"))?;
-    let guard = GuardState {
-        lr_scale: f32::from_bits(lr_bits),
-        rewinds_used: rewinds,
-        trips,
-        skipped,
-    };
+    let guard =
+        GuardState { lr_scale: f32::from_bits(lr_bits), rewinds_used: rewinds, trips, skipped };
 
     let rng_line = field(&mut r, "rng")?;
     let mut toks = rng_line.split_whitespace();
@@ -275,10 +271,7 @@ mod tests {
                 algorithm: "adam".into(),
                 counter: 17,
                 buffers: vec![
-                    (
-                        "m".into(),
-                        vec![Some(Tensor::from_vec(vec![1.5, -2.25, 0.0], &[3])), None],
-                    ),
+                    ("m".into(), vec![Some(Tensor::from_vec(vec![1.5, -2.25, 0.0], &[3])), None]),
                     ("v".into(), vec![Some(Tensor::from_vec(vec![0.125], &[1, 1])), None]),
                 ],
             },
@@ -326,11 +319,8 @@ mod tests {
     fn wrong_architecture_is_reported_by_field() {
         let arch = AgcrnConfig::new(5, 3).with_capacity(8, 2, 1);
         let ps = ParamSet::new();
-        let snap = StageSnapshot {
-            averager: None,
-            stage: Stage::Pretrain,
-            ..sample_snapshot(&arch, &ps)
-        };
+        let snap =
+            StageSnapshot { averager: None, stage: Stage::Pretrain, ..sample_snapshot(&arch, &ps) };
         let dir = std::env::temp_dir().join("deepstuq_ckpt_arch_test");
         let path = dir.join("train.ckpt");
         save_checkpoint(&snap, &path).unwrap();
@@ -345,8 +335,7 @@ mod tests {
     fn flipped_byte_is_detected() {
         let arch = AgcrnConfig::new(4, 2);
         let ps = ParamSet::new();
-        let snap =
-            StageSnapshot { averager: None, ..sample_snapshot(&arch, &ps) };
+        let snap = StageSnapshot { averager: None, ..sample_snapshot(&arch, &ps) };
         let dir = std::env::temp_dir().join("deepstuq_ckpt_corrupt_test");
         let path = dir.join("train.ckpt");
         save_checkpoint(&snap, &path).unwrap();

@@ -36,10 +36,8 @@ pub struct LocallyWeightedConformal {
 impl LocallyWeightedConformal {
     /// Fits the score quantile from calibration triples `(y, μ, σ)`.
     pub fn fit(triples: impl IntoIterator<Item = (f64, f64, f64)>, alpha: f64) -> Self {
-        let mut scores: Vec<f64> = triples
-            .into_iter()
-            .map(|(y, mu, sigma)| (y - mu).abs() / sigma.max(1e-9))
-            .collect();
+        let mut scores: Vec<f64> =
+            triples.into_iter().map(|(y, mu, sigma)| (y - mu).abs() / sigma.max(1e-9)).collect();
         let n_calibration = scores.len();
         let qhat = conformal_quantile(&mut scores, alpha)
             .expect("calibration set too small for the requested level");
@@ -78,7 +76,11 @@ pub struct Cfrnn {
 
 impl Cfrnn {
     /// Fits per-horizon quantiles from `(h, |y − μ|)` residual pairs.
-    pub fn fit(residuals: impl IntoIterator<Item = (usize, f64)>, horizon: usize, alpha: f64) -> Self {
+    pub fn fit(
+        residuals: impl IntoIterator<Item = (usize, f64)>,
+        horizon: usize,
+        alpha: f64,
+    ) -> Self {
         assert!(horizon > 0, "horizon must be positive");
         let mut per_h: Vec<Vec<f64>> = vec![Vec::new(); horizon];
         for (h, r) in residuals {

@@ -127,8 +127,7 @@ pub fn sensor_trace(
         out.mu.push(mu_raw.get(node, h) as f64);
         out.sigma_aleatoric
             .push(sigma_scale * (forecast.var_aleatoric.get(node, h) as f64 * inv_t2).sqrt());
-        out.sigma_epistemic
-            .push(sigma_scale * (forecast.var_epistemic.get(node, h) as f64).sqrt());
+        out.sigma_epistemic.push(sigma_scale * (forecast.var_epistemic.get(node, h) as f64).sqrt());
         out.sigma_total.push(sigma_scale * (var_total.get(node, h) as f64).sqrt());
     }
     out

@@ -100,8 +100,7 @@ mod tests {
             out.best_val_loss
         );
         // And it is the minimum of the history.
-        let min_hist =
-            out.history.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
+        let min_hist = out.history.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
         assert!((out.best_val_loss - min_hist).abs() < 1e-12);
     }
 

@@ -49,8 +49,7 @@ pub fn evaluate(
 ) -> EvalResult {
     let starts: Vec<usize> =
         ds.window_starts(split).iter().copied().step_by(stride.max(1)).collect();
-    let forecasts: Vec<RawForecast> =
-        starts.iter().map(|&s| predict(&ds.window(s).x, s)).collect();
+    let forecasts: Vec<RawForecast> = starts.iter().map(|&s| predict(&ds.window(s).x, s)).collect();
     score_forecasts(ds, &starts, forecasts)
 }
 
@@ -142,10 +141,9 @@ fn score_forecasts(ds: &SplitDataset, starts: &[usize], forecasts: Vec<RawForeca
     let has_uq = any_sigma || any_bounds;
     let compose = |h: Option<usize>| -> UqMetrics {
         let (nm, im) = match h {
-            Some(h) => (
-                if any_sigma { nll.at_horizon(h).mnll } else { f64::NAN },
-                interval.at_horizon(h),
-            ),
+            Some(h) => {
+                (if any_sigma { nll.at_horizon(h).mnll } else { f64::NAN }, interval.at_horizon(h))
+            }
             None => (if any_sigma { nll.overall().mnll } else { f64::NAN }, interval.overall()),
         };
         UqMetrics { mnll: nm, picp: im.picp, mpiw: im.mpiw }

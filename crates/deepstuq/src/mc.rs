@@ -251,8 +251,7 @@ mod tests {
         let model = model_with_dropout(HeadKind::Gaussian, 0.3, &mut rng);
         let x = Tensor::randn(&[6, 5], 1.0, &mut rng);
         let par = mc_forecast(&model, &x, 8, &mut StuqRng::new(42));
-        let ser =
-            stuq_parallel::with_serial(|| mc_forecast(&model, &x, 8, &mut StuqRng::new(42)));
+        let ser = stuq_parallel::with_serial(|| mc_forecast(&model, &x, 8, &mut StuqRng::new(42)));
         assert_eq!(par.mu.data(), ser.mu.data());
         assert_eq!(par.var_aleatoric.data(), ser.var_aleatoric.data());
         assert_eq!(par.var_epistemic.data(), ser.var_epistemic.data());

@@ -126,10 +126,7 @@ impl Method {
     }
 
     fn uses_dropout(&self) -> bool {
-        matches!(
-            self,
-            Method::Mcdo | Method::Combined | Method::DeepStuqS | Method::DeepStuq
-        )
+        matches!(self, Method::Mcdo | Method::Combined | Method::DeepStuqS | Method::DeepStuq)
     }
 
     fn loss(&self, lambda: f32) -> LossKind {
@@ -253,8 +250,8 @@ impl TrainedMethod {
             Method::Ts => {
                 // TS calibrates the *deterministic* MVE variance.
                 let c = CalibConfig { mc_samples: 1, ..cfg.calib };
-                temperature = calibrate_on_validation(&model, ds, &c, &mut rng)
-                    .expect("calibration failed");
+                temperature =
+                    calibrate_on_validation(&model, ds, &c, &mut rng).expect("calibration failed");
             }
             Method::Conformal => {
                 conformal = Some(fit_conformal(&model, ds, cfg.val_stride, &mut rng));
@@ -320,8 +317,7 @@ impl TrainedMethod {
                 let mut lo = mu.clone();
                 let mut hi = mu.clone();
                 for i in 0..mu.len() {
-                    let (l, h) =
-                        cp.interval(mu.data()[i] as f64, sigma.data()[i] as f64);
+                    let (l, h) = cp.interval(mu.data()[i] as f64, sigma.data()[i] as f64);
                     lo.data_mut()[i] = l as f32;
                     hi.data_mut()[i] = h as f32;
                 }
@@ -371,11 +367,7 @@ impl TrainedMethod {
         // Quantile crossing can occur; repair by sorting the pair.
         let lo_fixed = lo_r.zip(&hi_r, f32::min);
         let hi_fixed = lo_r.zip(&hi_r, f32::max);
-        RawForecast {
-            mu: inv(tape.value(mid)),
-            sigma: None,
-            bounds: Some((lo_fixed, hi_fixed)),
-        }
+        RawForecast { mu: inv(tape.value(mid)), sigma: None, bounds: Some((lo_fixed, hi_fixed)) }
     }
 
     /// Evaluates the trained method over a split.
@@ -442,11 +434,7 @@ fn fge_snapshots(
     kind: LossKind,
     rng: &mut StuqRng,
 ) -> Vec<Vec<Tensor>> {
-    let n_iters = ds
-        .window_starts(Split::Train)
-        .len()
-        .div_ceil(cfg.train.batch_size)
-        .max(1);
+    let n_iters = ds.window_starts(Split::Train).len().div_ceil(cfg.train.batch_size).max(1);
     let mut opt = Adam::new(cfg.awa.lr_max, cfg.train.weight_decay);
     let mut snaps = Vec::with_capacity(cfg.fge_snapshots);
     for _ in 0..cfg.fge_snapshots {

@@ -585,12 +585,7 @@ mod tests {
         let ckpt = DeepStuq::fit(&ds, cfg, 37, &opts).unwrap().expect_complete();
 
         assert_eq!(plain.temperature().to_bits(), ckpt.temperature().to_bits());
-        for (a, b) in plain
-            .model()
-            .params()
-            .snapshot()
-            .iter()
-            .zip(ckpt.model().params().snapshot())
+        for (a, b) in plain.model().params().snapshot().iter().zip(ckpt.model().params().snapshot())
         {
             for (x, y) in a.data().iter().zip(b.data()) {
                 assert_eq!(x.to_bits(), y.to_bits(), "checkpointing perturbed training");

@@ -4,6 +4,15 @@
 //! the batch gradient; this keeps peak memory at a single window's graph and
 //! matches averaging the per-sample losses exactly.
 //!
+//! The per-sample loop itself stays sequential — that fixes the RNG draw
+//! order the guard snapshots and checkpoints depend on — but every pass
+//! through it runs on the parallel training engine: the reverse sweep is the
+//! level-scheduled [`Tape::backward`] (DESIGN.md §9) and the optimiser step
+//! fans parameter slots onto the pool, both bit-identical to their serial
+//! forms for any `STUQ_THREADS` setting. All three pipeline stages
+//! (pre-train, AWA re-training, calibration) inherit this because they all
+//! route through here.
+//!
 //! Every stage routes through the divergence guard (DESIGN.md §8): each
 //! batch's loss and gradient norm are checked before the optimiser step, bad
 //! batches are skipped, and sustained divergence rewinds to an in-memory
@@ -402,8 +411,7 @@ mod tests {
         let mut ctx = FwdCtx::train(&mut rng);
         let pred = model.forward(&mut tape, &w.x, &mut ctx);
         let t = tape.constant(ds.normalize_target(&w.y_raw).transpose());
-        let err =
-            loss_node(&mut tape, &pred, t, LossKind::Combined { lambda: 0.5 }).unwrap_err();
+        let err = loss_node(&mut tape, &pred, t, LossKind::Combined { lambda: 0.5 }).unwrap_err();
         assert!(
             matches!(err, TrainError::HeadMismatch { .. }),
             "expected HeadMismatch, got {err:?}"

@@ -112,19 +112,15 @@ fn candidate_edges(positions: &[(f32, f32)], k: usize) -> Vec<(usize, usize, f32
     let n = positions.len();
     let mut set = std::collections::HashSet::new();
     for i in 0..n {
-        let mut near: Vec<(usize, f32)> = (0..n)
-            .filter(|&j| j != i)
-            .map(|j| (j, dist(positions[i], positions[j])))
-            .collect();
+        let mut near: Vec<(usize, f32)> =
+            (0..n).filter(|&j| j != i).map(|j| (j, dist(positions[i], positions[j]))).collect();
         near.sort_by(|a, b| a.1.total_cmp(&b.1));
         for &(j, _) in near.iter().take(k) {
             set.insert((i.min(j), i.max(j)));
         }
     }
-    let mut edges: Vec<(usize, usize, f32)> = set
-        .into_iter()
-        .map(|(u, v)| (u, v, dist(positions[u], positions[v]).max(1e-4)))
-        .collect();
+    let mut edges: Vec<(usize, usize, f32)> =
+        set.into_iter().map(|(u, v)| (u, v, dist(positions[u], positions[v]).max(1e-4))).collect();
     edges.sort_by(|a, b| a.2.total_cmp(&b.2).then((a.0, a.1).cmp(&(b.0, b.1))));
     edges
 }

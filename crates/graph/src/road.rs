@@ -19,7 +19,11 @@ pub struct RoadNetwork {
 impl RoadNetwork {
     /// Builds a network from an edge list. Panics on self-loops, duplicate
     /// edges or out-of-range endpoints.
-    pub fn new(n_nodes: usize, mut edges: Vec<(usize, usize, f32)>, positions: Vec<(f32, f32)>) -> Self {
+    pub fn new(
+        n_nodes: usize,
+        mut edges: Vec<(usize, usize, f32)>,
+        positions: Vec<(f32, f32)>,
+    ) -> Self {
         assert!(positions.is_empty() || positions.len() == n_nodes, "positions length mismatch");
         for e in &mut edges {
             assert!(e.0 != e.1, "self-loop at node {}", e.0);
@@ -81,11 +85,7 @@ impl RoadNetwork {
             return a;
         }
         let mean = self.edges.iter().map(|e| e.2 as f64).sum::<f64>() / self.edges.len() as f64;
-        let var = self
-            .edges
-            .iter()
-            .map(|e| (e.2 as f64 - mean).powi(2))
-            .sum::<f64>()
+        let var = self.edges.iter().map(|e| (e.2 as f64 - mean).powi(2)).sum::<f64>()
             / self.edges.len() as f64;
         let sigma = var.sqrt().max(1e-6) as f32;
         for &(u, v, len) in &self.edges {

@@ -24,7 +24,8 @@ fn erfc(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * ax);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let e = poly * (-ax * ax).exp();
     if x >= 0.0 {
         e
@@ -43,8 +44,9 @@ pub fn std_normal_pdf(x: f64) -> f64 {
 pub fn crps_gaussian(mu: f64, sigma: f64, y: f64) -> f64 {
     let sigma = sigma.max(1e-9);
     let z = (y - mu) / sigma;
-    sigma * (z * (2.0 * std_normal_cdf(z) - 1.0) + 2.0 * std_normal_pdf(z)
-        - 1.0 / std::f64::consts::PI.sqrt())
+    sigma
+        * (z * (2.0 * std_normal_cdf(z) - 1.0) + 2.0 * std_normal_pdf(z)
+            - 1.0 / std::f64::consts::PI.sqrt())
 }
 
 /// Interval (Winkler) score of the central `(1−α)` interval `[lo, hi]`:

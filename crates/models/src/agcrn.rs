@@ -176,7 +176,11 @@ impl Forecaster for Agcrn {
         ctx: &mut FwdCtx<'_>,
     ) -> Prediction {
         let (t_h, n) = (x.rows(), x.cols());
-        assert_eq!(n, self.cfg.n_nodes, "window has {n} sensors, model expects {}", self.cfg.n_nodes);
+        assert_eq!(
+            n, self.cfg.n_nodes,
+            "window has {n} sensors, model expects {}",
+            self.cfg.n_nodes
+        );
         let c = self.cfg.n_covariates;
         // A covariate-unaware model (c == 0) simply ignores any covariates it
         // is offered — mirroring the trait's default behaviour.
@@ -191,8 +195,9 @@ impl Forecaster for Agcrn {
             self.cells.iter().map(|cell| cell.bind(tape, &self.params, e, support)).collect();
 
         // Layer-stacked recurrence over the window.
-        let mut hidden: Vec<NodeId> =
-            (0..self.cells.len()).map(|_| tape.constant(Tensor::zeros(&[n, self.cfg.hidden]))).collect();
+        let mut hidden: Vec<NodeId> = (0..self.cells.len())
+            .map(|_| tape.constant(Tensor::zeros(&[n, self.cfg.hidden])))
+            .collect();
         for t in 0..t_h {
             // Step input: flow column plus (broadcast) covariate channels.
             // The covariate window (typically the forecast-period weather)
@@ -235,10 +240,8 @@ mod tests {
     use stuq_nn::opt::{Adam, Optimizer};
 
     fn tiny_model(head: HeadKind, rng: &mut StuqRng) -> Agcrn {
-        let cfg = AgcrnConfig::new(6, 4)
-            .with_head(head)
-            .with_capacity(8, 3, 1)
-            .with_dropout(0.0, 0.0);
+        let cfg =
+            AgcrnConfig::new(6, 4).with_head(head).with_capacity(8, 3, 1).with_dropout(0.0, 0.0);
         Agcrn::new(cfg, rng)
     }
 
@@ -297,9 +300,7 @@ mod tests {
         let mut rng = StuqRng::new(4);
         let mut model = tiny_model(HeadKind::Gaussian, &mut rng);
         let windows: Vec<(Tensor, Tensor)> = (0..4)
-            .map(|_| {
-                (Tensor::randn(&[5, 6], 1.0, &mut rng), Tensor::randn(&[6, 4], 0.5, &mut rng))
-            })
+            .map(|_| (Tensor::randn(&[5, 6], 1.0, &mut rng), Tensor::randn(&[6, 4], 0.5, &mut rng)))
             .collect();
         let mut opt = Adam::new(0.01, 0.0);
         let epoch_loss = |model: &Agcrn, rng: &mut StuqRng| -> f64 {

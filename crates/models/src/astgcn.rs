@@ -7,9 +7,9 @@
 //! daily/weekly-period branches need longer inputs than the 12-step window
 //! used in this evaluation protocol).
 
+use crate::common::temporal_conv;
 use crate::heads::{Head, HeadKind};
 use crate::traits::{Forecaster, Prediction};
-use crate::common::temporal_conv;
 use stuq_nn::layers::{FwdCtx, Linear};
 use stuq_nn::ParamSet;
 use stuq_tensor::{NodeId, StuqRng, Tape, Tensor};

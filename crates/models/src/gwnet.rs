@@ -6,9 +6,9 @@
 //! `softmax(ReLU(E₁ E₂ᵀ))` learned from two node-embedding matrices, plus
 //! skip connections feeding the decoder head.
 
+use crate::common::{gated_temporal_conv, lift_steps};
 use crate::heads::{Head, HeadKind};
 use crate::traits::{Forecaster, Prediction};
-use crate::common::{gated_temporal_conv, lift_steps};
 use stuq_nn::init;
 use stuq_nn::layers::{FwdCtx, Linear};
 use stuq_nn::ParamSet;

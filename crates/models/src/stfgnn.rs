@@ -7,9 +7,9 @@
 //! together even when they are not road-adjacent), in parallel with a
 //! **gated dilated CNN** branch that captures long-range temporal patterns.
 
+use crate::common::{gated_temporal_conv, lift_steps};
 use crate::heads::{Head, HeadKind};
 use crate::traits::{Forecaster, Prediction};
-use crate::common::{gated_temporal_conv, lift_steps};
 use stuq_graph::normalize::sym_norm_adjacency;
 use stuq_graph::RoadNetwork;
 use stuq_nn::layers::{FwdCtx, Linear};
@@ -26,9 +26,8 @@ pub fn correlation_graph(values: &[f32], n_steps: usize, n_nodes: usize, top_k: 
     let mut means = vec![0.0f64; n_nodes];
     let diffs: Vec<f64> = (1..n_steps)
         .flat_map(|t| {
-            (0..n_nodes).map(move |i| {
-                (values[t * n_nodes + i] - values[(t - 1) * n_nodes + i]) as f64
-            })
+            (0..n_nodes)
+                .map(move |i| (values[t * n_nodes + i] - values[(t - 1) * n_nodes + i]) as f64)
         })
         .collect();
     let rows = n_steps - 1;
@@ -48,7 +47,9 @@ pub fn correlation_graph(values: &[f32], n_steps: usize, n_nodes: usize, top_k: 
             .filter(|&j| j != i)
             .map(|j| {
                 let cov = (0..rows)
-                    .map(|t| (diffs[t * n_nodes + i] - means[i]) * (diffs[t * n_nodes + j] - means[j]))
+                    .map(|t| {
+                        (diffs[t * n_nodes + i] - means[i]) * (diffs[t * n_nodes + j] - means[j])
+                    })
                     .sum::<f64>()
                     / rows as f64;
                 (j, cov / (sds[i] * sds[j]))
@@ -157,7 +158,20 @@ impl Stfgnn {
             cfg.decoder_dropout,
             rng,
         );
-        Self { params, cfg, fusion: fused, lift, fuse1, fuse2, cnn_f1, cnn_g1, cnn_f2, cnn_g2, merge, head }
+        Self {
+            params,
+            cfg,
+            fusion: fused,
+            lift,
+            fuse1,
+            fuse2,
+            cnn_f1,
+            cnn_g1,
+            cnn_f2,
+            cnn_g2,
+            merge,
+            head,
+        }
     }
 
     /// The fused support matrix (for inspection in tests/diagnostics).

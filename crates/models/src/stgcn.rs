@@ -7,9 +7,9 @@
 //! Simplification: two blocks with kernel-3 temporal convs (12 → 8 → 4 steps)
 //! and a kernel-4 collapse, versus the paper's configurable stacks.
 
+use crate::common::{gated_temporal_conv, lift_steps, temporal_conv};
 use crate::heads::{Head, HeadKind};
 use crate::traits::{Forecaster, Prediction};
-use crate::common::{gated_temporal_conv, lift_steps, temporal_conv};
 use stuq_graph::normalize::cheb_polynomials;
 use stuq_graph::RoadNetwork;
 use stuq_nn::layers::{FwdCtx, Linear};

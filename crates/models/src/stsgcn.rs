@@ -8,9 +8,9 @@
 //! This is the dense-tensor equivalent of STSGCN's block-tridiagonal
 //! localized ST adjacency at kernel size 3.
 
+use crate::common::lift_steps;
 use crate::heads::{Head, HeadKind};
 use crate::traits::{Forecaster, Prediction};
-use crate::common::lift_steps;
 use stuq_graph::normalize::propagation_matrix;
 use stuq_graph::RoadNetwork;
 use stuq_nn::layers::{FwdCtx, Linear};

@@ -69,8 +69,17 @@ pub struct Linear {
 
 impl Linear {
     /// Allocates Glorot-initialised parameters.
-    pub fn new(ps: &mut ParamSet, name: &str, in_dim: usize, out_dim: usize, rng: &mut StuqRng) -> Self {
-        let w = ps.add(format!("{name}.w"), init::glorot_uniform(in_dim, out_dim, &[in_dim, out_dim], rng));
+    pub fn new(
+        ps: &mut ParamSet,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut StuqRng,
+    ) -> Self {
+        let w = ps.add(
+            format!("{name}.w"),
+            init::glorot_uniform(in_dim, out_dim, &[in_dim, out_dim], rng),
+        );
         let b = ps.add(format!("{name}.b"), stuq_tensor::Tensor::zeros(&[1, out_dim]));
         Self { w, b, in_dim, out_dim }
     }
@@ -124,7 +133,13 @@ pub struct GruCell {
 
 impl GruCell {
     /// Allocates cell parameters.
-    pub fn new(ps: &mut ParamSet, name: &str, in_dim: usize, hidden: usize, rng: &mut StuqRng) -> Self {
+    pub fn new(
+        ps: &mut ParamSet,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut StuqRng,
+    ) -> Self {
         Self {
             wz: Linear::new(ps, &format!("{name}.z"), in_dim + hidden, hidden, rng),
             wr: Linear::new(ps, &format!("{name}.r"), in_dim + hidden, hidden, rng),
@@ -221,7 +236,10 @@ impl AgcrnCell {
                 format!("{name}.{gate}.w_pool"),
                 init::glorot_uniform(cat, hidden, &[embed_dim, cat * hidden], rng),
             ),
-            b: ps.add(format!("{name}.{gate}.b_pool"), stuq_tensor::Tensor::zeros(&[embed_dim, hidden])),
+            b: ps.add(
+                format!("{name}.{gate}.b_pool"),
+                stuq_tensor::Tensor::zeros(&[embed_dim, hidden]),
+            ),
         };
         let pools = [pool("z", rng), pool("r", rng), pool("c", rng)];
         Self { pools, in_dim, hidden, dropout_p }
@@ -241,7 +259,13 @@ impl AgcrnCell {
     ///
     /// `e` must be the `[N, d]` embedding node, `support` the `[N, N]`
     /// propagation matrix node (`I + Â`).
-    pub fn bind(&self, tape: &mut Tape, ps: &ParamSet, e: NodeId, support: NodeId) -> BoundAgcrnCell {
+    pub fn bind(
+        &self,
+        tape: &mut Tape,
+        ps: &ParamSet,
+        e: NodeId,
+        support: NodeId,
+    ) -> BoundAgcrnCell {
         let mut gates = Vec::with_capacity(3);
         for pool in &self.pools {
             let wp = tape.param(pool.w, ps.get(pool.w).clone());
@@ -277,13 +301,7 @@ pub struct BoundAgcrnCell {
 }
 
 impl BoundAgcrnCell {
-    fn gate(
-        &self,
-        tape: &mut Tape,
-        ctx: &mut FwdCtx<'_>,
-        idx: usize,
-        input: NodeId,
-    ) -> NodeId {
+    fn gate(&self, tape: &mut Tape, ctx: &mut FwdCtx<'_>, idx: usize, input: NodeId) -> NodeId {
         let g = &self.gates[idx];
         // (I + Â) · [x, h]  — spatial mixing.
         let mixed = tape.matmul(self.support, input);

@@ -167,10 +167,7 @@ mod tests {
             |x| {
                 let (a, b) = (x[0], x[1]);
                 let f = (1.0 - a).powi(2) + 100.0 * (b - a * a).powi(2);
-                let g = vec![
-                    -2.0 * (1.0 - a) - 400.0 * a * (b - a * a),
-                    200.0 * (b - a * a),
-                ];
+                let g = vec![-2.0 * (1.0 - a) - 400.0 * a * (b - a * a), 200.0 * (b - a * a)];
                 (f, g)
             },
             &[-1.2, 1.0],

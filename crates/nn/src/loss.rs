@@ -48,7 +48,13 @@ pub fn gaussian_nll(tape: &mut Tape, mu: NodeId, logvar: NodeId, target: NodeId)
 ///
 /// The `λ_W/2p‖w‖²` term of the combined loss (Eq. 14) is realised as L2
 /// weight decay in the optimiser, which has the identical gradient.
-pub fn combined(tape: &mut Tape, mu: NodeId, logvar: NodeId, target: NodeId, lambda: f32) -> NodeId {
+pub fn combined(
+    tape: &mut Tape,
+    mu: NodeId,
+    logvar: NodeId,
+    target: NodeId,
+    lambda: f32,
+) -> NodeId {
     assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
     let nll = gaussian_nll(tape, mu, logvar, target);
     let l1 = mae(tape, mu, target);

@@ -5,7 +5,28 @@
 //! (Eq. 12 / Eq. 14): `∇(λ_W/2 ‖w‖²) = λ_W · w`.
 
 use crate::params::ParamSet;
+use stuq_parallel::SendPtr;
 use stuq_tensor::{GradStore, Tensor};
+
+/// Minimum total gradient elements in a step before the per-slot updates fan
+/// out onto the pool. Each slot's parameter and moment buffers are disjoint
+/// and the per-slot arithmetic is untouched by the fan-out, so a parallel
+/// step is bit-identical to a serial one — slots just finish in a different
+/// wall-clock order.
+const PAR_STEP_ELEMS_MIN: usize = 1 << 14;
+
+/// `(slot, gradient)` pairs in ascending slot order — a deterministic
+/// work-list for the parallel step ([`GradStore::iter`] order is not
+/// specified).
+fn sorted_slots(grads: &GradStore) -> Vec<(usize, &Tensor)> {
+    let mut slots: Vec<(usize, &Tensor)> = grads.iter().collect();
+    slots.sort_unstable_by_key(|&(s, _)| s);
+    slots
+}
+
+fn grad_volume(slots: &[(usize, &Tensor)]) -> usize {
+    slots.iter().map(|(_, g)| g.len()).sum()
+}
 
 /// The serialisable moment state of an optimiser, for crash-safe
 /// checkpointing and the trainer's divergence-guard rewind snapshots.
@@ -40,10 +61,7 @@ pub trait Optimizer {
     fn import_state(&mut self, state: &OptimizerState) -> Result<(), String>;
 }
 
-fn buffer<'a>(
-    state: &'a OptimizerState,
-    name: &str,
-) -> Result<&'a Vec<Option<Tensor>>, String> {
+fn buffer<'a>(state: &'a OptimizerState, name: &str) -> Result<&'a Vec<Option<Tensor>>, String> {
     state
         .buffers
         .iter()
@@ -74,19 +92,44 @@ impl Optimizer for Sgd {
         if self.velocity.len() < params.len() {
             self.velocity.resize(params.len(), None);
         }
-        for (slot, grad) in grads.iter() {
-            let w = params.get_mut(slot);
-            let mut g = grad.clone();
-            if self.weight_decay > 0.0 {
-                g.axpy(self.weight_decay, w);
+        let slots = sorted_slots(grads);
+        // Moment buffers are installed serially so the parallel body only
+        // ever mutates existing, disjoint entries.
+        if self.momentum > 0.0 {
+            for &(slot, g) in &slots {
+                self.velocity[slot].get_or_insert_with(|| Tensor::zeros(g.shape()));
             }
-            if self.momentum > 0.0 {
-                let v = self.velocity[slot].get_or_insert_with(|| Tensor::zeros(g.shape()));
+        }
+        let (lr, momentum, weight_decay) = (self.lr, self.momentum, self.weight_decay);
+        let update_one = |w: &mut Tensor, v: &mut Option<Tensor>, grad: &Tensor| {
+            let mut g = grad.clone();
+            if weight_decay > 0.0 {
+                g.axpy(weight_decay, w);
+            }
+            if momentum > 0.0 {
+                let v = v.as_mut().expect("velocity pre-initialised");
                 // v ← μ v + g;  w ← w − lr v
-                *v = v.scale(self.momentum).add(&g);
-                w.axpy(-self.lr, v);
+                *v = v.scale(momentum).add(&g);
+                w.axpy(-lr, v);
             } else {
-                w.axpy(-self.lr, &g);
+                w.axpy(-lr, &g);
+            }
+        };
+        if grad_volume(&slots) >= PAR_STEP_ELEMS_MIN && slots.len() > 1 {
+            let pptr = SendPtr::new(params.entries_mut().as_mut_ptr());
+            let vptr = SendPtr::new(self.velocity.as_mut_ptr());
+            stuq_parallel::par_for(slots.len(), |i| {
+                let (slot, grad) = slots[i];
+                // SAFETY: slot indices are unique, so every task touches
+                // disjoint parameter and velocity entries.
+                unsafe {
+                    update_one(&mut (*pptr.get().add(slot)).1, &mut *vptr.get().add(slot), grad)
+                }
+            });
+        } else {
+            for &(slot, grad) in &slots {
+                let w = &mut params.entries_mut()[slot].1;
+                update_one(w, &mut self.velocity[slot], grad);
             }
         }
     }
@@ -109,7 +152,10 @@ impl Optimizer for Sgd {
 
     fn import_state(&mut self, state: &OptimizerState) -> Result<(), String> {
         if state.algorithm != "sgd" {
-            return Err(format!("optimizer algorithm mismatch: state is {:?}, optimiser is \"sgd\"", state.algorithm));
+            return Err(format!(
+                "optimizer algorithm mismatch: state is {:?}, optimiser is \"sgd\"",
+                state.algorithm
+            ));
         }
         self.velocity = buffer(state, "velocity")?.clone();
         Ok(())
@@ -156,25 +202,52 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for (slot, grad) in grads.iter() {
-            let w = params.get_mut(slot);
+        let slots = sorted_slots(grads);
+        // Install missing moment buffers serially; the parallel body then
+        // only mutates existing, disjoint entries.
+        for &(slot, g) in &slots {
+            self.m[slot].get_or_insert_with(|| Tensor::zeros(g.shape()));
+            self.v[slot].get_or_insert_with(|| Tensor::zeros(g.shape()));
+        }
+        let (lr, beta1, beta2, eps, weight_decay) =
+            (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        let update_one = |w: &mut Tensor, m: &mut Tensor, v: &mut Tensor, grad: &Tensor| {
             let mut g = grad.clone();
-            if self.weight_decay > 0.0 {
-                g.axpy(self.weight_decay, w);
+            if weight_decay > 0.0 {
+                g.axpy(weight_decay, w);
             }
-            let m = self.m[slot].get_or_insert_with(|| Tensor::zeros(g.shape()));
-            let v = self.v[slot].get_or_insert_with(|| Tensor::zeros(g.shape()));
-            *m = m.scale(self.beta1).add(&g.scale(1.0 - self.beta1));
+            *m = m.scale(beta1).add(&g.scale(1.0 - beta1));
             let g2 = g.mul(&g);
-            *v = v.scale(self.beta2).add(&g2.scale(1.0 - self.beta2));
-            let lr = self.lr;
-            let eps = self.eps;
+            *v = v.scale(beta2).add(&g2.scale(1.0 - beta2));
             let update = m.zip(v, |mi, vi| {
                 let mhat = mi / bc1;
                 let vhat = vi / bc2;
                 -lr * mhat / (vhat.sqrt() + eps)
             });
             w.add_assign(&update);
+        };
+        if grad_volume(&slots) >= PAR_STEP_ELEMS_MIN && slots.len() > 1 {
+            let pptr = SendPtr::new(params.entries_mut().as_mut_ptr());
+            let mptr = SendPtr::new(self.m.as_mut_ptr());
+            let vptr = SendPtr::new(self.v.as_mut_ptr());
+            stuq_parallel::par_for(slots.len(), |i| {
+                let (slot, grad) = slots[i];
+                // SAFETY: slot indices are unique, so every task touches
+                // disjoint parameter and moment entries.
+                unsafe {
+                    let w = &mut (*pptr.get().add(slot)).1;
+                    let m = (*mptr.get().add(slot)).as_mut().expect("m pre-initialised");
+                    let v = (*vptr.get().add(slot)).as_mut().expect("v pre-initialised");
+                    update_one(w, m, v, grad);
+                }
+            });
+        } else {
+            for &(slot, grad) in &slots {
+                let w = &mut params.entries_mut()[slot].1;
+                let m = self.m[slot].as_mut().expect("m pre-initialised");
+                let v = self.v[slot].as_mut().expect("v pre-initialised");
+                update_one(w, m, v, grad);
+            }
         }
     }
 
@@ -190,16 +263,16 @@ impl Optimizer for Adam {
         OptimizerState {
             algorithm: "adam".to_string(),
             counter: self.t,
-            buffers: vec![
-                ("m".to_string(), self.m.clone()),
-                ("v".to_string(), self.v.clone()),
-            ],
+            buffers: vec![("m".to_string(), self.m.clone()), ("v".to_string(), self.v.clone())],
         }
     }
 
     fn import_state(&mut self, state: &OptimizerState) -> Result<(), String> {
         if state.algorithm != "adam" {
-            return Err(format!("optimizer algorithm mismatch: state is {:?}, optimiser is \"adam\"", state.algorithm));
+            return Err(format!(
+                "optimizer algorithm mismatch: state is {:?}, optimiser is \"adam\"",
+                state.algorithm
+            ));
         }
         self.t = state.counter;
         self.m = buffer(state, "m")?.clone();
@@ -313,6 +386,56 @@ mod tests {
         let fb = run(&mut b, &wa);
         for (x, y) in fa.data().iter().zip(fb.data()) {
             assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_step_is_bit_identical_to_serial() {
+        // Enough slots and volume to cross PAR_STEP_ELEMS_MIN, so the pooled
+        // fan-out actually runs; the forced-serial twin must agree exactly.
+        let build = || {
+            let mut ps = ParamSet::new();
+            let mut grads = GradStore::default();
+            for slot in 0..8 {
+                let w = Tensor::from_vec(
+                    (0..64 * 64).map(|i| ((i + slot * 7) as f32).sin()).collect(),
+                    &[64, 64],
+                );
+                let g = Tensor::from_vec(
+                    (0..64 * 64).map(|i| ((i * 3 + slot) as f32).cos()).collect(),
+                    &[64, 64],
+                );
+                ps.add(format!("w{slot}"), w);
+                grads.accumulate_slot(slot, g);
+            }
+            (ps, grads)
+        };
+        let (mut ps_par, grads) = build();
+        let (mut ps_ser, _) = build();
+        let mut adam_par = Adam::new(0.01, 0.1);
+        let mut adam_ser = Adam::new(0.01, 0.1);
+        for _ in 0..3 {
+            adam_par.step(&mut ps_par, &grads);
+            stuq_parallel::with_serial(|| adam_ser.step(&mut ps_ser, &grads));
+        }
+        for slot in 0..8 {
+            for (a, b) in ps_par.get(slot).data().iter().zip(ps_ser.get(slot).data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "Adam step depends on thread count");
+            }
+        }
+
+        let (mut ps_par, grads) = build();
+        let (mut ps_ser, _) = build();
+        let mut sgd_par = Sgd::new(0.01, 0.9, 0.1);
+        let mut sgd_ser = Sgd::new(0.01, 0.9, 0.1);
+        for _ in 0..3 {
+            sgd_par.step(&mut ps_par, &grads);
+            stuq_parallel::with_serial(|| sgd_ser.step(&mut ps_ser, &grads));
+        }
+        for slot in 0..8 {
+            for (a, b) in ps_par.get(slot).data().iter().zip(ps_ser.get(slot).data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "SGD step depends on thread count");
+            }
         }
     }
 

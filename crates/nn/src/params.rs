@@ -44,6 +44,12 @@ impl ParamSet {
         &mut self.entries[slot].1
     }
 
+    /// Mutable access to the raw slot storage, for the optimisers' parallel
+    /// per-slot update (disjoint slots are written concurrently).
+    pub(crate) fn entries_mut(&mut self) -> &mut [(String, Tensor)] {
+        &mut self.entries
+    }
+
     /// Name of a slot.
     pub fn name(&self, slot: usize) -> &str {
         &self.entries[slot].0

@@ -72,10 +72,8 @@ pub fn read_params(r: &mut impl BufRead) -> io::Result<Vec<(String, Tensor)>> {
             return Err(bad(format!("expected param header, got {header:?}")));
         }
         let name = parts.next().ok_or_else(|| bad("missing param name"))?.to_string();
-        let ndim: usize = parts
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| bad("missing ndim"))?;
+        let ndim: usize =
+            parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| bad("missing ndim"))?;
         let mut shape = Vec::with_capacity(ndim);
         for _ in 0..ndim {
             shape.push(
@@ -110,7 +108,11 @@ pub fn read_params(r: &mut impl BufRead) -> io::Result<Vec<(String, Tensor)>> {
 /// shapes slot-by-slot.
 pub fn load_into(ps: &mut ParamSet, entries: &[(String, Tensor)]) -> io::Result<()> {
     if entries.len() != ps.len() {
-        return Err(bad(format!("parameter count mismatch: file {}, model {}", entries.len(), ps.len())));
+        return Err(bad(format!(
+            "parameter count mismatch: file {}, model {}",
+            entries.len(),
+            ps.len()
+        )));
     }
     for (slot, (name, t)) in entries.iter().enumerate() {
         if ps.name(slot) != name {

@@ -11,9 +11,10 @@
 //! sixteen (see DESIGN.md "Threading & determinism").
 //!
 //! Thread count resolution, checked once at first use:
-//! 1. `STUQ_NUM_THREADS` (this repo's own knob),
-//! 2. `RAYON_NUM_THREADS` (honoured for drop-in familiarity),
-//! 3. [`std::thread::available_parallelism`].
+//! 1. `STUQ_THREADS` (the training/CI knob),
+//! 2. `STUQ_NUM_THREADS` (this repo's original spelling, kept working),
+//! 3. `RAYON_NUM_THREADS` (honoured for drop-in familiarity),
+//! 4. [`std::thread::available_parallelism`].
 //!
 //! Nested calls never deadlock: a `par_*` call issued while another fan-out
 //! is in flight (including from inside a worker) simply runs inline on the
@@ -73,12 +74,7 @@ impl Pool {
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
         let shared = std::sync::Arc::new(Shared {
-            ctrl: Mutex::new(Ctrl {
-                generation: 0,
-                task: None,
-                workers_left: 0,
-                shutdown: false,
-            }),
+            ctrl: Mutex::new(Ctrl { generation: 0, task: None, workers_left: 0, shutdown: false }),
             start: Condvar::new(),
             done: Condvar::new(),
         });
@@ -147,11 +143,8 @@ impl Pool {
         {
             let mut ctrl = lock(&self.shared.ctrl);
             while ctrl.workers_left > 0 {
-                ctrl = self
-                    .shared
-                    .done
-                    .wait(ctrl)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                ctrl =
+                    self.shared.done.wait(ctrl).unwrap_or_else(std::sync::PoisonError::into_inner);
             }
             ctrl.task = None;
         }
@@ -190,10 +183,7 @@ fn worker_loop(shared: &Shared) {
                     seen = ctrl.generation;
                     break ctrl.task.expect("generation bumped without a task");
                 }
-                ctrl = shared
-                    .start
-                    .wait(ctrl)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                ctrl = shared.start.wait(ctrl).unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
         // SAFETY: the submitter blocks in `Pool::run` until we decrement
@@ -244,7 +234,8 @@ pub fn num_threads() -> usize {
 pub fn global() -> &'static Pool {
     static POOL: OnceLock<Pool> = OnceLock::new();
     POOL.get_or_init(|| {
-        let n = env_threads("STUQ_NUM_THREADS")
+        let n = env_threads("STUQ_THREADS")
+            .or_else(|| env_threads("STUQ_NUM_THREADS"))
             .or_else(|| env_threads("RAYON_NUM_THREADS"))
             .unwrap_or_else(|| {
                 std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
@@ -259,6 +250,15 @@ thread_local! {
 
 fn in_serial_region() -> bool {
     SERIAL_DEPTH.with(std::cell::Cell::get) > 0
+}
+
+/// True while the current thread is inside a [`with_serial`] scope.
+///
+/// Schedulers that *restructure* work for parallel execution (rather than
+/// merely fanning out identical chunks) consult this so a `with_serial`
+/// baseline really exercises the serial code path end to end.
+pub fn serial_forced() -> bool {
+    in_serial_region()
 }
 
 /// Runs `f` with all `par_*` calls on this thread forced inline.

@@ -187,8 +187,7 @@ fn mm_block(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
             let mut c2 = [0.0f32; J_TILE];
             let mut c3 = [0.0f32; J_TILE];
             for kk in 0..k {
-                let bv: &[f32; J_TILE] =
-                    b[kk * n + jb..kk * n + jb + J_TILE].try_into().unwrap();
+                let bv: &[f32; J_TILE] = b[kk * n + jb..kk * n + jb + J_TILE].try_into().unwrap();
                 let (x0, x1, x2, x3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
                 for l in 0..J_TILE {
                     c0[l] = x0.mul_add(bv[l], c0[l]);
@@ -267,6 +266,11 @@ pub fn dot_f32(x: &[f32], y: &[f32]) -> f32 {
         + tail
 }
 
+/// Flop count (`m·k·n`) below which `matmul_tb` keeps the dot-product loop:
+/// the tiled path pays an up-front `O(n·k)` transpose of `b`, which only
+/// amortizes once there is real arithmetic behind it.
+pub const TB_TILE_MIN: usize = 1 << 14;
+
 fn mm_tb_block(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
     for (arow, orow) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
         debug_assert_eq!(b.len(), n * k);
@@ -276,23 +280,38 @@ fn mm_tb_block(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
     }
 }
 
-/// `A (m×k) @ Bᵀ` where `b` is stored as `n × k`, row-parallel.
+/// `A (m×k) @ Bᵀ` where `b` is stored as `n × k`.
+///
+/// Above [`TB_TILE_MIN`] flops this transposes `b` once (cache-blocked) and
+/// runs the same register-tiled `4 × J_TILE` micro-kernel as [`matmul`] —
+/// each loaded `B` vector feeds four FMAs instead of one eight-lane dot per
+/// output — with deterministic [`ROW_CHUNK`] row parallelism above
+/// [`PAR_FLOPS_MIN`]. Below it the eight-lane dot loop stays, since a
+/// transpose would dominate. Both thresholds depend only on the shape, so
+/// the evaluation order — hence the result, bit-for-bit — never depends on
+/// the thread count.
 pub fn matmul_tb(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     if reference_mode() {
         return matmul_tb_reference(a, b, m, k, n);
     }
+    let flops = m.saturating_mul(k).saturating_mul(n);
     let mut out = vec![0.0f32; m * n];
-    if m.saturating_mul(k).saturating_mul(n) >= PAR_FLOPS_MIN && m > ROW_CHUNK {
+    if flops < TB_TILE_MIN {
+        mm_tb_block(a, b, &mut out, k, n);
+        return out;
+    }
+    let bt = transpose(b, n, k); // k × n: the layout the tiled kernel wants
+    if flops >= PAR_FLOPS_MIN && m > ROW_CHUNK {
         let optr = SendPtr::new(out.as_mut_ptr());
         par_ranges(m, ROW_CHUNK, |r| {
             // SAFETY: disjoint output row ranges.
             let ob = unsafe {
                 std::slice::from_raw_parts_mut(optr.get().add(r.start * n), (r.end - r.start) * n)
             };
-            mm_tb_block(&a[r.start * k..r.end * k], b, ob, k, n);
+            mm_block(&a[r.start * k..r.end * k], &bt, ob, k, n);
         });
     } else {
-        mm_tb_block(a, b, &mut out, k, n);
+        mm_block(a, &bt, &mut out, k, n);
     }
     out
 }
@@ -306,15 +325,20 @@ pub fn rowwise_matmul(z: &[f32], w: &[f32], rows: usize, ci: usize, co: usize) -
     }
     let mut out = vec![0.0f32; rows * co];
     let per_row = |row: usize, orow: &mut [f32]| {
-        mm_block(&z[row * ci..(row + 1) * ci], &w[row * ci * co..(row + 1) * ci * co], orow, ci, co);
+        mm_block(
+            &z[row * ci..(row + 1) * ci],
+            &w[row * ci * co..(row + 1) * ci * co],
+            orow,
+            ci,
+            co,
+        );
     };
     if rows.saturating_mul(ci).saturating_mul(co) >= PAR_FLOPS_MIN && rows > ROW_CHUNK {
         let optr = SendPtr::new(out.as_mut_ptr());
         par_ranges(rows, ROW_CHUNK, |r| {
             for row in r {
                 // SAFETY: each row's output slice is disjoint.
-                let orow =
-                    unsafe { std::slice::from_raw_parts_mut(optr.get().add(row * co), co) };
+                let orow = unsafe { std::slice::from_raw_parts_mut(optr.get().add(row * co), co) };
                 per_row(row, orow);
             }
         });
@@ -472,8 +496,7 @@ pub fn map_elems(src: &[f32], f: impl Fn(f32) -> f32 + Sync) -> Vec<f32> {
         let optr = SendPtr::new(out.as_mut_ptr());
         par_ranges(src.len(), ELEM_CHUNK, |r| {
             // SAFETY: disjoint output ranges.
-            let ob =
-                unsafe { std::slice::from_raw_parts_mut(optr.get().add(r.start), r.len()) };
+            let ob = unsafe { std::slice::from_raw_parts_mut(optr.get().add(r.start), r.len()) };
             for (o, &v) in ob.iter_mut().zip(&src[r]) {
                 *o = f(v);
             }
@@ -494,8 +517,7 @@ pub fn zip_elems(x: &[f32], y: &[f32], f: impl Fn(f32, f32) -> f32 + Sync) -> Ve
         let optr = SendPtr::new(out.as_mut_ptr());
         par_ranges(x.len(), ELEM_CHUNK, |r| {
             // SAFETY: disjoint output ranges.
-            let ob =
-                unsafe { std::slice::from_raw_parts_mut(optr.get().add(r.start), r.len()) };
+            let ob = unsafe { std::slice::from_raw_parts_mut(optr.get().add(r.start), r.len()) };
             for ((o, &a), &b) in ob.iter_mut().zip(&x[r.clone()]).zip(&y[r]) {
                 *o = f(a, b);
             }
@@ -515,8 +537,7 @@ pub fn map_inplace_elems(dst: &mut [f32], f: impl Fn(f32) -> f32 + Sync) {
         let dptr = SendPtr::new(dst.as_mut_ptr());
         par_ranges(len, ELEM_CHUNK, |r| {
             // SAFETY: disjoint ranges of dst.
-            let db =
-                unsafe { std::slice::from_raw_parts_mut(dptr.get().add(r.start), r.len()) };
+            let db = unsafe { std::slice::from_raw_parts_mut(dptr.get().add(r.start), r.len()) };
             for v in db {
                 *v = f(*v);
             }
@@ -536,8 +557,7 @@ pub fn zip_assign_elems(dst: &mut [f32], src: &[f32], f: impl Fn(f32, f32) -> f3
         let dptr = SendPtr::new(dst.as_mut_ptr());
         par_ranges(len, ELEM_CHUNK, |r| {
             // SAFETY: disjoint ranges of dst.
-            let db =
-                unsafe { std::slice::from_raw_parts_mut(dptr.get().add(r.start), r.len()) };
+            let db = unsafe { std::slice::from_raw_parts_mut(dptr.get().add(r.start), r.len()) };
             for (d, &s) in db.iter_mut().zip(&src[r]) {
                 *d = f(*d, s);
             }
@@ -607,8 +627,7 @@ pub fn softmax_rows(src: &[f32], m: usize, n: usize) -> Vec<f32> {
         par_ranges(m, rows_per_chunk, |rr| {
             for i in rr {
                 // SAFETY: each row index is visited by exactly one chunk.
-                let orow =
-                    unsafe { std::slice::from_raw_parts_mut(optr.get().add(i * n), n) };
+                let orow = unsafe { std::slice::from_raw_parts_mut(optr.get().add(i * n), n) };
                 one_row(&src[i * n..(i + 1) * n], orow);
             }
         });
@@ -624,18 +643,13 @@ pub fn softmax_rows(src: &[f32], m: usize, n: usize) -> Vec<f32> {
 pub fn blocked_dot(x: &[f32], y: &[f32]) -> f64 {
     debug_assert_eq!(x.len(), y.len());
     let block = |r: std::ops::Range<usize>| {
-        x[r.clone()]
-            .iter()
-            .zip(&y[r])
-            .map(|(&a, &b)| (a as f64) * (b as f64))
-            .sum::<f64>()
+        x[r.clone()].iter().zip(&y[r]).map(|(&a, &b)| (a as f64) * (b as f64)).sum::<f64>()
     };
     if x.len() <= SUM_BLOCK {
         return block(0..x.len());
     }
     let n_blocks = x.len().div_ceil(SUM_BLOCK);
-    let partials =
-        par_map(n_blocks, |b| block(b * SUM_BLOCK..((b + 1) * SUM_BLOCK).min(x.len())));
+    let partials = par_map(n_blocks, |b| block(b * SUM_BLOCK..((b + 1) * SUM_BLOCK).min(x.len())));
     partials.iter().sum()
 }
 
@@ -695,11 +709,7 @@ mod tests {
                 let (m, k, n) = (307, 64, 307);
                 let a = randv(&mut rng, m * k);
                 let b = randv(&mut rng, k * n);
-                assert_close(
-                    &matmul(&a, &b, m, k, n),
-                    &matmul_reference(&a, &b, m, k, n),
-                    1e-5,
-                );
+                assert_close(&matmul(&a, &b, m, k, n), &matmul_reference(&a, &b, m, k, n), 1e-5);
             }
         }
     }
@@ -707,7 +717,7 @@ mod tests {
     #[test]
     fn matmul_tb_matches_reference_across_random_shapes() {
         let mut rng = StuqRng::new(0xB22);
-        for _ in 0..40 {
+        for case in 0..40 {
             let m = 1 + rng.uniform_usize(70);
             let k = 1 + rng.uniform_usize(90);
             let n = 1 + rng.uniform_usize(60);
@@ -717,6 +727,17 @@ mod tests {
             let fast = matmul_tb(&a, &bt, m, k, n);
             let slow = matmul_reference(&a, &b, m, k, n);
             assert_close(&fast, &slow, 1e-5);
+            if case == 0 {
+                // One guaranteed-large case: tiled + row-parallel path.
+                let (m, k, n) = (307, 64, 307);
+                let a = randv(&mut rng, m * k);
+                let bt = randv(&mut rng, n * k);
+                assert_close(
+                    &matmul_tb(&a, &bt, m, k, n),
+                    &matmul_tb_reference(&a, &bt, m, k, n),
+                    1e-5,
+                );
+            }
         }
     }
 

@@ -46,7 +46,8 @@ impl StuqRng {
     /// Creates a generator from a seed; any seed (including 0) is valid.
     pub fn new(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         Self { s, spare_normal: None }
     }
 

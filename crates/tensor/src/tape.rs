@@ -12,6 +12,15 @@
 //! `tests/gradcheck.rs`. Fused domain kernels (e.g. the NAPL row-wise matmul
 //! of AGCRN, Eq. 5 of the paper) are first-class ops so that a GRU step stays
 //! a handful of tape nodes instead of dozens.
+//!
+//! The reverse sweep has two interchangeable engines (DESIGN.md §9):
+//! [`Tape::backward_serial`], the plain descending-id walk, and
+//! [`Tape::backward_levels`], which extracts topological levels from the
+//! reverse graph and dispatches each level's independent adjoints onto the
+//! `stuq-parallel` pool. Both accumulate every gradient in the *same* fixed
+//! order (children by descending id, inputs in declaration order, parameter
+//! slots by descending node id), so their results are bit-identical for any
+//! thread count; [`Tape::backward`] picks between them automatically.
 
 use crate::rng::StuqRng;
 use crate::tensor::Tensor;
@@ -24,7 +33,7 @@ pub type NodeId = usize;
 ///
 /// The forward value is computed by the caller and pushed with
 /// [`Tape::custom`]; the tape only needs the adjoint.
-pub trait CustomOp: std::fmt::Debug {
+pub trait CustomOp: std::fmt::Debug + Send + Sync {
     /// Human-readable kernel name (for debugging).
     fn name(&self) -> &'static str;
     /// Given `d loss / d output`, the inputs and the output value, returns
@@ -66,14 +75,21 @@ enum OpKind {
     SliceCols(usize, usize),
     SliceRows(usize, usize),
     /// Strided column gather: columns `start, start+stride, …` (`count` of them).
-    SliceColsStrided { start: usize, stride: usize, count: usize },
+    SliceColsStrided {
+        start: usize,
+        stride: usize,
+        count: usize,
+    },
     MeanAll,
     SumAll,
     /// `X (m×n) + b (1×n)` broadcast over rows.
     AddRowBroadcast,
     /// Per-row matmul: `z (N×ci)`, `w (N×ci·co)` → `out (N×co)` where each row
     /// of `w` is that node's private `ci×co` weight (NAPL, paper Eq. 5).
-    RowwiseMatmul { c_in: usize, c_out: usize },
+    RowwiseMatmul {
+        c_in: usize,
+        c_out: usize,
+    },
     /// Inverted dropout; the mask (entries `0` or `1/(1-p)`) is stored.
     Dropout(Tensor),
     Custom(Box<dyn CustomOp>),
@@ -84,6 +100,10 @@ struct Node {
     op: OpKind,
     parents: Vec<NodeId>,
 }
+
+/// Below this many tape nodes the level scheduler's bookkeeping costs more
+/// than the fan-out buys; [`Tape::backward`] stays on the serial walk.
+const PAR_BACKWARD_MIN_NODES: usize = 48;
 
 /// Gradients produced by [`Tape::backward`], keyed by parameter slot.
 #[derive(Debug, Default)]
@@ -110,6 +130,16 @@ impl GradStore {
     /// True when no parameter received a gradient.
     pub fn is_empty(&self) -> bool {
         self.grads.is_empty()
+    }
+
+    /// Adds `g` into a slot's gradient (or installs it if the slot is new).
+    pub fn accumulate_slot(&mut self, slot: usize, g: Tensor) {
+        match self.grads.get_mut(&slot) {
+            Some(acc) => acc.add_assign(&g),
+            None => {
+                self.grads.insert(slot, g);
+            }
+        }
     }
 
     /// Merges another gradient store into this one (summing overlaps).
@@ -443,8 +473,32 @@ impl Tape {
 
     /// Runs the reverse sweep from the scalar node `loss`.
     ///
+    /// Dispatches to [`Tape::backward_levels`] when the pool has more than
+    /// one thread and the tape is large enough to amortise the scheduling
+    /// pass, and to [`Tape::backward_serial`] otherwise (including inside
+    /// [`stuq_parallel::with_serial`] and
+    /// [`crate::kernels::with_reference_kernels`] scopes, so baselines time
+    /// the genuine serial walk). The two engines are bit-identical, so the
+    /// choice never changes a result.
+    ///
     /// Panics if `loss` is not a `1×1` tensor.
     pub fn backward(&self, loss: NodeId) -> GradStore {
+        let serial = stuq_parallel::num_threads() == 1
+            || stuq_parallel::serial_forced()
+            || crate::kernels::reference_mode()
+            || loss + 1 < PAR_BACKWARD_MIN_NODES;
+        if serial {
+            self.backward_serial(loss)
+        } else {
+            self.backward_levels(loss)
+        }
+    }
+
+    /// The seed's reverse sweep: one descending-id pass, accumulating each
+    /// node's gradient in place as its consumers are visited.
+    ///
+    /// Panics if `loss` is not a `1×1` tensor.
+    pub fn backward_serial(&self, loss: NodeId) -> GradStore {
         assert_eq!(self.nodes[loss].value.len(), 1, "backward() needs a scalar loss node");
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         grads[loss] = Some(Tensor::scalar(1.0));
@@ -455,13 +509,139 @@ impl Tape {
             let node = &self.nodes[id];
             match &node.op {
                 OpKind::Constant => {}
-                OpKind::Param(slot) => match store.grads.get_mut(slot) {
-                    Some(acc) => acc.add_assign(&grad),
-                    None => {
-                        store.grads.insert(*slot, grad);
+                OpKind::Param(slot) => store.accumulate_slot(*slot, grad),
+                _ => {
+                    for (pid, delta) in node.parents.iter().zip(self.node_adjoints(id, &grad)) {
+                        Self::accumulate(&mut grads, *pid, delta);
                     }
-                },
-                _ => self.backprop_node(id, &grad, &mut grads),
+                }
+            }
+        }
+        store
+    }
+
+    /// Branch-parallel reverse sweep: walks the reverse graph in topological
+    /// levels and fans each level's independent adjoints out onto the
+    /// `stuq-parallel` pool.
+    ///
+    /// Level extraction: `level(loss) = 0` and `level(n)` is the longest
+    /// reverse-path distance from the loss, so no node shares a level with
+    /// any of its consumers — by the time a level runs, every consumer's
+    /// delta is final. Each node's task (a) assembles its upstream gradient
+    /// by summing the per-edge deltas of its consumers in the *serial walk's
+    /// order* (descending consumer id, inputs in declaration order) and (b)
+    /// computes its own parent deltas into private slots. Parameter
+    /// gradients are reduced into the [`GradStore`] afterwards in descending
+    /// node-id order per slot — again the serial order. Every float is
+    /// therefore added in exactly the sequence the serial walk uses, which
+    /// makes the result bit-identical to [`Tape::backward_serial`] for any
+    /// thread count (property-tested in `tests/backward_determinism.rs`).
+    ///
+    /// Panics if `loss` is not a `1×1` tensor.
+    #[allow(clippy::too_many_lines)]
+    pub fn backward_levels(&self, loss: NodeId) -> GradStore {
+        assert_eq!(self.nodes[loss].value.len(), 1, "backward() needs a scalar loss node");
+        const UNREACHED: usize = usize::MAX;
+        let n = loss + 1;
+
+        // Longest-path levels over the reverse graph. Consumers have higher
+        // ids than their inputs, so one descending pass finalises each
+        // node's level before its inputs are bumped.
+        let mut level = vec![UNREACHED; n];
+        level[loss] = 0;
+        let mut n_levels = 0usize;
+        for id in (0..=loss).rev() {
+            if level[id] == UNREACHED {
+                continue;
+            }
+            n_levels = n_levels.max(level[id] + 1);
+            let l1 = level[id] + 1;
+            for &p in &self.nodes[id].parents {
+                level[p] = if level[p] == UNREACHED { l1 } else { level[p].max(l1) };
+            }
+        }
+
+        // One delta slot per (op node, input) edge, in a flat arena so tasks
+        // can address disjoint slots through a single base pointer.
+        let mut edge_off = vec![0usize; n + 1];
+        for id in 0..=loss {
+            let slots = match self.nodes[id].op {
+                OpKind::Constant | OpKind::Param(_) => 0,
+                _ if level[id] == UNREACHED => 0,
+                _ => self.nodes[id].parents.len(),
+            };
+            edge_off[id + 1] = edge_off[id] + slots;
+        }
+        let mut edge_deltas: Vec<Option<Tensor>> = (0..edge_off[n]).map(|_| None).collect();
+
+        // Consumer edges per node, recorded in the serial accumulation
+        // order: descending consumer id, then input declaration order.
+        let mut consumers: Vec<Vec<(NodeId, usize)>> = vec![Vec::new(); n];
+        for id in (0..=loss).rev() {
+            if edge_off[id + 1] > edge_off[id] {
+                for (k, &p) in self.nodes[id].parents.iter().enumerate() {
+                    consumers[p].push((id, k));
+                }
+            }
+        }
+
+        let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); n_levels];
+        for id in 0..=loss {
+            if level[id] != UNREACHED && !matches!(self.nodes[id].op, OpKind::Constant) {
+                buckets[level[id]].push(id);
+            }
+        }
+
+        let mut param_grads: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
+        let eptr = stuq_parallel::SendPtr::new(edge_deltas.as_mut_ptr());
+        let pptr = stuq_parallel::SendPtr::new(param_grads.as_mut_ptr());
+        for bucket in &buckets {
+            // Single-node levels run inline inside the pool's fast path;
+            // wider levels are where the branch parallelism lives.
+            stuq_parallel::par_for(bucket.len(), |bi| {
+                let id = bucket[bi];
+                let grad = if id == loss {
+                    Tensor::scalar(1.0)
+                } else {
+                    let mut acc: Option<Tensor> = None;
+                    for &(c, k) in &consumers[id] {
+                        // SAFETY: slot (c, k) was written when consumer `c`
+                        // ran in an earlier level, and `id` is the only node
+                        // that reads it (it is input `k` of `c`).
+                        let slot = unsafe { &mut *eptr.get().add(edge_off[c] + k) };
+                        let delta = slot.take().expect("consumer delta missing");
+                        match &mut acc {
+                            Some(g) => g.add_assign(&delta),
+                            empty @ None => *empty = Some(delta),
+                        }
+                    }
+                    acc.expect("reachable node received no deltas")
+                };
+                match &self.nodes[id].op {
+                    OpKind::Constant => unreachable!("constants are never scheduled"),
+                    OpKind::Param(_) => {
+                        // SAFETY: each node id is processed by exactly one task.
+                        unsafe { *pptr.get().add(id) = Some(grad) };
+                    }
+                    _ => {
+                        for (k, delta) in self.node_adjoints(id, &grad).into_iter().enumerate() {
+                            // SAFETY: this node's slots are written only here.
+                            unsafe { *eptr.get().add(edge_off[id] + k) = Some(delta) };
+                        }
+                    }
+                }
+            });
+        }
+
+        // Slot-ordered reduction: per parameter slot, contributions combine
+        // in descending node-id order — the serial walk's order exactly.
+        let mut store = GradStore::default();
+        for id in (0..=loss).rev() {
+            if let Some(g) = param_grads[id].take() {
+                let OpKind::Param(slot) = self.nodes[id].op else {
+                    unreachable!("only Param nodes store gradients")
+                };
+                store.accumulate_slot(slot, g);
             }
         }
         store
@@ -474,91 +654,73 @@ impl Tape {
         }
     }
 
+    /// Computes `d loss / d input_k` for every input of node `id`, in input
+    /// declaration order, given the node's fully-accumulated upstream
+    /// gradient. Pure with respect to the tape — both backward engines call
+    /// this, which is what keeps them numerically interchangeable.
     #[allow(clippy::too_many_lines)]
-    fn backprop_node(&self, id: NodeId, grad: &Tensor, grads: &mut [Option<Tensor>]) {
+    fn node_adjoints(&self, id: NodeId, grad: &Tensor) -> Vec<Tensor> {
         let node = &self.nodes[id];
         let p = &node.parents;
         let val = |nid: NodeId| &self.nodes[nid].value;
         match &node.op {
             OpKind::Constant | OpKind::Param(_) => unreachable!("handled by caller"),
-            OpKind::Add => {
-                Self::accumulate(grads, p[0], grad.clone());
-                Self::accumulate(grads, p[1], grad.clone());
-            }
-            OpKind::Sub => {
-                Self::accumulate(grads, p[0], grad.clone());
-                Self::accumulate(grads, p[1], grad.scale(-1.0));
-            }
-            OpKind::Mul => {
-                Self::accumulate(grads, p[0], grad.mul(val(p[1])));
-                Self::accumulate(grads, p[1], grad.mul(val(p[0])));
-            }
+            OpKind::Add => vec![grad.clone(), grad.clone()],
+            OpKind::Sub => vec![grad.clone(), grad.scale(-1.0)],
+            OpKind::Mul => vec![grad.mul(val(p[1])), grad.mul(val(p[0]))],
             OpKind::MaxElem => {
                 let a = val(p[0]);
                 let b = val(p[1]);
                 let ga = grad.zip(&a.zip(b, |x, y| if x >= y { 1.0 } else { 0.0 }), |g, m| g * m);
                 let gb = grad.zip(&a.zip(b, |x, y| if x >= y { 0.0 } else { 1.0 }), |g, m| g * m);
-                Self::accumulate(grads, p[0], ga);
-                Self::accumulate(grads, p[1], gb);
+                vec![ga, gb]
             }
-            OpKind::Neg => Self::accumulate(grads, p[0], grad.scale(-1.0)),
-            OpKind::Scale(c) => Self::accumulate(grads, p[0], grad.scale(*c)),
-            OpKind::AddScalar(_) => Self::accumulate(grads, p[0], grad.clone()),
+            OpKind::Neg => vec![grad.scale(-1.0)],
+            OpKind::Scale(c) => vec![grad.scale(*c)],
+            OpKind::AddScalar(_) => vec![grad.clone()],
             OpKind::Matmul => {
                 // y = a b  ⇒  da = g bᵀ, db = aᵀ g
-                Self::accumulate(grads, p[0], grad.matmul_tb(val(p[1])));
-                Self::accumulate(grads, p[1], val(p[0]).transpose().matmul(grad));
+                vec![grad.matmul_tb(val(p[1])), val(p[0]).transpose().matmul(grad)]
             }
             OpKind::MatmulTB => {
                 // y = a bᵀ  ⇒  da = g b, db = gᵀ a
-                Self::accumulate(grads, p[0], grad.matmul(val(p[1])));
-                Self::accumulate(grads, p[1], grad.transpose().matmul(val(p[0])));
+                vec![grad.matmul(val(p[1])), grad.transpose().matmul(val(p[0]))]
             }
-            OpKind::Transpose => Self::accumulate(grads, p[0], grad.transpose()),
+            OpKind::Transpose => vec![grad.transpose()],
             OpKind::Sigmoid => {
                 let y = &node.value;
-                Self::accumulate(grads, p[0], grad.zip(y, |g, s| g * s * (1.0 - s)));
+                vec![grad.zip(y, |g, s| g * s * (1.0 - s))]
             }
             OpKind::Tanh => {
                 let y = &node.value;
-                Self::accumulate(grads, p[0], grad.zip(y, |g, t| g * (1.0 - t * t)));
+                vec![grad.zip(y, |g, t| g * (1.0 - t * t))]
             }
             OpKind::Relu => {
                 let x = val(p[0]);
-                Self::accumulate(grads, p[0], grad.zip(x, |g, xv| if xv > 0.0 { g } else { 0.0 }));
+                vec![grad.zip(x, |g, xv| if xv > 0.0 { g } else { 0.0 })]
             }
             OpKind::LeakyRelu(alpha) => {
                 let x = val(p[0]);
                 let a = *alpha;
-                Self::accumulate(grads, p[0], grad.zip(x, |g, xv| if xv > 0.0 { g } else { a * g }));
+                vec![grad.zip(x, |g, xv| if xv > 0.0 { g } else { a * g })]
             }
-            OpKind::Exp => {
-                Self::accumulate(grads, p[0], grad.mul(&node.value));
-            }
+            OpKind::Exp => vec![grad.mul(&node.value)],
             OpKind::Ln => {
                 let x = val(p[0]);
-                Self::accumulate(grads, p[0], grad.zip(x, |g, xv| g / xv));
+                vec![grad.zip(x, |g, xv| g / xv)]
             }
             OpKind::Abs => {
                 let x = val(p[0]);
-                Self::accumulate(
-                    grads,
-                    p[0],
-                    grad.zip(x, |g, xv| if xv >= 0.0 { g } else { -g }),
-                );
+                vec![grad.zip(x, |g, xv| if xv >= 0.0 { g } else { -g })]
             }
             OpKind::Sqrt => {
                 let y = &node.value;
-                Self::accumulate(grads, p[0], grad.zip(y, |g, s| g * 0.5 / s.max(1e-12)));
+                vec![grad.zip(y, |g, s| g * 0.5 / s.max(1e-12))]
             }
             OpKind::Clamp(lo, hi) => {
                 let x = val(p[0]);
                 let (lo, hi) = (*lo, *hi);
-                Self::accumulate(
-                    grads,
-                    p[0],
-                    grad.zip(x, |g, xv| if xv > lo && xv < hi { g } else { 0.0 }),
-                );
+                vec![grad.zip(x, |g, xv| if xv > lo && xv < hi { g } else { 0.0 })]
             }
             OpKind::SoftmaxRows => {
                 let y = &node.value;
@@ -573,13 +735,12 @@ impl Tape {
                         dx.set(i, j, y.get(i, j) * (grad.get(i, j) - dot));
                     }
                 }
-                Self::accumulate(grads, p[0], dx);
+                vec![dx]
             }
             OpKind::ConcatCols => {
                 let ca = val(p[0]).cols();
                 let cb = val(p[1]).cols();
-                Self::accumulate(grads, p[0], grad.slice_cols(0, ca));
-                Self::accumulate(grads, p[1], grad.slice_cols(ca, ca + cb));
+                vec![grad.slice_cols(0, ca), grad.slice_cols(ca, ca + cb)]
             }
             OpKind::SliceCols(from, to) => {
                 let src = val(p[0]);
@@ -590,7 +751,7 @@ impl Tape {
                         dx.set(i, j, grad.get(i, jj));
                     }
                 }
-                Self::accumulate(grads, p[0], dx);
+                vec![dx]
             }
             OpKind::SliceRows(from, to) => {
                 let src = val(p[0]);
@@ -601,7 +762,7 @@ impl Tape {
                         dx.set(i, j, grad.get(ii, j));
                     }
                 }
-                Self::accumulate(grads, p[0], dx);
+                vec![dx]
             }
             OpKind::SliceColsStrided { start, stride, count } => {
                 let src = val(p[0]);
@@ -612,21 +773,18 @@ impl Tape {
                         dx.set(i, start + j * stride, grad.get(i, j));
                     }
                 }
-                Self::accumulate(grads, p[0], dx);
+                vec![dx]
             }
             OpKind::MeanAll => {
                 let src = val(p[0]);
                 let g = grad.get(0, 0) / src.len() as f32;
-                Self::accumulate(grads, p[0], Tensor::full(src.shape(), g));
+                vec![Tensor::full(src.shape(), g)]
             }
             OpKind::SumAll => {
                 let src = val(p[0]);
-                Self::accumulate(grads, p[0], Tensor::full(src.shape(), grad.get(0, 0)));
+                vec![Tensor::full(src.shape(), grad.get(0, 0))]
             }
-            OpKind::AddRowBroadcast => {
-                Self::accumulate(grads, p[0], grad.clone());
-                Self::accumulate(grads, p[1], grad.sum_rows());
-            }
+            OpKind::AddRowBroadcast => vec![grad.clone(), grad.sum_rows()],
             OpKind::RowwiseMatmul { c_in, c_out } => {
                 let z = val(p[0]);
                 let w = val(p[1]);
@@ -634,12 +792,9 @@ impl Tape {
                 let (ci, co) = (*c_in, *c_out);
                 let (dz, dw) =
                     crate::kernels::rowwise_matmul_grad(z.data(), w.data(), grad.data(), n, ci, co);
-                Self::accumulate(grads, p[0], Tensor::from_vec(dz, &[n, ci]));
-                Self::accumulate(grads, p[1], Tensor::from_vec(dw, &[n, ci * co]));
+                vec![Tensor::from_vec(dz, &[n, ci]), Tensor::from_vec(dw, &[n, ci * co])]
             }
-            OpKind::Dropout(mask) => {
-                Self::accumulate(grads, p[0], grad.mul(mask));
-            }
+            OpKind::Dropout(mask) => vec![grad.mul(mask)],
             OpKind::Custom(op) => {
                 let inputs: Vec<&Tensor> = p.iter().map(|&pid| val(pid)).collect();
                 let deltas = op.backward(grad, &inputs, &node.value);
@@ -651,9 +806,7 @@ impl Tape {
                     deltas.len(),
                     p.len()
                 );
-                for (pid, d) in p.iter().zip(deltas) {
-                    Self::accumulate(grads, *pid, d);
-                }
+                deltas
             }
         }
     }

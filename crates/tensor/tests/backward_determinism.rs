@@ -1,0 +1,154 @@
+//! Property tests for the branch-parallel backward pass (DESIGN.md §9).
+//!
+//! The level scheduler ([`Tape::backward_levels`]) must be *bit-identical*
+//! to the serial descending-id walk ([`Tape::backward_serial`]) on any tape
+//! and any thread count — that is the contract the CI determinism gate
+//! enforces by re-running this suite at `STUQ_THREADS=1,2,4`. The tests here
+//! are hand-rolled proptest loops in the style of the kernel suite: a seeded
+//! generator builds randomized DAG tapes (fan-out, fan-in, shared parameter
+//! slots, matmul/matmul_tb grads) and every gradient is compared bit for
+//! bit.
+
+use stuq_tensor::{GradStore, StuqRng, Tape, Tensor};
+
+fn randt(rng: &mut StuqRng, shape: &[usize]) -> Tensor {
+    let len = shape.iter().product();
+    Tensor::from_vec((0..len).map(|_| rng.normal_f32()).collect(), shape)
+}
+
+/// Asserts two gradient stores hold the same slots with bitwise-equal data.
+fn assert_bit_identical(a: &GradStore, b: &GradStore, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: slot count differs");
+    for (slot, ga) in a.iter() {
+        let gb = b.get(slot).unwrap_or_else(|| panic!("{what}: slot {slot} missing"));
+        assert_eq!(ga.shape(), gb.shape(), "{what}: slot {slot} shape differs");
+        for (i, (x, y)) in ga.data().iter().zip(gb.data()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: slot {slot} elem {i}: {x} vs {y}");
+        }
+    }
+}
+
+/// Builds a random DAG tape of same-shaped nodes: a few parameters (with one
+/// slot deliberately registered twice — shared weights), then a mix of unary
+/// and binary ops whose operands are drawn from *all* earlier nodes, which
+/// produces both fan-out (one node consumed many times) and fan-in. Returns
+/// the tape and a scalar loss node.
+fn random_dag(rng: &mut StuqRng, n_ops: usize, r: usize, c: usize) -> (Tape, usize) {
+    let mut tape = Tape::new();
+    let mut pool = Vec::new();
+    let n_params = 2 + rng.uniform_usize(4);
+    for slot in 0..n_params {
+        pool.push(tape.param(slot, randt(rng, &[r, c])));
+    }
+    // Shared slot: the same parameter slot mounted at a second tape node.
+    pool.push(tape.param(0, randt(rng, &[r, c])));
+    pool.push(tape.constant(randt(rng, &[r, c])));
+
+    for _ in 0..n_ops {
+        let a = pool[rng.uniform_usize(pool.len())];
+        let b = pool[rng.uniform_usize(pool.len())];
+        let node = match rng.uniform_usize(8) {
+            0 => tape.add(a, b),
+            1 => tape.sub(a, b),
+            2 => tape.mul(a, b),
+            3 => tape.tanh(a),
+            4 => tape.sigmoid(a),
+            5 => tape.relu(a),
+            6 => tape.scale(a, 0.5),
+            _ => tape.max_elem(a, b),
+        };
+        pool.push(node);
+    }
+    // Fold the last few nodes together so several branches feed the loss.
+    let mut acc = *pool.last().unwrap();
+    for _ in 0..3 {
+        let other = pool[rng.uniform_usize(pool.len())];
+        acc = tape.add(acc, other);
+    }
+    let loss = tape.mean_all(acc);
+    (tape, loss)
+}
+
+/// Property: the level scheduler matches the serial walk bit-for-bit on
+/// randomized elementwise DAGs of many shapes and sizes (including tapes
+/// below the dispatcher's size threshold, where `backward_levels` is called
+/// directly).
+#[test]
+fn random_dags_levels_match_serial_bitwise() {
+    let mut rng = StuqRng::new(0x9E7E1);
+    for case in 0..40 {
+        let r = 1 + rng.uniform_usize(6);
+        let c = 1 + rng.uniform_usize(6);
+        let n_ops = 4 + rng.uniform_usize(60);
+        let (tape, loss) = random_dag(&mut rng, n_ops, r, c);
+        let serial = tape.backward_serial(loss);
+        let levels = tape.backward_levels(loss);
+        assert_bit_identical(&serial, &levels, &format!("case {case}"));
+        // The public entry point must agree with both, whichever engine it
+        // picked for this tape size and pool configuration.
+        let auto = tape.backward(loss);
+        assert_bit_identical(&serial, &auto, &format!("case {case} (auto)"));
+    }
+}
+
+/// A handcrafted diamond with heavy fan-out: one shared parameter feeds
+/// three branches that later fan back in, plus the same slot mounted twice.
+/// Exercises the multi-consumer delta assembly order explicitly.
+#[test]
+fn diamond_fanout_shared_params_bitwise() {
+    let mut rng = StuqRng::new(0xD1A);
+    let mut tape = Tape::new();
+    let w = tape.param(0, randt(&mut rng, &[5, 5]));
+    let w_again = tape.param(0, randt(&mut rng, &[5, 5]));
+    let u = tape.param(1, randt(&mut rng, &[5, 5]));
+    // Three branches off the same node (fan-out of w = 4, counting reuse).
+    let b1 = tape.tanh(w);
+    let b2 = tape.mul(w, u);
+    let b3 = tape.sigmoid(w);
+    let sq = tape.square(w_again); // same node consumed twice by one op
+                                   // Fan back in.
+    let m1 = tape.add(b1, b2);
+    let m2 = tape.add(b3, sq);
+    let top = tape.mul(m1, m2);
+    let loss = tape.sum_all(top);
+    let serial = tape.backward_serial(loss);
+    let levels = tape.backward_levels(loss);
+    assert_bit_identical(&serial, &levels, "diamond");
+    assert_eq!(serial.len(), 2, "two parameter slots");
+}
+
+/// Property: matmul / matmul_tb adjoints (which themselves run the tiled,
+/// row-parallel kernels) are bit-identical between the two engines, on tapes
+/// large enough that [`Tape::backward`] really picks the level scheduler.
+#[test]
+fn matmul_grads_match_across_engines_bitwise() {
+    let mut rng = StuqRng::new(0x3A7B);
+    for case in 0..6 {
+        let n = 24 + 8 * rng.uniform_usize(4);
+        let mut tape = Tape::new();
+        let a = tape.param(0, randt(&mut rng, &[n, n]));
+        let b = tape.param(1, randt(&mut rng, &[n, n]));
+        let c = tape.param(2, randt(&mut rng, &[n, n]));
+        // Two independent matmul branches plus a matmul_tb branch, padded
+        // with elementwise ops so the tape crosses the dispatcher threshold.
+        let mut p = tape.matmul(a, b);
+        let mut q = tape.matmul_tb(b, c);
+        let mut s = tape.tanh(a);
+        for _ in 0..10 {
+            p = tape.scale(p, 0.9);
+            q = tape.tanh(q);
+            s = tape.mul(s, s);
+        }
+        let pq = tape.add(p, q);
+        let top = tape.add(pq, s);
+        let loss = tape.mean_all(top);
+        let serial = tape.backward_serial(loss);
+        let levels = tape.backward_levels(loss);
+        assert_bit_identical(&serial, &levels, &format!("matmul case {case}"));
+        let auto = tape.backward(loss);
+        assert_bit_identical(&serial, &auto, &format!("matmul case {case} (auto)"));
+        // And the whole thing must be invariant under a forced-serial pool.
+        let forced = stuq_parallel::with_serial(|| tape.backward(loss));
+        assert_bit_identical(&serial, &forced, &format!("matmul case {case} (forced)"));
+    }
+}

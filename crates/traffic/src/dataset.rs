@@ -24,7 +24,12 @@ pub struct TrafficData {
 
 impl TrafficData {
     /// Wraps raw `[T, N]` data. Panics if sizes disagree.
-    pub fn new(name: impl Into<String>, values: Vec<f32>, n_steps: usize, network: RoadNetwork) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        values: Vec<f32>,
+        n_steps: usize,
+        network: RoadNetwork,
+    ) -> Self {
         Self::with_covariates(name, values, n_steps, network, Vec::new(), 0)
     }
 

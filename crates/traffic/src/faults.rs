@@ -236,9 +236,27 @@ mod tests {
             n_steps,
             n_nodes,
             events: vec![
-                FaultEvent { kind: FaultKind::Dropout, node: 0, t_start: 5, t_end: 8, magnitude: 1.0 },
-                FaultEvent { kind: FaultKind::StuckAt, node: 1, t_start: 10, t_end: 13, magnitude: 1.0 },
-                FaultEvent { kind: FaultKind::Spike, node: 2, t_start: 20, t_end: 22, magnitude: 4.0 },
+                FaultEvent {
+                    kind: FaultKind::Dropout,
+                    node: 0,
+                    t_start: 5,
+                    t_end: 8,
+                    magnitude: 1.0,
+                },
+                FaultEvent {
+                    kind: FaultKind::StuckAt,
+                    node: 1,
+                    t_start: 10,
+                    t_end: 13,
+                    magnitude: 1.0,
+                },
+                FaultEvent {
+                    kind: FaultKind::Spike,
+                    node: 2,
+                    t_start: 20,
+                    t_end: 22,
+                    magnitude: 4.0,
+                },
             ],
         };
         let fs = plan.apply(&values);

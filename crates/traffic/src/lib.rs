@@ -27,8 +27,8 @@ pub mod presets;
 pub mod simulate;
 
 pub use batch::BatchIter;
+pub use dataset::{Scaler, Split, SplitDataset, TrafficData, Window};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultProfile, FaultedSeries};
 pub use persist::{load_dataset, load_split_dataset, save_dataset};
-pub use dataset::{Scaler, Split, SplitDataset, TrafficData, Window};
 pub use presets::{DatasetSpec, Preset};
-pub use simulate::{SimulationConfig, simulate_traffic};
+pub use simulate::{simulate_traffic, SimulationConfig};

@@ -70,10 +70,7 @@ pub fn load_dataset(path: impl AsRef<Path>) -> io::Result<TrafficData> {
     if next(&mut r)? != MAGIC {
         return Err(bad("not a stuq-traffic file"));
     }
-    let name = next(&mut r)?
-        .strip_prefix("name ")
-        .ok_or_else(|| bad("missing name"))?
-        .to_string();
+    let name = next(&mut r)?.strip_prefix("name ").ok_or_else(|| bad("missing name"))?.to_string();
     let usize_field = |r: &mut &[u8], key: &str| -> io::Result<usize> {
         let l = next(r)?;
         l.strip_prefix(key)

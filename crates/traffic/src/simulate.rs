@@ -157,8 +157,7 @@ pub fn simulate_traffic_with_covariates(
 ) -> (Vec<f32>, Vec<f32>) {
     let n = network.n_nodes();
     let adj = network.adjacency_lists();
-    let profiles: Vec<SensorProfile> =
-        (0..n).map(|_| SensorProfile::sample(cfg, rng)).collect();
+    let profiles: Vec<SensorProfile> = (0..n).map(|_| SensorProfile::sample(cfg, rng)).collect();
 
     let mut congestion = vec![0.0f32; n];
     let mut next_congestion = vec![0.0f32; n];
@@ -304,8 +303,7 @@ mod tests {
         let series: Vec<f64> = (0..288 * 7).map(|t| data[t * n] as f64).collect();
         let mean = series.iter().sum::<f64>() / series.len() as f64;
         let var: f64 = series.iter().map(|x| (x - mean).powi(2)).sum();
-        let lag1: f64 =
-            series.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>();
+        let lag1: f64 = series.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>();
         let rho = lag1 / var;
         assert!(rho > 0.8, "lag-1 autocorrelation {rho:.3}");
     }
@@ -314,11 +312,8 @@ mod tests {
     fn neighbours_more_correlated_than_strangers() {
         let net = generate_road_network(30, 45, 11);
         // Stronger coupling makes the test statistic robust.
-        let cfg = SimulationConfig {
-            kappa: 0.25,
-            incident_prob: 1.0 / 200.0,
-            ..Default::default()
-        };
+        let cfg =
+            SimulationConfig { kappa: 0.25, incident_prob: 1.0 / 200.0, ..Default::default() };
         let mut rng = StuqRng::new(11);
         let t_total = 288 * 5;
         let data = simulate_traffic(&net, t_total, &cfg, &mut rng);
@@ -366,12 +361,8 @@ mod tests {
     fn weather_disabled_means_no_covariates() {
         let net = generate_road_network(10, 15, 1);
         let mut rng = StuqRng::new(1);
-        let (values, cov) = simulate_traffic_with_covariates(
-            &net,
-            288,
-            &SimulationConfig::default(),
-            &mut rng,
-        );
+        let (values, cov) =
+            simulate_traffic_with_covariates(&net, 288, &SimulationConfig::default(), &mut rng);
         assert_eq!(values.len(), 288 * 10);
         assert!(cov.is_empty());
     }
@@ -404,8 +395,7 @@ mod tests {
             if !(96..=240).contains(&hod) {
                 continue; // daytime only, so the daily cycle cancels
             }
-            let mean: f64 =
-                (0..n).map(|i| values[t * n + i] as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|i| values[t * n + i] as f64).sum::<f64>() / n as f64;
             if cov[t] > 0.5 {
                 wet_sum += mean;
                 wet_n += 1;

@@ -52,7 +52,10 @@ fn main() {
     let mut rng = StuqRng::new(99);
     let mut risk_flips = 0usize;
     let checks = 24.min(starts.len());
-    println!("\n{:>6} {:>10} {:>10} {:>10} {:>10}  decision", "t", "A mean", "A p97.5", "B mean", "B p97.5");
+    println!(
+        "\n{:>6} {:>10} {:>10} {:>10} {:>10}  decision",
+        "t", "A mean", "A p97.5", "B mean", "B p97.5"
+    );
     for &s in starts.iter().take(checks) {
         let w = ds.window(s);
         let f = model.predict(&w.x, ds.scaler(), &mut rng);

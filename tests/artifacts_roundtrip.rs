@@ -53,10 +53,7 @@ fn weather_dataset_file_preserves_covariates() {
     // Windows built from the reloaded dataset carry identical covariates.
     let reloaded = stuq_traffic::SplitDataset::new(loaded, 12, 12);
     let (wa, wb) = (ds.window(5), reloaded.window(5));
-    assert_eq!(
-        wa.cov.as_ref().unwrap().data(),
-        wb.cov.as_ref().unwrap().data()
-    );
+    assert_eq!(wa.cov.as_ref().unwrap().data(), wb.cov.as_ref().unwrap().data());
     std::fs::remove_dir_all(dir).ok();
 }
 
@@ -137,13 +134,34 @@ fn cli_artifacts_interoperate_with_library_loaders() {
         deepstuq_cli::run(&owned, &mut sink).unwrap();
     };
     run(&[
-        "simulate", "--preset", "pems08", "--node-frac", "0.08", "--step-frac", "0.02",
-        "--seed", "203", "--out", data_path.to_str().unwrap(),
+        "simulate",
+        "--preset",
+        "pems08",
+        "--node-frac",
+        "0.08",
+        "--step-frac",
+        "0.02",
+        "--seed",
+        "203",
+        "--out",
+        data_path.to_str().unwrap(),
     ]);
     run(&[
-        "train", "--data", data_path.to_str().unwrap(), "--epochs", "1", "--batch", "8",
-        "--awa-epochs", "2", "--mc", "3", "--seed", "203",
-        "--out", model_path.to_str().unwrap(),
+        "train",
+        "--data",
+        data_path.to_str().unwrap(),
+        "--epochs",
+        "1",
+        "--batch",
+        "8",
+        "--awa-epochs",
+        "2",
+        "--mc",
+        "3",
+        "--seed",
+        "203",
+        "--out",
+        model_path.to_str().unwrap(),
     ]);
     let ds = stuq_traffic::load_split_dataset(&data_path).unwrap();
     let model = deepstuq::load_model(&model_path).unwrap();

@@ -99,7 +99,10 @@ fn spatial_model_beats_temporal_only_ablation() {
     let mae_agcrn = eval_loss(&agcrn, &ds, Split::Test, LossKind::Mae, 7, &mut rng_a).unwrap();
 
     let mut gru = stuq_models::gru::GruForecaster::new(
-        stuq_models::gru::GruConfig { hidden: 16, ..stuq_models::gru::GruConfig::new(ds.n_nodes(), ds.horizon()) },
+        stuq_models::gru::GruConfig {
+            hidden: 16,
+            ..stuq_models::gru::GruConfig::new(ds.n_nodes(), ds.horizon())
+        },
         &mut rng_b,
     );
     train(&mut gru, &ds, &cfg, LossKind::Mae, &mut rng_b).unwrap();

@@ -208,15 +208,13 @@ fn splits_partition_time() {
         let t_h = usize_in(rng, 2, 8);
         let horizon = usize_in(rng, 2, 8);
         let spec = Preset::Pems08Like.spec().scaled(0.08, 0.02);
-        let ds =
-            spec.generate_with(seed, &stuq_traffic::SimulationConfig::default(), t_h, horizon);
+        let ds = spec.generate_with(seed, &stuq_traffic::SimulationConfig::default(), t_h, horizon);
         use stuq_traffic::Split;
         let span = t_h + horizon;
         let segments = [Split::Train, Split::Val, Split::Test].map(|s| ds.segment(s));
         assert_eq!(segments[0].1, segments[1].0);
         assert_eq!(segments[1].1, segments[2].0);
-        for (split, (lo, hi)) in [Split::Train, Split::Val, Split::Test].into_iter().zip(segments)
-        {
+        for (split, (lo, hi)) in [Split::Train, Split::Val, Split::Test].into_iter().zip(segments) {
             for s in ds.window_starts(split) {
                 assert!(s >= lo && s + span <= hi, "seed {seed}: leak in {split:?}");
             }
