@@ -1,0 +1,36 @@
+#!/bin/sh
+# Validates a telemetry sink directory without jq.
+#
+# The heavy lifting (checksum trailer, per-line flat-JSON parse, closed event
+# schema, strictly increasing seq) is done by the in-tree Rust validator
+# (`stuq telemetry validate`); this script adds shape checks on the other two
+# artefacts so CI fails loudly if a run stops emitting them.
+#
+# usage: validate_events.sh <telemetry-dir> [stuq-binary]
+set -eu
+
+DIR="${1:?usage: validate_events.sh <telemetry-dir> [stuq-binary]}"
+STUQ="${2:-./target/release/stuq}"
+
+"$STUQ" telemetry validate --dir "$DIR"
+
+for f in events.jsonl metrics.prom manifest.json; do
+  if [ ! -s "$DIR/$f" ]; then
+    echo "validate_events: missing or empty $DIR/$f" >&2
+    exit 1
+  fi
+done
+
+fail() {
+  echo "validate_events: $1" >&2
+  exit 1
+}
+
+grep -q '"type":"run_start"' "$DIR/events.jsonl" || fail "no run_start event"
+grep -q '"type":"run_end"' "$DIR/events.jsonl" || fail "no run_end event"
+grep -q '"schema": "stuq-run-manifest-v1"' "$DIR/manifest.json" || fail "bad manifest schema"
+grep -q '^stuq_train_batches_total ' "$DIR/metrics.prom" || fail "metrics.prom missing counters"
+grep -q '^# TYPE stuq_train_epoch_seconds summary' "$DIR/metrics.prom" \
+  || fail "metrics.prom missing histograms"
+
+echo "validate_events: $DIR OK"

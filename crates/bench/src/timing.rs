@@ -20,6 +20,11 @@ pub struct Sample {
     pub mean_s: f64,
     /// Best (minimum) seconds per iteration.
     pub best_s: f64,
+    /// Median seconds per iteration (log-bucketed estimate from the shared
+    /// [`stuq_obs::Histogram`]).
+    pub p50_s: f64,
+    /// 95th-percentile seconds per iteration (same estimator).
+    pub p95_s: f64,
 }
 
 impl Sample {
@@ -52,9 +57,11 @@ impl std::fmt::Display for Sample {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{:<44} best {} mean {}  ({} iters)",
+            "{:<44} best {} p50 {} p95 {} mean {}  ({} iters)",
             self.name,
             fmt_duration(self.best_s),
+            fmt_duration(self.p50_s),
+            fmt_duration(self.p95_s),
             fmt_duration(self.mean_s),
             self.iters
         )
@@ -74,15 +81,30 @@ pub fn bench_with<R>(
     let mut total = 0.0f64;
     let mut best = f64::INFINITY;
     let mut iters = 0usize;
+    // Per-iteration timings feed the same log-bucketed histogram the
+    // telemetry layer uses, giving p50/p95 without storing every sample.
+    let hist = stuq_obs::Histogram::new();
     while (total < min_total_s || iters < 3) && iters < max_iters {
         let t0 = Instant::now();
         std::hint::black_box(f());
         let dt = t0.elapsed().as_secs_f64();
         total += dt;
         best = best.min(dt);
+        hist.record(dt);
         iters += 1;
     }
-    Sample { name: name.to_string(), iters, mean_s: total / iters as f64, best_s: best }
+    // Sub-resolution iterations (dt == 0) are rejected by the histogram;
+    // fall back to the exact statistics we do have.
+    let (p50_s, p95_s) =
+        if hist.count() > 0 { (hist.quantile(0.5), hist.quantile(0.95)) } else { (best, best) };
+    Sample {
+        name: name.to_string(),
+        iters,
+        mean_s: total / iters as f64,
+        best_s: best,
+        p50_s,
+        p95_s,
+    }
 }
 
 /// [`bench_with`] at the default budget (0.5 s or 1000 iterations).
@@ -101,6 +123,18 @@ mod tests {
         assert!(s.iters >= 3);
         assert!(s.best_s <= s.mean_s);
         assert!(n as usize >= s.iters, "warmup plus measured calls");
+    }
+
+    #[test]
+    fn percentiles_are_finite_and_ordered() {
+        let s = bench_with("sleepish", 0.0, 5, || {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        });
+        assert!(s.p50_s.is_finite() && s.p95_s.is_finite());
+        assert!(s.best_s <= s.p50_s + 1e-12, "best {} p50 {}", s.best_s, s.p50_s);
+        assert!(s.p50_s <= s.p95_s + 1e-12, "p50 {} p95 {}", s.p50_s, s.p95_s);
+        let line = s.to_string();
+        assert!(line.contains("p50") && line.contains("p95"), "{line}");
     }
 
     #[test]

@@ -29,17 +29,165 @@ pub type CliError = String;
 
 /// Entry point: parses `args` (without the program name) and executes.
 pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
-    match args.first().map(String::as_str) {
-        Some("simulate") => cmd_simulate(&args[1..], out),
-        Some("train") => cmd_train(&args[1..], out),
-        Some("evaluate") => cmd_evaluate(&args[1..], out),
-        Some("forecast") => cmd_forecast(&args[1..], out),
-        Some("info") => cmd_info(&args[1..], out),
+    let cmd = match args.first().map(String::as_str) {
+        Some("telemetry") => return cmd_telemetry(&args[1..], out),
         Some("help") | None => {
             let _ = writeln!(out, "{USAGE}");
+            return Ok(());
+        }
+        Some(cmd @ ("simulate" | "train" | "evaluate" | "forecast" | "info")) => cmd,
+        Some(other) => return Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    let telem = TelemetryRun::start(cmd, args)?;
+    let result = match cmd {
+        "simulate" => cmd_simulate(&args[1..], out),
+        "train" => cmd_train(&args[1..], out),
+        "evaluate" => cmd_evaluate(&args[1..], out),
+        "forecast" => cmd_forecast(&args[1..], out),
+        "info" => cmd_info(&args[1..], out),
+        _ => unreachable!("matched above"),
+    };
+    match result {
+        Ok(()) => {
+            telem.finish(out);
             Ok(())
         }
-        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+        Err(e) => {
+            // Fatal errors land in the event log with exit-code context (the
+            // binary exits 1) before being reported to the user.
+            stuq_obs::emit_fatal(&e, 1);
+            Err(e)
+        }
+    }
+}
+
+/// Per-invocation telemetry lifecycle: [`stuq_obs::init`] from the
+/// `--telemetry-dir` / `--telemetry-level` flags, a `run_start` event, and —
+/// on success — the `run_end` event, run manifest, sink flush and the
+/// end-of-run phase table.
+struct TelemetryRun {
+    cmd: &'static str,
+    seed: u64,
+    /// Full argument list — hashed into the manifest's `config_hash`.
+    argv: String,
+    t0: std::time::Instant,
+}
+
+impl TelemetryRun {
+    fn start(cmd: &str, args: &[String]) -> Result<TelemetryRun, CliError> {
+        // `args` includes the command word; flag parse errors are left to the
+        // command's own `Args::parse` so messages stay consistent.
+        let a = Args::parse(&args[1..]).unwrap_or(Args { pairs: Vec::new() });
+        let level = match a.get("telemetry-level") {
+            None => stuq_obs::Level::Summary,
+            Some(v) => stuq_obs::Level::parse(v).ok_or_else(|| {
+                format!("bad value for --telemetry-level: {v:?} (off|summary|trace)")
+            })?,
+        };
+        let dir = a.get("telemetry-dir").map(PathBuf::from);
+        if let Some(d) = &dir {
+            std::fs::create_dir_all(d)
+                .map_err(|e| format!("--telemetry-dir {}: {e}", d.display()))?;
+        }
+        stuq_obs::init(dir.as_deref(), level);
+        // Informational context for the manifest; each command still parses
+        // its own seed with its own default.
+        let seed: u64 = a.parse_or("seed", 42u64).unwrap_or(42);
+        let cmd = match cmd {
+            "simulate" => "simulate",
+            "train" => "train",
+            "evaluate" => "evaluate",
+            "forecast" => "forecast",
+            _ => "info",
+        };
+        stuq_obs::emit(
+            stuq_obs::Event::new("run_start")
+                .str("cmd", cmd)
+                .str("level", level.as_str())
+                .uint("seed", seed)
+                .uint("threads", stuq_parallel::num_threads() as u64),
+        );
+        Ok(TelemetryRun { cmd, seed, argv: args.join(" "), t0: std::time::Instant::now() })
+    }
+
+    fn finish(self, out: &mut impl Write) {
+        if !stuq_obs::summary_enabled() {
+            return;
+        }
+        let wall = self.t0.elapsed().as_secs_f64();
+        stuq_obs::emit(stuq_obs::Event::new("run_end").num("wall_seconds", wall));
+        let phases = stuq_obs::span_timings();
+        if stuq_obs::telemetry_dir().is_some() {
+            let m = stuq_obs::metrics();
+            let mut manifest = stuq_obs::RunManifest::new(
+                self.cmd,
+                self.seed,
+                self.argv.as_bytes(),
+                stuq_parallel::num_threads(),
+            );
+            manifest.wall_seconds = wall;
+            manifest.phases = phases.clone();
+            manifest.final_metrics = vec![
+                ("train_loss".into(), m.train_loss.get()),
+                ("calib_temperature".into(), m.calib_temperature.get()),
+                ("guard_trips".into(), m.guard_trips.get() as f64),
+                ("mc_samples".into(), m.mc_samples.get() as f64),
+                ("eval_windows".into(), m.eval_windows.get() as f64),
+            ];
+            if let Err(e) = stuq_obs::write_manifest(&manifest) {
+                let _ = writeln!(out, "telemetry: failed to write manifest: {e}");
+            }
+            if let Err(e) = stuq_obs::flush() {
+                let _ = writeln!(out, "telemetry: failed to flush sinks: {e}");
+            }
+        }
+        if !phases.is_empty() {
+            let _ = writeln!(out, "\ntelemetry: phase timings ({wall:.2}s wall)");
+            let _ =
+                writeln!(out, "  {:<24} {:>6} {:>10} {:>10}", "phase", "count", "total_s", "max_s");
+            for p in &phases {
+                let _ = writeln!(
+                    out,
+                    "  {:<24} {:>6} {:>10.3} {:>10.3}",
+                    p.path, p.count, p.total_s, p.max_s
+                );
+            }
+        }
+    }
+}
+
+/// `stuq telemetry dump|validate --dir DIR` — inspect a run's sink directory.
+fn cmd_telemetry(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let action = args.first().map(String::as_str);
+    let a = Args::parse(args.get(1..).unwrap_or(&[]))?;
+    match action {
+        Some("dump") => {
+            let dir = PathBuf::from(a.required("dir")?);
+            let manifest = dir.join(stuq_obs::MANIFEST_FILE);
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                let _ = writeln!(out, "# {}", manifest.display());
+                let _ = write!(out, "{text}");
+            }
+            let prom = dir.join(stuq_obs::METRICS_FILE);
+            let text =
+                std::fs::read_to_string(&prom).map_err(|e| format!("{}: {e}", prom.display()))?;
+            let _ = writeln!(out, "# {}", prom.display());
+            let _ = write!(out, "{text}");
+            Ok(())
+        }
+        Some("validate") => {
+            let dir = PathBuf::from(a.required("dir")?);
+            let path = dir.join(stuq_obs::EVENTS_FILE);
+            let payload = stuq_artifact::read_verified(&path)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            let text = String::from_utf8(payload)
+                .map_err(|_| format!("{}: not valid UTF-8", path.display()))?;
+            let n =
+                stuq_obs::validate_events(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+            let _ = writeln!(out, "{}: {n} events, checksum and schema OK", path.display());
+            Ok(())
+        }
+        _ => Err("usage: stuq telemetry dump|validate --dir DIR".into()),
     }
 }
 
@@ -57,6 +205,14 @@ USAGE:
                     [--fault-profile none|light|moderate|severe] [--fault-seed N]
   stuq forecast --model model.stuq --data data.stuqd [--window N] [--sensor N] [--seed N]
   stuq info     --path file.stuqd|file.stuq
+  stuq telemetry dump|validate --dir DIR
+
+Every command also accepts [--telemetry-dir DIR] [--telemetry-level off|summary|trace]
+(default summary). With a directory, the run writes events.jsonl (checksummed
+JSONL event log), metrics.prom (Prometheus text exposition) and manifest.json
+(seed, config hash, thread count, phase timings); `stuq telemetry dump`
+pretty-prints them and `stuq telemetry validate` checks the event log.
+Telemetry is a pure observer — any level produces bit-identical models.
 
 Fault tolerance (DESIGN.md §8): with --checkpoint-dir, train writes crash-safe
 checkpoints every --checkpoint-every epochs; --epoch-budget pauses after N

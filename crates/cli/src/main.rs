@@ -1,5 +1,9 @@
 //! `stuq` binary entry point; all logic lives in the library so it can
 //! be tested in-process.
+//!
+//! Fatal errors are routed through the telemetry sink by [`deepstuq_cli::run`]
+//! itself (a `fatal` event with the exit code, flushed before the process
+//! dies), so the binary only has to report and exit.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -79,7 +79,12 @@ pub fn calibrate_on_validation(
             residual_sq.push((y - mu).powi(2) / v);
         }
     }
-    fit_temperature(&residual_sq, cfg.max_iters)
+    let t = fit_temperature(&residual_sq, cfg.max_iters)?;
+    if stuq_obs::summary_enabled() {
+        stuq_obs::metrics().calib_temperature.set(t as f64);
+        stuq_obs::emit(stuq_obs::Event::new("calibrate").num("temperature", t as f64));
+    }
+    Ok(t)
 }
 
 #[cfg(test)]

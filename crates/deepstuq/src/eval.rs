@@ -96,6 +96,9 @@ pub fn evaluate_par(
 /// Ordered metric accumulation shared by [`evaluate`] and [`evaluate_par`].
 fn score_forecasts(ds: &SplitDataset, starts: &[usize], forecasts: Vec<RawForecast>) -> EvalResult {
     assert!(!starts.is_empty(), "no windows in split");
+    if stuq_obs::summary_enabled() {
+        stuq_obs::metrics().eval_windows.add(starts.len() as u64);
+    }
     let tau = ds.horizon();
     let n = ds.n_nodes();
     let mut point = PointAccumulator::new(tau);

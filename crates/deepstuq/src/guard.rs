@@ -81,6 +81,54 @@ impl GuardState {
     }
 }
 
+/// Records a guard trip (shared by the skip and rewind paths).
+///
+/// Guard decisions used to be visible only in the transient [`GuardState`],
+/// which a rewind partially erases; these hooks persist every decision to the
+/// telemetry stream the moment it is taken, so post-mortems do not need a
+/// re-run. Purely observational: never read back by the trainer.
+pub(crate) fn record_trip() {
+    if stuq_obs::summary_enabled() {
+        stuq_obs::metrics().guard_trips.inc();
+    }
+}
+
+/// Records a skipped batch with the loss/threshold context that caused it.
+/// The current stage and epoch are stamped by the recorder.
+pub(crate) fn record_skip(cfg: &GuardConfig, loss: f64, grad_norm: f64, consecutive: usize) {
+    if !stuq_obs::summary_enabled() {
+        return;
+    }
+    stuq_obs::metrics().guard_skips.inc();
+    stuq_obs::emit(
+        stuq_obs::Event::new("guard_skip")
+            .num("loss", loss)
+            .num("grad_norm", grad_norm)
+            .num("max_abs_loss", cfg.max_abs_loss)
+            .num("max_grad_norm", cfg.max_grad_norm)
+            .uint("consecutive_skips", consecutive as u64),
+    );
+}
+
+/// Records a rewind (snapshot restore + learning-rate back-off).
+pub(crate) fn record_rewind(cfg: &GuardConfig, loss: f64, grad_norm: f64, state: &GuardState) {
+    if !stuq_obs::summary_enabled() {
+        return;
+    }
+    let m = stuq_obs::metrics();
+    m.guard_rewinds.inc();
+    m.guard_lr_scale.set(state.lr_scale as f64);
+    stuq_obs::emit(
+        stuq_obs::Event::new("guard_rewind")
+            .num("loss", loss)
+            .num("grad_norm", grad_norm)
+            .num("max_abs_loss", cfg.max_abs_loss)
+            .num("max_grad_norm", cfg.max_grad_norm)
+            .num("lr_scale", state.lr_scale as f64)
+            .uint("rewinds_used", state.rewinds_used as u64),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -114,6 +114,12 @@ pub fn mc_forecast_with_cov(
     rng: &mut StuqRng,
 ) -> GaussianForecast {
     assert!(n_samples >= 1, "need at least one sample");
+    // Telemetry (pure observer): count samples at summary, time the fan-out
+    // at trace to derive MC samples/s.
+    if stuq_obs::summary_enabled() {
+        stuq_obs::metrics().mc_samples.add(n_samples as u64);
+    }
+    let t0 = stuq_obs::trace_enabled().then(std::time::Instant::now);
     let shape = [model.n_nodes(), model.horizon()];
     let streams = fork_streams(rng, n_samples);
     let samples = stuq_parallel::par_map(n_samples, |j| {
@@ -129,6 +135,14 @@ pub fn mc_forecast_with_cov(
         };
         (mu_j, var_j)
     });
+    if let Some(t0) = t0 {
+        let secs = t0.elapsed().as_secs_f64();
+        let m = stuq_obs::metrics();
+        m.mc_forecast_seconds.record(secs);
+        if secs > 0.0 {
+            m.mc_samples_per_sec.set(n_samples as f64 / secs);
+        }
+    }
     reduce_samples(samples, shape)
 }
 
@@ -145,6 +159,9 @@ pub fn ensemble_forecast<M: Forecaster + Clone>(
     rng: &mut StuqRng,
 ) -> GaussianForecast {
     assert!(!snapshots.is_empty(), "need at least one snapshot");
+    if stuq_obs::summary_enabled() {
+        stuq_obs::metrics().mc_samples.add(snapshots.len() as u64);
+    }
     let shape = [model.n_nodes(), model.horizon()];
     let streams = fork_streams(rng, snapshots.len());
     let proto: &M = model;

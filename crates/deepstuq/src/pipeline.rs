@@ -155,7 +155,40 @@ fn save_stage_checkpoint(
         averager,
         params,
     };
-    save_checkpoint(&snap, path).map_err(|e| TrainError::Checkpoint(e.to_string()))
+    save_checkpoint(&snap, path).map_err(|e| TrainError::Checkpoint(e.to_string()))?;
+    stuq_obs::emit(stuq_obs::Event::new("checkpoint").str("path", path.display().to_string()));
+    Ok(())
+}
+
+/// Opens a stage for telemetry: stamps the recorder context, emits
+/// `stage_start`, and returns the span guard (dropping it records the phase
+/// timing — also on the early pause/error returns) plus the stage clock.
+fn stage_telemetry(stage: Stage) -> (stuq_obs::SpanGuard, std::time::Instant) {
+    stuq_obs::set_stage(stage.as_str());
+    stuq_obs::emit(stuq_obs::Event::new("stage_start").str("stage", stage.as_str()));
+    (stuq_obs::SpanGuard::enter(stage.as_str()), std::time::Instant::now())
+}
+
+/// Emits `stage_end` on normal stage completion (paused runs deliberately
+/// leave the stage open in the event log).
+fn stage_done(stage: Stage, t0: std::time::Instant) {
+    stuq_obs::emit(
+        stuq_obs::Event::new("stage_end")
+            .str("stage", stage.as_str())
+            .num("seconds", t0.elapsed().as_secs_f64()),
+    );
+}
+
+/// Per-epoch telemetry: epoch gauge, wall-clock histogram, `epoch_end` event.
+fn record_epoch(epoch: usize, loss: f64, t0: std::time::Instant) {
+    if !stuq_obs::summary_enabled() {
+        return;
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+    let m = stuq_obs::metrics();
+    m.train_epoch.set(epoch as f64);
+    m.train_epoch_seconds.record(seconds);
+    stuq_obs::emit(stuq_obs::Event::new("epoch_end").num("loss", loss).num("seconds", seconds));
 }
 
 /// A raw-scale probabilistic forecast: mean, decomposed uncertainty and the
@@ -247,6 +280,7 @@ impl DeepStuq {
                 .map_err(|e| TrainError::Checkpoint(e.to_string()))?;
             rng = StuqRng::from_state(cp.rng);
             gstate = cp.guard;
+            stuq_obs::emit(stuq_obs::Event::new("resume").str("path", path.display().to_string()));
             match cp.stage {
                 Stage::Pretrain => {
                     pre_epoch = cp.epochs_done;
@@ -283,7 +317,9 @@ impl DeepStuq {
         let mut ran = 0usize;
 
         // Stage 1: variational pre-training (Eq. 14).
+        let (pre_span, pre_t0) = stage_telemetry(Stage::Pretrain);
         while pre_epoch < cfg.train.epochs {
+            stuq_obs::set_epoch(pre_epoch as u64);
             if ran >= budget {
                 let path = ckpt_path.as_ref().expect("budget requires a checkpoint dir");
                 save_stage_checkpoint(
@@ -303,7 +339,9 @@ impl DeepStuq {
                     guard: gstate,
                 });
             }
-            train_epoch_guarded(
+            let epoch_t0 = std::time::Instant::now();
+            let epoch_span = stuq_obs::SpanGuard::enter("epoch");
+            let loss = train_epoch_guarded(
                 &mut model,
                 ds,
                 cfg.train.batch_size,
@@ -316,6 +354,8 @@ impl DeepStuq {
                 &opts.guard,
                 &mut gstate,
             )?;
+            drop(epoch_span);
+            record_epoch(pre_epoch, loss, epoch_t0);
             pre_epoch += 1;
             ran += 1;
             if let Some(path) = &ckpt_path {
@@ -335,14 +375,18 @@ impl DeepStuq {
                 }
             }
         }
+        drop(pre_span);
+        stage_done(Stage::Pretrain, pre_t0);
 
         // Stage 2: AWA re-training (Algorithm 1).
         if let Some(awa_cfg) = &cfg.awa {
+            let (awa_span, awa_t0) = stage_telemetry(Stage::Awa);
             let mut st = match awa_state.take() {
                 Some(st) => st,
                 None => AwaState::new(awa_cfg, cfg.train.weight_decay)?,
             };
             while st.epochs_done() < awa_cfg.epochs {
+                stuq_obs::set_epoch((cfg.train.epochs + st.epochs_done()) as u64);
                 if ran >= budget {
                     let path = ckpt_path.as_ref().expect("budget requires a checkpoint dir");
                     let (opt_state, n_models, avg, epoch) = st.export();
@@ -363,7 +407,19 @@ impl DeepStuq {
                         guard: gstate,
                     });
                 }
-                st.run_epoch(&mut model, ds, awa_cfg, kind, &mut rng, &opts.guard, &mut gstate)?;
+                let epoch_t0 = std::time::Instant::now();
+                let epoch_span = stuq_obs::SpanGuard::enter("epoch");
+                let loss = st.run_epoch(
+                    &mut model,
+                    ds,
+                    awa_cfg,
+                    kind,
+                    &mut rng,
+                    &opts.guard,
+                    &mut gstate,
+                )?;
+                drop(epoch_span);
+                record_epoch(cfg.train.epochs + st.epochs_done() - 1, loss, epoch_t0);
                 ran += 1;
                 if let Some(path) = &ckpt_path {
                     let done = st.epochs_done();
@@ -384,11 +440,19 @@ impl DeepStuq {
                 }
             }
             let _report = st.finish(&mut model);
+            drop(awa_span);
+            stage_done(Stage::Awa, awa_t0);
         }
 
         // Stage 3: temperature calibration on the validation split (Eq. 18).
         let temperature = match &cfg.calib {
-            Some(c) => calibrate_on_validation(&model, ds, c, &mut rng)?,
+            Some(c) => {
+                let (cal_span, cal_t0) = stage_telemetry(Stage::Calibrate);
+                let t = calibrate_on_validation(&model, ds, c, &mut rng)?;
+                drop(cal_span);
+                stage_done(Stage::Calibrate, cal_t0);
+                t
+            }
             None => 1.0,
         };
 

@@ -177,6 +177,7 @@ pub fn train_epoch_guarded(
         last_raw_lr = raw_lr;
         opt.set_lr(raw_lr * gstate.lr_scale);
 
+        let t_batch = stuq_obs::trace_enabled().then(std::time::Instant::now);
         let mut grads = GradStore::default();
         let mut batch_loss = 0.0f64;
         for &s in batch {
@@ -191,6 +192,22 @@ pub fn train_epoch_guarded(
             && mean_loss.abs() <= guard.max_abs_loss
             && grad_norm.is_finite()
             && grad_norm <= guard.max_grad_norm;
+
+        // Telemetry is a pure observer: nothing below feeds back into the
+        // batch loop, the RNG, or the guard's decisions.
+        if stuq_obs::summary_enabled() {
+            let m = stuq_obs::metrics();
+            m.train_batches.inc();
+            if !mean_loss.is_finite() || !grad_norm.is_finite() {
+                m.train_nonfinite_batches.inc();
+            }
+            m.train_loss.set(mean_loss);
+            m.train_grad_norm.set(grad_norm);
+            m.train_grad_norm_hist.record(grad_norm);
+            if let Some(t) = t_batch {
+                m.train_batch_seconds.record(t.elapsed().as_secs_f64());
+            }
+        }
 
         if healthy {
             if grad_clip > 0.0 {
@@ -208,6 +225,7 @@ pub fn train_epoch_guarded(
             }
         } else {
             gstate.trips += 1;
+            crate::guard::record_trip();
             consecutive_trips += 1;
             if consecutive_trips >= guard.max_consecutive_skips {
                 // The trajectory (not an isolated batch) has diverged.
@@ -221,6 +239,7 @@ pub fn train_epoch_guarded(
                 }
                 gstate.rewinds_used += 1;
                 gstate.lr_scale *= guard.backoff;
+                crate::guard::record_rewind(guard, mean_loss, grad_norm, gstate);
                 consecutive_trips = 0;
                 healthy_since_snap = 0;
                 snap.restore(model, opt, rng);
@@ -229,6 +248,7 @@ pub fn train_epoch_guarded(
                 it = snap.batch_idx;
             } else {
                 gstate.skipped += 1;
+                crate::guard::record_skip(guard, mean_loss, grad_norm, consecutive_trips);
                 it += 1;
             }
         }

@@ -28,6 +28,27 @@ fn grad_volume(slots: &[(usize, &Tensor)]) -> usize {
     slots.iter().map(|(_, g)| g.len()).sum()
 }
 
+/// A metric-only accumulator for the squared L2 norm of the applied update,
+/// allocated only at `trace` level (the extra per-slot `norm()` pass is the
+/// whole cost of step-norm telemetry).
+fn step_norm_acc() -> Option<std::sync::atomic::AtomicU64> {
+    stuq_obs::trace_enabled().then(|| std::sync::atomic::AtomicU64::new(0))
+}
+
+/// Records step telemetry after an optimiser step: step counter and lr at
+/// `summary`, the global update norm (from `acc`, if traced) on top.
+fn record_step_telemetry(lr: f32, acc: Option<std::sync::atomic::AtomicU64>) {
+    if !stuq_obs::summary_enabled() {
+        return;
+    }
+    let m = stuq_obs::metrics();
+    m.opt_steps.inc();
+    m.opt_lr.set(lr as f64);
+    if let Some(acc) = acc {
+        m.opt_step_norm.record(f64::from_bits(acc.into_inner()).sqrt());
+    }
+}
+
 /// The serialisable moment state of an optimiser, for crash-safe
 /// checkpointing and the trainer's divergence-guard rewind snapshots.
 ///
@@ -101,18 +122,25 @@ impl Optimizer for Sgd {
             }
         }
         let (lr, momentum, weight_decay) = (self.lr, self.momentum, self.weight_decay);
+        let norm_acc = step_norm_acc();
         let update_one = |w: &mut Tensor, v: &mut Option<Tensor>, grad: &Tensor| {
             let mut g = grad.clone();
             if weight_decay > 0.0 {
                 g.axpy(weight_decay, w);
             }
-            if momentum > 0.0 {
+            let applied = if momentum > 0.0 {
                 let v = v.as_mut().expect("velocity pre-initialised");
                 // v ← μ v + g;  w ← w − lr v
                 *v = v.scale(momentum).add(&g);
                 w.axpy(-lr, v);
+                norm_acc.as_ref().map(|_| v.norm())
             } else {
                 w.axpy(-lr, &g);
+                norm_acc.as_ref().map(|_| g.norm())
+            };
+            if let (Some(acc), Some(n)) = (&norm_acc, applied) {
+                let d = lr as f64 * n;
+                stuq_obs::metrics::atomic_f64_add(acc, d * d);
             }
         };
         if grad_volume(&slots) >= PAR_STEP_ELEMS_MIN && slots.len() > 1 {
@@ -132,6 +160,7 @@ impl Optimizer for Sgd {
                 update_one(w, &mut self.velocity[slot], grad);
             }
         }
+        record_step_telemetry(lr, norm_acc);
     }
 
     fn lr(&self) -> f32 {
@@ -211,6 +240,7 @@ impl Optimizer for Adam {
         }
         let (lr, beta1, beta2, eps, weight_decay) =
             (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        let norm_acc = step_norm_acc();
         let update_one = |w: &mut Tensor, m: &mut Tensor, v: &mut Tensor, grad: &Tensor| {
             let mut g = grad.clone();
             if weight_decay > 0.0 {
@@ -225,6 +255,10 @@ impl Optimizer for Adam {
                 -lr * mhat / (vhat.sqrt() + eps)
             });
             w.add_assign(&update);
+            if let Some(acc) = &norm_acc {
+                let n = update.norm();
+                stuq_obs::metrics::atomic_f64_add(acc, n * n);
+            }
         };
         if grad_volume(&slots) >= PAR_STEP_ELEMS_MIN && slots.len() > 1 {
             let pptr = SendPtr::new(params.entries_mut().as_mut_ptr());
@@ -249,6 +283,7 @@ impl Optimizer for Adam {
                 update_one(w, m, v, grad);
             }
         }
+        record_step_telemetry(lr, norm_acc);
     }
 
     fn lr(&self) -> f32 {

@@ -1,0 +1,757 @@
+//! Typed, lock-free metric primitives and the workspace metric catalog.
+//!
+//! Three primitives, all const-constructible so hot paths touch plain
+//! statics (no registration, no hashing, no locks):
+//!
+//! * [`Counter`] — a monotonically increasing `u64`;
+//! * [`Gauge`] — a last-write-wins `f64` (stored as bits in an `AtomicU64`);
+//! * [`Histogram`] — log₂-bucketed positive samples with exact count / sum /
+//!   min / max and bucket-interpolated quantiles. Non-finite and
+//!   non-positive samples are **rejected** (counted separately) — a NaN loss
+//!   must never poison a latency distribution.
+//!
+//! [`Metrics`] is the fixed catalog every crate in the workspace records
+//! into, reachable via [`crate::metrics`]. The catalog is deliberately
+//! closed: adding a metric means adding a field here plus a line in
+//! [`Metrics::expose`], which keeps the Prometheus exposition and the
+//! recorded set in lock-step (no metric can exist without being exported).
+//!
+//! Determinism contract: nothing in this module reads the RNG, the model,
+//! or anything a training run consumes — metrics are written, never read,
+//! by instrumented code, so enabling them cannot perturb a result.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ buckets in a [`Histogram`]. Bucket `i` covers
+/// `[2^(i-31), 2^(i-30))`, so the range spans ~4.7e-10 … ~8.6e9 — wide
+/// enough for nanosecond kernel timings and multi-hour phase timings alike.
+pub const N_BUCKETS: usize = 64;
+
+/// Exponent offset: sample `v` lands in bucket `floor(log2(v)) + 31`.
+const BUCKET_BIAS: i32 = 31;
+
+/// A monotonically increasing counter.
+#[derive(Debug)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zero counter (const, so it can back a `static`).
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (tests and per-run isolation).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A last-write-wins `f64` gauge.
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A fresh zero gauge.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Stores `v`.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Last stored value (0.0 if never set).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Atomically adds `delta` to an `f64` stored as bits in `cell`.
+///
+/// Public so instrumented code can accumulate metric-only sums across a
+/// parallel region (e.g. per-slot optimiser update norms). The accumulation
+/// order is thread-dependent, which is fine for telemetry and unacceptable
+/// for anything a computation reads back — never feed such a sum into the
+/// model.
+pub fn atomic_f64_add(cell: &AtomicU64, delta: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + delta).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Atomically folds `v` into a min/max cell via `pick`.
+fn atomic_f64_fold(cell: &AtomicU64, v: f64, pick: impl Fn(f64, f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let folded = pick(f64::from_bits(cur), v);
+        if folded.to_bits() == cur {
+            return;
+        }
+        match cell.compare_exchange_weak(
+            cur,
+            folded.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// A log₂-bucketed histogram of positive finite samples.
+///
+/// Exactness: `count`, `sum`, `min` and `max` are exact; quantiles are
+/// bucket-interpolated (geometric midpoint of the containing bucket,
+/// clamped to the observed `[min, max]`), which bounds the relative error
+/// of any quantile by the bucket width (≤ 2×) and in practice — timings
+/// clustered inside one or two buckets — far less.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    rejected: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// A fresh empty histogram (const, so it can back a `static`).
+    pub const fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; N_BUCKETS],
+            count: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Bucket index for a valid sample.
+    fn bucket_of(v: f64) -> usize {
+        let exp = v.log2().floor() as i64 + BUCKET_BIAS as i64;
+        exp.clamp(0, N_BUCKETS as i64 - 1) as usize
+    }
+
+    /// Lower/upper bounds of bucket `i`.
+    fn bucket_bounds(i: usize) -> (f64, f64) {
+        let lo = 2f64.powi(i as i32 - BUCKET_BIAS);
+        (lo, lo * 2.0)
+    }
+
+    /// Records `v`. Returns `false` (and counts the rejection) for NaN,
+    /// ±inf, zero and negative samples — none of which belong in a
+    /// positive-valued timing/norm distribution.
+    pub fn record(&self, v: f64) -> bool {
+        if !v.is_finite() || v <= 0.0 {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.sum_bits, v);
+        atomic_f64_fold(&self.min_bits, v, f64::min);
+        atomic_f64_fold(&self.max_bits, v, f64::max);
+        true
+    }
+
+    /// Number of accepted samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Number of rejected (non-finite / non-positive) samples.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of accepted samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Exact mean (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            f64::NAN
+        } else {
+            self.sum() / n as f64
+        }
+    }
+
+    /// Exact minimum accepted sample (NaN when empty).
+    pub fn min(&self) -> f64 {
+        let v = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        if v.is_infinite() {
+            f64::NAN
+        } else {
+            v
+        }
+    }
+
+    /// Exact maximum accepted sample (NaN when empty).
+    pub fn max(&self) -> f64 {
+        let v = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        if v.is_infinite() {
+            f64::NAN
+        } else {
+            v
+        }
+    }
+
+    /// Bucket-interpolated quantile `q ∈ [0, 1]` (NaN when empty).
+    ///
+    /// The estimate is the geometric midpoint of the bucket containing the
+    /// rank-`⌈q·n⌉` sample, clamped to the observed `[min, max]` so that
+    /// `quantile(0.0) == min()` and `quantile(1.0) == max()` exactly.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return self.min();
+        }
+        if q == 1.0 {
+            return self.max();
+        }
+        let rank = ((q * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                let (lo, hi) = Self::bucket_bounds(i);
+                return (lo * hi).sqrt().clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Resets all state (tests and per-run isolation).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.rejected.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0, Ordering::Relaxed);
+        self.min_bits.store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        self.max_bits.store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The fixed metric catalog for the whole workspace.
+///
+/// Field names mirror the exposition names minus the `stuq_` prefix; see
+/// [`Metrics::expose`] for the authoritative list with types and help text.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    // --- stuq-parallel: pool behaviour -----------------------------------
+    /// Fan-outs submitted to the worker pool.
+    pub pool_fanouts: Counter,
+    /// Chunks executed across all fan-outs (pooled or inline).
+    pub pool_chunks: Counter,
+    /// Fan-outs that degraded to inline execution (serial scope, nesting,
+    /// single chunk or single-thread pool).
+    pub pool_inline: Counter,
+    /// Wall-clock seconds per pooled fan-out (trace level only).
+    pub pool_run_seconds: Histogram,
+
+    // --- stuq-tensor: autodiff + kernels ---------------------------------
+    /// Reverse sweeps executed (serial or level-scheduled).
+    pub backward_runs: Counter,
+    /// Topological levels scheduled by `backward_levels`.
+    pub backward_levels: Counter,
+    /// Tape nodes visited by `backward_levels`.
+    pub backward_nodes: Counter,
+    /// Edge-delta arena slots allocated by `backward_levels`.
+    pub backward_edge_slots: Counter,
+    /// `matmul` kernel dispatches.
+    pub kernel_matmul: Counter,
+    /// `matmul_tb` kernel dispatches.
+    pub kernel_matmul_tb: Counter,
+    /// `rowwise_matmul` kernel dispatches.
+    pub kernel_rowwise: Counter,
+    /// GFLOP/s of the most recent traced `matmul`/`matmul_tb` dispatch.
+    pub kernel_gflops: Gauge,
+
+    // --- stuq-nn: optimisers ----------------------------------------------
+    /// Optimiser steps applied.
+    pub opt_steps: Counter,
+    /// Learning rate of the most recent step.
+    pub opt_lr: Gauge,
+    /// Global L2 norm of applied parameter updates (trace level only).
+    pub opt_step_norm: Histogram,
+
+    // --- deepstuq: training loop ------------------------------------------
+    /// Batches processed (healthy, i.e. the optimiser stepped).
+    pub train_batches: Counter,
+    /// Batches whose loss or gradient norm was NaN/inf.
+    pub train_nonfinite_batches: Counter,
+    /// Mean loss of the most recent healthy batch.
+    pub train_loss: Gauge,
+    /// Global gradient norm of the most recent healthy batch.
+    pub train_grad_norm: Gauge,
+    /// Gradient norms across healthy batches.
+    pub train_grad_norm_hist: Histogram,
+    /// Current epoch index (set by the pipeline).
+    pub train_epoch: Gauge,
+    /// Wall-clock seconds per training epoch.
+    pub train_epoch_seconds: Histogram,
+    /// Wall-clock seconds per batch (trace level only).
+    pub train_batch_seconds: Histogram,
+
+    // --- deepstuq: divergence guard ----------------------------------------
+    /// Guard trips (unhealthy batches observed).
+    pub guard_trips: Counter,
+    /// Batches skipped without an update.
+    pub guard_skips: Counter,
+    /// Rewinds to the last-good snapshot.
+    pub guard_rewinds: Counter,
+    /// Current learning-rate back-off scale (1.0 when undisturbed).
+    pub guard_lr_scale: Gauge,
+
+    // --- deepstuq: inference + calibration ---------------------------------
+    /// Monte-Carlo forward passes executed.
+    pub mc_samples: Counter,
+    /// Wall-clock seconds per MC forecast call (trace level only).
+    pub mc_forecast_seconds: Histogram,
+    /// MC samples per second of the most recent traced forecast.
+    pub mc_samples_per_sec: Gauge,
+    /// Fitted calibration temperature.
+    pub calib_temperature: Gauge,
+    /// Evaluation windows scored.
+    pub eval_windows: Counter,
+}
+
+impl Metrics {
+    /// A fresh catalog (const, backing the global in [`crate::metrics`]).
+    pub const fn new() -> Self {
+        Self {
+            pool_fanouts: Counter::new(),
+            pool_chunks: Counter::new(),
+            pool_inline: Counter::new(),
+            pool_run_seconds: Histogram::new(),
+            backward_runs: Counter::new(),
+            backward_levels: Counter::new(),
+            backward_nodes: Counter::new(),
+            backward_edge_slots: Counter::new(),
+            kernel_matmul: Counter::new(),
+            kernel_matmul_tb: Counter::new(),
+            kernel_rowwise: Counter::new(),
+            kernel_gflops: Gauge::new(),
+            opt_steps: Counter::new(),
+            opt_lr: Gauge::new(),
+            opt_step_norm: Histogram::new(),
+            train_batches: Counter::new(),
+            train_nonfinite_batches: Counter::new(),
+            train_loss: Gauge::new(),
+            train_grad_norm: Gauge::new(),
+            train_grad_norm_hist: Histogram::new(),
+            train_epoch: Gauge::new(),
+            train_epoch_seconds: Histogram::new(),
+            train_batch_seconds: Histogram::new(),
+            guard_trips: Counter::new(),
+            guard_skips: Counter::new(),
+            guard_rewinds: Counter::new(),
+            guard_lr_scale: Gauge::new(),
+            mc_samples: Counter::new(),
+            mc_forecast_seconds: Histogram::new(),
+            mc_samples_per_sec: Gauge::new(),
+            calib_temperature: Gauge::new(),
+            eval_windows: Counter::new(),
+        }
+    }
+
+    /// Renders the catalog in the Prometheus text exposition format.
+    ///
+    /// Counters and gauges export their value; histograms export as
+    /// Prometheus *summaries* (`_count`, `_sum`, `{quantile=…}` for p50/p95
+    /// plus exact min/max) — compact, and exactly the statistics the bench
+    /// harness and the end-of-run table consume.
+    pub fn expose(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let c = |out: &mut String, name: &str, help: &str, v: u64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"));
+        };
+        let g = |out: &mut String, name: &str, help: &str, v: f64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"));
+        };
+        let h = |out: &mut String, name: &str, help: &str, hist: &Histogram| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} summary\n"));
+            if hist.count() > 0 {
+                out.push_str(&format!(
+                    "{name}{{quantile=\"0.5\"}} {}\n{name}{{quantile=\"0.95\"}} {}\n",
+                    hist.quantile(0.5),
+                    hist.quantile(0.95)
+                ));
+                out.push_str(&format!("{name}_min {}\n{name}_max {}\n", hist.min(), hist.max()));
+            }
+            out.push_str(&format!(
+                "{name}_sum {}\n{name}_count {}\n{name}_rejected {}\n",
+                hist.sum(),
+                hist.count(),
+                hist.rejected()
+            ));
+        };
+
+        c(
+            &mut out,
+            "stuq_pool_fanouts_total",
+            "fan-outs submitted to the worker pool",
+            self.pool_fanouts.get(),
+        );
+        c(
+            &mut out,
+            "stuq_pool_chunks_total",
+            "chunks executed across all fan-outs",
+            self.pool_chunks.get(),
+        );
+        c(
+            &mut out,
+            "stuq_pool_inline_total",
+            "fan-outs degraded to inline execution",
+            self.pool_inline.get(),
+        );
+        h(
+            &mut out,
+            "stuq_pool_run_seconds",
+            "seconds per pooled fan-out (trace)",
+            &self.pool_run_seconds,
+        );
+        c(
+            &mut out,
+            "stuq_backward_runs_total",
+            "reverse sweeps executed",
+            self.backward_runs.get(),
+        );
+        c(
+            &mut out,
+            "stuq_backward_levels_total",
+            "topological levels scheduled",
+            self.backward_levels.get(),
+        );
+        c(
+            &mut out,
+            "stuq_backward_nodes_total",
+            "tape nodes visited by backward_levels",
+            self.backward_nodes.get(),
+        );
+        c(
+            &mut out,
+            "stuq_backward_edge_slots_total",
+            "edge-delta arena slots allocated",
+            self.backward_edge_slots.get(),
+        );
+        c(
+            &mut out,
+            "stuq_kernel_matmul_total",
+            "matmul kernel dispatches",
+            self.kernel_matmul.get(),
+        );
+        c(
+            &mut out,
+            "stuq_kernel_matmul_tb_total",
+            "matmul_tb kernel dispatches",
+            self.kernel_matmul_tb.get(),
+        );
+        c(
+            &mut out,
+            "stuq_kernel_rowwise_total",
+            "rowwise_matmul kernel dispatches",
+            self.kernel_rowwise.get(),
+        );
+        g(
+            &mut out,
+            "stuq_kernel_gflops",
+            "GFLOP/s of the last traced matmul dispatch",
+            self.kernel_gflops.get(),
+        );
+        c(&mut out, "stuq_opt_steps_total", "optimiser steps applied", self.opt_steps.get());
+        g(&mut out, "stuq_opt_lr", "learning rate of the most recent step", self.opt_lr.get());
+        h(
+            &mut out,
+            "stuq_opt_step_norm",
+            "global L2 norm of applied updates (trace)",
+            &self.opt_step_norm,
+        );
+        c(
+            &mut out,
+            "stuq_train_batches_total",
+            "healthy batches stepped",
+            self.train_batches.get(),
+        );
+        c(
+            &mut out,
+            "stuq_train_nonfinite_batches_total",
+            "batches with NaN/inf loss or gradient",
+            self.train_nonfinite_batches.get(),
+        );
+        g(
+            &mut out,
+            "stuq_train_loss",
+            "mean loss of the most recent healthy batch",
+            self.train_loss.get(),
+        );
+        g(
+            &mut out,
+            "stuq_train_grad_norm",
+            "gradient norm of the most recent healthy batch",
+            self.train_grad_norm.get(),
+        );
+        h(
+            &mut out,
+            "stuq_train_grad_norm_hist",
+            "gradient norms across healthy batches",
+            &self.train_grad_norm_hist,
+        );
+        g(&mut out, "stuq_train_epoch", "current epoch index", self.train_epoch.get());
+        h(
+            &mut out,
+            "stuq_train_epoch_seconds",
+            "seconds per training epoch",
+            &self.train_epoch_seconds,
+        );
+        h(
+            &mut out,
+            "stuq_train_batch_seconds",
+            "seconds per batch (trace)",
+            &self.train_batch_seconds,
+        );
+        c(&mut out, "stuq_guard_trips_total", "divergence-guard trips", self.guard_trips.get());
+        c(
+            &mut out,
+            "stuq_guard_skips_total",
+            "batches skipped by the guard",
+            self.guard_skips.get(),
+        );
+        c(
+            &mut out,
+            "stuq_guard_rewinds_total",
+            "guard rewinds to last-good snapshot",
+            self.guard_rewinds.get(),
+        );
+        g(
+            &mut out,
+            "stuq_guard_lr_scale",
+            "current guard learning-rate back-off scale",
+            self.guard_lr_scale.get(),
+        );
+        c(
+            &mut out,
+            "stuq_mc_samples_total",
+            "Monte-Carlo forward passes executed",
+            self.mc_samples.get(),
+        );
+        h(
+            &mut out,
+            "stuq_mc_forecast_seconds",
+            "seconds per MC forecast call (trace)",
+            &self.mc_forecast_seconds,
+        );
+        g(
+            &mut out,
+            "stuq_mc_samples_per_sec",
+            "MC samples/s of the last traced forecast",
+            self.mc_samples_per_sec.get(),
+        );
+        g(
+            &mut out,
+            "stuq_calib_temperature",
+            "fitted calibration temperature",
+            self.calib_temperature.get(),
+        );
+        c(
+            &mut out,
+            "stuq_eval_windows_total",
+            "evaluation windows scored",
+            self.eval_windows.get(),
+        );
+        out
+    }
+
+    /// Resets every metric (tests and per-run isolation).
+    pub fn reset(&self) {
+        self.pool_fanouts.reset();
+        self.pool_chunks.reset();
+        self.pool_inline.reset();
+        self.pool_run_seconds.reset();
+        self.backward_runs.reset();
+        self.backward_levels.reset();
+        self.backward_nodes.reset();
+        self.backward_edge_slots.reset();
+        self.kernel_matmul.reset();
+        self.kernel_matmul_tb.reset();
+        self.kernel_rowwise.reset();
+        self.kernel_gflops.reset();
+        self.opt_steps.reset();
+        self.opt_lr.reset();
+        self.opt_step_norm.reset();
+        self.train_batches.reset();
+        self.train_nonfinite_batches.reset();
+        self.train_loss.reset();
+        self.train_grad_norm.reset();
+        self.train_grad_norm_hist.reset();
+        self.train_epoch.reset();
+        self.train_epoch_seconds.reset();
+        self.train_batch_seconds.reset();
+        self.guard_trips.reset();
+        self.guard_skips.reset();
+        self.guard_rewinds.reset();
+        self.guard_lr_scale.reset();
+        self.mc_samples.reset();
+        self.mc_forecast_seconds.reset();
+        self.mc_samples_per_sec.reset();
+        self.calib_temperature.reset();
+        self.eval_windows.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+        let g = Gauge::new();
+        g.set(-3.25);
+        assert_eq!(g.get(), -3.25);
+    }
+
+    #[test]
+    fn histogram_rejects_invalid_samples() {
+        let h = Histogram::new();
+        assert!(!h.record(0.0), "zero must be rejected");
+        assert!(!h.record(-1.0), "negatives must be rejected");
+        assert!(!h.record(f64::NAN), "NaN must be rejected");
+        assert!(!h.record(f64::INFINITY), "inf must be rejected");
+        assert!(!h.record(f64::NEG_INFINITY), "-inf must be rejected");
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.rejected(), 5);
+        assert!(h.mean().is_nan());
+        assert!(h.quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn histogram_exact_stats() {
+        let h = Histogram::new();
+        for v in [1.0, 2.0, 4.0, 8.0] {
+            assert!(h.record(v));
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 15.0);
+        assert_eq!(h.mean(), 3.75);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 8.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bounded() {
+        let h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 * 1e-6);
+        }
+        let (p5, p50, p95) = (h.quantile(0.05), h.quantile(0.5), h.quantile(0.95));
+        assert!(p5 <= p50 && p50 <= p95, "{p5} {p50} {p95}");
+        assert!(p50 >= h.min() && p50 <= h.max());
+        // log2 bucketing bounds any quantile within 2x of the true value.
+        assert!(p50 > 0.5 * 500e-6 && p50 < 2.0 * 500e-6, "p50 {p50}");
+        assert_eq!(h.quantile(0.0), h.min());
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn histogram_handles_extreme_magnitudes() {
+        let h = Histogram::new();
+        assert!(h.record(1e-12), "tiny values clamp into the first bucket");
+        assert!(h.record(1e12), "huge values clamp into the last bucket");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 1e-12);
+        assert_eq!(h.max(), 1e12);
+    }
+
+    #[test]
+    fn exposition_contains_every_family() {
+        let m = Metrics::new();
+        m.pool_fanouts.add(3);
+        m.train_loss.set(1.5);
+        m.train_epoch_seconds.record(0.25);
+        let text = m.expose();
+        for needle in [
+            "stuq_pool_fanouts_total 3",
+            "stuq_train_loss 1.5",
+            "stuq_train_epoch_seconds_count 1",
+            "# TYPE stuq_guard_trips_total counter",
+            "# TYPE stuq_opt_lr gauge",
+            "# TYPE stuq_mc_forecast_seconds summary",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in exposition:\n{text}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let m = Metrics::new();
+        m.guard_trips.inc();
+        m.calib_temperature.set(0.8);
+        m.train_epoch_seconds.record(1.0);
+        m.reset();
+        assert_eq!(m.guard_trips.get(), 0);
+        assert_eq!(m.calib_temperature.get(), 0.0);
+        assert_eq!(m.train_epoch_seconds.count(), 0);
+    }
+}

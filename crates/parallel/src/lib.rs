@@ -103,7 +103,18 @@ impl Pool {
         if n_chunks == 0 {
             return;
         }
+        // Telemetry is observational only: counters/timing never influence
+        // scheduling, so enabling it cannot perturb determinism.
+        let telemetry = stuq_obs::summary_enabled();
+        if telemetry {
+            let m = stuq_obs::metrics();
+            m.pool_fanouts.inc();
+            m.pool_chunks.add(n_chunks as u64);
+        }
         if self.handles.is_empty() || n_chunks == 1 || in_serial_region() {
+            if telemetry {
+                stuq_obs::metrics().pool_inline.inc();
+            }
             run_inline(n_chunks, f);
             return;
         }
@@ -112,11 +123,15 @@ impl Pool {
         let guard = match self.submit.try_lock() {
             Ok(g) => g,
             Err(TryLockError::WouldBlock) => {
+                if telemetry {
+                    stuq_obs::metrics().pool_inline.inc();
+                }
                 run_inline(n_chunks, f);
                 return;
             }
             Err(TryLockError::Poisoned(e)) => e.into_inner(),
         };
+        let t_start = stuq_obs::trace_enabled().then(std::time::Instant::now);
 
         let next = AtomicUsize::new(0);
         let panicked = AtomicBool::new(false);
@@ -149,6 +164,9 @@ impl Pool {
             ctrl.task = None;
         }
         drop(guard);
+        if let Some(t) = t_start {
+            stuq_obs::metrics().pool_run_seconds.record(t.elapsed().as_secs_f64());
+        }
         assert!(!panicked.load(Ordering::SeqCst), "stuq-parallel: a worker chunk panicked");
     }
 }

@@ -222,9 +222,13 @@ fn mm_block(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
 
 /// `A (m×k) @ B (k×n)`, row-parallel above [`PAR_FLOPS_MIN`].
 pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    if stuq_obs::summary_enabled() {
+        stuq_obs::metrics().kernel_matmul.inc();
+    }
     if reference_mode() {
         return matmul_reference(a, b, m, k, n);
     }
+    let t_start = stuq_obs::trace_enabled().then(std::time::Instant::now);
     let mut out = vec![0.0f32; m * n];
     if m.saturating_mul(k).saturating_mul(n) >= PAR_FLOPS_MIN && m > ROW_CHUNK {
         let optr = SendPtr::new(out.as_mut_ptr());
@@ -238,7 +242,19 @@ pub fn matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     } else {
         mm_block(a, b, &mut out, k, n);
     }
+    if let Some(t) = t_start {
+        record_gflops(m, k, n, t);
+    }
     out
+}
+
+/// Sets the traced GFLOP/s gauge for a `2·m·k·n`-flop kernel dispatch.
+fn record_gflops(m: usize, k: usize, n: usize, start: std::time::Instant) {
+    let secs = start.elapsed().as_secs_f64();
+    if secs > 0.0 {
+        let flops = 2.0 * (m as f64) * (k as f64) * (n as f64);
+        stuq_obs::metrics().kernel_gflops.set(flops / secs / 1e9);
+    }
 }
 
 /// Eight-lane dot product with a fixed lane-reduction order.
@@ -291,6 +307,9 @@ fn mm_tb_block(a: &[f32], b: &[f32], out: &mut [f32], k: usize, n: usize) {
 /// the evaluation order — hence the result, bit-for-bit — never depends on
 /// the thread count.
 pub fn matmul_tb(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    if stuq_obs::summary_enabled() {
+        stuq_obs::metrics().kernel_matmul_tb.inc();
+    }
     if reference_mode() {
         return matmul_tb_reference(a, b, m, k, n);
     }
@@ -300,6 +319,7 @@ pub fn matmul_tb(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32>
         mm_tb_block(a, b, &mut out, k, n);
         return out;
     }
+    let t_start = stuq_obs::trace_enabled().then(std::time::Instant::now);
     let bt = transpose(b, n, k); // k × n: the layout the tiled kernel wants
     if flops >= PAR_FLOPS_MIN && m > ROW_CHUNK {
         let optr = SendPtr::new(out.as_mut_ptr());
@@ -313,6 +333,9 @@ pub fn matmul_tb(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32>
     } else {
         mm_block(a, &bt, &mut out, k, n);
     }
+    if let Some(t) = t_start {
+        record_gflops(m, k, n, t);
+    }
     out
 }
 
@@ -320,6 +343,9 @@ pub fn matmul_tb(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32>
 /// `z[r, :] @ W_r` with `W_r = w[r, :]` viewed as `ci × co`. Row-parallel;
 /// each row reuses the blocked [`mm_block`] micro-kernel.
 pub fn rowwise_matmul(z: &[f32], w: &[f32], rows: usize, ci: usize, co: usize) -> Vec<f32> {
+    if stuq_obs::summary_enabled() {
+        stuq_obs::metrics().kernel_rowwise.inc();
+    }
     if reference_mode() {
         return rowwise_matmul_reference(z, w, rows, ci, co);
     }

@@ -483,6 +483,9 @@ impl Tape {
     ///
     /// Panics if `loss` is not a `1×1` tensor.
     pub fn backward(&self, loss: NodeId) -> GradStore {
+        if stuq_obs::summary_enabled() {
+            stuq_obs::metrics().backward_runs.inc();
+        }
         let serial = stuq_parallel::num_threads() == 1
             || stuq_parallel::serial_forced()
             || crate::kernels::reference_mode()
@@ -590,6 +593,13 @@ impl Tape {
             if level[id] != UNREACHED && !matches!(self.nodes[id].op, OpKind::Constant) {
                 buckets[level[id]].push(id);
             }
+        }
+
+        if stuq_obs::summary_enabled() {
+            let m = stuq_obs::metrics();
+            m.backward_levels.add(n_levels as u64);
+            m.backward_nodes.add(buckets.iter().map(|b| b.len() as u64).sum());
+            m.backward_edge_slots.add(edge_off[n] as u64);
         }
 
         let mut param_grads: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
