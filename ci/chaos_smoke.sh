@@ -1,0 +1,124 @@
+#!/bin/sh
+# Chaos smoke for the serving runtime (DESIGN.md §11).
+#
+# Phase 1 — determinism: the same degraded request stream, replayed under the
+# fake clock at STUQ_THREADS=1/2/4, must produce byte-identical responses.
+# Phase 2 — chaos: a long-lived server is hit with an oversized burst of
+# partially NaN-poisoned requests, its watched model artifact is corrupted in
+# place and then restored, and it is asked to shut down cleanly. The process
+# must stay up throughout, shed/degrade per the documented contract, roll the
+# bad artifact back, and leave a validating telemetry sink behind.
+#
+# usage: chaos_smoke.sh [stuq-binary] [work-dir]
+set -eu
+
+STUQ="${1:-./target/release/stuq}"
+WORK="${2:-/tmp/stuq-chaos}"
+
+fail() {
+  echo "chaos_smoke: $1" >&2
+  exit 1
+}
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+echo "=== chaos_smoke: fixtures ==="
+"$STUQ" simulate --preset pems08 --node-frac 0.08 --step-frac 0.02 \
+  --seed 41 --out "$WORK/flow.stuqd"
+"$STUQ" train --data "$WORK/flow.stuqd" --epochs 1 --awa-epochs 2 \
+  --batch 8 --mc 3 --seed 41 --out "$WORK/model.stuq"
+cp "$WORK/model.stuq" "$WORK/model.bak"
+
+echo "=== chaos_smoke: phase 1 (degraded-response determinism, threads 1/2/4) ==="
+# deadline 3 under a 1 ms fake-clock step cuts an 8-sample run to 4 samples:
+# every response must come back degraded, and byte-identically so at every
+# thread count (per-request seeds make the streams order-independent too).
+"$STUQ" gen-requests --data "$WORK/flow.stuqd" --count 40 --deadline-ms 3 \
+  --mc 8 --seed 100 --out "$WORK/det.ndjson"
+for t in 1 2 4; do
+  STUQ_FAKE_CLOCK=1 STUQ_THREADS=$t "$STUQ" serve \
+    --model "$WORK/model.stuq" --data "$WORK/flow.stuqd" \
+    --max-queue 1000 --reload-poll-ms 0 --floor 2 \
+    <"$WORK/det.ndjson" >"$WORK/det-t$t.out" 2>/dev/null
+done
+cmp "$WORK/det-t1.out" "$WORK/det-t2.out" || fail "responses differ between 1 and 2 threads"
+cmp "$WORK/det-t1.out" "$WORK/det-t4.out" || fail "responses differ between 1 and 4 threads"
+[ "$(grep -c '"type":"forecast"' "$WORK/det-t1.out")" -eq 40 ] \
+  || fail "expected 40 forecast responses"
+grep -q '"degraded":true' "$WORK/det-t1.out" || fail "deadline 3 must degrade the runs"
+echo "phase 1 OK: 40 degraded responses byte-identical across thread counts"
+
+echo "=== chaos_smoke: phase 2 (burst + corrupt reload + NaN inputs) ==="
+# Oversized burst: 200 slow (mc 24) requests against a 4-deep queue, 20% of
+# cells NaN-poisoned. The reader must shed with typed queue_full rejections
+# and answer every line with exactly one response.
+"$STUQ" gen-requests --data "$WORK/flow.stuqd" --count 200 --mc 24 \
+  --nan-frac 0.2 --seed 500 --out "$WORK/burst.ndjson"
+
+FIFO="$WORK/in.fifo"
+mkfifo "$FIFO"
+"$STUQ" serve --model "$WORK/model.stuq" --data "$WORK/flow.stuqd" \
+  --max-queue 4 --reload-poll-ms 50 \
+  --telemetry-dir "$WORK/telemetry" --health-dir "$WORK/health" \
+  <"$FIFO" >"$WORK/chaos.out" 2>"$WORK/chaos.err" &
+SERVE_PID=$!
+exec 3>"$FIFO"
+
+# Every request line gets exactly one response line; poll for that count.
+await_lines() {
+  want=$1
+  what=$2
+  i=0
+  while [ "$(wc -l <"$WORK/chaos.out")" -lt "$want" ]; do
+    i=$((i + 1))
+    [ "$i" -le 300 ] || fail "timed out waiting for $what ($want lines)"
+    kill -0 "$SERVE_PID" 2>/dev/null || fail "server died waiting for $what"
+    sleep 0.1
+  done
+}
+
+printf '{"type":"healthz","id":"h1"}\n' >&3
+await_lines 1 "initial healthz"
+grep -q '"type":"health"' "$WORK/chaos.out" || fail "no health response"
+
+cat "$WORK/burst.ndjson" >&3
+await_lines 201 "burst responses"
+
+# Corrupt the watched artifact in place: the watcher must validate off the
+# request path, refuse the swap, and keep serving the old model.
+printf 'garbage trailing bytes' >>"$WORK/model.stuq"
+sleep 1
+# Restore: the next poll sees a healthy artifact and hot-swaps it back in.
+cp "$WORK/model.bak" "$WORK/model.stuq"
+sleep 1
+
+"$STUQ" gen-requests --data "$WORK/flow.stuqd" --count 1 --mc 4 \
+  --seed 900 --out "$WORK/after.ndjson"
+cat "$WORK/after.ndjson" >&3
+printf '{"type":"healthz","id":"h2"}\n' >&3
+printf '{"type":"shutdown","id":"bye"}\n' >&3
+await_lines 204 "post-reload traffic + shutdown ack"
+exec 3>&-
+wait "$SERVE_PID" || fail "server exited nonzero"
+
+# Contract checks on the response stream.
+BAD=$(grep -cvE '^\{"type":"(forecast|rejected|fallback|error|health|ack)"' "$WORK/chaos.out" || true)
+[ "$BAD" -eq 0 ] || fail "$BAD response lines outside the closed type set"
+grep -q '"reason":"queue_full"' "$WORK/chaos.out" || fail "burst produced no queue_full sheds"
+grep -q '"reason":"non_finite_input"' "$WORK/chaos.out" || fail "NaN inputs produced no typed errors"
+grep -q '"id":"bye"' "$WORK/chaos.out" || fail "shutdown was not acknowledged"
+# The post-restore forecast proves the process survived the corrupt reload.
+tail -n 3 "$WORK/chaos.out" | grep -q '"type":"forecast"' || fail "no forecast after reload cycle"
+
+# Event-log checks: the corrupt artifact must be a rollback, the restore a
+# reload, and the whole sink must pass the closed-schema validator.
+grep -q '"type":"reload_rollback"' "$WORK/telemetry/events.jsonl" \
+  || fail "no reload_rollback event for the corrupt artifact"
+grep -q '"type":"reload_ok"' "$WORK/telemetry/events.jsonl" \
+  || fail "no reload_ok event for the restored artifact"
+sh ci/validate_events.sh "$WORK/telemetry" "$STUQ"
+[ -s "$WORK/health/health.json" ] || fail "health.json missing"
+grep -q '"status"' "$WORK/health/health.json" || fail "health.json has no status"
+
+echo "chaos_smoke: OK"

@@ -28,6 +28,11 @@ fail() {
 
 grep -q '"type":"run_start"' "$DIR/events.jsonl" || fail "no run_start event"
 grep -q '"type":"run_end"' "$DIR/events.jsonl" || fail "no run_end event"
+# Serving runs must close their lifecycle: a serve_start without a matching
+# serve_stop means the loop died without draining.
+if grep -q '"type":"serve_start"' "$DIR/events.jsonl"; then
+  grep -q '"type":"serve_stop"' "$DIR/events.jsonl" || fail "serve_start without serve_stop"
+fi
 grep -q '"schema": "stuq-run-manifest-v1"' "$DIR/manifest.json" || fail "bad manifest schema"
 grep -q '^stuq_train_batches_total ' "$DIR/metrics.prom" || fail "metrics.prom missing counters"
 grep -q '^# TYPE stuq_train_epoch_seconds summary' "$DIR/metrics.prom" \

@@ -35,7 +35,10 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             let _ = writeln!(out, "{USAGE}");
             return Ok(());
         }
-        Some(cmd @ ("simulate" | "train" | "evaluate" | "forecast" | "info")) => cmd,
+        Some(
+            cmd @ ("simulate" | "train" | "evaluate" | "forecast" | "info" | "serve"
+            | "gen-requests"),
+        ) => cmd,
         Some(other) => return Err(format!("unknown command {other:?}\n{USAGE}")),
     };
     let telem = TelemetryRun::start(cmd, args)?;
@@ -45,6 +48,8 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         "evaluate" => cmd_evaluate(&args[1..], out),
         "forecast" => cmd_forecast(&args[1..], out),
         "info" => cmd_info(&args[1..], out),
+        "serve" => cmd_serve(&args[1..], out),
+        "gen-requests" => cmd_gen_requests(&args[1..], out),
         _ => unreachable!("matched above"),
     };
     match result {
@@ -98,6 +103,8 @@ impl TelemetryRun {
             "train" => "train",
             "evaluate" => "evaluate",
             "forecast" => "forecast",
+            "serve" => "serve",
+            "gen-requests" => "gen-requests",
             _ => "info",
         };
         stuq_obs::emit(
@@ -142,15 +149,24 @@ impl TelemetryRun {
             }
         }
         if !phases.is_empty() {
-            let _ = writeln!(out, "\ntelemetry: phase timings ({wall:.2}s wall)");
-            let _ =
-                writeln!(out, "  {:<24} {:>6} {:>10} {:>10}", "phase", "count", "total_s", "max_s");
+            let mut table = String::new();
+            table.push_str(&format!("\ntelemetry: phase timings ({wall:.2}s wall)\n"));
+            table.push_str(&format!(
+                "  {:<24} {:>6} {:>10} {:>10}\n",
+                "phase", "count", "total_s", "max_s"
+            ));
             for p in &phases {
-                let _ = writeln!(
-                    out,
-                    "  {:<24} {:>6} {:>10.3} {:>10.3}",
+                table.push_str(&format!(
+                    "  {:<24} {:>6} {:>10.3} {:>10.3}\n",
                     p.path, p.count, p.total_s, p.max_s
-                );
+                ));
+            }
+            if self.cmd == "serve" {
+                // serve's stdout is the NDJSON response stream; keep the
+                // human-facing table off the protocol.
+                eprint!("{table}");
+            } else {
+                let _ = write!(out, "{table}");
             }
         }
     }
@@ -205,6 +221,14 @@ USAGE:
                     [--fault-profile none|light|moderate|severe] [--fault-seed N]
   stuq forecast --model model.stuq --data data.stuqd [--window N] [--sensor N] [--seed N]
   stuq info     --path file.stuqd|file.stuq
+  stuq serve    --model model.stuq [--data data.stuqd] [--socket PATH]
+                    [--max-queue N] [--mc N] [--floor N] [--deadline-ms N]
+                    [--breaker-threshold N] [--breaker-cooldown-ms N]
+                    [--breaker-cooldown-max-ms N] [--max-abs-output X]
+                    [--widen-factor X] [--reload-poll-ms N] [--health-dir DIR]
+                    [--seed N]
+  stuq gen-requests --data data.stuqd [--count N] [--deadline-ms N] [--mc N]
+                    [--nan-frac F] [--seed N] [--out FILE]
   stuq telemetry dump|validate --dir DIR
 
 Every command also accepts [--telemetry-dir DIR] [--telemetry-level off|summary|trace]
@@ -218,7 +242,14 @@ Fault tolerance (DESIGN.md §8): with --checkpoint-dir, train writes crash-safe
 checkpoints every --checkpoint-every epochs; --epoch-budget pauses after N
 epochs and --resume true continues a paused or interrupted run bit-for-bit.
 --fault-profile evaluates the model on sensor-degraded input (seeded by
---fault-seed) while scoring against the clean ground truth.";
+--fault-seed) while scoring against the clean ground truth.
+
+Serving (DESIGN.md §11): `stuq serve` answers newline-delimited JSON forecast
+requests on stdin/stdout (or a Unix socket with --socket). Requests carry
+deadline budgets driving anytime MC-dropout degradation; the runtime sheds
+load past --max-queue, breaks the circuit on consecutive model faults, and
+hot-reloads the model artifact when it changes on disk. `stuq gen-requests`
+emits a request stream from a dataset's test split for load tests.";
 
 /// A minimal `--key value` argument map.
 struct Args {
@@ -523,6 +554,151 @@ fn cmd_info(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         return Ok(());
     }
     Err(format!("{path}: neither a dataset (.stuqd) nor a model (.stuq) file"))
+}
+
+/// Builds a [`stuq_serve::ServeConfig`] from `--flag value` pairs.
+fn serve_config(a: &Args) -> Result<stuq_serve::ServeConfig, CliError> {
+    let mut cfg = stuq_serve::ServeConfig::new(a.required("model")?);
+    cfg.data_path = a.get("data").map(PathBuf::from);
+    cfg.max_queue = a.parse_or("max-queue", cfg.max_queue)?;
+    cfg.mc_samples = match a.get("mc") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| format!("bad value for --mc: {v:?}"))?),
+    };
+    cfg.floor = a.parse_or("floor", cfg.floor)?;
+    cfg.default_deadline_ms = match a.get("deadline-ms") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| format!("bad value for --deadline-ms: {v:?}"))?),
+    };
+    cfg.breaker_threshold = a.parse_or("breaker-threshold", cfg.breaker_threshold)?;
+    cfg.breaker_cooldown_ms = a.parse_or("breaker-cooldown-ms", cfg.breaker_cooldown_ms)?;
+    cfg.breaker_cooldown_max_ms =
+        a.parse_or("breaker-cooldown-max-ms", cfg.breaker_cooldown_max_ms)?;
+    cfg.max_abs_output = a.parse_or("max-abs-output", cfg.max_abs_output)?;
+    cfg.widen_factor = a.parse_or("widen-factor", cfg.widen_factor)?;
+    cfg.health_dir = a.get("health-dir").map(PathBuf::from);
+    if let Some(d) = &cfg.health_dir {
+        std::fs::create_dir_all(d).map_err(|e| format!("--health-dir {}: {e}", d.display()))?;
+    }
+    cfg.reload_poll_ms = a.parse_or("reload-poll-ms", cfg.reload_poll_ms)?;
+    cfg.seed = a.parse_or("seed", cfg.seed)?;
+    Ok(cfg)
+}
+
+fn cmd_serve(args: &[String], _out: &mut impl Write) -> Result<(), CliError> {
+    let a = Args::parse(args)?;
+    let cfg = serve_config(&a)?;
+    let socket = a.get("socket").map(PathBuf::from);
+    stuq_obs::set_stage("serve");
+    let mut server = stuq_serve::Server::new(cfg)?;
+    match socket {
+        None => {
+            // stdout carries the NDJSON protocol; all human-facing output
+            // (including the telemetry phase table) goes to stderr.
+            let reader = std::io::BufReader::new(std::io::stdin());
+            let summary = stuq_serve::serve_loop(&mut server, reader, std::io::stdout());
+            eprintln!(
+                "serve: {} request(s), {} shed, {} response line(s)",
+                summary.requests, summary.shed, summary.responses
+            );
+            Ok(())
+        }
+        Some(path) => serve_socket(&mut server, &path),
+    }
+}
+
+/// Accept loop on a Unix socket: one connection at a time, each driven by
+/// [`stuq_serve::serve_loop`]; a `shutdown` request ends the process.
+fn serve_socket(server: &mut stuq_serve::Server, path: &std::path::Path) -> Result<(), CliError> {
+    use std::os::unix::net::UnixListener;
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener =
+        UnixListener::bind(path).map_err(|e| format!("--socket {}: {e}", path.display()))?;
+    eprintln!("serve: listening on {}", path.display());
+    for conn in listener.incoming() {
+        let conn = conn.map_err(|e| format!("accept: {e}"))?;
+        let reader =
+            std::io::BufReader::new(conn.try_clone().map_err(|e| format!("socket clone: {e}"))?);
+        let summary = stuq_serve::serve_loop(server, reader, conn);
+        eprintln!(
+            "serve: connection closed — {} request(s), {} shed",
+            summary.requests, summary.shed
+        );
+        if server.draining() {
+            break;
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+/// Emits a forecast-request stream from a dataset's test windows — the load
+/// generator for the serving runtime (and the chaos CI job).
+fn cmd_gen_requests(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let a = Args::parse(args)?;
+    let ds = stuq_traffic::load_split_dataset(a.required("data")?).map_err(|e| e.to_string())?;
+    let count: usize = a.parse_or("count", 32usize)?;
+    let deadline_ms: Option<u64> = match a.get("deadline-ms") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| format!("bad value for --deadline-ms: {v:?}"))?),
+    };
+    let mc: Option<usize> = match a.get("mc") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| format!("bad value for --mc: {v:?}"))?),
+    };
+    let nan_frac: f64 = a.parse_or("nan-frac", 0.0)?;
+    let seed: u64 = a.parse_or("seed", 7u64)?;
+    let out_path = a.get("out").map(PathBuf::from);
+
+    let starts = ds.window_starts(Split::Test);
+    if starts.is_empty() {
+        return Err("dataset has no test windows".into());
+    }
+    let mut rng = StuqRng::new(seed);
+    let mut buf = String::new();
+    for i in 0..count {
+        let start = starts[i % starts.len()];
+        buf.push_str(&format!(
+            "{{\"type\":\"forecast\",\"id\":\"r{i}\",\"seed\":{}",
+            seed + i as u64
+        ));
+        if let Some(d) = deadline_ms {
+            buf.push_str(&format!(",\"deadline_ms\":{d}"));
+        }
+        if let Some(m) = mc {
+            buf.push_str(&format!(",\"mc\":{m}"));
+        }
+        buf.push_str(",\"x\":[");
+        for (t_i, t) in (start..start + ds.t_h()).enumerate() {
+            if t_i > 0 {
+                buf.push(',');
+            }
+            buf.push('[');
+            for node in 0..ds.n_nodes() {
+                if node > 0 {
+                    buf.push(',');
+                }
+                if nan_frac > 0.0 && rng.bernoulli(nan_frac) {
+                    buf.push_str("\"NaN\"");
+                } else {
+                    buf.push_str(&format!("{}", ds.data().get(t, node)));
+                }
+            }
+            buf.push(']');
+        }
+        buf.push_str("]}\n");
+    }
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, buf.as_bytes()).map_err(|e| format!("{}: {e}", p.display()))?;
+            let _ = writeln!(out, "wrote {count} request(s) to {}", p.display());
+        }
+        None => {
+            let _ = out.write_all(buf.as_bytes());
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -71,6 +71,24 @@ pub enum TrainError {
         /// The last observed (offending) loss value.
         last_loss: f64,
     },
+    /// A divergence rewind could not restore the last-good snapshot (e.g.
+    /// the captured optimiser state no longer matches the live optimiser).
+    /// The model may hold restored parameters but stale optimiser moments,
+    /// so the stage must stop rather than continue on a half-applied rewind.
+    RewindFailed {
+        /// Stage whose rewind failed.
+        stage: Stage,
+        /// What the restore rejected.
+        reason: String,
+    },
+    /// Repeated rewinds backed the learning rate off until the scale
+    /// underflowed to zero: further retries cannot change the trajectory.
+    BackoffExhausted {
+        /// Stage that gave up.
+        stage: Stage,
+        /// Rewinds consumed when the scale hit zero.
+        rewinds: usize,
+    },
     /// Calibration residuals were degenerate (non-finite or non-positive
     /// mean r²), so no temperature can be fit.
     CalibrationDegenerate {
@@ -96,6 +114,13 @@ impl fmt::Display for TrainError {
             TrainError::DivergenceBudgetExhausted { stage, rewinds, last_loss } => write!(
                 f,
                 "{stage} diverged: rewind budget exhausted after {rewinds} rewinds (last loss {last_loss})"
+            ),
+            TrainError::RewindFailed { stage, reason } => {
+                write!(f, "{stage} rewind failed: {reason}")
+            }
+            TrainError::BackoffExhausted { stage, rewinds } => write!(
+                f,
+                "{stage} diverged: learning-rate backoff exhausted (scale underflowed to zero after {rewinds} rewinds)"
             ),
             TrainError::CalibrationDegenerate { mean_r2 } => {
                 write!(f, "degenerate residuals: mean r² = {mean_r2}")

@@ -144,8 +144,19 @@ pub fn save_model(model: &DeepStuq, path: impl AsRef<Path>) -> io::Result<()> {
 
 /// Loads a model written by [`save_model`], verifying its checksum.
 pub fn load_model(path: impl AsRef<Path>) -> io::Result<DeepStuq> {
-    let payload = stuq_artifact::read_verified(path.as_ref())?;
-    let mut r = payload.as_slice();
+    let path = path.as_ref();
+    let bytes = std::fs::read(path)?;
+    load_model_bytes(&bytes).map_err(|e| bad(format!("{}: {e}", path.display())))
+}
+
+/// [`load_model`] over in-memory bytes (checksum trailer included).
+///
+/// The hot-reload validator uses this so the checksum it reports and the
+/// model it swaps in come from the *same* read — a concurrent writer can
+/// never slip a different file in between.
+pub fn load_model_bytes(bytes: &[u8]) -> io::Result<DeepStuq> {
+    let payload = stuq_artifact::verify(bytes)?;
+    let mut r = payload;
     if next_line(&mut r)? != MAGIC {
         return Err(bad("not a deepstuq-model file"));
     }

@@ -64,6 +64,9 @@ pub mod trainer;
 pub use config::{AwaConfig, CalibConfig, TrainConfig};
 pub use error::{Stage, TrainError};
 pub use guard::{GuardConfig, GuardState};
-pub use io::{load_model, save_model};
-pub use mc::{mc_forecast, GaussianForecast};
+pub use io::{load_model, load_model_bytes, save_model};
+pub use mc::{
+    mc_forecast, mc_forecast_anytime, AnytimeForecast, GaussianForecast, SampleBudget,
+    UnlimitedBudget,
+};
 pub use pipeline::{DeepStuq, DeepStuqConfig, FitOptions, FitOutcome, Forecast};

@@ -55,11 +55,16 @@ type SamplePass = (Tensor, Option<Tensor>);
 /// per-sample RNG streams this is what makes the parallel inference paths
 /// bit-identical across thread counts.
 pub(crate) fn reduce_samples(samples: Vec<SamplePass>, shape: [usize; 2]) -> GaussianForecast {
+    reduce_sample_slice(&samples, shape)
+}
+
+/// Slice form of [`reduce_samples`], usable on a growing prefix.
+pub(crate) fn reduce_sample_slice(samples: &[SamplePass], shape: [usize; 2]) -> GaussianForecast {
     let n = samples.len();
     let mut mean = Tensor::zeros(&shape);
     let mut mean_sq = Tensor::zeros(&shape);
     let mut var_sum = Tensor::zeros(&shape);
-    for (mu_j, var_j) in &samples {
+    for (mu_j, var_j) in samples {
         if let Some(v) = var_j {
             var_sum.add_assign(v);
         }
@@ -144,6 +149,115 @@ pub fn mc_forecast_with_cov(
         }
     }
     reduce_samples(samples, shape)
+}
+
+/// Decides, between MC forward passes, whether the sampler may draw another
+/// sample.
+///
+/// [`mc_forecast_anytime`] consults the budget once before every pass beyond
+/// the floor; returning `false` stops sampling with however many passes have
+/// completed. Implementations are typically deadline clocks (the serving
+/// runtime's remaining-budget check), but anything monotone works.
+pub trait SampleBudget {
+    /// May one more pass run, given that `completed` passes have finished?
+    fn allow(&mut self, completed: usize) -> bool;
+}
+
+/// A budget that never exhausts: every requested sample runs.
+pub struct UnlimitedBudget;
+
+impl SampleBudget for UnlimitedBudget {
+    fn allow(&mut self, _completed: usize) -> bool {
+        true
+    }
+}
+
+/// Result of an anytime MC run: the reduced forecast over however many
+/// samples the budget admitted, plus the originally requested count.
+#[derive(Clone, Debug)]
+pub struct AnytimeForecast {
+    /// Eq. 19 decomposition over the completed passes
+    /// (`forecast.n_samples` is the number actually used).
+    pub forecast: GaussianForecast,
+    /// Samples the caller asked for.
+    pub samples_requested: usize,
+}
+
+impl AnytimeForecast {
+    /// True when the budget cut the run short of the requested count.
+    pub fn degraded(&self) -> bool {
+        self.forecast.n_samples < self.samples_requested
+    }
+}
+
+/// [`mc_forecast_with_cov`] with a cooperative deadline budget: the sampling
+/// loop checks `budget` between forward passes and returns early with the
+/// samples completed so far, never fewer than `floor` (clamped to
+/// `1..=n_samples`).
+///
+/// Two determinism guarantees, both load-bearing for the serving runtime:
+///
+/// - the per-sample RNG streams are forked from `rng` *up front* for the full
+///   requested count, so the caller's generator advances identically whether
+///   or not the budget cuts the run short, and sample `j` sees the same
+///   stream as the batch path would give it;
+/// - an uncut run is bit-identical to [`mc_forecast_with_cov`] for the same
+///   inputs (the pass mode is keyed on the *requested* count, matching the
+///   batch path, and the reduction is the same sample-index-ordered fold).
+///
+/// The per-pass loop is sequential; each forward pass still fans out across
+/// the kernel-level `stuq-parallel` pool, so results stay bit-identical for
+/// any `STUQ_THREADS`. When `observer` is given it is called after every
+/// completed pass with the reduction over the prefix so far — the serving
+/// layer derives its monotone variance envelope from these snapshots.
+#[allow(clippy::too_many_arguments)] // mirrors mc_forecast_with_cov plus the budget knobs
+pub fn mc_forecast_anytime(
+    model: &dyn Forecaster,
+    x: &Tensor,
+    cov: Option<&Tensor>,
+    n_samples: usize,
+    floor: usize,
+    budget: &mut dyn SampleBudget,
+    rng: &mut StuqRng,
+    mut observer: Option<&mut dyn FnMut(&GaussianForecast)>,
+) -> AnytimeForecast {
+    assert!(n_samples >= 1, "need at least one sample");
+    let floor = floor.clamp(1, n_samples);
+    let shape = [model.n_nodes(), model.horizon()];
+    let streams = fork_streams(rng, n_samples);
+    let t0 = stuq_obs::trace_enabled().then(std::time::Instant::now);
+    let mut samples: Vec<SamplePass> = Vec::with_capacity(n_samples);
+    for (j, stream) in streams.iter().enumerate() {
+        if j >= floor && !budget.allow(j) {
+            break;
+        }
+        let mut r = stream.clone();
+        let mut tape = Tape::new();
+        let mut ctx = if n_samples == 1 { FwdCtx::eval(&mut r) } else { FwdCtx::mc_sample(&mut r) };
+        let pred = model.forward_with_cov(&mut tape, x, cov, &mut ctx);
+        let mu_j = tape.value(pred.point()).clone();
+        let var_j = if let Prediction::Gaussian { logvar, .. } = pred {
+            Some(clamped_var(tape.value(logvar)))
+        } else {
+            None
+        };
+        samples.push((mu_j, var_j));
+        if let Some(obs) = observer.as_deref_mut() {
+            obs(&reduce_sample_slice(&samples, shape));
+        }
+    }
+    if stuq_obs::summary_enabled() {
+        stuq_obs::metrics().mc_samples.add(samples.len() as u64);
+    }
+    if let Some(t0) = t0 {
+        let secs = t0.elapsed().as_secs_f64();
+        let m = stuq_obs::metrics();
+        m.mc_forecast_seconds.record(secs);
+        if secs > 0.0 {
+            m.mc_samples_per_sec.set(samples.len() as f64 / secs);
+        }
+    }
+    AnytimeForecast { forecast: reduce_samples(samples, shape), samples_requested: n_samples }
 }
 
 /// Ensemble combination for snapshot ensembles (FGE): runs one deterministic
@@ -272,6 +386,112 @@ mod tests {
         assert_eq!(par.mu.data(), ser.mu.data());
         assert_eq!(par.var_aleatoric.data(), ser.var_aleatoric.data());
         assert_eq!(par.var_epistemic.data(), ser.var_epistemic.data());
+    }
+
+    /// Denies everything: the anytime loop must stop exactly at the floor.
+    struct DenyAll;
+    impl SampleBudget for DenyAll {
+        fn allow(&mut self, _c: usize) -> bool {
+            false
+        }
+    }
+
+    /// Admits passes while `completed < cap`.
+    struct CapBudget(usize);
+    impl SampleBudget for CapBudget {
+        fn allow(&mut self, completed: usize) -> bool {
+            completed < self.0
+        }
+    }
+
+    #[test]
+    fn anytime_uncut_matches_mc_forecast_bitwise() {
+        let mut rng = StuqRng::new(21);
+        let model = model_with_dropout(HeadKind::Gaussian, 0.3, &mut rng);
+        let x = Tensor::randn(&[6, 5], 1.0, &mut rng);
+        let full = mc_forecast(&model, &x, 8, &mut StuqRng::new(7));
+        let any = mc_forecast_anytime(
+            &model,
+            &x,
+            None,
+            8,
+            1,
+            &mut UnlimitedBudget,
+            &mut StuqRng::new(7),
+            None,
+        );
+        assert!(!any.degraded());
+        assert_eq!(any.forecast.n_samples, 8);
+        assert_eq!(any.forecast.mu.data(), full.mu.data());
+        assert_eq!(any.forecast.var_aleatoric.data(), full.var_aleatoric.data());
+        assert_eq!(any.forecast.var_epistemic.data(), full.var_epistemic.data());
+    }
+
+    #[test]
+    fn anytime_never_goes_below_the_floor() {
+        let mut rng = StuqRng::new(22);
+        let model = model_with_dropout(HeadKind::Gaussian, 0.3, &mut rng);
+        let x = Tensor::randn(&[6, 5], 1.0, &mut rng);
+        for floor in [1usize, 3, 8] {
+            let any = mc_forecast_anytime(
+                &model,
+                &x,
+                None,
+                8,
+                floor,
+                &mut DenyAll,
+                &mut StuqRng::new(7),
+                None,
+            );
+            assert_eq!(any.forecast.n_samples, floor, "DenyAll must stop exactly at the floor");
+            assert_eq!(any.samples_requested, 8);
+            assert_eq!(any.degraded(), floor < 8);
+        }
+        // An over-large floor clamps to the requested count.
+        let any =
+            mc_forecast_anytime(&model, &x, None, 4, 99, &mut DenyAll, &mut StuqRng::new(7), None);
+        assert_eq!(any.forecast.n_samples, 4);
+    }
+
+    #[test]
+    fn anytime_prefix_equals_batch_prefix_and_rng_advances_identically() {
+        // A budget-cut run must (a) reduce exactly the first k streams of the
+        // batch path and (b) leave the caller's RNG in the same state as an
+        // uncut run, so downstream draws don't depend on load.
+        let mut rng = StuqRng::new(23);
+        let model = model_with_dropout(HeadKind::Gaussian, 0.3, &mut rng);
+        let x = Tensor::randn(&[6, 5], 1.0, &mut rng);
+        let mut r_cut = StuqRng::new(9);
+        let cut = mc_forecast_anytime(&model, &x, None, 8, 1, &mut CapBudget(3), &mut r_cut, None);
+        assert_eq!(cut.forecast.n_samples, 3);
+        assert!(cut.degraded());
+        let mut r_full = StuqRng::new(9);
+        let full = mc_forecast(&model, &x, 8, &mut r_full);
+        assert_ne!(cut.forecast.mu.data(), full.mu.data(), "3-sample mean differs from 8-sample");
+        let a = Tensor::randn(&[3, 3], 1.0, &mut r_cut);
+        let b = Tensor::randn(&[3, 3], 1.0, &mut r_full);
+        assert_eq!(a.data(), b.data(), "caller RNG state must be budget-independent");
+    }
+
+    #[test]
+    fn anytime_observer_sees_every_prefix() {
+        let mut rng = StuqRng::new(24);
+        let model = model_with_dropout(HeadKind::Gaussian, 0.3, &mut rng);
+        let x = Tensor::randn(&[6, 5], 1.0, &mut rng);
+        let mut seen = Vec::new();
+        let mut obs = |g: &GaussianForecast| seen.push(g.n_samples);
+        let any = mc_forecast_anytime(
+            &model,
+            &x,
+            None,
+            6,
+            1,
+            &mut UnlimitedBudget,
+            &mut StuqRng::new(7),
+            Some(&mut obs),
+        );
+        assert_eq!(seen, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(any.forecast.n_samples, 6);
     }
 
     #[test]

@@ -125,10 +125,21 @@ impl Snapshot {
         }
     }
 
-    fn restore(&self, model: &mut dyn Forecaster, opt: &mut dyn Optimizer, rng: &mut StuqRng) {
+    /// Restores the snapshot, or reports why the optimiser rejected it.
+    ///
+    /// The optimiser state is imported *first*: a mismatch (e.g. a caller
+    /// swapped algorithms mid-stage) must not leave restored parameters
+    /// paired with stale moments.
+    fn restore(
+        &self,
+        model: &mut dyn Forecaster,
+        opt: &mut dyn Optimizer,
+        rng: &mut StuqRng,
+    ) -> Result<(), String> {
+        opt.import_state(&self.opt)?;
         model.params_mut().load_snapshot(&self.params);
-        opt.import_state(&self.opt).expect("rewind state matches the live optimiser");
         *rng = self.rng.clone();
+        Ok(())
     }
 }
 
@@ -239,10 +250,23 @@ pub fn train_epoch_guarded(
                 }
                 gstate.rewinds_used += 1;
                 gstate.lr_scale *= guard.backoff;
+                if gstate.lr_scale <= 0.0 || !gstate.lr_scale.is_finite() {
+                    // The backed-off rate underflowed: replaying at lr 0
+                    // freezes the trajectory and the guard would trip (and
+                    // rewind) forever. Give up with a typed error instead.
+                    opt.set_lr(base_lr);
+                    return Err(TrainError::BackoffExhausted {
+                        stage,
+                        rewinds: gstate.rewinds_used,
+                    });
+                }
                 crate::guard::record_rewind(guard, mean_loss, grad_norm, gstate);
                 consecutive_trips = 0;
                 healthy_since_snap = 0;
-                snap.restore(model, opt, rng);
+                if let Err(reason) = snap.restore(model, opt, rng) {
+                    opt.set_lr(base_lr);
+                    return Err(TrainError::RewindFailed { stage, reason });
+                }
                 total = snap.total;
                 count = snap.count;
                 it = snap.batch_idx;
@@ -453,6 +477,107 @@ mod tests {
         let _ = train(&mut model, &ds, &cfg, kind, &mut rng).unwrap();
         let after = eval_loss(&model, &ds, Split::Train, kind, 17, &mut rng).unwrap();
         assert!(after < before, "pinball loss should drop ({before:.4} → {after:.4})");
+    }
+
+    /// Poisons every reading in the training segment so *every* batch trips
+    /// the guard from the very first one.
+    fn poison_train_split(ds: &mut SplitDataset) {
+        let (lo, hi) = ds.segment(Split::Train);
+        let n = ds.n_nodes();
+        for t in lo..hi {
+            for node in 0..n {
+                ds.data_mut().set(t, node, f32::NAN);
+            }
+        }
+    }
+
+    #[test]
+    fn trip_on_the_first_batch_rewinds_to_epoch_start_without_panicking() {
+        // The guard trips before any snapshot refresh has happened. The only
+        // rewind target is the eagerly captured epoch-start snapshot; the
+        // rewind must use it (not unwrap on a missing one) and exhaustion
+        // must surface as a typed error.
+        let (mut ds, mut model, mut rng) = tiny_setup();
+        poison_train_split(&mut ds);
+        let guard = GuardConfig { max_consecutive_skips: 1, max_rewinds: 1, ..Default::default() };
+        let mut gstate = GuardState::default();
+        let mut opt = stuq_nn::opt::Adam::new(0.003, 0.0);
+        let err = train_epoch_guarded(
+            &mut model,
+            &ds,
+            8,
+            LossKind::Combined { lambda: 0.1 },
+            &mut opt,
+            5.0,
+            &mut rng,
+            None,
+            Stage::Pretrain,
+            &guard,
+            &mut gstate,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, TrainError::DivergenceBudgetExhausted { rewinds: 1, .. }),
+            "expected budget exhaustion after the one allowed rewind, got {err:?}"
+        );
+        assert_eq!(gstate.rewinds_used, 1);
+        assert!(model.params().snapshot().iter().all(|t| t.all_finite()), "rewind restored params");
+    }
+
+    #[test]
+    fn backoff_underflow_is_a_typed_error_not_a_hang() {
+        // With a huge rewind budget and a brutal backoff the lr scale
+        // underflows to zero long before the budget runs out; the guard must
+        // detect the underflow and give up with a typed error instead of
+        // rewinding forever at lr 0.
+        let (mut ds, mut model, mut rng) = tiny_setup();
+        poison_train_split(&mut ds);
+        let guard = GuardConfig {
+            max_consecutive_skips: 1,
+            max_rewinds: 1_000_000,
+            backoff: 1e-30,
+            ..Default::default()
+        };
+        let mut gstate = GuardState::default();
+        let mut opt = stuq_nn::opt::Adam::new(0.003, 0.0);
+        let err = train_epoch_guarded(
+            &mut model,
+            &ds,
+            8,
+            LossKind::Combined { lambda: 0.1 },
+            &mut opt,
+            5.0,
+            &mut rng,
+            None,
+            Stage::Awa,
+            &guard,
+            &mut gstate,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, TrainError::BackoffExhausted { stage: Stage::Awa, rewinds: 2 }),
+            "1e-30² underflows f32 on the second rewind, got {err:?}"
+        );
+        assert!(err.to_string().contains("backoff exhausted"));
+    }
+
+    #[test]
+    fn rewind_into_mismatched_optimiser_is_a_typed_failure() {
+        // Snapshot::restore must refuse (not unwrap) when the captured
+        // optimiser state no longer matches the live optimiser, and must not
+        // touch the parameters when it refuses.
+        let (_, mut model, rng) = tiny_setup();
+        let adam = stuq_nn::opt::Adam::new(0.01, 0.0);
+        let snap = Snapshot::capture(&model, &adam, &rng, 0, 0.0, 0);
+        let before = model.params().snapshot();
+        let mut sgd = stuq_nn::opt::Sgd::new(0.01, 0.0, 0.0);
+        let mut rng2 = rng.clone();
+        let err = snap.restore(&mut model, &mut sgd, &mut rng2).unwrap_err();
+        assert!(err.contains("mismatch"), "got: {err}");
+        let after = model.params().snapshot();
+        for (a, b) in before.iter().zip(&after) {
+            assert_eq!(a.data(), b.data(), "failed restore must leave params untouched");
+        }
     }
 
     #[test]

@@ -318,11 +318,22 @@ pub const SCHEMA: &[(&str, &[&str])] = &[
     ("eval", &["windows"]),
     ("span", &["path", "seconds"]),
     ("fatal", &["message", "exit_code"]),
+    // Serving runtime (DESIGN.md §11).
+    ("serve_start", &["path", "queue_capacity", "mc_samples", "floor"]),
+    ("serve_stop", &["requests", "shed"]),
+    ("serve_rejected", &["reason"]),
+    ("serve_degraded", &["samples_used", "samples_requested"]),
+    ("breaker_open", &["consecutive_faults", "cooldown_ms"]),
+    ("breaker_half_open", &["cooldown_ms"]),
+    ("breaker_close", &["cooldown_ms"]),
+    ("reload_ok", &["path", "checksum"]),
+    ("reload_rollback", &["path", "reason"]),
 ];
 
 /// Fields that must be strings; every other schema field must be numeric
 /// (where the non-finite markers "NaN"/"inf"/"-inf" count as numeric).
-const STRING_FIELDS: &[&str] = &["type", "stage", "cmd", "level", "path", "message"];
+const STRING_FIELDS: &[&str] =
+    &["type", "stage", "cmd", "level", "path", "message", "reason", "checksum"];
 
 fn is_numericish(v: &JsonVal) -> bool {
     match v {

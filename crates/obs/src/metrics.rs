@@ -370,6 +370,31 @@ pub struct Metrics {
     pub calib_temperature: Gauge,
     /// Evaluation windows scored.
     pub eval_windows: Counter,
+
+    // --- stuq-serve: serving runtime ---------------------------------------
+    /// Forecast requests admitted (processed to any terminal response).
+    pub serve_requests: Counter,
+    /// Requests shed by admission control (queue full / draining / breaker).
+    pub serve_shed: Counter,
+    /// Responses degraded by the deadline budget (fewer samples than asked).
+    pub serve_degraded: Counter,
+    /// Fallback (persistence) responses served while the breaker was open.
+    pub serve_fallback: Counter,
+    /// Hot model reloads applied.
+    pub serve_reloads: Counter,
+    /// Reload attempts rolled back (corrupt or incompatible artifact).
+    pub serve_reload_rollbacks: Counter,
+    /// Current depth of the admission queue.
+    pub serve_queue_depth: Gauge,
+    /// Breaker state: 0 closed, 1 open, 2 half-open.
+    pub serve_breaker_state: Gauge,
+    /// MC samples used per forecast response.
+    pub serve_samples_used: Histogram,
+    /// Milliseconds of deadline left when the response was finished
+    /// (the deadline-hit histogram; rejected samples are deadline misses).
+    pub serve_deadline_slack_ms: Histogram,
+    /// Wall-clock seconds per served forecast.
+    pub serve_request_seconds: Histogram,
 }
 
 impl Metrics {
@@ -408,6 +433,17 @@ impl Metrics {
             mc_samples_per_sec: Gauge::new(),
             calib_temperature: Gauge::new(),
             eval_windows: Counter::new(),
+            serve_requests: Counter::new(),
+            serve_shed: Counter::new(),
+            serve_degraded: Counter::new(),
+            serve_fallback: Counter::new(),
+            serve_reloads: Counter::new(),
+            serve_reload_rollbacks: Counter::new(),
+            serve_queue_depth: Gauge::new(),
+            serve_breaker_state: Gauge::new(),
+            serve_samples_used: Histogram::new(),
+            serve_deadline_slack_ms: Histogram::new(),
+            serve_request_seconds: Histogram::new(),
         }
     }
 
@@ -615,6 +651,72 @@ impl Metrics {
             "evaluation windows scored",
             self.eval_windows.get(),
         );
+        c(
+            &mut out,
+            "stuq_serve_requests_total",
+            "forecast requests admitted",
+            self.serve_requests.get(),
+        );
+        c(
+            &mut out,
+            "stuq_serve_shed_total",
+            "requests shed by admission control",
+            self.serve_shed.get(),
+        );
+        c(
+            &mut out,
+            "stuq_serve_degraded_total",
+            "deadline-degraded responses",
+            self.serve_degraded.get(),
+        );
+        c(
+            &mut out,
+            "stuq_serve_fallback_total",
+            "breaker fallback responses",
+            self.serve_fallback.get(),
+        );
+        c(
+            &mut out,
+            "stuq_serve_reloads_total",
+            "hot model reloads applied",
+            self.serve_reloads.get(),
+        );
+        c(
+            &mut out,
+            "stuq_serve_reload_rollbacks_total",
+            "reload attempts rolled back",
+            self.serve_reload_rollbacks.get(),
+        );
+        g(
+            &mut out,
+            "stuq_serve_queue_depth",
+            "current admission-queue depth",
+            self.serve_queue_depth.get(),
+        );
+        g(
+            &mut out,
+            "stuq_serve_breaker_state",
+            "breaker state (0 closed, 1 open, 2 half-open)",
+            self.serve_breaker_state.get(),
+        );
+        h(
+            &mut out,
+            "stuq_serve_samples_used",
+            "MC samples used per forecast response",
+            &self.serve_samples_used,
+        );
+        h(
+            &mut out,
+            "stuq_serve_deadline_slack_ms",
+            "deadline slack (ms) at response time",
+            &self.serve_deadline_slack_ms,
+        );
+        h(
+            &mut out,
+            "stuq_serve_request_seconds",
+            "seconds per served forecast",
+            &self.serve_request_seconds,
+        );
         out
     }
 
@@ -652,6 +754,17 @@ impl Metrics {
         self.mc_samples_per_sec.reset();
         self.calib_temperature.reset();
         self.eval_windows.reset();
+        self.serve_requests.reset();
+        self.serve_shed.reset();
+        self.serve_degraded.reset();
+        self.serve_fallback.reset();
+        self.serve_reloads.reset();
+        self.serve_reload_rollbacks.reset();
+        self.serve_queue_depth.reset();
+        self.serve_breaker_state.reset();
+        self.serve_samples_used.reset();
+        self.serve_deadline_slack_ms.reset();
+        self.serve_request_seconds.reset();
     }
 }
 

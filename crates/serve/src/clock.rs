@@ -1,0 +1,103 @@
+//! Injectable monotonic clock driving deadlines and breaker cooldowns.
+//!
+//! The serving contract requires *deterministic* degradation in tests: a
+//! request with an 8 ms deadline must use the same number of MC samples on
+//! every run and at every `STUQ_THREADS` setting. Wall time cannot provide
+//! that, so every time read in the serving runtime goes through [`Clock`],
+//! which has two modes:
+//!
+//! * **real** — milliseconds since server start ([`std::time::Instant`]);
+//! * **fake** — a logical clock that starts at 0 and advances by a fixed
+//!   step *on every read*. Time is then a pure function of how many clock
+//!   reads happened, which the request pipeline performs in a fixed pattern,
+//!   so deadline cuts land on the same sample index every run.
+//!
+//! The fake mode is selected by the `STUQ_FAKE_CLOCK` environment variable:
+//! its value is the per-read step in milliseconds (`STUQ_FAKE_CLOCK=1`
+//! advances 1 ms per read; an unset or invalid value keeps the real clock).
+
+use std::time::Instant;
+
+/// Name of the fake-clock environment variable.
+pub const FAKE_CLOCK_ENV: &str = "STUQ_FAKE_CLOCK";
+
+/// A monotonic millisecond clock, real or logical.
+#[derive(Debug)]
+pub enum Clock {
+    /// Wall time since construction.
+    Real(Instant),
+    /// Logical time: starts at 0, advances `step_ms` per read.
+    Fake {
+        /// Milliseconds added on every [`Clock::now_ms`] call.
+        step_ms: u64,
+        /// Next value to return.
+        now_ms: u64,
+    },
+}
+
+impl Clock {
+    /// A wall clock starting now.
+    pub fn real() -> Self {
+        Clock::Real(Instant::now())
+    }
+
+    /// A logical clock advancing `step_ms` per read.
+    pub fn fake(step_ms: u64) -> Self {
+        Clock::Fake { step_ms, now_ms: 0 }
+    }
+
+    /// Reads `STUQ_FAKE_CLOCK`; a parseable value selects the fake clock.
+    pub fn from_env() -> Self {
+        match std::env::var(FAKE_CLOCK_ENV).ok().and_then(|v| v.parse::<u64>().ok()) {
+            Some(step) => Clock::fake(step),
+            None => Clock::real(),
+        }
+    }
+
+    /// True for the logical clock.
+    pub fn is_fake(&self) -> bool {
+        matches!(self, Clock::Fake { .. })
+    }
+
+    /// Current time in milliseconds. The fake clock returns its current
+    /// value and then advances, so the first read is always 0.
+    pub fn now_ms(&mut self) -> u64 {
+        match self {
+            Clock::Real(t0) => t0.elapsed().as_millis() as u64,
+            Clock::Fake { step_ms, now_ms } => {
+                let t = *now_ms;
+                *now_ms = now_ms.saturating_add(*step_ms);
+                t
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fake_clock_advances_per_read() {
+        let mut c = Clock::fake(3);
+        assert!(c.is_fake());
+        assert_eq!(c.now_ms(), 0);
+        assert_eq!(c.now_ms(), 3);
+        assert_eq!(c.now_ms(), 6);
+    }
+
+    #[test]
+    fn zero_step_freezes_time() {
+        let mut c = Clock::fake(0);
+        assert_eq!(c.now_ms(), 0);
+        assert_eq!(c.now_ms(), 0);
+    }
+
+    #[test]
+    fn real_clock_is_monotone() {
+        let mut c = Clock::real();
+        let a = c.now_ms();
+        let b = c.now_ms();
+        assert!(b >= a);
+    }
+}

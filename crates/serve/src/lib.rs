@@ -1,0 +1,913 @@
+//! **stuq-serve** — deadline-aware forecast serving runtime (DESIGN.md §11).
+//!
+//! A long-lived process wraps a trained [`DeepStuq`] model behind a
+//! newline-delimited JSON protocol ([`proto`]) and keeps four robustness
+//! mechanisms between the client and the model:
+//!
+//! 1. **Admission control** — a bounded queue in front of the worker; when
+//!    it is full (or the server is draining, or the breaker is open) new
+//!    forecasts are *shed* with a typed `rejected` response instead of
+//!    growing latency without bound.
+//! 2. **Anytime MC-dropout degradation** — each request carries a deadline
+//!    budget in (logical) milliseconds. The MC loop checks the budget
+//!    between passes ([`deepstuq::mc_forecast_anytime`]) and stops early,
+//!    never below the configured sample floor. A degraded response says so
+//!    (`degraded`, `samples_used`, `variance_inflation`) and reports a
+//!    *monotone variance envelope*: the running elementwise minimum over
+//!    prefix reductions of `σ²_alea/T² + (n_req/k)·σ²_epis`, so reported
+//!    variance never *increases* with more samples — fewer samples can only
+//!    widen the intervals, never narrow them.
+//! 3. **Circuit breaker** ([`breaker`]) — consecutive model faults
+//!    (non-finite μ/σ or |μ| above the guard-style ceiling) open the
+//!    breaker; while open, requests get the documented fallback (last-row
+//!    persistence forecast with widened intervals) or a typed rejection,
+//!    and the model is probed again only after an exponential cooldown.
+//! 4. **Hot reload** ([`reload`]) — a watcher validates new model artifacts
+//!    off the request path; the worker swaps a shape-compatible candidate
+//!    in atomically between requests and logs a `reload_rollback` for
+//!    anything invalid, without ever serving a half-loaded model.
+//!
+//! All time flows through the injectable [`clock::Clock`]; with
+//! `STUQ_FAKE_CLOCK` set, degradation trajectories are a pure function of
+//! the request stream, so degraded responses are byte-identical across
+//! `STUQ_THREADS` settings — the property the chaos CI job pins.
+
+pub mod breaker;
+pub mod clock;
+pub mod json;
+pub mod proto;
+pub mod reload;
+
+use std::collections::VecDeque;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use breaker::Breaker;
+use clock::Clock;
+use deepstuq::{DeepStuq, GaussianForecast, SampleBudget, UnlimitedBudget};
+use proto::{ForecastReq, Request};
+use stuq_models::Forecaster;
+use stuq_obs::Event;
+use stuq_tensor::{StuqRng, Tensor};
+use stuq_traffic::Scaler;
+
+/// Everything the serve runtime needs to know, CLI-flag for CLI-flag.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Trained model artifact ([`deepstuq::save_model`] format). Also the
+    /// path the hot-reload watcher polls.
+    pub model_path: PathBuf,
+    /// Optional dataset artifact; provides the z-score scaler (so requests
+    /// speak raw units) and pins the expected input-window length.
+    pub data_path: Option<PathBuf>,
+    /// Admission-queue capacity; beyond it forecasts are shed.
+    pub max_queue: usize,
+    /// MC samples per request (default: the model's own setting).
+    pub mc_samples: Option<usize>,
+    /// Degradation floor: a deadline never cuts a run below this many
+    /// samples.
+    pub floor: usize,
+    /// Deadline applied when a request does not carry its own.
+    pub default_deadline_ms: Option<u64>,
+    /// Consecutive faults that open the breaker.
+    pub breaker_threshold: usize,
+    /// Initial breaker cooldown.
+    pub breaker_cooldown_ms: u64,
+    /// Cap for the exponentially backed-off cooldown.
+    pub breaker_cooldown_max_ms: u64,
+    /// Guard-style output ceiling: |μ| beyond this is a model fault.
+    pub max_abs_output: f64,
+    /// Fallback interval widening (× the last healthy mean σ).
+    pub widen_factor: f32,
+    /// Directory for the atomically rewritten `health.json`, if any.
+    pub health_dir: Option<PathBuf>,
+    /// Hot-reload poll interval; 0 disables the watcher.
+    pub reload_poll_ms: u64,
+    /// Server RNG seed (forked per request when the request has no seed).
+    pub seed: u64,
+    /// Fake-clock step; `None` falls back to `STUQ_FAKE_CLOCK` / real time.
+    pub fake_clock_step_ms: Option<u64>,
+}
+
+impl ServeConfig {
+    /// Defaults for everything but the model path.
+    pub fn new(model_path: impl Into<PathBuf>) -> Self {
+        Self {
+            model_path: model_path.into(),
+            data_path: None,
+            max_queue: 64,
+            mc_samples: None,
+            floor: 2,
+            default_deadline_ms: None,
+            breaker_threshold: 3,
+            breaker_cooldown_ms: 1000,
+            breaker_cooldown_max_ms: 30_000,
+            max_abs_output: 1e8,
+            widen_factor: 2.0,
+            health_dir: None,
+            reload_poll_ms: 200,
+            seed: 7,
+            fake_clock_step_ms: None,
+        }
+    }
+}
+
+/// A deadline as a [`SampleBudget`]: one clock read per decision, so under
+/// the fake clock `samples_used` is a pure function of the request.
+pub struct DeadlineBudget<'a> {
+    /// The server clock (fake or real).
+    pub clock: &'a mut Clock,
+    /// Clock reading when the request started.
+    pub t_start: u64,
+    /// Budget in (logical) milliseconds.
+    pub deadline_ms: u64,
+}
+
+impl SampleBudget for DeadlineBudget<'_> {
+    fn allow(&mut self, _completed: usize) -> bool {
+        self.clock.now_ms().saturating_sub(self.t_start) < self.deadline_ms
+    }
+}
+
+/// What [`Server::handle_line`] produced.
+#[derive(Debug)]
+pub struct LineOutcome {
+    /// The response line (no trailing newline).
+    pub response: String,
+    /// True after a `shutdown` request: stop the loop.
+    pub done: bool,
+}
+
+/// The serving state machine. [`serve_loop`] drives it from a reader; tests
+/// drive it line by line through [`Server::handle_line`].
+pub struct Server {
+    cfg: ServeConfig,
+    model: DeepStuq,
+    model_checksum: String,
+    scaler: Option<Scaler>,
+    expected_t_h: Option<usize>,
+    clock: Clock,
+    breaker: Breaker,
+    watcher: Option<reload::Watcher>,
+    last_good_sigma: Option<f32>,
+    draining: bool,
+    requests_served: u64,
+    shed: u64,
+}
+
+impl Server {
+    /// Loads the model (and dataset scaler, when given) and starts the
+    /// reload watcher.
+    pub fn new(cfg: ServeConfig) -> Result<Server, String> {
+        let bytes = std::fs::read(&cfg.model_path)
+            .map_err(|e| format!("{}: {e}", cfg.model_path.display()))?;
+        let model = deepstuq::load_model_bytes(&bytes)
+            .map_err(|e| format!("{}: {e}", cfg.model_path.display()))?;
+        let model_checksum = reload::file_checksum(&bytes);
+        let (scaler, expected_t_h) = match &cfg.data_path {
+            Some(p) => {
+                let ds = stuq_traffic::load_split_dataset(p)
+                    .map_err(|e| format!("{}: {e}", p.display()))?;
+                (Some(*ds.scaler()), Some(ds.t_h()))
+            }
+            None => (None, None),
+        };
+        let clock = match cfg.fake_clock_step_ms {
+            Some(step) => Clock::fake(step),
+            None => Clock::from_env(),
+        };
+        let breaker = Breaker::new(
+            cfg.breaker_threshold,
+            cfg.breaker_cooldown_ms,
+            cfg.breaker_cooldown_max_ms,
+        );
+        let watcher = (cfg.reload_poll_ms > 0).then(|| {
+            reload::Watcher::spawn(
+                cfg.model_path.clone(),
+                cfg.reload_poll_ms,
+                model_checksum.clone(),
+            )
+        });
+        stuq_obs::metrics().serve_breaker_state.set(breaker.state().gauge());
+        Ok(Server {
+            cfg,
+            model,
+            model_checksum,
+            scaler,
+            expected_t_h,
+            clock,
+            breaker,
+            watcher,
+            last_good_sigma: None,
+            draining: false,
+            requests_served: 0,
+            shed: 0,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// True once a `drain` or `shutdown` request was processed.
+    pub fn draining(&self) -> bool {
+        self.draining
+    }
+
+    /// True while the breaker is open (the loop sheds at admission).
+    pub fn breaker_is_open(&self) -> bool {
+        self.breaker.state() == breaker::State::Open
+    }
+
+    /// Checksum of the artifact currently being served.
+    pub fn model_checksum(&self) -> &str {
+        &self.model_checksum
+    }
+
+    /// Forecasts shed by the server itself (sync-mode admission).
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Sync entry point: admission (draining check) plus dispatch. The
+    /// serve loop does admission in its reader and calls
+    /// [`Server::process_line`] directly.
+    pub fn handle_line(&mut self, line: &str) -> LineOutcome {
+        if self.draining {
+            if let Ok(Request::Forecast(req)) = proto::parse_request(line) {
+                return LineOutcome { response: self.reject(&req.id, "draining"), done: false };
+            }
+        }
+        self.process_line(line)
+    }
+
+    /// Dispatches one already-admitted request line.
+    pub fn process_line(&mut self, line: &str) -> LineOutcome {
+        match proto::parse_request(line) {
+            Err(e) => LineOutcome {
+                response: proto::resp_error(&e.id, "bad_request", &e.detail),
+                done: false,
+            },
+            Ok(Request::Forecast(req)) => {
+                self.poll_watcher();
+                LineOutcome { response: self.handle_forecast(&req), done: false }
+            }
+            Ok(Request::Healthz { id }) => {
+                LineOutcome { response: self.healthz(&id, 0, self.shed), done: false }
+            }
+            Ok(Request::Reload { id }) => {
+                LineOutcome { response: self.handle_reload(&id), done: false }
+            }
+            Ok(Request::Drain { id }) => {
+                self.draining = true;
+                LineOutcome { response: proto::resp_ack(&id, "drain", &[]), done: false }
+            }
+            Ok(Request::Shutdown { id }) => {
+                self.draining = true;
+                LineOutcome { response: proto::resp_ack(&id, "shutdown", &[]), done: true }
+            }
+        }
+    }
+
+    /// Records a shed and renders the typed rejection.
+    fn reject(&mut self, id: &Option<String>, reason: &'static str) -> String {
+        self.shed += 1;
+        stuq_obs::metrics().serve_shed.inc();
+        stuq_obs::emit(Event::new("serve_rejected").str("reason", reason));
+        proto::resp_rejected(id, reason)
+    }
+
+    /// One forecast, end to end: validate → breaker gate → anytime MC →
+    /// health check → intervals.
+    fn handle_forecast(&mut self, req: &ForecastReq) -> String {
+        let wall = std::time::Instant::now();
+        let m = stuq_obs::metrics();
+        m.serve_requests.inc();
+        let req_index = self.requests_served;
+        self.requests_served += 1;
+
+        // Client errors: typed responses, never breaker faults.
+        let n_nodes = self.model.model().n_nodes();
+        let t_rows = req.x.len();
+        let width = req.x[0].len();
+        if width != n_nodes {
+            return proto::resp_error(
+                &req.id,
+                "shape_mismatch",
+                &format!("expected {n_nodes} columns (sensors), got {width}"),
+            );
+        }
+        if let Some(t_h) = self.expected_t_h {
+            if t_rows != t_h {
+                return proto::resp_error(
+                    &req.id,
+                    "shape_mismatch",
+                    &format!("expected {t_h} rows (input window), got {t_rows}"),
+                );
+            }
+        }
+        let mut flat = Vec::with_capacity(t_rows * width);
+        for row in &req.x {
+            flat.extend_from_slice(row);
+        }
+        if flat.iter().any(|v| !v.is_finite()) {
+            return proto::resp_error(
+                &req.id,
+                "non_finite_input",
+                "input window contains non-finite values",
+            );
+        }
+        let x_raw = Tensor::from_vec(flat, &[t_rows, n_nodes]);
+
+        // Breaker gate.
+        let t_start = self.clock.now_ms();
+        if let Some(t) = self.breaker.poll(t_start) {
+            self.note_transition(t);
+        }
+        if self.breaker_is_open() {
+            return self.fallback_or_reject(&req.id, &x_raw, "breaker_open");
+        }
+
+        // Anytime MC sampling under the deadline budget.
+        let n_req =
+            req.mc.or(self.cfg.mc_samples).unwrap_or_else(|| self.model.mc_samples()).max(1);
+        let floor = self.cfg.floor.clamp(1, n_req);
+        let deadline = req.deadline_ms.or(self.cfg.default_deadline_ms);
+        let mut rng = match req.seed {
+            Some(s) => StuqRng::new(s),
+            None => {
+                let mut base = StuqRng::new(self.cfg.seed);
+                base.fork(req_index)
+            }
+        };
+        let xn = match self.scaler {
+            Some(s) => x_raw.map(move |v| s.transform(v)),
+            None => x_raw.clone(),
+        };
+        let temp = self.model.temperature();
+        let inv_t2 = 1.0 / (temp * temp);
+        let n_req_f = n_req as f32;
+        let mut envelope: Option<Vec<f32>> = None;
+        let any = {
+            // Monotone variance envelope: running elementwise min over
+            // prefix totals with the epistemic part inflated by n_req/k.
+            // k = 1 has no epistemic estimate, so it is skipped unless a
+            // single sample is all that was requested.
+            let mut observe = |g: &GaussianForecast| {
+                if g.n_samples < 2 && n_req > 1 {
+                    return;
+                }
+                let inflation = n_req_f / g.n_samples as f32;
+                let va = g.var_aleatoric.data();
+                let ve = g.var_epistemic.data();
+                match &mut envelope {
+                    None => {
+                        envelope = Some(
+                            va.iter().zip(ve).map(|(a, e)| a * inv_t2 + e * inflation).collect(),
+                        );
+                    }
+                    Some(env) => {
+                        for ((slot, a), e) in env.iter_mut().zip(va).zip(ve) {
+                            let v = a * inv_t2 + e * inflation;
+                            if v < *slot {
+                                *slot = v;
+                            }
+                        }
+                    }
+                }
+            };
+            let mut unlimited = UnlimitedBudget;
+            let mut with_deadline;
+            let budget: &mut dyn SampleBudget = match deadline {
+                Some(d) => {
+                    with_deadline =
+                        DeadlineBudget { clock: &mut self.clock, t_start, deadline_ms: d };
+                    &mut with_deadline
+                }
+                None => &mut unlimited,
+            };
+            deepstuq::mc_forecast_anytime(
+                self.model.model(),
+                &xn,
+                None,
+                n_req,
+                floor,
+                budget,
+                &mut rng,
+                Some(&mut observe),
+            )
+        };
+        let f = &any.forecast;
+        let used = f.n_samples;
+        if let Some(d) = deadline {
+            let spent = self.clock.now_ms().saturating_sub(t_start);
+            // A non-positive slack is a deadline miss; the histogram's
+            // rejected count tallies those.
+            m.serve_deadline_slack_ms.record(d as f64 - spent as f64);
+        }
+
+        // Back to raw units. The envelope is the reported total variance;
+        // an empty envelope (uncut single-sample run) falls back to Eq. 19b.
+        let var_norm: Vec<f32> = match envelope {
+            Some(env) => env,
+            None => f.var_total(temp).data().to_vec(),
+        };
+        let std_s = self.scaler.map(|s| s.std() as f32).unwrap_or(1.0);
+        let mu_raw = match self.scaler {
+            Some(s) => f.mu.map(move |v| s.inverse(v)),
+            None => f.mu.clone(),
+        };
+        let sigma_raw = Tensor::from_vec(
+            var_norm.iter().map(|v| v.max(0.0).sqrt() * std_s).collect(),
+            f.mu.shape(),
+        );
+
+        // Guard-style health check: a fault feeds the breaker and the
+        // client gets the fallback, not garbage.
+        let fault = !mu_raw.all_finite()
+            || !sigma_raw.all_finite()
+            || mu_raw.data().iter().any(|v| (v.abs() as f64) > self.cfg.max_abs_output);
+        if fault {
+            let now = self.clock.now_ms();
+            if let Some(t) = self.breaker.on_fault(now) {
+                self.note_transition(t);
+            }
+            return self.fallback_or_reject(&req.id, &x_raw, "model_fault");
+        }
+        if let Some(t) = self.breaker.on_success() {
+            self.note_transition(t);
+        }
+        self.last_good_sigma = Some(sigma_raw.data().iter().sum::<f32>() / sigma_raw.len() as f32);
+
+        m.serve_samples_used.record(used as f64);
+        m.serve_request_seconds.record(wall.elapsed().as_secs_f64());
+        if any.degraded() {
+            m.serve_degraded.inc();
+            stuq_obs::emit(
+                Event::new("serve_degraded")
+                    .uint("samples_used", used as u64)
+                    .uint("samples_requested", n_req as u64),
+            );
+        }
+        let z = stuq_metrics::Z_95 as f32;
+        let lower = mu_raw.zip(&sigma_raw, |mu, s| mu - z * s);
+        let upper = mu_raw.zip(&sigma_raw, |mu, s| mu + z * s);
+        proto::resp_forecast(
+            &req.id,
+            used,
+            n_req,
+            &proto::Intervals { mu: &mu_raw, sigma: &sigma_raw, lower: &lower, upper: &upper },
+        )
+    }
+
+    /// The documented degraded-service path: a persistence forecast (last
+    /// input row held flat) with intervals widened from the last healthy
+    /// response. With no healthy response yet there is nothing honest to
+    /// serve, so the request is rejected `breaker_open`.
+    fn fallback_or_reject(&mut self, id: &Option<String>, x_raw: &Tensor, reason: &str) -> String {
+        let Some(sigma0) = self.last_good_sigma else {
+            return self.reject(id, "breaker_open");
+        };
+        let n = self.model.model().n_nodes();
+        let tau = self.model.model().horizon();
+        let t_rows = x_raw.shape()[0];
+        let mut mu = Vec::with_capacity(n * tau);
+        for node in 0..n {
+            let last = x_raw.get(t_rows - 1, node);
+            mu.extend(std::iter::repeat_n(last, tau));
+        }
+        let mu = Tensor::from_vec(mu, &[n, tau]);
+        let widened = self.cfg.widen_factor * sigma0;
+        let sigma = Tensor::from_vec(vec![widened; n * tau], &[n, tau]);
+        let z = stuq_metrics::Z_95 as f32;
+        let lower = mu.map(move |v| v - z * widened);
+        let upper = mu.map(move |v| v + z * widened);
+        stuq_obs::metrics().serve_fallback.inc();
+        proto::resp_fallback(
+            id,
+            reason,
+            &proto::Intervals { mu: &mu, sigma: &sigma, lower: &lower, upper: &upper },
+        )
+    }
+
+    /// Maps a breaker transition onto the gauge and the event log.
+    fn note_transition(&mut self, t: breaker::Transition) {
+        stuq_obs::metrics().serve_breaker_state.set(self.breaker.state().gauge());
+        match t {
+            breaker::Transition::Opened { consecutive, cooldown_ms } => stuq_obs::emit(
+                Event::new("breaker_open")
+                    .uint("consecutive_faults", consecutive as u64)
+                    .uint("cooldown_ms", cooldown_ms),
+            ),
+            breaker::Transition::HalfOpened { cooldown_ms } => {
+                stuq_obs::emit(Event::new("breaker_half_open").uint("cooldown_ms", cooldown_ms))
+            }
+            breaker::Transition::Closed { cooldown_ms } => {
+                stuq_obs::emit(Event::new("breaker_close").uint("cooldown_ms", cooldown_ms))
+            }
+        }
+    }
+
+    /// Applies any candidate the watcher finished validating. Cheap; called
+    /// between requests and on idle ticks.
+    pub fn poll_watcher(&mut self) {
+        let pending = self.watcher.as_ref().and_then(reload::Watcher::try_recv);
+        if let Some(v) = pending {
+            let _ = self.apply_reload(v);
+        }
+    }
+
+    /// The synchronous `reload` request: validate the artifact now, swap or
+    /// roll back, and acknowledge with the outcome.
+    fn handle_reload(&mut self, id: &Option<String>) -> String {
+        let v = reload::validate(&self.cfg.model_path);
+        match self.apply_reload(v) {
+            Ok(checksum) => proto::resp_ack(
+                id,
+                "reload",
+                &[("ok", "true".into()), ("checksum", json::escape(&checksum))],
+            ),
+            Err(reason) => proto::resp_ack(
+                id,
+                "reload",
+                &[("ok", "false".into()), ("reason", json::escape(&reason))],
+            ),
+        }
+    }
+
+    /// Swap-or-rollback on a validated candidate. A successful swap also
+    /// resets the breaker: the faulty model's history no longer applies.
+    fn apply_reload(&mut self, v: reload::Validated) -> Result<String, String> {
+        let m = stuq_obs::metrics();
+        let path_s = v.path.display().to_string();
+        let outcome = match v.result {
+            Err(e) => Err(e),
+            Ok(candidate) => {
+                let (n0, h0) = (self.model.model().n_nodes(), self.model.model().horizon());
+                let (n1, h1) = (candidate.model().n_nodes(), candidate.model().horizon());
+                if (n0, h0) != (n1, h1) {
+                    Err(format!(
+                        "shape mismatch: serving [{n0} nodes, horizon {h0}], \
+                         candidate [{n1} nodes, horizon {h1}]"
+                    ))
+                } else {
+                    self.model = candidate;
+                    self.model_checksum = v.checksum.clone();
+                    self.breaker.reset();
+                    m.serve_breaker_state.set(self.breaker.state().gauge());
+                    Ok(v.checksum)
+                }
+            }
+        };
+        match &outcome {
+            Ok(ck) => {
+                m.serve_reloads.inc();
+                stuq_obs::emit(
+                    Event::new("reload_ok").str("path", path_s).str("checksum", ck.clone()),
+                );
+            }
+            Err(reason) => {
+                m.serve_reload_rollbacks.inc();
+                stuq_obs::emit(
+                    Event::new("reload_rollback").str("path", path_s).str("reason", reason.clone()),
+                );
+            }
+        }
+        outcome
+    }
+
+    /// The `health` response (also the body of `health.json`).
+    fn healthz(&self, id: &Option<String>, queue_depth: usize, shed: u64) -> String {
+        let status = if self.draining { "draining" } else { "ok" };
+        let ready = !self.draining && !self.breaker_is_open();
+        let mut out = String::with_capacity(192);
+        out.push_str("{\"type\":\"health\"");
+        if let Some(id) = id {
+            out.push_str(",\"id\":");
+            out.push_str(&json::escape(id));
+        }
+        out.push_str(&format!(
+            ",\"status\":\"{status}\",\"ready\":{ready},\"breaker\":\"{}\",\
+             \"queue_depth\":{queue_depth},\"queue_capacity\":{},\"requests\":{},\
+             \"shed\":{shed},\"model_checksum\":\"{}\",\"mc_samples\":{},\"floor\":{}}}",
+            self.breaker.state().as_str(),
+            self.cfg.max_queue,
+            self.requests_served,
+            self.model_checksum,
+            self.cfg.mc_samples.unwrap_or_else(|| self.model.mc_samples()),
+            self.cfg.floor,
+        ));
+        out
+    }
+
+    /// Atomically rewrites `health.json` under the configured health dir.
+    pub fn write_health(&self, queue_depth: usize, shed: u64) {
+        if let Some(dir) = &self.cfg.health_dir {
+            let line = self.healthz(&None, queue_depth, shed);
+            let _ = stuq_artifact::write_atomic(
+                dir.join("health.json"),
+                format!("{line}\n").as_bytes(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Admission queue + serve loop
+// ---------------------------------------------------------------------------
+
+/// What the worker popped from the lanes.
+enum Popped {
+    /// A control request (healthz/reload/drain/shutdown) — never shed.
+    Control(String),
+    /// An admitted forecast line.
+    Forecast(String),
+    /// Nothing arrived within the timeout (idle tick).
+    TimedOut,
+    /// Reader hit end of input and both lanes are empty.
+    Closed,
+}
+
+struct LaneState {
+    forecasts: VecDeque<String>,
+    control: VecDeque<String>,
+    closed: bool,
+}
+
+/// Two-lane queue between reader and worker: control requests bypass the
+/// bounded forecast lane so a full queue can never wedge a drain/shutdown.
+struct Lanes {
+    m: Mutex<LaneState>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl Lanes {
+    fn new(cap: usize) -> Self {
+        Self {
+            m: Mutex::new(LaneState {
+                forecasts: VecDeque::new(),
+                control: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Admission: false means the bounded lane is full (shed the request).
+    fn try_push_forecast(&self, line: String) -> bool {
+        let mut s = self.m.lock().unwrap();
+        if s.closed || s.forecasts.len() >= self.cap {
+            return false;
+        }
+        s.forecasts.push_back(line);
+        stuq_obs::metrics().serve_queue_depth.set(s.forecasts.len() as f64);
+        self.cv.notify_all();
+        true
+    }
+
+    fn push_control(&self, line: String) {
+        let mut s = self.m.lock().unwrap();
+        s.control.push_back(line);
+        self.cv.notify_all();
+    }
+
+    fn close(&self) {
+        self.m.lock().unwrap().closed = true;
+        self.cv.notify_all();
+    }
+
+    fn pop(&self, timeout: Duration) -> Popped {
+        let mut s = self.m.lock().unwrap();
+        loop {
+            if let Some(line) = s.control.pop_front() {
+                return Popped::Control(line);
+            }
+            if let Some(line) = s.forecasts.pop_front() {
+                stuq_obs::metrics().serve_queue_depth.set(s.forecasts.len() as f64);
+                return Popped::Forecast(line);
+            }
+            if s.closed {
+                return Popped::Closed;
+            }
+            let (next, res) = self.cv.wait_timeout(s, timeout).unwrap();
+            s = next;
+            if res.timed_out() {
+                // Re-check once after the wakeup, then yield an idle tick.
+                if s.control.is_empty() && s.forecasts.is_empty() {
+                    return if s.closed { Popped::Closed } else { Popped::TimedOut };
+                }
+            }
+        }
+    }
+
+    /// Drain whatever is left without waiting (shutdown path).
+    fn drain_now(&self) -> Vec<Popped> {
+        let mut s = self.m.lock().unwrap();
+        let mut out = Vec::new();
+        while let Some(line) = s.control.pop_front() {
+            out.push(Popped::Control(line));
+        }
+        while let Some(line) = s.forecasts.pop_front() {
+            out.push(Popped::Forecast(line));
+        }
+        stuq_obs::metrics().serve_queue_depth.set(0.0);
+        out
+    }
+}
+
+/// Counters reported when the loop exits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Forecast requests that reached the worker.
+    pub requests: u64,
+    /// Forecasts shed (queue full, draining, breaker open).
+    pub shed: u64,
+    /// Response lines written, of any type.
+    pub responses: u64,
+}
+
+/// Runs the serve loop: a reader thread classifies and admits request
+/// lines; the worker (this thread) owns the server and answers them.
+/// Returns when the input closes or a `shutdown` request is processed.
+pub fn serve_loop<R, W>(server: &mut Server, reader: R, writer: W) -> ServeSummary
+where
+    R: BufRead + Send + 'static,
+    W: Write + Send + 'static,
+{
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    struct Flags {
+        draining: AtomicBool,
+        breaker_open: AtomicBool,
+        shed: AtomicU64,
+    }
+
+    let lanes = Arc::new(Lanes::new(server.cfg.max_queue));
+    let flags = Arc::new(Flags {
+        draining: AtomicBool::new(server.draining),
+        breaker_open: AtomicBool::new(server.breaker_is_open()),
+        shed: AtomicU64::new(0),
+    });
+    let out = Arc::new(Mutex::new(writer));
+    let responses = Arc::new(AtomicU64::new(0));
+
+    let write_line = {
+        let out = Arc::clone(&out);
+        let responses = Arc::clone(&responses);
+        move |line: &str| {
+            let mut w = out.lock().unwrap();
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+            responses.fetch_add(1, Ordering::Relaxed);
+        }
+    };
+
+    stuq_obs::emit(
+        Event::new("serve_start")
+            .str("path", server.cfg.model_path.display().to_string())
+            .uint("queue_capacity", server.cfg.max_queue as u64)
+            .uint(
+                "mc_samples",
+                server.cfg.mc_samples.unwrap_or_else(|| server.model.mc_samples()) as u64,
+            )
+            .uint("floor", server.cfg.floor as u64),
+    );
+
+    // Reader: classify each line and either admit it or shed it right here.
+    let reader_handle = {
+        let lanes = Arc::clone(&lanes);
+        let flags = Arc::clone(&flags);
+        let write_line = write_line.clone();
+        std::thread::spawn(move || {
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match proto::parse_request(&line) {
+                    Err(e) => write_line(&proto::resp_error(&e.id, "bad_request", &e.detail)),
+                    Ok(Request::Forecast(req)) => {
+                        let reason = if flags.draining.load(Ordering::Relaxed) {
+                            Some("draining")
+                        } else if flags.breaker_open.load(Ordering::Relaxed) {
+                            Some("breaker_open")
+                        } else if !lanes.try_push_forecast(line.clone()) {
+                            Some("queue_full")
+                        } else {
+                            None
+                        };
+                        if let Some(reason) = reason {
+                            flags.shed.fetch_add(1, Ordering::Relaxed);
+                            stuq_obs::metrics().serve_shed.inc();
+                            stuq_obs::emit(Event::new("serve_rejected").str("reason", reason));
+                            write_line(&proto::resp_rejected(&req.id, reason));
+                        }
+                    }
+                    Ok(_) => lanes.push_control(line),
+                }
+            }
+            lanes.close();
+        })
+    };
+
+    let mut requests: u64 = 0;
+    let mut done = false;
+    let mirror = |server: &Server, flags: &Flags| {
+        flags.draining.store(server.draining, Ordering::Relaxed);
+        flags.breaker_open.store(server.breaker_is_open(), Ordering::Relaxed);
+    };
+
+    while !done {
+        match lanes.pop(Duration::from_millis(50)) {
+            Popped::Control(line) => {
+                let r = server.process_line(&line);
+                write_line(&r.response);
+                done = r.done;
+                mirror(server, &flags);
+            }
+            Popped::Forecast(line) => {
+                requests += 1;
+                let r = server.process_line(&line);
+                write_line(&r.response);
+                mirror(server, &flags);
+            }
+            Popped::TimedOut => {
+                server.poll_watcher();
+                mirror(server, &flags);
+                server.write_health(0, server.shed + flags.shed.load(Ordering::Relaxed));
+            }
+            Popped::Closed => break,
+        }
+    }
+    if done {
+        // Shutdown drains what was admitted before exiting.
+        for item in lanes.drain_now() {
+            if let Popped::Control(line) | Popped::Forecast(line) = item {
+                requests += 1;
+                let r = server.process_line(&line);
+                write_line(&r.response);
+            }
+        }
+        lanes.close();
+    }
+    let _ = reader_handle.join();
+
+    let shed = server.shed + flags.shed.load(Ordering::Relaxed);
+    server.write_health(0, shed);
+    stuq_obs::emit(Event::new("serve_stop").uint("requests", requests).uint("shed", shed));
+    ServeSummary { requests, shed, responses: responses.load(Ordering::Relaxed) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_budget_counts_logical_time() {
+        let mut clock = Clock::fake(10);
+        let t_start = clock.now_ms(); // 0; next reads: 10, 20, 30, …
+        let mut b = DeadlineBudget { clock: &mut clock, t_start, deadline_ms: 25 };
+        assert!(b.allow(1), "10ms elapsed < 25");
+        assert!(b.allow(2), "20ms elapsed < 25");
+        assert!(!b.allow(3), "30ms elapsed >= 25");
+    }
+
+    #[test]
+    fn zero_deadline_denies_immediately() {
+        let mut clock = Clock::fake(1);
+        let t_start = clock.now_ms();
+        let mut b = DeadlineBudget { clock: &mut clock, t_start, deadline_ms: 0 };
+        assert!(!b.allow(1));
+    }
+
+    #[test]
+    fn lanes_shed_when_full_and_prioritise_control() {
+        let lanes = Lanes::new(2);
+        assert!(lanes.try_push_forecast("f1".into()));
+        assert!(lanes.try_push_forecast("f2".into()));
+        assert!(!lanes.try_push_forecast("f3".into()), "third push must report full");
+        lanes.push_control("c1".into());
+        assert!(matches!(lanes.pop(Duration::from_millis(1)), Popped::Control(l) if l == "c1"));
+        assert!(matches!(lanes.pop(Duration::from_millis(1)), Popped::Forecast(l) if l == "f1"));
+        assert!(matches!(lanes.pop(Duration::from_millis(1)), Popped::Forecast(l) if l == "f2"));
+        assert!(matches!(lanes.pop(Duration::from_millis(1)), Popped::TimedOut));
+        lanes.close();
+        assert!(matches!(lanes.pop(Duration::from_millis(1)), Popped::Closed));
+        assert!(!lanes.try_push_forecast("f4".into()), "closed lanes admit nothing");
+    }
+
+    #[test]
+    fn serve_config_defaults_are_sane() {
+        let cfg = ServeConfig::new("/tmp/m.stuq");
+        assert_eq!(cfg.max_queue, 64);
+        assert_eq!(cfg.floor, 2);
+        assert_eq!(cfg.breaker_threshold, 3);
+        assert!(cfg.breaker_cooldown_max_ms >= cfg.breaker_cooldown_ms);
+        assert!(cfg.widen_factor > 1.0);
+    }
+}

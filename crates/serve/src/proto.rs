@@ -1,0 +1,351 @@
+//! Wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request per line in, one response line per request out. Every
+//! response is typed by its `"type"` field — `forecast` (normal or
+//! degraded), `rejected`, `fallback`, `error`, `health`, `ack` — so a
+//! client can always dispatch on one closed enum, whatever state the
+//! server is in. See README "Serving" for a transcript and DESIGN.md §11
+//! for the contract.
+//!
+//! Matrices are nested arrays: request `x` is time-major `[t_h][n_nodes]`
+//! (the same layout as a dataset window); response `mu`/`sigma`/`lower`/
+//! `upper` are node-major `[n_nodes][horizon]`. Non-finite floats use the
+//! `"NaN"`/`"inf"`/`"-inf"` marker strings, as in the event log.
+
+use crate::json::{escape, parse, Json};
+use stuq_tensor::Tensor;
+
+/// A parsed client request.
+#[derive(Debug)]
+pub enum Request {
+    /// Run a forecast.
+    Forecast(ForecastReq),
+    /// Report health/readiness.
+    Healthz {
+        /// Echoed request id.
+        id: Option<String>,
+    },
+    /// Validate + swap the watched model artifact now.
+    Reload {
+        /// Echoed request id.
+        id: Option<String>,
+    },
+    /// Stop admitting forecasts; finish what is queued.
+    Drain {
+        /// Echoed request id.
+        id: Option<String>,
+    },
+    /// Drain, then exit the serve loop.
+    Shutdown {
+        /// Echoed request id.
+        id: Option<String>,
+    },
+}
+
+/// A forecast request.
+#[derive(Debug)]
+pub struct ForecastReq {
+    /// Client-chosen id, echoed on the response.
+    pub id: Option<String>,
+    /// Input window, time-major `[t_h][n_nodes]`, raw units.
+    pub x: Vec<Vec<f32>>,
+    /// Per-request deadline in (logical) milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// MC sample-count override.
+    pub mc: Option<usize>,
+    /// Per-request RNG seed (makes the response independent of arrival
+    /// order; defaults to the server seed forked by the request counter).
+    pub seed: Option<u64>,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub struct ParseError {
+    /// Id, when it could still be extracted.
+    pub id: Option<String>,
+    /// Human-readable cause.
+    pub detail: String,
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, ParseError> {
+    let v = parse(line).map_err(|detail| ParseError { id: None, detail })?;
+    let id = v.get("id").and_then(Json::as_str).map(str::to_owned);
+    let err = |detail: String| ParseError { id: id.clone(), detail };
+    let ty = v
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or_else(|| err("missing request field \"type\"".into()))?;
+    match ty {
+        "healthz" => Ok(Request::Healthz { id }),
+        "reload" => Ok(Request::Reload { id }),
+        "drain" => Ok(Request::Drain { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        "forecast" => {
+            let rows = v
+                .get("x")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| err("forecast request needs a matrix field \"x\"".into()))?;
+            if rows.is_empty() {
+                return Err(err("\"x\" must have at least one row".into()));
+            }
+            let mut x = Vec::with_capacity(rows.len());
+            let mut width = None;
+            for (i, row) in rows.iter().enumerate() {
+                let cells =
+                    row.as_arr().ok_or_else(|| err(format!("\"x\" row {i} is not an array")))?;
+                match width {
+                    None => width = Some(cells.len()),
+                    Some(w) if w != cells.len() => {
+                        return Err(err(format!(
+                            "\"x\" is ragged: row {i} has {} cells, row 0 has {w}",
+                            cells.len()
+                        )));
+                    }
+                    _ => {}
+                }
+                let mut out = Vec::with_capacity(cells.len());
+                for (j, c) in cells.iter().enumerate() {
+                    let f = c
+                        .as_f64()
+                        .ok_or_else(|| err(format!("\"x\"[{i}][{j}] is not a number")))?;
+                    out.push(f as f32);
+                }
+                x.push(out);
+            }
+            if width == Some(0) {
+                return Err(err("\"x\" rows must not be empty".into()));
+            }
+            let deadline_ms =
+                match v.get("deadline_ms") {
+                    None | Some(Json::Null) => None,
+                    Some(d) => Some(d.as_u64().ok_or_else(|| {
+                        err("\"deadline_ms\" must be a non-negative integer".into())
+                    })?),
+                };
+            let mc = match v.get("mc") {
+                None | Some(Json::Null) => None,
+                Some(m) => {
+                    let m = m
+                        .as_u64()
+                        .ok_or_else(|| err("\"mc\" must be a positive integer".into()))?;
+                    if m == 0 {
+                        return Err(err("\"mc\" must be at least 1".into()));
+                    }
+                    Some(m as usize)
+                }
+            };
+            let seed = match v.get("seed") {
+                None | Some(Json::Null) => None,
+                Some(s) => Some(
+                    s.as_u64()
+                        .ok_or_else(|| err("\"seed\" must be a non-negative integer".into()))?,
+                ),
+            };
+            Ok(Request::Forecast(ForecastReq { id, x, deadline_ms, mc, seed }))
+        }
+        other => Err(err(format!("unknown request type {other:?}"))),
+    }
+}
+
+/// Formats one f32 for the wire (non-finite values become markers).
+pub fn fmt_f32(v: f32) -> String {
+    if v.is_nan() {
+        "\"NaN\"".into()
+    } else if v == f32::INFINITY {
+        "\"inf\"".into()
+    } else if v == f32::NEG_INFINITY {
+        "\"-inf\"".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a `[rows, cols]` tensor as a nested JSON array.
+pub fn render_matrix(t: &Tensor) -> String {
+    let (rows, cols) = (t.shape()[0], t.shape()[1]);
+    let mut out = String::with_capacity(rows * cols * 8);
+    out.push('[');
+    for r in 0..rows {
+        if r > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for c in 0..cols {
+            if c > 0 {
+                out.push(',');
+            }
+            out.push_str(&fmt_f32(t.get(r, c)));
+        }
+        out.push(']');
+    }
+    out.push(']');
+    out
+}
+
+fn push_id(out: &mut String, id: &Option<String>) {
+    if let Some(id) = id {
+        out.push_str(",\"id\":");
+        out.push_str(&escape(id));
+    }
+}
+
+/// Interval payload shared by `forecast` and `fallback` responses.
+pub struct Intervals<'a> {
+    /// Predictive mean `[n_nodes][horizon]`, raw units.
+    pub mu: &'a Tensor,
+    /// Total predictive σ, raw units.
+    pub sigma: &'a Tensor,
+    /// 95 % lower bound.
+    pub lower: &'a Tensor,
+    /// 95 % upper bound.
+    pub upper: &'a Tensor,
+}
+
+fn push_intervals(out: &mut String, iv: &Intervals<'_>) {
+    out.push_str(",\"mu\":");
+    out.push_str(&render_matrix(iv.mu));
+    out.push_str(",\"sigma\":");
+    out.push_str(&render_matrix(iv.sigma));
+    out.push_str(",\"lower\":");
+    out.push_str(&render_matrix(iv.lower));
+    out.push_str(",\"upper\":");
+    out.push_str(&render_matrix(iv.upper));
+}
+
+/// A normal or degraded forecast response.
+pub fn resp_forecast(
+    id: &Option<String>,
+    samples_used: usize,
+    samples_requested: usize,
+    iv: &Intervals<'_>,
+) -> String {
+    let degraded = samples_used < samples_requested;
+    let inflation = samples_requested as f32 / samples_used as f32;
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"type\":\"forecast\"");
+    push_id(&mut out, id);
+    out.push_str(&format!(
+        ",\"degraded\":{degraded},\"samples_used\":{samples_used},\"samples_requested\":{samples_requested},\"variance_inflation\":{}",
+        fmt_f32(inflation)
+    ));
+    push_intervals(&mut out, iv);
+    out.push('}');
+    out
+}
+
+/// A shed/refused request. `reason` ∈ {queue_full, draining, breaker_open}.
+pub fn resp_rejected(id: &Option<String>, reason: &str) -> String {
+    let mut out = String::with_capacity(64);
+    out.push_str("{\"type\":\"rejected\"");
+    push_id(&mut out, id);
+    out.push_str(&format!(",\"reason\":{}}}", escape(reason)));
+    out
+}
+
+/// The documented breaker fallback: a persistence forecast with widened
+/// intervals. `reason` ∈ {breaker_open, model_fault}.
+pub fn resp_fallback(id: &Option<String>, reason: &str, iv: &Intervals<'_>) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"type\":\"fallback\"");
+    push_id(&mut out, id);
+    out.push_str(&format!(",\"reason\":{}", escape(reason)));
+    push_intervals(&mut out, iv);
+    out.push('}');
+    out
+}
+
+/// A request-level failure (the connection stays up).
+/// `reason` ∈ {bad_request, non_finite_input, shape_mismatch}.
+pub fn resp_error(id: &Option<String>, reason: &str, detail: &str) -> String {
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"type\":\"error\"");
+    push_id(&mut out, id);
+    out.push_str(&format!(",\"reason\":{},\"detail\":{}}}", escape(reason), escape(detail)));
+    out
+}
+
+/// An acknowledgement for control requests (drain/shutdown/reload).
+pub fn resp_ack(id: &Option<String>, action: &str, fields: &[(&str, String)]) -> String {
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"type\":\"ack\"");
+    push_id(&mut out, id);
+    out.push_str(&format!(",\"action\":{}", escape(action)));
+    for (k, v) in fields {
+        out.push_str(&format!(",{}:{}", escape(k), v));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forecast_request_roundtrip() {
+        let r = parse_request(
+            r#"{"type":"forecast","id":"r7","x":[[1,2],[3,"NaN"]],"deadline_ms":8,"mc":4,"seed":9}"#,
+        )
+        .unwrap();
+        let Request::Forecast(f) = r else { panic!("wrong variant") };
+        assert_eq!(f.id.as_deref(), Some("r7"));
+        assert_eq!(f.x.len(), 2);
+        assert!(f.x[1][1].is_nan());
+        assert_eq!(f.deadline_ms, Some(8));
+        assert_eq!(f.mc, Some(4));
+        assert_eq!(f.seed, Some(9));
+    }
+
+    #[test]
+    fn control_requests_parse() {
+        assert!(matches!(parse_request(r#"{"type":"healthz"}"#), Ok(Request::Healthz { .. })));
+        assert!(matches!(parse_request(r#"{"type":"drain","id":"d"}"#), Ok(Request::Drain { .. })));
+        assert!(matches!(parse_request(r#"{"type":"shutdown"}"#), Ok(Request::Shutdown { .. })));
+        assert!(matches!(parse_request(r#"{"type":"reload"}"#), Ok(Request::Reload { .. })));
+    }
+
+    #[test]
+    fn bad_requests_keep_the_id_when_extractable() {
+        let e = parse_request(r#"{"type":"forecast","id":"r9"}"#).unwrap_err();
+        assert_eq!(e.id.as_deref(), Some("r9"));
+        assert!(e.detail.contains("\"x\""));
+        let e = parse_request("not json at all").unwrap_err();
+        assert_eq!(e.id, None);
+        let e = parse_request(r#"{"type":"forecast","id":"rg","x":[[1],[2,3]]}"#).unwrap_err();
+        assert!(e.detail.contains("ragged"));
+        let e = parse_request(r#"{"type":"launch_missiles"}"#).unwrap_err();
+        assert!(e.detail.contains("unknown request type"));
+    }
+
+    #[test]
+    fn responses_are_valid_json_with_stable_types() {
+        let id = Some("q".to_string());
+        let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let iv = Intervals { mu: &m, sigma: &m, lower: &m, upper: &m };
+        for (line, ty) in [
+            (resp_forecast(&id, 3, 8, &iv), "forecast"),
+            (resp_rejected(&id, "queue_full"), "rejected"),
+            (resp_fallback(&id, "breaker_open", &iv), "fallback"),
+            (resp_error(&None, "bad_request", "nope"), "error"),
+            (resp_ack(&id, "drain", &[]), "ack"),
+        ] {
+            let v = crate::json::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(v.get("type").and_then(Json::as_str), Some(ty));
+        }
+        let deg = resp_forecast(&id, 3, 8, &iv);
+        assert!(deg.contains("\"degraded\":true"));
+        assert!(deg.contains("\"samples_used\":3"));
+        let v = crate::json::parse(&deg).unwrap();
+        let infl = v.get("variance_inflation").and_then(Json::as_f64).unwrap();
+        assert!((infl - 8.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nonfinite_floats_render_as_markers() {
+        let m = Tensor::from_vec(vec![f32::NAN, f32::INFINITY, -1.5, 0.0], &[2, 2]);
+        let s = render_matrix(&m);
+        assert_eq!(s, r#"[["NaN","inf"],[-1.5,0]]"#);
+        assert!(crate::json::parse(&s).is_ok());
+    }
+}

@@ -172,3 +172,97 @@ fn cli_artifacts_interoperate_with_library_loaders() {
     assert!(f.mu.all_finite());
     std::fs::remove_dir_all(dir).ok();
 }
+
+/// Fuzz sweep across every serialized artifact type: byte truncation at a
+/// spread of offsets and single-bit flips at a spread of positions must all
+/// surface as typed `Err`s from the loaders — never a panic, never a
+/// silently-accepted corrupt artifact. The checksum trailer is the common
+/// last line of defence, so a single flipped bit anywhere must be caught.
+#[test]
+fn corrupted_artifacts_fail_typed_and_never_panic() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let dir = tmp_dir("corruption_fuzz");
+    let ds = Preset::Pems08Like.spec().scaled(0.08, 0.02).generate(205);
+
+    // Model artifact.
+    let model_path = saved_tiny_model(&dir);
+
+    // Dataset artifact.
+    let data_path = dir.join("d.stuqd");
+    stuq_traffic::save_dataset(ds.data(), &data_path).unwrap();
+
+    // Training checkpoint (pause a budgeted fit after one epoch).
+    let ckpt_dir = dir.join("ckpt");
+    let opts = deepstuq::FitOptions {
+        checkpoint_dir: Some(ckpt_dir.clone()),
+        epoch_budget: Some(1),
+        ..Default::default()
+    };
+    let cfg = DeepStuqConfig::fast_demo(ds.n_nodes(), ds.horizon());
+    DeepStuq::fit(&ds, cfg, 205, &opts).unwrap();
+    let ckpt_path = ckpt_dir.join(deepstuq::pipeline::CHECKPOINT_FILE);
+    assert!(ckpt_path.exists(), "budgeted fit must leave a checkpoint behind");
+
+    // Sealed event-log-style payload (the obs sink's closing seal).
+    let events_path = dir.join("events.sealed");
+    std::fs::write(&events_path, stuq_artifact::seal(b"{\"type\":\"run_start\"}\n")).unwrap();
+
+    type Loader = Box<dyn Fn(&std::path::Path) -> Result<(), String>>;
+    let cases: Vec<(&str, std::path::PathBuf, Loader)> = vec![
+        (
+            "model",
+            model_path,
+            Box::new(|p| deepstuq::load_model(p).map(drop).map_err(|e| e.to_string())),
+        ),
+        (
+            "dataset",
+            data_path,
+            Box::new(|p| stuq_traffic::load_dataset(p).map(drop).map_err(|e| e.to_string())),
+        ),
+        (
+            "checkpoint",
+            ckpt_path,
+            Box::new(|p| {
+                deepstuq::checkpoint::load_checkpoint(p).map(drop).map_err(|e| e.to_string())
+            }),
+        ),
+        (
+            "sealed-events",
+            events_path,
+            Box::new(|p| stuq_artifact::read_verified(p).map(drop).map_err(|e| e.to_string())),
+        ),
+    ];
+
+    for (name, path, load) in &cases {
+        let clean = std::fs::read(path).unwrap();
+        assert!(load(path).is_ok(), "{name}: pristine artifact must load");
+        let scratch = dir.join(format!("{name}.corrupt"));
+
+        // Truncations: empty file, header-only, several mid-file cuts, and
+        // one/two bytes shy of complete (clips the trailer's newline).
+        let n = clean.len();
+        for cut in [0, 1, n / 100, n / 4, n / 2, 3 * n / 4, n - 2, n - 1] {
+            std::fs::write(&scratch, &clean[..cut]).unwrap();
+            let r = catch_unwind(AssertUnwindSafe(|| load(&scratch)))
+                .unwrap_or_else(|_| panic!("{name}: truncation at {cut}/{n} bytes panicked"));
+            assert!(r.is_err(), "{name}: truncation at {cut}/{n} bytes must be a typed error");
+        }
+
+        // Single-bit flips spread across the file: header, payload body, and
+        // the checksum trailer all get hit. Only low-nibble bits are flipped:
+        // bit 5 on a trailer hex digit is a case flip (`a` → `A`), which
+        // decodes to the same checksum value and is legitimately accepted,
+        // whereas a low-nibble flip always changes the decoded content.
+        for i in 0..16 {
+            let pos = (n * (2 * i + 1)) / 32;
+            let mut bad = clean.clone();
+            bad[pos] ^= 1 << (i % 4);
+            std::fs::write(&scratch, &bad).unwrap();
+            let r = catch_unwind(AssertUnwindSafe(|| load(&scratch)))
+                .unwrap_or_else(|_| panic!("{name}: bit flip at byte {pos} panicked"));
+            assert!(r.is_err(), "{name}: bit flip at byte {pos}/{n} must be a typed error");
+        }
+    }
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -1,0 +1,481 @@
+//! End-to-end tests for the deadline-aware serving runtime (DESIGN.md §11):
+//! anytime degradation properties, breaker trajectories, fallback contract,
+//! hot reload + rollback, and the serve loop itself.
+//!
+//! Everything runs on the fake clock (`ServeConfig::fake_clock_step_ms`), so
+//! every trajectory here is a pure function of the request stream.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use deepstuq::pipeline::{DeepStuq, DeepStuqConfig};
+use stuq_models::{Agcrn, AgcrnConfig, Forecaster};
+use stuq_serve::json::{self, Json};
+use stuq_serve::{reload, serve_loop, ServeConfig, Server};
+use stuq_tensor::StuqRng;
+use stuq_traffic::{Preset, Split};
+
+struct Fx {
+    dir: PathBuf,
+    data: PathBuf,
+    model: PathBuf,
+    /// Valid artifact, same architecture, all parameters NaN.
+    poisoned: PathBuf,
+    /// Valid artifact, incompatible architecture (n_nodes + 1).
+    mismatch: PathBuf,
+    n_nodes: usize,
+    horizon: usize,
+    /// One raw test window, time-major rows.
+    x_rows: Vec<Vec<f32>>,
+}
+
+fn fx() -> &'static Fx {
+    static FX: OnceLock<Fx> = OnceLock::new();
+    FX.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("stuq_serve_rt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ds = Preset::Pems08Like.spec().scaled(0.08, 0.02).generate(301);
+        let data = dir.join("toy.stuqd");
+        stuq_traffic::save_dataset(ds.data(), &data).unwrap();
+        let cfg = DeepStuqConfig::fast_demo(ds.n_nodes(), ds.horizon());
+        let model_obj = DeepStuq::train(&ds, cfg, 301);
+        let model = dir.join("toy.stuq");
+        deepstuq::save_model(&model_obj, &model).unwrap();
+
+        let mut poisoned_obj = deepstuq::load_model(&model).unwrap();
+        let ps = poisoned_obj.model_mut().params_mut();
+        let nan_snap: Vec<_> = ps.snapshot().iter().map(|t| t.map(|_| f32::NAN)).collect();
+        ps.load_snapshot(&nan_snap);
+        let poisoned = dir.join("poisoned.stuq");
+        deepstuq::save_model(&poisoned_obj, &poisoned).unwrap();
+
+        let cfg2 = AgcrnConfig::new(ds.n_nodes() + 1, ds.horizon());
+        let other = Agcrn::new(cfg2, &mut StuqRng::new(1));
+        let mismatch = dir.join("mismatch.stuq");
+        deepstuq::save_model(&DeepStuq::from_parts(other, 1.0, 4), &mismatch).unwrap();
+
+        let start = ds.window_starts(Split::Test)[0];
+        let x_rows: Vec<Vec<f32>> = (start..start + ds.t_h())
+            .map(|t| (0..ds.n_nodes()).map(|i| ds.data().get(t, i)).collect())
+            .collect();
+        Fx {
+            dir,
+            data,
+            model,
+            poisoned,
+            mismatch,
+            n_nodes: ds.n_nodes(),
+            horizon: ds.horizon(),
+            x_rows,
+        }
+    })
+}
+
+/// Test config: fake clock (1 ms per read), no background watcher, small
+/// breaker numbers. Individual tests override what they pin down.
+fn cfg_for(model_path: &Path, f: &Fx) -> ServeConfig {
+    let mut c = ServeConfig::new(model_path);
+    c.data_path = Some(f.data.clone());
+    c.fake_clock_step_ms = Some(1);
+    c.reload_poll_ms = 0;
+    c.mc_samples = Some(6);
+    c.floor = 2;
+    c.breaker_threshold = 2;
+    c.breaker_cooldown_ms = 4;
+    c.breaker_cooldown_max_ms = 16;
+    c.seed = 11;
+    c
+}
+
+fn forecast_line(
+    f: &Fx,
+    id: &str,
+    deadline_ms: Option<u64>,
+    mc: Option<usize>,
+    seed: u64,
+) -> String {
+    let mut s = format!("{{\"type\":\"forecast\",\"id\":\"{id}\",\"seed\":{seed}");
+    if let Some(d) = deadline_ms {
+        s.push_str(&format!(",\"deadline_ms\":{d}"));
+    }
+    if let Some(m) = mc {
+        s.push_str(&format!(",\"mc\":{m}"));
+    }
+    s.push_str(",\"x\":[");
+    for (i, row) in f.x_rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push('[');
+        for (j, v) in row.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{v}"));
+        }
+        s.push(']');
+    }
+    s.push_str("]}");
+    s
+}
+
+fn parsed(line: &str) -> Json {
+    json::parse(line).unwrap_or_else(|e| panic!("unparseable response {line:?}: {e}"))
+}
+
+fn field_u64(v: &Json, key: &str) -> u64 {
+    v.get(key).and_then(Json::as_u64).unwrap_or_else(|| panic!("missing uint {key}"))
+}
+
+fn ty(v: &Json) -> String {
+    v.get("type").and_then(Json::as_str).expect("typed response").to_string()
+}
+
+/// Flattens a `[n][h]` response matrix.
+fn matrix(v: &Json, key: &str) -> Vec<f64> {
+    let rows = v.get(key).and_then(Json::as_arr).unwrap_or_else(|| panic!("missing matrix {key}"));
+    rows.iter()
+        .flat_map(|r| r.as_arr().expect("matrix row").iter().map(|c| c.as_f64().expect("number")))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Anytime degradation properties
+// ---------------------------------------------------------------------------
+
+#[test]
+fn samples_used_respect_the_floor_for_any_deadline() {
+    let f = fx();
+    let mut prev_used = 0;
+    for d in [0u64, 1, 2, 3, 4, 6, 100] {
+        let mut srv = Server::new(cfg_for(&f.model, f)).unwrap();
+        let resp = srv.handle_line(&forecast_line(f, "p", Some(d), Some(8), 99)).response;
+        let v = parsed(&resp);
+        assert_eq!(ty(&v), "forecast", "{resp}");
+        let used = field_u64(&v, "samples_used");
+        assert!(used >= 2, "deadline {d}: {used} samples is below the floor");
+        assert!(used >= prev_used, "samples_used must be monotone in the deadline");
+        prev_used = used;
+        let degraded = matches!(v.get("degraded"), Some(Json::Bool(true)));
+        assert_eq!(degraded, used < 8, "degraded flag must track the cut");
+        if d >= 100 {
+            assert_eq!(used, 8, "a loose deadline must not degrade");
+        }
+    }
+    assert_eq!(prev_used, 8);
+}
+
+#[test]
+fn reported_variance_never_narrows_with_fewer_samples() {
+    // Same per-request seed → identical sample streams; the monotone
+    // envelope then guarantees elementwise σ(more samples) ≤ σ(fewer).
+    let f = fx();
+    let mut runs: Vec<(u64, Vec<f64>)> = Vec::new();
+    for d in [2u64, 3, 4, 6, 1000] {
+        let mut srv = Server::new(cfg_for(&f.model, f)).unwrap();
+        let resp = srv.handle_line(&forecast_line(f, "v", Some(d), Some(8), 5)).response;
+        let v = parsed(&resp);
+        assert_eq!(ty(&v), "forecast");
+        runs.push((field_u64(&v, "samples_used"), matrix(&v, "sigma")));
+    }
+    runs.sort_by_key(|(used, _)| *used);
+    for w in runs.windows(2) {
+        let (used_a, sig_a) = &w[0];
+        let (used_b, sig_b) = &w[1];
+        assert!(used_a <= used_b);
+        for (i, (a, b)) in sig_a.iter().zip(sig_b).enumerate() {
+            assert!(
+                *b <= *a + 1e-9,
+                "σ[{i}] grew from {a} ({used_a} samples) to {b} ({used_b} samples)"
+            );
+        }
+    }
+}
+
+#[test]
+fn degraded_responses_are_identical_under_the_serial_pool() {
+    // The STUQ_THREADS=1/2/4 byte-identity the chaos job checks, in-process:
+    // the serial pool must reproduce the parallel bytes exactly.
+    let f = fx();
+    let line = forecast_line(f, "s", Some(3), Some(8), 123);
+    let parallel = Server::new(cfg_for(&f.model, f)).unwrap().handle_line(&line).response;
+    let serial = stuq_parallel::with_serial(|| {
+        Server::new(cfg_for(&f.model, f)).unwrap().handle_line(&line).response
+    });
+    assert!(parallel.contains("\"degraded\":true"), "{parallel}");
+    assert_eq!(parallel, serial, "degraded response must be byte-identical serial vs parallel");
+}
+
+#[test]
+fn requests_with_explicit_seeds_are_order_independent() {
+    let f = fx();
+    let a = forecast_line(f, "a", None, Some(4), 77);
+    let b = forecast_line(f, "b", None, Some(4), 78);
+    let mut s1 = Server::new(cfg_for(&f.model, f)).unwrap();
+    let r_a_first = s1.handle_line(&a).response;
+    let _ = s1.handle_line(&b);
+    let mut s2 = Server::new(cfg_for(&f.model, f)).unwrap();
+    let _ = s2.handle_line(&b);
+    let r_a_second = s2.handle_line(&a).response;
+    assert_eq!(r_a_first, r_a_second, "seeded requests must not depend on arrival order");
+}
+
+// ---------------------------------------------------------------------------
+// Breaker + fallback
+// ---------------------------------------------------------------------------
+
+#[test]
+fn breaker_opens_on_faults_and_recovers_after_reload() {
+    let f = fx();
+    let dir = f.dir.join("breaker_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let live = dir.join("live.stuq");
+    std::fs::copy(&f.poisoned, &live).unwrap();
+    let mut srv = Server::new(cfg_for(&live, f)).unwrap();
+
+    // Cold server + faulty model: nothing honest to serve → typed rejection.
+    for i in 0..2 {
+        let resp = srv.handle_line(&forecast_line(f, &format!("f{i}"), None, Some(2), 7)).response;
+        let v = parsed(&resp);
+        assert_eq!(ty(&v), "rejected", "{resp}");
+        assert_eq!(v.get("reason").and_then(Json::as_str), Some("breaker_open"));
+    }
+    assert!(srv.breaker_is_open(), "threshold 2 must open the breaker");
+    let health = srv.handle_line(r#"{"type":"healthz","id":"h"}"#).response;
+    let v = parsed(&health);
+    assert_eq!(v.get("breaker").and_then(Json::as_str), Some("open"));
+    assert!(matches!(v.get("ready"), Some(Json::Bool(false))), "{health}");
+
+    // While open (and after any half-open retrial faults again): still shed.
+    for i in 0..4 {
+        let resp = srv.handle_line(&forecast_line(f, &format!("o{i}"), None, Some(2), 7)).response;
+        assert_eq!(ty(&parsed(&resp)), "rejected", "{resp}");
+    }
+
+    // Operator swaps in a good artifact and asks for a reload: the swap
+    // resets the breaker and service resumes.
+    std::fs::copy(&f.model, &live).unwrap();
+    let ack = srv.handle_line(r#"{"type":"reload","id":"r"}"#).response;
+    assert!(ack.contains("\"ok\":true"), "{ack}");
+    assert!(!srv.breaker_is_open());
+    let resp = srv.handle_line(&forecast_line(f, "after", None, Some(2), 7)).response;
+    assert_eq!(ty(&parsed(&resp)), "forecast", "{resp}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn open_breaker_serves_widened_persistence_fallback_after_first_success() {
+    let f = fx();
+    let dir = f.dir.join("fallback_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let live = dir.join("live.stuq");
+    std::fs::copy(&f.model, &live).unwrap();
+    let mut cfg = cfg_for(&live, f);
+    cfg.breaker_threshold = 1;
+    cfg.breaker_cooldown_ms = 10_000; // stays open for the whole test
+    cfg.breaker_cooldown_max_ms = 10_000;
+    cfg.widen_factor = 2.0;
+    let mut srv = Server::new(cfg).unwrap();
+
+    // First request is healthy and records the last-good σ.
+    let ok = srv.handle_line(&forecast_line(f, "ok", None, Some(3), 9)).response;
+    let v_ok = parsed(&ok);
+    assert_eq!(ty(&v_ok), "forecast");
+    let sig = matrix(&v_ok, "sigma");
+    let mean_sigma: f64 = sig.iter().sum::<f64>() / sig.len() as f64;
+
+    // Hot-swap to the NaN model (valid artifact, compatible shape).
+    std::fs::copy(&f.poisoned, &live).unwrap();
+    let ack = srv.handle_line(r#"{"type":"reload"}"#).response;
+    assert!(ack.contains("\"ok\":true"), "{ack}");
+
+    // The fault itself gets the documented fallback…
+    let fb = srv.handle_line(&forecast_line(f, "fb", None, Some(3), 9)).response;
+    let v = parsed(&fb);
+    assert_eq!(ty(&v), "fallback", "{fb}");
+    assert_eq!(v.get("reason").and_then(Json::as_str), Some("model_fault"));
+    // …with persistence μ (last input row held flat across the horizon)…
+    let mu = matrix(&v, "mu");
+    let last_row = f.x_rows.last().unwrap();
+    for node in 0..f.n_nodes {
+        for h in 0..f.horizon {
+            let got = mu[node * f.horizon + h];
+            let want = last_row[node] as f64;
+            assert!((got - want).abs() < 1e-4, "μ[{node},{h}] = {got}, want persisted {want}");
+        }
+    }
+    // …and σ widened from the last healthy response.
+    let fb_sig = matrix(&v, "sigma");
+    for s in &fb_sig {
+        assert!(
+            (s - 2.0 * mean_sigma).abs() / (mean_sigma + 1e-9) < 1e-3,
+            "σ {s} vs 2×{mean_sigma}"
+        );
+    }
+    assert!(srv.breaker_is_open(), "threshold 1 must open on that fault");
+
+    // Subsequent requests while open: fallback with reason breaker_open.
+    let fb2 = srv.handle_line(&forecast_line(f, "fb2", None, Some(3), 9)).response;
+    let v2 = parsed(&fb2);
+    assert_eq!(ty(&v2), "fallback");
+    assert_eq!(v2.get("reason").and_then(Json::as_str), Some("breaker_open"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Hot reload
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reload_rolls_back_on_corrupt_bytes_and_shape_mismatch() {
+    let f = fx();
+    let dir = f.dir.join("rollback_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let live = dir.join("live.stuq");
+    std::fs::copy(&f.model, &live).unwrap();
+    let mut srv = Server::new(cfg_for(&live, f)).unwrap();
+    let checksum0 = srv.model_checksum().to_string();
+
+    // Corrupt artifact: typed rollback, serving model untouched.
+    std::fs::write(&live, b"definitely not a model").unwrap();
+    let ack = srv.handle_line(r#"{"type":"reload","id":"c"}"#).response;
+    assert!(ack.contains("\"ok\":false"), "{ack}");
+    assert_eq!(srv.model_checksum(), checksum0, "rollback must keep the old model");
+
+    // Valid artifact, wrong architecture: also a rollback, with the reason.
+    std::fs::copy(&f.mismatch, &live).unwrap();
+    let ack = srv.handle_line(r#"{"type":"reload","id":"m"}"#).response;
+    assert!(ack.contains("\"ok\":false"), "{ack}");
+    assert!(ack.contains("shape mismatch"), "{ack}");
+    assert_eq!(srv.model_checksum(), checksum0);
+
+    // The server still answers forecasts throughout.
+    let resp = srv.handle_line(&forecast_line(f, "still", None, Some(2), 3)).response;
+    assert_eq!(ty(&parsed(&resp)), "forecast", "{resp}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn background_watcher_swaps_a_changed_artifact_between_requests() {
+    let f = fx();
+    let dir = f.dir.join("watcher_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let live = dir.join("live.stuq");
+    std::fs::copy(&f.model, &live).unwrap();
+    let mut cfg = cfg_for(&live, f);
+    cfg.reload_poll_ms = 5;
+    let mut srv = Server::new(cfg).unwrap();
+    let checksum0 = srv.model_checksum().to_string();
+
+    std::fs::copy(&f.poisoned, &live).unwrap();
+    let want = reload::file_checksum(&std::fs::read(&live).unwrap());
+    let mut swapped = false;
+    for _ in 0..200 {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        srv.poll_watcher();
+        if srv.model_checksum() == want {
+            swapped = true;
+            break;
+        }
+    }
+    assert!(swapped, "watcher must deliver the validated artifact (was {checksum0})");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Admission + serve loop
+// ---------------------------------------------------------------------------
+
+#[test]
+fn drain_rejects_new_forecasts_in_sync_mode() {
+    let f = fx();
+    let mut srv = Server::new(cfg_for(&f.model, f)).unwrap();
+    let ack = srv.handle_line(r#"{"type":"drain","id":"d"}"#).response;
+    assert!(ack.contains("\"action\":\"drain\""), "{ack}");
+    let resp = srv.handle_line(&forecast_line(f, "late", None, Some(2), 1)).response;
+    let v = parsed(&resp);
+    assert_eq!(ty(&v), "rejected");
+    assert_eq!(v.get("reason").and_then(Json::as_str), Some("draining"));
+    let health = parsed(&srv.handle_line(r#"{"type":"healthz"}"#).response);
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("draining"));
+    assert!(matches!(health.get("ready"), Some(Json::Bool(false))));
+}
+
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn serve_loop_answers_every_line_and_honours_shutdown() {
+    let f = fx();
+    let mut input = String::new();
+    for i in 0..3 {
+        input.push_str(&forecast_line(f, &format!("r{i}"), Some(3), Some(6), 40 + i));
+        input.push('\n');
+    }
+    input.push_str("{\"type\":\"healthz\",\"id\":\"h\"}\n");
+    input.push_str("not even json\n");
+    input.push_str("{\"type\":\"shutdown\",\"id\":\"bye\"}\n");
+
+    let mut srv = Server::new(cfg_for(&f.model, f)).unwrap();
+    let sink = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    let summary = serve_loop(&mut srv, std::io::Cursor::new(input), sink.clone());
+
+    let out = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(summary.responses as usize, lines.len());
+    assert_eq!(summary.shed, 0, "large queue must not shed:\n{out}");
+    assert_eq!(summary.requests, 3);
+    let mut n_forecast = 0;
+    for l in &lines {
+        let v = parsed(l);
+        match ty(&v).as_str() {
+            "forecast" => n_forecast += 1,
+            "health" | "ack" | "error" => {}
+            other => panic!("unexpected response type {other}: {l}"),
+        }
+    }
+    assert_eq!(n_forecast, 3, "{out}");
+    assert!(out.contains("\"id\":\"bye\""), "shutdown must be acknowledged:\n{out}");
+    assert!(srv.draining(), "shutdown leaves the server draining");
+}
+
+#[test]
+fn serve_loop_rejects_forecasts_that_arrive_while_draining() {
+    let f = fx();
+    // drain first, then a forecast: the drain ack is processed by the
+    // worker before the reader admits the forecast only sometimes — so
+    // assert the weaker, always-true contract: every line is answered and
+    // the forecast is either served (admitted first) or typed-rejected.
+    let mut input = String::new();
+    input.push_str("{\"type\":\"drain\",\"id\":\"d\"}\n");
+    input.push_str(&forecast_line(f, "late", None, Some(2), 5));
+    input.push('\n');
+    let mut srv = Server::new(cfg_for(&f.model, f)).unwrap();
+    let sink = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    let summary = serve_loop(&mut srv, std::io::Cursor::new(input), sink.clone());
+    let out = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+    assert_eq!(summary.responses as usize, out.lines().count());
+    let late = out
+        .lines()
+        .map(parsed)
+        .find(|v| v.get("id").and_then(Json::as_str) == Some("late"))
+        .expect("late request must be answered");
+    match ty(&late).as_str() {
+        "forecast" => {}
+        "rejected" => {
+            assert_eq!(late.get("reason").and_then(Json::as_str), Some("draining"));
+        }
+        other => panic!("unexpected type {other}:\n{out}"),
+    }
+}
