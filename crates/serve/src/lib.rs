@@ -5,9 +5,12 @@
 //! mechanisms between the client and the model:
 //!
 //! 1. **Admission control** — a bounded queue in front of the worker; when
-//!    it is full (or the server is draining, or the breaker is open) new
-//!    forecasts are *shed* with a typed `rejected` response instead of
-//!    growing latency without bound.
+//!    it is full (or the server is draining) new forecasts are *shed* with
+//!    a typed `rejected` response instead of growing latency without bound.
+//!    Breaker state is *not* an admission concern: open-breaker forecasts
+//!    still reach the worker, which serves the documented fallback (or a
+//!    typed rejection) and — crucially — runs the half-open probe that lets
+//!    the breaker recover.
 //! 2. **Anytime MC-dropout degradation** — each request carries a deadline
 //!    budget in (logical) milliseconds. The MC loop checks the budget
 //!    between passes ([`deepstuq::mc_forecast_anytime`]) and stops early,
@@ -155,6 +158,10 @@ pub struct Server {
     draining: bool,
     requests_served: u64,
     shed: u64,
+    /// Forecast-lane depth last observed by the serve loop (0 in sync mode).
+    queue_depth: usize,
+    /// Reader-side sheds mirrored in by the serve loop (0 in sync mode).
+    shed_reader: u64,
 }
 
 impl Server {
@@ -204,6 +211,8 @@ impl Server {
             draining: false,
             requests_served: 0,
             shed: 0,
+            queue_depth: 0,
+            shed_reader: 0,
         })
     }
 
@@ -217,7 +226,8 @@ impl Server {
         self.draining
     }
 
-    /// True while the breaker is open (the loop sheds at admission).
+    /// True while the breaker is open (readiness surfaces report it; the
+    /// worker answers open-breaker forecasts with fallback or rejection).
     pub fn breaker_is_open(&self) -> bool {
         self.breaker.state() == breaker::State::Open
     }
@@ -255,9 +265,7 @@ impl Server {
                 self.poll_watcher();
                 LineOutcome { response: self.handle_forecast(&req), done: false }
             }
-            Ok(Request::Healthz { id }) => {
-                LineOutcome { response: self.healthz(&id, 0, self.shed), done: false }
-            }
+            Ok(Request::Healthz { id }) => LineOutcome { response: self.healthz(&id), done: false },
             Ok(Request::Reload { id }) => {
                 LineOutcome { response: self.handle_reload(&id), done: false }
             }
@@ -334,7 +342,12 @@ impl Server {
         // Anytime MC sampling under the deadline budget.
         let n_req =
             req.mc.or(self.cfg.mc_samples).unwrap_or_else(|| self.model.mc_samples()).max(1);
-        let floor = self.cfg.floor.clamp(1, n_req);
+        // A single completed sample carries no epistemic estimate, so a
+        // multi-sample request cut to one would report *narrower* intervals
+        // than any longer run — the opposite of the degradation contract.
+        // The effective floor is therefore 2 whenever more than one sample
+        // was requested, keeping the variance envelope populated.
+        let floor = if n_req > 1 { self.cfg.floor.clamp(2, n_req) } else { 1 };
         let deadline = req.deadline_ms.or(self.cfg.default_deadline_ms);
         let mut rng = match req.seed {
             Some(s) => StuqRng::new(s),
@@ -410,10 +423,15 @@ impl Server {
         }
 
         // Back to raw units. The envelope is the reported total variance;
-        // an empty envelope (uncut single-sample run) falls back to Eq. 19b.
+        // with the ≥2 effective floor it is always populated, but if it ever
+        // came back empty the fallback inflates Eq. 19b by n_req/used so a
+        // shorter run still cannot report narrower intervals.
         let var_norm: Vec<f32> = match envelope {
             Some(env) => env,
-            None => f.var_total(temp).data().to_vec(),
+            None => {
+                let inflation = n_req_f / used.max(1) as f32;
+                f.var_total(temp).data().iter().map(|v| v * inflation).collect()
+            }
         };
         let std_s = self.scaler.map(|s| s.std() as f32).unwrap_or(1.0);
         let mu_raw = match self.scaler {
@@ -466,10 +484,17 @@ impl Server {
     /// The documented degraded-service path: a persistence forecast (last
     /// input row held flat) with intervals widened from the last healthy
     /// response. With no healthy response yet there is nothing honest to
-    /// serve, so the request is rejected `breaker_open`.
-    fn fallback_or_reject(&mut self, id: &Option<String>, x_raw: &Tensor, reason: &str) -> String {
+    /// serve, so the request is rejected with the caller's reason
+    /// (`model_fault` on the faulting request itself, `breaker_open` while
+    /// the breaker is open).
+    fn fallback_or_reject(
+        &mut self,
+        id: &Option<String>,
+        x_raw: &Tensor,
+        reason: &'static str,
+    ) -> String {
         let Some(sigma0) = self.last_good_sigma else {
-            return self.reject(id, "breaker_open");
+            return self.reject(id, reason);
         };
         let n = self.model.model().n_nodes();
         let tau = self.model.model().horizon();
@@ -517,6 +542,22 @@ impl Server {
         let pending = self.watcher.as_ref().and_then(reload::Watcher::try_recv);
         if let Some(v) = pending {
             let _ = self.apply_reload(v);
+        }
+    }
+
+    /// Idle-tick breaker poll: advances Open → HalfOpen on the real clock so
+    /// readiness surfaces (healthz, health.json) recover without traffic.
+    /// Skipped under the fake clock — idle ticks are wall-time driven, and a
+    /// logical-clock read outside the request pipeline would break the
+    /// "time is a pure function of the request stream" determinism contract
+    /// (the worker still probes on the next forecast either way).
+    fn poll_breaker_idle(&mut self) {
+        if self.clock.is_fake() {
+            return;
+        }
+        let now = self.clock.now_ms();
+        if let Some(t) = self.breaker.poll(now) {
+            self.note_transition(t);
         }
     }
 
@@ -579,10 +620,13 @@ impl Server {
         outcome
     }
 
-    /// The `health` response (also the body of `health.json`).
-    fn healthz(&self, id: &Option<String>, queue_depth: usize, shed: u64) -> String {
+    /// The `health` response (also the body of `health.json`). Queue depth
+    /// and reader-side sheds come from the loop-maintained mirrors, so loop
+    /// mode reports the real forecast-lane depth, not a constant 0.
+    fn healthz(&self, id: &Option<String>) -> String {
         let status = if self.draining { "draining" } else { "ok" };
         let ready = !self.draining && !self.breaker_is_open();
+        let shed = self.shed + self.shed_reader;
         let mut out = String::with_capacity(192);
         out.push_str("{\"type\":\"health\"");
         if let Some(id) = id {
@@ -591,9 +635,10 @@ impl Server {
         }
         out.push_str(&format!(
             ",\"status\":\"{status}\",\"ready\":{ready},\"breaker\":\"{}\",\
-             \"queue_depth\":{queue_depth},\"queue_capacity\":{},\"requests\":{},\
+             \"queue_depth\":{},\"queue_capacity\":{},\"requests\":{},\
              \"shed\":{shed},\"model_checksum\":\"{}\",\"mc_samples\":{},\"floor\":{}}}",
             self.breaker.state().as_str(),
+            self.queue_depth,
             self.cfg.max_queue,
             self.requests_served,
             self.model_checksum,
@@ -604,9 +649,9 @@ impl Server {
     }
 
     /// Atomically rewrites `health.json` under the configured health dir.
-    pub fn write_health(&self, queue_depth: usize, shed: u64) {
+    pub fn write_health(&self) {
         if let Some(dir) = &self.cfg.health_dir {
-            let line = self.healthz(&None, queue_depth, shed);
+            let line = self.healthz(&None);
             let _ = stuq_artifact::write_atomic(
                 dir.join("health.json"),
                 format!("{line}\n").as_bytes(),
@@ -705,6 +750,12 @@ impl Lanes {
         }
     }
 
+    /// Current forecast-lane depth (the bounded lane the health surfaces
+    /// report; the control lane is unbounded and pops first anyway).
+    fn depth(&self) -> usize {
+        self.m.lock().unwrap().forecasts.len()
+    }
+
     /// Drain whatever is left without waiting (shutdown path).
     fn drain_now(&self) -> Vec<Popped> {
         let mut s = self.m.lock().unwrap();
@@ -743,16 +794,12 @@ where
 
     struct Flags {
         draining: AtomicBool,
-        breaker_open: AtomicBool,
         shed: AtomicU64,
     }
 
     let lanes = Arc::new(Lanes::new(server.cfg.max_queue));
-    let flags = Arc::new(Flags {
-        draining: AtomicBool::new(server.draining),
-        breaker_open: AtomicBool::new(server.breaker_is_open()),
-        shed: AtomicU64::new(0),
-    });
+    let flags =
+        Arc::new(Flags { draining: AtomicBool::new(server.draining), shed: AtomicU64::new(0) });
     let out = Arc::new(Mutex::new(writer));
     let responses = Arc::new(AtomicU64::new(0));
 
@@ -779,6 +826,9 @@ where
     );
 
     // Reader: classify each line and either admit it or shed it right here.
+    // Breaker state deliberately plays no part in admission: open-breaker
+    // forecasts must reach the worker so it can serve the documented
+    // fallback and run the half-open probe that recovers the breaker.
     let reader_handle = {
         let lanes = Arc::clone(&lanes);
         let flags = Arc::clone(&flags);
@@ -794,8 +844,6 @@ where
                     Ok(Request::Forecast(req)) => {
                         let reason = if flags.draining.load(Ordering::Relaxed) {
                             Some("draining")
-                        } else if flags.breaker_open.load(Ordering::Relaxed) {
-                            Some("breaker_open")
                         } else if !lanes.try_push_forecast(line.clone()) {
                             Some("queue_full")
                         } else {
@@ -817,48 +865,69 @@ where
 
     let mut requests: u64 = 0;
     let mut done = false;
-    let mirror = |server: &Server, flags: &Flags| {
+    let mirror = |server: &mut Server, flags: &Flags, lanes: &Lanes| {
         flags.draining.store(server.draining, Ordering::Relaxed);
-        flags.breaker_open.store(server.breaker_is_open(), Ordering::Relaxed);
+        server.queue_depth = lanes.depth();
+        server.shed_reader = flags.shed.load(Ordering::Relaxed);
     };
 
     while !done {
         match lanes.pop(Duration::from_millis(50)) {
             Popped::Control(line) => {
+                mirror(server, &flags, &lanes);
                 let r = server.process_line(&line);
                 write_line(&r.response);
                 done = r.done;
-                mirror(server, &flags);
+                mirror(server, &flags, &lanes);
             }
             Popped::Forecast(line) => {
                 requests += 1;
                 let r = server.process_line(&line);
                 write_line(&r.response);
-                mirror(server, &flags);
+                mirror(server, &flags, &lanes);
             }
             Popped::TimedOut => {
                 server.poll_watcher();
-                mirror(server, &flags);
-                server.write_health(0, server.shed + flags.shed.load(Ordering::Relaxed));
+                server.poll_breaker_idle();
+                mirror(server, &flags, &lanes);
+                server.write_health();
             }
             Popped::Closed => break,
         }
     }
-    if done {
-        // Shutdown drains what was admitted before exiting.
+    let drain_and_answer = |server: &mut Server, requests: &mut u64| {
         for item in lanes.drain_now() {
-            if let Popped::Control(line) | Popped::Forecast(line) = item {
-                requests += 1;
-                let r = server.process_line(&line);
-                write_line(&r.response);
+            match item {
+                Popped::Control(line) => {
+                    let r = server.process_line(&line);
+                    write_line(&r.response);
+                }
+                Popped::Forecast(line) => {
+                    *requests += 1;
+                    let r = server.process_line(&line);
+                    write_line(&r.response);
+                }
+                Popped::TimedOut | Popped::Closed => {}
             }
         }
+    };
+    if done {
+        // Shutdown: close the lanes *first* so forecasts that race in late
+        // are shed (`queue_full`) instead of silently queued, then answer
+        // what was already admitted without waiting on the reader.
         lanes.close();
+        drain_and_answer(server, &mut requests);
     }
     let _ = reader_handle.join();
+    if done {
+        // Control lines the reader pushed before it observed the close land
+        // here — every line still gets exactly one response.
+        drain_and_answer(server, &mut requests);
+    }
 
     let shed = server.shed + flags.shed.load(Ordering::Relaxed);
-    server.write_health(0, shed);
+    mirror(server, &flags, &lanes);
+    server.write_health();
     stuq_obs::emit(Event::new("serve_stop").uint("requests", requests).uint("shed", shed));
     ServeSummary { requests, shed, responses: responses.load(Ordering::Relaxed) }
 }
@@ -888,12 +957,16 @@ mod tests {
     #[test]
     fn lanes_shed_when_full_and_prioritise_control() {
         let lanes = Lanes::new(2);
+        assert_eq!(lanes.depth(), 0);
         assert!(lanes.try_push_forecast("f1".into()));
         assert!(lanes.try_push_forecast("f2".into()));
         assert!(!lanes.try_push_forecast("f3".into()), "third push must report full");
+        assert_eq!(lanes.depth(), 2, "depth tracks the bounded forecast lane");
         lanes.push_control("c1".into());
+        assert_eq!(lanes.depth(), 2, "control lines do not count toward depth");
         assert!(matches!(lanes.pop(Duration::from_millis(1)), Popped::Control(l) if l == "c1"));
         assert!(matches!(lanes.pop(Duration::from_millis(1)), Popped::Forecast(l) if l == "f1"));
+        assert_eq!(lanes.depth(), 1);
         assert!(matches!(lanes.pop(Duration::from_millis(1)), Popped::Forecast(l) if l == "f2"));
         assert!(matches!(lanes.pop(Duration::from_millis(1)), Popped::TimedOut));
         lanes.close();

@@ -234,7 +234,9 @@ pub fn resp_forecast(
     out
 }
 
-/// A shed/refused request. `reason` ∈ {queue_full, draining, breaker_open}.
+/// A shed/refused request. `reason` ∈ {queue_full, draining, breaker_open,
+/// model_fault} — the last two only before any healthy response exists (with
+/// healthy history the same conditions serve a `fallback` instead).
 pub fn resp_rejected(id: &Option<String>, reason: &str) -> String {
     let mut out = String::with_capacity(64);
     out.push_str("{\"type\":\"rejected\"");

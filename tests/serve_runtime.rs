@@ -208,6 +208,48 @@ fn degraded_responses_are_identical_under_the_serial_pool() {
 }
 
 #[test]
+fn floor_one_still_keeps_the_envelope_honest_for_multi_sample_requests() {
+    // --floor 1 with a multi-sample request: a deadline that would cut the
+    // run to a single sample must still complete two, because one sample has
+    // zero epistemic variance and would report the *narrowest* intervals on
+    // the most degraded response. The effective floor is 2 whenever more
+    // than one sample is requested.
+    let f = fx();
+    let mut cfg = cfg_for(&f.model, f);
+    cfg.floor = 1;
+    let mut srv = Server::new(cfg).unwrap();
+    let resp = srv.handle_line(&forecast_line(f, "d", Some(0), Some(8), 21)).response;
+    let v = parsed(&resp);
+    assert_eq!(ty(&v), "forecast", "{resp}");
+    assert_eq!(field_u64(&v, "samples_used"), 2, "effective floor must be 2, not 1");
+    assert!(matches!(v.get("degraded"), Some(Json::Bool(true))), "{resp}");
+    let sig_cut = matrix(&v, "sigma");
+
+    // Same seed, no deadline: the full run's intervals must be elementwise
+    // no wider than the degraded ones.
+    let mut cfg_full = cfg_for(&f.model, f);
+    cfg_full.floor = 1;
+    let mut srv_full = Server::new(cfg_full).unwrap();
+    let full = srv_full.handle_line(&forecast_line(f, "d", None, Some(8), 21)).response;
+    let v_full = parsed(&full);
+    assert_eq!(field_u64(&v_full, "samples_used"), 8);
+    let sig_full = matrix(&v_full, "sigma");
+    for (i, (cut, all)) in sig_cut.iter().zip(&sig_full).enumerate() {
+        assert!(*all <= *cut + 1e-9, "σ[{i}]: full run {all} wider than degraded {cut}");
+    }
+
+    // A genuine single-sample request is still allowed to run one pass.
+    let mut srv_one = Server::new({
+        let mut c = cfg_for(&f.model, f);
+        c.floor = 1;
+        c
+    })
+    .unwrap();
+    let one = parsed(&srv_one.handle_line(&forecast_line(f, "one", None, Some(1), 21)).response);
+    assert_eq!(field_u64(&one, "samples_used"), 1);
+}
+
+#[test]
 fn requests_with_explicit_seeds_are_order_independent() {
     let f = fx();
     let a = forecast_line(f, "a", None, Some(4), 77);
@@ -234,12 +276,14 @@ fn breaker_opens_on_faults_and_recovers_after_reload() {
     std::fs::copy(&f.poisoned, &live).unwrap();
     let mut srv = Server::new(cfg_for(&live, f)).unwrap();
 
-    // Cold server + faulty model: nothing honest to serve → typed rejection.
+    // Cold server + faulty model: nothing honest to serve → typed rejection
+    // carrying the *caller's* reason. The breaker is still closed on these
+    // two faults, so the reason is model_fault, not breaker_open.
     for i in 0..2 {
         let resp = srv.handle_line(&forecast_line(f, &format!("f{i}"), None, Some(2), 7)).response;
         let v = parsed(&resp);
         assert_eq!(ty(&v), "rejected", "{resp}");
-        assert_eq!(v.get("reason").and_then(Json::as_str), Some("breaker_open"));
+        assert_eq!(v.get("reason").and_then(Json::as_str), Some("model_fault"), "{resp}");
     }
     assert!(srv.breaker_is_open(), "threshold 2 must open the breaker");
     let health = srv.handle_line(r#"{"type":"healthz","id":"h"}"#).response;
@@ -448,6 +492,78 @@ fn serve_loop_answers_every_line_and_honours_shutdown() {
     assert_eq!(n_forecast, 3, "{out}");
     assert!(out.contains("\"id\":\"bye\""), "shutdown must be acknowledged:\n{out}");
     assert!(srv.draining(), "shutdown leaves the server draining");
+}
+
+#[test]
+fn serve_loop_keeps_probing_an_open_breaker() {
+    // Regression: admission used to shed every forecast while the breaker
+    // was open, so the half-open probe (which only runs inside the worker)
+    // never executed and the loop could never recover. Forecasts must keep
+    // reaching the worker: while open they are answered there (reason
+    // breaker_open), and once the cooldown elapses a probe runs the model
+    // again (another model_fault on this permanently poisoned fixture).
+    let f = fx();
+    let mut cfg = cfg_for(&f.poisoned, f);
+    cfg.breaker_threshold = 1;
+    cfg.breaker_cooldown_ms = 4;
+    cfg.breaker_cooldown_max_ms = 16;
+    cfg.max_queue = 100;
+    let mut input = String::new();
+    for i in 0..20 {
+        input.push_str(&forecast_line(f, &format!("r{i}"), None, Some(2), 7));
+        input.push('\n');
+    }
+    input.push_str("{\"type\":\"shutdown\",\"id\":\"bye\"}\n");
+
+    let mut srv = Server::new(cfg).unwrap();
+    let sink = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    let summary = serve_loop(&mut srv, std::io::Cursor::new(input), sink.clone());
+    let out = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+
+    assert_eq!(summary.requests, 20, "every forecast must reach the worker:\n{out}");
+    assert_eq!(summary.responses, 21, "20 rejections + shutdown ack:\n{out}");
+    let n_probe_faults = out.matches("\"reason\":\"model_fault\"").count();
+    let n_open = out.matches("\"reason\":\"breaker_open\"").count();
+    assert!(
+        n_probe_faults >= 2,
+        "expected the initial fault plus at least one half-open probe, got \
+         {n_probe_faults} model_fault rejections:\n{out}"
+    );
+    assert!(n_open >= 1, "open-state requests must be answered breaker_open:\n{out}");
+}
+
+#[test]
+fn serve_loop_answers_trailing_lines_after_shutdown() {
+    // Every input line gets exactly one response, even lines that land in
+    // the lanes while the worker is already shutting down. Control lines in
+    // particular must never be silently dropped.
+    let f = fx();
+    let mut input = String::new();
+    input.push_str(&forecast_line(f, "f1", None, Some(2), 3));
+    input.push('\n');
+    input.push_str("{\"type\":\"shutdown\",\"id\":\"bye\"}\n");
+    input.push_str("{\"type\":\"healthz\",\"id\":\"h-late\"}\n");
+    input.push_str(&forecast_line(f, "f-late", None, Some(2), 4));
+    input.push('\n');
+
+    let mut srv = Server::new(cfg_for(&f.model, f)).unwrap();
+    let sink = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    let summary = serve_loop(&mut srv, std::io::Cursor::new(input), sink.clone());
+    let out = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+    let lines: Vec<Json> = out.lines().map(parsed).collect();
+
+    assert_eq!(summary.responses as usize, lines.len());
+    assert_eq!(lines.len(), 4, "4 input lines → 4 responses:\n{out}");
+    for id in ["f1", "bye", "h-late", "f-late"] {
+        assert!(
+            lines.iter().any(|v| v.get("id").and_then(Json::as_str) == Some(id)),
+            "line {id} got no response:\n{out}"
+        );
+    }
+    let late = lines.iter().find(|v| v.get("id").and_then(Json::as_str) == Some("h-late")).unwrap();
+    assert_eq!(ty(late), "health", "{out}");
+    // The summary counts forecasts only, and only those the worker served.
+    assert!(summary.requests <= 2, "control lines must not count as requests:\n{out}");
 }
 
 #[test]
