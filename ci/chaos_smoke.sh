@@ -8,6 +8,12 @@
 # place and then restored, and it is asked to shut down cleanly. The process
 # must stay up throughout, shed/degrade per the documented contract, roll the
 # bad artifact back, and leave a validating telemetry sink behind.
+# Phase 3 — burst batching: a same-tick request storm served with coalescing
+# and the forecast cache on must coalesce (batched:true), hit the cache for
+# repeat ticks, and stay byte-identical at STUQ_THREADS=1/2/4.
+# Phase 4 — cache coherence: a hot reload landing between two identical
+# bursts must invalidate the cache — the first post-reload response is
+# recomputed, never served from the old model's entries.
 #
 # usage: chaos_smoke.sh [stuq-binary] [work-dir]
 set -eu
@@ -120,5 +126,90 @@ grep -q '"type":"reload_ok"' "$WORK/telemetry/events.jsonl" \
 sh ci/validate_events.sh "$WORK/telemetry" "$STUQ"
 [ -s "$WORK/health/health.json" ] || fail "health.json missing"
 grep -q '"status"' "$WORK/health/health.json" || fail "health.json has no status"
+
+echo "=== chaos_smoke: phase 3 (burst batching determinism, threads 1/2/4) ==="
+# --burst 8 emits 3 groups of 8 identical (window, tick) seedless requests —
+# the storm shape the coalescer exists for. With --batch-max 4 each group
+# arrives as two deterministic batches under the fake clock: the first
+# shares one MC run, the second is answered from the cache. Same bytes at
+# every thread count, 12 of the 24 responses from the cache.
+"$STUQ" gen-requests --data "$WORK/flow.stuqd" --count 24 --mc 8 \
+  --burst 8 --seed 300 --out "$WORK/storm.ndjson"
+for t in 1 2 4; do
+  STUQ_FAKE_CLOCK=1 STUQ_THREADS=$t "$STUQ" serve \
+    --model "$WORK/model.stuq" --data "$WORK/flow.stuqd" \
+    --max-queue 1000 --reload-poll-ms 0 --floor 2 \
+    --batch-max 4 --cache-ttl-ms 1000000 \
+    <"$WORK/storm.ndjson" >"$WORK/storm-t$t.out" 2>/dev/null
+done
+cmp "$WORK/storm-t1.out" "$WORK/storm-t2.out" \
+  || fail "batched responses differ between 1 and 2 threads"
+cmp "$WORK/storm-t1.out" "$WORK/storm-t4.out" \
+  || fail "batched responses differ between 1 and 4 threads"
+[ "$(grep -c '"type":"forecast"' "$WORK/storm-t1.out")" -eq 24 ] \
+  || fail "expected 24 forecast responses to the storm"
+grep -q '"batched":true,"batch_size":4' "$WORK/storm-t1.out" \
+  || fail "the storm never coalesced into 4-request batches"
+[ "$(grep -c '"cache_hit":true' "$WORK/storm-t1.out")" -eq 12 ] \
+  || fail "expected the second half of every burst group to hit the cache"
+echo "phase 3 OK: storm coalesced, 12/24 cache hits, byte-identical across thread counts"
+
+echo "=== chaos_smoke: phase 4 (reload-during-burst cache coherence) ==="
+# Two servings of the same 8-request burst with a hot model swap in between:
+# the swap must drop the cache, so wave 2 recomputes under the new model and
+# only wave 3 (no reload in between) is answered entirely from the cache.
+"$STUQ" train --data "$WORK/flow.stuqd" --epochs 1 --awa-epochs 2 \
+  --batch 8 --mc 3 --seed 43 --out "$WORK/model-b.stuq"
+cp "$WORK/model.bak" "$WORK/live.stuq"
+"$STUQ" gen-requests --data "$WORK/flow.stuqd" --count 8 --mc 8 \
+  --burst 8 --seed 310 --out "$WORK/wave.ndjson"
+
+FIFO2="$WORK/in2.fifo"
+mkfifo "$FIFO2"
+"$STUQ" serve --model "$WORK/live.stuq" --data "$WORK/flow.stuqd" \
+  --max-queue 1000 --reload-poll-ms 50 \
+  --batch-max 4 --cache-ttl-ms 1000000 \
+  --telemetry-dir "$WORK/telemetry2" \
+  <"$FIFO2" >"$WORK/coherence.out" 2>"$WORK/coherence.err" &
+SERVE2_PID=$!
+exec 4>"$FIFO2"
+
+await_coherence() {
+  want=$1
+  what=$2
+  i=0
+  while [ "$(wc -l <"$WORK/coherence.out")" -lt "$want" ]; do
+    i=$((i + 1))
+    [ "$i" -le 300 ] || fail "timed out waiting for $what ($want lines)"
+    kill -0 "$SERVE2_PID" 2>/dev/null || fail "server died waiting for $what"
+    sleep 0.1
+  done
+}
+
+cat "$WORK/wave.ndjson" >&4
+await_coherence 8 "wave 1"
+cp "$WORK/model-b.stuq" "$WORK/live.stuq"
+sleep 1
+cat "$WORK/wave.ndjson" >&4
+await_coherence 16 "wave 2"
+cat "$WORK/wave.ndjson" >&4
+await_coherence 24 "wave 3"
+exec 4>&-
+wait "$SERVE2_PID" || fail "coherence server exited nonzero"
+
+grep -q '"type":"reload_ok"' "$WORK/telemetry2/events.jsonl" \
+  || fail "the mid-burst model swap never reloaded"
+grep -q '"type":"cache_invalidate".*"reason":"reload"' "$WORK/telemetry2/events.jsonl" \
+  || fail "the reload did not invalidate the cache"
+# Wave 1 ends with hits (everything after its first batch shares the entry).
+head -n 8 "$WORK/coherence.out" | grep -q '"cache_hit":true' \
+  || fail "wave 1 never warmed the cache"
+# First post-reload response must be recomputed, not the old model's entry.
+sed -n '9p' "$WORK/coherence.out" | grep -q '"cache_hit":false' \
+  || fail "first post-reload response was served from the stale cache"
+# Wave 3 is the same tick again with no reload in between: all hits.
+[ "$(tail -n 8 "$WORK/coherence.out" | grep -c '"cache_hit":true')" -eq 8 ] \
+  || fail "wave 3 should be answered entirely from the re-primed cache"
+echo "phase 4 OK: reload dropped the cache; no stale forecasts served"
 
 echo "chaos_smoke: OK"

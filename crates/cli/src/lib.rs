@@ -226,9 +226,11 @@ USAGE:
                     [--breaker-threshold N] [--breaker-cooldown-ms N]
                     [--breaker-cooldown-max-ms N] [--max-abs-output X]
                     [--widen-factor X] [--reload-poll-ms N] [--health-dir DIR]
-                    [--seed N]
+                    [--seed N] [--batch-max N] [--batch-wait-ms N]
+                    [--cache-ttl-ms N] [--cache-cap N]
   stuq gen-requests --data data.stuqd [--count N] [--deadline-ms N] [--mc N]
                     [--nan-frac F] [--seed N] [--out FILE]
+                    [--burst K] [--hot-nodes H]
   stuq telemetry dump|validate --dir DIR
 
 Every command also accepts [--telemetry-dir DIR] [--telemetry-level off|summary|trace]
@@ -248,8 +250,14 @@ Serving (DESIGN.md §11): `stuq serve` answers newline-delimited JSON forecast
 requests on stdin/stdout (or a Unix socket with --socket). Requests carry
 deadline budgets driving anytime MC-dropout degradation; the runtime sheds
 load past --max-queue, breaks the circuit on consecutive model faults, and
-hot-reloads the model artifact when it changes on disk. `stuq gen-requests`
-emits a request stream from a dataset's test split for load tests.";
+hot-reloads the model artifact when it changes on disk. With --batch-max > 1
+co-arriving forecasts coalesce into one batch and identical requests share a
+single MC run (DESIGN.md §12); --cache-ttl-ms enables the per-tick forecast
+cache (TTL = the data cadence). `stuq gen-requests` emits a request stream
+from a dataset's test split for load tests; --burst K groups requests into
+same-tick storms of K (declaring `tick`, seedless, so they batch and cache),
+and --hot-nodes H adds overlapping node subsets drawn from the first H
+sensors.";
 
 /// A minimal `--key value` argument map.
 struct Args {
@@ -582,6 +590,13 @@ fn serve_config(a: &Args) -> Result<stuq_serve::ServeConfig, CliError> {
     }
     cfg.reload_poll_ms = a.parse_or("reload-poll-ms", cfg.reload_poll_ms)?;
     cfg.seed = a.parse_or("seed", cfg.seed)?;
+    cfg.batch_max = a.parse_or("batch-max", cfg.batch_max)?;
+    cfg.batch_wait_ms = a.parse_or("batch-wait-ms", cfg.batch_wait_ms)?;
+    cfg.cache_ttl_ms = a.parse_or("cache-ttl-ms", cfg.cache_ttl_ms)?;
+    cfg.cache_cap = a.parse_or("cache-cap", cfg.cache_cap)?;
+    if cfg.batch_max == 0 {
+        return Err("--batch-max must be at least 1".into());
+    }
     Ok(cfg)
 }
 
@@ -650,6 +665,31 @@ fn cmd_gen_requests(args: &[String], out: &mut impl Write) -> Result<(), CliErro
     let nan_frac: f64 = a.parse_or("nan-frac", 0.0)?;
     let seed: u64 = a.parse_or("seed", 7u64)?;
     let out_path = a.get("out").map(PathBuf::from);
+    // --burst K: same-tick storms of K requests sharing one window. They
+    // declare `tick` and carry no per-request seed, so the server derives
+    // one RNG per tick — exactly the shape the batcher coalesces and the
+    // forecast cache answers.
+    let burst: Option<usize> = match a.get("burst") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| format!("bad value for --burst: {v:?}"))?),
+    };
+    if burst == Some(0) {
+        return Err("--burst must be at least 1".into());
+    }
+    // --hot-nodes H: overlapping node subsets drawn from the first H
+    // sensors, index-derived (no RNG) so the stream is reproducible.
+    let hot_nodes: Option<usize> = match a.get("hot-nodes") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| format!("bad value for --hot-nodes: {v:?}"))?),
+    };
+    if let Some(h) = hot_nodes {
+        if h == 0 || h > ds.n_nodes() {
+            return Err(format!(
+                "--hot-nodes must be in 1..={} (dataset sensors), got {h}",
+                ds.n_nodes()
+            ));
+        }
+    }
 
     let starts = ds.window_starts(Split::Test);
     if starts.is_empty() {
@@ -658,11 +698,32 @@ fn cmd_gen_requests(args: &[String], out: &mut impl Write) -> Result<(), CliErro
     let mut rng = StuqRng::new(seed);
     let mut buf = String::new();
     for i in 0..count {
-        let start = starts[i % starts.len()];
-        buf.push_str(&format!(
-            "{{\"type\":\"forecast\",\"id\":\"r{i}\",\"seed\":{}",
-            seed + i as u64
-        ));
+        let (start, tick) = match burst {
+            Some(k) => {
+                let g = i / k;
+                (starts[g % starts.len()], Some(g as u64))
+            }
+            None => (starts[i % starts.len()], None),
+        };
+        buf.push_str(&format!("{{\"type\":\"forecast\",\"id\":\"r{i}\""));
+        match tick {
+            Some(g) => buf.push_str(&format!(",\"tick\":{g}")),
+            None => buf.push_str(&format!(",\"seed\":{}", seed + i as u64)),
+        }
+        if let Some(h) = hot_nodes {
+            let width = (1 + i % 3).min(h);
+            let mut nodes: Vec<usize> = (0..width).map(|j| (i + j) % h).collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            buf.push_str(",\"nodes\":[");
+            for (j, node) in nodes.iter().enumerate() {
+                if j > 0 {
+                    buf.push(',');
+                }
+                buf.push_str(&node.to_string());
+            }
+            buf.push(']');
+        }
         if let Some(d) = deadline_ms {
             buf.push_str(&format!(",\"deadline_ms\":{d}"));
         }

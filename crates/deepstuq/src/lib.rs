@@ -66,7 +66,8 @@ pub use error::{Stage, TrainError};
 pub use guard::{GuardConfig, GuardState};
 pub use io::{load_model, load_model_bytes, save_model};
 pub use mc::{
-    mc_forecast, mc_forecast_anytime, AnytimeForecast, GaussianForecast, SampleBudget,
+    mc_forecast, mc_forecast_anytime, mc_forecast_anytime_batch, mc_forecast_batch,
+    AnytimeForecast, BatchObserver, BatchSampleBudget, GaussianForecast, McBatchItem, SampleBudget,
     UnlimitedBudget,
 };
 pub use pipeline::{DeepStuq, DeepStuqConfig, FitOptions, FitOutcome, Forecast};

@@ -328,6 +328,9 @@ pub const SCHEMA: &[(&str, &[&str])] = &[
     ("breaker_close", &["cooldown_ms"]),
     ("reload_ok", &["path", "checksum"]),
     ("reload_rollback", &["path", "reason"]),
+    // Request coalescing + forecast cache (DESIGN.md §12).
+    ("serve_batch", &["size", "groups", "cache_hits"]),
+    ("cache_invalidate", &["reason", "entries"]),
 ];
 
 /// Fields that must be strings; every other schema field must be numeric

@@ -395,6 +395,23 @@ pub struct Metrics {
     pub serve_deadline_slack_ms: Histogram,
     /// Wall-clock seconds per served forecast.
     pub serve_request_seconds: Histogram,
+    /// Forecast batches processed by the worker (size 1 when batching is
+    /// off).
+    pub serve_batches: Counter,
+    /// Requests per processed batch.
+    pub serve_batch_size: Histogram,
+    /// Shared-MC groups per processed batch.
+    pub serve_batch_groups: Histogram,
+    /// Forecasts answered from the per-tick cache (no forward pass).
+    pub serve_cache_hits: Counter,
+    /// Cacheable lookups that missed.
+    pub serve_cache_misses: Counter,
+    /// Cache entries dropped by the capacity bound.
+    pub serve_cache_evictions: Counter,
+    /// Whole-cache invalidations (hot-reload swap, breaker open).
+    pub serve_cache_invalidations: Counter,
+    /// Live forecast-cache entries.
+    pub serve_cache_entries: Gauge,
 }
 
 impl Metrics {
@@ -444,6 +461,14 @@ impl Metrics {
             serve_samples_used: Histogram::new(),
             serve_deadline_slack_ms: Histogram::new(),
             serve_request_seconds: Histogram::new(),
+            serve_batches: Counter::new(),
+            serve_batch_size: Histogram::new(),
+            serve_batch_groups: Histogram::new(),
+            serve_cache_hits: Counter::new(),
+            serve_cache_misses: Counter::new(),
+            serve_cache_evictions: Counter::new(),
+            serve_cache_invalidations: Counter::new(),
+            serve_cache_entries: Gauge::new(),
         }
     }
 
@@ -717,6 +742,54 @@ impl Metrics {
             "seconds per served forecast",
             &self.serve_request_seconds,
         );
+        c(
+            &mut out,
+            "stuq_serve_batches_total",
+            "forecast batches processed",
+            self.serve_batches.get(),
+        );
+        h(
+            &mut out,
+            "stuq_serve_batch_size",
+            "requests per processed batch",
+            &self.serve_batch_size,
+        );
+        h(
+            &mut out,
+            "stuq_serve_batch_groups",
+            "shared-MC groups per processed batch",
+            &self.serve_batch_groups,
+        );
+        c(
+            &mut out,
+            "stuq_serve_cache_hits_total",
+            "forecasts answered from the cache",
+            self.serve_cache_hits.get(),
+        );
+        c(
+            &mut out,
+            "stuq_serve_cache_misses_total",
+            "cacheable lookups that missed",
+            self.serve_cache_misses.get(),
+        );
+        c(
+            &mut out,
+            "stuq_serve_cache_evictions_total",
+            "cache entries evicted by capacity",
+            self.serve_cache_evictions.get(),
+        );
+        c(
+            &mut out,
+            "stuq_serve_cache_invalidations_total",
+            "whole-cache invalidations",
+            self.serve_cache_invalidations.get(),
+        );
+        g(
+            &mut out,
+            "stuq_serve_cache_entries",
+            "live forecast-cache entries",
+            self.serve_cache_entries.get(),
+        );
         out
     }
 
@@ -765,6 +838,14 @@ impl Metrics {
         self.serve_samples_used.reset();
         self.serve_deadline_slack_ms.reset();
         self.serve_request_seconds.reset();
+        self.serve_batches.reset();
+        self.serve_batch_size.reset();
+        self.serve_batch_groups.reset();
+        self.serve_cache_hits.reset();
+        self.serve_cache_misses.reset();
+        self.serve_cache_evictions.reset();
+        self.serve_cache_invalidations.reset();
+        self.serve_cache_entries.reset();
     }
 }
 

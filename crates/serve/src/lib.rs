@@ -30,27 +30,44 @@
 //!    in atomically between requests and logs a `reload_rollback` for
 //!    anything invalid, without ever serving a half-loaded model.
 //!
+//! Two throughput mechanisms sit in front of the MC loop (DESIGN.md §12):
+//!
+//! 5. **Request coalescing** ([`batcher`]) — the worker gathers forecasts
+//!    that arrive together into one batch (`--batch-max`, window bounded by
+//!    `--batch-wait-ms` and the tightest gathered deadline), groups members
+//!    whose window bits, RNG derivation, and sample count coincide, and
+//!    runs *one* anytime-MC pass per group; each member slices its node
+//!    subset / horizon prefix out of the shared full-grid result.
+//! 6. **Per-tick forecast cache** ([`cache`]) — keyed on (model generation,
+//!    tick, window bits, seed derivation, `n_samples`), TTL = the data
+//!    cadence (`--cache-ttl-ms`); a hit answers without touching the model
+//!    and the whole cache is dropped on hot-reload swap and breaker-open.
+//!
 //! All time flows through the injectable [`clock::Clock`]; with
-//! `STUQ_FAKE_CLOCK` set, degradation trajectories are a pure function of
-//! the request stream, so degraded responses are byte-identical across
-//! `STUQ_THREADS` settings — the property the chaos CI job pins.
+//! `STUQ_FAKE_CLOCK` set, degradation trajectories *and batch composition*
+//! are a pure function of the request stream, so responses are
+//! byte-identical across `STUQ_THREADS` settings — the property the chaos
+//! CI job pins.
 
+mod batcher;
 pub mod breaker;
+pub mod cache;
 pub mod clock;
 pub mod json;
 pub mod proto;
 pub mod reload;
 
-use std::collections::VecDeque;
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use batcher::{GatherEnd, Lanes, Popped, SeedSpec, ShareInfo};
 use breaker::Breaker;
+use cache::{CacheEntry, CacheKey, ForecastCache};
 use clock::Clock;
 use deepstuq::{DeepStuq, GaussianForecast, SampleBudget, UnlimitedBudget};
-use proto::{ForecastReq, Request};
+use proto::{ForecastMeta, ForecastReq, Request};
 use stuq_models::Forecaster;
 use stuq_obs::Event;
 use stuq_tensor::{StuqRng, Tensor};
@@ -92,6 +109,18 @@ pub struct ServeConfig {
     pub seed: u64,
     /// Fake-clock step; `None` falls back to `STUQ_FAKE_CLOCK` / real time.
     pub fake_clock_step_ms: Option<u64>,
+    /// Most forecasts one batch may coalesce; 1 disables gathering (every
+    /// request is a batch of one, exactly the pre-batching behaviour).
+    pub batch_max: usize,
+    /// Real-clock gather window in milliseconds (further bounded by the
+    /// tightest deadline of any gathered member). Ignored under the fake
+    /// clock, where composition is arrival-order-driven.
+    pub batch_wait_ms: u64,
+    /// Forecast-cache TTL in (logical) milliseconds — set it to the data
+    /// cadence. 0 disables the cache.
+    pub cache_ttl_ms: u64,
+    /// Forecast-cache capacity (entries).
+    pub cache_cap: usize,
 }
 
 impl ServeConfig {
@@ -113,6 +142,10 @@ impl ServeConfig {
             reload_poll_ms: 200,
             seed: 7,
             fake_clock_step_ms: None,
+            batch_max: 1,
+            batch_wait_ms: 2,
+            cache_ttl_ms: 0,
+            cache_cap: 256,
         }
     }
 }
@@ -162,6 +195,65 @@ pub struct Server {
     queue_depth: usize,
     /// Reader-side sheds mirrored in by the serve loop (0 in sync mode).
     shed_reader: u64,
+    /// Per-tick forecast cache (empty and never consulted when disabled).
+    cache: ForecastCache,
+    /// Reload generation stamped into cache keys; bumped on every
+    /// invalidation so stale entries can never match even mid-clear.
+    generation: u64,
+    /// MC samples actually drawn from the model — shared samples count once
+    /// per group, not once per co-batched member.
+    samples_used_total: u64,
+}
+
+/// A validated forecast request, ready for cache lookup and share-key
+/// grouping. Everything derived from the request exactly once, in arrival
+/// order, before any clock or model work happens.
+struct Valid {
+    /// Raw-unit input window `[T_h, N]`.
+    x_raw: Tensor,
+    /// Exact window bit pattern (share-key and cache collision guard).
+    x_bits: Vec<u32>,
+    /// FNV-1a over `x_bits` (grouping/cache prefilter).
+    x_hash: u64,
+    /// MC samples requested (after config/model defaulting).
+    n_req: usize,
+    /// Effective degradation floor for this request.
+    floor: usize,
+    /// Deadline after config defaulting.
+    deadline: Option<u64>,
+    /// RNG derivation (the share-key seed component).
+    seed: SeedSpec,
+    /// Declared data tick, if any (cache key component).
+    tick: Option<u64>,
+    /// Node subset to answer with (`None` = all nodes).
+    nodes: Option<Vec<usize>>,
+    /// Horizon prefix to answer with (`None` = full horizon).
+    horizon: Option<usize>,
+}
+
+/// Slices a full-grid `[N, τ]` tensor down to a node subset and horizon
+/// prefix (`None` = keep that axis whole).
+fn slice_grid(full: &Tensor, nodes: Option<&[usize]>, horizon: Option<usize>) -> Tensor {
+    let (n, tau) = (full.shape()[0], full.shape()[1]);
+    let h = horizon.unwrap_or(tau).min(tau);
+    if nodes.is_none() && h == tau {
+        return full.clone();
+    }
+    let all: Vec<usize>;
+    let idx: &[usize] = match nodes {
+        Some(ns) => ns,
+        None => {
+            all = (0..n).collect();
+            &all
+        }
+    };
+    let mut out = Vec::with_capacity(idx.len() * h);
+    for &node in idx {
+        for t in 0..h {
+            out.push(full.get(node, t));
+        }
+    }
+    Tensor::from_vec(out, &[idx.len(), h])
 }
 
 impl Server {
@@ -198,6 +290,7 @@ impl Server {
             )
         });
         stuq_obs::metrics().serve_breaker_state.set(breaker.state().gauge());
+        let cache = ForecastCache::new(cfg.cache_cap, cfg.cache_ttl_ms);
         Ok(Server {
             cfg,
             model,
@@ -213,7 +306,25 @@ impl Server {
             shed: 0,
             queue_depth: 0,
             shed_reader: 0,
+            cache,
+            generation: 0,
+            samples_used_total: 0,
         })
+    }
+
+    /// True when the per-tick forecast cache is active.
+    fn cache_enabled(&self) -> bool {
+        self.cfg.cache_ttl_ms > 0
+    }
+
+    /// The RNG a request's seed spec pins — identical for batched and
+    /// unbatched processing of the same request (that is the point).
+    fn rng_for(&self, seed: &SeedSpec) -> StuqRng {
+        match seed {
+            SeedSpec::Explicit(s) => StuqRng::new(*s),
+            SeedSpec::FromTick(t) => StuqRng::new(self.cfg.seed).fork(*t),
+            SeedSpec::Arrival(i) => StuqRng::new(self.cfg.seed).fork(*i),
+        }
     }
 
     /// The active configuration.
@@ -263,7 +374,11 @@ impl Server {
             },
             Ok(Request::Forecast(req)) => {
                 self.poll_watcher();
-                LineOutcome { response: self.handle_forecast(&req), done: false }
+                let response = self
+                    .handle_forecast_batch(std::slice::from_ref(&req))
+                    .pop()
+                    .expect("one request, one response");
+                LineOutcome { response, done: false }
             }
             Ok(Request::Healthz { id }) => LineOutcome { response: self.healthz(&id), done: false },
             Ok(Request::Reload { id }) => {
@@ -288,33 +403,46 @@ impl Server {
         proto::resp_rejected(id, reason)
     }
 
-    /// One forecast, end to end: validate → breaker gate → anytime MC →
-    /// health check → intervals.
-    fn handle_forecast(&mut self, req: &ForecastReq) -> String {
-        let wall = std::time::Instant::now();
-        let m = stuq_obs::metrics();
-        m.serve_requests.inc();
-        let req_index = self.requests_served;
-        self.requests_served += 1;
-
-        // Client errors: typed responses, never breaker faults.
+    /// Validation half of the request pipeline: typed client errors out,
+    /// a [`Valid`] (with its share-key ingredients precomputed) on success.
+    /// Client errors are never breaker faults.
+    fn validate(&mut self, req: &ForecastReq, req_index: u64) -> Result<Valid, String> {
         let n_nodes = self.model.model().n_nodes();
+        let model_tau = self.model.model().horizon();
         let t_rows = req.x.len();
         let width = req.x[0].len();
         if width != n_nodes {
-            return proto::resp_error(
+            return Err(proto::resp_error(
                 &req.id,
                 "shape_mismatch",
                 &format!("expected {n_nodes} columns (sensors), got {width}"),
-            );
+            ));
         }
         if let Some(t_h) = self.expected_t_h {
             if t_rows != t_h {
-                return proto::resp_error(
+                return Err(proto::resp_error(
                     &req.id,
                     "shape_mismatch",
                     &format!("expected {t_h} rows (input window), got {t_rows}"),
-                );
+                ));
+            }
+        }
+        if let Some(nodes) = &req.nodes {
+            if let Some(&bad) = nodes.iter().find(|&&i| i >= n_nodes) {
+                return Err(proto::resp_error(
+                    &req.id,
+                    "shape_mismatch",
+                    &format!("node {bad} out of range (model has {n_nodes} sensors)"),
+                ));
+            }
+        }
+        if let Some(h) = req.horizon {
+            if h > model_tau {
+                return Err(proto::resp_error(
+                    &req.id,
+                    "shape_mismatch",
+                    &format!("horizon {h} beyond model horizon {model_tau}"),
+                ));
             }
         }
         let mut flat = Vec::with_capacity(t_rows * width);
@@ -322,24 +450,15 @@ impl Server {
             flat.extend_from_slice(row);
         }
         if flat.iter().any(|v| !v.is_finite()) {
-            return proto::resp_error(
+            return Err(proto::resp_error(
                 &req.id,
                 "non_finite_input",
                 "input window contains non-finite values",
-            );
+            ));
         }
+        let x_bits: Vec<u32> = flat.iter().map(|v| v.to_bits()).collect();
+        let x_hash = cache::hash_window(&flat);
         let x_raw = Tensor::from_vec(flat, &[t_rows, n_nodes]);
-
-        // Breaker gate.
-        let t_start = self.clock.now_ms();
-        if let Some(t) = self.breaker.poll(t_start) {
-            self.note_transition(t);
-        }
-        if self.breaker_is_open() {
-            return self.fallback_or_reject(&req.id, &x_raw, "breaker_open");
-        }
-
-        // Anytime MC sampling under the deadline budget.
         let n_req =
             req.mc.or(self.cfg.mc_samples).unwrap_or_else(|| self.model.mc_samples()).max(1);
         // A single completed sample carries no epistemic estimate, so a
@@ -349,136 +468,402 @@ impl Server {
         // was requested, keeping the variance envelope populated.
         let floor = if n_req > 1 { self.cfg.floor.clamp(2, n_req) } else { 1 };
         let deadline = req.deadline_ms.or(self.cfg.default_deadline_ms);
-        let mut rng = match req.seed {
-            Some(s) => StuqRng::new(s),
-            None => {
-                let mut base = StuqRng::new(self.cfg.seed);
-                base.fork(req_index)
-            }
+        let seed = match (req.seed, req.tick) {
+            (Some(s), _) => SeedSpec::Explicit(s),
+            (None, Some(t)) => SeedSpec::FromTick(t),
+            (None, None) => SeedSpec::Arrival(req_index),
         };
-        let xn = match self.scaler {
-            Some(s) => x_raw.map(move |v| s.transform(v)),
-            None => x_raw.clone(),
-        };
-        let temp = self.model.temperature();
-        let inv_t2 = 1.0 / (temp * temp);
-        let n_req_f = n_req as f32;
-        let mut envelope: Option<Vec<f32>> = None;
-        let any = {
-            // Monotone variance envelope: running elementwise min over
-            // prefix totals with the epistemic part inflated by n_req/k.
-            // k = 1 has no epistemic estimate, so it is skipped unless a
-            // single sample is all that was requested.
-            let mut observe = |g: &GaussianForecast| {
-                if g.n_samples < 2 && n_req > 1 {
-                    return;
+        Ok(Valid {
+            x_raw,
+            x_bits,
+            x_hash,
+            n_req,
+            floor,
+            deadline,
+            seed,
+            tick: req.tick,
+            nodes: req.nodes.clone(),
+            horizon: req.horizon,
+        })
+    }
+
+    /// Slices a member's view out of a full-grid result and renders the
+    /// forecast response.
+    #[allow(clippy::too_many_arguments)]
+    fn render_forecast(
+        &self,
+        id: &Option<String>,
+        samples_used: usize,
+        samples_requested: usize,
+        meta: &ForecastMeta,
+        mu_full: &Tensor,
+        sigma_full: &Tensor,
+        nodes: Option<&[usize]>,
+        horizon: Option<usize>,
+    ) -> String {
+        let mu = slice_grid(mu_full, nodes, horizon);
+        let sigma = slice_grid(sigma_full, nodes, horizon);
+        let z = stuq_metrics::Z_95 as f32;
+        let lower = mu.zip(&sigma, |m, s| m - z * s);
+        let upper = mu.zip(&sigma, |m, s| m + z * s);
+        proto::resp_forecast(
+            id,
+            samples_used,
+            samples_requested,
+            meta,
+            &proto::Intervals { mu: &mu, sigma: &sigma, lower: &lower, upper: &upper },
+        )
+    }
+
+    /// One admitted batch, end to end: per-request validation → cache
+    /// lookups → share-key grouping → one anytime-MC run per group → per-
+    /// member slicing and rendering. A singleton slice is the ordinary
+    /// unbatched path (the sync [`Server::process_line`] route always lands
+    /// here with one request), so there is exactly one forecast pipeline to
+    /// reason about.
+    ///
+    /// Determinism: requests are validated, looked up, grouped, computed,
+    /// and rendered strictly in arrival order; every clock read happens at
+    /// a position that is a pure function of the batch contents (one read
+    /// per batch iff the cache is on, one per group at `t_start`, one per
+    /// group with a deadline after its MC run — matching the solo path).
+    ///
+    /// Sharing semantics worth knowing: a group runs under the *tightest*
+    /// member deadline, so a no-deadline request co-batched with a tight
+    /// one can come back degraded; the breaker sees one fault per faulting
+    /// *group*, not per member; `samples_used` accounting likewise counts
+    /// each shared run once.
+    pub fn handle_forecast_batch(&mut self, reqs: &[ForecastReq]) -> Vec<String> {
+        let wall = std::time::Instant::now();
+        let m = stuq_obs::metrics();
+        let n = reqs.len();
+        let meta_miss = ForecastMeta { batched: n > 1, batch_size: n, cache_hit: false };
+        let meta_hit = ForecastMeta { batched: n > 1, batch_size: n, cache_hit: true };
+
+        let mut responses: Vec<Option<String>> = (0..n).map(|_| None).collect();
+        let mut valids: Vec<Option<Valid>> = Vec::with_capacity(n);
+        for (i, req) in reqs.iter().enumerate() {
+            m.serve_requests.inc();
+            let req_index = self.requests_served;
+            self.requests_served += 1;
+            match self.validate(req, req_index) {
+                Ok(v) => valids.push(Some(v)),
+                Err(resp) => {
+                    responses[i] = Some(resp);
+                    valids.push(None);
                 }
-                let inflation = n_req_f / g.n_samples as f32;
-                let va = g.var_aleatoric.data();
-                let ve = g.var_epistemic.data();
-                match &mut envelope {
-                    None => {
-                        envelope = Some(
-                            va.iter().zip(ve).map(|(a, e)| a * inv_t2 + e * inflation).collect(),
-                        );
+            }
+        }
+
+        // Cache lookups: exactly one clock read per batch, and only when
+        // the cache is on (cache-off runs keep the pre-cache clock
+        // schedule). Arrival-indexed requests are uncacheable by design —
+        // their RNG is not a pure function of the request — and do not
+        // count as misses.
+        let mut cache_hits: u64 = 0;
+        if self.cache_enabled() {
+            let now = self.clock.now_ms();
+            for i in 0..n {
+                if responses[i].is_some() {
+                    continue;
+                }
+                let Some(v) = &valids[i] else { continue };
+                let Some(deriv) = v.seed.derivation() else { continue };
+                let key = CacheKey {
+                    generation: self.generation,
+                    tick: v.tick,
+                    x_hash: v.x_hash,
+                    seed: deriv,
+                    n_samples: v.n_req,
+                };
+                let hit = self
+                    .cache
+                    .get(&key, &v.x_bits, now)
+                    .map(|e| (e.mu_raw.clone(), e.sigma_raw.clone(), e.samples_used));
+                match hit {
+                    Some((mu, sigma, used)) => {
+                        cache_hits += 1;
+                        m.serve_cache_hits.inc();
+                        responses[i] = Some(self.render_forecast(
+                            &reqs[i].id,
+                            used,
+                            v.n_req,
+                            &meta_hit,
+                            &mu,
+                            &sigma,
+                            v.nodes.as_deref(),
+                            v.horizon,
+                        ));
                     }
-                    Some(env) => {
-                        for ((slot, a), e) in env.iter_mut().zip(va).zip(ve) {
-                            let v = a * inv_t2 + e * inflation;
-                            if v < *slot {
-                                *slot = v;
+                    None => m.serve_cache_misses.inc(),
+                }
+            }
+            m.serve_cache_entries.set(self.cache.len() as f64);
+        }
+
+        // Share-key grouping of what still needs compute.
+        let groups = batcher::group_requests(
+            n,
+            |i| {
+                if responses[i].is_some() {
+                    return None;
+                }
+                valids[i].as_ref().map(|v| ShareInfo {
+                    x_hash: v.x_hash,
+                    seed: v.seed,
+                    n_samples: v.n_req,
+                })
+            },
+            |a, b| match (&valids[a], &valids[b]) {
+                (Some(va), Some(vb)) => va.x_bits == vb.x_bits,
+                _ => false,
+            },
+        );
+
+        // One anytime-MC run per group, in first-arrival order.
+        for g in &groups {
+            let lead = valids[g[0]].as_ref().expect("grouped members are valid");
+            let n_req = lead.n_req;
+            let floor = lead.floor;
+            let seed = lead.seed;
+            let tick = lead.tick;
+            let x_hash = lead.x_hash;
+            let x_raw = lead.x_raw.clone();
+            let x_bits = lead.x_bits.clone();
+            // The shared run answers every member, so the tightest member
+            // deadline bounds it (None = unbounded only if nobody set one).
+            let deadline = g.iter().filter_map(|&i| valids[i].as_ref().unwrap().deadline).min();
+
+            // Breaker gate: one poll per group, exactly the solo schedule.
+            let t_start = self.clock.now_ms();
+            if let Some(t) = self.breaker.poll(t_start) {
+                self.note_transition(t);
+            }
+            if self.breaker_is_open() {
+                for &i in g {
+                    let (nodes, horizon) = {
+                        let v = valids[i].as_ref().unwrap();
+                        (v.nodes.clone(), v.horizon)
+                    };
+                    responses[i] = Some(self.fallback_or_reject(
+                        &reqs[i].id,
+                        &x_raw,
+                        "breaker_open",
+                        nodes.as_deref(),
+                        horizon,
+                    ));
+                }
+                continue;
+            }
+
+            let mut rng = self.rng_for(&seed);
+            let xn = match self.scaler {
+                Some(s) => x_raw.map(move |v| s.transform(v)),
+                None => x_raw.clone(),
+            };
+            let temp = self.model.temperature();
+            let inv_t2 = 1.0 / (temp * temp);
+            let n_req_f = n_req as f32;
+            let mut envelope: Option<Vec<f32>> = None;
+            let any = {
+                // Monotone variance envelope: running elementwise min over
+                // prefix totals with the epistemic part inflated by n_req/k.
+                // k = 1 has no epistemic estimate, so it is skipped unless a
+                // single sample is all that was requested.
+                let mut observe = |g: &GaussianForecast| {
+                    if g.n_samples < 2 && n_req > 1 {
+                        return;
+                    }
+                    let inflation = n_req_f / g.n_samples as f32;
+                    let va = g.var_aleatoric.data();
+                    let ve = g.var_epistemic.data();
+                    match &mut envelope {
+                        None => {
+                            envelope = Some(
+                                va.iter()
+                                    .zip(ve)
+                                    .map(|(a, e)| a * inv_t2 + e * inflation)
+                                    .collect(),
+                            );
+                        }
+                        Some(env) => {
+                            for ((slot, a), e) in env.iter_mut().zip(va).zip(ve) {
+                                let v = a * inv_t2 + e * inflation;
+                                if v < *slot {
+                                    *slot = v;
+                                }
                             }
                         }
                     }
-                }
+                };
+                let mut unlimited = UnlimitedBudget;
+                let mut with_deadline;
+                let budget: &mut dyn SampleBudget = match deadline {
+                    Some(d) => {
+                        with_deadline =
+                            DeadlineBudget { clock: &mut self.clock, t_start, deadline_ms: d };
+                        &mut with_deadline
+                    }
+                    None => &mut unlimited,
+                };
+                deepstuq::mc_forecast_anytime(
+                    self.model.model(),
+                    &xn,
+                    None,
+                    n_req,
+                    floor,
+                    budget,
+                    &mut rng,
+                    Some(&mut observe),
+                )
             };
-            let mut unlimited = UnlimitedBudget;
-            let mut with_deadline;
-            let budget: &mut dyn SampleBudget = match deadline {
-                Some(d) => {
-                    with_deadline =
-                        DeadlineBudget { clock: &mut self.clock, t_start, deadline_ms: d };
-                    &mut with_deadline
+            let f = &any.forecast;
+            let used = f.n_samples;
+            if deadline.is_some() {
+                // One spent read per deadline-carrying group (the solo
+                // schedule); every member with its own deadline records its
+                // own slack against it. A non-positive slack is a deadline
+                // miss; the histogram's rejected count tallies those.
+                let spent = self.clock.now_ms().saturating_sub(t_start);
+                for &i in g {
+                    if let Some(d) = valids[i].as_ref().unwrap().deadline {
+                        m.serve_deadline_slack_ms.record(d as f64 - spent as f64);
+                    }
                 }
-                None => &mut unlimited,
-            };
-            deepstuq::mc_forecast_anytime(
-                self.model.model(),
-                &xn,
-                None,
-                n_req,
-                floor,
-                budget,
-                &mut rng,
-                Some(&mut observe),
-            )
-        };
-        let f = &any.forecast;
-        let used = f.n_samples;
-        if let Some(d) = deadline {
-            let spent = self.clock.now_ms().saturating_sub(t_start);
-            // A non-positive slack is a deadline miss; the histogram's
-            // rejected count tallies those.
-            m.serve_deadline_slack_ms.record(d as f64 - spent as f64);
-        }
-
-        // Back to raw units. The envelope is the reported total variance;
-        // with the ≥2 effective floor it is always populated, but if it ever
-        // came back empty the fallback inflates Eq. 19b by n_req/used so a
-        // shorter run still cannot report narrower intervals.
-        let var_norm: Vec<f32> = match envelope {
-            Some(env) => env,
-            None => {
-                let inflation = n_req_f / used.max(1) as f32;
-                f.var_total(temp).data().iter().map(|v| v * inflation).collect()
             }
-        };
-        let std_s = self.scaler.map(|s| s.std() as f32).unwrap_or(1.0);
-        let mu_raw = match self.scaler {
-            Some(s) => f.mu.map(move |v| s.inverse(v)),
-            None => f.mu.clone(),
-        };
-        let sigma_raw = Tensor::from_vec(
-            var_norm.iter().map(|v| v.max(0.0).sqrt() * std_s).collect(),
-            f.mu.shape(),
-        );
 
-        // Guard-style health check: a fault feeds the breaker and the
-        // client gets the fallback, not garbage.
-        let fault = !mu_raw.all_finite()
-            || !sigma_raw.all_finite()
-            || mu_raw.data().iter().any(|v| (v.abs() as f64) > self.cfg.max_abs_output);
-        if fault {
-            let now = self.clock.now_ms();
-            if let Some(t) = self.breaker.on_fault(now) {
+            // Back to raw units. The envelope is the reported total
+            // variance; with the ≥2 effective floor it is always populated,
+            // but if it ever came back empty the fallback inflates Eq. 19b
+            // by n_req/used so a shorter run still cannot report narrower
+            // intervals.
+            let var_norm: Vec<f32> = match envelope {
+                Some(env) => env,
+                None => {
+                    let inflation = n_req_f / used.max(1) as f32;
+                    f.var_total(temp).data().iter().map(|v| v * inflation).collect()
+                }
+            };
+            let std_s = self.scaler.map(|s| s.std() as f32).unwrap_or(1.0);
+            let mu_raw = match self.scaler {
+                Some(s) => f.mu.map(move |v| s.inverse(v)),
+                None => f.mu.clone(),
+            };
+            let sigma_raw = Tensor::from_vec(
+                var_norm.iter().map(|v| v.max(0.0).sqrt() * std_s).collect(),
+                f.mu.shape(),
+            );
+
+            // Guard-style health check: a fault feeds the breaker once per
+            // group (the members shared the run, so they share the fault)
+            // and every member gets the fallback, not garbage.
+            let fault = !mu_raw.all_finite()
+                || !sigma_raw.all_finite()
+                || mu_raw.data().iter().any(|v| (v.abs() as f64) > self.cfg.max_abs_output);
+            if fault {
+                let now = self.clock.now_ms();
+                if let Some(t) = self.breaker.on_fault(now) {
+                    self.note_transition(t);
+                }
+                for &i in g {
+                    let (nodes, horizon) = {
+                        let v = valids[i].as_ref().unwrap();
+                        (v.nodes.clone(), v.horizon)
+                    };
+                    responses[i] = Some(self.fallback_or_reject(
+                        &reqs[i].id,
+                        &x_raw,
+                        "model_fault",
+                        nodes.as_deref(),
+                        horizon,
+                    ));
+                }
+                continue;
+            }
+            if let Some(t) = self.breaker.on_success() {
                 self.note_transition(t);
             }
-            return self.fallback_or_reject(&req.id, &x_raw, "model_fault");
-        }
-        if let Some(t) = self.breaker.on_success() {
-            self.note_transition(t);
-        }
-        self.last_good_sigma = Some(sigma_raw.data().iter().sum::<f32>() / sigma_raw.len() as f32);
+            self.last_good_sigma =
+                Some(sigma_raw.data().iter().sum::<f32>() / sigma_raw.len() as f32);
 
-        m.serve_samples_used.record(used as f64);
-        m.serve_request_seconds.record(wall.elapsed().as_secs_f64());
-        if any.degraded() {
-            m.serve_degraded.inc();
+            // Shared samples count once per run — not once per member.
+            m.serve_samples_used.record(used as f64);
+            self.samples_used_total += used as u64;
+            if any.degraded() {
+                // Every member's response is degraded (metric per member);
+                // the run itself degraded once (event per group).
+                m.serve_degraded.add(g.len() as u64);
+                stuq_obs::emit(
+                    Event::new("serve_degraded")
+                        .uint("samples_used", used as u64)
+                        .uint("samples_requested", n_req as u64),
+                );
+            }
+
+            // Only uncut, seed-derivable results are cacheable: a degraded
+            // grid would poison later, laxer requests with narrower-budget
+            // output.
+            if self.cache_enabled() && !any.degraded() {
+                if let Some(deriv) = seed.derivation() {
+                    let key = CacheKey {
+                        generation: self.generation,
+                        tick,
+                        x_hash,
+                        seed: deriv,
+                        n_samples: n_req,
+                    };
+                    let entry = CacheEntry {
+                        x_bits,
+                        mu_raw: mu_raw.clone(),
+                        sigma_raw: sigma_raw.clone(),
+                        samples_used: used,
+                        samples_requested: n_req,
+                        at_ms: t_start,
+                    };
+                    let evicted = self.cache.insert(key, entry);
+                    if evicted > 0 {
+                        m.serve_cache_evictions.add(evicted as u64);
+                    }
+                    m.serve_cache_entries.set(self.cache.len() as f64);
+                }
+            }
+
+            for &i in g {
+                let (nodes, horizon) = {
+                    let v = valids[i].as_ref().unwrap();
+                    (v.nodes.clone(), v.horizon)
+                };
+                responses[i] = Some(self.render_forecast(
+                    &reqs[i].id,
+                    used,
+                    n_req,
+                    &meta_miss,
+                    &mu_raw,
+                    &sigma_raw,
+                    nodes.as_deref(),
+                    horizon,
+                ));
+            }
+        }
+
+        m.serve_batches.inc();
+        m.serve_batch_size.record(n as f64);
+        if !groups.is_empty() {
+            m.serve_batch_groups.record(groups.len() as f64);
+        }
+        if n > 1 {
             stuq_obs::emit(
-                Event::new("serve_degraded")
-                    .uint("samples_used", used as u64)
-                    .uint("samples_requested", n_req as u64),
+                Event::new("serve_batch")
+                    .uint("size", n as u64)
+                    .uint("groups", groups.len() as u64)
+                    .uint("cache_hits", cache_hits),
             );
         }
-        let z = stuq_metrics::Z_95 as f32;
-        let lower = mu_raw.zip(&sigma_raw, |mu, s| mu - z * s);
-        let upper = mu_raw.zip(&sigma_raw, |mu, s| mu + z * s);
-        proto::resp_forecast(
-            &req.id,
-            used,
-            n_req,
-            &proto::Intervals { mu: &mu_raw, sigma: &sigma_raw, lower: &lower, upper: &upper },
-        )
+        let secs = wall.elapsed().as_secs_f64();
+        for _ in 0..n {
+            m.serve_request_seconds.record(secs);
+        }
+        responses.into_iter().map(|r| r.expect("every request answered")).collect()
     }
 
     /// The documented degraded-service path: a persistence forecast (last
@@ -492,6 +877,8 @@ impl Server {
         id: &Option<String>,
         x_raw: &Tensor,
         reason: &'static str,
+        nodes: Option<&[usize]>,
+        horizon: Option<usize>,
     ) -> String {
         let Some(sigma0) = self.last_good_sigma else {
             return self.reject(id, reason);
@@ -504,9 +891,11 @@ impl Server {
             let last = x_raw.get(t_rows - 1, node);
             mu.extend(std::iter::repeat_n(last, tau));
         }
-        let mu = Tensor::from_vec(mu, &[n, tau]);
+        // The persistence grid slices exactly like a model response, so a
+        // node-subset request degrades to a subset-shaped fallback.
+        let mu = slice_grid(&Tensor::from_vec(mu, &[n, tau]), nodes, horizon);
         let widened = self.cfg.widen_factor * sigma0;
-        let sigma = Tensor::from_vec(vec![widened; n * tau], &[n, tau]);
+        let sigma = Tensor::from_vec(vec![widened; mu.len()], mu.shape());
         let z = stuq_metrics::Z_95 as f32;
         let lower = mu.map(move |v| v - z * widened);
         let upper = mu.map(move |v| v + z * widened);
@@ -518,15 +907,38 @@ impl Server {
         )
     }
 
-    /// Maps a breaker transition onto the gauge and the event log.
+    /// Drops every cache entry and bumps the key generation. Hot-reload
+    /// swaps call this because the entries belong to the old weights;
+    /// breaker-open calls it because whatever the model produced around the
+    /// fault window is no longer trusted.
+    fn invalidate_cache(&mut self, reason: &'static str) {
+        self.generation += 1;
+        if !self.cache_enabled() {
+            return;
+        }
+        let entries = self.cache.clear();
+        let m = stuq_obs::metrics();
+        m.serve_cache_invalidations.inc();
+        m.serve_cache_entries.set(0.0);
+        stuq_obs::emit(
+            Event::new("cache_invalidate").str("reason", reason).uint("entries", entries as u64),
+        );
+    }
+
+    /// Maps a breaker transition onto the gauge and the event log. Opening
+    /// also invalidates the forecast cache — entries computed around the
+    /// fault window are no longer trusted.
     fn note_transition(&mut self, t: breaker::Transition) {
         stuq_obs::metrics().serve_breaker_state.set(self.breaker.state().gauge());
         match t {
-            breaker::Transition::Opened { consecutive, cooldown_ms } => stuq_obs::emit(
-                Event::new("breaker_open")
-                    .uint("consecutive_faults", consecutive as u64)
-                    .uint("cooldown_ms", cooldown_ms),
-            ),
+            breaker::Transition::Opened { consecutive, cooldown_ms } => {
+                self.invalidate_cache("breaker_open");
+                stuq_obs::emit(
+                    Event::new("breaker_open")
+                        .uint("consecutive_faults", consecutive as u64)
+                        .uint("cooldown_ms", cooldown_ms),
+                )
+            }
             breaker::Transition::HalfOpened { cooldown_ms } => {
                 stuq_obs::emit(Event::new("breaker_half_open").uint("cooldown_ms", cooldown_ms))
             }
@@ -599,6 +1011,8 @@ impl Server {
                     self.model_checksum = v.checksum.clone();
                     self.breaker.reset();
                     m.serve_breaker_state.set(self.breaker.state().gauge());
+                    // Cached forecasts belong to the old weights.
+                    self.invalidate_cache("reload");
                     Ok(v.checksum)
                 }
             }
@@ -636,7 +1050,8 @@ impl Server {
         out.push_str(&format!(
             ",\"status\":\"{status}\",\"ready\":{ready},\"breaker\":\"{}\",\
              \"queue_depth\":{},\"queue_capacity\":{},\"requests\":{},\
-             \"shed\":{shed},\"model_checksum\":\"{}\",\"mc_samples\":{},\"floor\":{}}}",
+             \"shed\":{shed},\"model_checksum\":\"{}\",\"mc_samples\":{},\"floor\":{},\
+             \"batch_max\":{},\"cache_entries\":{}}}",
             self.breaker.state().as_str(),
             self.queue_depth,
             self.cfg.max_queue,
@@ -644,6 +1059,8 @@ impl Server {
             self.model_checksum,
             self.cfg.mc_samples.unwrap_or_else(|| self.model.mc_samples()),
             self.cfg.floor,
+            self.cfg.batch_max,
+            self.cache.len(),
         ));
         out
     }
@@ -661,115 +1078,8 @@ impl Server {
 }
 
 // ---------------------------------------------------------------------------
-// Admission queue + serve loop
+// Serve loop (admission lanes + gathering live in `batcher`)
 // ---------------------------------------------------------------------------
-
-/// What the worker popped from the lanes.
-enum Popped {
-    /// A control request (healthz/reload/drain/shutdown) — never shed.
-    Control(String),
-    /// An admitted forecast line.
-    Forecast(String),
-    /// Nothing arrived within the timeout (idle tick).
-    TimedOut,
-    /// Reader hit end of input and both lanes are empty.
-    Closed,
-}
-
-struct LaneState {
-    forecasts: VecDeque<String>,
-    control: VecDeque<String>,
-    closed: bool,
-}
-
-/// Two-lane queue between reader and worker: control requests bypass the
-/// bounded forecast lane so a full queue can never wedge a drain/shutdown.
-struct Lanes {
-    m: Mutex<LaneState>,
-    cv: Condvar,
-    cap: usize,
-}
-
-impl Lanes {
-    fn new(cap: usize) -> Self {
-        Self {
-            m: Mutex::new(LaneState {
-                forecasts: VecDeque::new(),
-                control: VecDeque::new(),
-                closed: false,
-            }),
-            cv: Condvar::new(),
-            cap: cap.max(1),
-        }
-    }
-
-    /// Admission: false means the bounded lane is full (shed the request).
-    fn try_push_forecast(&self, line: String) -> bool {
-        let mut s = self.m.lock().unwrap();
-        if s.closed || s.forecasts.len() >= self.cap {
-            return false;
-        }
-        s.forecasts.push_back(line);
-        stuq_obs::metrics().serve_queue_depth.set(s.forecasts.len() as f64);
-        self.cv.notify_all();
-        true
-    }
-
-    fn push_control(&self, line: String) {
-        let mut s = self.m.lock().unwrap();
-        s.control.push_back(line);
-        self.cv.notify_all();
-    }
-
-    fn close(&self) {
-        self.m.lock().unwrap().closed = true;
-        self.cv.notify_all();
-    }
-
-    fn pop(&self, timeout: Duration) -> Popped {
-        let mut s = self.m.lock().unwrap();
-        loop {
-            if let Some(line) = s.control.pop_front() {
-                return Popped::Control(line);
-            }
-            if let Some(line) = s.forecasts.pop_front() {
-                stuq_obs::metrics().serve_queue_depth.set(s.forecasts.len() as f64);
-                return Popped::Forecast(line);
-            }
-            if s.closed {
-                return Popped::Closed;
-            }
-            let (next, res) = self.cv.wait_timeout(s, timeout).unwrap();
-            s = next;
-            if res.timed_out() {
-                // Re-check once after the wakeup, then yield an idle tick.
-                if s.control.is_empty() && s.forecasts.is_empty() {
-                    return if s.closed { Popped::Closed } else { Popped::TimedOut };
-                }
-            }
-        }
-    }
-
-    /// Current forecast-lane depth (the bounded lane the health surfaces
-    /// report; the control lane is unbounded and pops first anyway).
-    fn depth(&self) -> usize {
-        self.m.lock().unwrap().forecasts.len()
-    }
-
-    /// Drain whatever is left without waiting (shutdown path).
-    fn drain_now(&self) -> Vec<Popped> {
-        let mut s = self.m.lock().unwrap();
-        let mut out = Vec::new();
-        while let Some(line) = s.control.pop_front() {
-            out.push(Popped::Control(line));
-        }
-        while let Some(line) = s.forecasts.pop_front() {
-            out.push(Popped::Forecast(line));
-        }
-        stuq_obs::metrics().serve_queue_depth.set(0.0);
-        out
-    }
-}
 
 /// Counters reported when the loop exits.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -780,6 +1090,9 @@ pub struct ServeSummary {
     pub shed: u64,
     /// Response lines written, of any type.
     pub responses: u64,
+    /// MC samples actually drawn from the model; co-batched requests that
+    /// shared one run count its samples once, and cache hits count zero.
+    pub samples_used: u64,
 }
 
 /// Runs the serve loop: a reader thread classifies and admits request
@@ -880,11 +1193,45 @@ where
                 done = r.done;
                 mirror(server, &flags, &lanes);
             }
-            Popped::Forecast(line) => {
-                requests += 1;
-                let r = server.process_line(&line);
-                write_line(&r.response);
+            Popped::Forecast(first) => {
+                // Batcher stage: coalesce co-arriving forecasts (a no-op
+                // returning [first] when --batch-max is 1).
+                let (batch, end) = batcher::gather(
+                    &lanes,
+                    first,
+                    server.cfg.batch_max,
+                    server.cfg.batch_wait_ms,
+                    server.clock.is_fake(),
+                );
+                requests += batch.len() as u64;
+                // Admitted lines were already classified as forecasts by
+                // the reader; re-parse defensively all the same.
+                let mut reqs: Vec<ForecastReq> = Vec::with_capacity(batch.len());
+                for line in &batch {
+                    match proto::parse_request(line) {
+                        Ok(Request::Forecast(req)) => reqs.push(req),
+                        Ok(_) => {}
+                        Err(e) => write_line(&proto::resp_error(&e.id, "bad_request", &e.detail)),
+                    }
+                }
+                server.poll_watcher();
+                for resp in server.handle_forecast_batch(&reqs) {
+                    write_line(&resp);
+                }
                 mirror(server, &flags, &lanes);
+                match end {
+                    // A control line closed the gather window (real clock):
+                    // it was admitted before the batch flushed, answer now.
+                    Some(GatherEnd::Control(line)) => {
+                        let r = server.process_line(&line);
+                        write_line(&r.response);
+                        done = r.done;
+                        mirror(server, &flags, &lanes);
+                    }
+                    // Input closed mid-gather: the next pop drains any
+                    // queued control lines, then observes Closed itself.
+                    Some(GatherEnd::Closed) | None => {}
+                }
             }
             Popped::TimedOut => {
                 server.poll_watcher();
@@ -929,7 +1276,12 @@ where
     mirror(server, &flags, &lanes);
     server.write_health();
     stuq_obs::emit(Event::new("serve_stop").uint("requests", requests).uint("shed", shed));
-    ServeSummary { requests, shed, responses: responses.load(Ordering::Relaxed) }
+    ServeSummary {
+        requests,
+        shed,
+        responses: responses.load(Ordering::Relaxed),
+        samples_used: server.samples_used_total,
+    }
 }
 
 #[cfg(test)]

@@ -56,6 +56,16 @@ pub struct ForecastReq {
     /// Per-request RNG seed (makes the response independent of arrival
     /// order; defaults to the server seed forked by the request counter).
     pub seed: Option<u64>,
+    /// Data tick the window was observed at. Seedless requests with a tick
+    /// derive their RNG from (server seed, tick), so same-tick requests for
+    /// the same window share MC samples when co-batched and are cacheable.
+    pub tick: Option<u64>,
+    /// Node subset to answer for (indices into the model's sensor set, in
+    /// the requested order). The forecast is still computed — or cached —
+    /// over the full grid; this only slices the response.
+    pub nodes: Option<Vec<usize>>,
+    /// Horizon prefix to answer (1..=model horizon); response-slicing only.
+    pub horizon: Option<usize>,
 }
 
 /// Why a request could not be parsed.
@@ -142,7 +152,54 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
                         .ok_or_else(|| err("\"seed\" must be a non-negative integer".into()))?,
                 ),
             };
-            Ok(Request::Forecast(ForecastReq { id, x, deadline_ms, mc, seed }))
+            let tick = match v.get("tick") {
+                None | Some(Json::Null) => None,
+                Some(t) => Some(
+                    t.as_u64()
+                        .ok_or_else(|| err("\"tick\" must be a non-negative integer".into()))?,
+                ),
+            };
+            let nodes = match v.get("nodes") {
+                None | Some(Json::Null) => None,
+                Some(n) => {
+                    let arr = n
+                        .as_arr()
+                        .ok_or_else(|| err("\"nodes\" must be an array of indices".into()))?;
+                    if arr.is_empty() {
+                        return Err(err("\"nodes\" must not be empty".into()));
+                    }
+                    let mut out = Vec::with_capacity(arr.len());
+                    for (k, c) in arr.iter().enumerate() {
+                        let idx = c.as_u64().ok_or_else(|| {
+                            err(format!("\"nodes\"[{k}] is not a non-negative integer"))
+                        })?;
+                        out.push(idx as usize);
+                    }
+                    Some(out)
+                }
+            };
+            let horizon = match v.get("horizon") {
+                None | Some(Json::Null) => None,
+                Some(h) => {
+                    let h = h
+                        .as_u64()
+                        .ok_or_else(|| err("\"horizon\" must be a positive integer".into()))?;
+                    if h == 0 {
+                        return Err(err("\"horizon\" must be at least 1".into()));
+                    }
+                    Some(h as usize)
+                }
+            };
+            Ok(Request::Forecast(ForecastReq {
+                id,
+                x,
+                deadline_ms,
+                mc,
+                seed,
+                tick,
+                nodes,
+                horizon,
+            }))
         }
         other => Err(err(format!("unknown request type {other:?}"))),
     }
@@ -213,11 +270,35 @@ fn push_intervals(out: &mut String, iv: &Intervals<'_>) {
     out.push_str(&render_matrix(iv.upper));
 }
 
+/// Batching/caching accounting on a forecast response. These three fields
+/// are *annotations*: they describe how the answer was produced, never what
+/// it is. Byte-identity guarantees between the batched and unbatched serve
+/// paths are therefore stated modulo this block — [`strip_batch_meta`]
+/// removes it for such comparisons (DESIGN.md §12).
+#[derive(Clone, Copy, Debug)]
+pub struct ForecastMeta {
+    /// True when the request was co-processed with at least one other.
+    pub batched: bool,
+    /// Number of requests in the processed batch (1 on the solo path).
+    pub batch_size: usize,
+    /// True when the response was answered from the forecast cache without
+    /// touching the model.
+    pub cache_hit: bool,
+}
+
+impl ForecastMeta {
+    /// The solo, uncached path (sync mode and batch-of-one).
+    pub fn solo() -> Self {
+        ForecastMeta { batched: false, batch_size: 1, cache_hit: false }
+    }
+}
+
 /// A normal or degraded forecast response.
 pub fn resp_forecast(
     id: &Option<String>,
     samples_used: usize,
     samples_requested: usize,
+    meta: &ForecastMeta,
     iv: &Intervals<'_>,
 ) -> String {
     let degraded = samples_used < samples_requested;
@@ -229,9 +310,40 @@ pub fn resp_forecast(
         ",\"degraded\":{degraded},\"samples_used\":{samples_used},\"samples_requested\":{samples_requested},\"variance_inflation\":{}",
         fmt_f32(inflation)
     ));
+    out.push_str(&format!(
+        ",\"batched\":{},\"batch_size\":{},\"cache_hit\":{}",
+        meta.batched, meta.batch_size, meta.cache_hit
+    ));
     push_intervals(&mut out, iv);
     out.push('}');
     out
+}
+
+/// Removes the contiguous `"batched"/"batch_size"/"cache_hit"` annotation
+/// block from a response line, leaving the semantic payload. Tests and the
+/// bench binary compare batched-vs-unbatched streams through this — the
+/// annotations exist precisely to tell the execution paths apart, so they
+/// are excluded from the byte-identity contract. Non-forecast lines pass
+/// through unchanged.
+pub fn strip_batch_meta(line: &str) -> String {
+    let Some(start) = line.find(",\"batched\":") else {
+        return line.to_string();
+    };
+    let tail = &line[start..];
+    // The block ends after the "cache_hit" boolean.
+    let Some(ch) = tail.find(",\"cache_hit\":") else {
+        return line.to_string();
+    };
+    let after_key = &tail[ch + ",\"cache_hit\":".len()..];
+    let bool_len = if after_key.starts_with("true") {
+        4
+    } else if after_key.starts_with("false") {
+        5
+    } else {
+        return line.to_string();
+    };
+    let end = start + ch + ",\"cache_hit\":".len() + bool_len;
+    format!("{}{}", &line[..start], &line[end..])
 }
 
 /// A shed/refused request. `reason` ∈ {queue_full, draining, breaker_open,
@@ -297,6 +409,46 @@ mod tests {
         assert_eq!(f.deadline_ms, Some(8));
         assert_eq!(f.mc, Some(4));
         assert_eq!(f.seed, Some(9));
+        assert_eq!(f.tick, None);
+        assert_eq!(f.nodes, None);
+        assert_eq!(f.horizon, None);
+    }
+
+    #[test]
+    fn batching_request_fields_parse_and_validate() {
+        let r = parse_request(
+            r#"{"type":"forecast","id":"b1","x":[[1,2]],"tick":12,"nodes":[1,0,1],"horizon":2}"#,
+        )
+        .unwrap();
+        let Request::Forecast(f) = r else { panic!("wrong variant") };
+        assert_eq!(f.tick, Some(12));
+        assert_eq!(f.nodes, Some(vec![1, 0, 1]));
+        assert_eq!(f.horizon, Some(2));
+        let e = parse_request(r#"{"type":"forecast","x":[[1]],"nodes":[]}"#).unwrap_err();
+        assert!(e.detail.contains("\"nodes\""));
+        let e = parse_request(r#"{"type":"forecast","x":[[1]],"nodes":[-1]}"#).unwrap_err();
+        assert!(e.detail.contains("\"nodes\"[0]"));
+        let e = parse_request(r#"{"type":"forecast","x":[[1]],"horizon":0}"#).unwrap_err();
+        assert!(e.detail.contains("\"horizon\""));
+        let e = parse_request(r#"{"type":"forecast","x":[[1]],"tick":"soon"}"#).unwrap_err();
+        assert!(e.detail.contains("\"tick\""));
+    }
+
+    #[test]
+    fn strip_batch_meta_removes_only_the_annotation_block() {
+        let id = Some("q".to_string());
+        let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let iv = Intervals { mu: &m, sigma: &m, lower: &m, upper: &m };
+        let solo = resp_forecast(&id, 8, 8, &ForecastMeta::solo(), &iv);
+        let meta = ForecastMeta { batched: true, batch_size: 5, cache_hit: false };
+        let co = resp_forecast(&id, 8, 8, &meta, &iv);
+        assert_ne!(solo, co, "annotations must distinguish the paths");
+        assert_eq!(strip_batch_meta(&solo), strip_batch_meta(&co));
+        assert!(!strip_batch_meta(&co).contains("batch_size"));
+        assert!(crate::json::parse(&strip_batch_meta(&co)).is_ok());
+        // Non-forecast lines pass through untouched.
+        let rej = resp_rejected(&id, "queue_full");
+        assert_eq!(strip_batch_meta(&rej), rej);
     }
 
     #[test]
@@ -326,7 +478,7 @@ mod tests {
         let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
         let iv = Intervals { mu: &m, sigma: &m, lower: &m, upper: &m };
         for (line, ty) in [
-            (resp_forecast(&id, 3, 8, &iv), "forecast"),
+            (resp_forecast(&id, 3, 8, &ForecastMeta::solo(), &iv), "forecast"),
             (resp_rejected(&id, "queue_full"), "rejected"),
             (resp_fallback(&id, "breaker_open", &iv), "fallback"),
             (resp_error(&None, "bad_request", "nope"), "error"),
@@ -335,9 +487,10 @@ mod tests {
             let v = crate::json::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
             assert_eq!(v.get("type").and_then(Json::as_str), Some(ty));
         }
-        let deg = resp_forecast(&id, 3, 8, &iv);
+        let deg = resp_forecast(&id, 3, 8, &ForecastMeta::solo(), &iv);
         assert!(deg.contains("\"degraded\":true"));
         assert!(deg.contains("\"samples_used\":3"));
+        assert!(deg.contains("\"batched\":false,\"batch_size\":1,\"cache_hit\":false"));
         let v = crate::json::parse(&deg).unwrap();
         let infl = v.get("variance_inflation").and_then(Json::as_f64).unwrap();
         assert!((infl - 8.0 / 3.0).abs() < 1e-6);
