@@ -1,0 +1,237 @@
+#!/bin/sh
+# Chaos smoke for the sharded cluster runtime (DESIGN.md §13).
+#
+# Phase 1 — determinism: a mixed request stream (full-window and
+# single-shard-skewed node subsets, some under deadline pressure), scattered
+# over a 3-worker cluster under the fake clock, must merge to byte-identical
+# responses at STUQ_THREADS=1/2/4.
+# Phase 2 — chaos: a long-lived router with 3 supervised worker processes is
+# warmed up, one worker is SIGKILLed mid-storm, and the cluster must (a) keep
+# answering with typed `partial:true` responses whose dead slices degrade to
+# widened-σ persistence, (b) restart the worker within the backoff budget and
+# return to `healthy`, and (c) answer post-recovery requests byte-identically
+# to a never-killed control run of the same stream.
+# Phase 3 — two-phase reload: a new artifact commits cluster-wide (unanimous
+# ack, every response on the new checksum, no version-skew slices); a corrupt
+# artifact aborts cluster-wide with the old version intact.
+#
+# usage: cluster_chaos.sh [stuq-binary] [work-dir]
+set -eu
+
+STUQ="${1:-./target/release/stuq}"
+WORK="${2:-/tmp/stuq-cluster-chaos}"
+
+fail() {
+  echo "cluster_chaos: $1" >&2
+  exit 1
+}
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+echo "=== cluster_chaos: fixtures ==="
+"$STUQ" simulate --preset pems08 --node-frac 0.08 --step-frac 0.02 \
+  --seed 61 --out "$WORK/flow.stuqd"
+"$STUQ" train --data "$WORK/flow.stuqd" --epochs 1 --awa-epochs 2 \
+  --batch 8 --mc 3 --seed 61 --out "$WORK/model.stuq"
+"$STUQ" train --data "$WORK/flow.stuqd" --epochs 1 --awa-epochs 2 \
+  --batch 8 --mc 3 --seed 67 --out "$WORK/model-b.stuq"
+cp "$WORK/model.stuq" "$WORK/live.stuq"
+
+echo "=== cluster_chaos: phase 1 (scatter/gather determinism, threads 1/2/4) ==="
+# 18 full-window requests under a tight deadline plus 12 skewed onto shard
+# 2's node range: the merge order, the seed pinning, and each worker's
+# deadline degradation must all be pure functions of the stream.
+"$STUQ" gen-requests --data "$WORK/flow.stuqd" --count 18 --deadline-ms 4 \
+  --mc 8 --seed 200 --out "$WORK/det-full.ndjson"
+"$STUQ" gen-requests --data "$WORK/flow.stuqd" --count 12 --mc 6 \
+  --shard-skew 2 --shards 3 --seed 230 --out "$WORK/det-skew.ndjson"
+cat "$WORK/det-full.ndjson" "$WORK/det-skew.ndjson" >"$WORK/det.ndjson"
+for t in 1 2 4; do
+  STUQ_FAKE_CLOCK=1 STUQ_THREADS=$t "$STUQ" serve --role router --shards 3 \
+    --model "$WORK/model.stuq" --data "$WORK/flow.stuqd" \
+    --worker-dir "$WORK/workers-t$t" --max-queue 1000 --floor 2 \
+    <"$WORK/det.ndjson" >"$WORK/det-t$t.out" 2>/dev/null
+done
+cmp "$WORK/det-t1.out" "$WORK/det-t2.out" || fail "merged responses differ between 1 and 2 threads"
+cmp "$WORK/det-t1.out" "$WORK/det-t4.out" || fail "merged responses differ between 1 and 4 threads"
+[ "$(grep -c '"type":"forecast"' "$WORK/det-t1.out")" -eq 30 ] \
+  || fail "expected 30 merged forecast responses"
+grep -q '"partial":false' "$WORK/det-t1.out" || fail "healthy cluster must merge partial:false"
+grep -q '"partial":true' "$WORK/det-t1.out" && fail "healthy cluster produced partial responses"
+echo "phase 1 OK: 30 merged responses byte-identical across thread counts"
+
+echo "=== cluster_chaos: phase 2 (SIGKILL a worker mid-storm) ==="
+"$STUQ" gen-requests --data "$WORK/flow.stuqd" --count 12 --mc 6 \
+  --burst 4 --seed 300 --out "$WORK/warm.ndjson"
+"$STUQ" gen-requests --data "$WORK/flow.stuqd" --count 24 --mc 6 \
+  --burst 8 --seed 310 --out "$WORK/storm.ndjson"
+head -n 12 "$WORK/storm.ndjson" >"$WORK/storm-a.ndjson"
+tail -n 12 "$WORK/storm.ndjson" >"$WORK/storm-b.ndjson"
+# Post-recovery probe: explicitly seeded, so its responses are independent
+# of arrival index — a fresh control cluster must reproduce them exactly.
+"$STUQ" gen-requests --data "$WORK/flow.stuqd" --count 6 --mc 6 \
+  --seed 320 --out "$WORK/post-raw.ndjson"
+sed 's/"id":"r/"id":"post-r/' "$WORK/post-raw.ndjson" >"$WORK/post.ndjson"
+
+FIFO="$WORK/in.fifo"
+mkfifo "$FIFO"
+STUQ_FAKE_CLOCK=1 "$STUQ" serve --role router --shards 3 \
+  --model "$WORK/live.stuq" --data "$WORK/flow.stuqd" \
+  --worker-dir "$WORK/workers" --max-queue 1000 \
+  --restart-backoff-ms 200 --restart-backoff-max-ms 1600 \
+  --telemetry-dir "$WORK/telemetry" --health-dir "$WORK/health" \
+  <"$FIFO" >"$WORK/chaos.out" 2>"$WORK/chaos.err" &
+ROUTER_PID=$!
+exec 3>"$FIFO"
+
+await_lines() {
+  want=$1
+  what=$2
+  i=0
+  while [ "$(wc -l <"$WORK/chaos.out")" -lt "$want" ]; do
+    i=$((i + 1))
+    [ "$i" -le 300 ] || fail "timed out waiting for $what ($want lines)"
+    kill -0 "$ROUTER_PID" 2>/dev/null || fail "router died waiting for $what"
+    sleep 0.1
+  done
+}
+
+printf '{"type":"healthz","id":"h1"}\n' >&3
+await_lines 1 "initial healthz"
+grep -q '"type":"health".*"cluster":true' "$WORK/chaos.out" || fail "no cluster health response"
+grep -q '"status":"healthy"' "$WORK/chaos.out" || fail "cluster did not come up healthy"
+
+# Warm every shard (full-window bursts give each one live σ history).
+cat "$WORK/warm.ndjson" >&3
+await_lines 13 "warmup burst"
+
+# Storm, first half clean…
+cat "$WORK/storm-a.ndjson" >&3
+await_lines 25 "storm first half"
+# …then SIGKILL shard 1's worker process mid-burst.
+WPID=$(pgrep -f "worker-1.sock" | head -n 1)
+[ -n "$WPID" ] || fail "could not find shard 1's worker process"
+kill -9 "$WPID"
+cat "$WORK/storm-b.ndjson" >&3
+await_lines 37 "storm second half"
+
+# The supervisor must notice, back off, respawn, reconnect, and replay the
+# shard assignment; the idle-tick health mirror flips back to healthy with
+# shard 1's restart on record (so a stale pre-kill snapshot cannot pass).
+recovered() {
+  grep -q '"status":"healthy"' "$WORK/health/health.json" 2>/dev/null \
+    && grep -q '"shard":1,"state":"up","breaker":"closed","restarts":1' \
+      "$WORK/health/health.json" 2>/dev/null
+}
+i=0
+until recovered; do
+  i=$((i + 1))
+  [ "$i" -le 60 ] || fail "cluster did not recover within the backoff budget (~15s)"
+  kill -0 "$ROUTER_PID" 2>/dev/null || fail "router died during recovery"
+  sleep 0.25
+done
+
+cat "$WORK/post.ndjson" >&3
+await_lines 43 "post-recovery forecasts"
+printf '{"type":"shutdown","id":"bye"}\n' >&3
+
+echo "=== cluster_chaos: phase 3 (two-phase reload: commit, then abort) ==="
+# Mid-session hot swap: the router validates once, stages on every worker,
+# and commits only on unanimous ack.
+cp "$WORK/model-b.stuq" "$WORK/live.stuq"
+# Reopen the pipe writer for the next lines (shutdown was already queued —
+# so phase 3 runs in a second session against the same work dir).
+exec 3>&-
+wait "$ROUTER_PID" || fail "router exited nonzero"
+
+FIFO2="$WORK/in2.fifo"
+mkfifo "$FIFO2"
+STUQ_FAKE_CLOCK=1 "$STUQ" serve --role router --shards 3 \
+  --model "$WORK/live.stuq" --data "$WORK/flow.stuqd" \
+  --worker-dir "$WORK/workers2" --max-queue 1000 \
+  --telemetry-dir "$WORK/telemetry2" \
+  <"$FIFO2" >"$WORK/reload.out" 2>"$WORK/reload.err" &
+ROUTER2_PID=$!
+exec 4>"$FIFO2"
+
+await_reload() {
+  want=$1
+  what=$2
+  i=0
+  while [ "$(wc -l <"$WORK/reload.out")" -lt "$want" ]; do
+    i=$((i + 1))
+    [ "$i" -le 300 ] || fail "timed out waiting for $what ($want lines)"
+    kill -0 "$ROUTER2_PID" 2>/dev/null || fail "reload router died waiting for $what"
+    sleep 0.1
+  done
+}
+
+# Baseline forecast on model B, then swap the artifact back to model A and
+# commit it cluster-wide.
+head -n 1 "$WORK/post.ndjson" >&4
+await_reload 1 "baseline forecast"
+cp "$WORK/model.stuq" "$WORK/live.stuq"
+printf '{"type":"reload","id":"rl1"}\n' >&4
+await_reload 2 "reload commit ack"
+head -n 1 "$WORK/post.ndjson" >&4
+await_reload 3 "post-commit forecast"
+# A corrupt artifact must abort cluster-wide, leaving the committed version.
+printf 'garbage' >"$WORK/live.stuq"
+printf '{"type":"reload","id":"rl2"}\n' >&4
+await_reload 4 "reload abort ack"
+head -n 1 "$WORK/post.ndjson" >&4
+await_reload 5 "post-abort forecast"
+printf '{"type":"shutdown","id":"bye2"}\n' >&4
+await_reload 6 "shutdown ack"
+exec 4>&-
+wait "$ROUTER2_PID" || fail "reload router exited nonzero"
+
+echo "=== cluster_chaos: contract checks ==="
+# Closed response set, typed partial degradation, typed recovery.
+BAD=$(grep -cvE '^\{"type":"(forecast|rejected|fallback|error|health|ack)"' "$WORK/chaos.out" || true)
+[ "$BAD" -eq 0 ] || fail "$BAD response lines outside the closed type set"
+grep -q '"partial":true' "$WORK/chaos.out" || fail "the kill produced no partial responses"
+grep -q '"shards":\[{"shard":1,"status":"fallback","reason":"worker_down"}\]' "$WORK/chaos.out" \
+  || fail "dead shard 1 was not annotated with a typed worker_down reason"
+grep '"id":"post-r' "$WORK/chaos.out" | grep -q '"partial":true' \
+  && fail "post-recovery responses must not be partial"
+grep -q '"id":"bye"' "$WORK/chaos.out" || fail "shutdown was not acknowledged"
+
+# Post-recovery byte identity against a never-killed control cluster.
+grep '"id":"post-r' "$WORK/chaos.out" >"$WORK/post-recovered.out"
+[ "$(wc -l <"$WORK/post-recovered.out")" -eq 6 ] || fail "expected 6 post-recovery responses"
+STUQ_FAKE_CLOCK=1 "$STUQ" serve --role router --shards 3 \
+  --model "$WORK/model.stuq" --data "$WORK/flow.stuqd" \
+  --worker-dir "$WORK/workers-ctl" --max-queue 1000 \
+  <"$WORK/post.ndjson" >"$WORK/post-control.out" 2>/dev/null
+cmp "$WORK/post-recovered.out" "$WORK/post-control.out" \
+  || fail "post-recovery responses differ from the never-killed control run"
+
+# Supervision left its trail: spawn, death, restart — and the event log
+# passes the closed-schema validator.
+grep -q '"type":"worker_down"' "$WORK/telemetry/events.jsonl" || fail "no worker_down event"
+grep -q '"type":"worker_restart".*"shard":1' "$WORK/telemetry/events.jsonl" \
+  || fail "no worker_restart event for shard 1"
+grep -q '"type":"serve_partial"' "$WORK/telemetry/events.jsonl" || fail "no serve_partial event"
+sh ci/validate_events.sh "$WORK/telemetry" "$STUQ"
+grep -q '"cluster":true' "$WORK/health/health.json" || fail "health.json is not cluster-shaped"
+
+# Two-phase reload: the commit ack carries the new checksum, the next
+# forecast serves it, and the aborted corrupt reload changes nothing.
+COMMIT_CK=$(sed -n 's/.*"id":"rl1".*"checksum":"\([0-9a-f]*\)".*/\1/p' "$WORK/reload.out")
+[ -n "$COMMIT_CK" ] || fail "reload commit ack has no checksum"
+grep -q '"id":"rl1".*"ok":true' "$WORK/reload.out" || fail "reload did not commit"
+[ "$(sed -n '3p' "$WORK/reload.out" | grep -c "\"model\":\"$COMMIT_CK\"")" -eq 1 ] \
+  || fail "post-commit forecast not on the committed checksum"
+grep -q '"id":"rl2".*"ok":false' "$WORK/reload.out" || fail "corrupt reload did not abort"
+[ "$(sed -n '5p' "$WORK/reload.out" | grep -c "\"model\":\"$COMMIT_CK\"")" -eq 1 ] \
+  || fail "post-abort forecast left the committed checksum"
+sed -n '3p;5p' "$WORK/reload.out" | grep -q '"partial":true' \
+  && fail "reload cycle produced version-skew partial responses"
+grep -q '"type":"cluster_reload_commit"' "$WORK/telemetry2/events.jsonl" \
+  || fail "no cluster_reload_commit event"
+grep -q '"type":"cluster_reload_abort"' "$WORK/telemetry2/events.jsonl" \
+  || fail "no cluster_reload_abort event"
+
+echo "cluster_chaos: OK"

@@ -228,9 +228,13 @@ USAGE:
                     [--widen-factor X] [--reload-poll-ms N] [--health-dir DIR]
                     [--seed N] [--batch-max N] [--batch-wait-ms N]
                     [--cache-ttl-ms N] [--cache-cap N]
+                    [--role router|worker] [--shards N] [--worker-dir DIR]
+                    [--rpc-timeout-ms N] [--ping-interval-ms N]
+                    [--restart-backoff-ms N] [--restart-backoff-max-ms N]
+                    [--connect-timeout-ms N]
   stuq gen-requests --data data.stuqd [--count N] [--deadline-ms N] [--mc N]
                     [--nan-frac F] [--seed N] [--out FILE]
-                    [--burst K] [--hot-nodes H]
+                    [--burst K] [--hot-nodes H] [--shard-skew S [--shards N]]
   stuq telemetry dump|validate --dir DIR
 
 Every command also accepts [--telemetry-dir DIR] [--telemetry-level off|summary|trace]
@@ -256,8 +260,17 @@ single MC run (DESIGN.md §12); --cache-ttl-ms enables the per-tick forecast
 cache (TTL = the data cadence). `stuq gen-requests` emits a request stream
 from a dataset's test split for load tests; --burst K groups requests into
 same-tick storms of K (declaring `tick`, seedless, so they batch and cache),
-and --hot-nodes H adds overlapping node subsets drawn from the first H
-sensors.";
+--hot-nodes H adds overlapping node subsets drawn from the first H sensors,
+and --shard-skew S concentrates node subsets on shard S of the cluster map.
+
+Cluster serving (DESIGN.md §13): `stuq serve --role router --shards N` spawns
+N supervised worker processes (this binary with --role worker, one Unix
+socket each), partitions the sensors across them with a deterministic shard
+map, and scatter/gathers every forecast. Dead or refusing shards degrade to
+widened-σ persistence slices annotated `partial: true` with typed per-shard
+reasons; workers are restarted with exponential backoff and re-assigned
+their shard on rejoin; `reload` runs a two-phase commit across all workers
+(unanimous ack or cluster-wide abort — no mixed-version window).";
 
 /// A minimal `--key value` argument map.
 struct Args {
@@ -602,9 +615,14 @@ fn serve_config(a: &Args) -> Result<stuq_serve::ServeConfig, CliError> {
 
 fn cmd_serve(args: &[String], _out: &mut impl Write) -> Result<(), CliError> {
     let a = Args::parse(args)?;
+    stuq_obs::set_stage("serve");
+    match a.get("role") {
+        Some("router") => return cmd_serve_router(&a),
+        None | Some("worker") => {}
+        Some(other) => return Err(format!("bad value for --role: {other:?} (router|worker)")),
+    }
     let cfg = serve_config(&a)?;
     let socket = a.get("socket").map(PathBuf::from);
-    stuq_obs::set_stage("serve");
     let mut server = stuq_serve::Server::new(cfg)?;
     match socket {
         None => {
@@ -620,6 +638,135 @@ fn cmd_serve(args: &[String], _out: &mut impl Write) -> Result<(), CliError> {
         }
         Some(path) => serve_socket(&mut server, &path),
     }
+}
+
+/// `stuq serve --role router`: spawn one supervised worker process per shard
+/// (the same binary with `--role worker --socket …`), then run the router
+/// loop on stdin/stdout or `--socket` (DESIGN.md §13).
+fn cmd_serve_router(a: &Args) -> Result<(), CliError> {
+    use stuq_serve::router::{Router, RouterConfig, ShardWorker};
+    use stuq_serve::supervisor::{ProcWorker, WorkerSpec};
+
+    let serve_cfg = serve_config(a)?;
+    let mut cfg = RouterConfig::new(serve_cfg);
+    cfg.shards = a.parse_or("shards", cfg.shards)?;
+    if cfg.shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    cfg.rpc_timeout_ms = a.parse_or("rpc-timeout-ms", cfg.rpc_timeout_ms)?;
+    let ping_interval_ms: u64 = a.parse_or("ping-interval-ms", 500u64)?;
+    let backoff_ms: u64 = a.parse_or("restart-backoff-ms", 200u64)?;
+    let backoff_max_ms: u64 = a.parse_or("restart-backoff-max-ms", 3200u64)?;
+    let connect_timeout_ms: u64 = a.parse_or("connect-timeout-ms", 10_000u64)?;
+    let worker_dir = match a.get("worker-dir") {
+        Some(d) => PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("stuq-cluster-{}", std::process::id())),
+    };
+    std::fs::create_dir_all(&worker_dir)
+        .map_err(|e| format!("--worker-dir {}: {e}", worker_dir.display()))?;
+
+    // The shard map clamps to the sensor count; spawn exactly that many
+    // workers so shard indices and worker indices coincide.
+    let model = deepstuq::load_model(&cfg.serve.model_path).map_err(|e| e.to_string())?;
+    let n_nodes = model.model().n_nodes();
+    drop(model);
+    let shards = stuq_serve::shard::ShardMap::new(n_nodes, cfg.shards).n_shards();
+    cfg.shards = shards;
+
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    // Workers inherit the serving knobs but never the reload watcher (the
+    // two-phase protocol owns reloads; a per-worker watcher would reopen
+    // the mixed-version window) and never --health-dir (they would all
+    // clobber the router's health.json).
+    let mut base_args: Vec<String> = ["serve", "--role", "worker", "--reload-poll-ms", "0"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    base_args.push("--model".into());
+    base_args.push(cfg.serve.model_path.display().to_string());
+    for key in [
+        "data",
+        "max-queue",
+        "mc",
+        "floor",
+        "deadline-ms",
+        "breaker-threshold",
+        "breaker-cooldown-ms",
+        "breaker-cooldown-max-ms",
+        "max-abs-output",
+        "widen-factor",
+        "seed",
+        "batch-max",
+        "batch-wait-ms",
+        "cache-ttl-ms",
+        "cache-cap",
+    ] {
+        if let Some(v) = a.get(key) {
+            base_args.push(format!("--{key}"));
+            base_args.push(v.to_string());
+        }
+    }
+    let workers: Vec<Box<dyn ShardWorker>> = (0..shards)
+        .map(|s| {
+            let socket = worker_dir.join(format!("worker-{s}.sock"));
+            let mut args = base_args.clone();
+            args.push("--socket".into());
+            args.push(socket.display().to_string());
+            Box::new(ProcWorker::spawn(WorkerSpec {
+                shard: s,
+                shards,
+                exe: exe.clone(),
+                args,
+                socket,
+                ping_interval_ms,
+                backoff_ms,
+                backoff_max_ms,
+                connect_timeout_ms,
+            })) as Box<dyn ShardWorker>
+        })
+        .collect();
+
+    let mut router = Router::new(cfg, workers)?;
+    match a.get("socket").map(PathBuf::from) {
+        None => {
+            let reader = std::io::BufReader::new(std::io::stdin());
+            let summary = stuq_serve::router::router_loop(&mut router, reader, std::io::stdout());
+            eprintln!(
+                "serve: router — {} request(s), {} shed, {} response line(s)",
+                summary.requests, summary.shed, summary.responses
+            );
+            Ok(())
+        }
+        Some(path) => router_socket(&mut router, &path),
+    }
+}
+
+/// Accept loop for the router's own Unix socket — one connection at a time,
+/// mirroring [`serve_socket`].
+fn router_socket(
+    router: &mut stuq_serve::router::Router,
+    path: &std::path::Path,
+) -> Result<(), CliError> {
+    use std::os::unix::net::UnixListener;
+    let _ = std::fs::remove_file(path);
+    let listener =
+        UnixListener::bind(path).map_err(|e| format!("--socket {}: {e}", path.display()))?;
+    eprintln!("serve: router listening on {}", path.display());
+    for conn in listener.incoming() {
+        let conn = conn.map_err(|e| format!("accept: {e}"))?;
+        let reader =
+            std::io::BufReader::new(conn.try_clone().map_err(|e| format!("socket clone: {e}"))?);
+        let summary = stuq_serve::router::router_loop(router, reader, conn);
+        eprintln!(
+            "serve: connection closed — {} request(s), {} shed",
+            summary.requests, summary.shed
+        );
+        if router.draining() {
+            break;
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
 }
 
 /// Accept loop on a Unix socket: one connection at a time, each driven by
@@ -690,6 +837,27 @@ fn cmd_gen_requests(args: &[String], out: &mut impl Write) -> Result<(), CliErro
             ));
         }
     }
+    // --shard-skew S: node subsets drawn entirely from shard S's range of
+    // the deterministic node→shard map (--shards, default 3) — the load
+    // shape for single-shard imbalance and single-shard-outage scenarios.
+    let shard_skew: Option<usize> = match a.get("shard-skew") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| format!("bad value for --shard-skew: {v:?}"))?),
+    };
+    let skew_map = stuq_serve::shard::ShardMap::new(ds.n_nodes(), a.parse_or("shards", 3usize)?);
+    if let Some(s) = shard_skew {
+        if hot_nodes.is_some() {
+            return Err("--shard-skew and --hot-nodes are mutually exclusive".into());
+        }
+        if s >= skew_map.n_shards() {
+            return Err(format!(
+                "--shard-skew must be in 0..{} ({} shards over {} sensors)",
+                skew_map.n_shards(),
+                skew_map.n_shards(),
+                ds.n_nodes()
+            ));
+        }
+    }
 
     let starts = ds.window_starts(Split::Test);
     if starts.is_empty() {
@@ -710,9 +878,17 @@ fn cmd_gen_requests(args: &[String], out: &mut impl Write) -> Result<(), CliErro
             Some(g) => buf.push_str(&format!(",\"tick\":{g}")),
             None => buf.push_str(&format!(",\"seed\":{}", seed + i as u64)),
         }
-        if let Some(h) = hot_nodes {
+        let node_sel: Option<Vec<usize>> = if let Some(h) = hot_nodes {
             let width = (1 + i % 3).min(h);
-            let mut nodes: Vec<usize> = (0..width).map(|j| (i + j) % h).collect();
+            Some((0..width).map(|j| (i + j) % h).collect())
+        } else if let Some(s) = shard_skew {
+            let range = skew_map.range(s);
+            let width = (1 + i % 3).min(range.len());
+            Some((0..width).map(|j| range.start + (i + j) % range.len()).collect())
+        } else {
+            None
+        };
+        if let Some(mut nodes) = node_sel {
             nodes.sort_unstable();
             nodes.dedup();
             buf.push_str(",\"nodes\":[");

@@ -331,6 +331,20 @@ pub const SCHEMA: &[(&str, &[&str])] = &[
     // Request coalescing + forecast cache (DESIGN.md §12).
     ("serve_batch", &["size", "groups", "cache_hits"]),
     ("cache_invalidate", &["reason", "entries"]),
+    // Sharded cluster (DESIGN.md §13). Breaker events gain an extra
+    // `shard` field when emitted by the router's per-shard breakers.
+    ("cluster_start", &["shards", "nodes"]),
+    ("shard_assign", &["shard", "shards"]),
+    ("worker_spawn", &["shard"]),
+    ("worker_down", &["shard", "reason"]),
+    ("worker_restart", &["shard", "restarts"]),
+    ("worker_restart_failed", &["shard", "backoff_ms", "reason"]),
+    ("serve_partial", &["shards_failed"]),
+    ("reload_stage", &["path", "checksum"]),
+    ("reload_abort", &["reason", "staged"]),
+    ("cluster_reload_prepare", &["checksum", "acks"]),
+    ("cluster_reload_commit", &["checksum"]),
+    ("cluster_reload_abort", &["checksum", "reason"]),
 ];
 
 /// Fields that must be strings; every other schema field must be numeric

@@ -412,6 +412,20 @@ pub struct Metrics {
     pub serve_cache_invalidations: Counter,
     /// Live forecast-cache entries.
     pub serve_cache_entries: Gauge,
+
+    // --- stuq-serve: sharded cluster (router side) -------------------------
+    /// Workers currently up, as of the last supervision tick.
+    pub cluster_workers_up: Gauge,
+    /// Worker processes restarted by the supervisor.
+    pub cluster_restarts: Counter,
+    /// Worker RPCs that failed at the transport (timeout, EOF, I/O error).
+    pub cluster_rpc_failures: Counter,
+    /// Merged responses with at least one non-ok shard (`partial: true`).
+    pub serve_partial: Counter,
+    /// Two-phase cluster reloads committed.
+    pub cluster_reload_commits: Counter,
+    /// Two-phase cluster reloads aborted (validation, skew, or worker nack).
+    pub cluster_reload_aborts: Counter,
 }
 
 impl Metrics {
@@ -469,6 +483,12 @@ impl Metrics {
             serve_cache_evictions: Counter::new(),
             serve_cache_invalidations: Counter::new(),
             serve_cache_entries: Gauge::new(),
+            cluster_workers_up: Gauge::new(),
+            cluster_restarts: Counter::new(),
+            cluster_rpc_failures: Counter::new(),
+            serve_partial: Counter::new(),
+            cluster_reload_commits: Counter::new(),
+            cluster_reload_aborts: Counter::new(),
         }
     }
 
@@ -790,6 +810,42 @@ impl Metrics {
             "live forecast-cache entries",
             self.serve_cache_entries.get(),
         );
+        g(
+            &mut out,
+            "stuq_cluster_workers_up",
+            "workers up at the last supervision tick",
+            self.cluster_workers_up.get(),
+        );
+        c(
+            &mut out,
+            "stuq_cluster_restarts_total",
+            "worker processes restarted",
+            self.cluster_restarts.get(),
+        );
+        c(
+            &mut out,
+            "stuq_cluster_rpc_failures_total",
+            "worker RPC transport failures",
+            self.cluster_rpc_failures.get(),
+        );
+        c(
+            &mut out,
+            "stuq_serve_partial_total",
+            "merged responses with a degraded shard",
+            self.serve_partial.get(),
+        );
+        c(
+            &mut out,
+            "stuq_cluster_reload_commits_total",
+            "two-phase cluster reloads committed",
+            self.cluster_reload_commits.get(),
+        );
+        c(
+            &mut out,
+            "stuq_cluster_reload_aborts_total",
+            "two-phase cluster reloads aborted",
+            self.cluster_reload_aborts.get(),
+        );
         out
     }
 
@@ -846,6 +902,12 @@ impl Metrics {
         self.serve_cache_evictions.reset();
         self.serve_cache_invalidations.reset();
         self.serve_cache_entries.reset();
+        self.cluster_workers_up.reset();
+        self.cluster_restarts.reset();
+        self.cluster_rpc_failures.reset();
+        self.serve_partial.reset();
+        self.cluster_reload_commits.reset();
+        self.cluster_reload_aborts.reset();
     }
 }
 

@@ -43,6 +43,18 @@
 //!    cadence (`--cache-ttl-ms`); a hit answers without touching the model
 //!    and the whole cache is dropped on hot-reload swap and breaker-open.
 //!
+//! And one scale-out mechanism on top (DESIGN.md §13):
+//!
+//! 7. **Sharded cluster** ([`shard`], [`router`], [`supervisor`]) — a
+//!    router process partitions the sensor set across N worker processes
+//!    (each one an ordinary [`Server`] behind a socket), scatters every
+//!    forecast's node set to the owning shards, and gathers the slices
+//!    back into one response. Workers additionally answer `ping`,
+//!    `assign`, and the two-phase `prepare_reload`/`commit_reload`/
+//!    `abort_reload` requests the router drives; a dead or refusing shard
+//!    degrades into a persistence slice with a typed per-shard reason
+//!    instead of failing the whole request.
+//!
 //! All time flows through the injectable [`clock::Clock`]; with
 //! `STUQ_FAKE_CLOCK` set, degradation trajectories *and batch composition*
 //! are a pure function of the request stream, so responses are
@@ -56,6 +68,9 @@ pub mod clock;
 pub mod json;
 pub mod proto;
 pub mod reload;
+pub mod router;
+pub mod shard;
+pub mod supervisor;
 
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
@@ -203,6 +218,12 @@ pub struct Server {
     /// MC samples actually drawn from the model — shared samples count once
     /// per group, not once per co-batched member.
     samples_used_total: u64,
+    /// Two-phase reload: a validated candidate staged by `prepare_reload`,
+    /// swapped in only by `commit_reload` (dropped by `abort_reload`).
+    staged: Option<(DeepStuq, String)>,
+    /// Cluster shard assignment `(shard, shards)`, set by an `assign`
+    /// request; assigned workers refuse nodes outside their range.
+    assignment: Option<(usize, usize)>,
 }
 
 /// A validated forecast request, ready for cache lookup and share-key
@@ -309,6 +330,8 @@ impl Server {
             cache,
             generation: 0,
             samples_used_total: 0,
+            staged: None,
+            assignment: None,
         })
     }
 
@@ -346,6 +369,13 @@ impl Server {
     /// Checksum of the artifact currently being served.
     pub fn model_checksum(&self) -> &str {
         &self.model_checksum
+    }
+
+    /// Forecast-cache key generation. Bumped by every invalidation —
+    /// including a committed cluster reload — and, critically, *not* by an
+    /// aborted prepare; cluster tests pin both directions.
+    pub fn cache_generation(&self) -> u64 {
+        self.generation
     }
 
     /// Forecasts shed by the server itself (sync-mode admission).
@@ -392,6 +422,22 @@ impl Server {
                 self.draining = true;
                 LineOutcome { response: proto::resp_ack(&id, "shutdown", &[]), done: true }
             }
+            Ok(Request::Ping { id }) => LineOutcome {
+                response: proto::resp_ack(&id, "ping", &[("ok", "true".into())]),
+                done: false,
+            },
+            Ok(Request::Assign { id, shard, shards }) => {
+                LineOutcome { response: self.handle_assign(&id, shard, shards), done: false }
+            }
+            Ok(Request::PrepareReload { id }) => {
+                LineOutcome { response: self.handle_prepare_reload(&id), done: false }
+            }
+            Ok(Request::CommitReload { id }) => {
+                LineOutcome { response: self.handle_commit_reload(&id), done: false }
+            }
+            Ok(Request::AbortReload { id }) => {
+                LineOutcome { response: self.handle_abort_reload(&id), done: false }
+            }
         }
     }
 
@@ -434,6 +480,22 @@ impl Server {
                     "shape_mismatch",
                     &format!("node {bad} out of range (model has {n_nodes} sensors)"),
                 ));
+            }
+            // An assigned cluster worker answers only its own slice; a node
+            // outside the range means the router's shard map and ours
+            // disagree — refuse loudly rather than serve the wrong rows.
+            if let Some((s, total)) = self.assignment {
+                let range = shard::ShardMap::new(n_nodes, total).range(s);
+                if let Some(&bad) = nodes.iter().find(|&&i| !range.contains(&i)) {
+                    return Err(proto::resp_error(
+                        &req.id,
+                        "shape_mismatch",
+                        &format!(
+                            "node {bad} not owned by shard {s} (owns {}..{})",
+                            range.start, range.end
+                        ),
+                    ));
+                }
             }
         }
         if let Some(h) = req.horizon {
@@ -510,6 +572,7 @@ impl Server {
             id,
             samples_used,
             samples_requested,
+            &self.model_checksum,
             meta,
             &proto::Intervals { mu: &mu, sigma: &sigma, lower: &lower, upper: &upper },
         )
@@ -1009,6 +1072,10 @@ impl Server {
                 } else {
                     self.model = candidate;
                     self.model_checksum = v.checksum.clone();
+                    // A direct swap supersedes any staged two-phase
+                    // candidate (cluster workers disable the watcher, so
+                    // this only matters for solo servers poked both ways).
+                    self.staged = None;
                     self.breaker.reset();
                     m.serve_breaker_state.set(self.breaker.state().gauge());
                     // Cached forecasts belong to the old weights.
@@ -1034,6 +1101,140 @@ impl Server {
         outcome
     }
 
+    /// `assign`: adopt a shard of the (deterministic) node→shard map. The
+    /// router replays this on every spawn and rejoin; re-assignment with
+    /// the same parameters is idempotent.
+    fn handle_assign(&mut self, id: &Option<String>, shard: usize, shards: usize) -> String {
+        let map = shard::ShardMap::new(self.model.model().n_nodes(), shards);
+        if shard >= map.n_shards() {
+            let reason = format!(
+                "shard {shard} out of range ({} shards for {} nodes)",
+                map.n_shards(),
+                map.n_nodes()
+            );
+            return proto::resp_ack(
+                id,
+                "assign",
+                &[("ok", "false".into()), ("reason", json::escape(&reason))],
+            );
+        }
+        let range = map.range(shard);
+        self.assignment = Some((shard, map.n_shards()));
+        stuq_obs::emit(
+            Event::new("shard_assign")
+                .uint("shard", shard as u64)
+                .uint("shards", map.n_shards() as u64),
+        );
+        proto::resp_ack(
+            id,
+            "assign",
+            &[
+                ("ok", "true".into()),
+                ("shard", shard.to_string()),
+                ("shards", map.n_shards().to_string()),
+                ("node_lo", range.start.to_string()),
+                ("node_hi", range.end.to_string()),
+            ],
+        )
+    }
+
+    /// Phase one of the cluster-wide reload: validate + shape-check the
+    /// artifact *now* and stage it. Nothing is swapped, nothing is
+    /// invalidated — a later abort must leave zero observable trace.
+    fn handle_prepare_reload(&mut self, id: &Option<String>) -> String {
+        let v = reload::validate(&self.cfg.model_path);
+        let path_s = v.path.display().to_string();
+        let checksum = v.checksum.clone();
+        let outcome = match v.result {
+            Err(e) => Err(e),
+            Ok(candidate) => {
+                let (n0, h0) = (self.model.model().n_nodes(), self.model.model().horizon());
+                let (n1, h1) = (candidate.model().n_nodes(), candidate.model().horizon());
+                if (n0, h0) != (n1, h1) {
+                    Err(format!(
+                        "shape mismatch: serving [{n0} nodes, horizon {h0}], \
+                         candidate [{n1} nodes, horizon {h1}]"
+                    ))
+                } else {
+                    Ok(candidate)
+                }
+            }
+        };
+        match outcome {
+            Ok(candidate) => {
+                self.staged = Some((candidate, checksum.clone()));
+                stuq_obs::emit(
+                    Event::new("reload_stage")
+                        .str("path", path_s)
+                        .str("checksum", checksum.as_str()),
+                );
+                proto::resp_ack(
+                    id,
+                    "prepare_reload",
+                    &[("ok", "true".into()), ("checksum", json::escape(&checksum))],
+                )
+            }
+            Err(reason) => {
+                self.staged = None;
+                stuq_obs::metrics().serve_reload_rollbacks.inc();
+                stuq_obs::emit(
+                    Event::new("reload_rollback").str("path", path_s).str("reason", reason.clone()),
+                );
+                proto::resp_ack(
+                    id,
+                    "prepare_reload",
+                    &[("ok", "false".into()), ("reason", json::escape(&reason))],
+                )
+            }
+        }
+    }
+
+    /// Phase two: swap the staged candidate in. Mirrors a direct reload's
+    /// side effects — breaker reset, cache invalidation (generation bump).
+    fn handle_commit_reload(&mut self, id: &Option<String>) -> String {
+        match self.staged.take() {
+            None => proto::resp_ack(
+                id,
+                "commit_reload",
+                &[("ok", "false".into()), ("reason", json::escape("nothing_staged"))],
+            ),
+            Some((candidate, checksum)) => {
+                let m = stuq_obs::metrics();
+                self.model = candidate;
+                self.model_checksum = checksum.clone();
+                self.breaker.reset();
+                m.serve_breaker_state.set(self.breaker.state().gauge());
+                self.invalidate_cache("reload");
+                m.serve_reloads.inc();
+                stuq_obs::emit(
+                    Event::new("reload_ok")
+                        .str("path", self.cfg.model_path.display().to_string())
+                        .str("checksum", checksum.as_str()),
+                );
+                proto::resp_ack(
+                    id,
+                    "commit_reload",
+                    &[("ok", "true".into()), ("checksum", json::escape(&checksum))],
+                )
+            }
+        }
+    }
+
+    /// Drops any staged candidate. Explicitly *not* a cache invalidation:
+    /// an aborted prepare must leave responses byte-identical to a world
+    /// where the prepare never happened.
+    fn handle_abort_reload(&mut self, id: &Option<String>) -> String {
+        let dropped = self.staged.take().is_some();
+        stuq_obs::emit(
+            Event::new("reload_abort").str("reason", "router_abort").uint("staged", dropped as u64),
+        );
+        proto::resp_ack(
+            id,
+            "abort_reload",
+            &[("ok", "true".into()), ("staged", dropped.to_string())],
+        )
+    }
+
     /// The `health` response (also the body of `health.json`). Queue depth
     /// and reader-side sheds come from the loop-maintained mirrors, so loop
     /// mode reports the real forecast-lane depth, not a constant 0.
@@ -1051,7 +1252,7 @@ impl Server {
             ",\"status\":\"{status}\",\"ready\":{ready},\"breaker\":\"{}\",\
              \"queue_depth\":{},\"queue_capacity\":{},\"requests\":{},\
              \"shed\":{shed},\"model_checksum\":\"{}\",\"mc_samples\":{},\"floor\":{},\
-             \"batch_max\":{},\"cache_entries\":{}}}",
+             \"batch_max\":{},\"cache_entries\":{},\"generation\":{},\"staged\":{}",
             self.breaker.state().as_str(),
             self.queue_depth,
             self.cfg.max_queue,
@@ -1061,7 +1262,13 @@ impl Server {
             self.cfg.floor,
             self.cfg.batch_max,
             self.cache.len(),
+            self.generation,
+            self.staged.is_some(),
         ));
+        if let Some((shard, shards)) = self.assignment {
+            out.push_str(&format!(",\"shard\":{shard},\"shards\":{shards}"));
+        }
+        out.push('}');
         out
     }
 

@@ -11,6 +11,28 @@
 //! (the same layout as a dataset window); response `mu`/`sigma`/`lower`/
 //! `upper` are node-major `[n_nodes][horizon]`. Non-finite floats use the
 //! `"NaN"`/`"inf"`/`"-inf"` marker strings, as in the event log.
+//!
+//! ## Cluster additions (DESIGN.md §13)
+//!
+//! The sharded cluster speaks the *same* protocol — a router looks like a
+//! server to clients and like a client to its workers — plus a handful of
+//! internal control requests and response annotations:
+//!
+//! * requests `ping` (liveness), `assign {shard, shards}` (shard-map
+//!   replay on spawn/rejoin), and the two-phase reload trio
+//!   `prepare_reload` / `commit_reload` / `abort_reload`, each answered
+//!   with an `ack`;
+//! * every `forecast` response carries `"model"`: the checksum of the
+//!   artifact that produced it, so a mixed-version window is visible as a
+//!   non-uniform `model` field (the router turns any skewed shard slice
+//!   into a typed fallback rather than merging it);
+//! * router-merged forecasts carry `"partial"` (plus a `"shards"` detail
+//!   array with one `{shard, status, reason}` entry per non-ok shard), and
+//!   router-side rejections carry the failing `"shard"` — worker-typed
+//!   reasons (`queue_full`, `breaker_open`, …) are forwarded verbatim,
+//!   never flattened into a generic error. [`strip_cluster_meta`] removes
+//!   the annotation block for byte-identity comparisons, exactly as
+//!   [`strip_batch_meta`] does for the batching annotations.
 
 use crate::json::{escape, parse, Json};
 use stuq_tensor::Tensor;
@@ -37,6 +59,36 @@ pub enum Request {
     },
     /// Drain, then exit the serve loop.
     Shutdown {
+        /// Echoed request id.
+        id: Option<String>,
+    },
+    /// Cluster liveness probe (supervisor → worker); answered with an ack.
+    Ping {
+        /// Echoed request id.
+        id: Option<String>,
+    },
+    /// Shard-map assignment, replayed to a worker on spawn and rejoin.
+    Assign {
+        /// Echoed request id.
+        id: Option<String>,
+        /// This worker's shard index.
+        shard: usize,
+        /// Total shard count in the cluster.
+        shards: usize,
+    },
+    /// Phase one of the cluster-wide reload: validate + stage the artifact,
+    /// swap nothing yet.
+    PrepareReload {
+        /// Echoed request id.
+        id: Option<String>,
+    },
+    /// Phase two: swap the staged candidate in (bumps the cache generation).
+    CommitReload {
+        /// Echoed request id.
+        id: Option<String>,
+    },
+    /// Drop the staged candidate without swapping (no generation bump).
+    AbortReload {
         /// Echoed request id.
         id: Option<String>,
     },
@@ -91,6 +143,29 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
         "reload" => Ok(Request::Reload { id }),
         "drain" => Ok(Request::Drain { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
+        "ping" => Ok(Request::Ping { id }),
+        "prepare_reload" => Ok(Request::PrepareReload { id }),
+        "commit_reload" => Ok(Request::CommitReload { id }),
+        "abort_reload" => Ok(Request::AbortReload { id }),
+        "assign" => {
+            let shard = v
+                .get("shard")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| err("\"assign\" needs a \"shard\" index".into()))?
+                as usize;
+            let shards = v
+                .get("shards")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| err("\"assign\" needs a \"shards\" count".into()))?
+                as usize;
+            if shards == 0 {
+                return Err(err("\"shards\" must be at least 1".into()));
+            }
+            if shard >= shards {
+                return Err(err(format!("\"shard\" {shard} out of range ({shards} shards)")));
+            }
+            Ok(Request::Assign { id, shard, shards })
+        }
         "forecast" => {
             let rows = v
                 .get("x")
@@ -293,23 +368,37 @@ impl ForecastMeta {
     }
 }
 
-/// A normal or degraded forecast response.
-pub fn resp_forecast(
+fn push_forecast_head(
+    out: &mut String,
     id: &Option<String>,
     samples_used: usize,
     samples_requested: usize,
-    meta: &ForecastMeta,
-    iv: &Intervals<'_>,
-) -> String {
+    model: &str,
+) {
     let degraded = samples_used < samples_requested;
     let inflation = samples_requested as f32 / samples_used as f32;
-    let mut out = String::with_capacity(256);
     out.push_str("{\"type\":\"forecast\"");
-    push_id(&mut out, id);
+    push_id(out, id);
     out.push_str(&format!(
         ",\"degraded\":{degraded},\"samples_used\":{samples_used},\"samples_requested\":{samples_requested},\"variance_inflation\":{}",
         fmt_f32(inflation)
     ));
+    out.push_str(&format!(",\"model\":{}", escape(model)));
+}
+
+/// A normal or degraded forecast response. `model` is the checksum of the
+/// artifact that produced it — in a cluster, a router can prove every merged
+/// slice came from the same model version by comparing this field.
+pub fn resp_forecast(
+    id: &Option<String>,
+    samples_used: usize,
+    samples_requested: usize,
+    model: &str,
+    meta: &ForecastMeta,
+    iv: &Intervals<'_>,
+) -> String {
+    let mut out = String::with_capacity(256);
+    push_forecast_head(&mut out, id, samples_used, samples_requested, model);
     out.push_str(&format!(
         ",\"batched\":{},\"batch_size\":{},\"cache_hit\":{}",
         meta.batched, meta.batch_size, meta.cache_hit
@@ -344,6 +433,255 @@ pub fn strip_batch_meta(line: &str) -> String {
     };
     let end = start + ch + ",\"cache_hit\":".len() + bool_len;
     format!("{}{}", &line[..start], &line[end..])
+}
+
+/// Removes the router's `"partial"`/`"shards"` annotation block (and, via
+/// [`strip_batch_meta`], the worker batching block), leaving the semantic
+/// payload. A router-merged full response and a solo server's response to
+/// the same request compare byte-equal through this. Lines without the
+/// blocks pass through unchanged.
+pub fn strip_cluster_meta(line: &str) -> String {
+    let line = strip_batch_meta(line);
+    let Some(start) = line.find(",\"partial\":") else {
+        return line;
+    };
+    // The block ends where the interval payload begins.
+    let Some(rel_end) = line[start..].find(",\"mu\":") else {
+        return line;
+    };
+    format!("{}{}", &line[..start], &line[start + rel_end..])
+}
+
+/// Per-shard annotation on a router-merged response: how one shard's slice
+/// was produced. `status` is `"ok"` (live forecast) or `"fallback"`
+/// (persistence slice); non-ok entries carry the *worker's* typed reason
+/// (`queue_full`, `breaker_open`, `model_fault`, `draining`) or a
+/// router-observed one (`worker_down`, `rpc_timeout`, `version_skew`,
+/// `worker_error`).
+#[derive(Clone, Debug)]
+pub struct ShardNote {
+    /// Shard index.
+    pub shard: usize,
+    /// `"ok"` or `"fallback"`.
+    pub status: &'static str,
+    /// Typed reason when status is not `"ok"`.
+    pub reason: Option<String>,
+}
+
+fn push_shard_notes(out: &mut String, notes: &[ShardNote]) {
+    out.push_str(",\"shards\":[");
+    let mut first = true;
+    for nt in notes.iter().filter(|n| n.status != "ok") {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("{{\"shard\":{},\"status\":{}", nt.shard, escape(nt.status)));
+        if let Some(r) = &nt.reason {
+            out.push_str(&format!(",\"reason\":{}", escape(r)));
+        }
+        out.push('}');
+    }
+    out.push(']');
+}
+
+/// A router-merged forecast. `partial` is true iff any shard's slice is a
+/// fallback; the `shards` array then lists exactly those shards with their
+/// typed reasons. `samples_used` is the minimum over the live shards — the
+/// honest number, since the weakest slice bounds the whole answer.
+pub fn resp_cluster_forecast(
+    id: &Option<String>,
+    samples_used: usize,
+    samples_requested: usize,
+    model: &str,
+    notes: &[ShardNote],
+    iv: &Intervals<'_>,
+) -> String {
+    let partial = notes.iter().any(|n| n.status != "ok");
+    let mut out = String::with_capacity(256);
+    push_forecast_head(&mut out, id, samples_used, samples_requested, model);
+    out.push_str(&format!(",\"partial\":{partial}"));
+    if partial {
+        push_shard_notes(&mut out, notes);
+    }
+    push_intervals(&mut out, iv);
+    out.push('}');
+    out
+}
+
+/// The cluster-wide fallback: *no* shard produced a live forecast, but every
+/// shard could still be answered from persistence history. `reason` is the
+/// first failing shard's reason; the `shards` array has the rest.
+pub fn resp_cluster_fallback(
+    id: &Option<String>,
+    reason: &str,
+    notes: &[ShardNote],
+    iv: &Intervals<'_>,
+) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"type\":\"fallback\"");
+    push_id(&mut out, id);
+    out.push_str(&format!(",\"reason\":{}", escape(reason)));
+    push_shard_notes(&mut out, notes);
+    push_intervals(&mut out, iv);
+    out.push('}');
+    out
+}
+
+/// A router-side rejection that names the shard whose typed refusal (or
+/// outage, before any fallback history exists) killed the whole request.
+pub fn resp_rejected_shard(id: &Option<String>, reason: &str, shard: usize) -> String {
+    let mut out = String::with_capacity(80);
+    out.push_str("{\"type\":\"rejected\"");
+    push_id(&mut out, id);
+    out.push_str(&format!(",\"reason\":{},\"shard\":{shard}}}", escape(reason)));
+    out
+}
+
+/// The sliced interval payload a worker answered with, parsed back into
+/// tensors. f32 values survive the wire exactly: they are rendered with the
+/// shortest round-trip form, parsed as f64, and cast back — so a router can
+/// re-render a merged matrix byte-for-byte.
+pub struct OwnedIntervals {
+    /// Predictive mean `[nodes][horizon]`.
+    pub mu: Tensor,
+    /// Total predictive σ.
+    pub sigma: Tensor,
+    /// 95 % lower bound.
+    pub lower: Tensor,
+    /// 95 % upper bound.
+    pub upper: Tensor,
+}
+
+/// A worker's response line, as the router sees it.
+pub enum WorkerResp {
+    /// A live (possibly degraded) forecast slice.
+    Forecast {
+        /// MC samples the worker actually drew.
+        samples_used: usize,
+        /// MC samples the sub-request asked for.
+        samples_requested: usize,
+        /// Checksum of the model that produced the slice.
+        model: String,
+        /// The sliced intervals.
+        iv: OwnedIntervals,
+    },
+    /// The worker's own persistence fallback (its breaker is open or the
+    /// run faulted); carries the worker's typed reason.
+    Fallback {
+        /// Worker-typed reason (`breaker_open`, `model_fault`).
+        reason: String,
+        /// Widened persistence intervals.
+        iv: OwnedIntervals,
+    },
+    /// A typed refusal (`queue_full`, `draining`, `breaker_open`,
+    /// `model_fault`).
+    Rejected {
+        /// Worker-typed reason.
+        reason: String,
+    },
+    /// A request-level failure (router bug or version skew).
+    Error {
+        /// Error class.
+        reason: String,
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// A control acknowledgement.
+    Ack {
+        /// Acknowledged action.
+        action: String,
+        /// Outcome (actions without an `ok` field report true).
+        ok: bool,
+        /// Artifact checksum, on reload-family acks.
+        checksum: Option<String>,
+        /// Failure reason, when `ok` is false.
+        reason: Option<String>,
+    },
+    /// A health report.
+    Health {
+        /// Coarse status string.
+        status: String,
+    },
+}
+
+fn parse_matrix(v: &Json, key: &str) -> Result<Tensor, String> {
+    let rows =
+        v.get(key).and_then(Json::as_arr).ok_or_else(|| format!("missing matrix {key:?}"))?;
+    if rows.is_empty() {
+        return Err(format!("{key:?} is empty"));
+    }
+    let mut data = Vec::new();
+    let mut cols = None;
+    for (i, row) in rows.iter().enumerate() {
+        let cells = row.as_arr().ok_or_else(|| format!("{key:?} row {i} is not an array"))?;
+        match cols {
+            None => cols = Some(cells.len()),
+            Some(c) if c != cells.len() => return Err(format!("{key:?} is ragged at row {i}")),
+            _ => {}
+        }
+        for (j, c) in cells.iter().enumerate() {
+            let f = c.as_f64().ok_or_else(|| format!("{key:?}[{i}][{j}] is not a number"))?;
+            data.push(f as f32);
+        }
+    }
+    let c = cols.unwrap_or(0);
+    if c == 0 {
+        return Err(format!("{key:?} rows must not be empty"));
+    }
+    Ok(Tensor::from_vec(data, &[rows.len(), c]))
+}
+
+fn parse_intervals(v: &Json) -> Result<OwnedIntervals, String> {
+    Ok(OwnedIntervals {
+        mu: parse_matrix(v, "mu")?,
+        sigma: parse_matrix(v, "sigma")?,
+        lower: parse_matrix(v, "lower")?,
+        upper: parse_matrix(v, "upper")?,
+    })
+}
+
+/// Parses one worker response line into the closed [`WorkerResp`] set.
+pub fn parse_worker_resp(line: &str) -> Result<WorkerResp, String> {
+    let v = parse(line)?;
+    let ty = v.get("type").and_then(Json::as_str).ok_or("worker response has no \"type\"")?;
+    let str_field = |key: &str| v.get(key).and_then(Json::as_str).map(str::to_owned);
+    match ty {
+        "forecast" => Ok(WorkerResp::Forecast {
+            samples_used: v
+                .get("samples_used")
+                .and_then(Json::as_u64)
+                .ok_or("forecast without \"samples_used\"")? as usize,
+            samples_requested: v
+                .get("samples_requested")
+                .and_then(Json::as_u64)
+                .ok_or("forecast without \"samples_requested\"")?
+                as usize,
+            model: str_field("model").ok_or("forecast without \"model\"")?,
+            iv: parse_intervals(&v)?,
+        }),
+        "fallback" => Ok(WorkerResp::Fallback {
+            reason: str_field("reason").ok_or("fallback without \"reason\"")?,
+            iv: parse_intervals(&v)?,
+        }),
+        "rejected" => Ok(WorkerResp::Rejected {
+            reason: str_field("reason").ok_or("rejection without \"reason\"")?,
+        }),
+        "error" => Ok(WorkerResp::Error {
+            reason: str_field("reason").unwrap_or_else(|| "error".into()),
+            detail: str_field("detail").unwrap_or_default(),
+        }),
+        "ack" => Ok(WorkerResp::Ack {
+            action: str_field("action").ok_or("ack without \"action\"")?,
+            ok: matches!(v.get("ok"), None | Some(Json::Bool(true))),
+            checksum: str_field("checksum"),
+            reason: str_field("reason"),
+        }),
+        "health" => Ok(WorkerResp::Health {
+            status: str_field("status").unwrap_or_else(|| "unknown".into()),
+        }),
+        other => Err(format!("unknown worker response type {other:?}")),
+    }
 }
 
 /// A shed/refused request. `reason` ∈ {queue_full, draining, breaker_open,
@@ -439,9 +777,9 @@ mod tests {
         let id = Some("q".to_string());
         let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
         let iv = Intervals { mu: &m, sigma: &m, lower: &m, upper: &m };
-        let solo = resp_forecast(&id, 8, 8, &ForecastMeta::solo(), &iv);
+        let solo = resp_forecast(&id, 8, 8, "ck0", &ForecastMeta::solo(), &iv);
         let meta = ForecastMeta { batched: true, batch_size: 5, cache_hit: false };
-        let co = resp_forecast(&id, 8, 8, &meta, &iv);
+        let co = resp_forecast(&id, 8, 8, "ck0", &meta, &iv);
         assert_ne!(solo, co, "annotations must distinguish the paths");
         assert_eq!(strip_batch_meta(&solo), strip_batch_meta(&co));
         assert!(!strip_batch_meta(&co).contains("batch_size"));
@@ -457,6 +795,29 @@ mod tests {
         assert!(matches!(parse_request(r#"{"type":"drain","id":"d"}"#), Ok(Request::Drain { .. })));
         assert!(matches!(parse_request(r#"{"type":"shutdown"}"#), Ok(Request::Shutdown { .. })));
         assert!(matches!(parse_request(r#"{"type":"reload"}"#), Ok(Request::Reload { .. })));
+    }
+
+    #[test]
+    fn cluster_control_requests_parse() {
+        assert!(matches!(parse_request(r#"{"type":"ping","id":"p"}"#), Ok(Request::Ping { .. })));
+        assert!(matches!(
+            parse_request(r#"{"type":"prepare_reload"}"#),
+            Ok(Request::PrepareReload { .. })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"type":"commit_reload"}"#),
+            Ok(Request::CommitReload { .. })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"type":"abort_reload"}"#),
+            Ok(Request::AbortReload { .. })
+        ));
+        let r = parse_request(r#"{"type":"assign","shard":2,"shards":3}"#).unwrap();
+        assert!(matches!(r, Request::Assign { shard: 2, shards: 3, .. }));
+        let e = parse_request(r#"{"type":"assign","shard":3,"shards":3}"#).unwrap_err();
+        assert!(e.detail.contains("out of range"));
+        let e = parse_request(r#"{"type":"assign","shards":3}"#).unwrap_err();
+        assert!(e.detail.contains("\"shard\""));
     }
 
     #[test]
@@ -477,23 +838,87 @@ mod tests {
         let id = Some("q".to_string());
         let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
         let iv = Intervals { mu: &m, sigma: &m, lower: &m, upper: &m };
+        let note =
+            ShardNote { shard: 1, status: "fallback", reason: Some("worker_down".to_string()) };
         for (line, ty) in [
-            (resp_forecast(&id, 3, 8, &ForecastMeta::solo(), &iv), "forecast"),
+            (resp_forecast(&id, 3, 8, "ck", &ForecastMeta::solo(), &iv), "forecast"),
             (resp_rejected(&id, "queue_full"), "rejected"),
             (resp_fallback(&id, "breaker_open", &iv), "fallback"),
             (resp_error(&None, "bad_request", "nope"), "error"),
             (resp_ack(&id, "drain", &[]), "ack"),
+            (resp_cluster_forecast(&id, 3, 8, "ck", std::slice::from_ref(&note), &iv), "forecast"),
+            (resp_cluster_fallback(&id, "worker_down", &[note], &iv), "fallback"),
+            (resp_rejected_shard(&id, "queue_full", 2), "rejected"),
         ] {
             let v = crate::json::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
             assert_eq!(v.get("type").and_then(Json::as_str), Some(ty));
         }
-        let deg = resp_forecast(&id, 3, 8, &ForecastMeta::solo(), &iv);
+        let deg = resp_forecast(&id, 3, 8, "ck", &ForecastMeta::solo(), &iv);
         assert!(deg.contains("\"degraded\":true"));
         assert!(deg.contains("\"samples_used\":3"));
+        assert!(deg.contains("\"model\":\"ck\""));
         assert!(deg.contains("\"batched\":false,\"batch_size\":1,\"cache_hit\":false"));
         let v = crate::json::parse(&deg).unwrap();
         let infl = v.get("variance_inflation").and_then(Json::as_f64).unwrap();
         assert!((infl - 8.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cluster_meta_strips_down_to_the_solo_payload() {
+        let id = Some("c".to_string());
+        let m = Tensor::from_vec(vec![0.1, 0.2, 0.3, 0.4], &[2, 2]);
+        let iv = Intervals { mu: &m, sigma: &m, lower: &m, upper: &m };
+        let solo = resp_forecast(&id, 8, 8, "ck", &ForecastMeta::solo(), &iv);
+        let full = resp_cluster_forecast(&id, 8, 8, "ck", &[], &iv);
+        assert!(full.contains("\"partial\":false"));
+        assert!(!full.contains("\"shards\""));
+        assert_eq!(strip_cluster_meta(&solo), strip_cluster_meta(&full));
+        let note =
+            ShardNote { shard: 0, status: "fallback", reason: Some("queue_full".to_string()) };
+        let partial = resp_cluster_forecast(&id, 8, 8, "ck", &[note], &iv);
+        assert!(partial.contains("\"partial\":true"));
+        assert!(partial.contains(r#"{"shard":0,"status":"fallback","reason":"queue_full"}"#));
+        assert_eq!(strip_cluster_meta(&solo), strip_cluster_meta(&partial));
+        let rej = resp_rejected_shard(&id, "draining", 1);
+        assert!(rej.contains("\"shard\":1"));
+        assert_eq!(strip_cluster_meta(&rej), rej);
+    }
+
+    #[test]
+    fn worker_responses_roundtrip_bit_exactly() {
+        let id = None;
+        // Awkward floats: shortest-roundtrip f32 rendering survives an
+        // f64 parse + f32 cast exactly.
+        let m = Tensor::from_vec(vec![0.1, 1.0 / 3.0, -2.7182817, 1e-7], &[2, 2]);
+        let iv = Intervals { mu: &m, sigma: &m, lower: &m, upper: &m };
+        let line = resp_forecast(&id, 5, 8, "ck9", &ForecastMeta::solo(), &iv);
+        let Ok(WorkerResp::Forecast { samples_used, samples_requested, model, iv: own }) =
+            parse_worker_resp(&line)
+        else {
+            panic!("wrong variant for {line}");
+        };
+        assert_eq!((samples_used, samples_requested), (5, 8));
+        assert_eq!(model, "ck9");
+        assert_eq!(render_matrix(&own.mu), render_matrix(&m), "f32 wire roundtrip is exact");
+        assert_eq!(own.mu.data(), m.data());
+
+        let fb = resp_fallback(&id, "model_fault", &iv);
+        assert!(matches!(
+            parse_worker_resp(&fb),
+            Ok(WorkerResp::Fallback { reason, .. }) if reason == "model_fault"
+        ));
+        assert!(matches!(
+            parse_worker_resp(r#"{"type":"rejected","reason":"queue_full"}"#),
+            Ok(WorkerResp::Rejected { reason }) if reason == "queue_full"
+        ));
+        let ack = resp_ack(&id, "prepare_reload", &[("ok", "true".into())]);
+        assert!(matches!(
+            parse_worker_resp(&ack),
+            Ok(WorkerResp::Ack { ok: true, action, .. }) if action == "prepare_reload"
+        ));
+        let nack = resp_ack(&id, "prepare_reload", &[("ok", "false".into())]);
+        assert!(matches!(parse_worker_resp(&nack), Ok(WorkerResp::Ack { ok: false, .. })));
+        assert!(parse_worker_resp("garbage").is_err());
     }
 
     #[test]

@@ -1,0 +1,1103 @@
+//! Cluster router: scatter/gather over sharded workers (DESIGN.md §13).
+//!
+//! The router is the client-facing half of the sharded cluster. It owns the
+//! deterministic [`ShardMap`](crate::shard::ShardMap), speaks the ordinary
+//! NDJSON protocol on its front side, and fans each forecast out to the
+//! shards that own the requested nodes. Robustness decisions concentrate
+//! here:
+//!
+//! * **Per-shard circuit breakers** — transport faults (timeout, EOF, I/O
+//!   error) open the shard's breaker; while open, that shard is skipped
+//!   entirely and its slice degrades. Worker-typed *refusals* (`rejected`,
+//!   `fallback`) are healthy transport and never count as faults.
+//! * **Graceful partial degradation** — a dead/open/refusing shard turns
+//!   into a persistence slice with σ widened from that shard's last live
+//!   response, annotated `partial: true` with a typed per-shard reason. A
+//!   shard with no live history yet makes the whole request a typed
+//!   rejection naming the shard — never silent zeros.
+//! * **Two-phase cluster reload** — `reload` validates checksum + shape
+//!   once at the router, stages on every worker (`prepare_reload`), and
+//!   swaps only on unanimous ack (`commit_reload`); any refusal aborts
+//!   everywhere. There is no mixed-version window: every merged response
+//!   carries the `model` checksum, and a shard answering with a different
+//!   checksum is cut out as `version_skew` instead of being merged.
+//!
+//! Determinism: all router time flows through the injectable clock — one
+//! read per forecast — and slices are scattered, called, and merged in
+//! shard order, so under `STUQ_FAKE_CLOCK` the merged byte stream is a pure
+//! function of the request stream (and of which workers are up), identical
+//! across `STUQ_THREADS` and across reruns.
+
+use std::io::{BufRead, Write};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::batcher::{Lanes, Popped};
+use crate::breaker::{self, Breaker};
+use crate::clock::Clock;
+use crate::proto::{self, ForecastReq, OwnedIntervals, Request, ShardNote, WorkerResp};
+use crate::shard::{ShardMap, ShardSlice};
+use crate::{json, reload, LineOutcome, ServeConfig, ServeSummary, Server};
+use stuq_models::Forecaster;
+use stuq_obs::Event;
+use stuq_tensor::{StuqRng, Tensor};
+
+/// Router-specific knobs on top of the shared serve configuration.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// The base serving configuration (model/data paths, queue, widening,
+    /// breaker thresholds, seed, fake clock — all reused by the router).
+    pub serve: ServeConfig,
+    /// Worker count; clamped to the node count by the shard map.
+    pub shards: usize,
+    /// Real-time grace added to a request's `deadline_ms` to bound each
+    /// worker RPC. Generous on purpose: it is a hang backstop, not a
+    /// scheduler — fake-clock runs must never trip it spuriously.
+    pub rpc_timeout_ms: u64,
+}
+
+impl RouterConfig {
+    /// Defaults: 3 shards, 2 s RPC backstop.
+    pub fn new(serve: ServeConfig) -> Self {
+        RouterConfig { serve, shards: 3, rpc_timeout_ms: 2000 }
+    }
+}
+
+/// Worker liveness as the router sees it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Connected and answering.
+    Up,
+    /// Crashed/hung; the supervisor is backing off toward a restart.
+    Down,
+}
+
+/// What one supervision tick observed on a worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SupEvent {
+    /// The worker stopped answering (crash, hang, EOF on ping).
+    Down {
+        /// Transport-level cause.
+        reason: String,
+    },
+    /// The worker was respawned, reconnected, and re-assigned its shard.
+    Restarted {
+        /// Lifetime restart count for this shard.
+        restarts: u64,
+    },
+    /// A respawn attempt failed; the next try comes after `backoff_ms`.
+    RestartFailed {
+        /// Delay before the next attempt.
+        backoff_ms: u64,
+        /// Why the attempt failed.
+        reason: String,
+    },
+}
+
+/// One shard's transport, as the router drives it. Production uses
+/// [`crate::supervisor::ProcWorker`] (a child process behind a Unix
+/// socket); tests use [`InProcWorker`] or scripted fakes.
+pub trait ShardWorker: Send {
+    /// One request line in, one response line out, bounded by a *real-time*
+    /// deadline. Any transport failure — timeout, EOF, I/O error — is an
+    /// `Err` (and implementations mark themselves down).
+    fn call(&mut self, line: &str, timeout_ms: u64) -> Result<String, String>;
+    /// Liveness as of the last call or tick.
+    fn state(&self) -> WorkerState;
+    /// Records a router-observed transport failure.
+    fn fail(&mut self, reason: &str);
+    /// Supervision tick (real time): ping when idle, restart when due.
+    fn tick(&mut self) -> Vec<SupEvent>;
+    /// Times this worker has been restarted.
+    fn restarts(&self) -> u64 {
+        0
+    }
+}
+
+/// A [`Server`] mounted directly in the router process — no sockets, no
+/// supervision. The unit-test topology: tests keep a clone of the shared
+/// handle to inspect worker state (cache generation, checksum) mid-run.
+pub struct InProcWorker {
+    server: Arc<Mutex<Server>>,
+}
+
+impl InProcWorker {
+    /// Wraps a server; [`InProcWorker::shared`] exposes the handle.
+    pub fn new(server: Server) -> Self {
+        InProcWorker { server: Arc::new(Mutex::new(server)) }
+    }
+
+    /// The shared server handle (clone it before boxing the worker).
+    pub fn shared(&self) -> Arc<Mutex<Server>> {
+        Arc::clone(&self.server)
+    }
+}
+
+impl ShardWorker for InProcWorker {
+    fn call(&mut self, line: &str, _timeout_ms: u64) -> Result<String, String> {
+        Ok(self.server.lock().unwrap().handle_line(line).response)
+    }
+
+    fn state(&self) -> WorkerState {
+        WorkerState::Up
+    }
+
+    fn fail(&mut self, _reason: &str) {}
+
+    fn tick(&mut self) -> Vec<SupEvent> {
+        Vec::new()
+    }
+}
+
+/// The `assign` request line for a shard — sent on spawn and replayed on
+/// every rejoin, so a restarted worker always knows its slice.
+pub fn assign_line(shard: usize, shards: usize) -> String {
+    format!("{{\"type\":\"assign\",\"shard\":{shard},\"shards\":{shards}}}")
+}
+
+/// A validated forecast, reduced to what the router needs to scatter it.
+struct RValid {
+    n_req: usize,
+    deadline: Option<u64>,
+    seed: Option<u64>,
+    tick: Option<u64>,
+    /// Effective horizon (request override or the model's).
+    h: usize,
+}
+
+/// What one shard contributed to a merged response.
+struct SliceOutcome {
+    /// Parsed interval matrices (live forecast *or* worker-side fallback).
+    rows: Option<OwnedIntervals>,
+    /// MC samples used — `Some` only for a live forecast slice.
+    used: Option<usize>,
+    note: ShardNote,
+}
+
+/// The cluster router state machine. [`router_loop`] drives it from a
+/// reader; tests drive it line by line through [`Router::handle_line`].
+pub struct Router {
+    cfg: RouterConfig,
+    map: ShardMap,
+    workers: Vec<Box<dyn ShardWorker>>,
+    breakers: Vec<Breaker>,
+    /// Mean σ of each shard's last live slice — the widening base for that
+    /// shard's persistence fallback.
+    last_good_sigma: Vec<Option<f32>>,
+    clock: Clock,
+    n_nodes: usize,
+    horizon: usize,
+    expected_t_h: Option<usize>,
+    default_mc: usize,
+    model_checksum: String,
+    /// Cluster reload generation; bumped once per committed two-phase
+    /// reload (each worker bumps its own cache generation on commit).
+    generation: u64,
+    draining: bool,
+    requests_served: u64,
+    shed: u64,
+    queue_depth: usize,
+    shed_reader: u64,
+    samples_used_total: u64,
+}
+
+impl Router {
+    /// Builds the router: reads the model artifact once (dimensions +
+    /// checksum only), derives the shard map, and assigns every worker its
+    /// shard. `workers[s]` must be shard `s`'s transport.
+    pub fn new(cfg: RouterConfig, workers: Vec<Box<dyn ShardWorker>>) -> Result<Router, String> {
+        let bytes = std::fs::read(&cfg.serve.model_path)
+            .map_err(|e| format!("{}: {e}", cfg.serve.model_path.display()))?;
+        let model = deepstuq::load_model_bytes(&bytes)
+            .map_err(|e| format!("{}: {e}", cfg.serve.model_path.display()))?;
+        let model_checksum = reload::file_checksum(&bytes);
+        let (n_nodes, horizon) = (model.model().n_nodes(), model.model().horizon());
+        let default_mc = model.mc_samples();
+        drop(model);
+        let expected_t_h = match &cfg.serve.data_path {
+            Some(p) => {
+                let ds = stuq_traffic::load_split_dataset(p)
+                    .map_err(|e| format!("{}: {e}", p.display()))?;
+                Some(ds.t_h())
+            }
+            None => None,
+        };
+        let map = ShardMap::new(n_nodes, cfg.shards);
+        if workers.len() != map.n_shards() {
+            return Err(format!(
+                "router got {} workers for {} shards",
+                workers.len(),
+                map.n_shards()
+            ));
+        }
+        let clock = match cfg.serve.fake_clock_step_ms {
+            Some(step) => Clock::fake(step),
+            None => Clock::from_env(),
+        };
+        let breakers = (0..map.n_shards())
+            .map(|_| {
+                Breaker::new(
+                    cfg.serve.breaker_threshold,
+                    cfg.serve.breaker_cooldown_ms,
+                    cfg.serve.breaker_cooldown_max_ms,
+                )
+            })
+            .collect();
+        let last_good_sigma = vec![None; map.n_shards()];
+        let mut router = Router {
+            cfg,
+            map,
+            workers,
+            breakers,
+            last_good_sigma,
+            clock,
+            n_nodes,
+            horizon,
+            expected_t_h,
+            default_mc,
+            model_checksum,
+            generation: 0,
+            draining: false,
+            requests_served: 0,
+            shed: 0,
+            queue_depth: 0,
+            shed_reader: 0,
+            samples_used_total: 0,
+        };
+        for s in 0..router.map.n_shards() {
+            router.assign_shard(s);
+        }
+        stuq_obs::emit(
+            Event::new("cluster_start")
+                .uint("shards", router.map.n_shards() as u64)
+                .uint("nodes", router.n_nodes as u64),
+        );
+        Ok(router)
+    }
+
+    /// Sends the shard assignment to worker `s` (idempotent; a transport
+    /// failure just marks the worker down — supervision replays it).
+    fn assign_shard(&mut self, s: usize) {
+        let line = assign_line(s, self.map.n_shards());
+        let timeout = self.cfg.rpc_timeout_ms;
+        match self.workers[s].call(&line, timeout) {
+            Ok(resp) => {
+                if !matches!(proto::parse_worker_resp(&resp), Ok(WorkerResp::Ack { ok: true, .. }))
+                {
+                    self.workers[s].fail("assign_refused");
+                }
+            }
+            Err(e) => self.workers[s].fail(&e),
+        }
+    }
+
+    /// The active shard map.
+    pub fn shard_map(&self) -> ShardMap {
+        self.map
+    }
+
+    /// Checksum of the model version the cluster currently serves.
+    pub fn model_checksum(&self) -> &str {
+        &self.model_checksum
+    }
+
+    /// Committed cluster-reload generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// True once a `drain` or `shutdown` request was processed.
+    pub fn draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Sync entry point, mirroring [`Server::handle_line`].
+    pub fn handle_line(&mut self, line: &str) -> LineOutcome {
+        if self.draining {
+            if let Ok(Request::Forecast(req)) = proto::parse_request(line) {
+                return LineOutcome { response: self.reject(&req.id, "draining"), done: false };
+            }
+        }
+        self.process_line(line)
+    }
+
+    /// Dispatches one already-admitted request line.
+    pub fn process_line(&mut self, line: &str) -> LineOutcome {
+        match proto::parse_request(line) {
+            Err(e) => LineOutcome {
+                response: proto::resp_error(&e.id, "bad_request", &e.detail),
+                done: false,
+            },
+            Ok(Request::Forecast(req)) => {
+                LineOutcome { response: self.handle_forecast(&req), done: false }
+            }
+            Ok(Request::Healthz { id }) => LineOutcome { response: self.healthz(&id), done: false },
+            Ok(Request::Reload { id }) => {
+                LineOutcome { response: self.handle_reload(&id), done: false }
+            }
+            Ok(Request::Drain { id }) => {
+                self.draining = true;
+                LineOutcome { response: proto::resp_ack(&id, "drain", &[]), done: false }
+            }
+            Ok(Request::Shutdown { id }) => {
+                self.draining = true;
+                self.shutdown_workers();
+                LineOutcome { response: proto::resp_ack(&id, "shutdown", &[]), done: true }
+            }
+            Ok(Request::Ping { id }) => LineOutcome {
+                response: proto::resp_ack(&id, "ping", &[("ok", "true".into())]),
+                done: false,
+            },
+            // The internal worker requests stop at the router: clients talk
+            // to the cluster through `reload`, never to one shard.
+            Ok(
+                Request::Assign { id, .. }
+                | Request::PrepareReload { id }
+                | Request::CommitReload { id }
+                | Request::AbortReload { id },
+            ) => LineOutcome {
+                response: proto::resp_error(
+                    &id,
+                    "bad_request",
+                    "cluster-internal request; send \"reload\" to the router",
+                ),
+                done: false,
+            },
+        }
+    }
+
+    /// Records a shed and renders the typed rejection.
+    fn reject(&mut self, id: &Option<String>, reason: &str) -> String {
+        self.shed += 1;
+        stuq_obs::metrics().serve_shed.inc();
+        stuq_obs::emit(Event::new("serve_rejected").str("reason", reason));
+        proto::resp_rejected(id, reason)
+    }
+
+    /// Mirrors [`Server`]'s request validation so a router refuses exactly
+    /// what a solo server refuses, with the same typed errors.
+    fn validate(&self, req: &ForecastReq) -> Result<RValid, String> {
+        let t_rows = req.x.len();
+        let width = req.x[0].len();
+        if width != self.n_nodes {
+            return Err(proto::resp_error(
+                &req.id,
+                "shape_mismatch",
+                &format!("expected {} columns (sensors), got {width}", self.n_nodes),
+            ));
+        }
+        if let Some(t_h) = self.expected_t_h {
+            if t_rows != t_h {
+                return Err(proto::resp_error(
+                    &req.id,
+                    "shape_mismatch",
+                    &format!("expected {t_h} rows (input window), got {t_rows}"),
+                ));
+            }
+        }
+        if let Some(nodes) = &req.nodes {
+            if let Some(&bad) = nodes.iter().find(|&&i| i >= self.n_nodes) {
+                return Err(proto::resp_error(
+                    &req.id,
+                    "shape_mismatch",
+                    &format!("node {bad} out of range (model has {} sensors)", self.n_nodes),
+                ));
+            }
+        }
+        if let Some(h) = req.horizon {
+            if h > self.horizon {
+                return Err(proto::resp_error(
+                    &req.id,
+                    "shape_mismatch",
+                    &format!("horizon {h} beyond model horizon {}", self.horizon),
+                ));
+            }
+        }
+        if req.x.iter().flatten().any(|v| !v.is_finite()) {
+            return Err(proto::resp_error(
+                &req.id,
+                "non_finite_input",
+                "input window contains non-finite values",
+            ));
+        }
+        let n_req = req.mc.or(self.cfg.serve.mc_samples).unwrap_or(self.default_mc).max(1);
+        let deadline = req.deadline_ms.or(self.cfg.serve.default_deadline_ms);
+        // Workers must agree on the RNG derivation, and each one counts its
+        // own arrivals — so a seedless, tickless request gets an explicit
+        // seed pinned here, derived from the router seed and arrival index.
+        let (seed, tick) = match (req.seed, req.tick) {
+            (None, None) => {
+                let mut rng = StuqRng::new(self.cfg.serve.seed).fork(self.requests_served);
+                (Some(rng.next_u64()), None)
+            }
+            (s, t) => (s, t),
+        };
+        let h = req.horizon.unwrap_or(self.horizon);
+        Ok(RValid { n_req, deadline, seed, tick, h })
+    }
+
+    /// The sub-request for one shard's slice: the full window plus the
+    /// slice's node list, with the seed/tick derivation pinned.
+    fn sub_request(req: &ForecastReq, v: &RValid, slice: &ShardSlice) -> String {
+        let cells: usize = req.x.len() * req.x[0].len();
+        let mut s = String::with_capacity(cells * 8 + 96);
+        s.push_str("{\"type\":\"forecast\"");
+        if let Some(d) = v.deadline {
+            s.push_str(&format!(",\"deadline_ms\":{d}"));
+        }
+        s.push_str(&format!(",\"mc\":{}", v.n_req));
+        if let Some(seed) = v.seed {
+            s.push_str(&format!(",\"seed\":{seed}"));
+        }
+        if let Some(tick) = v.tick {
+            s.push_str(&format!(",\"tick\":{tick}"));
+        }
+        if let Some(h) = req.horizon {
+            s.push_str(&format!(",\"horizon\":{h}"));
+        }
+        s.push_str(",\"nodes\":[");
+        for (i, n) in slice.nodes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&n.to_string());
+        }
+        s.push_str("],\"x\":[");
+        for (i, row) in req.x.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('[');
+            for (j, cell) in row.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&proto::fmt_f32(*cell));
+            }
+            s.push(']');
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// One shard's contribution: breaker gate → RPC → typed classification.
+    /// Transport faults feed the shard breaker; worker-typed refusals do
+    /// not (the transport is healthy — that is the satellite contract:
+    /// worker reasons surface verbatim, with the shard id).
+    fn call_shard(
+        &mut self,
+        slice: &ShardSlice,
+        req: &ForecastReq,
+        v: &RValid,
+        now: u64,
+    ) -> SliceOutcome {
+        let s = slice.shard;
+        let fall = |reason: &str| ShardNote {
+            shard: s,
+            status: "fallback",
+            reason: Some(reason.to_string()),
+        };
+        let dead = |reason: &str| SliceOutcome { rows: None, used: None, note: fall(reason) };
+        if let Some(t) = self.breakers[s].poll(now) {
+            self.note_breaker(s, t);
+        }
+        if self.workers[s].state() == WorkerState::Down {
+            return dead("worker_down");
+        }
+        if self.breakers[s].state() == breaker::State::Open {
+            return dead("breaker_open");
+        }
+        let line = Self::sub_request(req, v, slice);
+        // Real-time hang backstop: logical deadline plus a generous grace.
+        let timeout = v.deadline.unwrap_or(0).saturating_add(self.cfg.rpc_timeout_ms);
+        let resp = match self.workers[s].call(&line, timeout) {
+            Ok(resp) => resp,
+            Err(e) => {
+                self.workers[s].fail(&e);
+                if let Some(t) = self.breakers[s].on_fault(now) {
+                    self.note_breaker(s, t);
+                }
+                stuq_obs::metrics().cluster_rpc_failures.inc();
+                stuq_obs::emit(Event::new("worker_down").uint("shard", s as u64).str("reason", e));
+                return dead("worker_down");
+            }
+        };
+        if let Some(t) = self.breakers[s].on_success() {
+            self.note_breaker(s, t);
+        }
+        let shape_ok = |iv: &OwnedIntervals| {
+            let expect = [slice.nodes.len(), v.h];
+            [&iv.mu, &iv.sigma, &iv.lower, &iv.upper].iter().all(|t| t.shape() == expect)
+        };
+        match proto::parse_worker_resp(&resp) {
+            Ok(WorkerResp::Forecast { samples_used, model, iv, .. }) => {
+                if model != self.model_checksum {
+                    // A shard on a different model version must never be
+                    // merged — that would be the mixed-version window the
+                    // two-phase reload exists to prevent.
+                    return dead("version_skew");
+                }
+                if !shape_ok(&iv) {
+                    return dead("worker_error");
+                }
+                let mean = iv.sigma.data().iter().sum::<f32>() / iv.sigma.len() as f32;
+                self.last_good_sigma[s] = Some(mean);
+                SliceOutcome {
+                    rows: Some(iv),
+                    used: Some(samples_used),
+                    note: ShardNote { shard: s, status: "ok", reason: None },
+                }
+            }
+            Ok(WorkerResp::Fallback { reason, iv }) => {
+                if !shape_ok(&iv) {
+                    return dead("worker_error");
+                }
+                // The worker already served its documented persistence
+                // fallback — keep its rows, surface its typed reason.
+                SliceOutcome { rows: Some(iv), used: None, note: fall(&reason) }
+            }
+            Ok(WorkerResp::Rejected { reason }) => dead(&reason),
+            Ok(_) | Err(_) => dead("worker_error"),
+        }
+    }
+
+    /// Scatter → per-shard calls (shard order) → gather/merge. See the
+    /// module docs for the degradation ladder.
+    fn handle_forecast(&mut self, req: &ForecastReq) -> String {
+        let m = stuq_obs::metrics();
+        m.serve_requests.inc();
+        let v = match self.validate(req) {
+            Ok(v) => v,
+            Err(resp) => {
+                self.requests_served += 1;
+                return resp;
+            }
+        };
+        self.requests_served += 1;
+        let sel_len = req.nodes.as_ref().map_or(self.n_nodes, Vec::len);
+        let slices = self.map.scatter(req.nodes.as_deref());
+        // One clock read per forecast: every breaker decision in this
+        // request shares it, mirroring the solo server's schedule.
+        let now = self.clock.now_ms();
+
+        let mut outcomes: Vec<(ShardSlice, SliceOutcome)> = Vec::with_capacity(slices.len());
+        for slice in slices {
+            let outcome = self.call_shard(&slice, req, &v, now);
+            outcomes.push((slice, outcome));
+        }
+
+        // Gather. Live rows and worker fallbacks merge by position; a shard
+        // with no rows at all degrades to router-side persistence — unless
+        // it has no σ history yet, in which case there is nothing honest to
+        // serve and the whole request is rejected naming that shard.
+        let h = v.h;
+        let t_rows = req.x.len();
+        let z = stuq_metrics::Z_95 as f32;
+        let mut mu = vec![0.0f32; sel_len * h];
+        let mut sigma = vec![0.0f32; sel_len * h];
+        let mut lower = vec![0.0f32; sel_len * h];
+        let mut upper = vec![0.0f32; sel_len * h];
+        let mut notes: Vec<ShardNote> = Vec::with_capacity(outcomes.len());
+        let mut min_used: Option<usize> = None;
+        let mut first_fail: Option<(usize, String)> = None;
+        for (slice, outcome) in &outcomes {
+            if outcome.note.status != "ok" && first_fail.is_none() {
+                let reason = outcome.note.reason.clone().unwrap_or_else(|| "worker_down".into());
+                first_fail = Some((slice.shard, reason));
+            }
+            match &outcome.rows {
+                Some(iv) => {
+                    for (k, &pos) in slice.positions.iter().enumerate() {
+                        for t in 0..h {
+                            mu[pos * h + t] = iv.mu.get(k, t);
+                            sigma[pos * h + t] = iv.sigma.get(k, t);
+                            lower[pos * h + t] = iv.lower.get(k, t);
+                            upper[pos * h + t] = iv.upper.get(k, t);
+                        }
+                    }
+                    if let Some(used) = outcome.used {
+                        min_used = Some(min_used.map_or(used, |cur| cur.min(used)));
+                        self.samples_used_total += used as u64;
+                    }
+                }
+                None => {
+                    let Some(sig0) = self.last_good_sigma[slice.shard] else {
+                        let reason =
+                            outcome.note.reason.clone().unwrap_or_else(|| "worker_down".into());
+                        self.shed += 1;
+                        m.serve_shed.inc();
+                        stuq_obs::emit(Event::new("serve_rejected").str("reason", reason.as_str()));
+                        return proto::resp_rejected_shard(&req.id, &reason, slice.shard);
+                    };
+                    let widened = self.cfg.serve.widen_factor * sig0;
+                    for (k, &pos) in slice.positions.iter().enumerate() {
+                        let last = req.x[t_rows - 1][slice.nodes[k]];
+                        for t in 0..h {
+                            mu[pos * h + t] = last;
+                            sigma[pos * h + t] = widened;
+                            lower[pos * h + t] = last - z * widened;
+                            upper[pos * h + t] = last + z * widened;
+                        }
+                    }
+                }
+            }
+            notes.push(outcome.note.clone());
+        }
+
+        let partial = notes.iter().any(|n| n.status != "ok");
+        if partial {
+            let failed = notes.iter().filter(|n| n.status != "ok").count();
+            m.serve_partial.inc();
+            stuq_obs::emit(Event::new("serve_partial").uint("shards_failed", failed as u64));
+        }
+        let shape = [sel_len, h];
+        let iv = proto::Intervals {
+            mu: &Tensor::from_vec(mu, &shape),
+            sigma: &Tensor::from_vec(sigma, &shape),
+            lower: &Tensor::from_vec(lower, &shape),
+            upper: &Tensor::from_vec(upper, &shape),
+        };
+        match min_used {
+            Some(used) => proto::resp_cluster_forecast(
+                &req.id,
+                used,
+                v.n_req,
+                &self.model_checksum,
+                &notes,
+                &iv,
+            ),
+            None => {
+                // Every shard degraded, but each one had history to fall
+                // back on — the response is a cluster-wide fallback.
+                let (_, reason) = first_fail.unwrap_or((0, "worker_down".into()));
+                m.serve_fallback.inc();
+                proto::resp_cluster_fallback(&req.id, &reason, &notes, &iv)
+            }
+        }
+    }
+
+    /// Two-phase cluster-wide reload. Validation happens exactly once, at
+    /// the router; workers then stage (`prepare_reload`) and only a
+    /// unanimous ack commits. Any refusal — or any shard down — aborts
+    /// everywhere, leaving every worker on the old version with its cache
+    /// generation untouched.
+    fn handle_reload(&mut self, id: &Option<String>) -> String {
+        let m = stuq_obs::metrics();
+        let n = self.map.n_shards();
+        let nack = |reason: &str| {
+            proto::resp_ack(
+                id,
+                "reload",
+                &[("ok", "false".into()), ("reason", json::escape(reason))],
+            )
+        };
+        // Router-side validation: checksum + parse + shape, once.
+        let v = reload::validate(&self.cfg.serve.model_path);
+        let checksum = v.checksum.clone();
+        let precheck = match v.result {
+            Err(e) => Err(e),
+            Ok(candidate) => {
+                let (n1, h1) = (candidate.model().n_nodes(), candidate.model().horizon());
+                if (n1, h1) != (self.n_nodes, self.horizon) {
+                    Err(format!(
+                        "shape mismatch: serving [{} nodes, horizon {}], \
+                         candidate [{n1} nodes, horizon {h1}]",
+                        self.n_nodes, self.horizon
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+        };
+        if let Err(reason) = precheck {
+            m.cluster_reload_aborts.inc();
+            stuq_obs::emit(
+                Event::new("cluster_reload_abort")
+                    .str("checksum", checksum.as_str())
+                    .str("reason", reason.as_str()),
+            );
+            return nack(&reason);
+        }
+        // A commit must be unanimous, so every shard has to be reachable
+        // before anything is staged.
+        if let Some(s) = (0..n).find(|&s| self.workers[s].state() == WorkerState::Down) {
+            let reason = format!("worker {s} down");
+            m.cluster_reload_aborts.inc();
+            stuq_obs::emit(
+                Event::new("cluster_reload_abort")
+                    .str("checksum", checksum.as_str())
+                    .str("reason", reason.as_str()),
+            );
+            return nack(&reason);
+        }
+        // Phase one: stage everywhere; stop at the first refusal.
+        let prepare = "{\"type\":\"prepare_reload\"}".to_string();
+        let timeout = self.cfg.rpc_timeout_ms;
+        let mut acks = 0usize;
+        let mut failure: Option<String> = None;
+        for s in 0..n {
+            let outcome = match self.workers[s].call(&prepare, timeout) {
+                Err(e) => {
+                    self.workers[s].fail(&e);
+                    Err(format!("worker {s}: {e}"))
+                }
+                Ok(resp) => match proto::parse_worker_resp(&resp) {
+                    Ok(WorkerResp::Ack { ok: true, checksum: Some(ck), .. }) if ck == checksum => {
+                        Ok(())
+                    }
+                    Ok(WorkerResp::Ack { ok: true, .. }) => {
+                        Err(format!("worker {s}: staged checksum mismatch"))
+                    }
+                    Ok(WorkerResp::Ack { reason, .. }) => Err(format!(
+                        "worker {s}: {}",
+                        reason.unwrap_or_else(|| "prepare refused".into())
+                    )),
+                    _ => Err(format!("worker {s}: unexpected prepare response")),
+                },
+            };
+            match outcome {
+                Ok(()) => acks += 1,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        stuq_obs::emit(
+            Event::new("cluster_reload_prepare")
+                .str("checksum", checksum.as_str())
+                .uint("acks", acks as u64),
+        );
+        if let Some(reason) = failure {
+            // Abort everywhere (best effort — a worker that never staged
+            // just acks with staged:false).
+            let abort = "{\"type\":\"abort_reload\"}".to_string();
+            for s in 0..n {
+                if self.workers[s].state() == WorkerState::Up {
+                    let _ = self.workers[s].call(&abort, timeout);
+                }
+            }
+            m.cluster_reload_aborts.inc();
+            stuq_obs::emit(
+                Event::new("cluster_reload_abort")
+                    .str("checksum", checksum.as_str())
+                    .str("reason", reason.as_str()),
+            );
+            return nack(&reason);
+        }
+        // Phase two: unanimous — commit everywhere. A transport loss here
+        // is tolerable: the restarted worker reloads the *new* artifact
+        // from disk, and until then its slices are typed `worker_down`
+        // fallbacks, never mixed-version merges.
+        let commit = "{\"type\":\"commit_reload\"}".to_string();
+        for s in 0..n {
+            if let Err(e) = self.workers[s].call(&commit, timeout) {
+                self.workers[s].fail(&e);
+                stuq_obs::emit(Event::new("worker_down").uint("shard", s as u64).str("reason", e));
+            }
+        }
+        self.model_checksum = checksum.clone();
+        self.generation += 1;
+        m.cluster_reload_commits.inc();
+        stuq_obs::emit(Event::new("cluster_reload_commit").str("checksum", checksum.as_str()));
+        proto::resp_ack(
+            id,
+            "reload",
+            &[
+                ("ok", "true".into()),
+                ("checksum", json::escape(&checksum)),
+                ("generation", self.generation.to_string()),
+            ],
+        )
+    }
+
+    /// Maps a shard-breaker transition onto the event log (`shard` rides
+    /// along as an extra field on the standard breaker events).
+    fn note_breaker(&mut self, s: usize, t: breaker::Transition) {
+        let shard = s as u64;
+        match t {
+            breaker::Transition::Opened { consecutive, cooldown_ms } => stuq_obs::emit(
+                Event::new("breaker_open")
+                    .uint("consecutive_faults", consecutive as u64)
+                    .uint("cooldown_ms", cooldown_ms)
+                    .uint("shard", shard),
+            ),
+            breaker::Transition::HalfOpened { cooldown_ms } => stuq_obs::emit(
+                Event::new("breaker_half_open")
+                    .uint("cooldown_ms", cooldown_ms)
+                    .uint("shard", shard),
+            ),
+            breaker::Transition::Closed { cooldown_ms } => stuq_obs::emit(
+                Event::new("breaker_close").uint("cooldown_ms", cooldown_ms).uint("shard", shard),
+            ),
+        }
+    }
+
+    /// Idle-tick supervision: drain worker tick events (crash detection,
+    /// backed-off restarts, shard-map replay), refresh the workers-up
+    /// gauge, and advance real-clock breakers.
+    pub fn tick(&mut self) {
+        let m = stuq_obs::metrics();
+        for s in 0..self.workers.len() {
+            for ev in self.workers[s].tick() {
+                match ev {
+                    SupEvent::Down { reason } => {
+                        stuq_obs::emit(
+                            Event::new("worker_down").uint("shard", s as u64).str("reason", reason),
+                        );
+                    }
+                    SupEvent::Restarted { restarts } => {
+                        m.cluster_restarts.inc();
+                        // Fresh process: its transport history is moot.
+                        self.breakers[s].reset();
+                        stuq_obs::emit(
+                            Event::new("worker_restart")
+                                .uint("shard", s as u64)
+                                .uint("restarts", restarts),
+                        );
+                    }
+                    SupEvent::RestartFailed { backoff_ms, reason } => {
+                        stuq_obs::emit(
+                            Event::new("worker_restart_failed")
+                                .uint("shard", s as u64)
+                                .uint("backoff_ms", backoff_ms)
+                                .str("reason", reason),
+                        );
+                    }
+                }
+            }
+        }
+        let up = self.workers.iter().filter(|w| w.state() == WorkerState::Up).count();
+        m.cluster_workers_up.set(up as f64);
+        self.poll_breakers_idle();
+    }
+
+    /// Real-clock-only idle breaker polls (same contract as the solo
+    /// server: no logical-clock reads outside the request pipeline).
+    fn poll_breakers_idle(&mut self) {
+        if self.clock.is_fake() {
+            return;
+        }
+        let now = self.clock.now_ms();
+        for s in 0..self.breakers.len() {
+            if let Some(t) = self.breakers[s].poll(now) {
+                self.note_breaker(s, t);
+            }
+        }
+    }
+
+    /// Best-effort worker shutdown (drains each worker's loop); the
+    /// supervisor's Drop still kills whatever lingers.
+    fn shutdown_workers(&mut self) {
+        let line = "{\"type\":\"shutdown\"}".to_string();
+        let timeout = self.cfg.rpc_timeout_ms;
+        for s in 0..self.workers.len() {
+            if self.workers[s].state() == WorkerState::Up {
+                let _ = self.workers[s].call(&line, timeout);
+            }
+        }
+    }
+
+    /// Aggregate cluster health: `healthy` (every shard up, breaker
+    /// closed), `down` (no shard serviceable), `degraded` otherwise, with
+    /// per-shard detail.
+    fn healthz(&self, id: &Option<String>) -> String {
+        let n = self.map.n_shards();
+        let up = |s: usize| self.workers[s].state() == WorkerState::Up;
+        let serviceable = |s: usize| up(s) && self.breakers[s].state() != breaker::State::Open;
+        let n_up = (0..n).filter(|&s| up(s)).count();
+        let n_serviceable = (0..n).filter(|&s| serviceable(s)).count();
+        let all_healthy =
+            (0..n).all(|s| up(s) && self.breakers[s].state() == breaker::State::Closed);
+        let status = if self.draining {
+            "draining"
+        } else if all_healthy {
+            "healthy"
+        } else if n_serviceable == 0 {
+            "down"
+        } else {
+            "degraded"
+        };
+        let ready = !self.draining && n_serviceable > 0;
+        let shed = self.shed + self.shed_reader;
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"type\":\"health\"");
+        if let Some(id) = id {
+            out.push_str(",\"id\":");
+            out.push_str(&json::escape(id));
+        }
+        out.push_str(&format!(
+            ",\"status\":\"{status}\",\"ready\":{ready},\"cluster\":true,\
+             \"shards\":{n},\"workers_up\":{n_up},\"queue_depth\":{},\
+             \"queue_capacity\":{},\"requests\":{},\"shed\":{shed},\
+             \"model_checksum\":\"{}\",\"generation\":{},\"detail\":[",
+            self.queue_depth,
+            self.cfg.serve.max_queue,
+            self.requests_served,
+            self.model_checksum,
+            self.generation,
+        ));
+        for s in 0..n {
+            if s > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"shard\":{s},\"state\":\"{}\",\"breaker\":\"{}\",\"restarts\":{}}}",
+                if up(s) { "up" } else { "down" },
+                self.breakers[s].state().as_str(),
+                self.workers[s].restarts(),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Atomically rewrites `health.json` (same torn-read-free contract as
+    /// the solo server — a scrape during a shard flap sees old or new,
+    /// never half).
+    pub fn write_health(&self) {
+        if let Some(dir) = &self.cfg.serve.health_dir {
+            let line = self.healthz(&None);
+            let _ = stuq_artifact::write_atomic(
+                dir.join("health.json"),
+                format!("{line}\n").as_bytes(),
+            );
+        }
+    }
+}
+
+/// Runs the router loop: the same two-lane admission front as
+/// [`crate::serve_loop`] (reader thread sheds `queue_full`/`draining`
+/// forecasts with typed rejections), with the worker side scattering each
+/// forecast across the cluster. Idle ticks drive supervision and the
+/// atomic `health.json` mirror.
+pub fn router_loop<R, W>(router: &mut Router, reader: R, writer: W) -> ServeSummary
+where
+    R: BufRead + Send + 'static,
+    W: Write + Send + 'static,
+{
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    struct Flags {
+        draining: AtomicBool,
+        shed: AtomicU64,
+    }
+
+    let lanes = Arc::new(Lanes::new(router.cfg.serve.max_queue));
+    let flags =
+        Arc::new(Flags { draining: AtomicBool::new(router.draining), shed: AtomicU64::new(0) });
+    let out = Arc::new(Mutex::new(writer));
+    let responses = Arc::new(AtomicU64::new(0));
+
+    let write_line = {
+        let out = Arc::clone(&out);
+        let responses = Arc::clone(&responses);
+        move |line: &str| {
+            let mut w = out.lock().unwrap();
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+            responses.fetch_add(1, Ordering::Relaxed);
+        }
+    };
+
+    let reader_handle = {
+        let lanes = Arc::clone(&lanes);
+        let flags = Arc::clone(&flags);
+        let write_line = write_line.clone();
+        std::thread::spawn(move || {
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match proto::parse_request(&line) {
+                    Err(e) => write_line(&proto::resp_error(&e.id, "bad_request", &e.detail)),
+                    Ok(Request::Forecast(req)) => {
+                        let reason = if flags.draining.load(Ordering::Relaxed) {
+                            Some("draining")
+                        } else if !lanes.try_push_forecast(line.clone()) {
+                            Some("queue_full")
+                        } else {
+                            None
+                        };
+                        if let Some(reason) = reason {
+                            flags.shed.fetch_add(1, Ordering::Relaxed);
+                            stuq_obs::metrics().serve_shed.inc();
+                            stuq_obs::emit(Event::new("serve_rejected").str("reason", reason));
+                            write_line(&proto::resp_rejected(&req.id, reason));
+                        }
+                    }
+                    Ok(_) => lanes.push_control(line),
+                }
+            }
+            lanes.close();
+        })
+    };
+
+    let mut requests: u64 = 0;
+    let mut done = false;
+    let mirror = |router: &mut Router, flags: &Flags, lanes: &Lanes| {
+        flags.draining.store(router.draining, Ordering::Relaxed);
+        router.queue_depth = lanes.depth();
+        router.shed_reader = flags.shed.load(Ordering::Relaxed);
+    };
+
+    while !done {
+        match lanes.pop(Duration::from_millis(50)) {
+            Popped::Control(line) => {
+                mirror(router, &flags, &lanes);
+                let r = router.process_line(&line);
+                write_line(&r.response);
+                done = r.done;
+                mirror(router, &flags, &lanes);
+            }
+            Popped::Forecast(line) => {
+                requests += 1;
+                let r = router.process_line(&line);
+                write_line(&r.response);
+                mirror(router, &flags, &lanes);
+            }
+            Popped::TimedOut => {
+                router.tick();
+                mirror(router, &flags, &lanes);
+                router.write_health();
+            }
+            Popped::Closed => break,
+        }
+    }
+    let drain_and_answer = |router: &mut Router, requests: &mut u64| {
+        for item in lanes.drain_now() {
+            match item {
+                Popped::Control(line) => {
+                    let r = router.process_line(&line);
+                    write_line(&r.response);
+                }
+                Popped::Forecast(line) => {
+                    *requests += 1;
+                    let r = router.process_line(&line);
+                    write_line(&r.response);
+                }
+                Popped::TimedOut | Popped::Closed => {}
+            }
+        }
+    };
+    if done {
+        lanes.close();
+        drain_and_answer(router, &mut requests);
+    }
+    let _ = reader_handle.join();
+    if done {
+        drain_and_answer(router, &mut requests);
+    }
+
+    let shed = router.shed + flags.shed.load(Ordering::Relaxed);
+    mirror(router, &flags, &lanes);
+    router.write_health();
+    stuq_obs::emit(Event::new("serve_stop").uint("requests", requests).uint("shed", shed));
+    ServeSummary {
+        requests,
+        shed,
+        responses: responses.load(Ordering::Relaxed),
+        samples_used: router.samples_used_total,
+    }
+}

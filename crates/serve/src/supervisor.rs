@@ -1,0 +1,327 @@
+//! Worker-process supervision for the cluster router (DESIGN.md §13).
+//!
+//! [`ProcWorker`] owns one shard's worker end to end: it spawns the `stuq
+//! serve --role worker` child, connects to its Unix socket, replays the
+//! shard assignment, and implements the [`ShardWorker`] transport the
+//! [`Router`](crate::router::Router) drives. Supervision is deliberately
+//! *wall-clock*: crash detection (EOF/timeout on an RPC, failed liveness
+//! ping) and exponentially backed-off restarts are real-time concerns, and
+//! the determinism contract covers only the response byte stream — which
+//! depends on *which* workers are up, never on when the supervisor noticed.
+//!
+//! Restart protocol: kill → back off ([`Backoff`], doubling to a cap) →
+//! respawn → reconnect → replay `assign` — so a rejoining worker always
+//! knows its slice of the deterministic shard map before the first forecast
+//! reaches it. A worker that was mid-`prepare_reload` when it died simply
+//! rejoins unstaged; the router's two-phase commit already treats any
+//! non-acking shard as an abort.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use crate::proto::{self, WorkerResp};
+use crate::router::{assign_line, ShardWorker, SupEvent, WorkerState};
+use stuq_obs::Event;
+
+/// Exponential backoff with a cap: `base, 2·base, 4·base, … , max`.
+#[derive(Clone, Copy, Debug)]
+pub struct Backoff {
+    base_ms: u64,
+    max_ms: u64,
+    cur_ms: u64,
+}
+
+impl Backoff {
+    /// Starts at `base_ms` (clamped ≥ 1), capped at `max_ms`.
+    pub fn new(base_ms: u64, max_ms: u64) -> Self {
+        let base_ms = base_ms.max(1);
+        Backoff { base_ms, max_ms: max_ms.max(base_ms), cur_ms: base_ms }
+    }
+
+    /// The delay to wait *now*; doubles the next one (up to the cap).
+    pub fn next_delay(&mut self) -> u64 {
+        let d = self.cur_ms;
+        self.cur_ms = (self.cur_ms.saturating_mul(2)).min(self.max_ms);
+        d
+    }
+
+    /// Back to the base delay (called after a successful restart).
+    pub fn reset(&mut self) {
+        self.cur_ms = self.base_ms;
+    }
+}
+
+/// Everything needed to (re)spawn one shard's worker process.
+#[derive(Clone, Debug)]
+pub struct WorkerSpec {
+    /// Shard index this worker owns.
+    pub shard: usize,
+    /// Total shard count (for the `assign` replay).
+    pub shards: usize,
+    /// Worker executable (normally `std::env::current_exe()`).
+    pub exe: PathBuf,
+    /// Full argument list after the executable (`serve --role worker …`).
+    pub args: Vec<String>,
+    /// The Unix socket the worker listens on.
+    pub socket: PathBuf,
+    /// Liveness ping cadence while idle.
+    pub ping_interval_ms: u64,
+    /// Initial restart backoff.
+    pub backoff_ms: u64,
+    /// Backoff cap.
+    pub backoff_max_ms: u64,
+    /// How long to wait for the freshly spawned worker's socket.
+    pub connect_timeout_ms: u64,
+}
+
+/// One supervised worker process behind a Unix socket.
+pub struct ProcWorker {
+    spec: WorkerSpec,
+    backoff: Backoff,
+    child: Option<Child>,
+    conn: Option<(UnixStream, BufReader<UnixStream>)>,
+    state: WorkerState,
+    restarts: u64,
+    /// Earliest wall-clock instant the next restart attempt may run.
+    next_restart_at: Option<Instant>,
+    /// Last successful round-trip (any RPC counts as liveness).
+    last_ok: Instant,
+}
+
+impl ProcWorker {
+    /// Spawns the worker and connects. A failed first start leaves the
+    /// worker `Down` with a restart scheduled — the supervisor retries on
+    /// subsequent ticks rather than failing the whole cluster.
+    pub fn spawn(spec: WorkerSpec) -> ProcWorker {
+        let backoff = Backoff::new(spec.backoff_ms, spec.backoff_max_ms);
+        let mut w = ProcWorker {
+            spec,
+            backoff,
+            child: None,
+            conn: None,
+            state: WorkerState::Down,
+            restarts: 0,
+            next_restart_at: None,
+            last_ok: Instant::now(),
+        };
+        if let Err(e) = w.start_process() {
+            eprintln!("serve: worker {} failed to start: {e}", w.spec.shard);
+            let delay = w.backoff.next_delay();
+            w.next_restart_at = Some(Instant::now() + Duration::from_millis(delay));
+        }
+        w
+    }
+
+    /// Kill (if needed), spawn, wait for the socket, connect, replay the
+    /// shard assignment. On success the worker is `Up` with backoff reset.
+    fn start_process(&mut self) -> Result<(), String> {
+        self.kill_child();
+        // A stale socket from the previous incarnation must not satisfy the
+        // connect loop below.
+        let _ = std::fs::remove_file(&self.spec.socket);
+        let child = Command::new(&self.spec.exe)
+            .args(&self.spec.args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("spawn {}: {e}", self.spec.exe.display()))?;
+        self.child = Some(child);
+        stuq_obs::emit(Event::new("worker_spawn").uint("shard", self.spec.shard as u64));
+
+        let deadline = Instant::now() + Duration::from_millis(self.spec.connect_timeout_ms.max(1));
+        let stream = loop {
+            match UnixStream::connect(&self.spec.socket) {
+                Ok(s) => break s,
+                Err(_) if Instant::now() < deadline => {
+                    // A child that died before binding will never bind.
+                    if let Some(c) = &mut self.child {
+                        if let Ok(Some(status)) = c.try_wait() {
+                            self.child = None;
+                            return Err(format!("worker exited during startup: {status}"));
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => {
+                    self.kill_child();
+                    return Err(format!("connect {}: {e}", self.spec.socket.display()));
+                }
+            }
+        };
+        let reader = BufReader::new(stream.try_clone().map_err(|e| format!("socket clone: {e}"))?);
+        self.conn = Some((stream, reader));
+        self.state = WorkerState::Up;
+        self.last_ok = Instant::now();
+        self.next_restart_at = None;
+        // Replay the shard assignment before any forecast can arrive.
+        let line = assign_line(self.spec.shard, self.spec.shards);
+        match self.rpc(&line, self.spec.connect_timeout_ms.max(1)) {
+            Ok(resp) => match proto::parse_worker_resp(&resp) {
+                Ok(WorkerResp::Ack { ok: true, .. }) => {
+                    self.backoff.reset();
+                    Ok(())
+                }
+                _ => {
+                    self.mark_down();
+                    Err("assign refused".into())
+                }
+            },
+            Err(e) => {
+                self.mark_down();
+                Err(format!("assign: {e}"))
+            }
+        }
+    }
+
+    /// One raw round-trip on the socket with a real-time read deadline.
+    fn rpc(&mut self, line: &str, timeout_ms: u64) -> Result<String, String> {
+        let Some((stream, reader)) = &mut self.conn else {
+            return Err("worker_down".into());
+        };
+        stream
+            .set_read_timeout(Some(Duration::from_millis(timeout_ms.max(1))))
+            .map_err(|e| format!("set timeout: {e}"))?;
+        stream.write_all(line.as_bytes()).map_err(|e| format!("write: {e}"))?;
+        stream.write_all(b"\n").map_err(|e| format!("write: {e}"))?;
+        let mut resp = String::new();
+        match reader.read_line(&mut resp) {
+            Ok(0) => Err("eof".into()),
+            Ok(_) => {
+                self.last_ok = Instant::now();
+                Ok(resp.trim_end().to_string())
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Err("rpc_timeout".into())
+            }
+            Err(e) => Err(format!("read: {e}")),
+        }
+    }
+
+    /// Transition to `Down`: drop the connection, kill the process, and
+    /// schedule the next (backed-off) restart attempt. Idempotent.
+    fn mark_down(&mut self) {
+        if self.state == WorkerState::Down && self.conn.is_none() {
+            return;
+        }
+        self.state = WorkerState::Down;
+        self.conn = None;
+        self.kill_child();
+        let delay = self.backoff.next_delay();
+        self.next_restart_at = Some(Instant::now() + Duration::from_millis(delay));
+    }
+
+    fn kill_child(&mut self) {
+        if let Some(mut c) = self.child.take() {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+}
+
+impl ShardWorker for ProcWorker {
+    fn call(&mut self, line: &str, timeout_ms: u64) -> Result<String, String> {
+        if self.state == WorkerState::Down {
+            return Err("worker_down".into());
+        }
+        match self.rpc(line, timeout_ms) {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                self.mark_down();
+                Err(e)
+            }
+        }
+    }
+
+    fn state(&self) -> WorkerState {
+        self.state
+    }
+
+    fn fail(&mut self, _reason: &str) {
+        self.mark_down();
+    }
+
+    fn tick(&mut self) -> Vec<SupEvent> {
+        let mut evs = Vec::new();
+        match self.state {
+            WorkerState::Up => {
+                // Liveness ping when idle: a worker that answered an RPC
+                // within the interval does not need one.
+                let interval = Duration::from_millis(self.spec.ping_interval_ms.max(1));
+                if self.last_ok.elapsed() >= interval {
+                    let timeout = self.spec.ping_interval_ms.max(250);
+                    if let Err(e) = self.rpc("{\"type\":\"ping\"}", timeout) {
+                        self.mark_down();
+                        evs.push(SupEvent::Down { reason: e });
+                    }
+                }
+            }
+            WorkerState::Down => {
+                let due = self.next_restart_at.is_none_or(|t| Instant::now() >= t);
+                if due {
+                    match self.start_process() {
+                        Ok(()) => {
+                            self.restarts += 1;
+                            evs.push(SupEvent::Restarted { restarts: self.restarts });
+                        }
+                        Err(reason) => {
+                            let backoff_ms = self.backoff.next_delay();
+                            self.next_restart_at =
+                                Some(Instant::now() + Duration::from_millis(backoff_ms));
+                            evs.push(SupEvent::RestartFailed { backoff_ms, reason });
+                        }
+                    }
+                }
+            }
+        }
+        evs
+    }
+
+    fn restarts(&self) -> u64 {
+        self.restarts
+    }
+}
+
+impl Drop for ProcWorker {
+    fn drop(&mut self) {
+        self.kill_child();
+        let _ = std::fs::remove_file(&self.spec.socket);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_to_the_cap() {
+        let mut b = Backoff::new(100, 750);
+        assert_eq!(b.next_delay(), 100);
+        assert_eq!(b.next_delay(), 200);
+        assert_eq!(b.next_delay(), 400);
+        assert_eq!(b.next_delay(), 750, "capped, not 800");
+        assert_eq!(b.next_delay(), 750, "stays at the cap");
+    }
+
+    #[test]
+    fn backoff_reset_returns_to_base() {
+        let mut b = Backoff::new(50, 1000);
+        let _ = b.next_delay();
+        let _ = b.next_delay();
+        b.reset();
+        assert_eq!(b.next_delay(), 50);
+    }
+
+    #[test]
+    fn backoff_clamps_degenerate_inputs() {
+        let mut b = Backoff::new(0, 0);
+        assert_eq!(b.next_delay(), 1, "base clamps to 1ms");
+        assert_eq!(b.next_delay(), 1, "cap clamps to base");
+    }
+}
