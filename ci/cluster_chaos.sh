@@ -21,6 +21,14 @@ set -eu
 STUQ="${1:-./target/release/stuq}"
 WORK="${2:-/tmp/stuq-cluster-chaos}"
 
+# Await budgets scale with STUQ_CHAOS_TIME_SCALE (default 1, integer): slow
+# shared CI runners set it >1 to stretch every timeout proportionally without
+# loosening the local (scale-1) run. Poll intervals are unchanged — only the
+# iteration caps grow.
+SCALE="${STUQ_CHAOS_TIME_SCALE:-1}"
+AWAIT_TRIES=$((300 * SCALE))
+RECOVER_TRIES=$((60 * SCALE))
+
 fail() {
   echo "cluster_chaos: $1" >&2
   exit 1
@@ -91,7 +99,7 @@ await_lines() {
   i=0
   while [ "$(wc -l <"$WORK/chaos.out")" -lt "$want" ]; do
     i=$((i + 1))
-    [ "$i" -le 300 ] || fail "timed out waiting for $what ($want lines)"
+    [ "$i" -le "$AWAIT_TRIES" ] || fail "timed out waiting for $what ($want lines)"
     kill -0 "$ROUTER_PID" 2>/dev/null || fail "router died waiting for $what"
     sleep 0.1
   done
@@ -127,7 +135,7 @@ recovered() {
 i=0
 until recovered; do
   i=$((i + 1))
-  [ "$i" -le 60 ] || fail "cluster did not recover within the backoff budget (~15s)"
+  [ "$i" -le "$RECOVER_TRIES" ] || fail "cluster did not recover within the backoff budget (~15s x scale)"
   kill -0 "$ROUTER_PID" 2>/dev/null || fail "router died during recovery"
   sleep 0.25
 done
@@ -161,7 +169,7 @@ await_reload() {
   i=0
   while [ "$(wc -l <"$WORK/reload.out")" -lt "$want" ]; do
     i=$((i + 1))
-    [ "$i" -le 300 ] || fail "timed out waiting for $what ($want lines)"
+    [ "$i" -le "$AWAIT_TRIES" ] || fail "timed out waiting for $what ($want lines)"
     kill -0 "$ROUTER2_PID" 2>/dev/null || fail "reload router died waiting for $what"
     sleep 0.1
   done

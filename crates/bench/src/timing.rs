@@ -112,6 +112,68 @@ pub fn bench<R>(name: &str, f: impl FnMut() -> R) -> Sample {
     bench_with(name, 0.5, 1000, f)
 }
 
+/// Times several variants of one workload in a single interleaved loop:
+/// every round runs each variant once, in order, so slow drift on a shared
+/// machine (CPU steal, frequency shifts) lands on all variants instead of
+/// biasing whichever loop it overlapped. Ratios between the returned
+/// samples are therefore fair even when the absolute numbers wobble.
+///
+/// Each variant gets one warmup call, then rounds continue until every
+/// variant has accumulated `min_total_s` of measured time or `max_rounds`
+/// rounds have run (always at least 3). Returns one [`Sample`] per variant,
+/// in input order.
+///
+/// # Panics
+///
+/// Panics if `names` and `fs` differ in length or are empty.
+pub fn bench_interleaved(
+    names: &[&str],
+    min_total_s: f64,
+    max_rounds: usize,
+    fs: &mut [&mut dyn FnMut()],
+) -> Vec<Sample> {
+    assert_eq!(names.len(), fs.len(), "one name per variant");
+    assert!(!fs.is_empty(), "at least one variant");
+    for f in fs.iter_mut() {
+        f();
+    }
+    let n = fs.len();
+    let mut total = vec![0.0f64; n];
+    let mut best = vec![f64::INFINITY; n];
+    let hists: Vec<_> = (0..n).map(|_| stuq_obs::Histogram::new()).collect();
+    let mut rounds = 0usize;
+    while (rounds < 3 || total.iter().any(|&t| t < min_total_s)) && rounds < max_rounds {
+        for (i, f) in fs.iter_mut().enumerate() {
+            let t0 = Instant::now();
+            f();
+            let dt = t0.elapsed().as_secs_f64();
+            total[i] += dt;
+            best[i] = best[i].min(dt);
+            hists[i].record(dt);
+        }
+        rounds += 1;
+    }
+    names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let (p50_s, p95_s) = if hists[i].count() > 0 {
+                (hists[i].quantile(0.5), hists[i].quantile(0.95))
+            } else {
+                (best[i], best[i])
+            };
+            Sample {
+                name: (*name).to_string(),
+                iters: rounds,
+                mean_s: total[i] / rounds as f64,
+                best_s: best[i],
+                p50_s,
+                p95_s,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +197,19 @@ mod tests {
         assert!(s.p50_s <= s.p95_s + 1e-12, "p50 {} p95 {}", s.p50_s, s.p95_s);
         let line = s.to_string();
         assert!(line.contains("p50") && line.contains("p95"), "{line}");
+    }
+
+    #[test]
+    fn interleaved_runs_every_variant_the_same_number_of_rounds() {
+        let (mut a, mut b) = (0u64, 0u64);
+        let mut fa = || a += 1;
+        let mut fb = || b += 1;
+        let samples = bench_interleaved(&["a", "b"], 0.0, 7, &mut [&mut fa, &mut fb]);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].iters, samples[1].iters);
+        assert!(samples[0].iters >= 3);
+        assert_eq!(a, b, "variants advance in lockstep");
+        assert!(samples.iter().all(|s| s.best_s <= s.mean_s));
     }
 
     #[test]

@@ -431,6 +431,40 @@ mod tests {
         assert_eq!(grads.len(), 6, "3 gates × (w_pool, b_pool)");
     }
 
+    /// The replay engine must not change a single gradient bit on a real
+    /// multi-step AGCRN training tape (dropout masks included) — the same
+    /// tape shape the trainer replays every batch.
+    #[test]
+    fn agcrn_backward_replay_bitwise_vs_serial() {
+        let (ps, cell, e, s, mut rng) = agcrn_fixture(0.2);
+        let mut tape = Tape::new();
+        let en = tape.constant(e);
+        let sn = tape.constant(s);
+        let bound = cell.bind(&mut tape, &ps, en, sn);
+        let mut h = tape.constant(Tensor::zeros(&[6, 4]));
+        let mut ctx = FwdCtx::train(&mut rng);
+        for _ in 0..4 {
+            let x = tape.constant(Tensor::ones(&[6, 1]));
+            h = bound.step(&mut tape, &mut ctx, x, h);
+        }
+        let sq = tape.square(h);
+        let loss = tape.mean_all(sq);
+        let serial = tape.backward_serial(loss);
+        let replayed = tape.backward(loss); // twice: cold compile + warm hit
+        let warm = tape.backward(loss);
+        let off = stuq_tensor::with_replay_disabled(|| tape.backward(loss));
+        for (got, what) in [(&replayed, "replay"), (&warm, "warm replay"), (&off, "replay off")] {
+            assert_eq!(serial.len(), got.len(), "{what}: slot count");
+            for (slot, g) in serial.iter() {
+                let o = got.get(slot).unwrap();
+                assert_eq!(g.shape(), o.shape(), "{what}: slot {slot} shape");
+                for (a, b) in g.data().iter().zip(o.data()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{what}: slot {slot}");
+                }
+            }
+        }
+    }
+
     #[test]
     fn dropout_only_active_in_train_and_mc_modes() {
         let (ps, cell, e, s, mut rng) = agcrn_fixture(0.9);

@@ -314,10 +314,20 @@ pub struct Metrics {
     pub backward_nodes: Counter,
     /// Edge-delta arena slots allocated by `backward_levels`.
     pub backward_edge_slots: Counter,
+    /// Backward sweeps served by a cached replay plan.
+    pub replay_hits: Counter,
+    /// Replay plans compiled (one per new tape structure).
+    pub replay_compiles: Counter,
+    /// Fused adjoint chains across all compiled plans.
+    pub replay_fused_chains: Counter,
+    /// Tape nodes absorbed into fused chains across all compiled plans.
+    pub replay_fused_nodes: Counter,
     /// `matmul` kernel dispatches.
     pub kernel_matmul: Counter,
     /// `matmul_tb` kernel dispatches.
     pub kernel_matmul_tb: Counter,
+    /// `matmul_ta` (transposed-A adjoint product) kernel dispatches.
+    pub kernel_matmul_ta: Counter,
     /// `rowwise_matmul` kernel dispatches.
     pub kernel_rowwise: Counter,
     /// GFLOP/s of the most recent traced `matmul`/`matmul_tb` dispatch.
@@ -440,8 +450,13 @@ impl Metrics {
             backward_levels: Counter::new(),
             backward_nodes: Counter::new(),
             backward_edge_slots: Counter::new(),
+            replay_hits: Counter::new(),
+            replay_compiles: Counter::new(),
+            replay_fused_chains: Counter::new(),
+            replay_fused_nodes: Counter::new(),
             kernel_matmul: Counter::new(),
             kernel_matmul_tb: Counter::new(),
+            kernel_matmul_ta: Counter::new(),
             kernel_rowwise: Counter::new(),
             kernel_gflops: Gauge::new(),
             opt_steps: Counter::new(),
@@ -574,6 +589,30 @@ impl Metrics {
         );
         c(
             &mut out,
+            "stuq_backward_replay_hits_total",
+            "backward sweeps served by a cached replay plan",
+            self.replay_hits.get(),
+        );
+        c(
+            &mut out,
+            "stuq_backward_replay_compiles_total",
+            "replay plans compiled",
+            self.replay_compiles.get(),
+        );
+        c(
+            &mut out,
+            "stuq_backward_replay_fused_chains_total",
+            "fused adjoint chains across compiled plans",
+            self.replay_fused_chains.get(),
+        );
+        c(
+            &mut out,
+            "stuq_backward_replay_fused_nodes_total",
+            "tape nodes absorbed into fused chains",
+            self.replay_fused_nodes.get(),
+        );
+        c(
+            &mut out,
             "stuq_kernel_matmul_total",
             "matmul kernel dispatches",
             self.kernel_matmul.get(),
@@ -583,6 +622,12 @@ impl Metrics {
             "stuq_kernel_matmul_tb_total",
             "matmul_tb kernel dispatches",
             self.kernel_matmul_tb.get(),
+        );
+        c(
+            &mut out,
+            "stuq_kernel_matmul_ta_total",
+            "matmul_ta kernel dispatches",
+            self.kernel_matmul_ta.get(),
         );
         c(
             &mut out,
@@ -859,8 +904,13 @@ impl Metrics {
         self.backward_levels.reset();
         self.backward_nodes.reset();
         self.backward_edge_slots.reset();
+        self.replay_hits.reset();
+        self.replay_compiles.reset();
+        self.replay_fused_chains.reset();
+        self.replay_fused_nodes.reset();
         self.kernel_matmul.reset();
         self.kernel_matmul_tb.reset();
+        self.kernel_matmul_ta.reset();
         self.kernel_rowwise.reset();
         self.kernel_gflops.reset();
         self.opt_steps.reset();

@@ -339,6 +339,46 @@ pub fn matmul_tb(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32>
     out
 }
 
+/// `Aᵀ (m×k from a k×m input) @ B (k×n)` — the transposed-A product both
+/// matmul adjoints need (`db = aᵀ g` and `db = gᵀ a`).
+///
+/// `a` is stored `ar × ac` row-major; the result is `ac × n`. The kernel is
+/// the cache-blocked [`transpose`] followed by the same register-tiled
+/// dispatch as [`matmul`] with `m = ac, k = ar` — element for element the
+/// arithmetic the previous `a.transpose().matmul(g)` composition performed
+/// (the transpose is pure data movement), just as a single kernel entry
+/// with its own dispatch counter instead of an intermediate tensor. The
+/// reference path is likewise transpose + [`matmul_reference`], so the seed
+/// baseline is unchanged too.
+pub fn matmul_ta(a: &[f32], b: &[f32], ar: usize, ac: usize, n: usize) -> Vec<f32> {
+    if stuq_obs::summary_enabled() {
+        stuq_obs::metrics().kernel_matmul_ta.inc();
+    }
+    let at = transpose(a, ar, ac); // ac × ar
+    let (m, k) = (ac, ar);
+    if reference_mode() {
+        return matmul_reference(&at, b, m, k, n);
+    }
+    let t_start = stuq_obs::trace_enabled().then(std::time::Instant::now);
+    let mut out = vec![0.0f32; m * n];
+    if m.saturating_mul(k).saturating_mul(n) >= PAR_FLOPS_MIN && m > ROW_CHUNK {
+        let optr = SendPtr::new(out.as_mut_ptr());
+        par_ranges(m, ROW_CHUNK, |r| {
+            // SAFETY: row ranges are disjoint, so the output slices never alias.
+            let ob = unsafe {
+                std::slice::from_raw_parts_mut(optr.get().add(r.start * n), (r.end - r.start) * n)
+            };
+            mm_block(&at[r.start * k..r.end * k], b, ob, k, n);
+        });
+    } else {
+        mm_block(&at, b, &mut out, k, n);
+    }
+    if let Some(t) = t_start {
+        record_gflops(m, k, n, t);
+    }
+    out
+}
+
 /// NAPL row-wise matmul forward (paper Eq. 5): output row `r` is
 /// `z[r, :] @ W_r` with `W_r = w[r, :]` viewed as `ci × co`. Row-parallel;
 /// each row reuses the blocked [`mm_block`] micro-kernel.

@@ -39,10 +39,12 @@
 pub mod fastmath;
 pub mod gradcheck;
 pub mod kernels;
+pub mod replay;
 pub mod rng;
 pub mod tape;
 pub mod tensor;
 
+pub use replay::{replay_enabled, replay_stats, with_replay_disabled, ReplayPlan};
 pub use rng::{RngState, StuqRng};
 pub use tape::{CustomOp, GradStore, NodeId, Tape};
 pub use tensor::Tensor;

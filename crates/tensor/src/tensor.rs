@@ -245,6 +245,18 @@ impl Tensor {
         Self { data: kernels::matmul_tb(&self.data, &other.data, m, k, n), shape: vec![m, n] }
     }
 
+    /// Matrix product `self^T @ other` — the adjoint-side transposed product
+    /// (`aᵀ g` / `gᵀ a`), fused into one kernel dispatch.
+    ///
+    /// Numerically identical to `self.transpose().matmul(other)` in both the
+    /// fast and reference kernel modes (see [`kernels::matmul_ta`]).
+    pub fn matmul_ta(&self, other: &Self) -> Self {
+        let (k, m) = (self.rows(), self.cols());
+        let (k2, n) = (other.rows(), other.cols());
+        assert_eq!(k, k2, "matmul_ta inner dims: ({}x{})^T @ {}x{}", k, m, k2, n);
+        Self { data: kernels::matmul_ta(&self.data, &other.data, k, m, n), shape: vec![m, n] }
+    }
+
     /// Matrix transpose (cache-blocked tile-wise copy).
     pub fn transpose(&self) -> Self {
         let (m, n) = (self.rows(), self.cols());
