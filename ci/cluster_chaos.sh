@@ -14,6 +14,11 @@
 # Phase 3 — two-phase reload: a new artifact commits cluster-wide (unanimous
 # ack, every response on the new checksum, no version-skew slices); a corrupt
 # artifact aborts cluster-wide with the old version intact.
+# Phase 4 — distributed tracing (DESIGN.md §15): a trace-level session with a
+# SIGKILLed shard must join router + per-worker event logs into a strict-clean
+# `stuq trace` timeline that attributes the degraded slice to the dead shard
+# with its typed reason, and a `cluster-metrics` scrape must export a merged
+# Prometheus dump covering every live worker.
 #
 # usage: cluster_chaos.sh [stuq-binary] [work-dir]
 set -eu
@@ -241,5 +246,90 @@ grep -q '"type":"cluster_reload_commit"' "$WORK/telemetry2/events.jsonl" \
   || fail "no cluster_reload_commit event"
 grep -q '"type":"cluster_reload_abort"' "$WORK/telemetry2/events.jsonl" \
   || fail "no cluster_reload_abort event"
+
+echo "=== cluster_chaos: phase 4 (distributed tracing + cluster-wide metrics) ==="
+FIFO4="$WORK/in4.fifo"
+mkfifo "$FIFO4"
+STUQ_FAKE_CLOCK=1 "$STUQ" serve --role router --shards 3 \
+  --model "$WORK/model.stuq" --data "$WORK/flow.stuqd" \
+  --worker-dir "$WORK/workers4" --max-queue 1000 \
+  --restart-backoff-ms 200 --restart-backoff-max-ms 1600 \
+  --telemetry-dir "$WORK/telemetry4" --telemetry-level trace \
+  --health-dir "$WORK/health4" \
+  <"$FIFO4" >"$WORK/trace.out" 2>"$WORK/trace.err" &
+ROUTER4_PID=$!
+exec 5>"$FIFO4"
+
+await_trace() {
+  want=$1
+  what=$2
+  i=0
+  while [ "$(wc -l <"$WORK/trace.out")" -lt "$want" ]; do
+    i=$((i + 1))
+    [ "$i" -le "$AWAIT_TRIES" ] || fail "timed out waiting for $what ($want lines)"
+    kill -0 "$ROUTER4_PID" 2>/dev/null || fail "trace router died waiting for $what"
+    sleep 0.1
+  done
+}
+
+printf '{"type":"healthz","id":"h4"}\n' >&5
+await_trace 1 "trace healthz"
+cat "$WORK/warm.ndjson" >&5
+await_trace 13 "trace warmup"
+# SIGKILL shard 2's worker, then storm: every full-window request in flight
+# before the supervisor restarts it degrades that slice to fallback.
+WPID4=$(pgrep -f "workers4/worker-2.sock" | head -n 1)
+[ -n "$WPID4" ] || fail "could not find shard 2's worker process"
+kill -9 "$WPID4"
+cat "$WORK/storm-a.ndjson" >&5
+await_trace 25 "trace storm"
+recovered4() {
+  grep -q '"status":"healthy"' "$WORK/health4/health.json" 2>/dev/null \
+    && grep -q '"shard":2,"state":"up","breaker":"closed","restarts":1' \
+      "$WORK/health4/health.json" 2>/dev/null
+}
+i=0
+until recovered4; do
+  i=$((i + 1))
+  [ "$i" -le "$RECOVER_TRIES" ] || fail "traced cluster did not recover shard 2"
+  kill -0 "$ROUTER4_PID" 2>/dev/null || fail "trace router died during recovery"
+  sleep 0.25
+done
+# All three workers are live again: the merged scrape must cover 3/3.
+printf '{"type":"cluster-metrics","id":"cm"}\n' >&5
+await_trace 26 "cluster-metrics scrape"
+printf '{"type":"shutdown","id":"bye4"}\n' >&5
+await_trace 27 "trace shutdown ack"
+exec 5>&-
+wait "$ROUTER4_PID" || fail "trace router exited nonzero"
+
+# Closed type set still holds with tracing on (plus the metrics response),
+# and every forecast carries the fixed-width trace annotation.
+BAD4=$(grep -cvE '^\{"type":"(forecast|rejected|fallback|error|health|ack|metrics)"' "$WORK/trace.out" || true)
+[ "$BAD4" -eq 0 ] || fail "$BAD4 traced response lines outside the closed type set"
+grep -q '"id":"cm".*"counters":{' "$WORK/trace.out" || fail "no merged cluster-metrics response"
+grep '"type":"forecast"' "$WORK/trace.out" | grep -vq '"trace":"' \
+  && fail "untraced forecast response in a traced session"
+
+# Worker telemetry landed in per-shard subdirectories and validates — shard
+# 2's log is its post-restart incarnation (the SIGKILLed one never flushed).
+sh ci/validate_events.sh "$WORK/telemetry4" "$STUQ"
+for s in 0 1 2; do
+  sh ci/validate_events.sh "$WORK/telemetry4/worker-$s" "$STUQ"
+done
+
+# The merged Prometheus export scraped every live worker and carries traffic.
+grep -q '^# cluster-merged counters: router + 3/3 workers scraped' \
+  "$WORK/telemetry4/cluster_metrics.prom" || fail "cluster_metrics.prom is not a 3/3 merge"
+grep -Eq '^stuq_serve_requests_total [1-9]' "$WORK/telemetry4/cluster_metrics.prom" \
+  || fail "merged export carries no request count"
+
+# The joined timeline is strict-clean (no orphans, unclosed, or malformed
+# spans) and attributes the degraded slice to the dead shard, typed.
+"$STUQ" trace "$WORK/telemetry4" --tree --strict >"$WORK/timeline.txt" \
+  || fail "stuq trace --strict rejected the traced session"
+grep -q 'shard=2 status=fallback reason=worker_down' "$WORK/timeline.txt" \
+  || fail "timeline does not attribute the dead slice to shard 2 with worker_down"
+grep -q 'p99_ms' "$WORK/timeline.txt" || fail "timeline has no phase latency table"
 
 echo "cluster_chaos: OK"

@@ -33,6 +33,18 @@ grep -q '"type":"run_end"' "$DIR/events.jsonl" || fail "no run_end event"
 if grep -q '"type":"serve_start"' "$DIR/events.jsonl"; then
   grep -q '"type":"serve_stop"' "$DIR/events.jsonl" || fail "serve_start without serve_stop"
 fi
+# Trace-level runs: span events must pair up and carry well-formed ids
+# (the Rust validator already enforces start-before-end and seq order on
+# the joined segment+tail stream; these are cheap shape checks).
+if grep -q '"type":"span_start"' "$DIR/events.jsonl"; then
+  grep -q '"type":"span_end"' "$DIR/events.jsonl" || fail "span_start without any span_end"
+  grep '"type":"span_start"' "$DIR/events.jsonl" | grep -vq '"parent":"' \
+    && fail "span_start missing its parent id"
+  grep '"type":"span_' "$DIR/events.jsonl" | grep -vqE '"trace":"[0-9a-f]{16}"' \
+    && fail "span event with a malformed trace id"
+  grep '"type":"span_start"' "$DIR/events.jsonl" | grep -vq '"phase":"' \
+    && fail "span_start missing its phase"
+fi
 grep -q '"schema": "stuq-run-manifest-v1"' "$DIR/manifest.json" || fail "bad manifest schema"
 grep -q '^stuq_train_batches_total ' "$DIR/metrics.prom" || fail "metrics.prom missing counters"
 grep -q '^# TYPE stuq_train_epoch_seconds summary' "$DIR/metrics.prom" \

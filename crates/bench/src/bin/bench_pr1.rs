@@ -118,13 +118,15 @@ fn matmul_json(out: &mut String, key: &str, dims: (usize, usize, usize), t: &Tri
         "  \"{key}\": {{\n    \"shape_mkn\": [{m}, {k}, {n}],\n    \
          \"seed_reference_gflops\": {:.3},\n    \"blocked_serial_gflops\": {:.3},\n    \
          \"parallel_gflops\": {:.3},\n    \"parallel_p50_ms\": {:.3},\n    \
-         \"parallel_p95_ms\": {:.3},\n    \"speedup_blocked_vs_seed\": {:.2},\n    \
+         \"parallel_p95_ms\": {:.3},\n    \"parallel_p99_ms\": {:.3},\n    \
+         \"speedup_blocked_vs_seed\": {:.2},\n    \
          \"speedup_parallel_vs_seed\": {:.2},\n    \"thread_scaling\": {:.2}\n  }},\n",
         t.seed.gflops(flops),
         t.blocked.gflops(flops),
         t.parallel.gflops(flops),
         t.parallel.p50_s * 1e3,
         t.parallel.p95_s * 1e3,
+        t.parallel.p99_s * 1e3,
         t.speedup_blocked(),
         t.speedup_parallel(),
         t.thread_scaling(),
@@ -176,13 +178,15 @@ fn main() {
         "  \"mc_dropout\": {{\n    \"n_nodes\": 307,\n    \"n_samples\": {t_samples},\n    \
          \"seed_samples_per_sec\": {:.2},\n    \"blocked_serial_samples_per_sec\": {:.2},\n    \
          \"parallel_samples_per_sec\": {:.2},\n    \"parallel_p50_ms\": {:.3},\n    \
-         \"parallel_p95_ms\": {:.3},\n    \"speedup_blocked_vs_seed\": {:.2},\n    \
+         \"parallel_p95_ms\": {:.3},\n    \"parallel_p99_ms\": {:.3},\n    \
+         \"speedup_blocked_vs_seed\": {:.2},\n    \
          \"speedup_parallel_vs_seed\": {:.2},\n    \"thread_scaling\": {:.2}\n  }},\n",
         t_samples as f64 * mc.seed.per_sec(),
         t_samples as f64 * mc.blocked.per_sec(),
         t_samples as f64 * mc.parallel.per_sec(),
         mc.parallel.p50_s * 1e3,
         mc.parallel.p95_s * 1e3,
+        mc.parallel.p99_s * 1e3,
         mc.speedup_blocked(),
         mc.speedup_parallel(),
         mc.thread_scaling(),

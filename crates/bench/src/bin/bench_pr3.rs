@@ -167,13 +167,15 @@ fn triple_json(out: &mut String, key: &str, extra: &str, t: &Triple, trailing_co
         out,
         "  \"{key}\": {{\n{extra}    \"seed_ms\": {:.3},\n    \"engine_serial_ms\": {:.3},\n    \
          \"parallel_ms\": {:.3},\n    \"parallel_p50_ms\": {:.3},\n    \
-         \"parallel_p95_ms\": {:.3},\n    \"speedup_serial_vs_seed\": {:.2},\n    \
+         \"parallel_p95_ms\": {:.3},\n    \"parallel_p99_ms\": {:.3},\n    \
+         \"speedup_serial_vs_seed\": {:.2},\n    \
          \"speedup_parallel_vs_seed\": {:.2},\n    \"thread_scaling\": {:.2}\n  }}{comma}\n",
         t.seed.best_s * 1e3,
         t.engine_serial.best_s * 1e3,
         t.parallel.best_s * 1e3,
         t.parallel.p50_s * 1e3,
         t.parallel.p95_s * 1e3,
+        t.parallel.p99_s * 1e3,
         t.speedup_serial(),
         t.speedup_parallel(),
         t.thread_scaling(),

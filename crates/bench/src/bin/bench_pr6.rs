@@ -87,6 +87,8 @@ fn burst_req(
         tick: Some(1),
         nodes,
         horizon,
+        trace: None,
+        span: None,
     }
 }
 
@@ -120,18 +122,20 @@ fn count_flag(responses: &[String], flag: &str) -> usize {
     responses.iter().filter(|r| r.contains(flag)).count()
 }
 
-fn per_request(s: &Sample, k: usize) -> (f64, f64, f64) {
-    // best/p50/p95 per *request* in ms, for a sample timed per burst of k.
-    (s.best_s * 1e3 / k as f64, s.p50_s * 1e3 / k as f64, s.p95_s * 1e3 / k as f64)
+fn per_request(s: &Sample, k: usize) -> (f64, f64, f64, f64) {
+    // best/p50/p95/p99 per *request* in ms, for a sample timed per burst of k.
+    let per = 1e3 / k as f64;
+    (s.best_s * per, s.p50_s * per, s.p95_s * per, s.p99_s * per)
 }
 
 fn section(out: &mut String, key: &str, s: &Sample, k: usize, extra: &str, trailing_comma: bool) {
-    let (best, p50, p95) = per_request(s, k);
+    let (best, p50, p95, p99) = per_request(s, k);
     let comma = if trailing_comma { "," } else { "" };
     let _ = write!(
         out,
         "  \"{key}\": {{\n    \"requests_per_s\": {:.1},\n    \"latency_best_ms\": {best:.3},\n    \
-         \"latency_p50_ms\": {p50:.3},\n    \"latency_p95_ms\": {p95:.3}{extra}\n  }}{comma}\n",
+         \"latency_p50_ms\": {p50:.3},\n    \"latency_p95_ms\": {p95:.3},\n    \
+         \"latency_p99_ms\": {p99:.3}{extra}\n  }}{comma}\n",
         k as f64 / s.best_s,
     );
 }

@@ -25,6 +25,9 @@ pub struct Sample {
     pub p50_s: f64,
     /// 95th-percentile seconds per iteration (same estimator).
     pub p95_s: f64,
+    /// 99th-percentile seconds per iteration (same estimator) — the serving
+    /// tail the BENCH artifacts track.
+    pub p99_s: f64,
 }
 
 impl Sample {
@@ -57,11 +60,12 @@ impl std::fmt::Display for Sample {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{:<44} best {} p50 {} p95 {} mean {}  ({} iters)",
+            "{:<44} best {} p50 {} p95 {} p99 {} mean {}  ({} iters)",
             self.name,
             fmt_duration(self.best_s),
             fmt_duration(self.p50_s),
             fmt_duration(self.p95_s),
+            fmt_duration(self.p99_s),
             fmt_duration(self.mean_s),
             self.iters
         )
@@ -95,8 +99,11 @@ pub fn bench_with<R>(
     }
     // Sub-resolution iterations (dt == 0) are rejected by the histogram;
     // fall back to the exact statistics we do have.
-    let (p50_s, p95_s) =
-        if hist.count() > 0 { (hist.quantile(0.5), hist.quantile(0.95)) } else { (best, best) };
+    let (p50_s, p95_s, p99_s) = if hist.count() > 0 {
+        (hist.quantile(0.5), hist.quantile(0.95), hist.quantile(0.99))
+    } else {
+        (best, best, best)
+    };
     Sample {
         name: name.to_string(),
         iters,
@@ -104,6 +111,7 @@ pub fn bench_with<R>(
         best_s: best,
         p50_s,
         p95_s,
+        p99_s,
     }
 }
 
@@ -157,10 +165,10 @@ pub fn bench_interleaved(
         .iter()
         .enumerate()
         .map(|(i, name)| {
-            let (p50_s, p95_s) = if hists[i].count() > 0 {
-                (hists[i].quantile(0.5), hists[i].quantile(0.95))
+            let (p50_s, p95_s, p99_s) = if hists[i].count() > 0 {
+                (hists[i].quantile(0.5), hists[i].quantile(0.95), hists[i].quantile(0.99))
             } else {
-                (best[i], best[i])
+                (best[i], best[i], best[i])
             };
             Sample {
                 name: (*name).to_string(),
@@ -169,6 +177,7 @@ pub fn bench_interleaved(
                 best_s: best[i],
                 p50_s,
                 p95_s,
+                p99_s,
             }
         })
         .collect()
@@ -192,11 +201,12 @@ mod tests {
         let s = bench_with("sleepish", 0.0, 5, || {
             std::thread::sleep(std::time::Duration::from_micros(50));
         });
-        assert!(s.p50_s.is_finite() && s.p95_s.is_finite());
+        assert!(s.p50_s.is_finite() && s.p95_s.is_finite() && s.p99_s.is_finite());
         assert!(s.best_s <= s.p50_s + 1e-12, "best {} p50 {}", s.best_s, s.p50_s);
         assert!(s.p50_s <= s.p95_s + 1e-12, "p50 {} p95 {}", s.p50_s, s.p95_s);
+        assert!(s.p95_s <= s.p99_s + 1e-12, "p95 {} p99 {}", s.p95_s, s.p99_s);
         let line = s.to_string();
-        assert!(line.contains("p50") && line.contains("p95"), "{line}");
+        assert!(line.contains("p50") && line.contains("p95") && line.contains("p99"), "{line}");
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub type CliError = String;
 pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     let cmd = match args.first().map(String::as_str) {
         Some("telemetry") => return cmd_telemetry(&args[1..], out),
+        Some("trace") => return cmd_trace(&args[1..], out),
         Some("help") | None => {
             let _ = writeln!(out, "{USAGE}");
             return Ok(());
@@ -95,6 +96,17 @@ impl TelemetryRun {
                 .map_err(|e| format!("--telemetry-dir {}: {e}", d.display()))?;
         }
         stuq_obs::init(dir.as_deref(), level);
+        // --telemetry-max-mb N bounds the live event log: once it would grow
+        // past N MiB it is sealed into checksummed events-NNNNN.jsonl
+        // segments (stuq trace / telemetry validate read segments + tail).
+        if let Some(v) = a.get("telemetry-max-mb") {
+            let mb: u64 =
+                v.parse().map_err(|_| format!("bad value for --telemetry-max-mb: {v:?}"))?;
+            if mb == 0 {
+                return Err("--telemetry-max-mb must be at least 1".into());
+            }
+            stuq_obs::set_events_roll_bytes(Some(mb * 1024 * 1024));
+        }
         // Informational context for the manifest; each command still parses
         // its own seed with its own default.
         let seed: u64 = a.parse_or("seed", 42u64).unwrap_or(42);
@@ -193,18 +205,333 @@ fn cmd_telemetry(args: &[String], out: &mut impl Write) -> Result<(), CliError> 
         }
         Some("validate") => {
             let dir = PathBuf::from(a.required("dir")?);
-            let path = dir.join(stuq_obs::EVENTS_FILE);
-            let payload = stuq_artifact::read_verified(&path)
-                .map_err(|e| format!("{}: {e}", path.display()))?;
-            let text = String::from_utf8(payload)
-                .map_err(|_| format!("{}: not valid UTF-8", path.display()))?;
+            // Rolled segments first, then the live tail — the same order the
+            // recorder sealed them, so seq stays monotonic across the join.
+            let (text, files) = read_event_log(&dir)?;
             let n =
-                stuq_obs::validate_events(&text).map_err(|e| format!("{}: {e}", path.display()))?;
-            let _ = writeln!(out, "{}: {n} events, checksum and schema OK", path.display());
+                stuq_obs::validate_events(&text).map_err(|e| format!("{}: {e}", dir.display()))?;
+            let _ = writeln!(
+                out,
+                "{}: {n} events in {} file(s), checksum and schema OK",
+                dir.display(),
+                files
+            );
             Ok(())
         }
         _ => Err("usage: stuq telemetry dump|validate --dir DIR".into()),
     }
+}
+
+/// Joins a telemetry directory's checksummed event log — rolled
+/// `events-NNNNN.jsonl` segments in seal order, then the `events.jsonl`
+/// tail — into one payload. Returns the text and the file count.
+fn read_event_log(dir: &std::path::Path) -> Result<(String, usize), CliError> {
+    let mut text = String::new();
+    let mut files = 0usize;
+    let mut paths = stuq_obs::segment_files(dir);
+    paths.push(dir.join(stuq_obs::EVENTS_FILE));
+    for path in paths {
+        if !path.is_file() {
+            continue;
+        }
+        let payload =
+            stuq_artifact::read_verified(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        text.push_str(
+            std::str::from_utf8(&payload)
+                .map_err(|_| format!("{}: not valid UTF-8", path.display()))?,
+        );
+        files += 1;
+    }
+    if files == 0 {
+        return Err(format!("{}: no event log found", dir.join(stuq_obs::EVENTS_FILE).display()));
+    }
+    Ok((text, files))
+}
+
+/// One span reconstructed from its `span_start`/`span_end` event pair.
+struct TraceSpan {
+    trace: String,
+    span: String,
+    parent: String,
+    phase: String,
+    /// Duration from `span_end`; `None` means the span never closed
+    /// (crash evidence — the process died mid-request).
+    secs: Option<f64>,
+    shard: Option<u64>,
+    status: Option<String>,
+    reason: Option<String>,
+    /// (source index, line index) — the deterministic ordering key.
+    order: (usize, usize),
+}
+
+/// `stuq trace DIR... [--tree] [--no-times] [--strict]` — join router and
+/// worker event logs into per-request span timelines (DESIGN.md §15).
+///
+/// Every `DIR` is read as a telemetry directory (segments + tail) and any
+/// `worker-N` subdirectories with event logs are auto-discovered, so a
+/// router run with per-worker telemetry needs only the router's directory
+/// on the command line. `--tree` prints the span tree of every request;
+/// `--no-times` suppresses all wall-clock numbers so the output is a pure
+/// structural fingerprint (byte-stable across reruns of a seeded workload);
+/// `--strict` exits nonzero on orphaned spans, unclosed spans or malformed
+/// trace events.
+fn cmd_trace(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    const TRACE_USAGE: &str = "usage: stuq trace DIR... [--tree] [--no-times] [--strict]";
+    let (mut tree, mut strict, mut no_times) = (false, false, false);
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--tree" => tree = true,
+            "--strict" => strict = true,
+            "--no-times" => no_times = true,
+            s if s.starts_with("--") => return Err(format!("unknown flag {s:?}\n{TRACE_USAGE}")),
+            s => dirs.push(PathBuf::from(s)),
+        }
+    }
+    if dirs.is_empty() {
+        return Err(TRACE_USAGE.into());
+    }
+
+    // Expand each directory with its worker-N subdirectories, in shard order.
+    let mut sources: Vec<PathBuf> = Vec::new();
+    for d in &dirs {
+        sources.push(d.clone());
+        let mut subs: Vec<PathBuf> = std::fs::read_dir(d)
+            .map_err(|e| format!("{}: {e}", d.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.is_dir()
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("worker-"))
+                    && p.join(stuq_obs::EVENTS_FILE).is_file()
+            })
+            .collect();
+        subs.sort();
+        sources.extend(subs);
+    }
+
+    // Collect spans keyed by (trace, span) and exemplar counts per source.
+    let mut spans: Vec<TraceSpan> = Vec::new();
+    let mut index: std::collections::HashMap<(String, String), usize> =
+        std::collections::HashMap::new();
+    let mut malformed = 0usize;
+    let mut exemplars = 0usize;
+    let mut worst_exemplar: Option<(String, f64)> = None;
+    for (src, dir) in sources.iter().enumerate() {
+        let (text, _) = read_event_log(dir)?;
+        for (line_no, line) in text.lines().enumerate() {
+            let Ok(pairs) = stuq_obs::parse_line(line) else {
+                malformed += 1;
+                continue;
+            };
+            let get_str = |k: &str| {
+                pairs.iter().find(|(key, _)| key == k).and_then(|(_, v)| match v {
+                    stuq_obs::JsonVal::Str(s) => Some(s.clone()),
+                    _ => None,
+                })
+            };
+            let get_num = |k: &str| {
+                pairs.iter().find(|(key, _)| key == k).and_then(|(_, v)| match v {
+                    stuq_obs::JsonVal::Num(n) => Some(*n),
+                    _ => None,
+                })
+            };
+            match get_str("type").as_deref() {
+                Some("span_start") => {
+                    let (Some(trace), Some(span), Some(parent), Some(phase)) =
+                        (get_str("trace"), get_str("span"), get_str("parent"), get_str("phase"))
+                    else {
+                        malformed += 1;
+                        continue;
+                    };
+                    let key = (trace.clone(), span.clone());
+                    if index.contains_key(&key) {
+                        malformed += 1; // duplicate start
+                        continue;
+                    }
+                    index.insert(key, spans.len());
+                    spans.push(TraceSpan {
+                        trace,
+                        span,
+                        parent,
+                        phase,
+                        secs: None,
+                        shard: get_num("shard").map(|n| n as u64),
+                        status: None,
+                        reason: None,
+                        order: (src, line_no),
+                    });
+                }
+                Some("span_end") => {
+                    let (Some(trace), Some(span), Some(secs)) =
+                        (get_str("trace"), get_str("span"), get_num("seconds"))
+                    else {
+                        malformed += 1;
+                        continue;
+                    };
+                    match index.get(&(trace, span)) {
+                        None => malformed += 1, // end without start
+                        Some(&i) => {
+                            let s = &mut spans[i];
+                            s.secs = Some(secs);
+                            if let Some(n) = get_num("shard") {
+                                s.shard = Some(n as u64);
+                            }
+                            s.status = get_str("status").or(s.status.take());
+                            s.reason = get_str("reason").or(s.reason.take());
+                        }
+                    }
+                }
+                Some("trace_exemplar") => {
+                    exemplars += 1;
+                    if let (Some(t), Some(secs)) = (get_str("trace"), get_num("seconds")) {
+                        if worst_exemplar.as_ref().is_none_or(|(_, w)| secs > *w) {
+                            worst_exemplar = Some((t, secs));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Group spans per trace; roots are spans whose parent is the trace id.
+    let mut traces: Vec<(String, Vec<usize>)> = Vec::new();
+    let mut by_trace: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        let slot = *by_trace.entry(&s.trace).or_insert_with(|| {
+            traces.push((s.trace.clone(), Vec::new()));
+            traces.len() - 1
+        });
+        traces[slot].1.push(i);
+    }
+
+    let mut orphans = 0usize;
+    let mut unclosed = 0usize;
+    let mut phase_secs: std::collections::BTreeMap<String, Vec<f64>> =
+        std::collections::BTreeMap::new();
+    let fmt_ms = |s: f64| format!("{:.3} ms", s * 1e3);
+    for (trace_id, members) in &traces {
+        let known: std::collections::HashSet<&str> =
+            members.iter().map(|&i| spans[i].span.as_str()).collect();
+        let roots: Vec<usize> =
+            members.iter().copied().filter(|&i| spans[i].parent == *trace_id).collect();
+        let total: f64 = roots.iter().filter_map(|&i| spans[i].secs).fold(0.0f64, f64::max);
+        let mut line = format!("trace {trace_id} — {} span(s)", members.len());
+        for &i in members {
+            let s = &spans[i];
+            match s.secs {
+                None => unclosed += 1,
+                Some(secs) => phase_secs.entry(s.phase.clone()).or_default().push(secs),
+            }
+            if s.parent != *trace_id && !known.contains(s.parent.as_str()) {
+                orphans += 1;
+            }
+        }
+        if !no_times {
+            line.push_str(&format!(", {}", fmt_ms(total)));
+        }
+        let _ = writeln!(out, "{line}");
+        if tree {
+            // Depth-first from each root; children in deterministic
+            // (source, line) order. A stack of (span index, depth).
+            let mut children: std::collections::HashMap<&str, Vec<usize>> =
+                std::collections::HashMap::new();
+            for &i in members {
+                children.entry(spans[i].parent.as_str()).or_default().push(i);
+            }
+            for v in children.values_mut() {
+                v.sort_by_key(|&i| spans[i].order);
+            }
+            let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&i| (i, 1)).collect();
+            let mut printed: std::collections::HashSet<usize> = std::collections::HashSet::new();
+            while let Some((i, depth)) = stack.pop() {
+                if !printed.insert(i) {
+                    continue; // defensive: a parent cycle would loop forever
+                }
+                let s = &spans[i];
+                let mut row = format!("{:indent$}{}", "", s.phase, indent = depth * 2);
+                if let Some(shard) = s.shard {
+                    row.push_str(&format!(" shard={shard}"));
+                }
+                if let Some(st) = &s.status {
+                    row.push_str(&format!(" status={st}"));
+                }
+                if let Some(r) = &s.reason {
+                    row.push_str(&format!(" reason={r}"));
+                }
+                match s.secs {
+                    None => row.push_str(" [unclosed]"),
+                    Some(secs) if !no_times => {
+                        row.push_str(&format!("  {}", fmt_ms(secs)));
+                    }
+                    Some(_) => {}
+                }
+                let _ = writeln!(out, "{row}");
+                if let Some(kids) = children.get(s.span.as_str()) {
+                    for &k in kids.iter().rev() {
+                        stack.push((k, depth + 1));
+                    }
+                }
+            }
+            // Orphans are unreachable from any root — list them flat so the
+            // tree never silently hides a span.
+            let mut lost: Vec<usize> = members
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    spans[i].parent != *trace_id && !known.contains(spans[i].parent.as_str())
+                })
+                .collect();
+            lost.sort_by_key(|&i| spans[i].order);
+            for i in lost {
+                let s = &spans[i];
+                let _ = writeln!(out, "  {} [orphan: parent {} unknown]", s.phase, s.parent);
+            }
+        }
+    }
+
+    // Per-phase latency distribution across every closed span.
+    if !no_times && !phase_secs.is_empty() {
+        let pct = |sorted: &[f64], p: f64| {
+            let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+            sorted[idx]
+        };
+        let _ = writeln!(
+            out,
+            "\n{:<16} {:>6} {:>10} {:>10} {:>10}",
+            "phase", "count", "p50_ms", "p95_ms", "p99_ms"
+        );
+        for (phase, secs) in &mut phase_secs {
+            secs.sort_by(f64::total_cmp);
+            let _ = writeln!(
+                out,
+                "{:<16} {:>6} {:>10.3} {:>10.3} {:>10.3}",
+                phase,
+                secs.len(),
+                pct(secs, 0.50) * 1e3,
+                pct(secs, 0.95) * 1e3,
+                pct(secs, 0.99) * 1e3,
+            );
+        }
+    }
+    if !no_times && exemplars > 0 {
+        let (t, w) = worst_exemplar.expect("exemplars counted");
+        let _ = writeln!(out, "\nexemplars: {exemplars} recorded, worst {} (trace {t})", fmt_ms(w));
+    }
+    let _ = writeln!(
+        out,
+        "\n{} trace(s), {} span(s); {orphans} orphan(s), {unclosed} unclosed, {malformed} malformed",
+        traces.len(),
+        spans.len(),
+    );
+    if strict && (orphans > 0 || unclosed > 0 || malformed > 0) {
+        return Err(format!(
+            "trace --strict: {orphans} orphan(s), {unclosed} unclosed span(s), {malformed} malformed event(s)"
+        ));
+    }
+    Ok(())
 }
 
 const USAGE: &str = "\
@@ -236,13 +563,27 @@ USAGE:
                     [--nan-frac F] [--seed N] [--out FILE]
                     [--burst K] [--hot-nodes H] [--shard-skew S [--shards N]]
   stuq telemetry dump|validate --dir DIR
+  stuq trace DIR... [--tree] [--no-times] [--strict]
 
 Every command also accepts [--telemetry-dir DIR] [--telemetry-level off|summary|trace]
-(default summary). With a directory, the run writes events.jsonl (checksummed
-JSONL event log), metrics.prom (Prometheus text exposition) and manifest.json
-(seed, config hash, thread count, phase timings); `stuq telemetry dump`
-pretty-prints them and `stuq telemetry validate` checks the event log.
-Telemetry is a pure observer — any level produces bit-identical models.
+(default summary) and [--telemetry-max-mb N]. With a directory, the run writes
+events.jsonl (checksummed JSONL event log), metrics.prom (Prometheus text
+exposition) and manifest.json (seed, config hash, thread count, phase
+timings); past N MiB the event log rolls into checksummed events-NNNNN.jsonl
+segments. `stuq telemetry dump` pretty-prints them and `stuq telemetry
+validate` checks the joined segment+tail log. Telemetry is a pure observer —
+any level produces bit-identical models.
+
+Tracing (DESIGN.md §15): at --telemetry-level trace every request carries a
+deterministic trace id; the router, its workers (one telemetry subdirectory
+worker-N each) and solo servers emit span events for admission, batching,
+cache, compute, scatter/gather and merge. `stuq trace DIR` joins the logs
+into per-request timelines: --tree prints each request's span tree with
+per-shard status/reason attribution, --no-times strips wall-clock numbers
+(the remaining structure is byte-stable across reruns of a seeded workload)
+and --strict exits nonzero on orphaned, unclosed or malformed spans. A
+router answers {\"type\":\"cluster-metrics\"} with counters merged across
+itself and every live worker, and writes cluster_metrics.prom.
 
 Fault tolerance (DESIGN.md §8): with --checkpoint-dir, train writes crash-safe
 checkpoints every --checkpoint-every epochs; --epoch-budget pauses after N
@@ -700,18 +1041,28 @@ fn cmd_serve_router(a: &Args) -> Result<(), CliError> {
         "batch-wait-ms",
         "cache-ttl-ms",
         "cache-cap",
+        // Workers inherit the telemetry level and rollover bound; the
+        // directory itself is per-worker (below) so event logs never
+        // interleave and `stuq trace` can attribute spans to shards.
+        "telemetry-level",
+        "telemetry-max-mb",
     ] {
         if let Some(v) = a.get(key) {
             base_args.push(format!("--{key}"));
             base_args.push(v.to_string());
         }
     }
+    let telemetry_dir = a.get("telemetry-dir").map(PathBuf::from);
     let workers: Vec<Box<dyn ShardWorker>> = (0..shards)
         .map(|s| {
             let socket = worker_dir.join(format!("worker-{s}.sock"));
             let mut args = base_args.clone();
             args.push("--socket".into());
             args.push(socket.display().to_string());
+            if let Some(d) = &telemetry_dir {
+                args.push("--telemetry-dir".into());
+                args.push(d.join(format!("worker-{s}")).display().to_string());
+            }
             Box::new(ProcWorker::spawn(WorkerSpec {
                 shard: s,
                 shards,

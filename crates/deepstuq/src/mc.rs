@@ -158,6 +158,8 @@ pub fn mc_forecast_with_cov(
         let secs = t0.elapsed().as_secs_f64();
         let m = stuq_obs::metrics();
         m.mc_forecast_seconds.record(secs);
+        // The whole fan-out is one sample batch from the tracing view.
+        m.mc_sample_seconds.record(secs);
         if secs > 0.0 {
             m.mc_samples_per_sec.set(n_samples as f64 / secs);
         }
@@ -339,6 +341,7 @@ pub fn mc_forecast_batch(
         let secs = t0.elapsed().as_secs_f64();
         let m = stuq_obs::metrics();
         m.mc_forecast_seconds.record(secs);
+        m.mc_sample_seconds.record(secs);
         if secs > 0.0 {
             m.mc_samples_per_sec.set(flat.len() as f64 / secs);
         }
@@ -404,11 +407,18 @@ pub fn mc_forecast_anytime_batch(
             break;
         }
         let items_ro: &[McBatchItem<'_>] = items;
+        let round_t0 = t0.is_some().then(std::time::Instant::now);
         let passes = stuq_parallel::par_map(runners.len(), |k| {
             let i = runners[k];
             let item = &items_ro[i];
             run_pass(model, item.x, item.cov, &streams[i][round], item.n_samples == 1)
         });
+        if let Some(rt0) = round_t0 {
+            // One round = one MC sample batch (pass `round` for every still-
+            // admitted item): the per-batch distribution `stuq trace` and the
+            // serving timeline attribute group compute to.
+            stuq_obs::metrics().mc_sample_seconds.record(rt0.elapsed().as_secs_f64());
+        }
         for (k, pass) in passes.into_iter().enumerate() {
             let i = runners[k];
             samples[i].push(pass);

@@ -345,12 +345,27 @@ pub const SCHEMA: &[(&str, &[&str])] = &[
     ("cluster_reload_prepare", &["checksum", "acks"]),
     ("cluster_reload_commit", &["checksum"]),
     ("cluster_reload_abort", &["checksum", "reason"]),
+    // Distributed request tracing (DESIGN.md §15). `trace`/`span`/`parent`
+    // are 16-hex-digit ids; a root span's parent is its trace id, and a
+    // scatter-RPC child span on a worker carries the router's span id.
+    ("span_start", &["trace", "span", "parent", "phase"]),
+    ("span_end", &["trace", "span", "seconds"]),
+    ("trace_exemplar", &["trace", "seconds"]),
+    ("cluster_scrape", &["workers", "scraped"]),
 ];
 
 /// Fields that must be strings; every other schema field must be numeric
 /// (where the non-finite markers "NaN"/"inf"/"-inf" count as numeric).
-const STRING_FIELDS: &[&str] =
-    &["type", "stage", "cmd", "level", "path", "message", "reason", "checksum"];
+const STRING_FIELDS: &[&str] = &[
+    "type", "stage", "cmd", "level", "path", "message", "reason", "checksum", "trace", "span",
+    "parent", "phase", "status", "req",
+];
+
+/// A well-formed trace/span id: exactly 16 lowercase hex digits (the
+/// rendering of a nonzero `u64` by `crate::trace::fmt_id`).
+fn is_span_id(s: &str) -> bool {
+    s.len() == 16 && s.bytes().all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
 
 fn is_numericish(v: &JsonVal) -> bool {
     match v {
@@ -396,21 +411,43 @@ pub fn validate_line(line: &str) -> Result<(), String> {
             ));
         }
     }
+    // Span ids must be well-formed hex wherever they appear on trace events.
+    if matches!(ty.as_str(), "span_start" | "span_end" | "trace_exemplar") {
+        for k in ["trace", "span", "parent"] {
+            if let Some(JsonVal::Str(s)) = get(k) {
+                if !is_span_id(s) {
+                    return Err(format!("event {ty:?} field {k:?} is not a 16-hex id: {s:?}"));
+                }
+            }
+        }
+    }
     Ok(())
 }
 
 /// Validates a whole event-log payload (checksum trailer already stripped by
 /// `stuq_artifact::read_verified`). Returns the number of validated events.
-/// Enforces strictly increasing `seq` across the file.
+/// Enforces strictly increasing `seq` across the file, and span pairing:
+/// a `span_end` must follow the `span_start` with the same `(trace, span)`
+/// (so starts always precede ends), and a span id may start only once.
+/// Unclosed spans are allowed — they are the crash evidence a SIGKILL'd
+/// worker leaves behind, and `stuq trace` reports them.
 pub fn validate_events(payload: &str) -> Result<u64, String> {
     let mut n = 0u64;
     let mut last_seq: Option<f64> = None;
+    // (trace, span) → closed yet? Insertion means a span_start was seen.
+    let mut spans: Vec<((String, String), bool)> = Vec::new();
     for (i, line) in payload.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         validate_line(line).map_err(|e| format!("line {}: {e}: {line}", i + 1))?;
         let pairs = parse_line(line).expect("validated line reparses");
+        let get = |k: &str| {
+            pairs.iter().find_map(|(key, v)| match v {
+                JsonVal::Str(s) if key == k => Some(s.clone()),
+                _ => None,
+            })
+        };
         let seq = pairs
             .iter()
             .find_map(|(k, v)| match (k.as_str(), v) {
@@ -424,6 +461,32 @@ pub fn validate_events(payload: &str) -> Result<u64, String> {
             }
         }
         last_seq = Some(seq);
+        match get("type").as_deref() {
+            Some("span_start") => {
+                let key = (get("trace").unwrap(), get("span").unwrap());
+                if spans.iter().any(|(k, _)| *k == key) {
+                    return Err(format!("line {}: span {} started twice", i + 1, key.1));
+                }
+                spans.push((key, false));
+            }
+            Some("span_end") => {
+                let key = (get("trace").unwrap(), get("span").unwrap());
+                match spans.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, closed @ false)) => *closed = true,
+                    Some(_) => {
+                        return Err(format!("line {}: span {} ended twice", i + 1, key.1));
+                    }
+                    None => {
+                        return Err(format!(
+                            "line {}: span_end for {} without a prior span_start",
+                            i + 1,
+                            key.1
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
         n += 1;
     }
     Ok(n)
@@ -496,6 +559,65 @@ mod tests {
         let wrong_type =
             Event::new("fatal").num("message", 3.0).uint("exit_code", 1).render(0, 0, "x", 0);
         assert!(validate_line(&wrong_type).unwrap_err().contains("wrong type"));
+    }
+
+    fn start(trace: &str, span: &str, parent: &str, t: u64, seq: u64) -> String {
+        Event::new("span_start")
+            .str("trace", trace)
+            .str("span", span)
+            .str("parent", parent)
+            .str("phase", "request")
+            .render(t, seq, "serve", 0)
+    }
+
+    fn end(trace: &str, span: &str, t: u64, seq: u64) -> String {
+        Event::new("span_end")
+            .str("trace", trace)
+            .str("span", span)
+            .num("seconds", 0.001)
+            .render(t, seq, "serve", 0)
+    }
+
+    #[test]
+    fn span_events_validate_and_require_hex_ids() {
+        const T: &str = "00000000deadbeef";
+        const S: &str = "00000000cafef00d";
+        validate_line(&start(T, S, T, 0, 0)).unwrap();
+        validate_line(&end(T, S, 1, 1)).unwrap();
+        let bad = Event::new("span_start")
+            .str("trace", "not-hex")
+            .str("span", S)
+            .str("parent", T)
+            .str("phase", "request")
+            .render(0, 0, "serve", 0);
+        assert!(validate_line(&bad).unwrap_err().contains("16-hex"));
+        let missing_parent = Event::new("span_start")
+            .str("trace", T)
+            .str("span", S)
+            .str("phase", "request")
+            .render(0, 0, "serve", 0);
+        assert!(validate_line(&missing_parent).unwrap_err().contains("parent"));
+    }
+
+    #[test]
+    fn span_pairing_is_enforced_across_the_file() {
+        const T: &str = "00000000deadbeef";
+        const S: &str = "00000000cafef00d";
+        let ok = format!("{}{}", start(T, S, T, 0, 0), end(T, S, 1, 1));
+        assert_eq!(validate_events(&ok).unwrap(), 2);
+        // An unclosed span is crash evidence, not an error.
+        let unclosed = start(T, S, T, 0, 0);
+        assert_eq!(validate_events(&unclosed).unwrap(), 1);
+        // An end before (or without) its start is an error.
+        let orphan_end = end(T, S, 0, 0);
+        assert!(validate_events(&orphan_end).unwrap_err().contains("without a prior span_start"));
+        let swapped = format!("{}{}", end(T, S, 0, 0), start(T, S, T, 1, 1));
+        assert!(validate_events(&swapped).is_err());
+        // Restarting or re-ending one span id is an error.
+        let twice = format!("{}{}", start(T, S, T, 0, 0), start(T, S, T, 1, 1));
+        assert!(validate_events(&twice).unwrap_err().contains("started twice"));
+        let double_end = format!("{}{}{}", start(T, S, T, 0, 0), end(T, S, 1, 1), end(T, S, 2, 2));
+        assert!(validate_events(&double_end).unwrap_err().contains("ended twice"));
     }
 
     #[test]

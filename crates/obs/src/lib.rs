@@ -29,6 +29,7 @@
 pub mod events;
 pub mod manifest;
 pub mod metrics;
+pub mod trace;
 
 pub use events::{parse_line, validate_events, validate_line, Event, JsonVal};
 pub use manifest::{git_describe, PhaseTiming, RunManifest};
@@ -133,6 +134,13 @@ struct Recorder {
     t0: Instant,
     stage: &'static str,
     epoch: u64,
+    /// Buffered-event byte bound; exceeding it seals the buffer into a
+    /// checksummed `events-NNNNN.jsonl` segment (None = unbounded).
+    roll_bytes: Option<u64>,
+    /// Bytes currently buffered in `lines`.
+    bytes: u64,
+    /// Next segment number to seal.
+    segment: u64,
 }
 
 fn recorder() -> MutexGuard<'static, Recorder> {
@@ -146,6 +154,9 @@ fn recorder() -> MutexGuard<'static, Recorder> {
                 t0: Instant::now(),
                 stage: "init",
                 epoch: 0,
+                roll_bytes: None,
+                bytes: 0,
+                segment: 1,
             })
         })
         .lock()
@@ -154,7 +165,8 @@ fn recorder() -> MutexGuard<'static, Recorder> {
 
 /// (Re)initialises the recorder for a run: sets the level, points the sinks
 /// at `dir` (None = in-memory only, events are dropped), clears buffered
-/// events, resets all metrics and span aggregates, and restarts the clock.
+/// events and any stale rolled segments, resets all metrics, span
+/// aggregates and exemplar state, and restarts the clock.
 pub fn init(dir: Option<&Path>, level: Level) {
     set_level(level);
     let mut r = recorder();
@@ -164,9 +176,45 @@ pub fn init(dir: Option<&Path>, level: Level) {
     r.t0 = Instant::now();
     r.stage = "init";
     r.epoch = 0;
+    r.roll_bytes = None;
+    r.bytes = 0;
+    r.segment = 1;
     drop(r);
+    if let Some(dir) = dir {
+        for seg in segment_files(dir) {
+            let _ = std::fs::remove_file(seg);
+        }
+    }
     METRICS.reset();
     spans().clear();
+    trace::reset();
+}
+
+/// Bounds the in-memory event buffer: once the buffered lines exceed
+/// `bytes`, they are sealed to a checksummed `events-NNNNN.jsonl` segment in
+/// the sink directory and the buffer restarts (seq continues). `None`
+/// removes the bound. Long-running serve loops use this so the event log
+/// cannot grow without limit.
+pub fn set_events_roll_bytes(bytes: Option<u64>) {
+    recorder().roll_bytes = bytes.map(|b| b.max(1));
+}
+
+/// Rolled event-log segments in `dir`, in seal order (the live tail is
+/// [`EVENTS_FILE`]; readers consume segments first, then the tail).
+pub fn segment_files(dir: &Path) -> Vec<PathBuf> {
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("events-") && n.ends_with(".jsonl"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    segs.sort();
+    segs
 }
 
 /// Telemetry sink directory, if one was configured via [`init`].
@@ -199,7 +247,27 @@ pub fn emit(ev: Event) {
     let seq = r.seq;
     let line = ev.render(t_ms, seq, r.stage, r.epoch);
     r.seq += 1;
+    r.bytes += line.len() as u64;
     r.lines.push(line);
+    if r.roll_bytes.is_some_and(|max| r.bytes >= max) {
+        roll_segment(&mut r);
+    }
+}
+
+/// Seals the buffered lines into the next checksummed segment file. On a
+/// write failure the buffer is kept (and retried on the next emit) so
+/// events are never dropped silently.
+fn roll_segment(r: &mut Recorder) {
+    let Some(dir) = r.dir.clone() else {
+        return;
+    };
+    let path = dir.join(format!("events-{:05}.jsonl", r.segment));
+    let payload: String = r.lines.concat();
+    if stuq_artifact::write_atomic_checksummed(path, payload.as_bytes()).is_ok() {
+        r.segment += 1;
+        r.lines.clear();
+        r.bytes = 0;
+    }
 }
 
 /// Flushes the buffered event log and the metric exposition to the sink
@@ -207,6 +275,7 @@ pub fn emit(ev: Event) {
 /// (`stuq_artifact::write_atomic_checksummed`), so readers always see a
 /// complete, verifiable file. No-op without a sink directory.
 pub fn flush() -> io::Result<()> {
+    trace::flush_exemplars();
     let r = recorder();
     let Some(dir) = r.dir.clone() else {
         return Ok(());
@@ -420,6 +489,54 @@ mod tests {
         flush().unwrap();
         let payload = stuq_artifact::read_verified(dir.join(EVENTS_FILE)).unwrap();
         assert_eq!(validate_events(std::str::from_utf8(&payload).unwrap()).unwrap(), 2);
+        init(None, Level::Summary);
+    }
+
+    #[test]
+    fn event_log_rolls_into_checksummed_segments() {
+        let _l = test_lock();
+        let dir = tmpdir("roll");
+        std::fs::remove_file(dir.join(EVENTS_FILE)).ok();
+        init(Some(&dir), Level::Summary);
+        set_events_roll_bytes(Some(256));
+        for _ in 0..24 {
+            emit(Event::new("eval").uint("windows", 1));
+        }
+        flush().unwrap();
+        let segs = segment_files(&dir);
+        assert!(segs.len() >= 2, "24 events over a 256-byte bound must roll");
+        // Segments then the live tail concatenate into one valid stream —
+        // seq stays strictly increasing across the roll boundaries.
+        let mut files = segs.clone();
+        files.push(dir.join(EVENTS_FILE));
+        let mut text = String::new();
+        for p in &files {
+            text.push_str(&String::from_utf8(stuq_artifact::read_verified(p).unwrap()).unwrap());
+        }
+        assert_eq!(validate_events(&text).unwrap(), 24);
+        // Re-init clears stale segments so a new run cannot mix with them.
+        init(Some(&dir), Level::Summary);
+        assert!(segment_files(&dir).is_empty());
+        init(None, Level::Summary);
+    }
+
+    #[test]
+    fn exemplar_events_flush_for_partial_windows() {
+        let _l = test_lock();
+        let dir = tmpdir("exemplar");
+        init(Some(&dir), Level::Trace);
+        for i in 0..7u64 {
+            trace::note_request(trace::derive_trace_id(3, i), 0.001 * (i + 1) as f64);
+        }
+        flush().unwrap();
+        let text = String::from_utf8(stuq_artifact::read_verified(dir.join(EVENTS_FILE)).unwrap())
+            .unwrap();
+        let n = text.matches("\"type\":\"trace_exemplar\"").count();
+        assert_eq!(n, 4, "partial window keeps only the worst-N: {text}");
+        // The slowest request of the window is among the exemplars.
+        assert!(text.contains(&trace::fmt_id(trace::derive_trace_id(3, 6))), "{text}");
+        validate_events(&text).unwrap();
+        assert_eq!(metrics().trace_exemplars.get(), 4);
         init(None, Level::Summary);
     }
 

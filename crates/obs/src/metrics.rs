@@ -436,6 +436,30 @@ pub struct Metrics {
     pub cluster_reload_commits: Counter,
     /// Two-phase cluster reloads aborted (validation, skew, or worker nack).
     pub cluster_reload_aborts: Counter,
+
+    // --- stuq-serve: request tracing (trace level only) ---------------------
+    /// Spans opened (`span_start` events emitted).
+    pub trace_spans: Counter,
+    /// Slow-request exemplar events emitted (worst-N per window).
+    pub trace_exemplars: Counter,
+    /// `cluster-metrics` scrapes served by the router.
+    pub cluster_scrapes: Counter,
+    /// Seconds a forecast line waited between arrival and pickup.
+    pub serve_admission_seconds: Histogram,
+    /// Seconds a forecast line dwelled in the batcher window.
+    pub serve_batch_dwell_seconds: Histogram,
+    /// Seconds per forecast-cache probe.
+    pub serve_cache_probe_seconds: Histogram,
+    /// Seconds per shared-MC group compute.
+    pub serve_compute_seconds: Histogram,
+    /// Seconds spent rendering responses per batch.
+    pub serve_render_seconds: Histogram,
+    /// Seconds per scatter RPC to one shard (router side).
+    pub cluster_shard_rpc_seconds: Histogram,
+    /// Seconds merging shard responses per request (router side).
+    pub cluster_merge_seconds: Histogram,
+    /// Seconds per Monte-Carlo sample batch inside a forecast.
+    pub mc_sample_seconds: Histogram,
 }
 
 impl Metrics {
@@ -504,6 +528,17 @@ impl Metrics {
             serve_partial: Counter::new(),
             cluster_reload_commits: Counter::new(),
             cluster_reload_aborts: Counter::new(),
+            trace_spans: Counter::new(),
+            trace_exemplars: Counter::new(),
+            cluster_scrapes: Counter::new(),
+            serve_admission_seconds: Histogram::new(),
+            serve_batch_dwell_seconds: Histogram::new(),
+            serve_cache_probe_seconds: Histogram::new(),
+            serve_compute_seconds: Histogram::new(),
+            serve_render_seconds: Histogram::new(),
+            cluster_shard_rpc_seconds: Histogram::new(),
+            cluster_merge_seconds: Histogram::new(),
+            mc_sample_seconds: Histogram::new(),
         }
     }
 
@@ -525,9 +560,11 @@ impl Metrics {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} summary\n"));
             if hist.count() > 0 {
                 out.push_str(&format!(
-                    "{name}{{quantile=\"0.5\"}} {}\n{name}{{quantile=\"0.95\"}} {}\n",
+                    "{name}{{quantile=\"0.5\"}} {}\n{name}{{quantile=\"0.95\"}} \
+                     {}\n{name}{{quantile=\"0.99\"}} {}\n",
                     hist.quantile(0.5),
-                    hist.quantile(0.95)
+                    hist.quantile(0.95),
+                    hist.quantile(0.99)
                 ));
                 out.push_str(&format!("{name}_min {}\n{name}_max {}\n", hist.min(), hist.max()));
             }
@@ -891,7 +928,119 @@ impl Metrics {
             "two-phase cluster reloads aborted",
             self.cluster_reload_aborts.get(),
         );
+        c(&mut out, "stuq_trace_spans_total", "spans opened", self.trace_spans.get());
+        c(
+            &mut out,
+            "stuq_trace_exemplars_total",
+            "slow-request exemplar events emitted",
+            self.trace_exemplars.get(),
+        );
+        c(
+            &mut out,
+            "stuq_cluster_scrapes_total",
+            "cluster-metrics scrapes served",
+            self.cluster_scrapes.get(),
+        );
+        h(
+            &mut out,
+            "stuq_serve_admission_seconds",
+            "seconds a forecast waited before pickup (trace)",
+            &self.serve_admission_seconds,
+        );
+        h(
+            &mut out,
+            "stuq_serve_batch_dwell_seconds",
+            "seconds a forecast dwelled in the batcher (trace)",
+            &self.serve_batch_dwell_seconds,
+        );
+        h(
+            &mut out,
+            "stuq_serve_cache_probe_seconds",
+            "seconds per forecast-cache probe (trace)",
+            &self.serve_cache_probe_seconds,
+        );
+        h(
+            &mut out,
+            "stuq_serve_compute_seconds",
+            "seconds per shared-MC group compute (trace)",
+            &self.serve_compute_seconds,
+        );
+        h(
+            &mut out,
+            "stuq_serve_render_seconds",
+            "seconds rendering responses per batch (trace)",
+            &self.serve_render_seconds,
+        );
+        h(
+            &mut out,
+            "stuq_cluster_shard_rpc_seconds",
+            "seconds per scatter RPC to one shard (trace)",
+            &self.cluster_shard_rpc_seconds,
+        );
+        h(
+            &mut out,
+            "stuq_cluster_merge_seconds",
+            "seconds merging shard responses (trace)",
+            &self.cluster_merge_seconds,
+        );
+        h(
+            &mut out,
+            "stuq_mc_sample_seconds",
+            "seconds per MC sample batch (trace)",
+            &self.mc_sample_seconds,
+        );
         out
+    }
+
+    /// Every counter in the catalog as `(exposition name, value)` pairs, in
+    /// exposition order. This is what the router's `cluster-metrics` scrape
+    /// ships and sums across workers; the
+    /// `counters_stay_in_lock_step_with_exposition` test keeps it complete.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("stuq_pool_fanouts_total", self.pool_fanouts.get()),
+            ("stuq_pool_chunks_total", self.pool_chunks.get()),
+            ("stuq_pool_inline_total", self.pool_inline.get()),
+            ("stuq_backward_runs_total", self.backward_runs.get()),
+            ("stuq_backward_levels_total", self.backward_levels.get()),
+            ("stuq_backward_nodes_total", self.backward_nodes.get()),
+            ("stuq_backward_edge_slots_total", self.backward_edge_slots.get()),
+            ("stuq_backward_replay_hits_total", self.replay_hits.get()),
+            ("stuq_backward_replay_compiles_total", self.replay_compiles.get()),
+            ("stuq_backward_replay_fused_chains_total", self.replay_fused_chains.get()),
+            ("stuq_backward_replay_fused_nodes_total", self.replay_fused_nodes.get()),
+            ("stuq_kernel_matmul_total", self.kernel_matmul.get()),
+            ("stuq_kernel_matmul_tb_total", self.kernel_matmul_tb.get()),
+            ("stuq_kernel_matmul_ta_total", self.kernel_matmul_ta.get()),
+            ("stuq_kernel_rowwise_total", self.kernel_rowwise.get()),
+            ("stuq_opt_steps_total", self.opt_steps.get()),
+            ("stuq_train_batches_total", self.train_batches.get()),
+            ("stuq_train_nonfinite_batches_total", self.train_nonfinite_batches.get()),
+            ("stuq_guard_trips_total", self.guard_trips.get()),
+            ("stuq_guard_skips_total", self.guard_skips.get()),
+            ("stuq_guard_rewinds_total", self.guard_rewinds.get()),
+            ("stuq_mc_samples_total", self.mc_samples.get()),
+            ("stuq_eval_windows_total", self.eval_windows.get()),
+            ("stuq_serve_requests_total", self.serve_requests.get()),
+            ("stuq_serve_shed_total", self.serve_shed.get()),
+            ("stuq_serve_degraded_total", self.serve_degraded.get()),
+            ("stuq_serve_fallback_total", self.serve_fallback.get()),
+            ("stuq_serve_reloads_total", self.serve_reloads.get()),
+            ("stuq_serve_reload_rollbacks_total", self.serve_reload_rollbacks.get()),
+            ("stuq_serve_batches_total", self.serve_batches.get()),
+            ("stuq_serve_cache_hits_total", self.serve_cache_hits.get()),
+            ("stuq_serve_cache_misses_total", self.serve_cache_misses.get()),
+            ("stuq_serve_cache_evictions_total", self.serve_cache_evictions.get()),
+            ("stuq_serve_cache_invalidations_total", self.serve_cache_invalidations.get()),
+            ("stuq_cluster_restarts_total", self.cluster_restarts.get()),
+            ("stuq_cluster_rpc_failures_total", self.cluster_rpc_failures.get()),
+            ("stuq_serve_partial_total", self.serve_partial.get()),
+            ("stuq_cluster_reload_commits_total", self.cluster_reload_commits.get()),
+            ("stuq_cluster_reload_aborts_total", self.cluster_reload_aborts.get()),
+            ("stuq_trace_spans_total", self.trace_spans.get()),
+            ("stuq_trace_exemplars_total", self.trace_exemplars.get()),
+            ("stuq_cluster_scrapes_total", self.cluster_scrapes.get()),
+        ]
     }
 
     /// Resets every metric (tests and per-run isolation).
@@ -958,6 +1107,17 @@ impl Metrics {
         self.serve_partial.reset();
         self.cluster_reload_commits.reset();
         self.cluster_reload_aborts.reset();
+        self.trace_spans.reset();
+        self.trace_exemplars.reset();
+        self.cluster_scrapes.reset();
+        self.serve_admission_seconds.reset();
+        self.serve_batch_dwell_seconds.reset();
+        self.serve_cache_probe_seconds.reset();
+        self.serve_compute_seconds.reset();
+        self.serve_render_seconds.reset();
+        self.cluster_shard_rpc_seconds.reset();
+        self.cluster_merge_seconds.reset();
+        self.mc_sample_seconds.reset();
     }
 }
 
@@ -1047,6 +1207,51 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle:?} in exposition:\n{text}");
         }
+    }
+
+    #[test]
+    fn summaries_export_p99() {
+        let m = Metrics::new();
+        for i in 1..=100 {
+            m.serve_request_seconds.record(i as f64 * 1e-3);
+        }
+        let text = m.expose();
+        assert!(
+            text.contains("stuq_serve_request_seconds{quantile=\"0.99\"}"),
+            "missing p99 line:\n{text}"
+        );
+    }
+
+    #[test]
+    fn counters_stay_in_lock_step_with_exposition() {
+        let m = Metrics::new();
+        m.serve_requests.add(7);
+        m.trace_spans.add(2);
+        let counters = m.counters();
+        let text = m.expose();
+        // Every catalog counter appears in counters() with its current value…
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let Some((name, value)) = line.split_once(' ') else { continue };
+            if !name.ends_with("_total") {
+                continue;
+            }
+            let got = counters.iter().find(|(n, _)| *n == name);
+            assert!(got.is_some(), "counter {name} exposed but missing from counters()");
+            assert_eq!(got.unwrap().1.to_string(), value, "{name} value mismatch");
+        }
+        // …and counters() lists nothing the exposition does not.
+        for (name, _) in &counters {
+            assert!(
+                text.contains(&format!("\n{name} ")),
+                "counters() lists {name} but expose() does not"
+            );
+        }
+        let exposed = text
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .filter(|l| l.split_once(' ').is_some_and(|(n, _)| n.ends_with("_total")))
+            .count();
+        assert_eq!(exposed, counters.len(), "counter count drifted");
     }
 
     #[test]

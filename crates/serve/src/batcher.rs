@@ -24,7 +24,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::cache::SeedDerivation;
 
@@ -32,8 +32,10 @@ use crate::cache::SeedDerivation;
 pub(crate) enum Popped {
     /// A control request (healthz/reload/drain/shutdown) — never shed.
     Control(String),
-    /// An admitted forecast line.
-    Forecast(String),
+    /// An admitted forecast line, stamped with its admission instant so the
+    /// tracer can attribute queue wait (DESIGN.md §15). The stamp feeds
+    /// telemetry only — never the logical clock or the response bytes.
+    Forecast(String, Instant),
     /// Nothing arrived within the timeout (idle tick).
     TimedOut,
     /// Reader hit end of input and both lanes are empty.
@@ -42,8 +44,8 @@ pub(crate) enum Popped {
 
 /// A forecast-lane-only pop (fake-clock gathering ignores control).
 pub(crate) enum ForecastPop {
-    /// The next admitted forecast line.
-    Line(String),
+    /// The next admitted forecast line and its admission instant.
+    Line(String, Instant),
     /// Nothing on the forecast lane within the timeout.
     TimedOut,
     /// Input closed and the forecast lane is empty.
@@ -51,7 +53,7 @@ pub(crate) enum ForecastPop {
 }
 
 struct LaneState {
-    forecasts: VecDeque<String>,
+    forecasts: VecDeque<(String, Instant)>,
     control: VecDeque<String>,
     closed: bool,
 }
@@ -83,7 +85,7 @@ impl Lanes {
         if s.closed || s.forecasts.len() >= self.cap {
             return false;
         }
-        s.forecasts.push_back(line);
+        s.forecasts.push_back((line, Instant::now()));
         stuq_obs::metrics().serve_queue_depth.set(s.forecasts.len() as f64);
         self.cv.notify_all();
         true
@@ -106,9 +108,9 @@ impl Lanes {
             if let Some(line) = s.control.pop_front() {
                 return Popped::Control(line);
             }
-            if let Some(line) = s.forecasts.pop_front() {
+            if let Some((line, at)) = s.forecasts.pop_front() {
                 stuq_obs::metrics().serve_queue_depth.set(s.forecasts.len() as f64);
-                return Popped::Forecast(line);
+                return Popped::Forecast(line, at);
             }
             if s.closed {
                 return Popped::Closed;
@@ -130,9 +132,9 @@ impl Lanes {
     pub(crate) fn pop_forecast(&self, timeout: Duration) -> ForecastPop {
         let mut s = self.m.lock().unwrap();
         loop {
-            if let Some(line) = s.forecasts.pop_front() {
+            if let Some((line, at)) = s.forecasts.pop_front() {
                 stuq_obs::metrics().serve_queue_depth.set(s.forecasts.len() as f64);
-                return ForecastPop::Line(line);
+                return ForecastPop::Line(line, at);
             }
             if s.closed {
                 return ForecastPop::Closed;
@@ -158,8 +160,8 @@ impl Lanes {
         while let Some(line) = s.control.pop_front() {
             out.push(Popped::Control(line));
         }
-        while let Some(line) = s.forecasts.pop_front() {
-            out.push(Popped::Forecast(line));
+        while let Some((line, at)) = s.forecasts.pop_front() {
+            out.push(Popped::Forecast(line, at));
         }
         stuq_obs::metrics().serve_queue_depth.set(0.0);
         out
@@ -182,14 +184,15 @@ pub(crate) enum GatherEnd {
 /// Collects a batch starting from one already-popped forecast line.
 ///
 /// `fake_clock` selects the deterministic policy (see module docs). The
-/// returned lines are in admission order; `first` is always element 0.
+/// returned lines are in admission order with their admission instants;
+/// `first` is always element 0.
 pub(crate) fn gather(
     lanes: &Lanes,
-    first: String,
+    first: (String, Instant),
     batch_max: usize,
     batch_wait_ms: u64,
     fake_clock: bool,
-) -> (Vec<String>, Option<GatherEnd>) {
+) -> (Vec<(String, Instant)>, Option<GatherEnd>) {
     let mut batch = vec![first];
     if batch_max <= 1 {
         return (batch, None);
@@ -197,7 +200,7 @@ pub(crate) fn gather(
     if fake_clock {
         while batch.len() < batch_max {
             match lanes.pop_forecast(Duration::from_millis(25)) {
-                ForecastPop::Line(line) => batch.push(line),
+                ForecastPop::Line(line, at) => batch.push((line, at)),
                 // Keep waiting: composition must not depend on wall time.
                 ForecastPop::TimedOut => continue,
                 ForecastPop::Closed => return (batch, Some(GatherEnd::Closed)),
@@ -206,19 +209,19 @@ pub(crate) fn gather(
         (batch, None)
     } else {
         let start = std::time::Instant::now();
-        let mut window_ms = batch_wait_ms.min(deadline_of(&batch[0]).unwrap_or(u64::MAX));
+        let mut window_ms = batch_wait_ms.min(deadline_of(&batch[0].0).unwrap_or(u64::MAX));
         while batch.len() < batch_max {
             let elapsed = start.elapsed().as_millis() as u64;
             if elapsed >= window_ms {
                 break;
             }
             match lanes.pop(Duration::from_millis(window_ms - elapsed)) {
-                Popped::Forecast(line) => {
+                Popped::Forecast(line, at) => {
                     // The tightest member bounds the window for everyone.
                     if let Some(d) = deadline_of(&line) {
                         window_ms = window_ms.min(d);
                     }
-                    batch.push(line);
+                    batch.push((line, at));
                 }
                 Popped::Control(line) => return (batch, Some(GatherEnd::Control(line))),
                 Popped::TimedOut => break,
@@ -227,6 +230,17 @@ pub(crate) fn gather(
         }
         (batch, None)
     }
+}
+
+/// Wall-clock queue timings the serve loop hands to the batch handler
+/// purely for tracing (DESIGN.md §15). Telemetry-only by contract: nothing
+/// in the forecast pipeline reads these, so traced and untraced runs stay
+/// byte-identical modulo the trace-meta annotation.
+pub(crate) struct BatchTiming {
+    /// Per-member admission→processing wait in seconds, arrival order.
+    pub waits: Vec<f64>,
+    /// Gather-window duration shared by the whole batch, in seconds.
+    pub dwell_s: f64,
 }
 
 /// The deadline a forecast line carries, if any (window bounding only; the
@@ -341,12 +355,20 @@ mod tests {
         assert_eq!(g, vec![vec![0], vec![1]], "same hash, different bits: no sharing");
     }
 
+    fn stamped(line: &str) -> (String, Instant) {
+        (line.to_string(), Instant::now())
+    }
+
+    fn lines(batch: &[(String, Instant)]) -> Vec<&str> {
+        batch.iter().map(|(l, _)| l.as_str()).collect()
+    }
+
     #[test]
     fn gather_returns_singleton_when_batching_disabled() {
         let lanes = Lanes::new(4);
         lanes.try_push_forecast("f2".into());
-        let (batch, end) = gather(&lanes, "f1".into(), 1, 5, true);
-        assert_eq!(batch, vec!["f1".to_string()]);
+        let (batch, end) = gather(&lanes, stamped("f1"), 1, 5, true);
+        assert_eq!(lines(&batch), vec!["f1"]);
         assert!(end.is_none());
         assert_eq!(lanes.depth(), 1, "nothing else consumed");
     }
@@ -358,12 +380,12 @@ mod tests {
         for i in 2..=4 {
             lanes.try_push_forecast(format!("f{i}"));
         }
-        let (batch, end) = gather(&lanes, "f1".into(), 3, 5, true);
-        assert_eq!(batch, vec!["f1".to_string(), "f2".into(), "f3".into()]);
+        let (batch, end) = gather(&lanes, stamped("f1"), 3, 5, true);
+        assert_eq!(lines(&batch), vec!["f1", "f2", "f3"]);
         assert!(end.is_none());
         // Control is still queued and pops first afterwards.
         assert!(matches!(lanes.pop(Duration::from_millis(1)), Popped::Control(c) if c == "c"));
-        assert!(matches!(lanes.pop(Duration::from_millis(1)), Popped::Forecast(f) if f == "f4"));
+        assert!(matches!(lanes.pop(Duration::from_millis(1)), Popped::Forecast(f, _) if f == "f4"));
     }
 
     #[test]
@@ -371,7 +393,7 @@ mod tests {
         let lanes = Lanes::new(8);
         lanes.try_push_forecast("f2".into());
         lanes.close();
-        let (batch, end) = gather(&lanes, "f1".into(), 8, 5, true);
+        let (batch, end) = gather(&lanes, stamped("f1"), 8, 5, true);
         assert_eq!(batch.len(), 2);
         assert!(matches!(end, Some(GatherEnd::Closed)));
     }
@@ -380,12 +402,12 @@ mod tests {
     fn real_clock_gather_closes_on_window_and_control() {
         let lanes = Lanes::new(8);
         // Empty lane: the window expires and the singleton flushes.
-        let (batch, end) = gather(&lanes, "f1".into(), 8, 1, false);
+        let (batch, end) = gather(&lanes, stamped("f1"), 8, 1, false);
         assert_eq!(batch.len(), 1);
         assert!(end.is_none());
         // A control line ends the window early.
         lanes.push_control("c".into());
-        let (batch, end) = gather(&lanes, "f1".into(), 8, 50, false);
+        let (batch, end) = gather(&lanes, stamped("f1"), 8, 50, false);
         assert_eq!(batch.len(), 1);
         assert!(matches!(end, Some(GatherEnd::Control(c)) if c == "c"));
     }

@@ -84,7 +84,7 @@ use clock::Clock;
 use deepstuq::{DeepStuq, GaussianForecast, SampleBudget, UnlimitedBudget};
 use proto::{ForecastMeta, ForecastReq, Request};
 use stuq_models::Forecaster;
-use stuq_obs::Event;
+use stuq_obs::{trace, Event};
 use stuq_tensor::{StuqRng, Tensor};
 use stuq_traffic::Scaler;
 
@@ -438,7 +438,21 @@ impl Server {
             Ok(Request::AbortReload { id }) => {
                 LineOutcome { response: self.handle_abort_reload(&id), done: false }
             }
+            Ok(Request::Metrics { id }) => {
+                LineOutcome { response: self.handle_metrics(&id), done: false }
+            }
+            // A solo worker is its own whole cluster, so the cluster scrape
+            // degrades to the local dump (the router overrides with a merge).
+            Ok(Request::ClusterMetrics { id }) => {
+                LineOutcome { response: self.handle_metrics(&id), done: false }
+            }
         }
+    }
+
+    /// Counter scrape: the full metric catalog as `name → value` pairs, the
+    /// unit a router sums into its cluster-wide export (DESIGN.md §15).
+    fn handle_metrics(&self, id: &Option<String>) -> String {
+        proto::resp_metrics(id, &stuq_obs::metrics().counters())
     }
 
     /// Records a shed and renders the typed rejection.
@@ -597,11 +611,41 @@ impl Server {
     /// *group*, not per member; `samples_used` accounting likewise counts
     /// each shared run once.
     pub fn handle_forecast_batch(&mut self, reqs: &[ForecastReq]) -> Vec<String> {
+        self.handle_forecast_batch_timed(reqs, None)
+    }
+
+    /// [`Server::handle_forecast_batch`] with the serve loop's queue
+    /// timings attached for the tracer. `timing` is telemetry-only by
+    /// contract — nothing in the forecast pipeline branches on it — so a
+    /// traced run answers byte-identically to an untraced one modulo the
+    /// [`proto::strip_trace_meta`] annotation.
+    pub(crate) fn handle_forecast_batch_timed(
+        &mut self,
+        reqs: &[ForecastReq],
+        timing: Option<&batcher::BatchTiming>,
+    ) -> Vec<String> {
         let wall = std::time::Instant::now();
         let m = stuq_obs::metrics();
         let n = reqs.len();
         let meta_miss = ForecastMeta { batched: n > 1, batch_size: n, cache_hit: false };
         let meta_hit = ForecastMeta { batched: n > 1, batch_size: n, cache_hit: true };
+
+        // Trace context per member (DESIGN.md §15): the wire context when a
+        // router scattered to us, else derived from (seed, arrival index) —
+        // the same pair seedless RNG forks use — so a seeded rerun rebuilds
+        // the identical span tree.
+        struct MemberTrace {
+            trace: u64,
+            span: u64,
+            parent: u64,
+            arrival: u64,
+        }
+        let traced = stuq_obs::trace_enabled();
+        let mut spans: Vec<MemberTrace> = Vec::new();
+        let mut status: Vec<&'static str> = vec!["ok"; n];
+        let mut probed: Vec<bool> = vec![false; n];
+        let mut compute: Vec<Option<(usize, f64, &'static str)>> = vec![None; n];
+        let mut render_s: Vec<Option<f64>> = vec![None; n];
 
         let mut responses: Vec<Option<String>> = (0..n).map(|_| None).collect();
         let mut valids: Vec<Option<Valid>> = Vec::with_capacity(n);
@@ -614,7 +658,19 @@ impl Server {
                 Err(resp) => {
                     responses[i] = Some(resp);
                     valids.push(None);
+                    status[i] = "error";
                 }
+            }
+            if traced {
+                let trace =
+                    req.trace.unwrap_or_else(|| trace::derive_trace_id(self.cfg.seed, req_index));
+                let parent = req.span.unwrap_or(trace);
+                spans.push(MemberTrace {
+                    trace,
+                    span: trace::derive_span_id(parent, "serve", req_index),
+                    parent,
+                    arrival: req_index,
+                });
             }
         }
 
@@ -624,7 +680,9 @@ impl Server {
         // their RNG is not a pure function of the request — and do not
         // count as misses.
         let mut cache_hits: u64 = 0;
+        let mut probe_s: Option<f64> = None;
         if self.cache_enabled() {
+            let probe_t0 = std::time::Instant::now();
             let now = self.clock.now_ms();
             for i in 0..n {
                 if responses[i].is_some() {
@@ -632,6 +690,7 @@ impl Server {
                 }
                 let Some(v) = &valids[i] else { continue };
                 let Some(deriv) = v.seed.derivation() else { continue };
+                probed[i] = true;
                 let key = CacheKey {
                     generation: self.generation,
                     tick: v.tick,
@@ -647,6 +706,7 @@ impl Server {
                     Some((mu, sigma, used)) => {
                         cache_hits += 1;
                         m.serve_cache_hits.inc();
+                        status[i] = "cache_hit";
                         responses[i] = Some(self.render_forecast(
                             &reqs[i].id,
                             used,
@@ -662,6 +722,9 @@ impl Server {
                 }
             }
             m.serve_cache_entries.set(self.cache.len() as f64);
+            let secs = probe_t0.elapsed().as_secs_f64();
+            m.serve_cache_probe_seconds.record(secs);
+            probe_s = Some(secs);
         }
 
         // Share-key grouping of what still needs compute.
@@ -684,7 +747,7 @@ impl Server {
         );
 
         // One anytime-MC run per group, in first-arrival order.
-        for g in &groups {
+        for (gi, g) in groups.iter().enumerate() {
             let lead = valids[g[0]].as_ref().expect("grouped members are valid");
             let n_req = lead.n_req;
             let floor = lead.floor;
@@ -704,6 +767,7 @@ impl Server {
             }
             if self.breaker_is_open() {
                 for &i in g {
+                    status[i] = "breaker_open";
                     let (nodes, horizon) = {
                         let v = valids[i].as_ref().unwrap();
                         (v.nodes.clone(), v.horizon)
@@ -719,6 +783,7 @@ impl Server {
                 continue;
             }
 
+            let compute_t0 = std::time::Instant::now();
             let mut rng = self.rng_for(&seed);
             let xn = match self.scaler {
                 Some(s) => x_raw.map(move |v| s.transform(v)),
@@ -780,6 +845,8 @@ impl Server {
                     Some(&mut observe),
                 )
             };
+            let compute_secs = compute_t0.elapsed().as_secs_f64();
+            m.serve_compute_seconds.record(compute_secs);
             let f = &any.forecast;
             let used = f.n_samples;
             if deadline.is_some() {
@@ -829,6 +896,8 @@ impl Server {
                     self.note_transition(t);
                 }
                 for &i in g {
+                    status[i] = "fault";
+                    compute[i] = Some((gi, compute_secs, "fault"));
                     let (nodes, horizon) = {
                         let v = valids[i].as_ref().unwrap();
                         (v.nodes.clone(), v.horizon)
@@ -891,7 +960,10 @@ impl Server {
                 }
             }
 
+            let compute_status = if any.degraded() { "degraded" } else { "ok" };
             for &i in g {
+                compute[i] = Some((gi, compute_secs, compute_status));
+                let render_t0 = std::time::Instant::now();
                 let (nodes, horizon) = {
                     let v = valids[i].as_ref().unwrap();
                     (v.nodes.clone(), v.horizon)
@@ -906,6 +978,9 @@ impl Server {
                     nodes.as_deref(),
                     horizon,
                 ));
+                let rs = render_t0.elapsed().as_secs_f64();
+                m.serve_render_seconds.record(rs);
+                render_s[i] = Some(rs);
             }
         }
 
@@ -925,6 +1000,56 @@ impl Server {
         let secs = wall.elapsed().as_secs_f64();
         for _ in 0..n {
             m.serve_request_seconds.record(secs);
+        }
+        if let Some(t) = timing {
+            for &w in &t.waits {
+                m.serve_admission_seconds.record(w);
+            }
+            m.serve_batch_dwell_seconds.record(t.dwell_s);
+        }
+        if traced {
+            // Span emission, arrival order: one `serve` root per member with
+            // its retroactive phases nested under it, then the trace-meta
+            // annotation on the response line. Emission *count* at any call
+            // point is a pure function of the batch contents, so seeded
+            // reruns keep identical event sequence numbers.
+            for (i, mt) in spans.iter().enumerate() {
+                trace::emit_span(trace::start_event(mt.trace, mt.span, mt.parent, "serve"));
+                if let Some(t) = timing {
+                    trace::emit_phase(mt.trace, mt.span, "admission", mt.arrival, t.waits[i]);
+                    trace::emit_phase(mt.trace, mt.span, "dwell", mt.arrival, t.dwell_s);
+                }
+                if probed[i] {
+                    trace::emit_phase(
+                        mt.trace,
+                        mt.span,
+                        "cache",
+                        mt.arrival,
+                        probe_s.unwrap_or(0.0),
+                    );
+                }
+                if let Some((gi, cs, cstat)) = compute[i] {
+                    let cspan = trace::derive_span_id(mt.span, "compute", gi as u64);
+                    trace::emit_span(trace::start_event(mt.trace, cspan, mt.span, "compute"));
+                    trace::emit_span(
+                        trace::end_event(mt.trace, cspan, cs).str("status", cstat.to_string()),
+                    );
+                }
+                if let Some(rs) = render_s[i] {
+                    trace::emit_phase(mt.trace, mt.span, "render", mt.arrival, rs);
+                }
+                let mut end = trace::end_event(mt.trace, mt.span, secs);
+                if status[i] != "ok" {
+                    end = end.str("status", status[i].to_string());
+                }
+                trace::emit_span(end);
+                trace::note_request(mt.trace, secs);
+            }
+            for (i, r) in responses.iter_mut().enumerate() {
+                if let Some(line) = r {
+                    proto::push_trace_meta(line, spans[i].trace, spans[i].span);
+                }
+            }
         }
         responses.into_iter().map(|r| r.expect("every request answered")).collect()
     }
@@ -1400,29 +1525,37 @@ where
                 done = r.done;
                 mirror(server, &flags, &lanes);
             }
-            Popped::Forecast(first) => {
+            Popped::Forecast(first, at) => {
                 // Batcher stage: coalesce co-arriving forecasts (a no-op
                 // returning [first] when --batch-max is 1).
+                let gather_t0 = std::time::Instant::now();
                 let (batch, end) = batcher::gather(
                     &lanes,
-                    first,
+                    (first, at),
                     server.cfg.batch_max,
                     server.cfg.batch_wait_ms,
                     server.clock.is_fake(),
                 );
+                let dwell_s = gather_t0.elapsed().as_secs_f64();
                 requests += batch.len() as u64;
                 // Admitted lines were already classified as forecasts by
                 // the reader; re-parse defensively all the same.
+                let picked_up = std::time::Instant::now();
                 let mut reqs: Vec<ForecastReq> = Vec::with_capacity(batch.len());
-                for line in &batch {
+                let mut waits: Vec<f64> = Vec::with_capacity(batch.len());
+                for (line, admitted) in &batch {
                     match proto::parse_request(line) {
-                        Ok(Request::Forecast(req)) => reqs.push(req),
+                        Ok(Request::Forecast(req)) => {
+                            reqs.push(req);
+                            waits.push(picked_up.duration_since(*admitted).as_secs_f64());
+                        }
                         Ok(_) => {}
                         Err(e) => write_line(&proto::resp_error(&e.id, "bad_request", &e.detail)),
                     }
                 }
                 server.poll_watcher();
-                for resp in server.handle_forecast_batch(&reqs) {
+                let timing = batcher::BatchTiming { waits, dwell_s };
+                for resp in server.handle_forecast_batch_timed(&reqs, Some(&timing)) {
                     write_line(&resp);
                 }
                 mirror(server, &flags, &lanes);
@@ -1456,7 +1589,7 @@ where
                     let r = server.process_line(&line);
                     write_line(&r.response);
                 }
-                Popped::Forecast(line) => {
+                Popped::Forecast(line, _) => {
                     *requests += 1;
                     let r = server.process_line(&line);
                     write_line(&r.response);
@@ -1524,9 +1657,9 @@ mod tests {
         lanes.push_control("c1".into());
         assert_eq!(lanes.depth(), 2, "control lines do not count toward depth");
         assert!(matches!(lanes.pop(Duration::from_millis(1)), Popped::Control(l) if l == "c1"));
-        assert!(matches!(lanes.pop(Duration::from_millis(1)), Popped::Forecast(l) if l == "f1"));
+        assert!(matches!(lanes.pop(Duration::from_millis(1)), Popped::Forecast(l, _) if l == "f1"));
         assert_eq!(lanes.depth(), 1);
-        assert!(matches!(lanes.pop(Duration::from_millis(1)), Popped::Forecast(l) if l == "f2"));
+        assert!(matches!(lanes.pop(Duration::from_millis(1)), Popped::Forecast(l, _) if l == "f2"));
         assert!(matches!(lanes.pop(Duration::from_millis(1)), Popped::TimedOut));
         lanes.close();
         assert!(matches!(lanes.pop(Duration::from_millis(1)), Popped::Closed));

@@ -33,6 +33,23 @@
 //!   never flattened into a generic error. [`strip_cluster_meta`] removes
 //!   the annotation block for byte-identity comparisons, exactly as
 //!   [`strip_batch_meta`] does for the batching annotations.
+//!
+//! ## Trace context (DESIGN.md §15)
+//!
+//! When tracing is on, requests and scatter RPCs may carry two optional
+//! string fields, `"trace"` and `"span"` — each a 16-hex-digit id
+//! ([`stuq_obs::trace::fmt_id`]). On a scatter sub-request `trace` is the
+//! request's trace id and `span` the router's per-shard span, which becomes
+//! the parent of the worker's own spans. Forecast/fallback responses from a
+//! tracing server are annotated with the same two fields so a client can
+//! join its response to the reconstructed timeline; [`strip_trace_meta`]
+//! removes that fixed-width block, and traced vs untraced responses are
+//! byte-identical through it.
+//!
+//! Telemetry scrape requests: `{"type":"metrics"}` asks a worker for its
+//! raw counters (answered `{"type":"metrics","counters":{…}}`);
+//! `{"type":"cluster-metrics"}` asks a *router* for the cluster-merged
+//! Prometheus export (counters summed across itself and every live worker).
 
 use crate::json::{escape, parse, Json};
 use stuq_tensor::Tensor;
@@ -92,6 +109,16 @@ pub enum Request {
         /// Echoed request id.
         id: Option<String>,
     },
+    /// Dump this process's raw metric counters (router → worker scrape).
+    Metrics {
+        /// Echoed request id.
+        id: Option<String>,
+    },
+    /// Serve the cluster-merged Prometheus export (client → router).
+    ClusterMetrics {
+        /// Echoed request id.
+        id: Option<String>,
+    },
 }
 
 /// A forecast request.
@@ -118,6 +145,13 @@ pub struct ForecastReq {
     pub nodes: Option<Vec<usize>>,
     /// Horizon prefix to answer (1..=model horizon); response-slicing only.
     pub horizon: Option<usize>,
+    /// Trace context: the request's trace id, carried on scatter RPCs so a
+    /// worker's spans join the router's timeline. Purely observational —
+    /// never touches the forecast.
+    pub trace: Option<u64>,
+    /// Trace context: the parent span for this hop (the router's per-shard
+    /// span on a scatter RPC).
+    pub span: Option<u64>,
 }
 
 /// Why a request could not be parsed.
@@ -147,6 +181,8 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
         "prepare_reload" => Ok(Request::PrepareReload { id }),
         "commit_reload" => Ok(Request::CommitReload { id }),
         "abort_reload" => Ok(Request::AbortReload { id }),
+        "metrics" => Ok(Request::Metrics { id }),
+        "cluster-metrics" => Ok(Request::ClusterMetrics { id }),
         "assign" => {
             let shard = v
                 .get("shard")
@@ -265,6 +301,16 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
                     Some(h as usize)
                 }
             };
+            let trace_ctx = |key: &str| match v.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(t) => t
+                    .as_str()
+                    .and_then(stuq_obs::trace::parse_id)
+                    .map(Some)
+                    .ok_or_else(|| err(format!("{key:?} must be a 16-hex-digit id"))),
+            };
+            let trace = trace_ctx("trace")?;
+            let span = trace_ctx("span")?;
             Ok(Request::Forecast(ForecastReq {
                 id,
                 x,
@@ -274,6 +320,8 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
                 tick,
                 nodes,
                 horizon,
+                trace,
+                span,
             }))
         }
         other => Err(err(format!("unknown request type {other:?}"))),
@@ -433,6 +481,38 @@ pub fn strip_batch_meta(line: &str) -> String {
     };
     let end = start + ch + ",\"cache_hit\":".len() + bool_len;
     format!("{}{}", &line[..start], &line[end..])
+}
+
+/// Appends the trace annotation to a rendered response line (before its
+/// closing brace): `,"trace":"<16hex>","span":"<16hex>"`. Like the batching
+/// annotations this describes how the answer was traced, never what it is —
+/// [`strip_trace_meta`] removes it for byte-identity comparisons.
+pub fn push_trace_meta(line: &mut String, trace: u64, span: u64) {
+    debug_assert!(line.ends_with('}'), "trace meta goes on a rendered object");
+    line.pop();
+    line.push_str(&format!(
+        ",\"trace\":\"{}\",\"span\":\"{}\"}}",
+        stuq_obs::trace::fmt_id(trace),
+        stuq_obs::trace::fmt_id(span)
+    ));
+}
+
+/// Width of the [`push_trace_meta`] block: `,"trace":"` + 16 hex + `"` (27)
+/// plus `,"span":"` + 16 hex + `"` (26).
+const TRACE_META_LEN: usize = 53;
+
+/// Removes the fixed-width trace annotation appended by [`push_trace_meta`],
+/// leaving the semantic payload. Traced-on vs traced-off responses are
+/// byte-identical through this (the tracing determinism contract,
+/// DESIGN.md §15). Untraced lines pass through unchanged.
+pub fn strip_trace_meta(line: &str) -> String {
+    let Some(start) = line.find(",\"trace\":\"") else {
+        return line.to_string();
+    };
+    if line.len() < start + TRACE_META_LEN {
+        return line.to_string();
+    }
+    format!("{}{}", &line[..start], &line[start + TRACE_META_LEN..])
 }
 
 /// Removes the router's `"partial"`/`"shards"` annotation block (and, via
@@ -603,6 +683,11 @@ pub enum WorkerResp {
         /// Coarse status string.
         status: String,
     },
+    /// A raw counter dump answering a `metrics` scrape, in catalog order.
+    Metrics {
+        /// `(exposition name, value)` pairs.
+        counters: Vec<(String, u64)>,
+    },
 }
 
 fn parse_matrix(v: &Json, key: &str) -> Result<Tensor, String> {
@@ -680,6 +765,19 @@ pub fn parse_worker_resp(line: &str) -> Result<WorkerResp, String> {
         "health" => Ok(WorkerResp::Health {
             status: str_field("status").unwrap_or_else(|| "unknown".into()),
         }),
+        "metrics" => {
+            let Some(Json::Obj(pairs)) = v.get("counters") else {
+                return Err("metrics without a \"counters\" object".into());
+            };
+            let mut counters = Vec::with_capacity(pairs.len());
+            for (k, cv) in pairs {
+                let n = cv
+                    .as_u64()
+                    .ok_or_else(|| format!("counter {k:?} is not a non-negative integer"))?;
+                counters.push((k.clone(), n));
+            }
+            Ok(WorkerResp::Metrics { counters })
+        }
         other => Err(format!("unknown worker response type {other:?}")),
     }
 }
@@ -715,6 +813,30 @@ pub fn resp_error(id: &Option<String>, reason: &str, detail: &str) -> String {
     push_id(&mut out, id);
     out.push_str(&format!(",\"reason\":{},\"detail\":{}}}", escape(reason), escape(detail)));
     out
+}
+
+/// A raw counter dump for a `metrics` scrape. Counters render in the order
+/// given (the catalog's exposition order), so two dumps from the same build
+/// are positionally comparable.
+pub fn resp_metrics(id: &Option<String>, counters: &[(&str, u64)]) -> String {
+    let mut out = String::with_capacity(64 + counters.len() * 32);
+    out.push_str("{\"type\":\"metrics\"");
+    push_id(&mut out, id);
+    out.push_str(",\"counters\":{");
+    for (i, (k, v)) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{v}", escape(k)));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// [`resp_metrics`] over owned names (the router's merged dump).
+pub fn resp_metrics_owned(id: &Option<String>, counters: &[(String, u64)]) -> String {
+    let borrowed: Vec<(&str, u64)> = counters.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    resp_metrics(id, &borrowed)
 }
 
 /// An acknowledgement for control requests (drain/shutdown/reload).
@@ -919,6 +1041,70 @@ mod tests {
         let nack = resp_ack(&id, "prepare_reload", &[("ok", "false".into())]);
         assert!(matches!(parse_worker_resp(&nack), Ok(WorkerResp::Ack { ok: false, .. })));
         assert!(parse_worker_resp("garbage").is_err());
+    }
+
+    #[test]
+    fn trace_context_parses_and_rejects_malformed_ids() {
+        let r = parse_request(
+            r#"{"type":"forecast","x":[[1]],"trace":"00000000deadbeef","span":"0000000000000001"}"#,
+        )
+        .unwrap();
+        let Request::Forecast(f) = r else { panic!("wrong variant") };
+        assert_eq!(f.trace, Some(0xdead_beef));
+        assert_eq!(f.span, Some(1));
+        let r = parse_request(r#"{"type":"forecast","x":[[1]]}"#).unwrap();
+        let Request::Forecast(f) = r else { panic!("wrong variant") };
+        assert_eq!((f.trace, f.span), (None, None));
+        let e = parse_request(r#"{"type":"forecast","x":[[1]],"trace":"beef"}"#).unwrap_err();
+        assert!(e.detail.contains("16-hex"), "{}", e.detail);
+        let e = parse_request(r#"{"type":"forecast","x":[[1]],"span":12}"#).unwrap_err();
+        assert!(e.detail.contains("\"span\""), "{}", e.detail);
+    }
+
+    #[test]
+    fn trace_meta_is_fixed_width_and_strips_exactly() {
+        let id = Some("t".to_string());
+        let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let iv = Intervals { mu: &m, sigma: &m, lower: &m, upper: &m };
+        let plain = resp_forecast(&id, 8, 8, "ck", &ForecastMeta::solo(), &iv);
+        let mut traced = plain.clone();
+        push_trace_meta(&mut traced, 0xdead_beef, 1);
+        assert_eq!(traced.len(), plain.len() + TRACE_META_LEN);
+        assert!(traced.contains(",\"trace\":\"00000000deadbeef\",\"span\":\"0000000000000001\""));
+        assert!(crate::json::parse(&traced).is_ok());
+        assert_eq!(strip_trace_meta(&traced), plain);
+        // Untraced lines pass through untouched, and stripping composes with
+        // the other annotation strippers.
+        assert_eq!(strip_trace_meta(&plain), plain);
+        let mut cluster = resp_cluster_forecast(&id, 8, 8, "ck", &[], &iv);
+        push_trace_meta(&mut cluster, 7, 9);
+        assert_eq!(strip_cluster_meta(&strip_trace_meta(&cluster)), strip_cluster_meta(&plain));
+    }
+
+    #[test]
+    fn metrics_scrape_roundtrips() {
+        assert!(matches!(parse_request(r#"{"type":"metrics"}"#), Ok(Request::Metrics { .. })));
+        assert!(matches!(
+            parse_request(r#"{"type":"cluster-metrics","id":"m"}"#),
+            Ok(Request::ClusterMetrics { .. })
+        ));
+        let line = resp_metrics(
+            &Some("m".into()),
+            &[("stuq_serve_requests_total", 41), ("stuq_serve_shed_total", 0)],
+        );
+        assert!(crate::json::parse(&line).is_ok(), "{line}");
+        let Ok(WorkerResp::Metrics { counters }) = parse_worker_resp(&line) else {
+            panic!("wrong variant for {line}");
+        };
+        assert_eq!(
+            counters,
+            vec![
+                ("stuq_serve_requests_total".to_string(), 41),
+                ("stuq_serve_shed_total".to_string(), 0)
+            ]
+        );
+        assert!(parse_worker_resp(r#"{"type":"metrics"}"#).is_err());
+        assert!(parse_worker_resp(r#"{"type":"metrics","counters":{"a":-1}}"#).is_err());
     }
 
     #[test]

@@ -39,7 +39,7 @@ use crate::proto::{self, ForecastReq, OwnedIntervals, Request, ShardNote, Worker
 use crate::shard::{ShardMap, ShardSlice};
 use crate::{json, reload, LineOutcome, ServeConfig, ServeSummary, Server};
 use stuq_models::Forecaster;
-use stuq_obs::Event;
+use stuq_obs::{trace, Event};
 use stuq_tensor::{StuqRng, Tensor};
 
 /// Router-specific knobs on top of the shared serve configuration.
@@ -112,6 +112,13 @@ pub trait ShardWorker: Send {
     fn restarts(&self) -> u64 {
         0
     }
+    /// Waits up to `grace_ms` for an orderly exit after a `shutdown` was
+    /// sent — a process worker needs the window to flush its telemetry
+    /// sinks (events.jsonl) before the supervisor's Drop kills it. No-op
+    /// for in-process workers.
+    fn settle(&mut self, grace_ms: u64) {
+        let _ = grace_ms;
+    }
 }
 
 /// A [`Server`] mounted directly in the router process — no sockets, no
@@ -174,6 +181,25 @@ struct SliceOutcome {
     note: ShardNote,
 }
 
+/// Per-request trace context collected while a forecast is scattered and
+/// merged, emitted as spans once the response is final (DESIGN.md §15).
+/// Telemetry-only by contract: nothing here feeds the response bytes.
+struct ReqTrace {
+    trace: u64,
+    /// The `request` root span id.
+    span: u64,
+    parent: u64,
+    arrival: u64,
+    wall: std::time::Instant,
+    /// Queue wait from admission to processing start, when the loop
+    /// measured one.
+    wait_s: Option<f64>,
+    /// Per-shard RPC observations: (shard, seconds, status, reason).
+    shards: Vec<(usize, f64, &'static str, Option<String>)>,
+    /// Gather/merge duration, once the merge ran.
+    merge_s: Option<f64>,
+}
+
 /// The cluster router state machine. [`router_loop`] drives it from a
 /// reader; tests drive it line by line through [`Router::handle_line`].
 pub struct Router {
@@ -199,6 +225,9 @@ pub struct Router {
     queue_depth: usize,
     shed_reader: u64,
     samples_used_total: u64,
+    /// Admission→processing wait measured by the loop for the *next*
+    /// forecast (telemetry only; consumed by `handle_forecast`).
+    pending_wait: Option<f64>,
 }
 
 impl Router {
@@ -263,6 +292,7 @@ impl Router {
             queue_depth: 0,
             shed_reader: 0,
             samples_used_total: 0,
+            pending_wait: None,
         };
         for s in 0..router.map.n_shards() {
             router.assign_shard(s);
@@ -348,6 +378,14 @@ impl Router {
                 response: proto::resp_ack(&id, "ping", &[("ok", "true".into())]),
                 done: false,
             },
+            // The router's own counters (the same dump a worker serves).
+            Ok(Request::Metrics { id }) => LineOutcome {
+                response: proto::resp_metrics(&id, &stuq_obs::metrics().counters()),
+                done: false,
+            },
+            Ok(Request::ClusterMetrics { id }) => {
+                LineOutcome { response: self.handle_cluster_metrics(&id), done: false }
+            }
             // The internal worker requests stop at the router: clients talk
             // to the cluster through `reload`, never to one shard.
             Ok(
@@ -372,6 +410,61 @@ impl Router {
         stuq_obs::metrics().serve_shed.inc();
         stuq_obs::emit(Event::new("serve_rejected").str("reason", reason));
         proto::resp_rejected(id, reason)
+    }
+
+    /// Cluster-wide counter scrape (DESIGN.md §15): asks every Up worker
+    /// for its counter dump, sums name-by-name on top of the router's own
+    /// counters, answers the merged table, and mirrors it as a Prometheus
+    /// export (`cluster_metrics.prom`) next to the router's event log.
+    fn handle_cluster_metrics(&mut self, id: &Option<String>) -> String {
+        let m = stuq_obs::metrics();
+        let mut merged: Vec<(String, u64)> =
+            m.counters().iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        let mut extra: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+        let line = "{\"type\":\"metrics\"}";
+        let timeout = self.cfg.rpc_timeout_ms;
+        let total = self.workers.len();
+        let mut scraped = 0usize;
+        for s in 0..total {
+            if self.workers[s].state() != WorkerState::Up {
+                continue;
+            }
+            match self.workers[s].call(line, timeout) {
+                Ok(resp) => match proto::parse_worker_resp(&resp) {
+                    Ok(WorkerResp::Metrics { counters }) => {
+                        scraped += 1;
+                        for (name, value) in counters {
+                            match merged.iter_mut().find(|(k, _)| *k == name) {
+                                Some((_, slot)) => *slot += value,
+                                None => *extra.entry(name).or_insert(0) += value,
+                            }
+                        }
+                    }
+                    _ => self.workers[s].fail("bad_metrics_response"),
+                },
+                Err(e) => self.workers[s].fail(&e),
+            }
+        }
+        // Counter names the router's catalog does not know (a newer worker
+        // version) still merge — appended in sorted order for determinism.
+        merged.extend(extra);
+        m.cluster_scrapes.inc();
+        stuq_obs::emit(
+            Event::new("cluster_scrape")
+                .uint("workers", total as u64)
+                .uint("scraped", scraped as u64),
+        );
+        if let Some(dir) = stuq_obs::telemetry_dir() {
+            let mut out = String::with_capacity(merged.len() * 48);
+            out.push_str(&format!(
+                "# cluster-merged counters: router + {scraped}/{total} workers scraped\n"
+            ));
+            for (name, value) in &merged {
+                out.push_str(&format!("{name} {value}\n"));
+            }
+            let _ = stuq_artifact::write_atomic(dir.join("cluster_metrics.prom"), out.as_bytes());
+        }
+        proto::resp_metrics_owned(id, &merged)
     }
 
     /// Mirrors [`Server`]'s request validation so a router refuses exactly
@@ -437,8 +530,15 @@ impl Router {
     }
 
     /// The sub-request for one shard's slice: the full window plus the
-    /// slice's node list, with the seed/tick derivation pinned.
-    fn sub_request(req: &ForecastReq, v: &RValid, slice: &ShardSlice) -> String {
+    /// slice's node list, with the seed/tick derivation pinned. `ctx` is
+    /// the trace context — `(trace id, this shard's scatter span)` — so the
+    /// worker's `serve` span nests under the router's `shard` span.
+    fn sub_request(
+        req: &ForecastReq,
+        v: &RValid,
+        slice: &ShardSlice,
+        ctx: Option<(u64, u64)>,
+    ) -> String {
         let cells: usize = req.x.len() * req.x[0].len();
         let mut s = String::with_capacity(cells * 8 + 96);
         s.push_str("{\"type\":\"forecast\"");
@@ -454,6 +554,13 @@ impl Router {
         }
         if let Some(h) = req.horizon {
             s.push_str(&format!(",\"horizon\":{h}"));
+        }
+        if let Some((trace_id, span)) = ctx {
+            s.push_str(&format!(
+                ",\"trace\":\"{}\",\"span\":\"{}\"",
+                trace::fmt_id(trace_id),
+                trace::fmt_id(span)
+            ));
         }
         s.push_str(",\"nodes\":[");
         for (i, n) in slice.nodes.iter().enumerate() {
@@ -490,6 +597,7 @@ impl Router {
         req: &ForecastReq,
         v: &RValid,
         now: u64,
+        ctx: Option<(u64, u64)>,
     ) -> SliceOutcome {
         let s = slice.shard;
         let fall = |reason: &str| ShardNote {
@@ -507,7 +615,7 @@ impl Router {
         if self.breakers[s].state() == breaker::State::Open {
             return dead("breaker_open");
         }
-        let line = Self::sub_request(req, v, slice);
+        let line = Self::sub_request(req, v, slice, ctx);
         // Real-time hang backstop: logical deadline plus a generous grace.
         let timeout = v.deadline.unwrap_or(0).saturating_add(self.cfg.rpc_timeout_ms);
         let resp = match self.workers[s].call(&line, timeout) {
@@ -561,16 +669,84 @@ impl Router {
         }
     }
 
-    /// Scatter → per-shard calls (shard order) → gather/merge. See the
-    /// module docs for the degradation ladder.
+    /// Scatter → per-shard calls (shard order) → gather/merge, wrapped in
+    /// the request's trace context (DESIGN.md §15): a `request` root span,
+    /// one `shard` child per scatter RPC carrying straggler/death
+    /// attribution, and a `merge` phase. See the module docs for the
+    /// degradation ladder.
     fn handle_forecast(&mut self, req: &ForecastReq) -> String {
+        let wait_s = self.pending_wait.take();
+        if let Some(w) = wait_s {
+            stuq_obs::metrics().serve_admission_seconds.record(w);
+        }
+        let mut tr = if stuq_obs::trace_enabled() {
+            let arrival = self.requests_served;
+            let trace_id =
+                req.trace.unwrap_or_else(|| trace::derive_trace_id(self.cfg.serve.seed, arrival));
+            let parent = req.span.unwrap_or(trace_id);
+            Some(ReqTrace {
+                trace: trace_id,
+                span: trace::derive_span_id(parent, "request", arrival),
+                parent,
+                arrival,
+                wall: std::time::Instant::now(),
+                wait_s,
+                shards: Vec::new(),
+                merge_s: None,
+            })
+        } else {
+            None
+        };
+        let (mut resp, status) = self.forecast_inner(req, &mut tr);
+        if let Some(t) = tr {
+            trace::emit_span(trace::start_event(t.trace, t.span, t.parent, "request"));
+            if let Some(w) = t.wait_s {
+                trace::emit_phase(t.trace, t.span, "admission", t.arrival, w);
+            }
+            for (shard, seconds, sstatus, reason) in &t.shards {
+                let sspan = trace::derive_span_id(t.span, "shard", *shard as u64);
+                trace::emit_span(
+                    trace::start_event(t.trace, sspan, t.span, "shard")
+                        .uint("shard", *shard as u64),
+                );
+                let mut end = trace::end_event(t.trace, sspan, *seconds)
+                    .uint("shard", *shard as u64)
+                    .str("status", sstatus.to_string());
+                if let Some(r) = reason {
+                    end = end.str("reason", r.clone());
+                }
+                trace::emit_span(end);
+            }
+            if let Some(ms) = t.merge_s {
+                trace::emit_phase(t.trace, t.span, "merge", t.arrival, ms);
+            }
+            let secs = t.wall.elapsed().as_secs_f64();
+            let mut end = trace::end_event(t.trace, t.span, secs);
+            if status != "ok" {
+                end = end.str("status", status.to_string());
+            }
+            trace::emit_span(end);
+            trace::note_request(t.trace, secs);
+            proto::push_trace_meta(&mut resp, t.trace, t.span);
+        }
+        resp
+    }
+
+    /// [`Router::handle_forecast`] minus the span emission: returns the
+    /// response plus the root-span status, recording per-shard RPC
+    /// observations into `tr` along the way.
+    fn forecast_inner(
+        &mut self,
+        req: &ForecastReq,
+        tr: &mut Option<ReqTrace>,
+    ) -> (String, &'static str) {
         let m = stuq_obs::metrics();
         m.serve_requests.inc();
         let v = match self.validate(req) {
             Ok(v) => v,
             Err(resp) => {
                 self.requests_served += 1;
-                return resp;
+                return (resp, "error");
             }
         };
         self.requests_served += 1;
@@ -582,9 +758,24 @@ impl Router {
 
         let mut outcomes: Vec<(ShardSlice, SliceOutcome)> = Vec::with_capacity(slices.len());
         for slice in slices {
-            let outcome = self.call_shard(&slice, req, &v, now);
+            let ctx = tr
+                .as_ref()
+                .map(|t| (t.trace, trace::derive_span_id(t.span, "shard", slice.shard as u64)));
+            let rpc_t0 = std::time::Instant::now();
+            let outcome = self.call_shard(&slice, req, &v, now, ctx);
+            let rpc_s = rpc_t0.elapsed().as_secs_f64();
+            m.cluster_shard_rpc_seconds.record(rpc_s);
+            if let Some(t) = tr.as_mut() {
+                t.shards.push((
+                    slice.shard,
+                    rpc_s,
+                    outcome.note.status,
+                    outcome.note.reason.clone(),
+                ));
+            }
             outcomes.push((slice, outcome));
         }
+        let merge_t0 = std::time::Instant::now();
 
         // Gather. Live rows and worker fallbacks merge by position; a shard
         // with no rows at all degrades to router-side persistence — unless
@@ -627,7 +818,10 @@ impl Router {
                         self.shed += 1;
                         m.serve_shed.inc();
                         stuq_obs::emit(Event::new("serve_rejected").str("reason", reason.as_str()));
-                        return proto::resp_rejected_shard(&req.id, &reason, slice.shard);
+                        return (
+                            proto::resp_rejected_shard(&req.id, &reason, slice.shard),
+                            "rejected",
+                        );
                     };
                     let widened = self.cfg.serve.widen_factor * sig0;
                     for (k, &pos) in slice.positions.iter().enumerate() {
@@ -657,21 +851,29 @@ impl Router {
             lower: &Tensor::from_vec(lower, &shape),
             upper: &Tensor::from_vec(upper, &shape),
         };
+        let merge_s = merge_t0.elapsed().as_secs_f64();
+        m.cluster_merge_seconds.record(merge_s);
+        if let Some(t) = tr.as_mut() {
+            t.merge_s = Some(merge_s);
+        }
         match min_used {
-            Some(used) => proto::resp_cluster_forecast(
-                &req.id,
-                used,
-                v.n_req,
-                &self.model_checksum,
-                &notes,
-                &iv,
+            Some(used) => (
+                proto::resp_cluster_forecast(
+                    &req.id,
+                    used,
+                    v.n_req,
+                    &self.model_checksum,
+                    &notes,
+                    &iv,
+                ),
+                if partial { "partial" } else { "ok" },
             ),
             None => {
                 // Every shard degraded, but each one had history to fall
                 // back on — the response is a cluster-wide fallback.
                 let (_, reason) = first_fail.unwrap_or((0, "worker_down".into()));
                 m.serve_fallback.inc();
-                proto::resp_cluster_fallback(&req.id, &reason, &notes, &iv)
+                (proto::resp_cluster_fallback(&req.id, &reason, &notes, &iv), "fallback")
             }
         }
     }
@@ -886,8 +1088,9 @@ impl Router {
         }
     }
 
-    /// Best-effort worker shutdown (drains each worker's loop); the
-    /// supervisor's Drop still kills whatever lingers.
+    /// Best-effort worker shutdown (drains each worker's loop), then a
+    /// short settle window so process workers can flush their telemetry
+    /// sinks; the supervisor's Drop still kills whatever lingers.
     fn shutdown_workers(&mut self) {
         let line = "{\"type\":\"shutdown\"}".to_string();
         let timeout = self.cfg.rpc_timeout_ms;
@@ -895,6 +1098,9 @@ impl Router {
             if self.workers[s].state() == WorkerState::Up {
                 let _ = self.workers[s].call(&line, timeout);
             }
+        }
+        for w in &mut self.workers {
+            w.settle(2_000);
         }
     }
 
@@ -1051,8 +1257,9 @@ where
                 done = r.done;
                 mirror(router, &flags, &lanes);
             }
-            Popped::Forecast(line) => {
+            Popped::Forecast(line, at) => {
                 requests += 1;
+                router.pending_wait = Some(at.elapsed().as_secs_f64());
                 let r = router.process_line(&line);
                 write_line(&r.response);
                 mirror(router, &flags, &lanes);
@@ -1072,8 +1279,9 @@ where
                     let r = router.process_line(&line);
                     write_line(&r.response);
                 }
-                Popped::Forecast(line) => {
+                Popped::Forecast(line, at) => {
                     *requests += 1;
+                    router.pending_wait = Some(at.elapsed().as_secs_f64());
                     let r = router.process_line(&line);
                     write_line(&r.response);
                 }

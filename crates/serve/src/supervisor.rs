@@ -286,6 +286,27 @@ impl ShardWorker for ProcWorker {
     fn restarts(&self) -> u64 {
         self.restarts
     }
+
+    fn settle(&mut self, grace_ms: u64) {
+        // After a shutdown RPC the child exits on its own once it has
+        // flushed its telemetry sinks; give it that window before Drop's
+        // unconditional kill. Closing our connection first unblocks a
+        // child waiting on the next request line.
+        self.conn = None;
+        let deadline = Instant::now() + Duration::from_millis(grace_ms);
+        while let Some(c) = &mut self.child {
+            match c.try_wait() {
+                Ok(Some(_)) => {
+                    self.child = None;
+                    break;
+                }
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                _ => break,
+            }
+        }
+    }
 }
 
 impl Drop for ProcWorker {

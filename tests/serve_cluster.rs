@@ -553,6 +553,99 @@ fn cluster_healthz_tracks_shard_liveness() {
 }
 
 // ---------------------------------------------------------------------------
+// Cluster-wide metrics aggregation
+// ---------------------------------------------------------------------------
+
+/// A worker whose `metrics` response is scripted to fixed counters — the
+/// only way to verify exact summation: [`InProcWorker`]s share this
+/// process's global metrics registry with the router, so their scrapes
+/// would double-count.
+struct FixedMetricsWorker {
+    counters: Vec<(&'static str, u64)>,
+}
+
+impl ShardWorker for FixedMetricsWorker {
+    fn call(&mut self, line: &str, _timeout_ms: u64) -> Result<String, String> {
+        if line.contains("\"type\":\"metrics\"") {
+            let mut out = String::from("{\"type\":\"metrics\",\"counters\":{");
+            for (i, (k, v)) in self.counters.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{k}\":{v}"));
+            }
+            out.push_str("}}");
+            Ok(out)
+        } else if line.contains("\"type\":\"assign\"") {
+            Ok("{\"type\":\"ack\",\"action\":\"assign\",\"ok\":true}".into())
+        } else {
+            Ok("{\"type\":\"ack\",\"action\":\"noop\",\"ok\":true}".into())
+        }
+    }
+
+    fn state(&self) -> WorkerState {
+        WorkerState::Up
+    }
+
+    fn fail(&mut self, _reason: &str) {}
+
+    fn tick(&mut self) -> Vec<SupEvent> {
+        Vec::new()
+    }
+}
+
+#[test]
+fn cluster_metrics_merge_sums_worker_counters_exactly() {
+    let f = fx();
+    let mut rcfg = RouterConfig::new(cfg_for(&f.model, f));
+    rcfg.shards = 2;
+    // `stuq_train_batches_total` is in the router's catalog but untouched
+    // by any serve-path code, so its merged value is exactly base + the
+    // worker contributions; the `stuq_test_*` name is unknown to the
+    // catalog and must still merge (appended, summed across workers).
+    let workers: Vec<Box<dyn ShardWorker>> = vec![
+        Box::new(FixedMetricsWorker {
+            counters: vec![("stuq_train_batches_total", 11), ("stuq_test_worker_only_total", 2)],
+        }),
+        Box::new(FixedMetricsWorker {
+            counters: vec![("stuq_train_batches_total", 31), ("stuq_test_worker_only_total", 40)],
+        }),
+    ];
+    let mut router = Router::new(rcfg, workers).unwrap();
+    let base: u64 = stuq_obs::metrics()
+        .counters()
+        .iter()
+        .find(|(k, _)| *k == "stuq_train_batches_total")
+        .map(|(_, v)| *v)
+        .expect("catalog counter");
+
+    let resp = router.handle_line("{\"type\":\"cluster-metrics\",\"id\":\"cm\"}").response;
+    let v = parsed(&resp);
+    assert_eq!(ty(&v), "metrics", "{resp}");
+    let counters = v.get("counters").expect("counters object");
+    assert_eq!(
+        counters.get("stuq_train_batches_total").and_then(Json::as_u64),
+        Some(base + 11 + 31),
+        "known counter must be router + Σ workers: {resp}"
+    );
+    assert_eq!(
+        counters.get("stuq_test_worker_only_total").and_then(Json::as_u64),
+        Some(2 + 40),
+        "unknown counter must merge across workers: {resp}"
+    );
+
+    // A plain `metrics` request is the router's own (unsummed) dump.
+    let own = router.handle_line("{\"type\":\"metrics\",\"id\":\"m\"}").response;
+    let vo = parsed(&own);
+    assert_eq!(ty(&vo), "metrics");
+    let own_counters = vo.get("counters").expect("counters object");
+    assert!(
+        own_counters.get("stuq_test_worker_only_total").is_none(),
+        "own dump must not include scraped names: {own}"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Worker-side cluster protocol
 // ---------------------------------------------------------------------------
 
