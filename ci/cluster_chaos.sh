@@ -19,6 +19,14 @@
 # `stuq trace` timeline that attributes the degraded slice to the dead shard
 # with its typed reason, and a `cluster-metrics` scrape must export a merged
 # Prometheus dump covering every live worker.
+# Phase 5 — replicated shards (DESIGN.md §16): a 2-shard × 2-replica cluster
+# with a deterministic `--faultnet drop` plan spliced into one victim replica
+# per shard must (a) merge byte-identically across STUQ_THREADS=1/2/4 with
+# every failover annotated and zero partial responses, and (b) under the
+# fault plan *plus* a SIGKILLed victim, serve a forecast stream that — modulo
+# the cluster-meta annotation window — is byte-identical to a fault-free
+# control cluster, with every injected drop matched by a typed failover event
+# and a strict-clean trace join.
 #
 # usage: cluster_chaos.sh [stuq-binary] [work-dir]
 set -eu
@@ -331,5 +339,128 @@ grep -Eq '^stuq_serve_requests_total [1-9]' "$WORK/telemetry4/cluster_metrics.pr
 grep -q 'shard=2 status=fallback reason=worker_down' "$WORK/timeline.txt" \
   || fail "timeline does not attribute the dead slice to shard 2 with worker_down"
 grep -q 'p99_ms' "$WORK/timeline.txt" || fail "timeline has no phase latency table"
+
+echo "=== cluster_chaos: phase 5 (replicated shards + deterministic faultnet) ==="
+"$STUQ" gen-requests --data "$WORK/flow.stuqd" --count 20 --mc 6 \
+  --seed 500 --out "$WORK/rep.ndjson"
+
+# (a) The fault plan and the replica selection are pure functions of the
+# session seed: the same faulted stream merges byte-identically (annotations
+# included) at 1/2/4 threads, with zero partial responses.
+for t in 1 2 4; do
+  STUQ_FAKE_CLOCK=1 STUQ_THREADS=$t "$STUQ" serve --role router --shards 2 --replicas 2 \
+    --model "$WORK/model.stuq" --data "$WORK/flow.stuqd" --seed 71 \
+    --worker-dir "$WORK/workers5-t$t" --max-queue 1000 --faultnet drop \
+    <"$WORK/rep.ndjson" >"$WORK/rep-t$t.out" 2>/dev/null
+done
+cmp "$WORK/rep-t1.out" "$WORK/rep-t2.out" || fail "faulted merges differ between 1 and 2 threads"
+cmp "$WORK/rep-t1.out" "$WORK/rep-t4.out" || fail "faulted merges differ between 1 and 4 threads"
+[ "$(grep -c '"type":"forecast"' "$WORK/rep-t1.out")" -eq 20 ] \
+  || fail "expected 20 merged forecast responses from the faulted cluster"
+grep -q '"partial":true' "$WORK/rep-t1.out" \
+  && fail "a dropped RPC degraded fidelity despite a live sibling"
+grep -q '"attempts":\[{"replica":' "$WORK/rep-t1.out" \
+  || fail "the drop plan produced no failover annotations"
+grep -q '"reason":"rpc_timeout"' "$WORK/rep-t1.out" \
+  || fail "failover annotations carry no typed rpc_timeout attempts"
+
+# (b) Fault plan plus a SIGKILLed victim replica, against a live session
+# with tracing: the stream must stay full-fidelity throughout.
+FIFO5="$WORK/in5.fifo"
+mkfifo "$FIFO5"
+STUQ_FAKE_CLOCK=1 "$STUQ" serve --role router --shards 2 --replicas 2 \
+  --model "$WORK/model.stuq" --data "$WORK/flow.stuqd" --seed 71 \
+  --worker-dir "$WORK/workers5" --max-queue 1000 --faultnet drop \
+  --restart-backoff-ms 200 --restart-backoff-max-ms 1600 \
+  --telemetry-dir "$WORK/telemetry5" --telemetry-level trace \
+  --health-dir "$WORK/health5" \
+  <"$FIFO5" >"$WORK/chaos5.out" 2>"$WORK/chaos5.err" &
+ROUTER5_PID=$!
+exec 6>"$FIFO5"
+
+await_rep() {
+  want=$1
+  what=$2
+  i=0
+  while [ "$(wc -l <"$WORK/chaos5.out")" -lt "$want" ]; do
+    i=$((i + 1))
+    [ "$i" -le "$AWAIT_TRIES" ] || fail "timed out waiting for $what ($want lines)"
+    kill -0 "$ROUTER5_PID" 2>/dev/null || fail "replicated router died waiting for $what"
+    sleep 0.1
+  done
+}
+
+printf '{"type":"healthz","id":"h5"}\n' >&6
+await_rep 1 "replicated healthz"
+grep -q '"replicas":\[{"replica":0,"role":"' "$WORK/chaos5.out" \
+  || fail "healthz carries no per-replica detail"
+grep -q '"fidelity":"full"' "$WORK/chaos5.out" || fail "healthy shards must read fidelity full"
+
+cat "$WORK/warm.ndjson" >&6
+await_rep 13 "replicated warmup"
+# SIGKILL shard 1's *victim* replica (announced on stderr at spawn): its
+# healthy sibling keeps the shard serviceable while the supervisor restarts
+# it, so fidelity of the merged stream never drops.
+V1=$(sed -n 's/.*faultnet drop victim shard=1 replica=\([0-9]*\).*/\1/p' "$WORK/chaos5.err" | head -n 1)
+[ -n "$V1" ] || fail "router did not announce shard 1's faultnet victim"
+WPID5=$(pgrep -f "workers5/worker-1-$V1.sock" | head -n 1)
+[ -n "$WPID5" ] || fail "could not find shard 1's victim replica process"
+kill -9 "$WPID5"
+cat "$WORK/storm-a.ndjson" >&6
+await_rep 25 "replicated storm"
+recovered5() {
+  grep -q '"status":"healthy"' "$WORK/health5/health.json" 2>/dev/null \
+    && grep -q '"replica":'"$V1"',"role":"[a-z]*","state":"up","breaker":"closed","restarts":1' \
+      "$WORK/health5/health.json" 2>/dev/null
+}
+i=0
+until recovered5; do
+  i=$((i + 1))
+  [ "$i" -le "$RECOVER_TRIES" ] || fail "replicated cluster did not recover the killed victim"
+  kill -0 "$ROUTER5_PID" 2>/dev/null || fail "replicated router died during recovery"
+  sleep 0.25
+done
+cat "$WORK/post.ndjson" >&6
+await_rep 31 "replicated post-recovery forecasts"
+printf '{"type":"shutdown","id":"bye5"}\n' >&6
+await_rep 32 "replicated shutdown ack"
+exec 6>&-
+wait "$ROUTER5_PID" || fail "replicated router exited nonzero"
+
+# Full fidelity throughout: no partial responses, ever — a dropped or dead
+# victim always fails over to its sibling.
+grep -q '"partial":true' "$WORK/chaos5.out" \
+  && fail "the replicated cluster degraded a response despite a live sibling"
+
+# Byte identity against a fault-free control cluster over the same stream:
+# identical outside the cluster-meta window (partial flag + shard/attempt
+# annotations — exactly what strip_cluster_meta removes on the client side).
+cat "$WORK/warm.ndjson" "$WORK/storm-a.ndjson" "$WORK/post.ndjson" >"$WORK/rep5-input.ndjson"
+STUQ_FAKE_CLOCK=1 "$STUQ" serve --role router --shards 2 --replicas 2 \
+  --model "$WORK/model.stuq" --data "$WORK/flow.stuqd" --seed 71 \
+  --worker-dir "$WORK/workers5-ctl" --max-queue 1000 \
+  --telemetry-dir "$WORK/telemetry5-ctl" --telemetry-level trace \
+  <"$WORK/rep5-input.ndjson" >"$WORK/rep5-control.out" 2>/dev/null
+grep '"type":"forecast"' "$WORK/chaos5.out" \
+  | sed 's/,"partial":.*,"mu":/,"mu":/' >"$WORK/rep5-faulted.stripped"
+grep '"type":"forecast"' "$WORK/rep5-control.out" \
+  | sed 's/,"partial":.*,"mu":/,"mu":/' >"$WORK/rep5-control.stripped"
+[ "$(wc -l <"$WORK/rep5-faulted.stripped")" -eq 30 ] \
+  || fail "expected 30 forecast responses from the replicated chaos session"
+cmp "$WORK/rep5-faulted.stripped" "$WORK/rep5-control.stripped" \
+  || fail "faulted replicated stream diverged from the fault-free control"
+
+# Every injected drop is attributed: exactly one typed rpc_timeout failover
+# per drop, and the event log passes the closed-schema validator.
+INJ=$(grep -c '"type":"faultnet_inject".*"reason":"drop"' "$WORK/telemetry5/events.jsonl" || true)
+FO=$(grep -c '"type":"cluster_failover".*"reason":"rpc_timeout"' "$WORK/telemetry5/events.jsonl" || true)
+[ "$INJ" -gt 0 ] || fail "the live faultnet session injected nothing"
+[ "$INJ" -eq "$FO" ] || fail "injected drops ($INJ) and rpc_timeout failovers ($FO) disagree"
+sh ci/validate_events.sh "$WORK/telemetry5" "$STUQ"
+
+# The trace join over router + 2×2 worker logs is strict-clean.
+"$STUQ" trace "$WORK/telemetry5" --tree --strict >"$WORK/timeline5.txt" \
+  || fail "stuq trace --strict rejected the replicated session"
+grep -q 'p99_ms' "$WORK/timeline5.txt" || fail "replicated timeline has no latency table"
 
 echo "cluster_chaos: OK"

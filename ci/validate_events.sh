@@ -45,6 +45,27 @@ if grep -q '"type":"span_start"' "$DIR/events.jsonl"; then
   grep '"type":"span_start"' "$DIR/events.jsonl" | grep -vq '"phase":"' \
     && fail "span_start missing its phase"
 fi
+# Replicated-cluster events (DESIGN.md §16): failovers and injected faults
+# must be typed and carry their replica attribution.
+if grep -q '"type":"cluster_failover"' "$DIR/events.jsonl"; then
+  grep '"type":"cluster_failover"' "$DIR/events.jsonl" | grep -vq '"from_replica":' \
+    && fail "cluster_failover missing from_replica"
+  grep '"type":"cluster_failover"' "$DIR/events.jsonl" | grep -vq '"to_replica":' \
+    && fail "cluster_failover missing to_replica"
+  grep '"type":"cluster_failover"' "$DIR/events.jsonl" | grep -vq '"reason":"' \
+    && fail "cluster_failover missing its typed reason"
+fi
+if grep -q '"type":"faultnet_inject"' "$DIR/events.jsonl"; then
+  grep '"type":"faultnet_inject"' "$DIR/events.jsonl" \
+    | grep -vqE '"reason":"(drop|delay|truncate|bitflip)"' \
+    && fail "faultnet_inject with an unknown fault reason"
+  grep '"type":"faultnet_inject"' "$DIR/events.jsonl" | grep -vq '"rpc":' \
+    && fail "faultnet_inject missing its rpc index"
+fi
+if grep -q '"type":"cluster_hedge"' "$DIR/events.jsonl"; then
+  grep '"type":"cluster_hedge"' "$DIR/events.jsonl" | grep -vq '"winner":' \
+    && fail "cluster_hedge missing its winner"
+fi
 grep -q '"schema": "stuq-run-manifest-v1"' "$DIR/manifest.json" || fail "bad manifest schema"
 grep -q '^stuq_train_batches_total ' "$DIR/metrics.prom" || fail "metrics.prom missing counters"
 grep -q '^# TYPE stuq_train_epoch_seconds summary' "$DIR/metrics.prom" \

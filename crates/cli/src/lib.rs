@@ -555,10 +555,11 @@ USAGE:
                     [--widen-factor X] [--reload-poll-ms N] [--health-dir DIR]
                     [--seed N] [--batch-max N] [--batch-wait-ms N]
                     [--cache-ttl-ms N] [--cache-cap N]
-                    [--role router|worker] [--shards N] [--worker-dir DIR]
-                    [--rpc-timeout-ms N] [--ping-interval-ms N]
+                    [--role router|worker] [--shards N] [--replicas N]
+                    [--worker-dir DIR] [--rpc-timeout-ms N] [--ping-interval-ms N]
                     [--restart-backoff-ms N] [--restart-backoff-max-ms N]
-                    [--connect-timeout-ms N]
+                    [--connect-timeout-ms N] [--hedge-ms N]
+                    [--faultnet off|drop|delay|flaky|blackhole]
   stuq gen-requests --data data.stuqd [--count N] [--deadline-ms N] [--mc N]
                     [--nan-frac F] [--seed N] [--out FILE]
                     [--burst K] [--hot-nodes H] [--shard-skew S [--shards N]]
@@ -609,9 +610,21 @@ N supervised worker processes (this binary with --role worker, one Unix
 socket each), partitions the sensors across them with a deterministic shard
 map, and scatter/gathers every forecast. Dead or refusing shards degrade to
 widened-σ persistence slices annotated `partial: true` with typed per-shard
-reasons; workers are restarted with exponential backoff and re-assigned
-their shard on rejoin; `reload` runs a two-phase commit across all workers
-(unanimous ack or cluster-wide abort — no mixed-version window).";
+reasons; workers are restarted with exponential backoff (seed-jittered so
+replicas never restart in lock-step) and re-assigned their shard on rejoin;
+`reload` runs a two-phase commit across all workers (unanimous ack or
+cluster-wide abort — no mixed-version window).
+
+Replication (DESIGN.md §16): --replicas R runs R supervised workers per
+shard. Each request picks a seed-derived primary replica and fails over
+along the chain on transport faults (`rpc_timeout`, `version_skew`,
+`worker_error` — annotated per attempt on the wire inside the cluster
+meta); worker-typed refusals are forwarded verbatim and only an exhausted
+chain degrades the slice. --hedge-ms T fires the request at a sibling
+replica after T ms of silence (real clock only; first valid reply wins).
+--faultnet drop|delay|flaky|blackhole splices a deterministic, seeded fault
+plan into one victim replica per shard for chaos drills — every injected
+fault is counted (faultnet_injected_total) and logged (faultnet_inject).";
 
 /// A minimal `--key value` argument map.
 struct Args {
@@ -985,6 +998,7 @@ fn cmd_serve(args: &[String], _out: &mut impl Write) -> Result<(), CliError> {
 /// (the same binary with `--role worker --socket …`), then run the router
 /// loop on stdin/stdout or `--socket` (DESIGN.md §13).
 fn cmd_serve_router(a: &Args) -> Result<(), CliError> {
+    use stuq_serve::faultnet::{self, FaultNet};
     use stuq_serve::router::{Router, RouterConfig, ShardWorker};
     use stuq_serve::supervisor::{ProcWorker, WorkerSpec};
 
@@ -994,6 +1008,16 @@ fn cmd_serve_router(a: &Args) -> Result<(), CliError> {
     if cfg.shards == 0 {
         return Err("--shards must be at least 1".into());
     }
+    cfg.replicas = a.parse_or("replicas", 1usize)?;
+    if cfg.replicas == 0 {
+        return Err("--replicas must be at least 1".into());
+    }
+    let hedge_ms: u64 = a.parse_or("hedge-ms", 0u64)?;
+    cfg.hedge_ms = (hedge_ms > 0).then_some(hedge_ms);
+    let fault_profile = match a.get("faultnet") {
+        Some(p) => faultnet::Profile::parse(p).map_err(|e| format!("--faultnet: {e}"))?,
+        None => faultnet::Profile::Off,
+    };
     cfg.rpc_timeout_ms = a.parse_or("rpc-timeout-ms", cfg.rpc_timeout_ms)?;
     let ping_interval_ms: u64 = a.parse_or("ping-interval-ms", 500u64)?;
     let backoff_ms: u64 = a.parse_or("restart-backoff-ms", 200u64)?;
@@ -1053,18 +1077,35 @@ fn cmd_serve_router(a: &Args) -> Result<(), CliError> {
         }
     }
     let telemetry_dir = a.get("telemetry-dir").map(PathBuf::from);
-    let workers: Vec<Box<dyn ShardWorker>> = (0..shards)
-        .map(|s| {
-            let socket = worker_dir.join(format!("worker-{s}.sock"));
+    // Shard-major worker layout (worker = shard * R + replica). With one
+    // replica the socket/telemetry names keep their historical single-replica
+    // shapes (`worker-{s}`), so existing tooling that greps for them — and
+    // old chaos harness runs — keep working unchanged.
+    let replicas = cfg.replicas;
+    let session_seed = cfg.serve.seed;
+    // Restart jitter seeds fork off the session seed per flat worker index:
+    // replicas of one shard never share a backoff schedule (no thundering
+    // herd), yet a rerun with the same --seed replays the same schedule.
+    let mut jitter_rng = stuq_tensor::StuqRng::new(session_seed ^ 0x0ff5_e7b4_c0ff);
+    let workers: Vec<Box<dyn ShardWorker>> = (0..shards * replicas)
+        .map(|w| {
+            let (s, r) = (w / replicas, w % replicas);
+            let stem = if replicas == 1 {
+                format!("worker-{s}")
+            } else {
+                format!("worker-{s}-{r}")
+            };
+            let socket = worker_dir.join(format!("{stem}.sock"));
             let mut args = base_args.clone();
             args.push("--socket".into());
             args.push(socket.display().to_string());
             if let Some(d) = &telemetry_dir {
                 args.push("--telemetry-dir".into());
-                args.push(d.join(format!("worker-{s}")).display().to_string());
+                args.push(d.join(&stem).display().to_string());
             }
-            Box::new(ProcWorker::spawn(WorkerSpec {
+            let proc = Box::new(ProcWorker::spawn(WorkerSpec {
                 shard: s,
+                replica: r,
                 shards,
                 exe: exe.clone(),
                 args,
@@ -1073,7 +1114,23 @@ fn cmd_serve_router(a: &Args) -> Result<(), CliError> {
                 backoff_ms,
                 backoff_max_ms,
                 connect_timeout_ms,
-            })) as Box<dyn ShardWorker>
+                jitter_seed: jitter_rng.fork(w as u64).next_u64(),
+            })) as Box<dyn ShardWorker>;
+            // The fault harness wraps exactly one seed-chosen victim replica
+            // per shard; everything else goes to the wire untouched.
+            if fault_profile != faultnet::Profile::Off
+                && r == faultnet::victim_replica(session_seed, s, replicas)
+            {
+                // Announce the victim so chaos harnesses can target it.
+                eprintln!(
+                    "serve: faultnet {} victim shard={s} replica={r}",
+                    fault_profile.as_str()
+                );
+                Box::new(FaultNet::wrap(proc, fault_profile, session_seed, s, r))
+                    as Box<dyn ShardWorker>
+            } else {
+                proc
+            }
         })
         .collect();
 

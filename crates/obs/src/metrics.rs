@@ -436,6 +436,16 @@ pub struct Metrics {
     pub cluster_reload_commits: Counter,
     /// Two-phase cluster reloads aborted (validation, skew, or worker nack).
     pub cluster_reload_aborts: Counter,
+    /// Failover hops: a shard attempt failed and the router moved on to
+    /// another replica of the same shard.
+    pub cluster_failover: Counter,
+    /// Hedged requests where the secondary replica's response was used.
+    pub cluster_hedge_won: Counter,
+    /// Faults injected by the deterministic fault-injection harness
+    /// (`faultnet`). Exposed without the `stuq_` prefix on purpose: it is
+    /// a test-harness counter, not a serving-subsystem one, and the bare
+    /// name keeps harness traffic trivially greppable in merged dumps.
+    pub faultnet_injected: Counter,
 
     // --- stuq-serve: request tracing (trace level only) ---------------------
     /// Spans opened (`span_start` events emitted).
@@ -528,6 +538,9 @@ impl Metrics {
             serve_partial: Counter::new(),
             cluster_reload_commits: Counter::new(),
             cluster_reload_aborts: Counter::new(),
+            cluster_failover: Counter::new(),
+            cluster_hedge_won: Counter::new(),
+            faultnet_injected: Counter::new(),
             trace_spans: Counter::new(),
             trace_exemplars: Counter::new(),
             cluster_scrapes: Counter::new(),
@@ -928,6 +941,24 @@ impl Metrics {
             "two-phase cluster reloads aborted",
             self.cluster_reload_aborts.get(),
         );
+        c(
+            &mut out,
+            "stuq_cluster_failover_total",
+            "failover hops to a sibling replica",
+            self.cluster_failover.get(),
+        );
+        c(
+            &mut out,
+            "stuq_cluster_hedge_won_total",
+            "hedged requests won by the secondary replica",
+            self.cluster_hedge_won.get(),
+        );
+        c(
+            &mut out,
+            "faultnet_injected_total",
+            "faults injected by the faultnet harness",
+            self.faultnet_injected.get(),
+        );
         c(&mut out, "stuq_trace_spans_total", "spans opened", self.trace_spans.get());
         c(
             &mut out,
@@ -1037,6 +1068,9 @@ impl Metrics {
             ("stuq_serve_partial_total", self.serve_partial.get()),
             ("stuq_cluster_reload_commits_total", self.cluster_reload_commits.get()),
             ("stuq_cluster_reload_aborts_total", self.cluster_reload_aborts.get()),
+            ("stuq_cluster_failover_total", self.cluster_failover.get()),
+            ("stuq_cluster_hedge_won_total", self.cluster_hedge_won.get()),
+            ("faultnet_injected_total", self.faultnet_injected.get()),
             ("stuq_trace_spans_total", self.trace_spans.get()),
             ("stuq_trace_exemplars_total", self.trace_exemplars.get()),
             ("stuq_cluster_scrapes_total", self.cluster_scrapes.get()),
@@ -1107,6 +1141,9 @@ impl Metrics {
         self.serve_partial.reset();
         self.cluster_reload_commits.reset();
         self.cluster_reload_aborts.reset();
+        self.cluster_failover.reset();
+        self.cluster_hedge_won.reset();
+        self.faultnet_injected.reset();
         self.trace_spans.reset();
         self.trace_exemplars.reset();
         self.cluster_scrapes.reset();

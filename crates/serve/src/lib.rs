@@ -65,6 +65,7 @@ mod batcher;
 pub mod breaker;
 pub mod cache;
 pub mod clock;
+pub mod faultnet;
 pub mod json;
 pub mod proto;
 pub mod reload;

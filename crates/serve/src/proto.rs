@@ -538,6 +538,25 @@ pub fn strip_cluster_meta(line: &str) -> String {
 /// (`queue_full`, `breaker_open`, `model_fault`, `draining`) or a
 /// router-observed one (`worker_down`, `rpc_timeout`, `version_skew`,
 /// `worker_error`).
+///
+/// Replicated clusters (DESIGN.md §16) add two optional wire fields, both
+/// inside the [`strip_cluster_meta`] window:
+///
+/// * `"replica"` — which replica produced the slice. Present only on
+///   multi-replica clusters; single-replica responses render byte-identical
+///   to pre-replica builds.
+/// * `"attempts"` — the failover chain: each replica the router tried and
+///   gave up on *before* this outcome, as `{"replica":R,"reason":"…"}` with
+///   the same typed reason vocabulary as above (per-attempt reasons are
+///   always router-observed transport classifications — a worker-typed
+///   refusal ends the chain instead of advancing it, so it appears as the
+///   note's own `reason`, never inside `attempts`).
+///
+/// A note is rendered when it is *noteworthy*: degraded (`status != "ok"`)
+/// or annotated (non-empty `attempts`). A slice served live by a backup
+/// replica after a failover is therefore recorded in `shards` while the
+/// response stays `partial: false` — full fidelity, with the failover
+/// attributed.
 #[derive(Clone, Debug)]
 pub struct ShardNote {
     /// Shard index.
@@ -546,12 +565,34 @@ pub struct ShardNote {
     pub status: &'static str,
     /// Typed reason when status is not `"ok"`.
     pub reason: Option<String>,
+    /// Replica that produced the slice (multi-replica clusters only).
+    pub replica: Option<usize>,
+    /// Failed attempts the router advanced past: `(replica, typed reason)`.
+    pub attempts: Vec<(usize, String)>,
+}
+
+impl ShardNote {
+    /// A live slice with no annotations.
+    pub fn ok(shard: usize) -> ShardNote {
+        ShardNote { shard, status: "ok", reason: None, replica: None, attempts: Vec::new() }
+    }
+
+    /// A degraded slice with its typed reason.
+    pub fn fallback(shard: usize, reason: &str) -> ShardNote {
+        ShardNote { reason: Some(reason.to_string()), status: "fallback", ..ShardNote::ok(shard) }
+    }
+
+    /// True when the note must surface on the wire: the slice degraded, or
+    /// a failover chain produced it.
+    pub fn noteworthy(&self) -> bool {
+        self.status != "ok" || !self.attempts.is_empty()
+    }
 }
 
 fn push_shard_notes(out: &mut String, notes: &[ShardNote]) {
     out.push_str(",\"shards\":[");
     let mut first = true;
-    for nt in notes.iter().filter(|n| n.status != "ok") {
+    for nt in notes.iter().filter(|n| n.noteworthy()) {
         if !first {
             out.push(',');
         }
@@ -560,15 +601,30 @@ fn push_shard_notes(out: &mut String, notes: &[ShardNote]) {
         if let Some(r) = &nt.reason {
             out.push_str(&format!(",\"reason\":{}", escape(r)));
         }
+        if let Some(r) = nt.replica {
+            out.push_str(&format!(",\"replica\":{r}"));
+        }
+        if !nt.attempts.is_empty() {
+            out.push_str(",\"attempts\":[");
+            for (i, (replica, reason)) in nt.attempts.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{{\"replica\":{replica},\"reason\":{}}}", escape(reason)));
+            }
+            out.push(']');
+        }
         out.push('}');
     }
     out.push(']');
 }
 
 /// A router-merged forecast. `partial` is true iff any shard's slice is a
-/// fallback; the `shards` array then lists exactly those shards with their
-/// typed reasons. `samples_used` is the minimum over the live shards — the
-/// honest number, since the weakest slice bounds the whole answer.
+/// fallback; the `shards` array lists every noteworthy shard — degraded
+/// slices with their typed reasons, plus full-fidelity slices that went
+/// through a replica failover (annotated but `partial: false`).
+/// `samples_used` is the minimum over the live shards — the honest number,
+/// since the weakest slice bounds the whole answer.
 pub fn resp_cluster_forecast(
     id: &Option<String>,
     samples_used: usize,
@@ -581,7 +637,7 @@ pub fn resp_cluster_forecast(
     let mut out = String::with_capacity(256);
     push_forecast_head(&mut out, id, samples_used, samples_requested, model);
     out.push_str(&format!(",\"partial\":{partial}"));
-    if partial {
+    if notes.iter().any(|n| n.noteworthy()) {
         push_shard_notes(&mut out, notes);
     }
     push_intervals(&mut out, iv);
@@ -960,8 +1016,7 @@ mod tests {
         let id = Some("q".to_string());
         let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
         let iv = Intervals { mu: &m, sigma: &m, lower: &m, upper: &m };
-        let note =
-            ShardNote { shard: 1, status: "fallback", reason: Some("worker_down".to_string()) };
+        let note = ShardNote::fallback(1, "worker_down");
         for (line, ty) in [
             (resp_forecast(&id, 3, 8, "ck", &ForecastMeta::solo(), &iv), "forecast"),
             (resp_rejected(&id, "queue_full"), "rejected"),
@@ -995,8 +1050,7 @@ mod tests {
         assert!(full.contains("\"partial\":false"));
         assert!(!full.contains("\"shards\""));
         assert_eq!(strip_cluster_meta(&solo), strip_cluster_meta(&full));
-        let note =
-            ShardNote { shard: 0, status: "fallback", reason: Some("queue_full".to_string()) };
+        let note = ShardNote::fallback(0, "queue_full");
         let partial = resp_cluster_forecast(&id, 8, 8, "ck", &[note], &iv);
         assert!(partial.contains("\"partial\":true"));
         assert!(partial.contains(r#"{"shard":0,"status":"fallback","reason":"queue_full"}"#));
@@ -1004,6 +1058,36 @@ mod tests {
         let rej = resp_rejected_shard(&id, "draining", 1);
         assert!(rej.contains("\"shard\":1"));
         assert_eq!(strip_cluster_meta(&rej), rej);
+    }
+
+    #[test]
+    fn failover_annotations_stay_inside_the_cluster_meta_window() {
+        let id = Some("f".to_string());
+        let m = Tensor::from_vec(vec![0.1, 0.2, 0.3, 0.4], &[2, 2]);
+        let iv = Intervals { mu: &m, sigma: &m, lower: &m, upper: &m };
+        let solo = resp_forecast(&id, 8, 8, "ck", &ForecastMeta::solo(), &iv);
+        // A slice served live by a backup after a failover: annotated in
+        // `shards`, yet the response stays full fidelity.
+        let mut note = ShardNote::ok(1);
+        note.replica = Some(1);
+        note.attempts = vec![(0, "rpc_timeout".to_string())];
+        assert!(note.noteworthy(), "a failover chain must surface on the wire");
+        let hed = resp_cluster_forecast(&id, 8, 8, "ck", &[note], &iv);
+        assert!(hed.contains("\"partial\":false"), "failover is not degradation");
+        assert!(hed.contains(
+            r#"{"shard":1,"status":"ok","replica":1,"attempts":[{"replica":0,"reason":"rpc_timeout"}]}"#
+        ));
+        assert_eq!(strip_cluster_meta(&solo), strip_cluster_meta(&hed));
+        // An exhausted chain: degraded note carrying both the terminal
+        // reason and the prior attempts.
+        let mut dead = ShardNote::fallback(0, "worker_down");
+        dead.attempts = vec![(1, "rpc_timeout".to_string())];
+        let part = resp_cluster_forecast(&id, 8, 8, "ck", &[dead], &iv);
+        assert!(part.contains("\"partial\":true"));
+        assert!(part.contains(
+            r#"{"shard":0,"status":"fallback","reason":"worker_down","attempts":[{"replica":1,"reason":"rpc_timeout"}]}"#
+        ));
+        assert_eq!(strip_cluster_meta(&solo), strip_cluster_meta(&part));
     }
 
     #[test]

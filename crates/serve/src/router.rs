@@ -21,6 +21,21 @@
 //!   everywhere. There is no mixed-version window: every merged response
 //!   carries the `model` checksum, and a shard answering with a different
 //!   checksum is cut out as `version_skew` instead of being merged.
+//! * **Replica failover** (DESIGN.md §16) — with `--replicas R` each shard
+//!   is backed by R interchangeable workers, each with its own breaker. The
+//!   primary for a request is a pure function of `(session seed, arrival
+//!   index, shard)`, so reruns pick the same replicas. A transport fault or
+//!   garbage response advances a **failover chain** to the next replica
+//!   (each advance is typed, counted, and annotated on the wire); a
+//!   worker-typed refusal ends the chain — the *cluster* is answering, just
+//!   not with a live slice. Only when every replica fails does the shard
+//!   degrade to the widened-σ path. Net effect: any single-replica fault
+//!   yields a byte-identical, `partial: false` response.
+//! * **Hedged requests** — with `--hedge-ms D` (real clock only; disabled
+//!   under `STUQ_FAKE_CLOCK` so determinism tests are untouched) a primary
+//!   that hasn't answered within D ms gets a secondary fired at its
+//!   sibling; the first complete response wins and the loser's in-flight
+//!   reply is abandoned (skipped as stale by the transport).
 //!
 //! Determinism: all router time flows through the injectable clock — one
 //! read per forecast — and slices are scattered, called, and merged in
@@ -48,18 +63,25 @@ pub struct RouterConfig {
     /// The base serving configuration (model/data paths, queue, widening,
     /// breaker thresholds, seed, fake clock — all reused by the router).
     pub serve: ServeConfig,
-    /// Worker count; clamped to the node count by the shard map.
+    /// Shard count; clamped to the node count by the shard map.
     pub shards: usize,
+    /// Replicas per shard (clamped ≥ 1 by the shard map). Total worker
+    /// count is `shards × replicas`.
+    pub replicas: usize,
     /// Real-time grace added to a request's `deadline_ms` to bound each
     /// worker RPC. Generous on purpose: it is a hang backstop, not a
     /// scheduler — fake-clock runs must never trip it spuriously.
     pub rpc_timeout_ms: u64,
+    /// Hedged-request delay: fire a secondary at the primary's sibling
+    /// after this many real-clock milliseconds without a reply. `None`
+    /// disables hedging; it is also inert under a fake clock.
+    pub hedge_ms: Option<u64>,
 }
 
 impl RouterConfig {
-    /// Defaults: 3 shards, 2 s RPC backstop.
+    /// Defaults: 3 shards, single replica, 2 s RPC backstop, no hedging.
     pub fn new(serve: ServeConfig) -> Self {
-        RouterConfig { serve, shards: 3, rpc_timeout_ms: 2000 }
+        RouterConfig { serve, shards: 3, replicas: 1, rpc_timeout_ms: 2000, hedge_ms: None }
     }
 }
 
@@ -112,6 +134,34 @@ pub trait ShardWorker: Send {
     fn restarts(&self) -> u64 {
         0
     }
+    /// Wall-clock milliseconds since the most recent successful restart,
+    /// if any — surfaced per replica in `healthz`.
+    fn last_restart_ms(&self) -> Option<u64> {
+        None
+    }
+    /// True when this transport implements the split [`ShardWorker::send`]
+    /// / [`ShardWorker::recv`] pair hedged requests need. Defaults false:
+    /// transports without it are simply never hedged.
+    fn supports_hedge(&self) -> bool {
+        false
+    }
+    /// Fire-and-forget half of a hedged RPC: writes the request line
+    /// without waiting for the response.
+    fn send(&mut self, line: &str) -> Result<(), String> {
+        let _ = line;
+        Err("hedge_unsupported".into())
+    }
+    /// Receive half: waits up to `timeout_ms` for the next (non-stale)
+    /// response line. `Err("rpc_timeout")` is a soft miss — the caller may
+    /// poll again; any other error is a transport failure.
+    fn recv(&mut self, timeout_ms: u64) -> Result<String, String> {
+        let _ = timeout_ms;
+        Err("hedge_unsupported".into())
+    }
+    /// Marks the outstanding request abandoned (the hedge lost): its
+    /// eventual reply is stale and must be skipped, keeping the
+    /// request/response pairing on the connection intact.
+    fn abandon(&mut self) {}
     /// Waits up to `grace_ms` for an orderly exit after a `shutdown` was
     /// sent — a process worker needs the window to flush its telemetry
     /// sinks (events.jsonl) before the supervisor's Drop kills it. No-op
@@ -194,8 +244,9 @@ struct ReqTrace {
     /// Queue wait from admission to processing start, when the loop
     /// measured one.
     wait_s: Option<f64>,
-    /// Per-shard RPC observations: (shard, seconds, status, reason).
-    shards: Vec<(usize, f64, &'static str, Option<String>)>,
+    /// Per-shard RPC observations: (shard, seconds, status, reason,
+    /// answering replica on multi-replica clusters).
+    shards: Vec<(usize, f64, &'static str, Option<String>, Option<usize>)>,
     /// Gather/merge duration, once the merge ran.
     merge_s: Option<f64>,
 }
@@ -230,10 +281,15 @@ pub struct Router {
     pending_wait: Option<f64>,
 }
 
+/// Domain-separation salt for replica selection: keeps the primary-pick
+/// RNG stream disjoint from seed pinning and the faultnet plan.
+const REPLICA_SALT: u64 = 0x5E1E_C7ED;
+
 impl Router {
     /// Builds the router: reads the model artifact once (dimensions +
     /// checksum only), derives the shard map, and assigns every worker its
-    /// shard. `workers[s]` must be shard `s`'s transport.
+    /// shard. Workers are shard-major: `workers[s * replicas + r]` must be
+    /// the transport for shard `s`'s replica `r`.
     pub fn new(cfg: RouterConfig, workers: Vec<Box<dyn ShardWorker>>) -> Result<Router, String> {
         let bytes = std::fs::read(&cfg.serve.model_path)
             .map_err(|e| format!("{}: {e}", cfg.serve.model_path.display()))?;
@@ -251,19 +307,22 @@ impl Router {
             }
             None => None,
         };
-        let map = ShardMap::new(n_nodes, cfg.shards);
-        if workers.len() != map.n_shards() {
+        let map = ShardMap::replicated(n_nodes, cfg.shards, cfg.replicas);
+        if workers.len() != map.n_workers() {
             return Err(format!(
-                "router got {} workers for {} shards",
+                "router got {} workers for {} shards × {} replicas",
                 workers.len(),
-                map.n_shards()
+                map.n_shards(),
+                map.n_replicas()
             ));
         }
         let clock = match cfg.serve.fake_clock_step_ms {
             Some(step) => Clock::fake(step),
             None => Clock::from_env(),
         };
-        let breakers = (0..map.n_shards())
+        // One breaker per *worker*: replicas fail independently, so their
+        // transport history must not be pooled.
+        let breakers = (0..map.n_workers())
             .map(|_| {
                 Breaker::new(
                     cfg.serve.breaker_threshold,
@@ -294,31 +353,47 @@ impl Router {
             samples_used_total: 0,
             pending_wait: None,
         };
-        for s in 0..router.map.n_shards() {
-            router.assign_shard(s);
+        for w in 0..router.map.n_workers() {
+            router.assign_worker(w);
         }
         stuq_obs::emit(
             Event::new("cluster_start")
                 .uint("shards", router.map.n_shards() as u64)
+                .uint("replicas", router.map.n_replicas() as u64)
                 .uint("nodes", router.n_nodes as u64),
         );
         Ok(router)
     }
 
-    /// Sends the shard assignment to worker `s` (idempotent; a transport
-    /// failure just marks the worker down — supervision replays it).
-    fn assign_shard(&mut self, s: usize) {
+    /// Sends the shard assignment to flat worker `w` (idempotent; a
+    /// transport failure just marks the worker down — supervision replays
+    /// it). Replicas of a shard get the identical assignment: they are
+    /// interchangeable by construction.
+    fn assign_worker(&mut self, w: usize) {
+        let (s, _) = self.map.worker_role(w);
         let line = assign_line(s, self.map.n_shards());
         let timeout = self.cfg.rpc_timeout_ms;
-        match self.workers[s].call(&line, timeout) {
+        match self.workers[w].call(&line, timeout) {
             Ok(resp) => {
                 if !matches!(proto::parse_worker_resp(&resp), Ok(WorkerResp::Ack { ok: true, .. }))
                 {
-                    self.workers[s].fail("assign_refused");
+                    self.workers[w].fail("assign_refused");
                 }
             }
-            Err(e) => self.workers[s].fail(&e),
+            Err(e) => self.workers[w].fail(&e),
         }
+    }
+
+    /// The replica that serves shard `s` for arrival index `arrival` — a
+    /// pure function of the session seed, so replica selection replays
+    /// byte-identically across reruns and thread counts.
+    fn primary_replica(&self, arrival: u64, s: usize) -> usize {
+        let nr = self.map.n_replicas();
+        if nr == 1 {
+            return 0;
+        }
+        let mut rng = StuqRng::new(self.cfg.serve.seed ^ REPLICA_SALT).fork(arrival).fork(s as u64);
+        (rng.next_u64() % nr as u64) as usize
     }
 
     /// The active shard map.
@@ -587,10 +662,19 @@ impl Router {
         s
     }
 
-    /// One shard's contribution: breaker gate → RPC → typed classification.
-    /// Transport faults feed the shard breaker; worker-typed refusals do
-    /// not (the transport is healthy — that is the satellite contract:
-    /// worker reasons surface verbatim, with the shard id).
+    /// One shard's contribution: a failover chain over its replicas,
+    /// starting at the seed-derived primary. Each attempt runs breaker gate
+    /// → RPC → typed classification. Transport faults and garbage responses
+    /// (`rpc_timeout`, `eof`, `version_skew`, `worker_error`) advance the
+    /// chain to the next replica — counted as `cluster_failover` and
+    /// annotated on the wire; worker-typed *refusals* (`rejected`,
+    /// `fallback`) end it — the transport is healthy and the worker's
+    /// reason surfaces verbatim with the shard id (the satellite contract).
+    /// Only an exhausted chain degrades the slice.
+    ///
+    /// Per-worker breakers see transport faults only; refusals and garbage
+    /// lines never count (the wire delivered — the breaker's job is the
+    /// wire).
     fn call_shard(
         &mut self,
         slice: &ShardSlice,
@@ -598,74 +682,255 @@ impl Router {
         v: &RValid,
         now: u64,
         ctx: Option<(u64, u64)>,
+        arrival: u64,
     ) -> SliceOutcome {
         let s = slice.shard;
-        let fall = |reason: &str| ShardNote {
-            shard: s,
-            status: "fallback",
-            reason: Some(reason.to_string()),
-        };
-        let dead = |reason: &str| SliceOutcome { rows: None, used: None, note: fall(reason) };
-        if let Some(t) = self.breakers[s].poll(now) {
-            self.note_breaker(s, t);
-        }
-        if self.workers[s].state() == WorkerState::Down {
-            return dead("worker_down");
-        }
-        if self.breakers[s].state() == breaker::State::Open {
-            return dead("breaker_open");
-        }
+        let nr = self.map.n_replicas();
+        let primary = self.primary_replica(arrival, s);
         let line = Self::sub_request(req, v, slice, ctx);
         // Real-time hang backstop: logical deadline plus a generous grace.
         let timeout = v.deadline.unwrap_or(0).saturating_add(self.cfg.rpc_timeout_ms);
-        let resp = match self.workers[s].call(&line, timeout) {
-            Ok(resp) => resp,
-            Err(e) => {
-                self.workers[s].fail(&e);
-                if let Some(t) = self.breakers[s].on_fault(now) {
-                    self.note_breaker(s, t);
-                }
-                stuq_obs::metrics().cluster_rpc_failures.inc();
-                stuq_obs::emit(Event::new("worker_down").uint("shard", s as u64).str("reason", e));
-                return dead("worker_down");
-            }
-        };
-        if let Some(t) = self.breakers[s].on_success() {
-            self.note_breaker(s, t);
-        }
         let shape_ok = |iv: &OwnedIntervals| {
             let expect = [slice.nodes.len(), v.h];
             [&iv.mu, &iv.sigma, &iv.lower, &iv.upper].iter().all(|t| t.shape() == expect)
         };
-        match proto::parse_worker_resp(&resp) {
-            Ok(WorkerResp::Forecast { samples_used, model, iv, .. }) => {
-                if model != self.model_checksum {
-                    // A shard on a different model version must never be
-                    // merged — that would be the mixed-version window the
-                    // two-phase reload exists to prevent.
-                    return dead("version_skew");
+        // Failed attempts the chain advanced past: (replica, typed reason).
+        let mut attempts: Vec<(usize, String)> = Vec::new();
+        let mut outcome: Option<SliceOutcome> = None;
+        for i in 0..nr {
+            let r = (primary + i) % nr;
+            if let Some(&(from, ref reason)) = attempts.last() {
+                // The previous attempt failed and we are about to try
+                // another replica: that is one failover.
+                stuq_obs::metrics().cluster_failover.inc();
+                stuq_obs::emit(
+                    Event::new("cluster_failover")
+                        .uint("shard", s as u64)
+                        .uint("from_replica", from as u64)
+                        .uint("to_replica", r as u64)
+                        .str("reason", reason.clone()),
+                );
+            }
+            let w = self.map.worker_index(s, r);
+            if let Some(t) = self.breakers[w].poll(now) {
+                self.note_breaker(s, r, t);
+            }
+            if self.workers[w].state() == WorkerState::Down {
+                attempts.push((r, "worker_down".to_string()));
+                continue;
+            }
+            if self.breakers[w].state() == breaker::State::Open {
+                attempts.push((r, "breaker_open".to_string()));
+                continue;
+            }
+            // First attempt may hedge; retries are already late — they go
+            // straight to the wire.
+            let (ar, result) = if i == 0 {
+                self.hedged_or_plain(s, r, &line, timeout)
+            } else {
+                (r, self.workers[w].call(&line, timeout))
+            };
+            let aw = self.map.worker_index(s, ar);
+            let resp = match result {
+                Ok(resp) => resp,
+                Err(e) => {
+                    self.workers[aw].fail(&e);
+                    if let Some(t) = self.breakers[aw].on_fault(now) {
+                        self.note_breaker(s, ar, t);
+                    }
+                    stuq_obs::metrics().cluster_rpc_failures.inc();
+                    stuq_obs::emit(
+                        Event::new("worker_down")
+                            .uint("shard", s as u64)
+                            .uint("replica", ar as u64)
+                            .str("reason", e.clone()),
+                    );
+                    // The wire carries classifications, never raw transport
+                    // errors (those go to the event log above).
+                    let typed = if e == "rpc_timeout" { "rpc_timeout" } else { "worker_down" };
+                    attempts.push((ar, typed.to_string()));
+                    continue;
                 }
-                if !shape_ok(&iv) {
-                    return dead("worker_error");
+            };
+            if let Some(t) = self.breakers[aw].on_success() {
+                self.note_breaker(s, ar, t);
+            }
+            let replica = (nr > 1).then_some(ar);
+            match proto::parse_worker_resp(&resp) {
+                Ok(WorkerResp::Forecast { samples_used, model, iv, .. }) => {
+                    if model != self.model_checksum {
+                        // A replica on a different model version must never
+                        // be merged — that would be the mixed-version
+                        // window the two-phase reload exists to prevent.
+                        // Its sibling may well be on the right version.
+                        attempts.push((ar, "version_skew".to_string()));
+                        continue;
+                    }
+                    if !shape_ok(&iv) {
+                        attempts.push((ar, "worker_error".to_string()));
+                        continue;
+                    }
+                    let mean = iv.sigma.data().iter().sum::<f32>() / iv.sigma.len() as f32;
+                    self.last_good_sigma[s] = Some(mean);
+                    outcome = Some(SliceOutcome {
+                        rows: Some(iv),
+                        used: Some(samples_used),
+                        note: ShardNote { replica, ..ShardNote::ok(s) },
+                    });
                 }
-                let mean = iv.sigma.data().iter().sum::<f32>() / iv.sigma.len() as f32;
-                self.last_good_sigma[s] = Some(mean);
-                SliceOutcome {
-                    rows: Some(iv),
-                    used: Some(samples_used),
-                    note: ShardNote { shard: s, status: "ok", reason: None },
+                Ok(WorkerResp::Fallback { reason, iv }) => {
+                    if !shape_ok(&iv) {
+                        attempts.push((ar, "worker_error".to_string()));
+                        continue;
+                    }
+                    // The worker already served its documented persistence
+                    // fallback — keep its rows, surface its typed reason,
+                    // and stop: refusals are healthy transport, not faults.
+                    outcome = Some(SliceOutcome {
+                        rows: Some(iv),
+                        used: None,
+                        note: ShardNote { replica, ..ShardNote::fallback(s, &reason) },
+                    });
+                }
+                Ok(WorkerResp::Rejected { reason }) => {
+                    outcome = Some(SliceOutcome {
+                        rows: None,
+                        used: None,
+                        note: ShardNote { replica, ..ShardNote::fallback(s, &reason) },
+                    });
+                }
+                Ok(_) | Err(_) => {
+                    attempts.push((ar, "worker_error".to_string()));
+                    continue;
                 }
             }
-            Ok(WorkerResp::Fallback { reason, iv }) => {
-                if !shape_ok(&iv) {
-                    return dead("worker_error");
-                }
-                // The worker already served its documented persistence
-                // fallback — keep its rows, surface its typed reason.
-                SliceOutcome { rows: Some(iv), used: None, note: fall(&reason) }
+            break;
+        }
+        let mut out = outcome.unwrap_or_else(|| {
+            // Chain exhausted: every replica failed. The terminal reason is
+            // the last attempt's; earlier ones stay in the annotation. A
+            // final timeout reads as the worker being gone — the historical
+            // single-replica wire bytes say `worker_down`, and the richer
+            // `rpc_timeout` detail survives in the attempts annotation.
+            let (_, mut reason) = attempts.pop().expect("nr >= 1 attempts on exhaustion");
+            if reason == "rpc_timeout" {
+                reason = "worker_down".to_string();
             }
-            Ok(WorkerResp::Rejected { reason }) => dead(&reason),
-            Ok(_) | Err(_) => dead("worker_error"),
+            SliceOutcome { rows: None, used: None, note: ShardNote::fallback(s, &reason) }
+        });
+        if nr > 1 {
+            out.note.attempts = attempts;
+        }
+        out
+    }
+
+    /// The first attempt's transport round-trip: plain `call`, unless
+    /// hedging is configured, the clock is real, and a serviceable sibling
+    /// exists — then the hedged race. Returns `(answering replica, result)`.
+    fn hedged_or_plain(
+        &mut self,
+        s: usize,
+        r: usize,
+        line: &str,
+        timeout_ms: u64,
+    ) -> (usize, Result<String, String>) {
+        let w = self.map.worker_index(s, r);
+        let nr = self.map.n_replicas();
+        let plain = |me: &mut Self| (r, me.workers[w].call(line, timeout_ms));
+        let Some(hedge_ms) = self.cfg.hedge_ms else {
+            return plain(self);
+        };
+        if self.clock.is_fake() || nr < 2 || !self.workers[w].supports_hedge() {
+            return plain(self);
+        }
+        let partner = (1..nr).map(|i| (r + i) % nr).find(|&h| {
+            let hw = self.map.worker_index(s, h);
+            self.workers[hw].state() == WorkerState::Up
+                && self.breakers[hw].state() != breaker::State::Open
+                && self.workers[hw].supports_hedge()
+        });
+        let Some(h) = partner else {
+            return plain(self);
+        };
+        self.hedged_rpc(s, r, h, line, timeout_ms, hedge_ms)
+    }
+
+    /// The hedged race (real clock only): send to the primary; if no reply
+    /// within `hedge_ms`, fire the identical request at the sibling and
+    /// poll both — first complete line wins, the loser's in-flight reply is
+    /// abandoned (its transport skips it as stale). A sibling win is
+    /// counted as `cluster_hedge_won`.
+    fn hedged_rpc(
+        &mut self,
+        s: usize,
+        rp: usize,
+        rh: usize,
+        line: &str,
+        timeout_ms: u64,
+        hedge_ms: u64,
+    ) -> (usize, Result<String, String>) {
+        let deadline =
+            std::time::Instant::now() + Duration::from_millis(timeout_ms.max(hedge_ms).max(1));
+        let wp = self.map.worker_index(s, rp);
+        let wh = self.map.worker_index(s, rh);
+        if let Err(e) = self.workers[wp].send(line) {
+            return (rp, Err(e));
+        }
+        match self.workers[wp].recv(hedge_ms.max(1)) {
+            Ok(resp) => return (rp, Ok(resp)),
+            Err(e) if e == "rpc_timeout" => {}
+            Err(e) => return (rp, Err(e)),
+        }
+        let hedge_event = |winner: usize| {
+            stuq_obs::emit(
+                Event::new("cluster_hedge")
+                    .uint("shard", s as u64)
+                    .uint("primary", rp as u64)
+                    .uint("secondary", rh as u64)
+                    .uint("winner", winner as u64),
+            );
+        };
+        let mut hedge_live = self.workers[wh].send(line).is_ok();
+        let mut primary_err: Option<String> = None;
+        loop {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                if hedge_live {
+                    self.workers[wh].abandon();
+                }
+                return (rp, Err(primary_err.unwrap_or_else(|| "rpc_timeout".into())));
+            }
+            let slice_ms = (left.as_millis() as u64).clamp(1, 25);
+            if primary_err.is_none() {
+                match self.workers[wp].recv(slice_ms) {
+                    Ok(resp) => {
+                        if hedge_live {
+                            self.workers[wh].abandon();
+                        }
+                        hedge_event(rp);
+                        return (rp, Ok(resp));
+                    }
+                    Err(e) if e == "rpc_timeout" => {}
+                    Err(e) => primary_err = Some(e),
+                }
+            }
+            if hedge_live {
+                match self.workers[wh].recv(slice_ms) {
+                    Ok(resp) => {
+                        if primary_err.is_none() {
+                            self.workers[wp].abandon();
+                        }
+                        stuq_obs::metrics().cluster_hedge_won.inc();
+                        hedge_event(rh);
+                        return (rh, Ok(resp));
+                    }
+                    Err(e) if e == "rpc_timeout" => {}
+                    Err(_) => hedge_live = false,
+                }
+            }
+            if !hedge_live && primary_err.is_some() {
+                return (rp, Err(primary_err.unwrap()));
+            }
         }
     }
 
@@ -703,7 +968,7 @@ impl Router {
             if let Some(w) = t.wait_s {
                 trace::emit_phase(t.trace, t.span, "admission", t.arrival, w);
             }
-            for (shard, seconds, sstatus, reason) in &t.shards {
+            for (shard, seconds, sstatus, reason, replica) in &t.shards {
                 let sspan = trace::derive_span_id(t.span, "shard", *shard as u64);
                 trace::emit_span(
                     trace::start_event(t.trace, sspan, t.span, "shard")
@@ -714,6 +979,9 @@ impl Router {
                     .str("status", sstatus.to_string());
                 if let Some(r) = reason {
                     end = end.str("reason", r.clone());
+                }
+                if let Some(r) = replica {
+                    end = end.uint("replica", *r as u64);
                 }
                 trace::emit_span(end);
             }
@@ -749,6 +1017,9 @@ impl Router {
                 return (resp, "error");
             }
         };
+        // The arrival index pins seedless seeds (in `validate`, above) and
+        // replica selection — both pre-increment, both pure in the seed.
+        let arrival = self.requests_served;
         self.requests_served += 1;
         let sel_len = req.nodes.as_ref().map_or(self.n_nodes, Vec::len);
         let slices = self.map.scatter(req.nodes.as_deref());
@@ -762,7 +1033,7 @@ impl Router {
                 .as_ref()
                 .map(|t| (t.trace, trace::derive_span_id(t.span, "shard", slice.shard as u64)));
             let rpc_t0 = std::time::Instant::now();
-            let outcome = self.call_shard(&slice, req, &v, now, ctx);
+            let outcome = self.call_shard(&slice, req, &v, now, ctx, arrival);
             let rpc_s = rpc_t0.elapsed().as_secs_f64();
             m.cluster_shard_rpc_seconds.record(rpc_s);
             if let Some(t) = tr.as_mut() {
@@ -771,6 +1042,7 @@ impl Router {
                     rpc_s,
                     outcome.note.status,
                     outcome.note.reason.clone(),
+                    outcome.note.replica,
                 ));
             }
             outcomes.push((slice, outcome));
@@ -883,9 +1155,21 @@ impl Router {
     /// unanimous ack commits. Any refusal — or any shard down — aborts
     /// everywhere, leaving every worker on the old version with its cache
     /// generation untouched.
+    /// Human-readable name for flat worker `w` in reload nack reasons:
+    /// `worker 1` on single-replica clusters (the historical wording),
+    /// `worker 1/0` with replicas.
+    fn worker_label(&self, w: usize) -> String {
+        let (s, r) = self.map.worker_role(w);
+        if self.map.n_replicas() == 1 {
+            format!("worker {s}")
+        } else {
+            format!("worker {s}/{r}")
+        }
+    }
+
     fn handle_reload(&mut self, id: &Option<String>) -> String {
         let m = stuq_obs::metrics();
-        let n = self.map.n_shards();
+        let n = self.map.n_workers();
         let nack = |reason: &str| {
             proto::resp_ack(
                 id,
@@ -920,10 +1204,12 @@ impl Router {
             );
             return nack(&reason);
         }
-        // A commit must be unanimous, so every shard has to be reachable
-        // before anything is staged.
-        if let Some(s) = (0..n).find(|&s| self.workers[s].state() == WorkerState::Down) {
-            let reason = format!("worker {s} down");
+        // A commit must be unanimous, so every worker — every replica of
+        // every shard — has to be reachable before anything is staged: a
+        // replica that misses the swap would answer `version_skew` slices
+        // until its next restart.
+        if let Some(w) = (0..n).find(|&w| self.workers[w].state() == WorkerState::Down) {
+            let reason = format!("{} down", self.worker_label(w));
             m.cluster_reload_aborts.inc();
             stuq_obs::emit(
                 Event::new("cluster_reload_abort")
@@ -937,24 +1223,25 @@ impl Router {
         let timeout = self.cfg.rpc_timeout_ms;
         let mut acks = 0usize;
         let mut failure: Option<String> = None;
-        for s in 0..n {
-            let outcome = match self.workers[s].call(&prepare, timeout) {
+        for w in 0..n {
+            let label = self.worker_label(w);
+            let outcome = match self.workers[w].call(&prepare, timeout) {
                 Err(e) => {
-                    self.workers[s].fail(&e);
-                    Err(format!("worker {s}: {e}"))
+                    self.workers[w].fail(&e);
+                    Err(format!("{label}: {e}"))
                 }
                 Ok(resp) => match proto::parse_worker_resp(&resp) {
                     Ok(WorkerResp::Ack { ok: true, checksum: Some(ck), .. }) if ck == checksum => {
                         Ok(())
                     }
                     Ok(WorkerResp::Ack { ok: true, .. }) => {
-                        Err(format!("worker {s}: staged checksum mismatch"))
+                        Err(format!("{label}: staged checksum mismatch"))
                     }
                     Ok(WorkerResp::Ack { reason, .. }) => Err(format!(
-                        "worker {s}: {}",
+                        "{label}: {}",
                         reason.unwrap_or_else(|| "prepare refused".into())
                     )),
-                    _ => Err(format!("worker {s}: unexpected prepare response")),
+                    _ => Err(format!("{label}: unexpected prepare response")),
                 },
             };
             match outcome {
@@ -974,9 +1261,9 @@ impl Router {
             // Abort everywhere (best effort — a worker that never staged
             // just acks with staged:false).
             let abort = "{\"type\":\"abort_reload\"}".to_string();
-            for s in 0..n {
-                if self.workers[s].state() == WorkerState::Up {
-                    let _ = self.workers[s].call(&abort, timeout);
+            for w in 0..n {
+                if self.workers[w].state() == WorkerState::Up {
+                    let _ = self.workers[w].call(&abort, timeout);
                 }
             }
             m.cluster_reload_aborts.inc();
@@ -992,10 +1279,16 @@ impl Router {
         // from disk, and until then its slices are typed `worker_down`
         // fallbacks, never mixed-version merges.
         let commit = "{\"type\":\"commit_reload\"}".to_string();
-        for s in 0..n {
-            if let Err(e) = self.workers[s].call(&commit, timeout) {
-                self.workers[s].fail(&e);
-                stuq_obs::emit(Event::new("worker_down").uint("shard", s as u64).str("reason", e));
+        for w in 0..n {
+            if let Err(e) = self.workers[w].call(&commit, timeout) {
+                self.workers[w].fail(&e);
+                let (s, r) = self.map.worker_role(w);
+                stuq_obs::emit(
+                    Event::new("worker_down")
+                        .uint("shard", s as u64)
+                        .uint("replica", r as u64)
+                        .str("reason", e),
+                );
             }
         }
         self.model_checksum = checksum.clone();
@@ -1013,24 +1306,31 @@ impl Router {
         )
     }
 
-    /// Maps a shard-breaker transition onto the event log (`shard` rides
-    /// along as an extra field on the standard breaker events).
-    fn note_breaker(&mut self, s: usize, t: breaker::Transition) {
+    /// Maps a worker-breaker transition onto the event log (`shard` and
+    /// `replica` ride along as extra fields on the standard breaker
+    /// events).
+    fn note_breaker(&mut self, s: usize, r: usize, t: breaker::Transition) {
         let shard = s as u64;
+        let replica = r as u64;
         match t {
             breaker::Transition::Opened { consecutive, cooldown_ms } => stuq_obs::emit(
                 Event::new("breaker_open")
                     .uint("consecutive_faults", consecutive as u64)
                     .uint("cooldown_ms", cooldown_ms)
-                    .uint("shard", shard),
+                    .uint("shard", shard)
+                    .uint("replica", replica),
             ),
             breaker::Transition::HalfOpened { cooldown_ms } => stuq_obs::emit(
                 Event::new("breaker_half_open")
                     .uint("cooldown_ms", cooldown_ms)
-                    .uint("shard", shard),
+                    .uint("shard", shard)
+                    .uint("replica", replica),
             ),
             breaker::Transition::Closed { cooldown_ms } => stuq_obs::emit(
-                Event::new("breaker_close").uint("cooldown_ms", cooldown_ms).uint("shard", shard),
+                Event::new("breaker_close")
+                    .uint("cooldown_ms", cooldown_ms)
+                    .uint("shard", shard)
+                    .uint("replica", replica),
             ),
         }
     }
@@ -1040,21 +1340,26 @@ impl Router {
     /// gauge, and advance real-clock breakers.
     pub fn tick(&mut self) {
         let m = stuq_obs::metrics();
-        for s in 0..self.workers.len() {
-            for ev in self.workers[s].tick() {
+        for wi in 0..self.workers.len() {
+            let (s, r) = self.map.worker_role(wi);
+            for ev in self.workers[wi].tick() {
                 match ev {
                     SupEvent::Down { reason } => {
                         stuq_obs::emit(
-                            Event::new("worker_down").uint("shard", s as u64).str("reason", reason),
+                            Event::new("worker_down")
+                                .uint("shard", s as u64)
+                                .uint("replica", r as u64)
+                                .str("reason", reason),
                         );
                     }
                     SupEvent::Restarted { restarts } => {
                         m.cluster_restarts.inc();
                         // Fresh process: its transport history is moot.
-                        self.breakers[s].reset();
+                        self.breakers[wi].reset();
                         stuq_obs::emit(
                             Event::new("worker_restart")
                                 .uint("shard", s as u64)
+                                .uint("replica", r as u64)
                                 .uint("restarts", restarts),
                         );
                     }
@@ -1062,6 +1367,7 @@ impl Router {
                         stuq_obs::emit(
                             Event::new("worker_restart_failed")
                                 .uint("shard", s as u64)
+                                .uint("replica", r as u64)
                                 .uint("backoff_ms", backoff_ms)
                                 .str("reason", reason),
                         );
@@ -1081,9 +1387,10 @@ impl Router {
             return;
         }
         let now = self.clock.now_ms();
-        for s in 0..self.breakers.len() {
-            if let Some(t) = self.breakers[s].poll(now) {
-                self.note_breaker(s, t);
+        for w in 0..self.breakers.len() {
+            if let Some(t) = self.breakers[w].poll(now) {
+                let (s, r) = self.map.worker_role(w);
+                self.note_breaker(s, r, t);
             }
         }
     }
@@ -1094,9 +1401,9 @@ impl Router {
     fn shutdown_workers(&mut self) {
         let line = "{\"type\":\"shutdown\"}".to_string();
         let timeout = self.cfg.rpc_timeout_ms;
-        for s in 0..self.workers.len() {
-            if self.workers[s].state() == WorkerState::Up {
-                let _ = self.workers[s].call(&line, timeout);
+        for w in 0..self.workers.len() {
+            if self.workers[w].state() == WorkerState::Up {
+                let _ = self.workers[w].call(&line, timeout);
             }
         }
         for w in &mut self.workers {
@@ -1104,17 +1411,41 @@ impl Router {
         }
     }
 
-    /// Aggregate cluster health: `healthy` (every shard up, breaker
+    /// Aggregate cluster health: `healthy` (every worker up, breaker
     /// closed), `down` (no shard serviceable), `degraded` otherwise, with
-    /// per-shard detail.
+    /// per-shard detail. Each shard entry aggregates its replicas —
+    /// `state`/`breaker` reflect the best live replica (what the router can
+    /// actually use), `restarts` sums, and `fidelity` tracks redundancy:
+    /// `full` only while *every* replica is up with a closed breaker, so a
+    /// flapping replica shows `degraded` here even though responses stay
+    /// full fidelity. Multi-replica clusters add a `replicas` array with
+    /// per-replica role (primary = the seed-derived pick for the next
+    /// arrival), breaker, restart count, and ms since the last restart.
     fn healthz(&self, id: &Option<String>) -> String {
         let n = self.map.n_shards();
-        let up = |s: usize| self.workers[s].state() == WorkerState::Up;
-        let serviceable = |s: usize| up(s) && self.breakers[s].state() != breaker::State::Open;
-        let n_up = (0..n).filter(|&s| up(s)).count();
+        let nr = self.map.n_replicas();
+        let rank = |st: breaker::State| match st {
+            breaker::State::Closed => 0u8,
+            breaker::State::HalfOpen => 1,
+            breaker::State::Open => 2,
+        };
+        let wup = |w: usize| self.workers[w].state() == WorkerState::Up;
+        let replicas_of = |s: usize| (0..nr).map(move |r| s * nr + r);
+        let up = |s: usize| replicas_of(s).any(&wup);
+        // The breaker the shard effectively presents: the least-severe
+        // among live replicas (the chain will reach it), or among all
+        // replicas when none are up.
+        let agg_breaker = |s: usize| {
+            let live = replicas_of(s).filter(|&w| wup(w)).map(|w| self.breakers[w].state());
+            let any = replicas_of(s).map(|w| self.breakers[w].state());
+            live.min_by_key(|&st| rank(st)).or_else(|| any.min_by_key(|&st| rank(st))).unwrap()
+        };
+        let serviceable =
+            |s: usize| replicas_of(s).any(|w| wup(w) && self.breakers[w].state() != breaker::State::Open);
+        let n_up = (0..self.map.n_workers()).filter(|&w| wup(w)).count();
         let n_serviceable = (0..n).filter(|&s| serviceable(s)).count();
-        let all_healthy =
-            (0..n).all(|s| up(s) && self.breakers[s].state() == breaker::State::Closed);
+        let all_healthy = (0..self.map.n_workers())
+            .all(|w| wup(w) && self.breakers[w].state() == breaker::State::Closed);
         let status = if self.draining {
             "draining"
         } else if all_healthy {
@@ -1147,12 +1478,44 @@ impl Router {
             if s > 0 {
                 out.push(',');
             }
+            let restarts: u64 = replicas_of(s).map(|w| self.workers[w].restarts()).sum();
+            let fidelity = if replicas_of(s)
+                .all(|w| wup(w) && self.breakers[w].state() == breaker::State::Closed)
+            {
+                "full"
+            } else {
+                "degraded"
+            };
             out.push_str(&format!(
-                "{{\"shard\":{s},\"state\":\"{}\",\"breaker\":\"{}\",\"restarts\":{}}}",
+                "{{\"shard\":{s},\"state\":\"{}\",\"breaker\":\"{}\",\"restarts\":{restarts},\
+                 \"fidelity\":\"{fidelity}\"",
                 if up(s) { "up" } else { "down" },
-                self.breakers[s].state().as_str(),
-                self.workers[s].restarts(),
+                agg_breaker(s).as_str(),
             ));
+            if nr > 1 {
+                let primary = self.primary_replica(self.requests_served, s);
+                out.push_str(",\"replicas\":[");
+                for r in 0..nr {
+                    if r > 0 {
+                        out.push(',');
+                    }
+                    let w = self.map.worker_index(s, r);
+                    out.push_str(&format!(
+                        "{{\"replica\":{r},\"role\":\"{}\",\"state\":\"{}\",\"breaker\":\"{}\",\
+                         \"restarts\":{}",
+                        if r == primary { "primary" } else { "backup" },
+                        if wup(w) { "up" } else { "down" },
+                        self.breakers[w].state().as_str(),
+                        self.workers[w].restarts(),
+                    ));
+                    if let Some(ms) = self.workers[w].last_restart_ms() {
+                        out.push_str(&format!(",\"last_restart_ms\":{ms}"));
+                    }
+                    out.push('}');
+                }
+                out.push(']');
+            }
+            out.push('}');
         }
         out.push_str("]}");
         out

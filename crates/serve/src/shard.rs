@@ -7,6 +7,15 @@
 //! partition without any coordination or persisted state. That is what lets
 //! a supervisor replay the assignment to a rejoining worker and what keeps
 //! scatter/gather composition byte-deterministic across reruns.
+//!
+//! The map also carries a **replica dimension** (DESIGN.md §16): every
+//! shard is served by `n_replicas` interchangeable workers. The
+//! shard×replica → worker assignment is derived, never stored — workers
+//! are laid out shard-major (`worker = shard · R + replica`), so the
+//! router, the supervisor, and every test agree on which flat worker index
+//! backs which (shard, replica) pair without any coordination. Replicas
+//! share the shard's node range; they differ only in which process
+//! answers, which is why a replica failover never changes response bytes.
 
 use std::ops::Range;
 
@@ -22,20 +31,33 @@ pub struct ShardSlice {
     pub positions: Vec<usize>,
 }
 
-/// Contiguous partition of `n_nodes` sensors across `n_shards` workers.
+/// Contiguous partition of `n_nodes` sensors across `n_shards` shards,
+/// each served by `n_replicas` interchangeable workers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ShardMap {
     n_nodes: usize,
     n_shards: usize,
+    n_replicas: usize,
 }
 
 impl ShardMap {
-    /// A map over `n_nodes` sensors and `n_shards` workers. Shard count is
-    /// clamped to `1..=n_nodes` — more workers than sensors would leave
-    /// empty shards with nothing to answer.
+    /// A map over `n_nodes` sensors and `n_shards` single-replica shards.
+    /// Shard count is clamped to `1..=n_nodes` — more workers than sensors
+    /// would leave empty shards with nothing to answer.
     pub fn new(n_nodes: usize, n_shards: usize) -> Self {
+        Self::replicated(n_nodes, n_shards, 1)
+    }
+
+    /// A map with `n_replicas` workers per shard (clamped ≥ 1). The node
+    /// partition is independent of the replica count: adding replicas
+    /// never moves a sensor.
+    pub fn replicated(n_nodes: usize, n_shards: usize, n_replicas: usize) -> Self {
         let n_nodes = n_nodes.max(1);
-        ShardMap { n_nodes, n_shards: n_shards.clamp(1, n_nodes) }
+        ShardMap {
+            n_nodes,
+            n_shards: n_shards.clamp(1, n_nodes),
+            n_replicas: n_replicas.max(1),
+        }
     }
 
     /// Number of shards.
@@ -46,6 +68,30 @@ impl ShardMap {
     /// Number of sensors partitioned.
     pub fn n_nodes(&self) -> usize {
         self.n_nodes
+    }
+
+    /// Replicas per shard.
+    pub fn n_replicas(&self) -> usize {
+        self.n_replicas
+    }
+
+    /// Total worker count (`shards × replicas`).
+    pub fn n_workers(&self) -> usize {
+        self.n_shards * self.n_replicas
+    }
+
+    /// Flat worker index backing `(shard, replica)` — shard-major, the
+    /// derived assignment every component recomputes instead of storing.
+    pub fn worker_index(&self, shard: usize, replica: usize) -> usize {
+        assert!(shard < self.n_shards, "shard {shard} out of range ({})", self.n_shards);
+        assert!(replica < self.n_replicas, "replica {replica} out of range ({})", self.n_replicas);
+        shard * self.n_replicas + replica
+    }
+
+    /// The `(shard, replica)` pair a flat worker index serves.
+    pub fn worker_role(&self, worker: usize) -> (usize, usize) {
+        assert!(worker < self.n_workers(), "worker {worker} out of range ({})", self.n_workers());
+        (worker / self.n_replicas, worker % self.n_replicas)
     }
 
     /// The contiguous node range shard `s` owns.
@@ -155,6 +201,40 @@ mod tests {
         assert_eq!(slices[0], ShardSlice { shard: 0, nodes: vec![0, 1], positions: vec![1, 3] });
         assert_eq!(slices[1], ShardSlice { shard: 1, nodes: vec![5], positions: vec![2] });
         assert_eq!(slices[2], ShardSlice { shard: 2, nodes: vec![9], positions: vec![0] });
+    }
+
+    #[test]
+    fn replica_dimension_is_shard_major_and_round_trips() {
+        let map = ShardMap::replicated(10, 3, 2);
+        assert_eq!(map.n_replicas(), 2);
+        assert_eq!(map.n_workers(), 6);
+        for s in 0..3 {
+            for r in 0..2 {
+                let w = map.worker_index(s, r);
+                assert_eq!(w, s * 2 + r);
+                assert_eq!(map.worker_role(w), (s, r));
+            }
+        }
+    }
+
+    #[test]
+    fn single_replica_map_matches_the_legacy_constructor() {
+        let map = ShardMap::new(10, 3);
+        assert_eq!(map, ShardMap::replicated(10, 3, 1));
+        assert_eq!(map.n_workers(), map.n_shards());
+        assert_eq!(map.worker_index(2, 0), 2, "R=1: worker index == shard index");
+        assert_eq!(ShardMap::replicated(10, 3, 0).n_replicas(), 1, "replicas clamp to 1");
+    }
+
+    #[test]
+    fn replicas_never_move_the_node_partition() {
+        for r in 1..=4 {
+            let map = ShardMap::replicated(621, 4, r);
+            let solo = ShardMap::new(621, 4);
+            for s in 0..4 {
+                assert_eq!(map.range(s), solo.range(s), "replicas={r} shard={s}");
+            }
+        }
     }
 
     #[test]

@@ -9,12 +9,21 @@
 //! the determinism contract covers only the response byte stream — which
 //! depends on *which* workers are up, never on when the supervisor noticed.
 //!
-//! Restart protocol: kill → back off ([`Backoff`], doubling to a cap) →
-//! respawn → reconnect → replay `assign` — so a rejoining worker always
-//! knows its slice of the deterministic shard map before the first forecast
-//! reaches it. A worker that was mid-`prepare_reload` when it died simply
-//! rejoins unstaged; the router's two-phase commit already treats any
-//! non-acking shard as an abort.
+//! Restart protocol: kill → back off ([`Backoff`], doubling to a cap, with
+//! seeded bounded jitter so R replicas killed together don't restart in
+//! lock-step) → respawn → reconnect → replay `assign` — so a rejoining
+//! worker always knows its slice of the deterministic shard map before the
+//! first forecast reaches it. A worker that was mid-`prepare_reload` when
+//! it died simply rejoins unstaged; the router's two-phase commit already
+//! treats any non-acking shard as an abort.
+//!
+//! With replicated shards (DESIGN.md §16) one `ProcWorker` supervises one
+//! *(shard, replica)* pair; replicas are identical except for their socket
+//! and telemetry paths, and the worker process itself is replica-oblivious
+//! (the `assign` replay carries only the shard's node range). `ProcWorker`
+//! also implements the split `send`/`recv` half of [`ShardWorker`] used by
+//! hedged requests: a hedge loser's in-flight reply is marked stale and
+//! skipped on the next receive, so the connection never desynchronizes.
 
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
@@ -25,42 +34,65 @@ use std::time::{Duration, Instant};
 use crate::proto::{self, WorkerResp};
 use crate::router::{assign_line, ShardWorker, SupEvent, WorkerState};
 use stuq_obs::Event;
+use stuq_tensor::StuqRng;
 
-/// Exponential backoff with a cap: `base, 2·base, 4·base, … , max`.
-#[derive(Clone, Copy, Debug)]
+/// Exponential backoff with a cap: `base, 2·base, 4·base, … , max` — plus
+/// optional seeded jitter of up to +25% per delay, so workers that die
+/// together don't hammer the supervisor with synchronized restart storms.
+#[derive(Clone, Debug)]
 pub struct Backoff {
     base_ms: u64,
     max_ms: u64,
     cur_ms: u64,
+    jitter: Option<StuqRng>,
 }
 
 impl Backoff {
-    /// Starts at `base_ms` (clamped ≥ 1), capped at `max_ms`.
+    /// Starts at `base_ms` (clamped ≥ 1), capped at `max_ms`. No jitter:
+    /// delays are the exact doubling sequence.
     pub fn new(base_ms: u64, max_ms: u64) -> Self {
         let base_ms = base_ms.max(1);
-        Backoff { base_ms, max_ms: max_ms.max(base_ms), cur_ms: base_ms }
+        Backoff { base_ms, max_ms: max_ms.max(base_ms), cur_ms: base_ms, jitter: None }
+    }
+
+    /// Like [`Backoff::new`], with deterministic jitter drawn from `seed`.
+    /// Each delay is stretched by a seeded draw in `[0, delay/4]` — bounded,
+    /// so the cap is exceeded by at most 25%, and reproducible, so a rerun
+    /// with the same seed restarts on the same schedule.
+    pub fn seeded(base_ms: u64, max_ms: u64, seed: u64) -> Self {
+        Backoff { jitter: Some(StuqRng::new(seed)), ..Self::new(base_ms, max_ms) }
     }
 
     /// The delay to wait *now*; doubles the next one (up to the cap).
     pub fn next_delay(&mut self) -> u64 {
         let d = self.cur_ms;
         self.cur_ms = (self.cur_ms.saturating_mul(2)).min(self.max_ms);
-        d
+        match &mut self.jitter {
+            Some(rng) => d + rng.next_u64() % (d / 4 + 1),
+            None => d,
+        }
     }
 
-    /// Back to the base delay (called after a successful restart).
+    /// Back to the base delay (called after a successful restart). The
+    /// jitter stream is deliberately *not* rewound: two workers that have
+    /// restarted different numbers of times stay desynchronized.
     pub fn reset(&mut self) {
         self.cur_ms = self.base_ms;
     }
 }
 
-/// Everything needed to (re)spawn one shard's worker process.
+/// Everything needed to (re)spawn one worker process.
 #[derive(Clone, Debug)]
 pub struct WorkerSpec {
     /// Shard index this worker owns.
     pub shard: usize,
+    /// Replica index within the shard (0 for single-replica clusters).
+    pub replica: usize,
     /// Total shard count (for the `assign` replay).
     pub shards: usize,
+    /// Seed for restart-backoff jitter — derived per worker so replicas
+    /// killed together back off on distinct schedules.
+    pub jitter_seed: u64,
     /// Worker executable (normally `std::env::current_exe()`).
     pub exe: PathBuf,
     /// Full argument list after the executable (`serve --role worker …`).
@@ -77,18 +109,100 @@ pub struct WorkerSpec {
     pub connect_timeout_ms: u64,
 }
 
+/// A connected worker socket with line-framing state that survives read
+/// timeouts: bytes of a response that arrived before a deadline fired stay
+/// in `partial` instead of being silently discarded, so the next receive
+/// resumes mid-line rather than desynchronizing the stream.
+pub(crate) struct Conn {
+    stream: UnixStream,
+    reader: BufReader<UnixStream>,
+    /// Bytes of the current response line read so far, not yet
+    /// newline-terminated.
+    partial: Vec<u8>,
+    /// Responses still in flight for requests the router abandoned (hedge
+    /// losers). The next `stale` complete lines are skipped, keeping the
+    /// request/response pairing intact.
+    stale: usize,
+}
+
+/// Per-poll read-timeout slice. Short enough that `recv_line` re-checks its
+/// overall deadline promptly even when the kernel timeout rounds up; long
+/// enough to stay off the scheduler's back.
+const POLL_SLICE_MS: u64 = 50;
+
+impl Conn {
+    fn new(stream: UnixStream) -> Result<Conn, String> {
+        let reader = BufReader::new(stream.try_clone().map_err(|e| format!("socket clone: {e}"))?);
+        Ok(Conn { stream, reader, partial: Vec::new(), stale: 0 })
+    }
+
+    fn send_line(&mut self, line: &str) -> Result<(), String> {
+        self.stream.write_all(line.as_bytes()).map_err(|e| format!("write: {e}"))?;
+        self.stream.write_all(b"\n").map_err(|e| format!("write: {e}"))
+    }
+
+    /// One bounded read attempt: `Ok(Some(line))` on a complete line,
+    /// `Ok(None)` if the timeout fired first (partial bytes retained),
+    /// `Err` on EOF or a transport error.
+    fn poll_line(&mut self, timeout_ms: u64) -> Result<Option<String>, String> {
+        self.stream
+            .set_read_timeout(Some(Duration::from_millis(timeout_ms.max(1))))
+            .map_err(|e| format!("set timeout: {e}"))?;
+        let mut buf = std::mem::take(&mut self.partial);
+        match self.reader.read_until(b'\n', &mut buf) {
+            // Ok without a trailing newline means EOF — the peer closed
+            // mid-line (or idle); either way the stream is dead.
+            Ok(_) if buf.last() == Some(&b'\n') => {
+                let line = String::from_utf8_lossy(&buf);
+                Ok(Some(line.trim_end().to_string()))
+            }
+            Ok(_) => Err("eof".into()),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // read_until appends whatever arrived before the timeout;
+                // keep it for the next poll.
+                self.partial = buf;
+                Ok(None)
+            }
+            Err(e) => Err(format!("read: {e}")),
+        }
+    }
+
+    /// Blocks until a complete (non-stale) line or the deadline. A timeout
+    /// mid-line leaves the partial bytes buffered for a later attempt.
+    fn recv_line(&mut self, timeout_ms: u64) -> Result<String, String> {
+        let deadline = Instant::now() + Duration::from_millis(timeout_ms.max(1));
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err("rpc_timeout".into());
+            }
+            let slice = (left.as_millis() as u64).clamp(1, POLL_SLICE_MS);
+            match self.poll_line(slice)? {
+                Some(_) if self.stale > 0 => self.stale -= 1,
+                Some(line) => return Ok(line),
+                None => {}
+            }
+        }
+    }
+}
+
 /// One supervised worker process behind a Unix socket.
 pub struct ProcWorker {
     spec: WorkerSpec,
     backoff: Backoff,
     child: Option<Child>,
-    conn: Option<(UnixStream, BufReader<UnixStream>)>,
+    conn: Option<Conn>,
     state: WorkerState,
     restarts: u64,
     /// Earliest wall-clock instant the next restart attempt may run.
     next_restart_at: Option<Instant>,
     /// Last successful round-trip (any RPC counts as liveness).
     last_ok: Instant,
+    /// When the most recent successful restart completed.
+    last_restart: Option<Instant>,
 }
 
 impl ProcWorker {
@@ -96,7 +210,7 @@ impl ProcWorker {
     /// worker `Down` with a restart scheduled — the supervisor retries on
     /// subsequent ticks rather than failing the whole cluster.
     pub fn spawn(spec: WorkerSpec) -> ProcWorker {
-        let backoff = Backoff::new(spec.backoff_ms, spec.backoff_max_ms);
+        let backoff = Backoff::seeded(spec.backoff_ms, spec.backoff_max_ms, spec.jitter_seed);
         let mut w = ProcWorker {
             spec,
             backoff,
@@ -106,9 +220,13 @@ impl ProcWorker {
             restarts: 0,
             next_restart_at: None,
             last_ok: Instant::now(),
+            last_restart: None,
         };
         if let Err(e) = w.start_process() {
-            eprintln!("serve: worker {} failed to start: {e}", w.spec.shard);
+            eprintln!(
+                "serve: worker {}/{} failed to start: {e}",
+                w.spec.shard, w.spec.replica
+            );
             let delay = w.backoff.next_delay();
             w.next_restart_at = Some(Instant::now() + Duration::from_millis(delay));
         }
@@ -130,7 +248,11 @@ impl ProcWorker {
             .spawn()
             .map_err(|e| format!("spawn {}: {e}", self.spec.exe.display()))?;
         self.child = Some(child);
-        stuq_obs::emit(Event::new("worker_spawn").uint("shard", self.spec.shard as u64));
+        stuq_obs::emit(
+            Event::new("worker_spawn")
+                .uint("shard", self.spec.shard as u64)
+                .uint("replica", self.spec.replica as u64),
+        );
 
         let deadline = Instant::now() + Duration::from_millis(self.spec.connect_timeout_ms.max(1));
         let stream = loop {
@@ -152,8 +274,7 @@ impl ProcWorker {
                 }
             }
         };
-        let reader = BufReader::new(stream.try_clone().map_err(|e| format!("socket clone: {e}"))?);
-        self.conn = Some((stream, reader));
+        self.conn = Some(Conn::new(stream)?);
         self.state = WorkerState::Up;
         self.last_ok = Instant::now();
         self.next_restart_at = None;
@@ -178,30 +299,17 @@ impl ProcWorker {
     }
 
     /// One raw round-trip on the socket with a real-time read deadline.
+    /// The receive loops on the deadline until a full line arrives — a
+    /// timeout mid-line keeps the partial bytes buffered rather than
+    /// silently discarding them.
     fn rpc(&mut self, line: &str, timeout_ms: u64) -> Result<String, String> {
-        let Some((stream, reader)) = &mut self.conn else {
+        let Some(conn) = &mut self.conn else {
             return Err("worker_down".into());
         };
-        stream
-            .set_read_timeout(Some(Duration::from_millis(timeout_ms.max(1))))
-            .map_err(|e| format!("set timeout: {e}"))?;
-        stream.write_all(line.as_bytes()).map_err(|e| format!("write: {e}"))?;
-        stream.write_all(b"\n").map_err(|e| format!("write: {e}"))?;
-        let mut resp = String::new();
-        match reader.read_line(&mut resp) {
-            Ok(0) => Err("eof".into()),
-            Ok(_) => {
-                self.last_ok = Instant::now();
-                Ok(resp.trim_end().to_string())
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                Err("rpc_timeout".into())
-            }
-            Err(e) => Err(format!("read: {e}")),
-        }
+        conn.send_line(line)?;
+        let resp = conn.recv_line(timeout_ms)?;
+        self.last_ok = Instant::now();
+        Ok(resp)
     }
 
     /// Transition to `Down`: drop the connection, kill the process, and
@@ -268,6 +376,7 @@ impl ShardWorker for ProcWorker {
                     match self.start_process() {
                         Ok(()) => {
                             self.restarts += 1;
+                            self.last_restart = Some(Instant::now());
                             evs.push(SupEvent::Restarted { restarts: self.restarts });
                         }
                         Err(reason) => {
@@ -285,6 +394,55 @@ impl ShardWorker for ProcWorker {
 
     fn restarts(&self) -> u64 {
         self.restarts
+    }
+
+    fn last_restart_ms(&self) -> Option<u64> {
+        self.last_restart.map(|t| t.elapsed().as_millis() as u64)
+    }
+
+    fn supports_hedge(&self) -> bool {
+        true
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), String> {
+        if self.state == WorkerState::Down {
+            return Err("worker_down".into());
+        }
+        let Some(conn) = &mut self.conn else {
+            return Err("worker_down".into());
+        };
+        match conn.send_line(line) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.mark_down();
+                Err(e)
+            }
+        }
+    }
+
+    fn recv(&mut self, timeout_ms: u64) -> Result<String, String> {
+        let Some(conn) = &mut self.conn else {
+            return Err("worker_down".into());
+        };
+        match conn.recv_line(timeout_ms) {
+            Ok(resp) => {
+                self.last_ok = Instant::now();
+                Ok(resp)
+            }
+            // A soft miss keeps the connection (and any partial bytes) —
+            // the router polls again; hard errors tear it down.
+            Err(e) if e == "rpc_timeout" => Err(e),
+            Err(e) => {
+                self.mark_down();
+                Err(e)
+            }
+        }
+    }
+
+    fn abandon(&mut self) {
+        if let Some(conn) = &mut self.conn {
+            conn.stale += 1;
+        }
     }
 
     fn settle(&mut self, grace_ms: u64) {
@@ -344,5 +502,95 @@ mod tests {
         let mut b = Backoff::new(0, 0);
         assert_eq!(b.next_delay(), 1, "base clamps to 1ms");
         assert_eq!(b.next_delay(), 1, "cap clamps to base");
+    }
+
+    #[test]
+    fn jitter_is_bounded_by_a_quarter_of_the_delay() {
+        for seed in 0..32u64 {
+            let mut b = Backoff::seeded(100, 750, seed);
+            for base in [100u64, 200, 400, 750, 750, 750] {
+                let d = b.next_delay();
+                assert!(
+                    (base..=base + base / 4).contains(&d),
+                    "seed {seed}: delay {d} outside [{base}, {}]",
+                    base + base / 4
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_varies_across_seeds() {
+        let seq = |seed: u64| {
+            let mut b = Backoff::seeded(100, 750, seed);
+            (0..6).map(|_| b.next_delay()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(7), seq(7), "same seed replays the same schedule");
+        // Replicas killed together must not restart in lock-step: some
+        // pair of seeds has to disagree somewhere.
+        let distinct: std::collections::HashSet<Vec<u64>> = (0..8).map(seq).collect();
+        assert!(distinct.len() > 1, "every seed produced the same schedule");
+    }
+
+    #[test]
+    fn jitter_reset_keeps_the_stream_position() {
+        let mut a = Backoff::seeded(100, 750, 3);
+        let mut b = Backoff::seeded(100, 750, 3);
+        let _ = a.next_delay();
+        let _ = b.next_delay();
+        a.reset();
+        // Same base delay after reset, but the jitter draw continues the
+        // stream — it must match b's next draw scaled to b's larger base
+        // only in the RNG sense, so just check the bound.
+        let d = a.next_delay();
+        assert!((100..=125).contains(&d), "reset returns to base (+jitter): {d}");
+    }
+
+    #[test]
+    fn recv_line_survives_a_mid_line_stall() {
+        use std::io::Write as _;
+        let (a, b) = UnixStream::pair().unwrap();
+        let mut conn = Conn::new(a).unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut b = b;
+            b.write_all(b"{\"type\":\"ack\",").unwrap();
+            b.flush().unwrap();
+            // Stall long enough that at least one poll slice times out
+            // mid-line, then finish the line.
+            std::thread::sleep(Duration::from_millis(3 * POLL_SLICE_MS));
+            b.write_all(b"\"ok\":true}\n").unwrap();
+            b
+        });
+        let line = conn.recv_line(5_000).expect("stalled line must still arrive");
+        assert_eq!(line, "{\"type\":\"ack\",\"ok\":true}");
+        let _keep_alive = writer.join().unwrap();
+    }
+
+    #[test]
+    fn a_timed_out_read_keeps_partial_bytes_for_the_next_attempt() {
+        use std::io::Write as _;
+        let (a, mut b) = UnixStream::pair().unwrap();
+        let mut conn = Conn::new(a).unwrap();
+        b.write_all(b"{\"type\":\"ack\",").unwrap();
+        b.flush().unwrap();
+        // The regression: the old transport discarded these bytes on
+        // timeout, so the next read returned the tail of the line as
+        // garbage and desynchronized the stream.
+        assert_eq!(conn.recv_line(60), Err("rpc_timeout".to_string()));
+        b.write_all(b"\"ok\":true}\n").unwrap();
+        let line = conn.recv_line(5_000).unwrap();
+        assert_eq!(line, "{\"type\":\"ack\",\"ok\":true}", "partial bytes were dropped");
+    }
+
+    #[test]
+    fn stale_responses_are_skipped_after_an_abandon() {
+        use std::io::Write as _;
+        let (a, mut b) = UnixStream::pair().unwrap();
+        let mut conn = Conn::new(a).unwrap();
+        // Two responses in flight; the first request was abandoned.
+        conn.stale = 1;
+        b.write_all(b"{\"stale\":true}\n{\"fresh\":true}\n").unwrap();
+        let line = conn.recv_line(5_000).unwrap();
+        assert_eq!(line, "{\"fresh\":true}", "the abandoned reply must be skipped");
     }
 }

@@ -701,3 +701,316 @@ fn router_refuses_cluster_internal_requests_from_clients() {
         assert!(str_field(&v, "detail").contains("cluster-internal"));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Replicated shards: failover, hedging, fault injection (DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+use std::time::Duration;
+
+use stuq_serve::faultnet::{self, FaultNet, Profile};
+
+/// Serializes the tests below: they are the only ones incrementing the
+/// failover/hedge/faultnet counters, but those counters are process-global,
+/// so exact-delta assertions must not overlap.
+fn counter_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn counter(name: &str) -> u64 {
+    stuq_obs::metrics().counters().iter().find(|(k, _)| *k == name).map(|(_, v)| *v).unwrap_or(0)
+}
+
+/// A router over `shards × replicas` scripted workers (shard-major), with
+/// per-worker mode switches. `fault` splices the seeded fault plan into the
+/// seed-chosen victim replica of every shard, exactly as the CLI does.
+#[allow(clippy::type_complexity)]
+fn replicated(
+    model: &Path,
+    f: &Fx,
+    shards: usize,
+    replicas: usize,
+    breaker_threshold: usize,
+    fault: Option<Profile>,
+) -> (Router, Vec<Arc<Mutex<Mode>>>) {
+    let mut cfg = cfg_for(model, f);
+    cfg.breaker_threshold = breaker_threshold;
+    let seed = cfg.seed;
+    let mut rcfg = RouterConfig::new(cfg);
+    rcfg.shards = shards;
+    rcfg.replicas = replicas;
+    let mut modes = Vec::new();
+    let workers: Vec<Box<dyn ShardWorker>> = (0..shards * replicas)
+        .map(|w| {
+            let (s, r) = (w / replicas, w % replicas);
+            let mode = Arc::new(Mutex::new(Mode::Live));
+            let sw =
+                ScriptedWorker::new(Server::new(cfg_for(model, f)).unwrap(), Arc::clone(&mode));
+            modes.push(mode);
+            let boxed = Box::new(sw) as Box<dyn ShardWorker>;
+            match fault {
+                Some(p) if r == faultnet::victim_replica(seed, s, replicas) => {
+                    Box::new(FaultNet::wrap(boxed, p, seed, s, r)) as Box<dyn ShardWorker>
+                }
+                _ => boxed,
+            }
+        })
+        .collect();
+    (Router::new(rcfg, workers).unwrap(), modes)
+}
+
+#[test]
+fn replica_failover_keeps_full_fidelity_and_replays_byte_identically() {
+    let f = fx();
+    let _g = counter_lock();
+    let mut solo = Server::new(cfg_for(&f.model, f)).unwrap();
+    let lines: Vec<String> =
+        (0..6).map(|i| forecast_line(f, &format!("r{i}"), Some(60 + i), None, None)).collect();
+    let solo_resps: Vec<String> = lines.iter().map(|l| solo.handle_line(l).response).collect();
+    let run = || {
+        let (mut router, modes) = replicated(&f.model, f, 3, 2, 100, None);
+        // Kill shard 1's replica 0 at the transport layer; replica 1 keeps
+        // serving the slice whenever the chain reaches it.
+        let dead = ShardMap::replicated(f.n_nodes, 3, 2).worker_index(1, 0);
+        *modes[dead].lock().unwrap() = Mode::KillOnCall;
+        lines.iter().map(|l| router.handle_line(l).response).collect::<Vec<_>>()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "failover routing must be a pure function of the session seed");
+    for (merged, solo_resp) in first.iter().zip(&solo_resps) {
+        let v = parsed(merged);
+        assert_eq!(ty(&v), "forecast", "{merged}");
+        assert!(
+            matches!(v.get("partial"), Some(Json::Bool(false))),
+            "one dead replica must never degrade fidelity: {merged}"
+        );
+        assert_eq!(
+            strip_cluster_meta(merged),
+            strip_batch_meta(solo_resp),
+            "failover merge diverged from the solo server"
+        );
+    }
+    // The seeded primary selection must route some (not all) arrivals to
+    // the dead replica first — those carry the failover annotation.
+    let annotated = first.iter().filter(|m| m.contains("\"attempts\":[")).count();
+    assert!(
+        annotated >= 1 && annotated < first.len(),
+        "expected a mix of clean and failed-over arrivals, got {annotated}/{}",
+        first.len()
+    );
+}
+
+#[test]
+fn healthz_reports_per_replica_state_and_shard_fidelity() {
+    let f = fx();
+    let _g = counter_lock();
+    let (mut router, modes) = replicated(&f.model, f, 2, 2, 100, None);
+    let hz = |router: &mut Router| parsed(&router.handle_line("{\"type\":\"healthz\"}").response);
+
+    let v = hz(&mut router);
+    assert_eq!(str_field(&v, "status"), "healthy");
+    assert_eq!(v.get("workers_up").and_then(Json::as_u64), Some(4));
+    let detail = v.get("detail").and_then(Json::as_arr).expect("detail");
+    assert_eq!(detail.len(), 2, "detail is per shard, not per worker");
+    for d in detail {
+        assert_eq!(str_field(d, "fidelity"), "full");
+        let reps = d.get("replicas").and_then(Json::as_arr).expect("replicas array");
+        assert_eq!(reps.len(), 2);
+        let roles: Vec<String> = reps.iter().map(|r| str_field(r, "role")).collect();
+        assert!(roles.contains(&"primary".into()), "exactly one primary: {roles:?}");
+        assert!(roles.contains(&"backup".into()), "its sibling is the backup: {roles:?}");
+        assert!(reps.iter().all(|r| str_field(r, "state") == "up"));
+    }
+
+    // Kill shard 0 / replica 1. The shard stays up and serviceable on its
+    // sibling, but its redundancy is gone: fidelity degrades while the
+    // response fidelity (partial flag) does not.
+    *modes[1].lock().unwrap() = Mode::KillOnCall;
+    for i in 0..8u64 {
+        let resp = router.handle_line(&forecast_line(f, &format!("hz{i}"), Some(80 + i), None, None));
+        assert!(resp.response.contains("\"partial\":false"), "{}", resp.response);
+    }
+    let v = hz(&mut router);
+    assert_eq!(str_field(&v, "status"), "degraded");
+    assert!(matches!(v.get("ready"), Some(Json::Bool(true))));
+    assert_eq!(v.get("workers_up").and_then(Json::as_u64), Some(3));
+    let detail = v.get("detail").and_then(Json::as_arr).expect("detail");
+    let d0 = &detail[0];
+    assert_eq!(str_field(d0, "state"), "up", "one live replica keeps the shard up");
+    assert_eq!(str_field(d0, "fidelity"), "degraded");
+    let reps = d0.get("replicas").and_then(Json::as_arr).expect("replicas array");
+    let down: Vec<u64> = reps
+        .iter()
+        .filter(|r| str_field(r, "state") == "down")
+        .map(|r| r.get("replica").and_then(Json::as_u64).unwrap())
+        .collect();
+    assert_eq!(down, vec![1], "exactly the killed replica reads down");
+    assert_eq!(str_field(&detail[1], "fidelity"), "full", "shard 1 untouched");
+}
+
+#[test]
+fn faultnet_injection_counts_match_the_scripted_plan_exactly() {
+    let f = fx();
+    let _g = counter_lock();
+    // cfg_for pins the session seed to 11; the plan below must replay with
+    // the same key the router and wrapper use.
+    const SEED: u64 = 11;
+    let (mut router, _modes) = replicated(&f.model, f, 1, 2, 100, Some(Profile::Drop));
+    let victim = faultnet::victim_replica(SEED, 0, 2);
+    let base_inj = counter("faultnet_injected_total");
+    let base_fo = counter("stuq_cluster_failover_total");
+
+    // Walk arrivals, reading the next primary from healthz (which does not
+    // consume an arrival) and replaying the published fault plan alongside:
+    // the victim's RPC index advances only when the chain actually reaches
+    // it, and every injected drop is exactly one failover.
+    let (mut exp_inj, mut exp_fo, mut rpc_idx) = (0u64, 0u64, 0u64);
+    for i in 0..10u64 {
+        let hz = parsed(&router.handle_line("{\"type\":\"healthz\"}").response);
+        let detail = hz.get("detail").and_then(Json::as_arr).expect("detail");
+        let reps = detail[0].get("replicas").and_then(Json::as_arr).expect("replicas");
+        let primary = reps
+            .iter()
+            .find(|r| str_field(r, "role") == "primary")
+            .and_then(|r| r.get("replica").and_then(Json::as_u64))
+            .expect("primary replica") as usize;
+        let mut dropped = false;
+        if primary == victim {
+            dropped = faultnet::fault_at(Profile::Drop, SEED, 0, victim, rpc_idx).is_some();
+            rpc_idx += 1;
+            if dropped {
+                exp_inj += 1;
+                exp_fo += 1;
+            }
+        }
+        let resp = router.handle_line(&forecast_line(f, &format!("p{i}"), Some(200 + i), None, None));
+        let v = parsed(&resp.response);
+        assert_eq!(ty(&v), "forecast", "{}", resp.response);
+        assert!(
+            matches!(v.get("partial"), Some(Json::Bool(false))),
+            "an injected drop must fail over, not degrade: {}",
+            resp.response
+        );
+        assert_eq!(
+            resp.response.contains("\"attempts\":["),
+            dropped,
+            "failover annotation must track the plan at arrival {i}: {}",
+            resp.response
+        );
+    }
+    assert!(exp_inj > 0, "the plan never fired over 10 arrivals — wrong key?");
+    assert_eq!(counter("faultnet_injected_total") - base_inj, exp_inj, "injection counter");
+    assert_eq!(counter("stuq_cluster_failover_total") - base_fo, exp_fo, "failover counter");
+}
+
+/// A hedge-capable transport whose replies are computed immediately but
+/// withheld for a scripted stall — the slow-replica shape hedging exists
+/// for, on the real clock.
+struct SlowWorker {
+    inner: InProcWorker,
+    stall_ms: Arc<Mutex<u64>>,
+    pending: Option<(std::time::Instant, String)>,
+}
+
+impl ShardWorker for SlowWorker {
+    fn call(&mut self, line: &str, timeout_ms: u64) -> Result<String, String> {
+        self.inner.call(line, timeout_ms)
+    }
+
+    fn state(&self) -> WorkerState {
+        WorkerState::Up
+    }
+
+    fn fail(&mut self, _reason: &str) {}
+
+    fn tick(&mut self) -> Vec<SupEvent> {
+        Vec::new()
+    }
+
+    fn supports_hedge(&self) -> bool {
+        true
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), String> {
+        let resp = self.inner.call(line, 10_000)?;
+        let stall = Duration::from_millis(*self.stall_ms.lock().unwrap());
+        self.pending = Some((std::time::Instant::now() + stall, resp));
+        Ok(())
+    }
+
+    fn recv(&mut self, timeout_ms: u64) -> Result<String, String> {
+        let deadline = std::time::Instant::now() + Duration::from_millis(timeout_ms);
+        let Some((ready, _)) = &self.pending else {
+            return Err("eof".into());
+        };
+        if *ready <= deadline {
+            let wait = ready.saturating_duration_since(std::time::Instant::now());
+            std::thread::sleep(wait);
+            Ok(self.pending.take().expect("pending reply").1)
+        } else {
+            std::thread::sleep(deadline.saturating_duration_since(std::time::Instant::now()));
+            Err("rpc_timeout".into())
+        }
+    }
+
+    fn abandon(&mut self) {
+        self.pending = None;
+    }
+}
+
+#[test]
+fn hedged_requests_let_a_fast_sibling_win_over_a_stalled_primary() {
+    let f = fx();
+    let _g = counter_lock();
+    // Hedging is real-clock only — a fake clock would make the race a
+    // nondeterminism hazard, so the router refuses to hedge under one.
+    let mut cfg = cfg_for(&f.model, f);
+    cfg.fake_clock_step_ms = None;
+    let mut rcfg = RouterConfig::new(cfg);
+    rcfg.shards = 1;
+    rcfg.replicas = 2;
+    rcfg.hedge_ms = Some(20);
+    let stalls: Vec<Arc<Mutex<u64>>> =
+        (0..2).map(|_| Arc::new(Mutex::new(0u64))).collect();
+    let workers: Vec<Box<dyn ShardWorker>> = stalls
+        .iter()
+        .map(|stall| {
+            let mut c = cfg_for(&f.model, f);
+            c.fake_clock_step_ms = None;
+            Box::new(SlowWorker {
+                inner: InProcWorker::new(Server::new(c).unwrap()),
+                stall_ms: Arc::clone(stall),
+                pending: None,
+            }) as Box<dyn ShardWorker>
+        })
+        .collect();
+    let mut router = Router::new(rcfg, workers).unwrap();
+
+    // Learn which replica the first arrival will pick, then stall exactly
+    // that one far past the hedge delay.
+    let hz = parsed(&router.handle_line("{\"type\":\"healthz\"}").response);
+    let detail = hz.get("detail").and_then(Json::as_arr).expect("detail");
+    let reps = detail[0].get("replicas").and_then(Json::as_arr).expect("replicas");
+    let primary = reps
+        .iter()
+        .find(|r| str_field(r, "role") == "primary")
+        .and_then(|r| r.get("replica").and_then(Json::as_u64))
+        .expect("primary replica") as usize;
+    *stalls[primary].lock().unwrap() = 5_000;
+
+    let base = counter("stuq_cluster_hedge_won_total");
+    let resp = router.handle_line(&forecast_line(f, "hedge", Some(5), None, None)).response;
+    let v = parsed(&resp);
+    assert_eq!(ty(&v), "forecast", "{resp}");
+    assert!(
+        matches!(v.get("partial"), Some(Json::Bool(false))),
+        "a hedge win is full fidelity: {resp}"
+    );
+    assert!(
+        !resp.contains("\"attempts\":["),
+        "a won hedge is not a failover — no attempts annotation: {resp}"
+    );
+    assert_eq!(counter("stuq_cluster_hedge_won_total") - base, 1, "exactly one hedge win");
+}
